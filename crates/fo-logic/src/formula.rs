@@ -1,0 +1,769 @@
+//! First-order logic over finite structures, with the extensions the paper
+//! discusses: the built-in order `≤`, `BIT`, counting quantifiers, and the
+//! fixpoint operators `LFP`, `TC` and `DTC`.
+//!
+//! The evaluator is deliberately naive (it enumerates assignments), because
+//! its role is to be an *obviously correct* baseline:
+//!
+//! * `(FO + LFP)` evaluation is the ground truth for the Lemma 3.6 / E1
+//!   experiment (the paper's monotone operator `F` with `LFP(F) = APATH`);
+//! * `(FO + TC)` / `(FO + DTC)` evaluation is the ground truth for the
+//!   Section 4 experiments (Facts 4.1 and 4.3);
+//! * counting quantifiers give the `(FO(wo≤) + count)` baseline of Section 7.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::structure::Structure;
+
+/// A first-order term: a variable or one of the constants the paper's
+/// language `L(τ)` provides (`0` and `n − 1`), or an explicit element.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Term {
+    /// A variable.
+    Var(String),
+    /// The constant `0` (the least element).
+    Zero,
+    /// The constant `n − 1` (the greatest element).
+    Max,
+    /// An explicit universe element (used when instantiating queries).
+    Const(usize),
+}
+
+/// Convenience constructor for a term variable.
+pub fn tvar(name: impl Into<String>) -> Term {
+    Term::Var(name.into())
+}
+
+/// A formula of first-order logic with order, BIT, counting and fixpoints.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Formula {
+    /// Truth.
+    True,
+    /// Falsity.
+    False,
+    /// An atomic relation `R(t₁, …, t_k)`. The relation may be an input
+    /// relation of the structure or the bound relation variable of an
+    /// enclosing `Lfp`.
+    Rel(String, Vec<Term>),
+    /// `t₁ = t₂`.
+    Eq(Term, Term),
+    /// `t₁ ≤ t₂` (the built-in order on the universe).
+    Leq(Term, Term),
+    /// `BIT(i, x)`: bit `i` of the binary representation of `x` is 1.
+    Bit(Term, Term),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+    /// Implication.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Existential quantification.
+    Exists(String, Box<Formula>),
+    /// Universal quantification.
+    Forall(String, Box<Formula>),
+    /// The counting quantifier `∃^{≥ t} x. φ`: at least `t` elements satisfy
+    /// φ, where the threshold is itself a term (a "number variable" in the
+    /// two-sorted view of Section 7; here numbers are identified with
+    /// universe ranks).
+    CountAtLeast(Term, String, Box<Formula>),
+    /// `LFP(λ R, x̄. φ)(t̄)`: the least fixed point of the (assumed monotone)
+    /// operator φ in the relation variable `relation` of arity `vars.len()`,
+    /// applied to the argument terms.
+    Lfp {
+        /// Name of the bound relation variable.
+        relation: String,
+        /// The tuple of bound element variables.
+        vars: Vec<String>,
+        /// The body φ, which may mention `relation`.
+        body: Box<Formula>,
+        /// The arguments the fixpoint is applied to.
+        args: Vec<Term>,
+    },
+    /// `TC(λ x̄, ȳ. φ)(s̄, t̄)`: reflexive-transitive closure of the binary
+    /// relation on k-tuples defined by φ.
+    Tc {
+        /// The source tuple of bound variables x̄.
+        from_vars: Vec<String>,
+        /// The target tuple of bound variables ȳ.
+        to_vars: Vec<String>,
+        /// The body φ(x̄, ȳ).
+        body: Box<Formula>,
+        /// Source argument terms.
+        from: Vec<Term>,
+        /// Target argument terms.
+        to: Vec<Term>,
+    },
+    /// `DTC(λ x̄, ȳ. φ)(s̄, t̄)`: deterministic transitive closure — like `Tc`
+    /// but an edge x̄ → ȳ only counts when ȳ is the *unique* φ-successor of
+    /// x̄ (the paper's φ_d, Section 4).
+    Dtc {
+        /// The source tuple of bound variables x̄.
+        from_vars: Vec<String>,
+        /// The target tuple of bound variables ȳ.
+        to_vars: Vec<String>,
+        /// The body φ(x̄, ȳ).
+        body: Box<Formula>,
+        /// Source argument terms.
+        from: Vec<Term>,
+        /// Target argument terms.
+        to: Vec<Term>,
+    },
+}
+
+impl Formula {
+    /// `¬φ`.
+    pub fn not(f: Formula) -> Formula {
+        Formula::Not(Box::new(f))
+    }
+    /// `φ ∧ ψ`.
+    pub fn and(a: Formula, b: Formula) -> Formula {
+        Formula::And(Box::new(a), Box::new(b))
+    }
+    /// `φ ∨ ψ`.
+    pub fn or(a: Formula, b: Formula) -> Formula {
+        Formula::Or(Box::new(a), Box::new(b))
+    }
+    /// `φ → ψ`.
+    pub fn implies(a: Formula, b: Formula) -> Formula {
+        Formula::Implies(Box::new(a), Box::new(b))
+    }
+    /// `∃x. φ`.
+    pub fn exists(x: impl Into<String>, f: Formula) -> Formula {
+        Formula::Exists(x.into(), Box::new(f))
+    }
+    /// `∀x. φ`.
+    pub fn forall(x: impl Into<String>, f: Formula) -> Formula {
+        Formula::Forall(x.into(), Box::new(f))
+    }
+}
+
+/// A variable assignment.
+pub type Assignment = BTreeMap<String, usize>;
+
+/// Auxiliary relation environment used while evaluating fixpoints.
+type RelEnv = BTreeMap<String, BTreeSet<Vec<usize>>>;
+
+/// Evaluates a sentence (formula with no free variables) on a structure.
+pub fn eval_sentence(structure: &Structure, formula: &Formula) -> bool {
+    eval(structure, formula, &Assignment::new())
+}
+
+/// Evaluates a formula under an assignment of its free variables.
+pub fn eval(structure: &Structure, formula: &Formula, assignment: &Assignment) -> bool {
+    let mut rel_env = RelEnv::new();
+    eval_inner(structure, formula, &mut assignment.clone(), &mut rel_env)
+}
+
+/// The set of elements satisfying a formula in one free variable — used by
+/// the harness to materialise unary queries.
+pub fn satisfying_elements(
+    structure: &Structure,
+    variable: &str,
+    formula: &Formula,
+) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut assignment = Assignment::new();
+    for x in 0..structure.universe {
+        assignment.insert(variable.to_string(), x);
+        if eval(structure, formula, &assignment) {
+            out.push(x);
+        }
+    }
+    out
+}
+
+/// The set of pairs satisfying a formula in two free variables.
+pub fn satisfying_pairs(
+    structure: &Structure,
+    var_x: &str,
+    var_y: &str,
+    formula: &Formula,
+) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut assignment = Assignment::new();
+    for x in 0..structure.universe {
+        for y in 0..structure.universe {
+            assignment.insert(var_x.to_string(), x);
+            assignment.insert(var_y.to_string(), y);
+            if eval(structure, formula, &assignment) {
+                out.push((x, y));
+            }
+        }
+    }
+    out
+}
+
+fn term_value(structure: &Structure, term: &Term, assignment: &Assignment) -> Option<usize> {
+    match term {
+        Term::Var(v) => assignment.get(v).copied(),
+        Term::Zero => Some(0),
+        Term::Max => Some(structure.universe.saturating_sub(1)),
+        Term::Const(c) => Some(*c),
+    }
+}
+
+fn eval_inner(
+    structure: &Structure,
+    formula: &Formula,
+    assignment: &mut Assignment,
+    rel_env: &mut RelEnv,
+) -> bool {
+    match formula {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::Rel(name, terms) => {
+            let tuple: Option<Vec<usize>> = terms
+                .iter()
+                .map(|t| term_value(structure, t, assignment))
+                .collect();
+            match tuple {
+                None => false,
+                Some(tuple) => {
+                    if let Some(aux) = rel_env.get(name) {
+                        aux.contains(&tuple)
+                    } else {
+                        structure.holds(name, &tuple)
+                    }
+                }
+            }
+        }
+        Formula::Eq(a, b) => {
+            term_value(structure, a, assignment) == term_value(structure, b, assignment)
+                && term_value(structure, a, assignment).is_some()
+        }
+        Formula::Leq(a, b) => match (
+            term_value(structure, a, assignment),
+            term_value(structure, b, assignment),
+        ) {
+            (Some(x), Some(y)) => x <= y,
+            _ => false,
+        },
+        Formula::Bit(i, x) => match (
+            term_value(structure, i, assignment),
+            term_value(structure, x, assignment),
+        ) {
+            (Some(i), Some(x)) => (x >> i) & 1 == 1,
+            _ => false,
+        },
+        Formula::Not(f) => !eval_inner(structure, f, assignment, rel_env),
+        Formula::And(a, b) => {
+            eval_inner(structure, a, assignment, rel_env)
+                && eval_inner(structure, b, assignment, rel_env)
+        }
+        Formula::Or(a, b) => {
+            eval_inner(structure, a, assignment, rel_env)
+                || eval_inner(structure, b, assignment, rel_env)
+        }
+        Formula::Implies(a, b) => {
+            !eval_inner(structure, a, assignment, rel_env)
+                || eval_inner(structure, b, assignment, rel_env)
+        }
+        Formula::Exists(x, f) => {
+            let saved = assignment.get(x).copied();
+            let mut found = false;
+            for v in 0..structure.universe {
+                assignment.insert(x.clone(), v);
+                if eval_inner(structure, f, assignment, rel_env) {
+                    found = true;
+                    break;
+                }
+            }
+            restore(assignment, x, saved);
+            found
+        }
+        Formula::Forall(x, f) => {
+            let saved = assignment.get(x).copied();
+            let mut all = true;
+            for v in 0..structure.universe {
+                assignment.insert(x.clone(), v);
+                if !eval_inner(structure, f, assignment, rel_env) {
+                    all = false;
+                    break;
+                }
+            }
+            restore(assignment, x, saved);
+            all
+        }
+        Formula::CountAtLeast(threshold, x, f) => {
+            let needed = match term_value(structure, threshold, assignment) {
+                Some(t) => t,
+                None => return false,
+            };
+            let saved = assignment.get(x).copied();
+            let mut count = 0;
+            for v in 0..structure.universe {
+                assignment.insert(x.clone(), v);
+                if eval_inner(structure, f, assignment, rel_env) {
+                    count += 1;
+                    if count >= needed {
+                        break;
+                    }
+                }
+            }
+            restore(assignment, x, saved);
+            count >= needed
+        }
+        Formula::Lfp {
+            relation,
+            vars,
+            body,
+            args,
+        } => {
+            let arity = vars.len();
+            let fixpoint = compute_lfp(structure, relation, vars, body, rel_env, arity);
+            let tuple: Option<Vec<usize>> = args
+                .iter()
+                .map(|t| term_value(structure, t, assignment))
+                .collect();
+            tuple.is_some_and(|t| fixpoint.contains(&t))
+        }
+        Formula::Tc {
+            from_vars,
+            to_vars,
+            body,
+            from,
+            to,
+        } => eval_closure(
+            structure, from_vars, to_vars, body, from, to, assignment, rel_env, false,
+        ),
+        Formula::Dtc {
+            from_vars,
+            to_vars,
+            body,
+            from,
+            to,
+        } => eval_closure(
+            structure, from_vars, to_vars, body, from, to, assignment, rel_env, true,
+        ),
+    }
+}
+
+fn restore(assignment: &mut Assignment, var: &str, saved: Option<usize>) {
+    match saved {
+        Some(v) => {
+            assignment.insert(var.to_string(), v);
+        }
+        None => {
+            assignment.remove(var);
+        }
+    }
+}
+
+/// Enumerates all k-tuples over the universe.
+fn all_tuples(universe: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out = vec![vec![]];
+    for _ in 0..k {
+        let mut next = Vec::with_capacity(out.len() * universe);
+        for t in &out {
+            for v in 0..universe {
+                let mut t2 = t.clone();
+                t2.push(v);
+                next.push(t2);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+fn compute_lfp(
+    structure: &Structure,
+    relation: &str,
+    vars: &[String],
+    body: &Formula,
+    rel_env: &mut RelEnv,
+    arity: usize,
+) -> BTreeSet<Vec<usize>> {
+    let candidates = all_tuples(structure.universe, arity);
+    let mut current: BTreeSet<Vec<usize>> = BTreeSet::new();
+    loop {
+        let previous = rel_env.insert(relation.to_string(), current.clone());
+        let mut next = BTreeSet::new();
+        for tuple in &candidates {
+            let mut assignment = Assignment::new();
+            for (v, &x) in vars.iter().zip(tuple) {
+                assignment.insert(v.clone(), x);
+            }
+            if eval_inner(structure, body, &mut assignment, rel_env) {
+                next.insert(tuple.clone());
+            }
+        }
+        // Inflationary union keeps the iteration monotone even if the body
+        // is not syntactically positive; for monotone bodies (all the paper's
+        // uses) this coincides with the least fixed point.
+        let merged: BTreeSet<Vec<usize>> = current.union(&next).cloned().collect();
+        match previous {
+            Some(p) => {
+                rel_env.insert(relation.to_string(), p);
+            }
+            None => {
+                rel_env.remove(relation);
+            }
+        }
+        if merged == current {
+            return current;
+        }
+        current = merged;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn eval_closure(
+    structure: &Structure,
+    from_vars: &[String],
+    to_vars: &[String],
+    body: &Formula,
+    from: &[Term],
+    to: &[Term],
+    assignment: &mut Assignment,
+    rel_env: &mut RelEnv,
+    deterministic: bool,
+) -> bool {
+    let k = from_vars.len();
+    let tuples = all_tuples(structure.universe, k);
+    // Build the edge relation defined by the body.
+    let mut successors: BTreeMap<Vec<usize>, Vec<Vec<usize>>> = BTreeMap::new();
+    for a in &tuples {
+        for b in &tuples {
+            let mut inner = assignment.clone();
+            for (v, &x) in from_vars.iter().zip(a) {
+                inner.insert(v.clone(), x);
+            }
+            for (v, &x) in to_vars.iter().zip(b) {
+                inner.insert(v.clone(), x);
+            }
+            if eval_inner(structure, body, &mut inner, rel_env) {
+                successors.entry(a.clone()).or_default().push(b.clone());
+            }
+        }
+    }
+    let source: Option<Vec<usize>> = from
+        .iter()
+        .map(|t| term_value(structure, t, assignment))
+        .collect();
+    let target: Option<Vec<usize>> = to
+        .iter()
+        .map(|t| term_value(structure, t, assignment))
+        .collect();
+    let (source, target) = match (source, target) {
+        (Some(s), Some(t)) => (s, t),
+        _ => return false,
+    };
+    // BFS from the source over the (possibly determinised) edge relation.
+    let mut seen: BTreeSet<Vec<usize>> = BTreeSet::new();
+    let mut queue = std::collections::VecDeque::from([source.clone()]);
+    seen.insert(source);
+    while let Some(cur) = queue.pop_front() {
+        if cur == target {
+            return true;
+        }
+        let nexts = successors.get(&cur).cloned().unwrap_or_default();
+        let usable: Vec<Vec<usize>> = if deterministic {
+            if nexts.len() == 1 {
+                nexts
+            } else {
+                Vec::new()
+            }
+        } else {
+            nexts
+        };
+        for nxt in usable {
+            if seen.insert(nxt.clone()) {
+                queue.push_back(nxt);
+            }
+        }
+    }
+    seen.contains(&target)
+}
+
+/// Library of formulas used by the experiments.
+pub mod library {
+    use super::*;
+
+    /// The paper's monotone operator for alternating reachability
+    /// (Section 3):
+    ///
+    /// ```text
+    /// F(R)[x, y] ≡ x = y ∨ [ (∃z)(E(x,z) ∧ R(z,y))
+    ///                        ∧ (A(x) → (∀z)(E(x,z) → R(z,y))) ]
+    /// ```
+    ///
+    /// `LFP(F) = APATH`; the returned formula is `LFP(F)(x, y)` with free
+    /// variables `x` and `y`.
+    pub fn apath_lfp() -> Formula {
+        let body = Formula::or(
+            Formula::Eq(tvar("x"), tvar("y")),
+            Formula::and(
+                Formula::exists(
+                    "z",
+                    Formula::and(
+                        Formula::Rel("E".into(), vec![tvar("x"), tvar("z")]),
+                        Formula::Rel("R".into(), vec![tvar("z"), tvar("y")]),
+                    ),
+                ),
+                Formula::implies(
+                    Formula::Rel("A".into(), vec![tvar("x")]),
+                    Formula::forall(
+                        "z",
+                        Formula::implies(
+                            Formula::Rel("E".into(), vec![tvar("x"), tvar("z")]),
+                            Formula::Rel("R".into(), vec![tvar("z"), tvar("y")]),
+                        ),
+                    ),
+                ),
+            ),
+        );
+        Formula::Lfp {
+            relation: "R".into(),
+            vars: vec!["x".into(), "y".into()],
+            body: Box::new(body),
+            args: vec![tvar("x"), tvar("y")],
+        }
+    }
+
+    /// `AGAP`: `APATH(0, n−1)` as a sentence (Fact 3.5's P-complete problem).
+    pub fn agap_sentence() -> Formula {
+        let Formula::Lfp {
+            relation,
+            vars,
+            body,
+            ..
+        } = apath_lfp()
+        else {
+            unreachable!("apath_lfp always returns an Lfp formula")
+        };
+        Formula::Lfp {
+            relation,
+            vars,
+            body,
+            args: vec![Term::Zero, Term::Max],
+        }
+    }
+
+    /// Plain graph reachability `TC(E)(s, t)` with `s`, `t` free.
+    pub fn reachability_tc() -> Formula {
+        Formula::Tc {
+            from_vars: vec!["u".into()],
+            to_vars: vec!["v".into()],
+            body: Box::new(Formula::Rel("E".into(), vec![tvar("u"), tvar("v")])),
+            from: vec![tvar("s")],
+            to: vec![tvar("t")],
+        }
+    }
+
+    /// Deterministic reachability `DTC(E)(s, t)` with `s`, `t` free.
+    pub fn reachability_dtc() -> Formula {
+        Formula::Dtc {
+            from_vars: vec!["u".into()],
+            to_vars: vec!["v".into()],
+            body: Box::new(Formula::Rel("E".into(), vec![tvar("u"), tvar("v")])),
+            from: vec![tvar("s")],
+            to: vec![tvar("t")],
+        }
+    }
+
+    /// The sentence "the universe has at least `k` elements", via the
+    /// counting quantifier.
+    pub fn at_least_k_elements(k: usize) -> Formula {
+        Formula::CountAtLeast(Term::Const(k), "x".into(), Box::new(Formula::True))
+    }
+
+    /// EVEN with the help of the order and BIT: "the maximum element's rank
+    /// is odd" (i.e. `BIT(0, max)` — ranks start at 0, so a universe of even
+    /// size has an odd maximum rank). Expressible because the order is
+    /// available; Fact 7.5 says no such sentence exists without it.
+    pub fn even_with_order() -> Formula {
+        Formula::Bit(Term::Zero, Term::Max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::library::*;
+    use super::*;
+    use crate::structure::{Structure, Vocabulary};
+
+    fn path_structure(n: usize) -> Structure {
+        Structure::from_digraph(n, &(1..n).map(|i| (i - 1, i)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn atoms_and_connectives() {
+        let s = path_structure(3);
+        assert!(eval_sentence(
+            &s,
+            &Formula::Rel("E".into(), vec![Term::Const(0), Term::Const(1)])
+        ));
+        assert!(!eval_sentence(
+            &s,
+            &Formula::Rel("E".into(), vec![Term::Const(1), Term::Const(0)])
+        ));
+        assert!(eval_sentence(
+            &s,
+            &Formula::and(Formula::True, Formula::not(Formula::False))
+        ));
+        assert!(eval_sentence(
+            &s,
+            &Formula::or(Formula::False, Formula::True)
+        ));
+        assert!(eval_sentence(
+            &s,
+            &Formula::implies(Formula::False, Formula::False)
+        ));
+        assert!(eval_sentence(&s, &Formula::Leq(Term::Zero, Term::Max)));
+        assert!(eval_sentence(
+            &s,
+            &Formula::Eq(Term::Const(2), Term::Max)
+        ));
+    }
+
+    #[test]
+    fn quantifiers() {
+        let s = path_structure(4);
+        // Every vertex except the last has a successor.
+        let has_succ = Formula::exists("y", Formula::Rel("E".into(), vec![tvar("x"), tvar("y")]));
+        let all_have_succ = Formula::forall("x", has_succ.clone());
+        assert!(!eval_sentence(&s, &all_have_succ));
+        let all_but_last = Formula::forall(
+            "x",
+            Formula::or(Formula::Eq(tvar("x"), Term::Max), has_succ),
+        );
+        assert!(eval_sentence(&s, &all_but_last));
+    }
+
+    #[test]
+    fn bit_predicate() {
+        let s = path_structure(8);
+        // BIT(1, 6): 6 = 0b110 has bit 1 set.
+        assert!(eval_sentence(
+            &s,
+            &Formula::Bit(Term::Const(1), Term::Const(6))
+        ));
+        assert!(!eval_sentence(
+            &s,
+            &Formula::Bit(Term::Const(0), Term::Const(6))
+        ));
+    }
+
+    #[test]
+    fn counting_quantifier() {
+        let s = path_structure(5);
+        assert!(eval_sentence(&s, &at_least_k_elements(5)));
+        assert!(!eval_sentence(&s, &at_least_k_elements(6)));
+        // At least 2 vertices have a successor (actually 4 do).
+        let f = Formula::CountAtLeast(
+            Term::Const(2),
+            "x".into(),
+            Box::new(Formula::exists(
+                "y",
+                Formula::Rel("E".into(), vec![tvar("x"), tvar("y")]),
+            )),
+        );
+        assert!(eval_sentence(&s, &f));
+    }
+
+    #[test]
+    fn even_with_order_matches_parity() {
+        for n in 1..10 {
+            let s = path_structure(n);
+            assert_eq!(eval_sentence(&s, &even_with_order()), n % 2 == 0, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn lfp_reachability_on_a_path() {
+        // On a plain digraph (no A relation in the vocabulary the formula
+        // expects), use the alternating vocabulary with A empty: APATH then
+        // degenerates to reachability.
+        let s = Structure::from_alternating_graph(4, &[(0, 1), (1, 2), (2, 3)], &[false; 4]);
+        let apath = apath_lfp();
+        let mut assignment = Assignment::new();
+        assignment.insert("x".into(), 0);
+        assignment.insert("y".into(), 3);
+        assert!(eval(&s, &apath, &assignment));
+        assignment.insert("x".into(), 3);
+        assignment.insert("y".into(), 0);
+        assert!(!eval(&s, &apath, &assignment));
+        assert!(eval_sentence(&s, &agap_sentence()));
+    }
+
+    #[test]
+    fn lfp_apath_respects_universal_vertices() {
+        // Vertex 0 is universal with successors 1 and 2; only 1 reaches 3.
+        let s = Structure::from_alternating_graph(
+            4,
+            &[(0, 1), (0, 2), (1, 3)],
+            &[true, false, false, false],
+        );
+        assert!(!eval_sentence(&s, &agap_sentence()));
+        // Add the missing edge 2 → 3 and it becomes true.
+        let s2 = Structure::from_alternating_graph(
+            4,
+            &[(0, 1), (0, 2), (1, 3), (2, 3)],
+            &[true, false, false, false],
+        );
+        assert!(eval_sentence(&s2, &agap_sentence()));
+    }
+
+    #[test]
+    fn tc_and_dtc_reachability() {
+        // 0 → 1, 1 → 2, 1 → 3: TC reaches 3 from 0; DTC does not (vertex 1
+        // branches).
+        let s = Structure::from_digraph(4, &[(0, 1), (1, 2), (1, 3)]);
+        let mut a = Assignment::new();
+        a.insert("s".into(), 0);
+        a.insert("t".into(), 3);
+        assert!(eval(&s, &reachability_tc(), &a));
+        assert!(!eval(&s, &reachability_dtc(), &a));
+        // On a simple path DTC and TC agree.
+        let p = path_structure(5);
+        let mut a = Assignment::new();
+        a.insert("s".into(), 0);
+        a.insert("t".into(), 4);
+        assert!(eval(&p, &reachability_tc(), &a));
+        assert!(eval(&p, &reachability_dtc(), &a));
+        // Reflexivity.
+        let mut a = Assignment::new();
+        a.insert("s".into(), 2);
+        a.insert("t".into(), 2);
+        assert!(eval(&p, &reachability_tc(), &a));
+        assert!(eval(&p, &reachability_dtc(), &a));
+    }
+
+    #[test]
+    fn satisfying_helpers() {
+        let s = path_structure(4);
+        let has_succ = Formula::exists("y", Formula::Rel("E".into(), vec![tvar("x"), tvar("y")]));
+        assert_eq!(satisfying_elements(&s, "x", &has_succ), vec![0, 1, 2]);
+        let edges = satisfying_pairs(
+            &s,
+            "x",
+            "y",
+            &Formula::Rel("E".into(), vec![tvar("x"), tvar("y")]),
+        );
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn unknown_relation_is_false() {
+        let s = Structure::new(3, Vocabulary::new());
+        assert!(!eval_sentence(
+            &s,
+            &Formula::Rel("R".into(), vec![Term::Const(0)])
+        ));
+    }
+
+    #[test]
+    fn unbound_variable_is_false_not_panic() {
+        let s = path_structure(3);
+        assert!(!eval_sentence(
+            &s,
+            &Formula::Rel("E".into(), vec![tvar("loose"), Term::Zero])
+        ));
+        assert!(!eval_sentence(&s, &Formula::Leq(tvar("loose"), Term::Max)));
+    }
+}

@@ -1,0 +1,304 @@
+//! First-order interpretations (Definition 3.1) and closure under them.
+//!
+//! A k-ary first-order interpretation maps structures of a vocabulary σ to
+//! structures of a vocabulary τ: the target universe is the set of k-tuples
+//! over the source universe, and each target relation `R^b ∈ τ` is defined by
+//! a source formula `φ_R` with `b·k` free variables. `S ≤_fo T` when such an
+//! interpretation sends members of S to members of T; Proposition 3.3 shows
+//! ℒ(SRL) is closed under these reductions, which together with the
+//! completeness of AGAP (Fact 3.5) yields `P ⊆ ℒ(SRL)`.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::formula::{eval, Assignment, Formula};
+use crate::structure::{Structure, Vocabulary};
+
+/// A k-ary first-order interpretation.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Interpretation {
+    /// The tuple width k: each target element is a k-tuple of source
+    /// elements.
+    pub k: usize,
+    /// The target vocabulary.
+    pub target: Vocabulary,
+    /// For each target relation of arity b, the defining formula together
+    /// with its `b·k` free variable names, grouped target-argument-major:
+    /// variables `vars[j*k + i]` describe component `i` of target argument
+    /// `j`.
+    pub definitions: BTreeMap<String, (Vec<String>, Formula)>,
+}
+
+impl Interpretation {
+    /// Creates an interpretation with no relation definitions yet.
+    pub fn new(k: usize, target: Vocabulary) -> Self {
+        Interpretation {
+            k,
+            target,
+            definitions: BTreeMap::new(),
+        }
+    }
+
+    /// Adds the defining formula of one target relation. The number of
+    /// variables must equal `arity(name) * k`.
+    pub fn define(
+        mut self,
+        name: impl Into<String>,
+        vars: impl IntoIterator<Item = &'static str>,
+        formula: Formula,
+    ) -> Self {
+        let name = name.into();
+        let vars: Vec<String> = vars.into_iter().map(str::to_string).collect();
+        self.definitions.insert(name, (vars, formula));
+        self
+    }
+
+    /// Checks arities: every target relation has a definition with the right
+    /// number of free-variable slots.
+    pub fn is_well_formed(&self) -> bool {
+        self.target.iter().all(|(name, arity)| {
+            self.definitions
+                .get(name)
+                .is_some_and(|(vars, _)| vars.len() == arity * self.k)
+        })
+    }
+
+    /// Applies the interpretation to a source structure, producing the target
+    /// structure on universe `n^k`. Target element ids are the ranks of the
+    /// k-tuples in lexicographic order (matching the paper's n-ary bit
+    /// numbering).
+    pub fn apply(&self, source: &Structure) -> Structure {
+        let n = source.universe;
+        let target_universe = n.pow(self.k as u32);
+        let mut out = Structure::new(target_universe, self.target.clone());
+        for (name, arity) in self.target.iter() {
+            let Some((vars, formula)) = self.definitions.get(name) else {
+                continue;
+            };
+            // Enumerate all b-tuples of target elements, i.e. all (b*k)-tuples
+            // of source elements.
+            let total_vars = arity * self.k;
+            let mut counters = vec![0usize; total_vars];
+            loop {
+                // Evaluate the formula under this assignment.
+                let mut assignment = Assignment::new();
+                for (var, &value) in vars.iter().zip(&counters) {
+                    assignment.insert(var.clone(), value);
+                }
+                if eval(source, formula, &assignment) {
+                    // Convert each group of k source elements into one target
+                    // element id.
+                    let tuple: Vec<usize> = (0..arity)
+                        .map(|j| {
+                            counters[j * self.k..(j + 1) * self.k]
+                                .iter()
+                                .fold(0usize, |acc, &c| acc * n + c)
+                        })
+                        .collect();
+                    out.add_tuple(name, &tuple);
+                }
+                // Advance the odometer.
+                let mut idx = total_vars;
+                loop {
+                    if idx == 0 {
+                        break;
+                    }
+                    idx -= 1;
+                    counters[idx] += 1;
+                    if counters[idx] < n {
+                        break;
+                    }
+                    counters[idx] = 0;
+                    if idx == 0 {
+                        break;
+                    }
+                }
+                if counters.iter().all(|&c| c == 0) {
+                    break;
+                }
+                if total_vars == 0 {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Library of interpretations used by the experiments and tests.
+pub mod library {
+    use super::*;
+    use crate::formula::tvar;
+
+    /// The identity interpretation on plain graphs (k = 1, `E` defined by
+    /// `E(x, y)`).
+    pub fn graph_identity() -> Interpretation {
+        Interpretation::new(1, Vocabulary::graph()).define(
+            "E",
+            ["x", "y"],
+            Formula::Rel("E".into(), vec![tvar("x"), tvar("y")]),
+        )
+    }
+
+    /// The interpretation that reverses every edge of a graph (k = 1).
+    pub fn graph_reverse() -> Interpretation {
+        Interpretation::new(1, Vocabulary::graph()).define(
+            "E",
+            ["x", "y"],
+            Formula::Rel("E".into(), vec![tvar("y"), tvar("x")]),
+        )
+    }
+
+    /// The square-graph interpretation: `E(x, y)` holds in the image iff
+    /// there is a path of length exactly two in the source (k = 1).
+    pub fn graph_square() -> Interpretation {
+        Interpretation::new(1, Vocabulary::graph()).define(
+            "E",
+            ["x", "y"],
+            Formula::exists(
+                "z",
+                Formula::and(
+                    Formula::Rel("E".into(), vec![tvar("x"), tvar("z")]),
+                    Formula::Rel("E".into(), vec![tvar("z"), tvar("y")]),
+                ),
+            ),
+        )
+    }
+
+    /// A 2-ary interpretation sending a graph to its "product" graph on
+    /// pairs: `E((x₁,x₂), (y₁,y₂))` iff `E(x₁,y₁) ∧ E(x₂,y₂)` — the standard
+    /// example of a genuinely k-ary reduction (k = 2).
+    pub fn graph_tensor_square() -> Interpretation {
+        Interpretation::new(2, Vocabulary::graph()).define(
+            "E",
+            ["x1", "x2", "y1", "y2"],
+            Formula::and(
+                Formula::Rel("E".into(), vec![tvar("x1"), tvar("y1")]),
+                Formula::Rel("E".into(), vec![tvar("x2"), tvar("y2")]),
+            ),
+        )
+    }
+
+    /// The interpretation reducing plain reachability to alternating
+    /// reachability: the output is the same graph viewed as an alternating
+    /// graph with *no* universal vertices (so APATH coincides with
+    /// reachability). This is the k = 1 reduction used by the closure tests.
+    pub fn reachability_to_agap() -> Interpretation {
+        Interpretation::new(1, Vocabulary::alternating_graph())
+            .define(
+                "E",
+                ["x", "y"],
+                Formula::Rel("E".into(), vec![tvar("x"), tvar("y")]),
+            )
+            .define("A", ["x"], Formula::False)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::library::*;
+    use super::*;
+    use crate::formula::library::agap_sentence;
+    use crate::formula::{eval_sentence, tvar};
+
+    fn path(n: usize) -> Structure {
+        Structure::from_digraph(n, &(1..n).map(|i| (i - 1, i)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn well_formedness() {
+        assert!(graph_identity().is_well_formed());
+        assert!(graph_tensor_square().is_well_formed());
+        assert!(reachability_to_agap().is_well_formed());
+        // Missing definition.
+        let incomplete = Interpretation::new(1, Vocabulary::alternating_graph()).define(
+            "E",
+            ["x", "y"],
+            Formula::True,
+        );
+        assert!(!incomplete.is_well_formed());
+        // Wrong variable count.
+        let wrong = Interpretation::new(1, Vocabulary::graph()).define("E", ["x"], Formula::True);
+        assert!(!wrong.is_well_formed());
+    }
+
+    #[test]
+    fn identity_preserves_graph() {
+        let g = path(4);
+        let h = graph_identity().apply(&g);
+        assert_eq!(h.universe, 4);
+        assert_eq!(h.relation_size("E"), 3);
+        assert!(h.holds("E", &[0, 1]));
+        assert!(!h.holds("E", &[1, 0]));
+    }
+
+    #[test]
+    fn reverse_flips_edges() {
+        let g = path(4);
+        let h = graph_reverse().apply(&g);
+        assert!(h.holds("E", &[1, 0]));
+        assert!(!h.holds("E", &[0, 1]));
+        assert_eq!(h.relation_size("E"), 3);
+    }
+
+    #[test]
+    fn square_connects_distance_two() {
+        let g = path(5);
+        let h = graph_square().apply(&g);
+        assert!(h.holds("E", &[0, 2]));
+        assert!(h.holds("E", &[1, 3]));
+        assert!(!h.holds("E", &[0, 1]));
+        assert_eq!(h.relation_size("E"), 3);
+    }
+
+    #[test]
+    fn tensor_square_has_pair_universe() {
+        let g = path(3);
+        let h = graph_tensor_square().apply(&g);
+        assert_eq!(h.universe, 9);
+        // ((0,0), (1,1)) = element ids 0*3+0 = 0 and 1*3+1 = 4.
+        assert!(h.holds("E", &[0, 4]));
+        // ((0,1), (1,2)) = ids 1 and 5.
+        assert!(h.holds("E", &[1, 5]));
+        // ((0,2), (1,anything)) requires E(2, ·) which does not exist.
+        assert!(!h.holds("E", &[2, 3]));
+        assert_eq!(h.relation_size("E"), 4);
+    }
+
+    #[test]
+    fn reduction_to_agap_preserves_reachability() {
+        // On a path, 0 reaches n-1, so the reduced alternating structure is
+        // a positive AGAP instance.
+        let g = path(5);
+        let reduced = reachability_to_agap().apply(&g);
+        assert!(eval_sentence(&reduced, &agap_sentence()));
+        // Reverse the path: 0 no longer reaches n-1.
+        let reversed = graph_reverse().apply(&g);
+        let reduced = reachability_to_agap().apply(&reversed);
+        assert!(!eval_sentence(&reduced, &agap_sentence()));
+    }
+
+    #[test]
+    fn empty_universe_is_handled() {
+        let g = Structure::from_digraph(0, &[]);
+        let h = graph_identity().apply(&g);
+        assert_eq!(h.universe, 0);
+        assert_eq!(h.relation_size("E"), 0);
+    }
+
+    #[test]
+    fn definitions_can_use_order_and_constants() {
+        // E(x, y) iff x ≤ y: the full "upper triangle" graph.
+        let interp = Interpretation::new(1, Vocabulary::graph()).define(
+            "E",
+            ["x", "y"],
+            Formula::Leq(tvar("x"), tvar("y")),
+        );
+        let g = Structure::from_digraph(3, &[]);
+        let h = interp.apply(&g);
+        assert_eq!(h.relation_size("E"), 6); // 3 + 2 + 1
+        assert!(h.holds("E", &[0, 2]));
+        assert!(!h.holds("E", &[2, 0]));
+    }
+}

@@ -1,0 +1,35 @@
+//! # fo-logic — the descriptive-complexity substrate
+//!
+//! Section 3 of the paper characterises the expressiveness of SRL "following
+//! the conventions of descriptive complexity": inputs are finite logical
+//! structures, properties are classes of structures, and the working tools
+//! are first-order logic with a built-in order, the BIT predicate, counting
+//! quantifiers, the fixpoint operators LFP / TC / DTC, and first-order
+//! interpretations between vocabularies.
+//!
+//! This crate implements that toolkit from scratch:
+//!
+//! * [`structure`] — vocabularies, finite structures `STRUCT[τ]`, and the
+//!   bridge to SRL evaluation environments;
+//! * [`formula`] — formulas and a naive (obviously-correct) evaluator for
+//!   FO(≤, BIT) + count + LFP + TC + DTC, plus the library formulas the
+//!   experiments need (the APATH fixpoint of Section 3, TC/DTC reachability,
+//!   EVEN-with-order);
+//! * [`interpretation`] — k-ary first-order interpretations (Definition 3.1)
+//!   and a library of reductions used to test Proposition 3.3 (closure of
+//!   ℒ(SRL) under ≤_fo).
+//!
+//! Everything here is a *baseline*: the SRL programs built in `srl-stdlib`
+//! are checked against these evaluators by the integration tests and the
+//! benchmark harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod formula;
+pub mod interpretation;
+pub mod structure;
+
+pub use formula::{eval, eval_sentence, Assignment, Formula, Term};
+pub use interpretation::Interpretation;
+pub use structure::{Structure, Vocabulary};

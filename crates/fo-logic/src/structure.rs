@@ -1,0 +1,306 @@
+//! Finite logical structures (Section 3 of the paper).
+//!
+//! Inputs are coded as finite structures: the universe is `D = {0, …, n-1}`
+//! with the standard ordering, a vocabulary `τ = (R₁^{a₁}, …, R_k^{a_k})` is
+//! a tuple of relation symbols of fixed arities, and `STRUCT[τ]` is the set
+//! of finite structures over it. This module provides the vocabulary and
+//! structure types, constructors for the graph-shaped vocabularies the
+//! experiments use, and the bridge to SRL values (a relation becomes a set of
+//! tuples of atoms; the universe becomes the domain set).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use srl_core::program::Env;
+use srl_core::value::Value;
+
+/// A vocabulary: named relation symbols with fixed arities.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vocabulary {
+    relations: Vec<(String, usize)>,
+}
+
+impl Vocabulary {
+    /// An empty vocabulary.
+    pub fn new() -> Self {
+        Vocabulary {
+            relations: Vec::new(),
+        }
+    }
+
+    /// Adds a relation symbol.
+    pub fn with_relation(mut self, name: impl Into<String>, arity: usize) -> Self {
+        self.relations.push((name.into(), arity));
+        self
+    }
+
+    /// The vocabulary of plain digraphs: one binary relation `E`.
+    pub fn graph() -> Self {
+        Vocabulary::new().with_relation("E", 2)
+    }
+
+    /// The vocabulary of alternating graphs: `E` (binary) and the unary
+    /// universal-vertex label `A` (Definition 3.4).
+    pub fn alternating_graph() -> Self {
+        Vocabulary::new().with_relation("E", 2).with_relation("A", 1)
+    }
+
+    /// Arity of a relation symbol.
+    pub fn arity(&self, name: &str) -> Option<usize> {
+        self.relations
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, a)| *a)
+    }
+
+    /// Iterates over (name, arity) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.relations.iter().map(|(n, a)| (n.as_str(), *a))
+    }
+
+    /// Number of relation symbols.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True iff there are no relation symbols.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+impl Default for Vocabulary {
+    fn default() -> Self {
+        Vocabulary::new()
+    }
+}
+
+/// A finite structure: a universe `{0, …, n-1}` plus an interpretation of
+/// every relation symbol of its vocabulary.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Structure {
+    /// Universe size `n`.
+    pub universe: usize,
+    /// The vocabulary.
+    pub vocabulary: Vocabulary,
+    relations: BTreeMap<String, BTreeSet<Vec<usize>>>,
+}
+
+impl Structure {
+    /// Creates a structure with every relation empty.
+    pub fn new(universe: usize, vocabulary: Vocabulary) -> Self {
+        let relations = vocabulary
+            .iter()
+            .map(|(name, _)| (name.to_string(), BTreeSet::new()))
+            .collect();
+        Structure {
+            universe,
+            vocabulary,
+            relations,
+        }
+    }
+
+    /// Adds a tuple to a relation. Tuples with the wrong arity or
+    /// out-of-universe elements are rejected with `false`.
+    pub fn add_tuple(&mut self, relation: &str, tuple: &[usize]) -> bool {
+        match self.vocabulary.arity(relation) {
+            Some(arity) if arity == tuple.len() && tuple.iter().all(|&x| x < self.universe) => {
+                self.relations
+                    .get_mut(relation)
+                    .expect("relation exists because the vocabulary lists it")
+                    .insert(tuple.to_vec());
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Membership test.
+    pub fn holds(&self, relation: &str, tuple: &[usize]) -> bool {
+        self.relations
+            .get(relation)
+            .is_some_and(|r| r.contains(tuple))
+    }
+
+    /// All tuples of a relation.
+    pub fn tuples(&self, relation: &str) -> impl Iterator<Item = &Vec<usize>> {
+        self.relations.get(relation).into_iter().flatten()
+    }
+
+    /// Number of tuples in a relation.
+    pub fn relation_size(&self, relation: &str) -> usize {
+        self.relations.get(relation).map_or(0, BTreeSet::len)
+    }
+
+    /// Builds the graph structure of a digraph edge list.
+    pub fn from_digraph(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut s = Structure::new(n, Vocabulary::graph());
+        for &(u, v) in edges {
+            s.add_tuple("E", &[u, v]);
+        }
+        s
+    }
+
+    /// Builds the alternating-graph structure of Definition 3.4.
+    pub fn from_alternating_graph(
+        n: usize,
+        edges: &[(usize, usize)],
+        universal: &[bool],
+    ) -> Self {
+        let mut s = Structure::new(n, Vocabulary::alternating_graph());
+        for &(u, v) in edges {
+            s.add_tuple("E", &[u, v]);
+        }
+        for (v, &is_universal) in universal.iter().enumerate() {
+            if is_universal {
+                s.add_tuple("A", &[v]);
+            }
+        }
+        s
+    }
+
+    /// The universe as an SRL domain set.
+    pub fn universe_value(&self) -> Value {
+        Value::set((0..self.universe as u64).map(Value::atom))
+    }
+
+    /// One relation as an SRL set of tuples of atoms (unary relations become
+    /// sets of atoms, not sets of 1-tuples, matching how the paper's programs
+    /// consume them).
+    pub fn relation_value(&self, relation: &str) -> Option<Value> {
+        let tuples = self.relations.get(relation)?;
+        let arity = self.vocabulary.arity(relation)?;
+        let items = tuples.iter().map(|t| {
+            if arity == 1 {
+                Value::atom(t[0] as u64)
+            } else {
+                Value::tuple(t.iter().map(|&x| Value::atom(x as u64)))
+            }
+        });
+        Some(Value::set(items))
+    }
+
+    /// The whole structure as an SRL evaluation environment: `D` is bound to
+    /// the universe and every relation symbol to its set of tuples.
+    pub fn to_env(&self) -> Env {
+        let mut env = Env::new().bind("D", self.universe_value());
+        for (name, _) in self.vocabulary.iter() {
+            if let Some(v) = self.relation_value(name) {
+                env.insert(name.to_string(), v);
+            }
+        }
+        env
+    }
+
+    /// Reads a relation back from an SRL value (a set of atoms for arity 1,
+    /// or a set of tuples of atoms).
+    pub fn relation_from_value(value: &Value, arity: usize) -> Option<BTreeSet<Vec<usize>>> {
+        let set = value.as_set()?;
+        let mut out = BTreeSet::new();
+        for item in set {
+            let tuple: Vec<usize> = if arity == 1 {
+                vec![item.as_atom()?.index as usize]
+            } else {
+                let t = item.as_tuple()?;
+                if t.len() != arity {
+                    return None;
+                }
+                t.iter()
+                    .map(|x| x.as_atom().map(|a| a.index as usize))
+                    .collect::<Option<Vec<_>>>()?
+            };
+            out.insert(tuple);
+        }
+        Some(out)
+    }
+}
+
+impl fmt::Display for Structure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "structure(|D| = {}", self.universe)?;
+        for (name, _) in self.vocabulary.iter() {
+            write!(f, ", |{name}| = {}", self.relation_size(name))?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocabulary_lookup() {
+        let v = Vocabulary::alternating_graph();
+        assert_eq!(v.arity("E"), Some(2));
+        assert_eq!(v.arity("A"), Some(1));
+        assert_eq!(v.arity("Z"), None);
+        assert_eq!(v.len(), 2);
+        assert!(!v.is_empty());
+        assert!(Vocabulary::new().is_empty());
+    }
+
+    #[test]
+    fn add_and_query_tuples() {
+        let mut s = Structure::new(4, Vocabulary::graph());
+        assert!(s.add_tuple("E", &[0, 1]));
+        assert!(s.add_tuple("E", &[1, 2]));
+        assert!(!s.add_tuple("E", &[0, 9]), "out of universe");
+        assert!(!s.add_tuple("E", &[0]), "wrong arity");
+        assert!(!s.add_tuple("R", &[0, 1]), "unknown relation");
+        assert!(s.holds("E", &[0, 1]));
+        assert!(!s.holds("E", &[1, 0]));
+        assert_eq!(s.relation_size("E"), 2);
+        assert_eq!(s.tuples("E").count(), 2);
+    }
+
+    #[test]
+    fn digraph_and_alternating_constructors() {
+        let s = Structure::from_digraph(3, &[(0, 1), (1, 2)]);
+        assert_eq!(s.relation_size("E"), 2);
+        let s = Structure::from_alternating_graph(3, &[(0, 1)], &[true, false, true]);
+        assert_eq!(s.relation_size("A"), 2);
+        assert!(s.holds("A", &[0]));
+        assert!(!s.holds("A", &[1]));
+    }
+
+    #[test]
+    fn srl_bridge_roundtrip() {
+        let s = Structure::from_alternating_graph(3, &[(0, 1), (2, 1)], &[false, true, false]);
+        let env = s.to_env();
+        assert_eq!(env.get("D").unwrap().len(), Some(3));
+        assert_eq!(env.get("E").unwrap().len(), Some(2));
+        assert_eq!(env.get("A").unwrap().len(), Some(1));
+        // Unary relations are sets of atoms.
+        assert!(env
+            .get("A")
+            .unwrap()
+            .as_set()
+            .unwrap()
+            .contains(&Value::atom(1)));
+        // Roundtrip the binary relation.
+        let back = Structure::relation_from_value(env.get("E").unwrap(), 2).unwrap();
+        assert!(back.contains(&vec![0, 1]));
+        assert!(back.contains(&vec![2, 1]));
+        assert_eq!(back.len(), 2);
+        // Roundtrip the unary relation.
+        let back = Structure::relation_from_value(env.get("A").unwrap(), 1).unwrap();
+        assert!(back.contains(&vec![1]));
+    }
+
+    #[test]
+    fn relation_from_value_rejects_garbage() {
+        assert!(Structure::relation_from_value(&Value::atom(1), 2).is_none());
+        let bad = Value::set([Value::tuple([Value::atom(0)])]);
+        assert!(Structure::relation_from_value(&bad, 2).is_none());
+    }
+
+    #[test]
+    fn display_mentions_sizes() {
+        let s = Structure::from_digraph(5, &[(0, 1)]);
+        let text = s.to_string();
+        assert!(text.contains("|D| = 5"));
+        assert!(text.contains("|E| = 1"));
+    }
+}

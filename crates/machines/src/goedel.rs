@@ -1,0 +1,225 @@
+//! Gödel coding of finite sets as natural numbers.
+//!
+//! Direction (ii) of Theorem 5.2 ("ℱ(SRL + new) ⊆ PrimRec") encodes every
+//! finite ordered set `S ⊆ D = {d₀ ≤ d₁ ≤ …}` as the natural number whose
+//! binary expansion has bit `i` set iff `dᵢ ∈ S`; under that coding the SRL
+//! base functions become primitive recursive:
+//!
+//! ```text
+//! dᵢ            ↦  2^i
+//! new(S)        ↦  Exp(2, Log(S) + 1)
+//! insert(x, S)  ↦  Cond(Bit(i, S), S, Div(S, i-1) + 1 + Mod(S, i-1))   (i = Log(x))
+//! choose(S)     ↦  Exp(2, Rlog(S))
+//! rest(S)       ↦  Div(S, Rlog(S) + 1)
+//! ```
+//!
+//! This module implements that coding both ways (sets of atoms ↔ numbers) and
+//! the number-level versions of the base operations, so the experiments can
+//! check that the SRL+new evaluator and the PrimRec simulation agree. Note
+//! that the paper's `rest` *shifts* the remaining bits down; the coding of
+//! `rest(S)` therefore renumbers the surviving elements — the experiments
+//! account for this by comparing cardinalities and membership patterns rather
+//! than raw atom identities after a `rest`.
+
+use srl_core::bignat::BigNat;
+use srl_core::value::Value;
+
+/// Encodes a set of atoms as the number with bit `i` set iff atom `dᵢ` is in
+/// the set. Returns `None` if the value is not a set of atoms.
+pub fn encode_atom_set(v: &Value) -> Option<BigNat> {
+    let set = v.as_set()?;
+    let mut n = BigNat::zero();
+    for item in set {
+        let atom = item.as_atom()?;
+        n.set_bit(usize::try_from(atom.index).ok()?);
+    }
+    Some(n)
+}
+
+/// Decodes a number back into the set of atoms whose indices are its set
+/// bits.
+pub fn decode_atom_set(n: &BigNat) -> Value {
+    let mut items = Vec::new();
+    for i in 0..n.bit_len() {
+        if n.bit(i) {
+            items.push(Value::atom(i as u64));
+        }
+    }
+    Value::set(items)
+}
+
+/// The coding of a single atom `dᵢ`: the number `2^i`.
+pub fn encode_atom(index: u64) -> BigNat {
+    BigNat::pow2(index as usize)
+}
+
+/// The paper's Section 5 natural-number coding of the natural `k` itself:
+/// `0 ↦ ∅`, `k+1 ↦ k ∪ {new(k)}`, i.e. the set `{d₀, …, d_{k-1}}`, whose
+/// Gödel code is `2^k - 1`.
+pub fn encode_natural_as_set(k: u64) -> Value {
+    Value::set((0..k).map(Value::atom))
+}
+
+/// Reads back a natural from its set representation (the cardinality).
+pub fn decode_natural_from_set(v: &Value) -> Option<u64> {
+    v.as_set().map(|s| s.len() as u64)
+}
+
+/// Number-level `new(S) = Exp(2, Log(S) + 1)`: the code of a fresh element
+/// one past the largest element of `S` (and `1 = 2^0` for the empty set).
+pub fn new_code(s: &BigNat) -> BigNat {
+    match s.highest_set_bit() {
+        Some(log) => BigNat::pow2(log + 1),
+        None => BigNat::pow2(0),
+    }
+}
+
+/// Number-level `insert(x, S)`: sets bit `Log(x)` of `S`.
+pub fn insert_code(x: &BigNat, s: &BigNat) -> BigNat {
+    let i = x.highest_set_bit().unwrap_or(0);
+    let mut out = s.clone();
+    out.set_bit(i);
+    out
+}
+
+/// Number-level `choose(S) = Exp(2, Rlog(S))`: the code of the minimal
+/// element. Returns `None` for the empty set.
+pub fn choose_code(s: &BigNat) -> Option<BigNat> {
+    s.lowest_set_bit().map(BigNat::pow2)
+}
+
+/// Number-level `rest(S) = Div(S, Rlog(S) + 1)`: the paper's definition,
+/// which *shifts* the remaining elements down by `Rlog(S) + 1` positions.
+pub fn rest_code(s: &BigNat) -> Option<BigNat> {
+    let r = s.lowest_set_bit()?;
+    Some(s.shr(r + 1))
+}
+
+/// A "plain" rest that simply clears the lowest bit, preserving the identity
+/// of the remaining elements. This is the version that agrees with the
+/// evaluator's `rest`; the experiments use both to illustrate that the
+/// paper's shifted coding preserves cardinality and traversal order even
+/// though it renumbers elements.
+pub fn rest_code_preserving(s: &BigNat) -> Option<BigNat> {
+    let r = s.lowest_set_bit()?;
+    let mut out = s.clone();
+    out.clear_bit(r);
+    Some(out)
+}
+
+/// Cardinality of a coded set (number of set bits).
+pub fn cardinality(s: &BigNat) -> u64 {
+    let mut count = 0;
+    for i in 0..s.bit_len() {
+        if s.bit(i) {
+            count += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u64) -> BigNat {
+        BigNat::from_u64(v)
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = Value::set([Value::atom(0), Value::atom(3), Value::atom(5)]);
+        let code = encode_atom_set(&s).unwrap();
+        assert_eq!(code, n(0b101001));
+        assert_eq!(decode_atom_set(&code), s);
+        assert_eq!(encode_atom_set(&Value::empty_set()), Some(BigNat::zero()));
+        assert_eq!(decode_atom_set(&BigNat::zero()), Value::empty_set());
+    }
+
+    #[test]
+    fn non_atom_sets_are_rejected() {
+        let s = Value::set([Value::bool(true)]);
+        assert_eq!(encode_atom_set(&s), None);
+        assert_eq!(encode_atom_set(&Value::atom(1)), None);
+    }
+
+    #[test]
+    fn atom_codes_are_powers_of_two() {
+        assert_eq!(encode_atom(0), n(1));
+        assert_eq!(encode_atom(3), n(8));
+        assert_eq!(encode_atom(10), n(1024));
+    }
+
+    #[test]
+    fn natural_coding_matches_paper() {
+        // n + 1 = n ∪ {new(n)}; as a set {d0,…,d_{n-1}}, code 2^n - 1.
+        assert_eq!(encode_natural_as_set(0), Value::empty_set());
+        let three = encode_natural_as_set(3);
+        assert_eq!(three.len(), Some(3));
+        assert_eq!(encode_atom_set(&three).unwrap(), n(0b111));
+        assert_eq!(decode_natural_from_set(&three), Some(3));
+    }
+
+    #[test]
+    fn new_code_matches_definition() {
+        // new(S) = Exp(2, Log(S) + 1).
+        assert_eq!(new_code(&n(0b101001)), n(0b1000000));
+        assert_eq!(new_code(&BigNat::zero()), n(1));
+        // Inserting the fresh element then taking new again moves one further.
+        let s = insert_code(&new_code(&n(0b1)), &n(0b1));
+        assert_eq!(s, n(0b11));
+        assert_eq!(new_code(&s), n(0b100));
+    }
+
+    #[test]
+    fn insert_code_sets_the_right_bit() {
+        // insert(d3, {d0, d5}): bit 3 gets set.
+        let s = n(0b100001);
+        let x = encode_atom(3);
+        assert_eq!(insert_code(&x, &s), n(0b101001));
+        // Inserting an existing element is a no-op (Cond(Bit(i,S), S, …)).
+        assert_eq!(insert_code(&encode_atom(0), &s), s);
+    }
+
+    #[test]
+    fn choose_and_rest_codes() {
+        let s = n(0b101000); // {d3, d5}
+        assert_eq!(choose_code(&s), Some(n(0b1000))); // d3
+        // Paper's rest shifts: Div(S, Rlog+1) = 0b101000 >> 4 = 0b10.
+        assert_eq!(rest_code(&s), Some(n(0b10)));
+        // The preserving rest keeps d5 in place.
+        assert_eq!(rest_code_preserving(&s), Some(n(0b100000)));
+        assert_eq!(choose_code(&BigNat::zero()), None);
+        assert_eq!(rest_code(&BigNat::zero()), None);
+    }
+
+    #[test]
+    fn rest_codes_agree_on_cardinality() {
+        let s = n(0b1101101);
+        let a = rest_code(&s).unwrap();
+        let b = rest_code_preserving(&s).unwrap();
+        assert_eq!(cardinality(&a), cardinality(&b));
+        assert_eq!(cardinality(&a), cardinality(&s) - 1);
+    }
+
+    #[test]
+    fn traversal_via_choose_rest_visits_all_elements() {
+        // Walking choose/rest over the preserving coding enumerates exactly
+        // the atoms of the set in ascending order.
+        let original = Value::set([Value::atom(1), Value::atom(4), Value::atom(6)]);
+        let mut code = encode_atom_set(&original).unwrap();
+        let mut seen = Vec::new();
+        while let Some(c) = choose_code(&code) {
+            seen.push(c.lowest_set_bit().unwrap() as u64);
+            code = rest_code_preserving(&code).unwrap();
+        }
+        assert_eq!(seen, vec![1, 4, 6]);
+    }
+
+    #[test]
+    fn cardinality_counts_bits() {
+        assert_eq!(cardinality(&BigNat::zero()), 0);
+        assert_eq!(cardinality(&n(0b1011)), 3);
+        assert_eq!(cardinality(&BigNat::pow2(100)), 1);
+    }
+}

@@ -1,0 +1,25 @@
+//! # machines — machine substrates for the SRL reproduction
+//!
+//! Independent, executable ground truths for the paper's simulation results:
+//!
+//! * [`tm`] — deterministic Turing machines with a read-only input tape and
+//!   one work tape, plus a library of small DTIME(n) machines. These are the
+//!   machines that Proposition 6.2's `Simulate()` expression (built in
+//!   `srl-stdlib::tm_sim`) simulates; the runner here provides step-for-step
+//!   ground truth.
+//! * [`primrec`] — primitive recursive function terms (Definition 5.1) with a
+//!   budgeted evaluator over arbitrary-precision naturals; the ground truth
+//!   for Theorem 5.2 (`SRL + new` ≡ PrimRec).
+//! * [`goedel`] — the Section 5 Gödel coding of finite sets as naturals and
+//!   the number-level versions of `new`/`insert`/`choose`/`rest` used in the
+//!   paper's proof of Theorem 5.2 (ii).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod goedel;
+pub mod primrec;
+pub mod tm;
+
+pub use primrec::{PrError, PrTerm};
+pub use tm::{Action, Configuration, Halt, Move, RunResult, Symbol, TuringMachine, BLANK};

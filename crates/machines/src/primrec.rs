@@ -1,0 +1,573 @@
+//! Primitive recursive function terms.
+//!
+//! Section 5 of the paper (Theorem 5.2) shows that unrestricted SRL with an
+//! unbounded successor — `SRL + new` — expresses exactly the primitive
+//! recursive functions, and Corollary 5.5 does the same for the list variant
+//! LRL. To test that reproduction we need an independent, executable notion
+//! of "primitive recursive function": this module provides PR terms built
+//! from the initial functions (zero, successor, projections) by composition
+//! and primitive recursion (Definition 5.1), together with an evaluator over
+//! [`BigNat`] and a library of standard functions (addition, multiplication,
+//! exponentiation, predecessor, monus, the paper's `Bit`/`Div`/`Mod`/`Log`/
+//! `Rlog`/`Cond` of Fact 5.4).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use srl_core::bignat::BigNat;
+
+/// A primitive recursive function term of a fixed arity.
+///
+/// Arity discipline follows Definition 5.1 generalised to k-ary functions in
+/// the standard way:
+///
+/// * `Zero(k)` is the k-ary constant-zero function;
+/// * `Succ` is unary;
+/// * `Proj(k, i)` is the k-ary projection onto argument `i` (0-based);
+/// * `Compose(f, gs)` where `f` is m-ary and every `g ∈ gs` is k-ary is the
+///   k-ary function `f(g₁(x̄), …, g_m(x̄))`;
+/// * `PrimRec(g, h)` where `g` is k-ary and `h` is (k+2)-ary is the (k+1)-ary
+///   function defined by
+///   `f(0, ȳ) = g(ȳ)` and `f(s+1, ȳ) = h(s, ȳ, f(s, ȳ))`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrTerm {
+    /// The k-ary constant zero.
+    Zero(usize),
+    /// The unary successor.
+    Succ,
+    /// The k-ary projection onto argument `i` (0-based).
+    Proj(usize, usize),
+    /// Composition `f ∘ (g₁, …, g_m)`.
+    Compose(Box<PrTerm>, Vec<PrTerm>),
+    /// Primitive recursion from `g` (base) and `h` (step).
+    PrimRec(Box<PrTerm>, Box<PrTerm>),
+}
+
+/// Errors raised when a term is ill-formed or evaluation exceeds a budget.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PrError {
+    /// The term's arity does not match the supplied arguments (or the arity
+    /// discipline is internally violated).
+    ArityMismatch {
+        /// What the term expected.
+        expected: usize,
+        /// What it received.
+        found: usize,
+    },
+    /// A projection index was out of range.
+    BadProjection {
+        /// Declared arity.
+        arity: usize,
+        /// Offending index.
+        index: usize,
+    },
+    /// Evaluation exceeded the step budget (primitive recursion on large
+    /// arguments can be astronomically slow; the budget keeps tests finite).
+    BudgetExceeded,
+}
+
+impl fmt::Display for PrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrError::ArityMismatch { expected, found } => {
+                write!(f, "arity mismatch: expected {expected}, found {found}")
+            }
+            PrError::BadProjection { arity, index } => {
+                write!(f, "projection index {index} out of range for arity {arity}")
+            }
+            PrError::BudgetExceeded => write!(f, "primitive recursion budget exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for PrError {}
+
+impl PrTerm {
+    /// The arity of the function denoted by this term, if the term is
+    /// well-formed.
+    pub fn arity(&self) -> Result<usize, PrError> {
+        match self {
+            PrTerm::Zero(k) => Ok(*k),
+            PrTerm::Succ => Ok(1),
+            PrTerm::Proj(k, i) => {
+                if i < k {
+                    Ok(*k)
+                } else {
+                    Err(PrError::BadProjection {
+                        arity: *k,
+                        index: *i,
+                    })
+                }
+            }
+            PrTerm::Compose(f, gs) => {
+                let m = f.arity()?;
+                if m != gs.len() {
+                    return Err(PrError::ArityMismatch {
+                        expected: m,
+                        found: gs.len(),
+                    });
+                }
+                let mut k = None;
+                for g in gs {
+                    let gk = g.arity()?;
+                    match k {
+                        None => k = Some(gk),
+                        Some(prev) if prev == gk => {}
+                        Some(prev) => {
+                            return Err(PrError::ArityMismatch {
+                                expected: prev,
+                                found: gk,
+                            })
+                        }
+                    }
+                }
+                // A composition with no inner functions is the 0-ary use of f.
+                Ok(k.unwrap_or(0))
+            }
+            PrTerm::PrimRec(g, h) => {
+                let gk = g.arity()?;
+                let hk = h.arity()?;
+                if hk != gk + 2 {
+                    return Err(PrError::ArityMismatch {
+                        expected: gk + 2,
+                        found: hk,
+                    });
+                }
+                Ok(gk + 1)
+            }
+        }
+    }
+
+    /// Structural size of the term (number of constructors).
+    pub fn size(&self) -> usize {
+        match self {
+            PrTerm::Zero(_) | PrTerm::Succ | PrTerm::Proj(..) => 1,
+            PrTerm::Compose(f, gs) => 1 + f.size() + gs.iter().map(PrTerm::size).sum::<usize>(),
+            PrTerm::PrimRec(g, h) => 1 + g.size() + h.size(),
+        }
+    }
+
+    /// Evaluates the term on `args` with a step budget (each constructor
+    /// application and each recursion step costs one unit).
+    pub fn eval(&self, args: &[BigNat], budget: u64) -> Result<BigNat, PrError> {
+        let mut fuel = budget;
+        self.eval_inner(args, &mut fuel)
+    }
+
+    /// Evaluates with the default budget of 10 million steps.
+    pub fn eval_default(&self, args: &[BigNat]) -> Result<BigNat, PrError> {
+        self.eval(args, 10_000_000)
+    }
+
+    /// Convenience: evaluate on machine-word arguments.
+    pub fn eval_u64(&self, args: &[u64]) -> Result<BigNat, PrError> {
+        let nats: Vec<BigNat> = args.iter().map(|&a| BigNat::from_u64(a)).collect();
+        self.eval_default(&nats)
+    }
+
+    fn eval_inner(&self, args: &[BigNat], fuel: &mut u64) -> Result<BigNat, PrError> {
+        if *fuel == 0 {
+            return Err(PrError::BudgetExceeded);
+        }
+        *fuel -= 1;
+        match self {
+            PrTerm::Zero(k) => {
+                if args.len() != *k {
+                    return Err(PrError::ArityMismatch {
+                        expected: *k,
+                        found: args.len(),
+                    });
+                }
+                Ok(BigNat::zero())
+            }
+            PrTerm::Succ => {
+                if args.len() != 1 {
+                    return Err(PrError::ArityMismatch {
+                        expected: 1,
+                        found: args.len(),
+                    });
+                }
+                Ok(args[0].succ())
+            }
+            PrTerm::Proj(k, i) => {
+                if args.len() != *k {
+                    return Err(PrError::ArityMismatch {
+                        expected: *k,
+                        found: args.len(),
+                    });
+                }
+                args.get(*i).cloned().ok_or(PrError::BadProjection {
+                    arity: *k,
+                    index: *i,
+                })
+            }
+            PrTerm::Compose(f, gs) => {
+                let mut inner = Vec::with_capacity(gs.len());
+                for g in gs {
+                    inner.push(g.eval_inner(args, fuel)?);
+                }
+                f.eval_inner(&inner, fuel)
+            }
+            PrTerm::PrimRec(g, h) => {
+                if args.is_empty() {
+                    return Err(PrError::ArityMismatch {
+                        expected: 1,
+                        found: 0,
+                    });
+                }
+                let s = &args[0];
+                let rest = &args[1..];
+                let mut acc = g.eval_inner(rest, fuel)?;
+                // f(s, ȳ) computed bottom-up: f(0), f(1), …, f(s).
+                let total = s.to_u64().ok_or(PrError::BudgetExceeded)?;
+                let mut h_args: Vec<BigNat> = Vec::with_capacity(rest.len() + 2);
+                for i in 0..total {
+                    if *fuel == 0 {
+                        return Err(PrError::BudgetExceeded);
+                    }
+                    *fuel -= 1;
+                    h_args.clear();
+                    h_args.push(BigNat::from_u64(i));
+                    h_args.extend(rest.iter().cloned());
+                    h_args.push(acc);
+                    acc = h.eval_inner(&h_args, fuel)?;
+                }
+                Ok(acc)
+            }
+        }
+    }
+}
+
+/// A library of standard primitive recursive functions, used as ground truth
+/// by the Theorem 5.2 experiments.
+pub mod library {
+    use super::*;
+
+    /// The unary identity.
+    pub fn identity() -> PrTerm {
+        PrTerm::Proj(1, 0)
+    }
+
+    /// The unary constant-`c` function, built from `Zero` and `Succ`.
+    pub fn constant(c: u64) -> PrTerm {
+        // succ(succ(… zero(x) …)) as a 1-ary function of a dummy argument.
+        let mut t = PrTerm::Zero(1);
+        for _ in 0..c {
+            t = PrTerm::Compose(Box::new(PrTerm::Succ), vec![t]);
+        }
+        t
+    }
+
+    /// Binary addition: `add(x, y) = x + y`, by recursion on the first
+    /// argument.
+    pub fn add() -> PrTerm {
+        // add(0, y) = y;  add(s+1, y) = succ(add(s, y)).
+        PrTerm::PrimRec(
+            Box::new(PrTerm::Proj(1, 0)),
+            Box::new(PrTerm::Compose(
+                Box::new(PrTerm::Succ),
+                vec![PrTerm::Proj(3, 2)],
+            )),
+        )
+    }
+
+    /// Binary multiplication by iterated addition.
+    pub fn mul() -> PrTerm {
+        // mul(0, y) = 0;  mul(s+1, y) = add(y, mul(s, y)).
+        PrTerm::PrimRec(
+            Box::new(PrTerm::Zero(1)),
+            Box::new(PrTerm::Compose(
+                Box::new(add()),
+                vec![PrTerm::Proj(3, 1), PrTerm::Proj(3, 2)],
+            )),
+        )
+    }
+
+    /// Exponentiation `exp(x, y) = y^x` by iterated multiplication (recursion
+    /// on the first argument, matching the paper's convention that recursion
+    /// is always on the first slot).
+    pub fn exp() -> PrTerm {
+        // exp(0, y) = 1;  exp(s+1, y) = mul(y, exp(s, y)).
+        PrTerm::PrimRec(
+            Box::new(PrTerm::Compose(
+                Box::new(PrTerm::Succ),
+                vec![PrTerm::Zero(1)],
+            )),
+            Box::new(PrTerm::Compose(
+                Box::new(mul()),
+                vec![PrTerm::Proj(3, 1), PrTerm::Proj(3, 2)],
+            )),
+        )
+    }
+
+    /// Predecessor (saturating at zero).
+    pub fn pred() -> PrTerm {
+        // pred(0) = 0; pred(s+1) = s.
+        // As a unary function: primrec over the single argument with a dummy
+        // parameter vector ȳ of length 0.
+        PrTerm::PrimRec(Box::new(PrTerm::Zero(0)), Box::new(PrTerm::Proj(2, 0)))
+    }
+
+    /// Truncated subtraction (monus): `monus(x, y) = max(x - y, 0)`,
+    /// by recursion on the *first* argument: monus(0,y) = y ∸ 0? No —
+    /// this recursion is on the subtrahend: `monus(s, y)` computes `y ∸ s`.
+    /// The exported convention is therefore `monus().eval([k, y]) = y ∸ k`.
+    pub fn monus() -> PrTerm {
+        // m(0, y) = y;  m(s+1, y) = pred(m(s, y)).
+        PrTerm::PrimRec(
+            Box::new(PrTerm::Proj(1, 0)),
+            Box::new(PrTerm::Compose(
+                Box::new(pred()),
+                vec![PrTerm::Proj(3, 2)],
+            )),
+        )
+    }
+
+    /// Sign: `sign(0) = 0`, `sign(x) = 1` for `x > 0`.
+    pub fn sign() -> PrTerm {
+        PrTerm::PrimRec(
+            Box::new(PrTerm::Zero(0)),
+            Box::new(PrTerm::Compose(
+                Box::new(PrTerm::Succ),
+                vec![PrTerm::Zero(2)],
+            )),
+        )
+    }
+
+    /// The paper's `Cond(b, i, j)`: `i` if `b ≥ 1`, else `j`
+    /// (Fact 5.4). Implemented as `cond(b, i, j) = sign(b)·i + (1∸sign(b))·j`.
+    pub fn cond() -> PrTerm {
+        let sign_b = PrTerm::Compose(Box::new(sign()), vec![PrTerm::Proj(3, 0)]);
+        let not_sign_b = PrTerm::Compose(
+            Box::new(monus()),
+            vec![
+                sign_b.clone(),
+                PrTerm::Compose(Box::new(constant(1)), vec![PrTerm::Proj(3, 0)]),
+            ],
+        );
+        PrTerm::Compose(
+            Box::new(add()),
+            vec![
+                PrTerm::Compose(Box::new(mul()), vec![sign_b, PrTerm::Proj(3, 1)]),
+                PrTerm::Compose(Box::new(mul()), vec![not_sign_b, PrTerm::Proj(3, 2)]),
+            ],
+        )
+    }
+
+    /// Factorial, a convenient "grows fast but stays PR" example.
+    pub fn factorial() -> PrTerm {
+        // fact(0) = 1; fact(s+1) = mul(s+1, fact(s)).
+        PrTerm::PrimRec(
+            Box::new(PrTerm::Compose(
+                Box::new(PrTerm::Succ),
+                vec![PrTerm::Zero(0)],
+            )),
+            Box::new(PrTerm::Compose(
+                Box::new(mul()),
+                vec![
+                    PrTerm::Compose(Box::new(PrTerm::Succ), vec![PrTerm::Proj(2, 0)]),
+                    PrTerm::Proj(2, 1),
+                ],
+            )),
+        )
+    }
+}
+
+/// Native (non-term) implementations of the paper's Fact 5.4 helpers, used by
+/// the Gödel-coding module and as test oracles: `Bit`, `Div`, `Mod`, `Log`,
+/// `Rlog`, `Cond`.
+pub mod fact_5_4 {
+    use srl_core::bignat::BigNat;
+
+    /// `Bit(n, i)`: the i-th bit of n.
+    pub fn bit(n: &BigNat, i: usize) -> bool {
+        n.bit(i)
+    }
+
+    /// `Div(n, j) = ⌊n / 2^j⌋`.
+    pub fn div(n: &BigNat, j: usize) -> BigNat {
+        n.shr(j)
+    }
+
+    /// `Mod(n, j) = n mod 2^j`.
+    pub fn modulo(n: &BigNat, j: usize) -> BigNat {
+        n.mod_pow2(j)
+    }
+
+    /// `Log(n)`: largest k with Bit(n, k) = 1 (0 for n = 0, by convention).
+    pub fn log(n: &BigNat) -> usize {
+        n.highest_set_bit().unwrap_or(0)
+    }
+
+    /// `Rlog(n)`: smallest k with Bit(n, k) = 1 (0 for n = 0, by convention).
+    pub fn rlog(n: &BigNat) -> usize {
+        n.lowest_set_bit().unwrap_or(0)
+    }
+
+    /// `Cond(b, i, j)`: `i` if b, else `j`.
+    pub fn cond(b: bool, i: BigNat, j: BigNat) -> BigNat {
+        if b {
+            i
+        } else {
+            j
+        }
+    }
+
+    /// `Exp(n, i) = n^i`.
+    pub fn exp(n: &BigNat, i: u64) -> BigNat {
+        n.pow(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::library::*;
+    use super::*;
+
+    fn n(v: u64) -> BigNat {
+        BigNat::from_u64(v)
+    }
+
+    #[test]
+    fn arities() {
+        assert_eq!(PrTerm::Succ.arity(), Ok(1));
+        assert_eq!(PrTerm::Zero(3).arity(), Ok(3));
+        assert_eq!(PrTerm::Proj(2, 1).arity(), Ok(2));
+        assert!(PrTerm::Proj(2, 2).arity().is_err());
+        assert_eq!(add().arity(), Ok(2));
+        assert_eq!(mul().arity(), Ok(2));
+        assert_eq!(exp().arity(), Ok(2));
+        assert_eq!(pred().arity(), Ok(1));
+        assert_eq!(monus().arity(), Ok(2));
+        assert_eq!(factorial().arity(), Ok(1));
+        assert_eq!(cond().arity(), Ok(3));
+    }
+
+    #[test]
+    fn ill_formed_composition_rejected() {
+        // add is binary but only one inner function is supplied.
+        let bad = PrTerm::Compose(Box::new(add()), vec![PrTerm::Proj(1, 0)]);
+        assert!(bad.arity().is_err());
+        // Mixed inner arities.
+        let bad = PrTerm::Compose(
+            Box::new(add()),
+            vec![PrTerm::Proj(1, 0), PrTerm::Proj(2, 0)],
+        );
+        assert!(bad.arity().is_err());
+        // PrimRec with wrong step arity.
+        let bad = PrTerm::PrimRec(Box::new(PrTerm::Zero(1)), Box::new(PrTerm::Zero(1)));
+        assert!(bad.arity().is_err());
+    }
+
+    #[test]
+    fn initial_functions() {
+        assert_eq!(PrTerm::Succ.eval_u64(&[4]), Ok(n(5)));
+        assert_eq!(PrTerm::Zero(2).eval_u64(&[4, 7]), Ok(n(0)));
+        assert_eq!(PrTerm::Proj(3, 1).eval_u64(&[4, 7, 9]), Ok(n(7)));
+        assert_eq!(constant(5).eval_u64(&[99]), Ok(n(5)));
+        assert_eq!(identity().eval_u64(&[42]), Ok(n(42)));
+    }
+
+    #[test]
+    fn arity_mismatch_at_eval() {
+        assert!(PrTerm::Succ.eval_u64(&[1, 2]).is_err());
+        assert!(PrTerm::Zero(2).eval_u64(&[1]).is_err());
+    }
+
+    #[test]
+    fn addition_matches_native() {
+        let f = add();
+        for (a, b) in [(0u64, 0u64), (0, 5), (5, 0), (3, 4), (17, 25)] {
+            assert_eq!(f.eval_u64(&[a, b]), Ok(n(a + b)), "{a} + {b}");
+        }
+    }
+
+    #[test]
+    fn multiplication_matches_native() {
+        let f = mul();
+        for (a, b) in [(0u64, 0u64), (0, 5), (5, 0), (3, 4), (7, 8), (12, 12)] {
+            assert_eq!(f.eval_u64(&[a, b]), Ok(n(a * b)), "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn exponentiation_matches_native() {
+        let f = exp();
+        // exp(x, y) = y^x.
+        for (x, y) in [(0u64, 3u64), (1, 3), (4, 2), (5, 3), (3, 10)] {
+            assert_eq!(f.eval_u64(&[x, y]), Ok(n(y.pow(x as u32))), "{y}^{x}");
+        }
+    }
+
+    #[test]
+    fn pred_and_monus() {
+        assert_eq!(pred().eval_u64(&[0]), Ok(n(0)));
+        assert_eq!(pred().eval_u64(&[7]), Ok(n(6)));
+        // monus(k, y) = y ∸ k.
+        assert_eq!(monus().eval_u64(&[3, 10]), Ok(n(7)));
+        assert_eq!(monus().eval_u64(&[10, 3]), Ok(n(0)));
+        assert_eq!(monus().eval_u64(&[0, 5]), Ok(n(5)));
+    }
+
+    #[test]
+    fn sign_and_cond() {
+        assert_eq!(sign().eval_u64(&[0]), Ok(n(0)));
+        assert_eq!(sign().eval_u64(&[9]), Ok(n(1)));
+        assert_eq!(cond().eval_u64(&[1, 10, 20]), Ok(n(10)));
+        assert_eq!(cond().eval_u64(&[0, 10, 20]), Ok(n(20)));
+        assert_eq!(cond().eval_u64(&[7, 10, 20]), Ok(n(10)));
+    }
+
+    #[test]
+    fn factorial_values() {
+        let f = factorial();
+        assert_eq!(f.eval_u64(&[0]), Ok(n(1)));
+        assert_eq!(f.eval_u64(&[1]), Ok(n(1)));
+        assert_eq!(f.eval_u64(&[5]), Ok(n(120)));
+        assert_eq!(f.eval_u64(&[7]), Ok(n(5040)));
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let f = mul();
+        assert_eq!(
+            f.eval(&[n(1000), n(1000)], 10),
+            Err(PrError::BudgetExceeded)
+        );
+    }
+
+    #[test]
+    fn term_size() {
+        assert_eq!(PrTerm::Succ.size(), 1);
+        assert!(add().size() >= 3);
+        assert!(exp().size() > mul().size());
+    }
+
+    #[test]
+    fn fact_5_4_helpers() {
+        use super::fact_5_4::*;
+        let x = n(0b1011000);
+        assert!(bit(&x, 3));
+        assert!(!bit(&x, 0));
+        assert_eq!(div(&x, 3), n(0b1011));
+        assert_eq!(modulo(&x, 4), n(0b1000));
+        assert_eq!(log(&x), 6);
+        assert_eq!(rlog(&x), 3);
+        assert_eq!(log(&n(0)), 0);
+        assert_eq!(rlog(&n(0)), 0);
+        assert_eq!(cond(true, n(1), n(2)), n(1));
+        assert_eq!(cond(false, n(1), n(2)), n(2));
+        assert_eq!(exp(&n(2), 10), n(1024));
+    }
+
+    #[test]
+    fn display_errors() {
+        assert!(PrError::BudgetExceeded.to_string().contains("budget"));
+        assert!(PrError::ArityMismatch {
+            expected: 2,
+            found: 3
+        }
+        .to_string()
+        .contains("arity"));
+    }
+}

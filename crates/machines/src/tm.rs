@@ -1,0 +1,566 @@
+//! Deterministic Turing machines.
+//!
+//! Proposition 6.2 of the paper simulates a DTIME(n) Turing machine by an SRL
+//! expression of width 2 and depth 3 (and Corollary 6.3 generalises to
+//! DTIME(nᵏ)). To reproduce that experiment we need an actual machine model
+//! to compile from and to compare against: this module provides a
+//! single-work-tape deterministic Turing machine with a read-only input tape,
+//! a step-bounded runner, and a library of small machines (parity, palindrome
+//! recognition over a unary-ish alphabet, copy) used by the tests and the E7
+//! benchmark.
+//!
+//! The machine model deliberately mirrors the shape used in the paper's
+//! simulation: one read-only input tape of length `n` and one work tape of
+//! length `n` (for DTIME(n); the harness allocates `n^k` cells for DTIME(nᵏ)),
+//! both with integer head positions, and a transition function keyed on
+//! (state, input symbol under head 1, work symbol under head 2).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A tape symbol. `0` is reserved for the blank.
+pub type Symbol = u8;
+
+/// The blank symbol.
+pub const BLANK: Symbol = 0;
+
+/// A machine state, identified by index.
+pub type State = u32;
+
+/// A head movement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Move {
+    /// Move one cell to the left (clamped at the left end).
+    Left,
+    /// Stay in place.
+    Stay,
+    /// Move one cell to the right (clamped at the right end).
+    Right,
+}
+
+impl Move {
+    /// Applies the move to a head position on a tape of length `len`.
+    /// Positions range over `0 ..= len`: position `len` is the "one past the
+    /// end" cell, which always reads as blank and ignores writes — this is
+    /// how a scan detects the end of its input.
+    pub fn apply(self, pos: usize, len: usize) -> usize {
+        match self {
+            Move::Left => pos.saturating_sub(1),
+            Move::Stay => pos,
+            Move::Right => (pos + 1).min(len),
+        }
+    }
+}
+
+/// The action taken by one transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Action {
+    /// Next state.
+    pub next_state: State,
+    /// Symbol written to the work tape under the work head.
+    pub write: Symbol,
+    /// Movement of the input head.
+    pub input_move: Move,
+    /// Movement of the work head.
+    pub work_move: Move,
+}
+
+/// A deterministic Turing machine with a read-only input tape and one work
+/// tape.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TuringMachine {
+    /// Human-readable name.
+    pub name: String,
+    /// Number of states; states are `0 .. num_states`.
+    pub num_states: State,
+    /// Start state.
+    pub start_state: State,
+    /// Accepting states.
+    pub accept_states: Vec<State>,
+    /// Rejecting states (halting, non-accepting). A machine also halts when
+    /// no transition applies.
+    pub reject_states: Vec<State>,
+    /// Transition function keyed by (state, input symbol, work symbol).
+    pub transitions: BTreeMap<(State, Symbol, Symbol), Action>,
+}
+
+/// The full configuration of a running machine.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Configuration {
+    /// Current state.
+    pub state: State,
+    /// Input tape (never modified).
+    pub input: Vec<Symbol>,
+    /// Work tape contents.
+    pub work: Vec<Symbol>,
+    /// Input head position.
+    pub input_head: usize,
+    /// Work head position.
+    pub work_head: usize,
+    /// Number of steps taken so far.
+    pub steps: u64,
+}
+
+/// Why a run stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Halt {
+    /// Stopped in an accepting state.
+    Accept,
+    /// Stopped in a rejecting state, or no transition applied.
+    Reject,
+    /// The step budget ran out before the machine halted.
+    OutOfTime,
+}
+
+/// The result of running a machine.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// How the run ended.
+    pub halt: Halt,
+    /// The final configuration.
+    pub final_config: Configuration,
+    /// Every intermediate configuration if tracing was requested
+    /// (configuration 0 is the initial one).
+    pub trace: Option<Vec<Configuration>>,
+}
+
+impl TuringMachine {
+    /// Creates an empty machine with the given number of states.
+    pub fn new(name: impl Into<String>, num_states: State, start_state: State) -> Self {
+        TuringMachine {
+            name: name.into(),
+            num_states,
+            start_state,
+            accept_states: Vec::new(),
+            reject_states: Vec::new(),
+            transitions: BTreeMap::new(),
+        }
+    }
+
+    /// Marks states as accepting.
+    pub fn with_accept(mut self, states: impl IntoIterator<Item = State>) -> Self {
+        self.accept_states.extend(states);
+        self
+    }
+
+    /// Marks states as rejecting.
+    pub fn with_reject(mut self, states: impl IntoIterator<Item = State>) -> Self {
+        self.reject_states.extend(states);
+        self
+    }
+
+    /// Adds a transition.
+    pub fn with_transition(
+        mut self,
+        state: State,
+        input_sym: Symbol,
+        work_sym: Symbol,
+        action: Action,
+    ) -> Self {
+        self.transitions
+            .insert((state, input_sym, work_sym), action);
+        self
+    }
+
+    /// True iff `state` is accepting.
+    pub fn is_accepting(&self, state: State) -> bool {
+        self.accept_states.contains(&state)
+    }
+
+    /// True iff `state` is rejecting.
+    pub fn is_rejecting(&self, state: State) -> bool {
+        self.reject_states.contains(&state)
+    }
+
+    /// The largest symbol mentioned anywhere (used to size alphabets when the
+    /// machine is compiled to SRL).
+    pub fn max_symbol(&self) -> Symbol {
+        self.transitions
+            .iter()
+            .flat_map(|((_, i, w), a)| [*i, *w, a.write])
+            .max()
+            .unwrap_or(BLANK)
+    }
+
+    /// Builds the initial configuration for `input`, with a work tape of
+    /// `work_len` blank cells (at least 1).
+    pub fn initial_configuration(&self, input: &[Symbol], work_len: usize) -> Configuration {
+        Configuration {
+            state: self.start_state,
+            input: input.to_vec(),
+            work: vec![BLANK; work_len.max(1)],
+            input_head: 0,
+            work_head: 0,
+            steps: 0,
+        }
+    }
+
+    /// Performs one step. Returns `None` if no transition applies.
+    pub fn step(&self, config: &Configuration) -> Option<Configuration> {
+        let input_sym = config
+            .input
+            .get(config.input_head)
+            .copied()
+            .unwrap_or(BLANK);
+        let work_sym = config.work.get(config.work_head).copied().unwrap_or(BLANK);
+        let action = self
+            .transitions
+            .get(&(config.state, input_sym, work_sym))?;
+        let mut next = config.clone();
+        next.state = action.next_state;
+        if let Some(cell) = next.work.get_mut(config.work_head) {
+            *cell = action.write;
+        }
+        next.input_head = action.input_move.apply(config.input_head, config.input.len());
+        next.work_head = action.work_move.apply(config.work_head, config.work.len());
+        next.steps += 1;
+        Some(next)
+    }
+
+    /// Runs the machine for at most `max_steps` steps on `input`, with a work
+    /// tape the same length as the input (the DTIME(n) setting of
+    /// Proposition 6.2). Set `trace` to collect every configuration.
+    pub fn run(&self, input: &[Symbol], max_steps: u64, trace: bool) -> RunResult {
+        self.run_with_work_tape(input, input.len().max(1), max_steps, trace)
+    }
+
+    /// Runs the machine with an explicit work-tape length.
+    pub fn run_with_work_tape(
+        &self,
+        input: &[Symbol],
+        work_len: usize,
+        max_steps: u64,
+        trace: bool,
+    ) -> RunResult {
+        let mut config = self.initial_configuration(input, work_len);
+        let mut history = if trace { vec![config.clone()] } else { Vec::new() };
+        loop {
+            if self.is_accepting(config.state) {
+                return RunResult {
+                    halt: Halt::Accept,
+                    final_config: config,
+                    trace: trace.then_some(history),
+                };
+            }
+            if self.is_rejecting(config.state) {
+                return RunResult {
+                    halt: Halt::Reject,
+                    final_config: config,
+                    trace: trace.then_some(history),
+                };
+            }
+            if config.steps >= max_steps {
+                return RunResult {
+                    halt: Halt::OutOfTime,
+                    final_config: config,
+                    trace: trace.then_some(history),
+                };
+            }
+            match self.step(&config) {
+                Some(next) => {
+                    if trace {
+                        history.push(next.clone());
+                    }
+                    config = next;
+                }
+                None => {
+                    return RunResult {
+                        halt: Halt::Reject,
+                        final_config: config,
+                        trace: trace.then_some(history),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Convenience: does the machine accept `input` within `max_steps` steps?
+    pub fn accepts(&self, input: &[Symbol], max_steps: u64) -> bool {
+        self.run(input, max_steps, false).halt == Halt::Accept
+    }
+}
+
+impl fmt::Display for TuringMachine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TM `{}` ({} states, {} transitions)",
+            self.name,
+            self.num_states,
+            self.transitions.len()
+        )
+    }
+}
+
+/// Library of small machines used by tests, examples and the E7 benchmark.
+pub mod library {
+    use super::*;
+
+    /// Symbols used by the library machines: 1 and 2 encode the binary
+    /// alphabet {a, b}; 0 is the blank.
+    pub const SYM_A: Symbol = 1;
+    /// Second alphabet symbol.
+    pub const SYM_B: Symbol = 2;
+
+    /// A machine that accepts inputs containing an even number of `SYM_A`
+    /// symbols. Runs in exactly `n` steps plus one: a single left-to-right
+    /// scan — a canonical DTIME(n) machine.
+    ///
+    /// States: 0 = even seen so far, 1 = odd seen so far, 2 = accept,
+    /// 3 = reject.
+    pub fn even_parity() -> TuringMachine {
+        let mut m = TuringMachine::new("even-parity", 4, 0)
+            .with_accept([2])
+            .with_reject([3]);
+        for work in [BLANK, SYM_A, SYM_B] {
+            // In state 0/1 reading A flips parity; reading B keeps it; reading
+            // blank (end of input) halts.
+            m = m
+                .with_transition(0, SYM_A, work, Action {
+                    next_state: 1,
+                    write: work,
+                    input_move: Move::Right,
+                    work_move: Move::Stay,
+                })
+                .with_transition(0, SYM_B, work, Action {
+                    next_state: 0,
+                    write: work,
+                    input_move: Move::Right,
+                    work_move: Move::Stay,
+                })
+                .with_transition(0, BLANK, work, Action {
+                    next_state: 2,
+                    write: work,
+                    input_move: Move::Stay,
+                    work_move: Move::Stay,
+                })
+                .with_transition(1, SYM_A, work, Action {
+                    next_state: 0,
+                    write: work,
+                    input_move: Move::Right,
+                    work_move: Move::Stay,
+                })
+                .with_transition(1, SYM_B, work, Action {
+                    next_state: 1,
+                    write: work,
+                    input_move: Move::Right,
+                    work_move: Move::Stay,
+                })
+                .with_transition(1, BLANK, work, Action {
+                    next_state: 3,
+                    write: work,
+                    input_move: Move::Stay,
+                    work_move: Move::Stay,
+                });
+        }
+        m
+    }
+
+    /// A machine that copies its input onto the work tape and then accepts.
+    /// Takes exactly `n + 1` steps; used to check that work-tape contents are
+    /// simulated correctly.
+    ///
+    /// States: 0 = copying, 1 = accept.
+    pub fn copy_input() -> TuringMachine {
+        let mut m = TuringMachine::new("copy-input", 2, 0).with_accept([1]);
+        for sym in [SYM_A, SYM_B] {
+            m = m.with_transition(0, sym, BLANK, Action {
+                next_state: 0,
+                write: sym,
+                input_move: Move::Right,
+                work_move: Move::Right,
+            });
+        }
+        m = m.with_transition(0, BLANK, BLANK, Action {
+            next_state: 1,
+            write: BLANK,
+            input_move: Move::Stay,
+            work_move: Move::Stay,
+        });
+        m
+    }
+
+    /// A machine that accepts iff the input's last symbol is `SYM_A`
+    /// (and rejects the empty input). A single left-to-right scan that
+    /// remembers the last symbol seen in its state — another DTIME(n)
+    /// workload with a different acceptance pattern from `even_parity`.
+    ///
+    /// States: 0 = nothing seen / last was b, 1 = last was a, 2 = accept,
+    /// 3 = reject.
+    pub fn ends_with_a() -> TuringMachine {
+        let mut m = TuringMachine::new("ends-with-a", 4, 0)
+            .with_accept([2])
+            .with_reject([3]);
+        for work in [BLANK, SYM_A, SYM_B] {
+            m = m
+                .with_transition(0, SYM_A, work, Action {
+                    next_state: 1,
+                    write: work,
+                    input_move: Move::Right,
+                    work_move: Move::Stay,
+                })
+                .with_transition(0, SYM_B, work, Action {
+                    next_state: 0,
+                    write: work,
+                    input_move: Move::Right,
+                    work_move: Move::Stay,
+                })
+                .with_transition(0, BLANK, work, Action {
+                    next_state: 3,
+                    write: work,
+                    input_move: Move::Stay,
+                    work_move: Move::Stay,
+                })
+                .with_transition(1, SYM_A, work, Action {
+                    next_state: 1,
+                    write: work,
+                    input_move: Move::Right,
+                    work_move: Move::Stay,
+                })
+                .with_transition(1, SYM_B, work, Action {
+                    next_state: 0,
+                    write: work,
+                    input_move: Move::Right,
+                    work_move: Move::Stay,
+                })
+                .with_transition(1, BLANK, work, Action {
+                    next_state: 2,
+                    write: work,
+                    input_move: Move::Stay,
+                    work_move: Move::Stay,
+                });
+        }
+        m
+    }
+
+    /// Native recognizer for the language `aⁿbⁿ`, used as a baseline by
+    /// examples; the classical single-tape machine for it runs in O(n²),
+    /// which is the growth rate the Corollary 6.3 benchmark reproduces by
+    /// giving linear machines an `n^k` step allowance.
+    pub fn equal_blocks_accepts(input: &[Symbol]) -> bool {
+        let n = input.len();
+        if n % 2 != 0 {
+            return false;
+        }
+        let half = n / 2;
+        input[..half].iter().all(|&s| s == SYM_A) && input[half..].iter().all(|&s| s == SYM_B)
+    }
+
+    /// Encodes a boolean word over {a, b} as machine symbols.
+    pub fn encode_word(word: &str) -> Vec<Symbol> {
+        word.chars()
+            .map(|c| if c == 'a' { SYM_A } else { SYM_B })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::library::*;
+    use super::*;
+
+    #[test]
+    fn moves_clamp_at_tape_ends() {
+        assert_eq!(Move::Left.apply(0, 10), 0);
+        assert_eq!(Move::Left.apply(5, 10), 4);
+        // The right move may step one past the end (the always-blank cell)…
+        assert_eq!(Move::Right.apply(9, 10), 10);
+        // …but no further.
+        assert_eq!(Move::Right.apply(10, 10), 10);
+        assert_eq!(Move::Right.apply(5, 10), 6);
+        assert_eq!(Move::Stay.apply(5, 10), 5);
+    }
+
+    #[test]
+    fn even_parity_accepts_even_number_of_a() {
+        let m = even_parity();
+        assert!(m.accepts(&encode_word(""), 100));
+        assert!(m.accepts(&encode_word("aa"), 100));
+        assert!(m.accepts(&encode_word("abab"), 100));
+        assert!(m.accepts(&encode_word("bbbb"), 100));
+        assert!(m.accepts(&encode_word("aab"), 100));
+        assert!(!m.accepts(&encode_word("a"), 100));
+        assert!(!m.accepts(&encode_word("ab"), 100));
+        assert!(!m.accepts(&encode_word("baaab"), 100));
+    }
+
+    #[test]
+    fn even_parity_runs_in_linear_time() {
+        let m = even_parity();
+        for n in [1usize, 4, 16, 64] {
+            let input = vec![SYM_A; n];
+            let r = m.run(&input, 10_000, false);
+            assert!(r.final_config.steps as usize <= n + 1, "steps {} for n {}", r.final_config.steps, n);
+        }
+    }
+
+    #[test]
+    fn copy_input_copies() {
+        let m = copy_input();
+        let input = encode_word("abba");
+        let r = m.run(&input, 100, false);
+        assert_eq!(r.halt, Halt::Accept);
+        assert_eq!(&r.final_config.work[..4], &input[..]);
+    }
+
+    #[test]
+    fn copy_input_trace_has_step_per_symbol() {
+        let m = copy_input();
+        let input = encode_word("ab");
+        let r = m.run(&input, 100, true);
+        let trace = r.trace.unwrap();
+        assert_eq!(trace.len() as u64, r.final_config.steps + 1);
+        assert_eq!(trace[0].state, 0);
+        assert_eq!(trace[0].steps, 0);
+    }
+
+    #[test]
+    fn out_of_time_reported() {
+        let m = even_parity();
+        let input = vec![SYM_A; 100];
+        let r = m.run(&input, 5, false);
+        assert_eq!(r.halt, Halt::OutOfTime);
+    }
+
+    #[test]
+    fn missing_transition_rejects() {
+        let m = TuringMachine::new("stuck", 1, 0);
+        let r = m.run(&[SYM_A], 10, false);
+        assert_eq!(r.halt, Halt::Reject);
+    }
+
+    #[test]
+    fn equal_blocks_baseline() {
+        assert!(equal_blocks_accepts(&encode_word("ab")));
+        assert!(equal_blocks_accepts(&encode_word("aabb")));
+        assert!(equal_blocks_accepts(&encode_word("")));
+        assert!(!equal_blocks_accepts(&encode_word("ba")));
+        assert!(!equal_blocks_accepts(&encode_word("aab")));
+        assert!(!equal_blocks_accepts(&encode_word("abab")));
+    }
+
+    #[test]
+    fn max_symbol_reflects_transitions() {
+        assert!(even_parity().max_symbol() >= SYM_B);
+        assert_eq!(TuringMachine::new("empty", 1, 0).max_symbol(), BLANK);
+    }
+
+    #[test]
+    fn display_formatting() {
+        let m = even_parity();
+        let s = m.to_string();
+        assert!(s.contains("even-parity"));
+        assert!(s.contains("states"));
+    }
+
+    #[test]
+    fn is_accepting_and_rejecting() {
+        let m = even_parity();
+        assert!(m.is_accepting(2));
+        assert!(m.is_rejecting(3));
+        assert!(!m.is_accepting(0));
+        assert!(!m.is_rejecting(0));
+    }
+}

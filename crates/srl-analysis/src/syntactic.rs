@@ -1,0 +1,525 @@
+//! Reading complexity off the syntax (Section 6).
+//!
+//! "Given a program in set-reduce language, … a scan of its syntax allows us
+//! to make certain conclusions regarding its complexity":
+//!
+//! * sets of set-height greater than 1 ⇒ possibly exponential;
+//! * set-height at most 1 ⇒ polynomial in the input size (Theorem 3.10);
+//! * additionally, accumulators that never return a set ⇒ logspace
+//!   (Theorem 4.13);
+//! * the `new` operator / lists / `set of ℕ` ⇒ all the way up to primitive
+//!   recursive (Section 5);
+//! * and quantitatively, an expression of width `a` and depth `d` runs in
+//!   `DTIME(n^{a·d} · T_ins)` (Proposition 6.1).
+//!
+//! [`analyze_expr`] / [`analyze_program`] compute the measures;
+//! [`classify`] maps them onto the paper's fragments and complexity classes.
+
+use std::fmt;
+
+use srl_core::ast::Expr;
+use srl_core::program::Program;
+
+/// The syntactic measures of an expression or program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Measures {
+    /// The paper's `depth` (Lemma 3.9): nesting depth of `set-reduce` /
+    /// `list-reduce`, with calls expanded.
+    pub depth: usize,
+    /// The paper's width `a`: the maximum tuple arity constructed anywhere in
+    /// the expression (at least 1).
+    pub width: usize,
+    /// Maximum *syntactic* set-construction height: how deeply `insert` /
+    /// `emptyset` results are themselves inserted into sets. This
+    /// under-approximates the type-level set-height for programs whose inputs
+    /// are already nested, so the classifier also accepts declared input
+    /// heights.
+    pub construction_set_height: usize,
+    /// Does the expression use the `new` operator?
+    pub uses_new: bool,
+    /// Does it use lists (`cons`, `list-reduce`, …)?
+    pub uses_lists: bool,
+    /// Does it use natural-number operators?
+    pub uses_nat: bool,
+    /// Does it use natural-number multiplication inside an accumulator
+    /// (the combination Section 3 singles out as unsafe for P)?
+    pub nat_mul_in_accumulator: bool,
+    /// Does any accumulator (`acc` of a reduce) syntactically construct a
+    /// set (via `insert` / `emptyset` at its result position or anywhere in
+    /// its body)?
+    pub set_valued_accumulator: bool,
+    /// Total number of AST nodes.
+    pub nodes: usize,
+}
+
+/// The paper's fragments, ordered by expressive power.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Fragment {
+    /// Accumulators are bounded tuples: BASRL, captures L (Theorem 4.13).
+    Basrl,
+    /// Set-height ≤ 1: SRL, captures P (Theorem 3.10).
+    Srl,
+    /// Set-height ≥ 2 but no invented values/lists: unrestricted SRL
+    /// (elementary but super-polynomial; Corollary 6.4's hierarchy).
+    UnrestrictedSrl,
+    /// Uses `new`, lists, or `set of ℕ`: primitive recursive power
+    /// (Theorem 5.2, Corollary 5.5).
+    PrimitiveRecursive,
+}
+
+impl fmt::Display for Fragment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Fragment::Basrl => "BASRL (⊆ LOGSPACE)",
+            Fragment::Srl => "SRL (⊆ P)",
+            Fragment::UnrestrictedSrl => "unrestricted SRL (⊆ DTIME(2_h#n))",
+            Fragment::PrimitiveRecursive => "SRL+new / LRL (⊆ PrimRec)",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// A complexity verdict derived from the syntax.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Classification {
+    /// The smallest fragment the measures allow.
+    pub fragment: Fragment,
+    /// Proposition 6.1's exponent: evaluation time is `O(n^{a·d} · T_ins)`
+    /// (only meaningful for the SRL/BASRL fragments).
+    pub time_exponent: usize,
+    /// Human-readable explanation.
+    pub explanation: String,
+}
+
+/// Analyses a stand-alone expression (call-free or with calls resolved in
+/// `program`).
+pub fn analyze_expr(program: &Program, expr: &Expr) -> Measures {
+    let mut m = Measures {
+        depth: expanded_depth(program, expr, 0),
+        width: max_tuple_width(program, expr),
+        construction_set_height: construction_height(program, expr),
+        uses_new: false,
+        uses_lists: false,
+        uses_nat: false,
+        nat_mul_in_accumulator: false,
+        set_valued_accumulator: false,
+        nodes: expr.node_count(),
+    };
+    scan_flags(program, expr, &mut m, false);
+    m
+}
+
+/// Analyses every definition of a program and takes the worst case.
+pub fn analyze_program(program: &Program) -> Measures {
+    let mut worst: Option<Measures> = None;
+    for def in &program.defs {
+        let m = analyze_expr(program, &def.body);
+        worst = Some(match worst {
+            None => m,
+            Some(w) => Measures {
+                depth: w.depth.max(m.depth),
+                width: w.width.max(m.width),
+                construction_set_height: w.construction_set_height.max(m.construction_set_height),
+                uses_new: w.uses_new || m.uses_new,
+                uses_lists: w.uses_lists || m.uses_lists,
+                uses_nat: w.uses_nat || m.uses_nat,
+                nat_mul_in_accumulator: w.nat_mul_in_accumulator || m.nat_mul_in_accumulator,
+                set_valued_accumulator: w.set_valued_accumulator || m.set_valued_accumulator,
+                nodes: w.nodes + m.nodes,
+            },
+        });
+    }
+    worst.unwrap_or(Measures {
+        depth: 0,
+        width: 1,
+        construction_set_height: 0,
+        uses_new: false,
+        uses_lists: false,
+        uses_nat: false,
+        nat_mul_in_accumulator: false,
+        set_valued_accumulator: false,
+        nodes: 0,
+    })
+}
+
+/// Classifies measures (optionally taking into account the declared
+/// set-height of the inputs, which the purely syntactic scan cannot see).
+pub fn classify(measures: &Measures, input_set_height: usize) -> Classification {
+    let effective_height = measures.construction_set_height.max(input_set_height);
+    let fragment = if measures.uses_new
+        || measures.uses_lists
+        || (measures.uses_nat && effective_height >= 1 && measures.nat_mul_in_accumulator)
+    {
+        Fragment::PrimitiveRecursive
+    } else if effective_height > 1 {
+        Fragment::UnrestrictedSrl
+    } else if !measures.set_valued_accumulator {
+        Fragment::Basrl
+    } else {
+        Fragment::Srl
+    };
+    let time_exponent = measures.width * measures.depth;
+    let explanation = match fragment {
+        Fragment::Basrl => format!(
+            "accumulators never build sets and set-height ≤ 1: BASRL, so the query is in LOGSPACE (Theorem 4.13); Proposition 6.1 additionally bounds time by O(n^{time_exponent}·T_ins)"
+        ),
+        Fragment::Srl => format!(
+            "set-height ≤ 1 with width {} and depth {}: SRL, so the query is in P with time O(n^{time_exponent}·T_ins) (Theorem 3.10, Proposition 6.1)",
+            measures.width, measures.depth
+        ),
+        Fragment::UnrestrictedSrl => format!(
+            "set-height {} exceeds 1: outside P in general; Corollary 6.4 places set-height h in DTIME(2_h#n)",
+            effective_height
+        ),
+        Fragment::PrimitiveRecursive => "uses invented values, lists, or unbounded arithmetic in accumulators: the full primitive recursive power of Section 5".to_string(),
+    };
+    Classification {
+        fragment,
+        time_exponent,
+        explanation,
+    }
+}
+
+/// One-call convenience: analyse and classify a whole program.
+pub fn classify_program(program: &Program, input_set_height: usize) -> Classification {
+    classify(&analyze_program(program), input_set_height)
+}
+
+fn resolve<'p>(program: &'p Program, name: &str) -> Option<&'p Expr> {
+    program.lookup(name).map(|d| &d.body)
+}
+
+/// Reduce-depth with `Call`s expanded (bounded by the program being
+/// non-recursive, which `Program::validate` guarantees).
+fn expanded_depth(program: &Program, expr: &Expr, fuel: usize) -> usize {
+    if fuel > 64 {
+        return 0;
+    }
+    let child_max = expr
+        .children()
+        .iter()
+        .map(|c| expanded_depth(program, c, fuel))
+        .chain(
+            expr.lambdas()
+                .iter()
+                .map(|l| expanded_depth(program, &l.body, fuel)),
+        )
+        .max()
+        .unwrap_or(0);
+    match expr {
+        Expr::SetReduce { .. } | Expr::ListReduce { .. } => 1 + child_max,
+        Expr::Call(name, _) => {
+            let callee = resolve(program, name)
+                .map(|b| expanded_depth(program, b, fuel + 1))
+                .unwrap_or(0);
+            child_max.max(callee)
+        }
+        _ => child_max,
+    }
+}
+
+fn max_tuple_width(program: &Program, expr: &Expr) -> usize {
+    let mut width = 1;
+    let mut stack = vec![expr];
+    let mut visited_defs: Vec<&str> = Vec::new();
+    while let Some(e) = stack.pop() {
+        if let Expr::Tuple(items) = e {
+            width = width.max(items.len());
+        }
+        if let Expr::Call(name, _) = e {
+            if !visited_defs.contains(&name.as_str()) {
+                visited_defs.push(name);
+                if let Some(body) = resolve(program, name) {
+                    stack.push(body);
+                }
+            }
+        }
+        stack.extend(e.children());
+        for l in e.lambdas() {
+            stack.push(&l.body);
+        }
+    }
+    width
+}
+
+/// How deeply set constructions nest: `insert(x, s)` where `x` itself
+/// constructs a set counts as height 2, etc.
+fn construction_height(program: &Program, expr: &Expr) -> usize {
+    fn height(program: &Program, e: &Expr, seen: &mut Vec<String>) -> usize {
+        match e {
+            Expr::EmptySet => 1,
+            Expr::Insert(elem, set) => {
+                let elem_h = height(program, elem, seen);
+                let set_h = height(program, set, seen);
+                set_h.max(elem_h + 1).max(1)
+            }
+            Expr::SetReduce {
+                set,
+                app,
+                acc,
+                base,
+                extra,
+            } => {
+                let mut h = 0;
+                for c in [set.as_ref(), base.as_ref(), extra.as_ref()] {
+                    h = h.max(height(program, c, seen));
+                }
+                for l in [app, acc] {
+                    h = h.max(height(program, &l.body, seen));
+                }
+                h
+            }
+            Expr::Call(name, args) => {
+                let mut h = args
+                    .iter()
+                    .map(|a| height(program, a, seen))
+                    .max()
+                    .unwrap_or(0);
+                if !seen.contains(name) {
+                    seen.push(name.clone());
+                    if let Some(body) = resolve(program, name) {
+                        h = h.max(height(program, body, seen));
+                    }
+                }
+                h
+            }
+            _ => {
+                let mut h = 0;
+                for c in e.children() {
+                    h = h.max(height(program, c, seen));
+                }
+                for l in e.lambdas() {
+                    h = h.max(height(program, &l.body, seen));
+                }
+                h
+            }
+        }
+    }
+    height(program, expr, &mut Vec::new())
+}
+
+fn scan_flags(program: &Program, expr: &Expr, m: &mut Measures, inside_acc: bool) {
+    match expr {
+        Expr::New(_) => m.uses_new = true,
+        Expr::EmptyList | Expr::Cons(..) | Expr::Head(_) | Expr::Tail(_)
+        | Expr::ListReduce { .. } => m.uses_lists = true,
+        Expr::NatConst(_) | Expr::Succ(_) | Expr::NatAdd(..) => m.uses_nat = true,
+        Expr::NatMul(..) => {
+            m.uses_nat = true;
+            if inside_acc {
+                m.nat_mul_in_accumulator = true;
+            }
+        }
+        Expr::Call(name, _) => {
+            if let Some(body) = resolve(program, name) {
+                // Treat the callee as inlined at this position.
+                scan_flags(program, body, m, inside_acc);
+            }
+        }
+        _ => {}
+    }
+    for c in expr.children() {
+        scan_flags(program, c, m, inside_acc);
+    }
+    match expr {
+        Expr::SetReduce { app, acc, .. } | Expr::ListReduce { app, acc, .. } => {
+            scan_flags(program, &app.body, m, inside_acc);
+            scan_flags(program, &acc.body, m, true);
+            if result_builds_set(program, &acc.body, &mut Vec::new()) {
+                m.set_valued_accumulator = true;
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Does the *result position* of an expression construct a set? This is the
+/// BASRL-relevant question: an accumulator whose result is (or contains) a
+/// set grows with the input, one that returns a bounded tuple of scalars does
+/// not. Conservative in the BASRL direction: variables are assumed scalar, so
+/// a program that merely passes an input set through unchanged may be
+/// classified one fragment too low — the type-level check in `srl-core`
+/// catches those when parameter types are declared.
+fn result_builds_set(program: &Program, expr: &Expr, seen: &mut Vec<String>) -> bool {
+    match expr {
+        Expr::EmptySet | Expr::Insert(..) | Expr::Rest(_) => true,
+        Expr::If(_, t, e) => {
+            result_builds_set(program, t, seen) || result_builds_set(program, e, seen)
+        }
+        Expr::Let { body, .. } => result_builds_set(program, body, seen),
+        Expr::Tuple(items) => items.iter().any(|i| result_builds_set(program, i, seen)),
+        Expr::SetReduce { acc, base, .. } => {
+            result_builds_set(program, &acc.body, seen) || result_builds_set(program, base, seen)
+        }
+        Expr::Call(name, _) => {
+            if seen.contains(name) {
+                false
+            } else {
+                seen.push(name.clone());
+                program
+                    .lookup(name)
+                    .is_some_and(|def| result_builds_set(program, &def.body, seen))
+            }
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srl_core::ast::Lambda;
+    use srl_core::dsl::*;
+    use srl_stdlib::{agap, arith, blowup, perm, tc};
+
+    #[test]
+    fn base_expressions_have_depth_zero() {
+        let p = Program::srl();
+        let m = analyze_expr(&p, &insert(atom(1), empty_set()));
+        assert_eq!(m.depth, 0);
+        assert_eq!(m.construction_set_height, 1);
+        assert!(!m.uses_new);
+    }
+
+    #[test]
+    fn width_and_depth_of_nested_reduces() {
+        let p = Program::srl();
+        let inner = set_reduce(
+            var("S"),
+            Lambda::identity(),
+            lam("x", "a", insert(var("x"), var("a"))),
+            empty_set(),
+            empty_set(),
+        );
+        let outer = set_reduce(
+            var("S"),
+            Lambda::identity(),
+            lam("x", "a", inner),
+            empty_set(),
+            empty_set(),
+        );
+        let m = analyze_expr(&p, &outer);
+        assert_eq!(m.depth, 2);
+        assert!(m.set_valued_accumulator);
+        let m = analyze_expr(&p, &tuple([atom(0), atom(1), atom(2)]));
+        assert_eq!(m.width, 3);
+    }
+
+    #[test]
+    fn call_expansion_counts_callee_depth() {
+        let p = Program::srl().define(
+            "collect",
+            ["S"],
+            set_reduce(
+                var("S"),
+                Lambda::identity(),
+                lam("x", "a", insert(var("x"), var("a"))),
+                empty_set(),
+                empty_set(),
+            ),
+        );
+        let m = analyze_expr(&p, &call("collect", [var("T")]));
+        assert_eq!(m.depth, 1);
+    }
+
+    #[test]
+    fn basrl_programs_classify_as_logspace() {
+        let arith = arith::arithmetic_program();
+        let c = classify_program(&arith, 1);
+        assert_eq!(c.fragment, Fragment::Basrl);
+        assert!(c.explanation.contains("LOGSPACE"));
+
+        let perm = perm::perm_program();
+        assert_eq!(classify_program(&perm, 1).fragment, Fragment::Basrl);
+    }
+
+    #[test]
+    fn srl_programs_classify_as_polynomial() {
+        let agap = agap::apath_program();
+        let c = classify_program(&agap, 1);
+        assert_eq!(c.fragment, Fragment::Srl);
+        assert!(c.explanation.contains("P"));
+        assert!(c.time_exponent >= 1);
+
+        let p = Program::srl();
+        let tc_expr = tc::transitive_closure(var("D"), var("E"));
+        let c = classify(&analyze_expr(&p, &tc_expr), 1);
+        assert_eq!(c.fragment, Fragment::Srl);
+    }
+
+    #[test]
+    fn powerset_classifies_beyond_p() {
+        let p = blowup::powerset_program();
+        let c = classify_program(&p, 1);
+        assert_eq!(c.fragment, Fragment::UnrestrictedSrl);
+        assert!(c.explanation.contains("set-height"));
+    }
+
+    #[test]
+    fn lrl_and_new_classify_as_primitive_recursive() {
+        let p = blowup::lrl_doubling_program();
+        assert_eq!(
+            classify_program(&p, 0).fragment,
+            Fragment::PrimitiveRecursive
+        );
+        let p = Program::new(srl_core::dialect::Dialect::srl_new());
+        let m = analyze_expr(&p, &insert(new_value(var("S")), var("S")));
+        assert!(m.uses_new);
+        assert_eq!(classify(&m, 1).fragment, Fragment::PrimitiveRecursive);
+    }
+
+    #[test]
+    fn nat_multiplication_in_accumulator_is_flagged() {
+        let p = Program::new(srl_core::dialect::Dialect::full());
+        // Repeated squaring: acc = acc * acc — the paper's example of what
+        // must be forbidden to stay inside P.
+        let squaring = set_reduce(
+            var("S"),
+            Lambda::identity(),
+            lam("x", "acc", nat_mul(var("acc"), var("acc"))),
+            nat(2),
+            empty_set(),
+        );
+        let m = analyze_expr(&p, &squaring);
+        assert!(m.nat_mul_in_accumulator);
+        assert_eq!(classify(&m, 1).fragment, Fragment::PrimitiveRecursive);
+        // Multiplication outside the accumulator is fine.
+        let outside = nat_mul(nat(3), nat(4));
+        let m = analyze_expr(&p, &outside);
+        assert!(!m.nat_mul_in_accumulator);
+        assert!(m.uses_nat);
+    }
+
+    #[test]
+    fn proposition_6_1_exponent() {
+        let p = Program::srl();
+        let expr = set_reduce(
+            var("S"),
+            Lambda::identity(),
+            lam("x", "a", tuple([var("x"), var("x")])),
+            tuple([atom(0), atom(0)]),
+            empty_set(),
+        );
+        let m = analyze_expr(&p, &expr);
+        let c = classify(&m, 1);
+        assert_eq!(c.time_exponent, m.width * m.depth);
+        assert_eq!(c.time_exponent, 2);
+    }
+
+    #[test]
+    fn fragment_ordering_and_display() {
+        assert!(Fragment::Basrl < Fragment::Srl);
+        assert!(Fragment::Srl < Fragment::UnrestrictedSrl);
+        assert!(Fragment::UnrestrictedSrl < Fragment::PrimitiveRecursive);
+        assert!(Fragment::Srl.to_string().contains("P"));
+        assert!(Fragment::Basrl.to_string().contains("LOGSPACE"));
+    }
+
+    #[test]
+    fn empty_program_measures() {
+        let m = analyze_program(&Program::srl());
+        assert_eq!(m.depth, 0);
+        assert_eq!(m.nodes, 0);
+        assert_eq!(classify(&m, 0).fragment, Fragment::Basrl);
+    }
+}

@@ -1,0 +1,38 @@
+//! E1 — Lemma 3.6 / Theorem 3.10: APATH in SRL vs. the native solver and the
+//! FO+LFP baseline, over growing alternating graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srl_core::eval::run_program;
+use srl_core::limits::EvalLimits;
+use srl_stdlib::agap::{apath_program, names};
+use workloads::altgraph::AlternatingGraph;
+
+fn bench(c: &mut Criterion) {
+    let program = apath_program();
+    let mut group = c.benchmark_group("e1_agap");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(600));
+    for n in [4usize, 6, 8] {
+        let g = AlternatingGraph::random(n, 0.25, 7 + n as u64);
+        let args = [g.nodes_value(), g.edges_value(), g.ands_value()];
+        group.bench_with_input(BenchmarkId::new("srl_apath", n), &n, |b, _| {
+            b.iter(|| {
+                run_program(&program, names::APATH, &args, EvalLimits::benchmark()).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("native_apath", n), &n, |b, _| {
+            b.iter(|| g.apath_all())
+        });
+        let structure =
+            fo_logic::Structure::from_alternating_graph(g.n, &g.edges, &g.universal);
+        let sentence = fo_logic::formula::library::agap_sentence();
+        group.bench_with_input(BenchmarkId::new("fo_lfp_agap", n), &n, |b, _| {
+            b.iter(|| fo_logic::formula::eval_sentence(&structure, &sentence))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

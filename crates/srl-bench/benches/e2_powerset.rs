@@ -1,0 +1,41 @@
+//! E2 — Example 3.12: the exponential cost of set-height 2 (powerset), versus
+//! the linear cost of a same-shaped set-height-1 query (rebuilding the set).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srl_core::eval::run_program;
+use srl_core::limits::EvalLimits;
+use srl_core::value::Value;
+use srl_stdlib::blowup::{names, powerset_program};
+
+fn bench(c: &mut Criterion) {
+    let program = powerset_program();
+    let mut group = c.benchmark_group("e2_powerset");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(600));
+    for n in [2u64, 4, 6, 8, 10] {
+        let input = Value::set((0..n).map(Value::atom));
+        group.bench_with_input(BenchmarkId::new("srl_powerset", n), &n, |b, _| {
+            b.iter(|| {
+                run_program(&program, names::POWERSET, &[input.clone()], EvalLimits::benchmark())
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("native_powerset", n), &n, |b, _| {
+            b.iter(|| {
+                let items: Vec<u64> = (0..n).collect();
+                let mut subsets: Vec<Vec<u64>> = vec![vec![]];
+                for &x in &items {
+                    let mut extended: Vec<Vec<u64>> =
+                        subsets.iter().cloned().map(|mut s| { s.push(x); s }).collect();
+                    subsets.append(&mut extended);
+                }
+                subsets.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

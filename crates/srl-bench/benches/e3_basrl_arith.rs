@@ -1,0 +1,50 @@
+//! E3 — Proposition 4.5 / Lemma 4.6: BASRL arithmetic; the SRL cost grows with
+//! the domain while the accumulator stays constant-size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srl_core::eval::run_program;
+use srl_core::limits::EvalLimits;
+use srl_core::value::Value;
+use srl_stdlib::arith::{arithmetic_program, domain, names};
+
+fn bench(c: &mut Criterion) {
+    let program = arithmetic_program();
+    let mut group = c.benchmark_group("e3_basrl_arith");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(600));
+    for n in [8u64, 16, 32, 64] {
+        let d = domain(n);
+        let a = Value::atom(n / 3);
+        let b = Value::atom(n / 4);
+        group.bench_with_input(BenchmarkId::new("srl_add", n), &n, |bench, _| {
+            bench.iter(|| {
+                run_program(
+                    &program,
+                    names::ADD,
+                    &[d.clone(), a.clone(), b.clone()],
+                    EvalLimits::benchmark(),
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("srl_bit", n), &n, |bench, _| {
+            bench.iter(|| {
+                run_program(
+                    &program,
+                    names::BIT,
+                    &[d.clone(), Value::atom(1), a.clone()],
+                    EvalLimits::benchmark(),
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("native_add", n), &n, |bench, _| {
+            bench.iter(|| (n / 3) + (n / 4))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E4 — Lemma 4.10 / Theorem 4.13: iterated permutation multiplication in
+//! BASRL vs. the native product.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srl_core::eval::run_program;
+use srl_core::limits::EvalLimits;
+use srl_core::value::Value;
+use srl_stdlib::perm::{names, padded_domain, perm_program};
+use workloads::permutation::IteratedProductInstance;
+
+fn bench(c: &mut Criterion) {
+    let program = perm_program();
+    let mut group = c.benchmark_group("e4_perm_product");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(600));
+    for n in [4usize, 6, 8, 10] {
+        let instance = IteratedProductInstance::random(n, n, 11 + n as u64);
+        let args = [
+            padded_domain(&instance),
+            instance.to_srl_value(),
+            Value::atom(0),
+        ];
+        group.bench_with_input(BenchmarkId::new("srl_ip", n), &n, |b, _| {
+            b.iter(|| run_program(&program, names::IP, &args, EvalLimits::benchmark()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("native_product", n), &n, |b, _| {
+            b.iter(|| instance.product())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E5 — Corollaries 4.2 / 4.4: the SRL TC/DTC combinators vs. native closures
+//! and the FO+TC formula evaluator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srl_core::dsl::var;
+use srl_core::eval::eval_expr;
+use srl_core::limits::EvalLimits;
+use srl_core::program::Env;
+use srl_stdlib::tc;
+use workloads::digraph::Digraph;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_tc_dtc");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(600));
+    for n in [6usize, 10, 14] {
+        let g = Digraph::random(n, 2.0 / n as f64, 23 + n as u64);
+        let env = Env::new()
+            .bind("D", g.vertices_value())
+            .bind("E", g.edges_value());
+        let tc_expr = tc::transitive_closure(var("D"), var("E"));
+        let dtc_expr = tc::deterministic_transitive_closure(var("D"), var("E"));
+        group.bench_with_input(BenchmarkId::new("srl_tc", n), &n, |b, _| {
+            b.iter(|| eval_expr(&tc_expr, &env, EvalLimits::benchmark()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("srl_dtc", n), &n, |b, _| {
+            b.iter(|| eval_expr(&dtc_expr, &env, EvalLimits::benchmark()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("native_warshall", n), &n, |b, _| {
+            b.iter(|| g.transitive_closure())
+        });
+        let structure = fo_logic::Structure::from_digraph(g.n, &g.edges);
+        let formula = fo_logic::formula::library::reachability_tc();
+        group.bench_with_input(BenchmarkId::new("fo_tc_query", n), &n, |b, _| {
+            b.iter(|| {
+                let mut assignment = fo_logic::Assignment::new();
+                assignment.insert("s".into(), 0);
+                assignment.insert("t".into(), n - 1);
+                fo_logic::eval(&structure, &formula, &assignment)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E6 — Theorem 5.2 / Corollary 5.5: primitive recursion compiled to SRL+new
+//! vs. the PrTerm evaluator; the LRL doubling blow-up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use machines::primrec::library;
+use srl_core::eval::run_program;
+use srl_core::limits::EvalLimits;
+use srl_core::value::Value;
+use srl_stdlib::blowup::{lrl_doubling_program, names as blow_names};
+use srl_stdlib::primrec_compile::{compile, eval_compiled};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_primrec");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(600));
+    let add = compile(&library::add()).unwrap();
+    let mul = compile(&library::mul()).unwrap();
+    for n in [4u64, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("srl_new_add", n), &n, |b, &n| {
+            b.iter(|| eval_compiled(&add, &[n, n / 2], EvalLimits::benchmark()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("primrec_add", n), &n, |b, &n| {
+            b.iter(|| library::add().eval_u64(&[n, n / 2]).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("srl_new_mul", n), &n, |b, &n| {
+            b.iter(|| eval_compiled(&mul, &[n.min(8), 3], EvalLimits::benchmark()).unwrap())
+        });
+    }
+    let doubling = lrl_doubling_program();
+    for n in [2u64, 6, 10] {
+        let input = Value::list((0..n).map(Value::atom));
+        group.bench_with_input(BenchmarkId::new("lrl_doubling", n), &n, |b, _| {
+            b.iter(|| {
+                run_program(
+                    &doubling,
+                    blow_names::DOUBLING,
+                    &[input.clone()],
+                    EvalLimits::benchmark(),
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E8 — Section 7: the cost of the order-independence analyses (syntactic
+//! proof, permutation testing) and of WL refinement on the CFI pairs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srl_analysis::{analyze_order_dependence, provably_order_independent};
+use srl_core::dsl::var;
+use srl_core::program::{Env, Program};
+use srl_core::value::Value;
+use srl_stdlib::hom;
+use workloads::cfi::{cfi_pair, BaseGraph};
+use workloads::wl::{refine_1wl_joint, wl1_equivalent};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_order");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(600));
+    let program = Program::srl();
+    for n in [8usize, 16, 32] {
+        let s = Value::set((0..n as u64).map(Value::atom));
+        let purple = Value::set([Value::atom(n as u64 - 1)]);
+        let env = Env::new().bind("S", s).bind("P", purple);
+        let dependent_query = hom::purple_first(var("S"), var("P"));
+        let independent_query = hom::even(var("S"));
+        group.bench_with_input(BenchmarkId::new("syntactic_proof", n), &n, |b, _| {
+            b.iter(|| provably_order_independent(&program, &independent_query))
+        });
+        group.bench_with_input(BenchmarkId::new("permutation_test", n), &n, |b, _| {
+            b.iter(|| analyze_order_dependence(&program, &dependent_query, &env, n, 8))
+        });
+    }
+    for n in [4usize, 6, 8] {
+        let (g, h) = cfi_pair(&BaseGraph::cycle(n));
+        group.bench_with_input(BenchmarkId::new("wl1_cfi", n), &n, |b, _| {
+            b.iter(|| wl1_equivalent(&g.graph, &h.graph))
+        });
+        group.bench_with_input(BenchmarkId::new("wl1_refine", n), &n, |b, _| {
+            b.iter(|| refine_1wl_joint(&[g.graph.clone(), h.graph.clone()]))
+        });
+        group.bench_with_input(BenchmarkId::new("component_count", n), &n, |b, _| {
+            b.iter(|| (g.connected_components(), h.connected_components()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

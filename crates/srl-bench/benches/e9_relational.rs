@@ -1,0 +1,51 @@
+//! E9 — Fact 2.4 / Proposition 3.3: relational operators in SRL on the
+//! company workload, vs. native nested-loop evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srl_core::dsl::{empty_set, eq, lam, sel, tuple, var};
+use srl_core::eval::eval_expr;
+use srl_core::limits::EvalLimits;
+use srl_core::program::Env;
+use srl_stdlib::derived::{join, project, select};
+use workloads::tables::CompanyDatabase;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_relational");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(600));
+    for n in [16usize, 32, 64] {
+        let db = CompanyDatabase::generate(n, (n / 4).max(1), 4, 31 + n as u64);
+        let env = Env::new()
+            .bind("EMP", db.employees_value())
+            .bind("DEPT", db.departments_value());
+        let joined = join(
+            var("EMP"),
+            var("DEPT"),
+            lam("e", "d", eq(sel(var("e"), 2), sel(var("d"), 1))),
+            lam("e", "d", tuple([sel(var("e"), 1), sel(var("d"), 2)])),
+        );
+        let dept0 = db.departments[0].id;
+        let selection = project(
+            select(
+                var("EMP"),
+                lam("e", "x", eq(sel(var("e"), 2), srl_core::dsl::atom(dept0))),
+                empty_set(),
+            ),
+            1,
+        );
+        group.bench_with_input(BenchmarkId::new("srl_join", n), &n, |b, _| {
+            b.iter(|| eval_expr(&joined, &env, EvalLimits::benchmark()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("srl_select_project", n), &n, |b, _| {
+            b.iter(|| eval_expr(&selection, &env, EvalLimits::benchmark()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("native_join", n), &n, |b, _| {
+            b.iter(|| db.employee_manager_join())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

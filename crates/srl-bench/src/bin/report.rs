@@ -1,0 +1,26 @@
+//! Prints the experiment tables (E1–E9) recorded in `EXPERIMENTS.md`.
+//!
+//! Usage: `cargo run -p srl-bench --release --bin report [--json]`
+
+use srl_bench::*;
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let mut all = Vec::new();
+    all.extend(experiment_e1(&[4, 6, 8]));
+    all.extend(experiment_e2(&[2, 4, 8, 12]));
+    all.extend(experiment_e3(&[8, 16, 32]));
+    all.extend(experiment_e4(&[4, 6, 8]));
+    all.extend(experiment_e5(&[6, 10, 14]));
+    all.extend(experiment_e6(&[2, 4, 8]));
+    all.extend(experiment_e7(&[4, 8, 16, 32]));
+    all.extend(experiment_e8(&[4, 5, 6]));
+    all.extend(experiment_e9(&[8, 16, 32]));
+    if json {
+        println!("{}", serde_json::to_string_pretty(&all).expect("rows serialise"));
+    } else {
+        println!("{}", to_markdown(&all));
+        let disagreements = all.iter().filter(|r| !r.agrees_with_baseline).count();
+        println!("\n{} rows, {} disagreement(s) with the native baselines.", all.len(), disagreements);
+    }
+}

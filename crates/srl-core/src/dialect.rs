@@ -1,0 +1,203 @@
+//! Dialects: which operators a program may use.
+//!
+//! The paper's theorems are all of the form "SRL, *with such-and-such
+//! operators allowed/forbidden*, captures complexity class C". A [`Dialect`]
+//! records exactly which optional operators are available; the checker in
+//! [`crate::typecheck`] rejects programs that stray outside their dialect,
+//! and the classifier in `srl-analysis` infers the smallest dialect a program
+//! fits in.
+
+use std::fmt;
+
+use serde::Serialize;
+
+/// Which optional operators are permitted, on top of the always-available
+/// core (booleans, if-then-else, constants, tuples, selectors, equality on
+/// equality types, `≤` on ordered types, `emptyset`, `insert`, `set-reduce`,
+/// `choose`, `rest`, composition of definitions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct Dialect {
+    /// Display name.
+    pub name: &'static str,
+    /// Allow the `new` operator (invented values / unbounded successor on the
+    /// domain, Section 5).
+    pub allow_new: bool,
+    /// Allow list types, `cons`, `head`, `tail` and `list-reduce`
+    /// (the LRL extension).
+    pub allow_lists: bool,
+    /// Allow natural-number constants and `succ` (the ℕ extension of
+    /// Sections 3 and 5).
+    pub allow_nat: bool,
+    /// Allow `+` on naturals (safe inside P as long as `set of ℕ` is avoided;
+    /// see the discussion before Proposition 3.13).
+    pub allow_nat_add: bool,
+    /// Allow `*` on naturals (only safe inside P if the accumulator does not
+    /// use it, or one operand is constant; see Section 3).
+    pub allow_nat_mul: bool,
+    /// Maximum permitted set-height of any type in the program, if bounded.
+    /// `Some(1)` is the paper's SRL; `None` is unrestricted SRL.
+    pub max_set_height: Option<usize>,
+    /// If true, every `set-reduce` accumulator must return a value of
+    /// set-height 0 and bounded width (the BASRL restriction of Section 4).
+    pub bounded_accumulator: bool,
+}
+
+impl Dialect {
+    /// The paper's `SRL`: set-height at most 1, no invented values, no lists,
+    /// no unbounded arithmetic. Captures P (Theorem 3.10).
+    pub fn srl() -> Self {
+        Dialect {
+            name: "SRL",
+            allow_new: false,
+            allow_lists: false,
+            allow_nat: false,
+            allow_nat_add: false,
+            allow_nat_mul: false,
+            max_set_height: Some(1),
+            bounded_accumulator: false,
+        }
+    }
+
+    /// `BASRL`: SRL with accumulators restricted to bounded-width,
+    /// set-height-0 tuples. Captures L (Theorem 4.13).
+    pub fn basrl() -> Self {
+        Dialect {
+            name: "BASRL",
+            bounded_accumulator: true,
+            ..Dialect::srl()
+        }
+    }
+
+    /// Unrestricted SRL (`u-SRL`): no set-height bound. With sets of
+    /// unbounded width this captures the primitive recursive functions
+    /// (Section 5).
+    pub fn unrestricted() -> Self {
+        Dialect {
+            name: "u-SRL",
+            max_set_height: None,
+            ..Dialect::srl()
+        }
+    }
+
+    /// `SRL + new`: SRL plus the `new` (invented value) operator.
+    /// Captures PrimRec (Theorem 5.2).
+    pub fn srl_new() -> Self {
+        Dialect {
+            name: "SRL+new",
+            allow_new: true,
+            max_set_height: None,
+            ..Dialect::srl()
+        }
+    }
+
+    /// `LRL`: list-reduce language — lists of unbounded length replace sets
+    /// as the iterated collection. Captures PrimRec (Corollary 5.5).
+    pub fn lrl() -> Self {
+        Dialect {
+            name: "LRL",
+            allow_lists: true,
+            max_set_height: None,
+            ..Dialect::srl()
+        }
+    }
+
+    /// SRL extended with naturals and addition but *without* `set of ℕ`;
+    /// stays within P (discussion before Proposition 3.13).
+    pub fn srl_with_addition() -> Self {
+        Dialect {
+            name: "SRL+ℕ+add",
+            allow_nat: true,
+            allow_nat_add: true,
+            ..Dialect::srl()
+        }
+    }
+
+    /// SRL extended with naturals, addition and multiplication. Only within P
+    /// under the further restriction that accumulators do not multiply
+    /// (enforced by `srl-analysis`, not by the checker).
+    pub fn srl_with_arithmetic() -> Self {
+        Dialect {
+            name: "SRL+ℕ+arith",
+            allow_nat: true,
+            allow_nat_add: true,
+            allow_nat_mul: true,
+            ..Dialect::srl()
+        }
+    }
+
+    /// Everything on: used by the evaluator's dynamically-typed entry points
+    /// and by tests that build deliberately out-of-fragment programs.
+    pub fn full() -> Self {
+        Dialect {
+            name: "full",
+            allow_new: true,
+            allow_lists: true,
+            allow_nat: true,
+            allow_nat_add: true,
+            allow_nat_mul: true,
+            max_set_height: None,
+            bounded_accumulator: false,
+        }
+    }
+}
+
+impl Default for Dialect {
+    fn default() -> Self {
+        Dialect::srl()
+    }
+}
+
+impl fmt::Display for Dialect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn srl_is_height_one_and_closed() {
+        let d = Dialect::srl();
+        assert_eq!(d.max_set_height, Some(1));
+        assert!(!d.allow_new);
+        assert!(!d.allow_lists);
+        assert!(!d.allow_nat);
+        assert!(!d.bounded_accumulator);
+    }
+
+    #[test]
+    fn basrl_adds_accumulator_restriction() {
+        let d = Dialect::basrl();
+        assert!(d.bounded_accumulator);
+        assert_eq!(d.max_set_height, Some(1));
+    }
+
+    #[test]
+    fn unrestricted_and_new_lift_height_bound() {
+        assert_eq!(Dialect::unrestricted().max_set_height, None);
+        assert_eq!(Dialect::srl_new().max_set_height, None);
+        assert!(Dialect::srl_new().allow_new);
+        assert!(Dialect::lrl().allow_lists);
+    }
+
+    #[test]
+    fn arithmetic_dialects() {
+        assert!(Dialect::srl_with_addition().allow_nat_add);
+        assert!(!Dialect::srl_with_addition().allow_nat_mul);
+        assert!(Dialect::srl_with_arithmetic().allow_nat_mul);
+    }
+
+    #[test]
+    fn display_uses_name() {
+        assert_eq!(Dialect::srl().to_string(), "SRL");
+        assert_eq!(Dialect::basrl().to_string(), "BASRL");
+        assert_eq!(Dialect::full().to_string(), "full");
+    }
+
+    #[test]
+    fn default_is_srl() {
+        assert_eq!(Dialect::default(), Dialect::srl());
+    }
+}

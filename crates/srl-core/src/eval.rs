@@ -1,0 +1,981 @@
+//! The evaluator: a direct implementation of the Section 2 semantics.
+//!
+//! The semantics equations are implemented literally:
+//!
+//! ```text
+//! (if true then e1 else e2)  = e1
+//! (if false then e1 else e2) = e2
+//! sel_i([e1, …, en])         = e_i
+//! set-reduce(s, app, acc, base, extra) =
+//!     if s = emptyset then base
+//!     else acc(app(choose(s), extra), set-reduce(rest(s), app, acc, base, extra))
+//! ```
+//!
+//! where `choose(S)` is the minimal element of `S` in the value order and
+//! `rest(S)` is `S` without it. The recursion is evaluated iteratively, with
+//! the accumulator combining elements **in ascending order** (the base value
+//! meets `choose(S)` first): this is the traversal order every concrete
+//! program in the paper assumes — `increment` "changes the second false to
+//! true on the next step when we remember a + 1", and the `IP` scan of
+//! Lemma 4.10 applies the permutations in index order. The Rust stack never
+//! grows with the cardinality of the set.
+//!
+//! Evaluation is resource-bounded by [`EvalLimits`] and instrumented by
+//! [`EvalStats`]; both are essential to the experiments: the statistics carry
+//! the paper's cost model (`|S|` iterations, `T_ins` inserts, accumulator
+//! size), and the limits keep the deliberately-exponential programs
+//! (Example 3.12, the LRL blow-up) from exhausting memory.
+
+use crate::ast::{Expr, Lambda};
+use crate::dialect::Dialect;
+use crate::error::EvalError;
+use crate::limits::{EvalLimits, EvalStats};
+use crate::program::{Env, Program};
+use crate::value::Value;
+
+/// Cap used when measuring accumulator sizes: accumulators larger than this
+/// are recorded as "at least the cap", which is all the logspace experiments
+/// need to know, and keeps measurement from dominating evaluation time.
+const ACCUMULATOR_WEIGHT_CAP: usize = 4_096;
+
+/// A resource-bounded evaluator for a single [`Program`].
+pub struct Evaluator<'p> {
+    program: &'p Program,
+    limits: EvalLimits,
+    stats: EvalStats,
+    allocated_leaves: usize,
+}
+
+impl<'p> Evaluator<'p> {
+    /// Creates an evaluator over `program` with the given budget.
+    pub fn new(program: &'p Program, limits: EvalLimits) -> Self {
+        Evaluator {
+            program,
+            limits,
+            stats: EvalStats::default(),
+            allocated_leaves: 0,
+        }
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &EvalStats {
+        &self.stats
+    }
+
+    /// Resets the statistics and allocation counters (the budget stays).
+    pub fn reset_stats(&mut self) {
+        self.stats = EvalStats::default();
+        self.allocated_leaves = 0;
+    }
+
+    /// Evaluates an expression whose free variables are bound by `env`.
+    pub fn eval(&mut self, expr: &Expr, env: &Env) -> Result<Value, EvalError> {
+        let mut scope = env.clone();
+        self.eval_in(expr, &mut scope, 0)
+    }
+
+    /// Calls a named definition on argument values.
+    pub fn call(&mut self, name: &str, args: &[Value]) -> Result<Value, EvalError> {
+        let def = self
+            .program
+            .lookup(name)
+            .ok_or_else(|| EvalError::UnknownFunction(name.to_string()))?;
+        if def.params.len() != args.len() {
+            return Err(EvalError::Shape {
+                operator: "call",
+                expected: "matching argument count",
+                found: format!(
+                    "{name}: {} parameter(s), {} argument(s)",
+                    def.params.len(),
+                    args.len()
+                ),
+            });
+        }
+        let mut env = Env::new();
+        for (p, a) in def.params.iter().zip(args) {
+            env.insert(p.name.clone(), a.clone());
+        }
+        self.eval_in(&def.body.clone(), &mut env, 0)
+    }
+
+    fn dialect(&self) -> &Dialect {
+        &self.program.dialect
+    }
+
+    fn bump_step(&mut self, depth: usize) -> Result<(), EvalError> {
+        self.stats.steps += 1;
+        if self.stats.steps > self.limits.max_steps {
+            return Err(EvalError::StepLimitExceeded {
+                limit: self.limits.max_steps,
+            });
+        }
+        if depth > self.limits.max_depth {
+            return Err(EvalError::DepthLimitExceeded {
+                limit: self.limits.max_depth,
+            });
+        }
+        self.stats.max_depth = self.stats.max_depth.max(depth);
+        Ok(())
+    }
+
+    fn charge_allocation(&mut self, leaves: usize) -> Result<(), EvalError> {
+        self.allocated_leaves = self.allocated_leaves.saturating_add(leaves);
+        self.stats.max_value_weight = self.stats.max_value_weight.max(self.allocated_leaves);
+        if self.allocated_leaves > self.limits.max_value_weight {
+            return Err(EvalError::SizeLimitExceeded {
+                limit: self.limits.max_value_weight,
+            });
+        }
+        Ok(())
+    }
+
+    fn require_dialect(&self, allowed: bool, operator: &str) -> Result<(), EvalError> {
+        if allowed {
+            Ok(())
+        } else {
+            Err(EvalError::DialectViolation {
+                operator: operator.to_string(),
+                dialect: self.dialect().name.to_string(),
+            })
+        }
+    }
+
+    fn eval_in(&mut self, expr: &Expr, env: &mut Env, depth: usize) -> Result<Value, EvalError> {
+        self.bump_step(depth)?;
+        match expr {
+            Expr::Bool(b) => Ok(Value::Bool(*b)),
+            Expr::Const(v) => Ok(v.clone()),
+            Expr::Var(name) => env
+                .get(name)
+                .cloned()
+                .ok_or_else(|| EvalError::UnboundVariable(name.clone())),
+            Expr::If(c, t, e) => {
+                let cond = self.eval_in(c, env, depth + 1)?;
+                match cond {
+                    Value::Bool(true) => self.eval_in(t, env, depth + 1),
+                    Value::Bool(false) => self.eval_in(e, env, depth + 1),
+                    other => Err(EvalError::Shape {
+                        operator: "if",
+                        expected: "a boolean condition",
+                        found: other.to_string(),
+                    }),
+                }
+            }
+            Expr::Tuple(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    out.push(self.eval_in(item, env, depth + 1)?);
+                }
+                self.charge_allocation(1)?;
+                Ok(Value::Tuple(out))
+            }
+            Expr::Sel(index, e) => {
+                let v = self.eval_in(e, env, depth + 1)?;
+                match v {
+                    Value::Tuple(items) => {
+                        if *index == 0 || *index > items.len() {
+                            Err(EvalError::SelectorOutOfRange {
+                                index: *index,
+                                arity: items.len(),
+                            })
+                        } else {
+                            Ok(items[*index - 1].clone())
+                        }
+                    }
+                    other => Err(EvalError::Shape {
+                        operator: "sel",
+                        expected: "a tuple",
+                        found: other.to_string(),
+                    }),
+                }
+            }
+            Expr::Eq(a, b) => {
+                let va = self.eval_in(a, env, depth + 1)?;
+                let vb = self.eval_in(b, env, depth + 1)?;
+                Ok(Value::Bool(va == vb))
+            }
+            Expr::Leq(a, b) => {
+                let va = self.eval_in(a, env, depth + 1)?;
+                let vb = self.eval_in(b, env, depth + 1)?;
+                Ok(Value::Bool(va <= vb))
+            }
+            Expr::EmptySet => Ok(Value::empty_set()),
+            Expr::Insert(elem, set) => {
+                let v = self.eval_in(elem, env, depth + 1)?;
+                let s = self.eval_in(set, env, depth + 1)?;
+                match s {
+                    Value::Set(mut items) => {
+                        self.stats.inserts += 1;
+                        self.charge_allocation(v.weight())?;
+                        items.insert(v);
+                        Ok(Value::Set(items))
+                    }
+                    other => Err(EvalError::Shape {
+                        operator: "insert",
+                        expected: "a set as second argument",
+                        found: other.to_string(),
+                    }),
+                }
+            }
+            Expr::Choose(e) => {
+                let s = self.eval_in(e, env, depth + 1)?;
+                match s {
+                    Value::Set(items) => items
+                        .iter()
+                        .next()
+                        .cloned()
+                        .ok_or(EvalError::ChooseFromEmptySet),
+                    other => Err(EvalError::Shape {
+                        operator: "choose",
+                        expected: "a set",
+                        found: other.to_string(),
+                    }),
+                }
+            }
+            Expr::Rest(e) => {
+                let s = self.eval_in(e, env, depth + 1)?;
+                match s {
+                    Value::Set(mut items) => {
+                        let min = items
+                            .iter()
+                            .next()
+                            .cloned()
+                            .ok_or(EvalError::ChooseFromEmptySet)?;
+                        items.remove(&min);
+                        Ok(Value::Set(items))
+                    }
+                    other => Err(EvalError::Shape {
+                        operator: "rest",
+                        expected: "a set",
+                        found: other.to_string(),
+                    }),
+                }
+            }
+            Expr::SetReduce {
+                set,
+                app,
+                acc,
+                base,
+                extra,
+            } => {
+                let set_v = self.eval_in(set, env, depth + 1)?;
+                let base_v = self.eval_in(base, env, depth + 1)?;
+                let extra_v = self.eval_in(extra, env, depth + 1)?;
+                let items = match set_v {
+                    Value::Set(items) => items,
+                    other => {
+                        return Err(EvalError::Shape {
+                            operator: "set-reduce",
+                            expected: "a set as first argument",
+                            found: other.to_string(),
+                        })
+                    }
+                };
+                // The accumulator combines the elements in the choose/rest
+                // order (ascending): base first meets the minimal element.
+                let mut accumulator = base_v;
+                for elem in items.iter() {
+                    self.stats.reduce_iterations += 1;
+                    let applied = self.apply(app, elem.clone(), extra_v.clone(), env, depth + 1)?;
+                    accumulator = self.apply(acc, applied, accumulator, env, depth + 1)?;
+                    let w = weight_capped(&accumulator, ACCUMULATOR_WEIGHT_CAP);
+                    self.stats.max_accumulator_weight =
+                        self.stats.max_accumulator_weight.max(w);
+                }
+                Ok(accumulator)
+            }
+            Expr::ListReduce {
+                list,
+                app,
+                acc,
+                base,
+                extra,
+            } => {
+                self.require_dialect(self.dialect().allow_lists, "list-reduce")?;
+                let list_v = self.eval_in(list, env, depth + 1)?;
+                let base_v = self.eval_in(base, env, depth + 1)?;
+                let extra_v = self.eval_in(extra, env, depth + 1)?;
+                let items = match list_v {
+                    Value::List(items) => items,
+                    other => {
+                        return Err(EvalError::Shape {
+                            operator: "list-reduce",
+                            expected: "a list as first argument",
+                            found: other.to_string(),
+                        })
+                    }
+                };
+                // Lists are traversed in their stored order (head first),
+                // exactly like the set case but without sorting.
+                let mut accumulator = base_v;
+                for elem in items.iter() {
+                    self.stats.reduce_iterations += 1;
+                    let applied = self.apply(app, elem.clone(), extra_v.clone(), env, depth + 1)?;
+                    accumulator = self.apply(acc, applied, accumulator, env, depth + 1)?;
+                    let w = weight_capped(&accumulator, ACCUMULATOR_WEIGHT_CAP);
+                    self.stats.max_accumulator_weight =
+                        self.stats.max_accumulator_weight.max(w);
+                }
+                Ok(accumulator)
+            }
+            Expr::Call(name, args) => {
+                let def = self
+                    .program
+                    .lookup(name)
+                    .ok_or_else(|| EvalError::UnknownFunction(name.clone()))?
+                    .clone();
+                if def.params.len() != args.len() {
+                    return Err(EvalError::Shape {
+                        operator: "call",
+                        expected: "matching argument count",
+                        found: format!(
+                            "{name}: {} parameter(s), {} argument(s)",
+                            def.params.len(),
+                            args.len()
+                        ),
+                    });
+                }
+                let mut arg_values = Vec::with_capacity(args.len());
+                for a in args {
+                    arg_values.push(self.eval_in(a, env, depth + 1)?);
+                }
+                let mut callee_env = Env::new();
+                for (p, v) in def.params.iter().zip(arg_values) {
+                    callee_env.insert(p.name.clone(), v);
+                }
+                self.eval_in(&def.body, &mut callee_env, depth + 1)
+            }
+            Expr::Let { name, value, body } => {
+                let v = self.eval_in(value, env, depth + 1)?;
+                env.insert(name.clone(), v);
+                let result = self.eval_in(body, env, depth + 1);
+                env.pop();
+                result
+            }
+            Expr::New(e) => {
+                self.require_dialect(self.dialect().allow_new, "new")?;
+                let v = self.eval_in(e, env, depth + 1)?;
+                self.stats.new_values += 1;
+                Ok(Value::Atom(crate::value::Atom::new(next_fresh_index(&v))))
+            }
+            Expr::NatConst(n) => {
+                self.require_dialect(self.dialect().allow_nat, "nat constant")?;
+                Ok(Value::Nat(n.clone()))
+            }
+            Expr::Succ(e) => {
+                self.require_dialect(self.dialect().allow_nat, "succ")?;
+                let n = self.expect_nat(e, env, depth, "succ")?;
+                self.check_nat_width(n.bit_len() + 1)?;
+                Ok(Value::Nat(n.succ()))
+            }
+            Expr::NatAdd(a, b) => {
+                self.require_dialect(self.dialect().allow_nat_add, "nat addition")?;
+                let na = self.expect_nat(a, env, depth, "+")?;
+                let nb = self.expect_nat(b, env, depth, "+")?;
+                self.check_nat_width(na.bit_len().max(nb.bit_len()) + 1)?;
+                Ok(Value::Nat(na.add(&nb)))
+            }
+            Expr::NatMul(a, b) => {
+                self.require_dialect(self.dialect().allow_nat_mul, "nat multiplication")?;
+                let na = self.expect_nat(a, env, depth, "*")?;
+                let nb = self.expect_nat(b, env, depth, "*")?;
+                self.check_nat_width(na.bit_len() + nb.bit_len())?;
+                Ok(Value::Nat(na.mul(&nb)))
+            }
+            Expr::EmptyList => {
+                self.require_dialect(self.dialect().allow_lists, "emptylist")?;
+                Ok(Value::empty_list())
+            }
+            Expr::Cons(elem, list) => {
+                self.require_dialect(self.dialect().allow_lists, "cons")?;
+                let v = self.eval_in(elem, env, depth + 1)?;
+                let l = self.eval_in(list, env, depth + 1)?;
+                match l {
+                    Value::List(mut items) => {
+                        self.stats.inserts += 1;
+                        self.charge_allocation(v.weight())?;
+                        items.insert(0, v);
+                        Ok(Value::List(items))
+                    }
+                    other => Err(EvalError::Shape {
+                        operator: "cons",
+                        expected: "a list as second argument",
+                        found: other.to_string(),
+                    }),
+                }
+            }
+            Expr::Head(e) => {
+                self.require_dialect(self.dialect().allow_lists, "head")?;
+                let l = self.eval_in(e, env, depth + 1)?;
+                match l {
+                    Value::List(items) => items
+                        .first()
+                        .cloned()
+                        .ok_or(EvalError::ChooseFromEmptySet),
+                    other => Err(EvalError::Shape {
+                        operator: "head",
+                        expected: "a list",
+                        found: other.to_string(),
+                    }),
+                }
+            }
+            Expr::Tail(e) => {
+                self.require_dialect(self.dialect().allow_lists, "tail")?;
+                let l = self.eval_in(e, env, depth + 1)?;
+                match l {
+                    Value::List(items) => {
+                        if items.is_empty() {
+                            Err(EvalError::ChooseFromEmptySet)
+                        } else {
+                            Ok(Value::List(items[1..].to_vec()))
+                        }
+                    }
+                    other => Err(EvalError::Shape {
+                        operator: "tail",
+                        expected: "a list",
+                        found: other.to_string(),
+                    }),
+                }
+            }
+        }
+    }
+
+    fn apply(
+        &mut self,
+        lambda: &Lambda,
+        x: Value,
+        y: Value,
+        env: &mut Env,
+        depth: usize,
+    ) -> Result<Value, EvalError> {
+        env.insert(lambda.x.clone(), x);
+        env.insert(lambda.y.clone(), y);
+        let result = self.eval_in(&lambda.body, env, depth + 1);
+        env.pop();
+        env.pop();
+        result
+    }
+
+    fn expect_nat(
+        &mut self,
+        e: &Expr,
+        env: &mut Env,
+        depth: usize,
+        operator: &'static str,
+    ) -> Result<crate::bignat::BigNat, EvalError> {
+        match self.eval_in(e, env, depth + 1)? {
+            Value::Nat(n) => Ok(n),
+            other => Err(EvalError::Shape {
+                operator,
+                expected: "a natural number",
+                found: other.to_string(),
+            }),
+        }
+    }
+
+    fn check_nat_width(&self, bits: usize) -> Result<(), EvalError> {
+        if bits > self.limits.max_nat_bits {
+            Err(EvalError::NatWidthExceeded {
+                limit_bits: self.limits.max_nat_bits,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// The smallest atom rank not occurring anywhere in `v` (and at least one
+/// larger than every atom that does occur) — the deterministic realisation of
+/// the paper's `new(D) ∉ D`.
+fn next_fresh_index(v: &Value) -> u64 {
+    fn max_atom(v: &Value, cur: &mut Option<u64>) {
+        match v {
+            Value::Atom(a) => {
+                *cur = Some(cur.map_or(a.index, |c| c.max(a.index)));
+            }
+            Value::Bool(_) | Value::Nat(_) => {}
+            Value::Tuple(items) | Value::List(items) => {
+                for i in items {
+                    max_atom(i, cur);
+                }
+            }
+            Value::Set(items) => {
+                for i in items {
+                    max_atom(i, cur);
+                }
+            }
+        }
+    }
+    let mut cur = None;
+    max_atom(v, &mut cur);
+    cur.map_or(0, |c| c + 1)
+}
+
+/// Computes `v.weight()` but stops counting once `cap` is exceeded, returning
+/// `cap + 1` in that case.
+fn weight_capped(v: &Value, cap: usize) -> usize {
+    fn go(v: &Value, budget: &mut usize) -> bool {
+        if *budget == 0 {
+            return false;
+        }
+        *budget -= 1;
+        match v {
+            Value::Bool(_) | Value::Atom(_) | Value::Nat(_) => true,
+            Value::Tuple(items) | Value::List(items) => items.iter().all(|i| go(i, budget)),
+            Value::Set(items) => items.iter().all(|i| go(i, budget)),
+        }
+    }
+    let mut budget = cap;
+    if go(v, &mut budget) {
+        cap - budget
+    } else {
+        cap + 1
+    }
+}
+
+/// Evaluates a stand-alone expression (no named definitions) against an
+/// environment, in the `full` dialect.
+pub fn eval_expr(expr: &Expr, env: &Env, limits: EvalLimits) -> Result<Value, EvalError> {
+    let program = Program::new(Dialect::full());
+    let mut evaluator = Evaluator::new(&program, limits);
+    evaluator.eval(expr, env)
+}
+
+/// Evaluates a stand-alone expression and also returns the statistics.
+pub fn eval_expr_with_stats(
+    expr: &Expr,
+    env: &Env,
+    limits: EvalLimits,
+) -> Result<(Value, EvalStats), EvalError> {
+    let program = Program::new(Dialect::full());
+    let mut evaluator = Evaluator::new(&program, limits);
+    let value = evaluator.eval(expr, env)?;
+    Ok((value, *evaluator.stats()))
+}
+
+/// Calls a named definition of `program` on `args` and returns the result and
+/// statistics.
+pub fn run_program(
+    program: &Program,
+    name: &str,
+    args: &[Value],
+    limits: EvalLimits,
+) -> Result<(Value, EvalStats), EvalError> {
+    let mut evaluator = Evaluator::new(program, limits);
+    let value = evaluator.call(name, args)?;
+    Ok((value, *evaluator.stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+
+    fn eval_full(expr: &Expr, env: &Env) -> Result<Value, EvalError> {
+        eval_expr(expr, env, EvalLimits::default())
+    }
+
+    fn eval_closed(expr: &Expr) -> Value {
+        eval_full(expr, &Env::new()).expect("evaluation should succeed")
+    }
+
+    #[test]
+    fn booleans_and_if() {
+        assert_eq!(eval_closed(&bool_(true)), Value::bool(true));
+        assert_eq!(
+            eval_closed(&if_(bool_(true), atom(1), atom(2))),
+            Value::atom(1)
+        );
+        assert_eq!(
+            eval_closed(&if_(bool_(false), atom(1), atom(2))),
+            Value::atom(2)
+        );
+    }
+
+    #[test]
+    fn if_requires_boolean_condition() {
+        let err = eval_full(&if_(atom(1), atom(1), atom(2)), &Env::new()).unwrap_err();
+        assert!(matches!(err, EvalError::Shape { operator: "if", .. }));
+    }
+
+    #[test]
+    fn tuples_and_selectors() {
+        let t = tuple([atom(10), atom(20), atom(30)]);
+        assert_eq!(eval_closed(&sel(t.clone(), 1)), Value::atom(10));
+        assert_eq!(eval_closed(&sel(t.clone(), 3)), Value::atom(30));
+        let err = eval_full(&sel(t, 4), &Env::new()).unwrap_err();
+        assert!(matches!(err, EvalError::SelectorOutOfRange { index: 4, arity: 3 }));
+    }
+
+    #[test]
+    fn equality_and_order() {
+        assert_eq!(eval_closed(&eq(atom(1), atom(1))), Value::bool(true));
+        assert_eq!(eval_closed(&eq(atom(1), atom(2))), Value::bool(false));
+        assert_eq!(eval_closed(&leq(atom(1), atom(2))), Value::bool(true));
+        assert_eq!(eval_closed(&leq(atom(2), atom(1))), Value::bool(false));
+        assert_eq!(eval_closed(&leq(atom(2), atom(2))), Value::bool(true));
+    }
+
+    #[test]
+    fn insert_builds_sets_without_duplicates() {
+        let e = insert(atom(1), insert(atom(2), insert(atom(1), empty_set())));
+        assert_eq!(
+            eval_closed(&e),
+            Value::set([Value::atom(1), Value::atom(2)])
+        );
+    }
+
+    #[test]
+    fn choose_and_rest_follow_the_order() {
+        let s = set_lit([atom(5), atom(3), atom(9)]);
+        assert_eq!(eval_closed(&choose(s.clone())), Value::atom(3));
+        assert_eq!(
+            eval_closed(&rest(s)),
+            Value::set([Value::atom(5), Value::atom(9)])
+        );
+        assert!(matches!(
+            eval_full(&choose(empty_set()), &Env::new()),
+            Err(EvalError::ChooseFromEmptySet)
+        ));
+    }
+
+    #[test]
+    fn set_reduce_identity_union_collects_elements() {
+        // set-reduce(S, identity, insert, {}, {}) rebuilds S.
+        let s = Value::set([Value::atom(4), Value::atom(1), Value::atom(7)]);
+        let expr = set_reduce(
+            var("S"),
+            Lambda::identity(),
+            lam("x", "acc", insert(var("x"), var("acc"))),
+            empty_set(),
+            empty_set(),
+        );
+        let env = Env::new().bind("S", s.clone());
+        assert_eq!(eval_full(&expr, &env).unwrap(), s);
+    }
+
+    #[test]
+    fn set_reduce_respects_fold_order() {
+        // Collect the elements into a *list* through the accumulator. The
+        // accumulator meets the elements in ascending order (choose/rest
+        // order), so prepending each one yields the reversed — descending —
+        // list: the traversal order is observable, which is exactly the
+        // Section 7 point about order-dependent queries.
+        let expr = list_reduce_like_collect();
+        let env = Env::new().bind(
+            "S",
+            Value::set([Value::atom(3), Value::atom(1), Value::atom(2)]),
+        );
+        let program = Program::new(Dialect::full());
+        let mut ev = Evaluator::new(&program, EvalLimits::default());
+        let v = ev.eval(&expr, &env).unwrap();
+        assert_eq!(
+            v,
+            Value::list([Value::atom(3), Value::atom(2), Value::atom(1)])
+        );
+    }
+
+    fn list_reduce_like_collect() -> Expr {
+        set_reduce(
+            var("S"),
+            Lambda::identity(),
+            lam("x", "acc", cons(var("x"), var("acc"))),
+            empty_list(),
+            empty_set(),
+        )
+    }
+
+    #[test]
+    fn set_reduce_on_empty_set_returns_base() {
+        let expr = set_reduce(
+            empty_set(),
+            Lambda::identity(),
+            lam("x", "acc", insert(var("x"), var("acc"))),
+            const_v(Value::atom(42)),
+            empty_set(),
+        );
+        assert_eq!(eval_closed(&expr), Value::atom(42));
+    }
+
+    #[test]
+    fn extra_is_threaded_to_app() {
+        // forall-style: check every element equals the extra value.
+        let expr = set_reduce(
+            var("S"),
+            lam("x", "e", eq(var("x"), var("e"))),
+            lam("p", "acc", and(var("p"), var("acc"))),
+            bool_(true),
+            var("target"),
+        );
+        let env = Env::new()
+            .bind("S", Value::set([Value::atom(2), Value::atom(2)]))
+            .bind("target", Value::atom(2));
+        assert_eq!(eval_full(&expr, &env).unwrap(), Value::bool(true));
+        let env2 = Env::new()
+            .bind("S", Value::set([Value::atom(2), Value::atom(3)]))
+            .bind("target", Value::atom(2));
+        assert_eq!(eval_full(&expr, &env2).unwrap(), Value::bool(false));
+    }
+
+    #[test]
+    fn let_and_var_scoping() {
+        let expr = let_in("a", atom(1), let_in("a", atom(2), var("a")));
+        assert_eq!(eval_closed(&expr), Value::atom(2));
+        let expr = let_in("a", atom(1), tuple([var("a"), let_in("a", atom(2), var("a")), var("a")]));
+        assert_eq!(
+            eval_closed(&expr),
+            Value::tuple([Value::atom(1), Value::atom(2), Value::atom(1)])
+        );
+    }
+
+    #[test]
+    fn unbound_variable_errors() {
+        assert!(matches!(
+            eval_full(&var("nope"), &Env::new()),
+            Err(EvalError::UnboundVariable(_))
+        ));
+    }
+
+    #[test]
+    fn calls_bind_only_parameters() {
+        let program = Program::new(Dialect::full())
+            .define("pair_with_self", ["x"], tuple([var("x"), var("x")]));
+        let mut ev = Evaluator::new(&program, EvalLimits::default());
+        let v = ev.call("pair_with_self", &[Value::atom(3)]).unwrap();
+        assert_eq!(v, Value::tuple([Value::atom(3), Value::atom(3)]));
+        // Wrong arity is an error.
+        assert!(ev.call("pair_with_self", &[]).is_err());
+        // Unknown function is an error.
+        assert!(ev.call("nope", &[]).is_err());
+    }
+
+    #[test]
+    fn nested_calls_compose() {
+        let program = Program::new(Dialect::full())
+            .define("fst", ["t"], sel(var("t"), 1))
+            .define("snd", ["t"], sel(var("t"), 2))
+            .define(
+                "swap",
+                ["t"],
+                tuple([call("snd", [var("t")]), call("fst", [var("t")])]),
+            );
+        let (v, _) = run_program(
+            &program,
+            "swap",
+            &[Value::tuple([Value::atom(1), Value::atom(2)])],
+            EvalLimits::default(),
+        )
+        .unwrap();
+        assert_eq!(v, Value::tuple([Value::atom(2), Value::atom(1)]));
+    }
+
+    #[test]
+    fn new_produces_fresh_atoms() {
+        let program = Program::new(Dialect::srl_new());
+        let mut ev = Evaluator::new(&program, EvalLimits::default());
+        let env = Env::new().bind("S", Value::set([Value::atom(3), Value::atom(7)]));
+        let v = ev.eval(&new_value(var("S")), &env).unwrap();
+        assert_eq!(v, Value::atom(8));
+        // succ(S) = insert(new(S), S) (Section 5).
+        let succ_expr = insert(new_value(var("S")), var("S"));
+        let v = ev.eval(&succ_expr, &env).unwrap();
+        assert_eq!(v.len(), Some(3));
+        // new of a set with no atoms starts at 0.
+        let v = ev
+            .eval(&new_value(empty_set()), &Env::new())
+            .unwrap();
+        assert_eq!(v, Value::atom(0));
+    }
+
+    #[test]
+    fn new_is_rejected_in_plain_srl() {
+        let program = Program::srl();
+        let mut ev = Evaluator::new(&program, EvalLimits::default());
+        let err = ev.eval(&new_value(empty_set()), &Env::new()).unwrap_err();
+        assert!(matches!(err, EvalError::DialectViolation { .. }));
+    }
+
+    #[test]
+    fn nat_arithmetic() {
+        let program = Program::new(Dialect::full());
+        let mut ev = Evaluator::new(&program, EvalLimits::default());
+        let env = Env::new();
+        assert_eq!(
+            ev.eval(&nat_add(nat(2), nat(3)), &env).unwrap(),
+            Value::nat(5)
+        );
+        assert_eq!(
+            ev.eval(&nat_mul(nat(6), nat(7)), &env).unwrap(),
+            Value::nat(42)
+        );
+        assert_eq!(ev.eval(&succ(nat(41)), &env).unwrap(), Value::nat(42));
+    }
+
+    #[test]
+    fn nat_operators_rejected_in_srl() {
+        let program = Program::srl();
+        let mut ev = Evaluator::new(&program, EvalLimits::default());
+        assert!(matches!(
+            ev.eval(&nat(1), &Env::new()).unwrap_err(),
+            EvalError::DialectViolation { .. }
+        ));
+        let program = Program::new(Dialect::srl_with_addition());
+        let mut ev = Evaluator::new(&program, EvalLimits::default());
+        assert!(ev.eval(&nat_add(nat(1), nat(1)), &Env::new()).is_ok());
+        assert!(matches!(
+            ev.eval(&nat_mul(nat(2), nat(2)), &Env::new()).unwrap_err(),
+            EvalError::DialectViolation { .. }
+        ));
+    }
+
+    #[test]
+    fn lists_and_list_reduce() {
+        let program = Program::new(Dialect::lrl());
+        let mut ev = Evaluator::new(&program, EvalLimits::default());
+        let env = Env::new();
+        let l = cons(atom(1), cons(atom(2), cons(atom(1), empty_list())));
+        let v = ev.eval(&l, &env).unwrap();
+        assert_eq!(
+            v,
+            Value::list([Value::atom(1), Value::atom(2), Value::atom(1)])
+        );
+        assert_eq!(ev.eval(&head(l.clone()), &env).unwrap(), Value::atom(1));
+        assert_eq!(
+            ev.eval(&tail(l.clone()), &env).unwrap(),
+            Value::list([Value::atom(2), Value::atom(1)])
+        );
+        // list-reduce preserves duplicates: rebuild the list.
+        let rebuild = list_reduce(
+            l,
+            Lambda::identity(),
+            lam("x", "acc", cons(var("x"), var("acc"))),
+            empty_list(),
+            empty_set(),
+        );
+        let v = ev.eval(&rebuild, &env).unwrap();
+        assert_eq!(
+            v,
+            Value::list([Value::atom(1), Value::atom(2), Value::atom(1)])
+        );
+    }
+
+    #[test]
+    fn list_operators_rejected_in_srl() {
+        let program = Program::srl();
+        let mut ev = Evaluator::new(&program, EvalLimits::default());
+        assert!(matches!(
+            ev.eval(&empty_list(), &Env::new()).unwrap_err(),
+            EvalError::DialectViolation { .. }
+        ));
+    }
+
+    #[test]
+    fn step_limit_enforced() {
+        let s = Value::set((0..100).map(Value::atom));
+        let expr = set_reduce(
+            var("S"),
+            Lambda::identity(),
+            lam("x", "acc", insert(var("x"), var("acc"))),
+            empty_set(),
+            empty_set(),
+        );
+        let env = Env::new().bind("S", s);
+        let err = eval_expr(&expr, &env, EvalLimits::default().with_max_steps(50)).unwrap_err();
+        assert!(matches!(err, EvalError::StepLimitExceeded { limit: 50 }));
+    }
+
+    #[test]
+    fn size_limit_enforced() {
+        let s = Value::set((0..1000).map(Value::atom));
+        let expr = set_reduce(
+            var("S"),
+            Lambda::identity(),
+            lam("x", "acc", insert(var("x"), var("acc"))),
+            empty_set(),
+            empty_set(),
+        );
+        let env = Env::new().bind("S", s);
+        let err = eval_expr(
+            &expr,
+            &env,
+            EvalLimits::default().with_max_value_weight(100),
+        )
+        .unwrap_err();
+        assert!(matches!(err, EvalError::SizeLimitExceeded { limit: 100 }));
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        // Deeply nested tuples exceed a tiny depth budget.
+        let mut e = atom(0);
+        for _ in 0..100 {
+            e = tuple([e]);
+        }
+        let err = eval_expr(&e, &Env::new(), EvalLimits::default().with_max_depth(10)).unwrap_err();
+        assert!(matches!(err, EvalError::DepthLimitExceeded { limit: 10 }));
+    }
+
+    #[test]
+    fn nat_width_limit_enforced() {
+        let program = Program::new(Dialect::full());
+        let mut ev = Evaluator::new(
+            &program,
+            EvalLimits::default().with_max_nat_bits(8),
+        );
+        let big = nat_mul(nat(1 << 7), nat(1 << 7));
+        assert!(matches!(
+            ev.eval(&big, &Env::new()).unwrap_err(),
+            EvalError::NatWidthExceeded { .. }
+        ));
+    }
+
+    #[test]
+    fn stats_track_iterations_and_accumulator() {
+        let s = Value::set((0..10).map(Value::atom));
+        let expr = set_reduce(
+            var("S"),
+            Lambda::identity(),
+            lam("x", "acc", insert(var("x"), var("acc"))),
+            empty_set(),
+            empty_set(),
+        );
+        let env = Env::new().bind("S", s);
+        let (_, stats) = eval_expr_with_stats(&expr, &env, EvalLimits::default()).unwrap();
+        assert_eq!(stats.reduce_iterations, 10);
+        assert_eq!(stats.inserts, 10);
+        // The accumulator grows up to the full set (weight 11 = 10 atoms + set node).
+        assert!(stats.max_accumulator_weight >= 10);
+        assert!(stats.steps > 0);
+        assert!(stats.max_depth > 0);
+    }
+
+    #[test]
+    fn fresh_index_walks_nested_values() {
+        assert_eq!(next_fresh_index(&Value::empty_set()), 0);
+        assert_eq!(next_fresh_index(&Value::atom(4)), 5);
+        let nested = Value::set([
+            Value::tuple([Value::atom(2), Value::atom(9)]),
+            Value::atom(1),
+        ]);
+        assert_eq!(next_fresh_index(&nested), 10);
+        assert_eq!(next_fresh_index(&Value::nat(99)), 0);
+    }
+
+    #[test]
+    fn weight_capped_saturates() {
+        let big = Value::set((0..100).map(Value::atom));
+        assert_eq!(weight_capped(&big, 10), 11);
+        assert_eq!(weight_capped(&Value::atom(1), 10), 1);
+        assert_eq!(weight_capped(&big, 1000), big.weight());
+    }
+
+    #[test]
+    fn reset_stats_clears_counters() {
+        let program = Program::new(Dialect::full());
+        let mut ev = Evaluator::new(&program, EvalLimits::default());
+        ev.eval(&tuple([atom(1), atom(2)]), &Env::new()).unwrap();
+        assert!(ev.stats().steps > 0);
+        ev.reset_stats();
+        assert_eq!(ev.stats().steps, 0);
+    }
+}

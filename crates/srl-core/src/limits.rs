@@ -1,0 +1,185 @@
+//! Evaluation budgets and statistics.
+//!
+//! The unrestricted language reaches primitive recursive power (Theorem 5.2),
+//! so a careless expression can try to build an astronomically large value.
+//! The evaluator therefore runs against an [`EvalLimits`] budget and reports
+//! what it actually used in [`EvalStats`]. The statistics are also how the
+//! benchmark harness measures the paper's *space* claims — e.g. Theorem 4.13's
+//! logspace bound shows up as a bounded `max_accumulator_weight` while the
+//! input grows.
+
+use serde::{Deserialize, Serialize};
+
+/// Resource budget for one evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvalLimits {
+    /// Maximum number of evaluation steps (each AST node visit counts once).
+    pub max_steps: u64,
+    /// Budget on the total number of value leaves allocated by collection
+    /// constructors (`insert`, `cons`, tuple construction) over the whole
+    /// evaluation; exceeding it aborts with `SizeLimitExceeded`.
+    pub max_value_weight: usize,
+    /// Maximum nesting depth of expression evaluation (guards the Rust stack).
+    pub max_depth: usize,
+    /// Maximum bit-length of any natural number constructed.
+    pub max_nat_bits: usize,
+}
+
+impl EvalLimits {
+    /// A budget suitable for unit tests and interactive use.
+    pub fn default_budget() -> Self {
+        EvalLimits {
+            max_steps: 50_000_000,
+            max_value_weight: 2_000_000,
+            max_depth: 4_096,
+            max_nat_bits: 1 << 20,
+        }
+    }
+
+    /// A small budget, used to demonstrate that exponential fragments hit
+    /// their limits exactly where the paper predicts.
+    pub fn small() -> Self {
+        EvalLimits {
+            max_steps: 200_000,
+            max_value_weight: 20_000,
+            max_depth: 512,
+            max_nat_bits: 1 << 14,
+        }
+    }
+
+    /// A generous budget for the benchmark harness.
+    pub fn benchmark() -> Self {
+        EvalLimits {
+            max_steps: u64::MAX,
+            max_value_weight: usize::MAX,
+            max_depth: 16_384,
+            max_nat_bits: usize::MAX,
+        }
+    }
+
+    /// Returns a copy with a different step budget.
+    pub fn with_max_steps(mut self, steps: u64) -> Self {
+        self.max_steps = steps;
+        self
+    }
+
+    /// Returns a copy with a different value-weight budget.
+    pub fn with_max_value_weight(mut self, weight: usize) -> Self {
+        self.max_value_weight = weight;
+        self
+    }
+
+    /// Returns a copy with a different depth budget.
+    pub fn with_max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = depth;
+        self
+    }
+
+    /// Returns a copy with a different natural-number width budget.
+    pub fn with_max_nat_bits(mut self, bits: usize) -> Self {
+        self.max_nat_bits = bits;
+        self
+    }
+}
+
+impl Default for EvalLimits {
+    fn default() -> Self {
+        Self::default_budget()
+    }
+}
+
+/// What an evaluation actually consumed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvalStats {
+    /// Number of AST node visits.
+    pub steps: u64,
+    /// Number of `set-reduce` (or `list-reduce`) iterations performed — the
+    /// paper's `|S|` factors in Lemma 3.9 and Proposition 6.1.
+    pub reduce_iterations: u64,
+    /// Number of `insert` operations performed (each costs `T_ins` in the
+    /// paper's Proposition 6.1 accounting).
+    pub inserts: u64,
+    /// Largest weight of any value produced during evaluation.
+    pub max_value_weight: usize,
+    /// Largest weight of any *accumulator* value passed between iterations of
+    /// a `set-reduce`. Theorem 4.13 (BASRL = L) predicts this stays O(log n)
+    /// — in our value model, bounded by a constant number of leaves — even as
+    /// the input grows.
+    pub max_accumulator_weight: usize,
+    /// Deepest expression nesting reached.
+    pub max_depth: usize,
+    /// Number of `new` invocations (invented values, Section 5).
+    pub new_values: u64,
+}
+
+impl EvalStats {
+    /// Merges another statistics record into this one (taking maxima of the
+    /// high-water marks and sums of the counters).
+    pub fn absorb(&mut self, other: &EvalStats) {
+        self.steps += other.steps;
+        self.reduce_iterations += other.reduce_iterations;
+        self.inserts += other.inserts;
+        self.new_values += other.new_values;
+        self.max_value_weight = self.max_value_weight.max(other.max_value_weight);
+        self.max_accumulator_weight = self
+            .max_accumulator_weight
+            .max(other.max_accumulator_weight);
+        self.max_depth = self.max_depth.max(other.max_depth);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_budget_is_nontrivial() {
+        let l = EvalLimits::default();
+        assert!(l.max_steps > 1_000_000);
+        assert!(l.max_value_weight > 10_000);
+        assert!(l.max_depth >= 1_024);
+    }
+
+    #[test]
+    fn builders() {
+        let l = EvalLimits::small()
+            .with_max_steps(10)
+            .with_max_value_weight(20)
+            .with_max_depth(30)
+            .with_max_nat_bits(40);
+        assert_eq!(l.max_steps, 10);
+        assert_eq!(l.max_value_weight, 20);
+        assert_eq!(l.max_depth, 30);
+        assert_eq!(l.max_nat_bits, 40);
+    }
+
+    #[test]
+    fn stats_absorb() {
+        let mut a = EvalStats {
+            steps: 10,
+            reduce_iterations: 2,
+            inserts: 1,
+            max_value_weight: 5,
+            max_accumulator_weight: 3,
+            max_depth: 7,
+            new_values: 0,
+        };
+        let b = EvalStats {
+            steps: 5,
+            reduce_iterations: 8,
+            inserts: 2,
+            max_value_weight: 50,
+            max_accumulator_weight: 1,
+            max_depth: 2,
+            new_values: 4,
+        };
+        a.absorb(&b);
+        assert_eq!(a.steps, 15);
+        assert_eq!(a.reduce_iterations, 10);
+        assert_eq!(a.inserts, 3);
+        assert_eq!(a.new_values, 4);
+        assert_eq!(a.max_value_weight, 50);
+        assert_eq!(a.max_accumulator_weight, 3);
+        assert_eq!(a.max_depth, 7);
+    }
+}

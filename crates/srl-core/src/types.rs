@@ -1,0 +1,314 @@
+//! The type language of SRL.
+//!
+//! Types are built from the booleans, a single ordered base type of domain
+//! elements ("atoms"), the naturals (an extension discussed in Section 3 and
+//! used in Section 5), fixed-arity tuples, `set of`, and `list of` (the LRL
+//! extension). Type variables exist only so that `emptyset` — which the paper
+//! gives the polymorphic type `set(alpha)` — can be checked; they are always
+//! resolved away by unification before evaluation.
+//!
+//! The three syntactic measures the paper's theorems hinge on are defined
+//! here: `set_height` (Definition 2.2), `tuple_width` and `tuple_nesting`
+//! (Proposition 3.8).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::Value;
+
+/// A type of the set-reduce language.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Type {
+    /// The booleans.
+    Bool,
+    /// The single ordered base type of domain elements.
+    Atom,
+    /// Natural numbers (ℕ) — the unbounded-successor extension.
+    Nat,
+    /// A fixed-arity tuple; components are selected positionally (`sel_i`).
+    Tuple(Vec<Type>),
+    /// A finite set of elements of the given type.
+    Set(Box<Type>),
+    /// A finite list of elements of the given type (LRL).
+    List(Box<Type>),
+    /// A type variable, used only during inference (e.g. for `emptyset`).
+    Var(u32),
+}
+
+impl Type {
+    /// `set of t`.
+    pub fn set_of(t: Type) -> Type {
+        Type::Set(Box::new(t))
+    }
+
+    /// `list of t`.
+    pub fn list_of(t: Type) -> Type {
+        Type::List(Box::new(t))
+    }
+
+    /// `tuple(t1, …, tk)`.
+    pub fn tuple_of(ts: impl IntoIterator<Item = Type>) -> Type {
+        Type::Tuple(ts.into_iter().collect())
+    }
+
+    /// The relation type `set of [Atom; arity]` used to encode input
+    /// relations of a vocabulary (Section 3).
+    pub fn relation(arity: usize) -> Type {
+        Type::set_of(Type::tuple_of(std::iter::repeat(Type::Atom).take(arity)))
+    }
+
+    /// Definition 2.2: `set-height(base) = 0`,
+    /// `set-height(set of α) = 1 + set-height(α)`; tuples and lists take the
+    /// maximum over their components.
+    pub fn set_height(&self) -> usize {
+        match self {
+            Type::Bool | Type::Atom | Type::Nat | Type::Var(_) => 0,
+            Type::Tuple(ts) => ts.iter().map(Type::set_height).max().unwrap_or(0),
+            Type::Set(t) => 1 + t.set_height(),
+            Type::List(t) => t.set_height(),
+        }
+    }
+
+    /// List-height, the analogue of Definition 2.2 for the LRL extension.
+    pub fn list_height(&self) -> usize {
+        match self {
+            Type::Bool | Type::Atom | Type::Nat | Type::Var(_) => 0,
+            Type::Tuple(ts) => ts.iter().map(Type::list_height).max().unwrap_or(0),
+            Type::Set(t) => t.list_height(),
+            Type::List(t) => 1 + t.list_height(),
+        }
+    }
+
+    /// Maximum tuple width (arity) occurring anywhere in the type
+    /// (Proposition 3.8's `w`). Non-tuple types have width 1.
+    pub fn tuple_width(&self) -> usize {
+        match self {
+            Type::Bool | Type::Atom | Type::Nat | Type::Var(_) => 1,
+            Type::Tuple(ts) => ts
+                .iter()
+                .map(Type::tuple_width)
+                .max()
+                .unwrap_or(1)
+                .max(ts.len().max(1)),
+            Type::Set(t) | Type::List(t) => t.tuple_width(),
+        }
+    }
+
+    /// Maximum tuple nesting depth (Proposition 3.8's `l`). Non-tuple types
+    /// have nesting 0.
+    pub fn tuple_nesting(&self) -> usize {
+        match self {
+            Type::Bool | Type::Atom | Type::Nat | Type::Var(_) => 0,
+            Type::Tuple(ts) => 1 + ts.iter().map(Type::tuple_nesting).max().unwrap_or(0),
+            Type::Set(t) | Type::List(t) => t.tuple_nesting(),
+        }
+    }
+
+    /// True iff equality on this type is axiomatised directly (rule 6 of the
+    /// grammar requires the compared type to "include an equality relation"):
+    /// booleans, atoms, naturals, and tuples thereof. Equality on sets and
+    /// lists must be *expressed* with `set-reduce` (the stdlib does so).
+    pub fn has_primitive_equality(&self) -> bool {
+        match self {
+            Type::Bool | Type::Atom | Type::Nat => true,
+            Type::Tuple(ts) => ts.iter().all(Type::has_primitive_equality),
+            Type::Set(_) | Type::List(_) | Type::Var(_) => false,
+        }
+    }
+
+    /// True iff the type carries a total order usable by `≤` and by the
+    /// `choose` mechanism: same as primitive equality in this implementation.
+    pub fn has_primitive_order(&self) -> bool {
+        self.has_primitive_equality()
+    }
+
+    /// True iff no type variable occurs in the type.
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Type::Bool | Type::Atom | Type::Nat => true,
+            Type::Var(_) => false,
+            Type::Tuple(ts) => ts.iter().all(Type::is_ground),
+            Type::Set(t) | Type::List(t) => t.is_ground(),
+        }
+    }
+
+    /// True iff the type mentions `Nat` anywhere. The paper's Section 5
+    /// remarks that it is the combination `set of ℕ` (or unbounded successor)
+    /// that pushes the language to primitive recursive power.
+    pub fn mentions_nat(&self) -> bool {
+        match self {
+            Type::Nat => true,
+            Type::Bool | Type::Atom | Type::Var(_) => false,
+            Type::Tuple(ts) => ts.iter().any(Type::mentions_nat),
+            Type::Set(t) | Type::List(t) => t.mentions_nat(),
+        }
+    }
+
+    /// True iff a `set of` type with a `Nat` element type occurs — the
+    /// specific combination Section 3 forbids for membership in P.
+    pub fn has_set_of_nat(&self) -> bool {
+        match self {
+            Type::Bool | Type::Atom | Type::Nat | Type::Var(_) => false,
+            Type::Tuple(ts) => ts.iter().any(Type::has_set_of_nat),
+            Type::Set(t) => t.mentions_nat() || t.has_set_of_nat(),
+            Type::List(t) => t.has_set_of_nat(),
+        }
+    }
+
+    /// Infers the type of a closed value, if it has one (heterogeneous or
+    /// empty collections are given element type `Var(0)`).
+    pub fn of_value(v: &Value) -> Type {
+        match v {
+            Value::Bool(_) => Type::Bool,
+            Value::Atom(_) => Type::Atom,
+            Value::Nat(_) => Type::Nat,
+            Value::Tuple(items) => Type::Tuple(items.iter().map(Type::of_value).collect()),
+            Value::Set(items) => match items.iter().next() {
+                Some(first) => Type::set_of(Type::of_value(first)),
+                None => Type::set_of(Type::Var(0)),
+            },
+            Value::List(items) => match items.first() {
+                Some(first) => Type::list_of(Type::of_value(first)),
+                None => Type::list_of(Type::Var(0)),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Bool => write!(f, "bool"),
+            Type::Atom => write!(f, "atom"),
+            Type::Nat => write!(f, "nat"),
+            Type::Var(i) => write!(f, "'a{i}"),
+            Type::Tuple(ts) => {
+                write!(f, "[")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, "]")
+            }
+            Type::Set(t) => write!(f, "set of {t}"),
+            Type::List(t) => write!(f, "list of {t}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_height_matches_definition_2_2() {
+        assert_eq!(Type::Atom.set_height(), 0);
+        assert_eq!(Type::Bool.set_height(), 0);
+        assert_eq!(Type::set_of(Type::Atom).set_height(), 1);
+        assert_eq!(Type::set_of(Type::set_of(Type::Atom)).set_height(), 2);
+        assert_eq!(
+            Type::tuple_of([Type::Atom, Type::set_of(Type::Atom)]).set_height(),
+            1
+        );
+        assert_eq!(
+            Type::set_of(Type::tuple_of([Type::Atom, Type::set_of(Type::Atom)])).set_height(),
+            2
+        );
+    }
+
+    #[test]
+    fn list_height_analogous() {
+        assert_eq!(Type::list_of(Type::Atom).list_height(), 1);
+        assert_eq!(Type::list_of(Type::list_of(Type::Atom)).list_height(), 2);
+        assert_eq!(Type::set_of(Type::Atom).list_height(), 0);
+    }
+
+    #[test]
+    fn tuple_width_and_nesting() {
+        let t = Type::tuple_of([Type::Atom, Type::Atom, Type::Atom]);
+        assert_eq!(t.tuple_width(), 3);
+        assert_eq!(t.tuple_nesting(), 1);
+
+        // [atom, [atom, atom, atom, atom]] — width 4, nesting 2.
+        let nested = Type::tuple_of([
+            Type::Atom,
+            Type::tuple_of([Type::Atom, Type::Atom, Type::Atom, Type::Atom]),
+        ]);
+        assert_eq!(nested.tuple_width(), 4);
+        assert_eq!(nested.tuple_nesting(), 2);
+
+        assert_eq!(Type::Atom.tuple_width(), 1);
+        assert_eq!(Type::Atom.tuple_nesting(), 0);
+        assert_eq!(Type::set_of(nested.clone()).tuple_width(), 4);
+        assert_eq!(Type::set_of(nested).tuple_nesting(), 2);
+    }
+
+    #[test]
+    fn relation_type_shape() {
+        let r = Type::relation(2);
+        assert_eq!(r, Type::set_of(Type::tuple_of([Type::Atom, Type::Atom])));
+        assert_eq!(r.set_height(), 1);
+        assert_eq!(r.tuple_width(), 2);
+    }
+
+    #[test]
+    fn primitive_equality_excludes_sets() {
+        assert!(Type::Bool.has_primitive_equality());
+        assert!(Type::Atom.has_primitive_equality());
+        assert!(Type::Nat.has_primitive_equality());
+        assert!(Type::tuple_of([Type::Atom, Type::Bool]).has_primitive_equality());
+        assert!(!Type::set_of(Type::Atom).has_primitive_equality());
+        assert!(!Type::tuple_of([Type::Atom, Type::set_of(Type::Atom)]).has_primitive_equality());
+        assert!(!Type::list_of(Type::Atom).has_primitive_equality());
+    }
+
+    #[test]
+    fn nat_detection() {
+        assert!(Type::Nat.mentions_nat());
+        assert!(Type::set_of(Type::Nat).mentions_nat());
+        assert!(!Type::set_of(Type::Atom).mentions_nat());
+        assert!(Type::set_of(Type::Nat).has_set_of_nat());
+        assert!(Type::set_of(Type::tuple_of([Type::Atom, Type::Nat])).has_set_of_nat());
+        assert!(!Type::tuple_of([Type::Nat, Type::set_of(Type::Atom)]).has_set_of_nat());
+    }
+
+    #[test]
+    fn groundness() {
+        assert!(Type::set_of(Type::Atom).is_ground());
+        assert!(!Type::set_of(Type::Var(0)).is_ground());
+        assert!(!Type::tuple_of([Type::Atom, Type::Var(3)]).is_ground());
+    }
+
+    #[test]
+    fn type_of_value() {
+        assert_eq!(Type::of_value(&Value::bool(true)), Type::Bool);
+        assert_eq!(Type::of_value(&Value::atom(3)), Type::Atom);
+        assert_eq!(Type::of_value(&Value::nat(3)), Type::Nat);
+        assert_eq!(
+            Type::of_value(&Value::tuple([Value::atom(0), Value::bool(false)])),
+            Type::tuple_of([Type::Atom, Type::Bool])
+        );
+        assert_eq!(
+            Type::of_value(&Value::set([Value::atom(0), Value::atom(1)])),
+            Type::set_of(Type::Atom)
+        );
+        assert_eq!(
+            Type::of_value(&Value::empty_set()),
+            Type::set_of(Type::Var(0))
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Type::set_of(Type::Atom).to_string(), "set of atom");
+        assert_eq!(
+            Type::tuple_of([Type::Atom, Type::Bool]).to_string(),
+            "[atom, bool]"
+        );
+        assert_eq!(Type::list_of(Type::Nat).to_string(), "list of nat");
+        assert_eq!(Type::Var(2).to_string(), "'a2");
+    }
+}

@@ -1,0 +1,462 @@
+//! BASRL arithmetic (Proposition 4.5 and Lemma 4.6).
+//!
+//! Section 4 treats the elements of the ordered domain `D` as numbers: the
+//! rank of an element in the traversal order `≤` is its value. On that
+//! representation the paper programs `increment`, `decrement`, `ADD`, `MULT`,
+//! `EXP`, `SHIFT`, `PARITY`, `REM` and `BIT` in **BASRL** — SRL whose
+//! accumulators are bounded-width tuples of set-height 0 — which is the
+//! technical heart of `ℒ(BASRL) = L` (Theorem 4.13).
+//!
+//! This module builds those programs. Every definition takes the domain `D`
+//! explicitly (the paper's programs implicitly scan `D`), operates on atoms,
+//! and uses only bounded-tuple accumulators, so the whole program
+//! type-checks in the BASRL dialect. Arithmetic saturates at the domain
+//! boundaries (`increment(max) = max`, `decrement(0) = 0`), which is how the
+//! paper says to "take care of the boundary cases".
+
+use srl_core::ast::Expr;
+use srl_core::dialect::Dialect;
+use srl_core::dsl::*;
+use srl_core::program::Program;
+use srl_core::value::Value;
+
+/// Names of the definitions produced by [`arithmetic_program`].
+pub mod names {
+    /// `inc_state(D, a) → [seen, taken, value]` — the raw scan of the paper's
+    /// `increment`.
+    pub const INC_STATE: &str = "inc_state";
+    /// `inc(D, a) → atom` — successor, saturating at the maximum element.
+    pub const INC: &str = "inc";
+    /// `dec(D, a) → atom` — predecessor, saturating at the minimum element.
+    pub const DEC: &str = "dec";
+    /// `is_min(D, a) → bool`.
+    pub const IS_MIN: &str = "is_min";
+    /// `is_max(D, a) → bool`.
+    pub const IS_MAX: &str = "is_max";
+    /// `add(D, a, b) → atom` — rank addition, saturating at the maximum.
+    pub const ADD: &str = "add";
+    /// `mult(D, a, b) → atom` — rank multiplication, saturating.
+    pub const MULT: &str = "mult";
+    /// `exp(D, a, b) → atom` — a^b on ranks, saturating.
+    pub const EXP: &str = "exp";
+    /// `shift(D, a) → [found, half, parity]` — the paper's SHIFT (divide by
+    /// two with remainder).
+    pub const SHIFT: &str = "shift";
+    /// `parity(D, a) → bool` — true iff the rank of `a` is odd.
+    pub const PARITY: &str = "parity";
+    /// `rem(D, i, a) → [remaining, value]` — the paper's REM scan;
+    /// `value = a >> i`.
+    pub const REM: &str = "rem";
+    /// `bit(D, i, a) → bool` — the paper's BIT(i, a).
+    pub const BIT: &str = "bit";
+}
+
+/// Builds the BASRL arithmetic program: a [`Program`] in the BASRL dialect
+/// containing all the Section 4 definitions.
+pub fn arithmetic_program() -> Program {
+    let program = Program::new(Dialect::basrl());
+
+    // is_min(D, a): every element of D is ≥ a.
+    let program = program.define(
+        names::IS_MIN,
+        ["D", "a"],
+        set_reduce(
+            var("D"),
+            lam("d", "a0", leq(var("a0"), var("d"))),
+            lam("ok", "acc", and(var("ok"), var("acc"))),
+            bool_(true),
+            var("a"),
+        ),
+    );
+
+    // is_max(D, a): every element of D is ≤ a.
+    let program = program.define(
+        names::IS_MAX,
+        ["D", "a"],
+        set_reduce(
+            var("D"),
+            lam("d", "a0", leq(var("d"), var("a0"))),
+            lam("ok", "acc", and(var("ok"), var("acc"))),
+            bool_(true),
+            var("a"),
+        ),
+    );
+
+    // inc_state(D, a): scan D in ascending order with accumulator
+    // [seen_a, taken_next, value]; after the scan, `taken_next` says whether
+    // a successor exists and `value` is it (or `a` when none).
+    let inc_state_body = set_reduce(
+        var("D"),
+        lam("d", "a0", tuple([var("d"), eq(var("d"), var("a0"))])),
+        lam(
+            "p",
+            "X",
+            if_(
+                and(sel(var("X"), 1), not(sel(var("X"), 2))),
+                tuple([sel(var("X"), 1), bool_(true), sel(var("p"), 1)]),
+                if_(
+                    sel(var("p"), 2),
+                    tuple([bool_(true), bool_(false), sel(var("X"), 3)]),
+                    var("X"),
+                ),
+            ),
+        ),
+        tuple([bool_(false), bool_(false), var("a")]),
+        var("a"),
+    );
+    let program = program.define(names::INC_STATE, ["D", "a"], inc_state_body);
+
+    // inc(D, a): the successor value, saturating at the maximum.
+    let program = program.define(
+        names::INC,
+        ["D", "a"],
+        let_in(
+            "r",
+            call(names::INC_STATE, [var("D"), var("a")]),
+            if_(sel(var("r"), 2), sel(var("r"), 3), var("a")),
+        ),
+    );
+
+    // dec(D, a): scan ascending with accumulator [found, predecessor]; the
+    // predecessor of the minimum is the minimum itself (saturation).
+    let dec_body = set_reduce(
+        var("D"),
+        lam("d", "a0", tuple([var("d"), eq(var("d"), var("a0"))])),
+        lam(
+            "p",
+            "X",
+            if_(
+                sel(var("X"), 1),
+                var("X"),
+                if_(
+                    sel(var("p"), 2),
+                    tuple([bool_(true), sel(var("X"), 2)]),
+                    tuple([bool_(false), sel(var("p"), 1)]),
+                ),
+            ),
+        ),
+        tuple([bool_(false), var("a")]),
+        var("a"),
+    );
+    let program = program.define(
+        names::DEC,
+        ["D", "a"],
+        let_in("r", dec_body, sel(var("r"), 2)),
+    );
+
+    // add(D, a, b): accumulator [x, y] starting [a, b]; while y is not the
+    // minimum, transfer one unit (paper's ADD). |D| iterations suffice.
+    let add_body = set_reduce(
+        var("D"),
+        lam("d", "unused", var("d")),
+        lam(
+            "d",
+            "X",
+            if_(
+                and(
+                    not(call(names::IS_MIN, [var("D"), sel(var("X"), 2)])),
+                    not(call(names::IS_MAX, [var("D"), sel(var("X"), 1)])),
+                ),
+                tuple([
+                    call(names::INC, [var("D"), sel(var("X"), 1)]),
+                    call(names::DEC, [var("D"), sel(var("X"), 2)]),
+                ]),
+                var("X"),
+            ),
+        ),
+        tuple([var("a"), var("b")]),
+        empty_set(),
+    );
+    let program = program.define(
+        names::ADD,
+        ["D", "a", "b"],
+        let_in("r", add_body, sel(var("r"), 1)),
+    );
+
+    // mult(D, a, b): accumulator [product, counter] starting [0, b]; add `a`
+    // while the counter is not the minimum (paper's MULT, with `a` arriving
+    // through the extra slot there and through the parameter here).
+    let mult_body = set_reduce(
+        var("D"),
+        lam("d", "unused", var("d")),
+        lam(
+            "d",
+            "X",
+            if_(
+                not(call(names::IS_MIN, [var("D"), sel(var("X"), 2)])),
+                tuple([
+                    call(names::ADD, [var("D"), sel(var("X"), 1), var("a")]),
+                    call(names::DEC, [var("D"), sel(var("X"), 2)]),
+                ]),
+                var("X"),
+            ),
+        ),
+        tuple([choose(var("D")), var("b")]),
+        empty_set(),
+    );
+    let program = program.define(
+        names::MULT,
+        ["D", "a", "b"],
+        let_in("r", mult_body, sel(var("r"), 1)),
+    );
+
+    // exp(D, a, b): accumulator [power, counter] starting [1, b]; multiply by
+    // `a` while the counter is not the minimum (paper's EXP).
+    let exp_body = set_reduce(
+        var("D"),
+        lam("d", "unused", var("d")),
+        lam(
+            "d",
+            "X",
+            if_(
+                not(call(names::IS_MIN, [var("D"), sel(var("X"), 2)])),
+                tuple([
+                    call(names::MULT, [var("D"), sel(var("X"), 1), var("a")]),
+                    call(names::DEC, [var("D"), sel(var("X"), 2)]),
+                ]),
+                var("X"),
+            ),
+        ),
+        tuple([call(names::INC, [var("D"), choose(var("D"))]), var("b")]),
+        empty_set(),
+    );
+    let program = program.define(
+        names::EXP,
+        ["D", "a", "b"],
+        let_in("r", exp_body, sel(var("r"), 1)),
+    );
+
+    // shift(D, a): find x with 2x = a or 2x + 1 = a, scanning ascending;
+    // accumulator [found, half, parity] (paper's SHIFT).
+    let shift_body = set_reduce(
+        var("D"),
+        lam("x", "a0", var("x")),
+        lam(
+            "x",
+            "X",
+            if_(
+                sel(var("X"), 1),
+                var("X"),
+                if_(
+                    eq(
+                        call(names::ADD, [var("D"), var("x"), var("x")]),
+                        var("a"),
+                    ),
+                    tuple([bool_(true), var("x"), bool_(false)]),
+                    if_(
+                        eq(
+                            call(
+                                names::INC,
+                                [var("D"), call(names::ADD, [var("D"), var("x"), var("x")])],
+                            ),
+                            var("a"),
+                        ),
+                        tuple([bool_(true), var("x"), bool_(true)]),
+                        var("X"),
+                    ),
+                ),
+            ),
+        ),
+        tuple([bool_(false), var("a"), bool_(false)]),
+        var("a"),
+    );
+    let program = program.define(names::SHIFT, ["D", "a"], shift_body);
+
+    // parity(D, a) = SHIFT(a).3.
+    let program = program.define(
+        names::PARITY,
+        ["D", "a"],
+        sel(call(names::SHIFT, [var("D"), var("a")]), 3),
+    );
+
+    // rem(D, i, a): accumulator [remaining, value]; halve `value` `i` times
+    // (paper's REM).
+    let rem_body = set_reduce(
+        var("D"),
+        lam("d", "unused", var("d")),
+        lam(
+            "d",
+            "X",
+            if_(
+                not(call(names::IS_MIN, [var("D"), sel(var("X"), 1)])),
+                tuple([
+                    call(names::DEC, [var("D"), sel(var("X"), 1)]),
+                    sel(call(names::SHIFT, [var("D"), sel(var("X"), 2)]), 2),
+                ]),
+                var("X"),
+            ),
+        ),
+        tuple([var("i"), var("a")]),
+        empty_set(),
+    );
+    let program = program.define(names::REM, ["D", "i", "a"], rem_body);
+
+    // bit(D, i, a) = PARITY(REM(i, a).2).
+    program.define(
+        names::BIT,
+        ["D", "i", "a"],
+        call(
+            names::PARITY,
+            [var("D"), sel(call(names::REM, [var("D"), var("i"), var("a")]), 2)],
+        ),
+    )
+}
+
+/// Builds the SRL value for the ordered domain `{0, …, n-1}`.
+pub fn domain(n: u64) -> Value {
+    Value::set((0..n).map(Value::atom))
+}
+
+/// Convenience expression: the rank-`k` atom as a constant.
+pub fn rank(k: u64) -> Expr {
+    atom(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::names::*;
+    use super::*;
+    use srl_core::eval::run_program;
+    use srl_core::limits::EvalLimits;
+    use srl_core::value::Value;
+
+    fn call_arith(name: &str, n: u64, args: &[u64]) -> Value {
+        let program = arithmetic_program();
+        let mut full_args = vec![domain(n)];
+        full_args.extend(args.iter().map(|&a| Value::atom(a)));
+        let (value, _) = run_program(&program, name, &full_args, EvalLimits::default())
+            .unwrap_or_else(|e| panic!("{name}({args:?}) over domain {n} failed: {e}"));
+        value
+    }
+
+    fn expect_atom(name: &str, n: u64, args: &[u64], expected: u64) {
+        assert_eq!(
+            call_arith(name, n, args),
+            Value::atom(expected),
+            "{name}({args:?}) over domain of size {n}"
+        );
+    }
+
+    fn expect_bool(name: &str, n: u64, args: &[u64], expected: bool) {
+        assert_eq!(
+            call_arith(name, n, args),
+            Value::bool(expected),
+            "{name}({args:?}) over domain of size {n}"
+        );
+    }
+
+    #[test]
+    fn program_is_structurally_valid() {
+        let p = arithmetic_program();
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn min_max_predicates() {
+        expect_bool(IS_MIN, 6, &[0], true);
+        expect_bool(IS_MIN, 6, &[1], false);
+        expect_bool(IS_MAX, 6, &[5], true);
+        expect_bool(IS_MAX, 6, &[4], false);
+    }
+
+    #[test]
+    fn increment_matches_successor() {
+        for a in 0..7 {
+            expect_atom(INC, 8, &[a], (a + 1).min(7));
+        }
+        // Saturation at the top.
+        expect_atom(INC, 8, &[7], 7);
+    }
+
+    #[test]
+    fn decrement_matches_predecessor() {
+        for a in 1..8 {
+            expect_atom(DEC, 8, &[a], a - 1);
+        }
+        expect_atom(DEC, 8, &[0], 0);
+    }
+
+    #[test]
+    fn addition_matches_native() {
+        let n = 12;
+        for (a, b) in [(0u64, 0u64), (3, 4), (4, 3), (0, 7), (7, 0), (5, 5), (11, 0)] {
+            expect_atom(ADD, n, &[a, b], (a + b).min(n - 1));
+        }
+        // Saturation.
+        expect_atom(ADD, 8, &[6, 5], 7);
+    }
+
+    #[test]
+    fn multiplication_matches_native() {
+        let n = 20;
+        for (a, b) in [(0u64, 5u64), (5, 0), (1, 7), (3, 4), (4, 4), (2, 9)] {
+            expect_atom(MULT, n, &[a, b], (a * b).min(n - 1));
+        }
+    }
+
+    #[test]
+    fn exponentiation_matches_native() {
+        // EXP is the deepest composition (exp → mult → add → inc/dec), so the
+        // interpreted cost grows like n⁴; keep the domain small here and let
+        // the benchmark harness sweep larger sizes.
+        let n = 12;
+        for (a, b) in [(2u64, 0u64), (2, 3), (3, 2), (2, 2), (1, 9)] {
+            expect_atom(EXP, n, &[a, b], a.pow(b as u32).min(n - 1));
+        }
+    }
+
+    #[test]
+    fn shift_and_parity() {
+        let n = 16;
+        for a in 0..n {
+            let v = call_arith(SHIFT, n, &[a]);
+            let t = v.as_tuple().expect("shift returns a triple");
+            assert_eq!(t[1], Value::atom(a / 2), "half of {a}");
+            assert_eq!(t[2], Value::bool(a % 2 == 1), "parity of {a}");
+        }
+        expect_bool(PARITY, 16, &[6], false);
+        expect_bool(PARITY, 16, &[7], true);
+        expect_bool(PARITY, 16, &[0], false);
+    }
+
+    #[test]
+    fn rem_shifts_right() {
+        let n = 16;
+        for (i, a) in [(0u64, 13u64), (1, 13), (2, 13), (3, 13), (2, 11)] {
+            let v = call_arith(REM, n, &[i, a]);
+            let t = v.as_tuple().expect("rem returns a pair");
+            assert_eq!(t[1], Value::atom(a >> i), "{a} >> {i}");
+        }
+    }
+
+    #[test]
+    fn bit_matches_binary_representation() {
+        let n = 16;
+        for a in [0u64, 5, 10, 13] {
+            for i in 0..4u64 {
+                expect_bool(BIT, n, &[i, a], (a >> i) & 1 == 1);
+            }
+        }
+    }
+
+    #[test]
+    fn accumulators_stay_bounded_as_n_grows() {
+        // The logspace signature: the largest accumulator passed between
+        // iterations does not grow with the domain (Theorem 4.13).
+        let program = arithmetic_program();
+        let mut widths = Vec::new();
+        for n in [8u64, 16, 32] {
+            let (_, stats) = run_program(
+                &program,
+                ADD,
+                &[domain(n), Value::atom(3), Value::atom(n - 5)],
+                EvalLimits::default(),
+            )
+            .unwrap();
+            widths.push(stats.max_accumulator_weight);
+        }
+        assert_eq!(widths[0], widths[1]);
+        assert_eq!(widths[1], widths[2]);
+        assert!(widths[0] <= 8, "accumulators are small tuples, got {widths:?}");
+    }
+}

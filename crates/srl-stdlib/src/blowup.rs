@@ -1,0 +1,225 @@
+//! The deliberately-exponential programs of the paper.
+//!
+//! * Example 3.12: with set-height 2, `powerset(S)` builds the power set of
+//!   `S` — a set of size 2^|S| — showing why the set-height ≤ 1 restriction
+//!   is crucial for Theorem 3.10.
+//! * The remark after Theorem 3.10: in LRL (lists instead of sets),
+//!   `F((1, 2, …, n)) = (1, 1, …, 1)` with 2ⁿ ones is expressible because
+//!   lists keep duplicates, so ℒ(LRL) ⊄ FP.
+//!
+//! Both programs are exercised by the E2/E6 experiments under small
+//! [`srl_core::limits::EvalLimits`] budgets to show the blow-up hitting the
+//! resource wall exactly where the paper predicts.
+
+use srl_core::ast::Lambda;
+use srl_core::dialect::Dialect;
+use srl_core::dsl::*;
+use srl_core::program::Program;
+
+/// Names of the definitions produced by the builders in this module.
+pub mod names {
+    /// `finsert(pair, T)` — Example 3.12's `finsert`.
+    pub const FINSERT: &str = "finsert";
+    /// `sift(x, T)` — Example 3.12's `sift`.
+    pub const SIFT: &str = "sift";
+    /// `powerset(S)` — Example 3.12's `powerset`.
+    pub const POWERSET: &str = "powerset";
+    /// `append(A, B)` — list append, used by the doubling function.
+    pub const APPEND: &str = "append";
+    /// `double_per_element(L)` — the 2ⁿ-ones function.
+    pub const DOUBLING: &str = "double_per_element";
+}
+
+/// Example 3.12 verbatim: `powerset`, `sift`, `finsert` in unrestricted SRL
+/// (set-height 2).
+pub fn powerset_program() -> Program {
+    let program = Program::new(Dialect::unrestricted());
+
+    // finsert(p, T): p is a pair [subset, element]; add both the subset and
+    // the subset with the element inserted.
+    let program = program.define(
+        names::FINSERT,
+        ["p", "T"],
+        insert(
+            sel(var("p"), 1),
+            insert(
+                insert(sel(var("p"), 2), sel(var("p"), 1)),
+                var("T"),
+            ),
+        ),
+    );
+
+    // sift(x, T): pair every existing subset with x and fold finsert.
+    let program = program.define(
+        names::SIFT,
+        ["x", "T"],
+        set_reduce(
+            var("T"),
+            lam("y", "e", tuple([var("y"), var("e")])),
+            lam("pair", "acc", call(names::FINSERT, [var("pair"), var("acc")])),
+            empty_set(),
+            var("x"),
+        ),
+    );
+
+    // powerset(S) = set-reduce(S, identity, sift, {{}}).
+    program.define(
+        names::POWERSET,
+        ["S"],
+        set_reduce(
+            var("S"),
+            Lambda::identity(),
+            lam("x", "T", call(names::SIFT, [var("x"), var("T")])),
+            insert(empty_set(), empty_set()),
+            empty_set(),
+        ),
+    )
+}
+
+/// The LRL blow-up: `double_per_element(L)` returns a list of 2^|L| copies of
+/// the atom `1` by appending the accumulator to itself once per list element.
+pub fn lrl_doubling_program() -> Program {
+    let program = Program::new(Dialect::lrl());
+
+    // append(A, B): prepend A's elements onto B (order within A reverses,
+    // which is irrelevant here — every element is the same atom).
+    let program = program.define(
+        names::APPEND,
+        ["A", "B"],
+        list_reduce(
+            var("A"),
+            Lambda::identity(),
+            lam("x", "acc", cons(var("x"), var("acc"))),
+            var("B"),
+            empty_set(),
+        ),
+    );
+
+    // double_per_element(L): start from <1> and double once per element.
+    program.define(
+        names::DOUBLING,
+        ["L"],
+        list_reduce(
+            var("L"),
+            Lambda::identity(),
+            lam("x", "acc", call(names::APPEND, [var("acc"), var("acc")])),
+            cons(atom(1), empty_list()),
+            empty_set(),
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::names::*;
+    use super::*;
+    use srl_core::error::EvalError;
+    use srl_core::eval::run_program;
+    use srl_core::limits::EvalLimits;
+    use srl_core::typecheck::check_expr;
+    use srl_core::value::Value;
+
+    fn atoms(items: impl IntoIterator<Item = u64>) -> Value {
+        Value::set(items.into_iter().map(Value::atom))
+    }
+
+    #[test]
+    fn programs_validate() {
+        assert!(powerset_program().validate().is_ok());
+        assert!(lrl_doubling_program().validate().is_ok());
+    }
+
+    #[test]
+    fn powerset_of_small_sets() {
+        let program = powerset_program();
+        // powerset({1, 2}) = {{}, {1}, {2}, {1, 2}} (the paper's example).
+        let (v, _) = run_program(&program, POWERSET, &[atoms([1, 2])], EvalLimits::default())
+            .unwrap();
+        let expected = Value::set([
+            Value::empty_set(),
+            atoms([1]),
+            atoms([2]),
+            atoms([1, 2]),
+        ]);
+        assert_eq!(v, expected);
+        // Size 2^n for a few n.
+        for n in 0..6u64 {
+            let (v, _) = run_program(
+                &program,
+                POWERSET,
+                &[atoms(0..n)],
+                EvalLimits::default(),
+            )
+            .unwrap();
+            assert_eq!(v.len(), Some(1 << n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn powerset_value_has_set_height_two() {
+        let program = powerset_program();
+        let (v, _) = run_program(&program, POWERSET, &[atoms([1, 2, 3])], EvalLimits::default())
+            .unwrap();
+        assert_eq!(v.set_height(), 2);
+    }
+
+    #[test]
+    fn powerset_is_rejected_by_the_srl_dialect() {
+        // The same expression cannot be checked in the set-height ≤ 1
+        // dialect: inserting a set into a set violates the bound.
+        let srl = srl_core::program::Program::srl();
+        let expr = insert(empty_set(), empty_set());
+        let err = check_expr(&srl, &expr, &[]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn powerset_hits_resource_limits_where_predicted() {
+        // With a small budget the exponential blow-up is caught by the
+        // evaluator rather than exhausting memory.
+        let program = powerset_program();
+        let result = run_program(
+            &program,
+            POWERSET,
+            &[atoms(0..18)],
+            EvalLimits::small(),
+        );
+        assert!(matches!(
+            result,
+            Err(EvalError::SizeLimitExceeded { .. }) | Err(EvalError::StepLimitExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn doubling_produces_two_to_the_n_ones() {
+        let program = lrl_doubling_program();
+        for n in 0..7u64 {
+            let input = Value::list((0..n).map(Value::atom));
+            let (v, _) =
+                run_program(&program, DOUBLING, &[input], EvalLimits::default()).unwrap();
+            let list = v.as_list().unwrap();
+            assert_eq!(list.len(), 1 << n, "n = {n}");
+            assert!(list.iter().all(|x| *x == Value::atom(1)));
+        }
+    }
+
+    #[test]
+    fn doubling_hits_resource_limits_where_predicted() {
+        let program = lrl_doubling_program();
+        let input = Value::list((0..30).map(Value::atom));
+        let result = run_program(&program, DOUBLING, &[input], EvalLimits::small());
+        assert!(matches!(
+            result,
+            Err(EvalError::SizeLimitExceeded { .. }) | Err(EvalError::StepLimitExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn append_concatenates_lengths() {
+        let program = lrl_doubling_program();
+        let a = Value::list([Value::atom(1), Value::atom(2)]);
+        let b = Value::list([Value::atom(3)]);
+        let (v, _) = run_program(&program, APPEND, &[a, b], EvalLimits::default()).unwrap();
+        assert_eq!(v.as_list().unwrap().len(), 3);
+    }
+}

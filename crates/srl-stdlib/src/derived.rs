@@ -1,0 +1,518 @@
+//! Derived operators (Fact 2.4).
+//!
+//! "Finite set functions such as union, intersection, difference, membership;
+//! predicates for universal and existential quantification such as forall,
+//! forsome; and relational operators such as join, project and select can be
+//! expressed in SRL." This module expresses them: every function here is a
+//! *builder* that assembles the corresponding SRL expression from
+//! sub-expressions (and, for the higher-order ones, from a [`Lambda`]). The
+//! built expressions use only the SRL core operators, so anything constructed
+//! from them stays inside whatever dialect the surrounding program claims.
+//!
+//! Naming convention for generated lambda parameters: every builder uses
+//! fresh-looking names prefixed with `__` to avoid capturing the caller's
+//! variables; callers should avoid `__`-prefixed names in their own
+//! expressions.
+
+use srl_core::ast::{Expr, Lambda};
+use srl_core::dsl::*;
+
+/// `member(x, S)`: true iff `x ∈ S`, by scanning `S` and or-ing equality
+/// with the element passed through `extra`.
+pub fn member(element: Expr, set: Expr) -> Expr {
+    set_reduce(
+        set,
+        lam("__m_elem", "__m_target", eq(var("__m_elem"), var("__m_target"))),
+        lam("__m_hit", "__m_acc", or(var("__m_hit"), var("__m_acc"))),
+        bool_(false),
+        element,
+    )
+}
+
+/// `union(A, B) = A ∪ B`: fold `insert` of A's elements starting from B.
+pub fn union(a: Expr, b: Expr) -> Expr {
+    set_reduce(
+        a,
+        Lambda::identity(),
+        lam("__u_elem", "__u_acc", insert(var("__u_elem"), var("__u_acc"))),
+        b,
+        empty_set(),
+    )
+}
+
+/// `intersection(A, B) = A ∩ B`: keep the elements of A that are members of
+/// B (B is threaded through `extra`).
+pub fn intersection(a: Expr, b: Expr) -> Expr {
+    set_reduce(
+        a,
+        lam(
+            "__i_elem",
+            "__i_other",
+            tuple([var("__i_elem"), member(var("__i_elem"), var("__i_other"))]),
+        ),
+        lam(
+            "__i_pair",
+            "__i_acc",
+            if_(
+                sel(var("__i_pair"), 2),
+                insert(sel(var("__i_pair"), 1), var("__i_acc")),
+                var("__i_acc"),
+            ),
+        ),
+        empty_set(),
+        b,
+    )
+}
+
+/// `difference(A, B) = A \ B`.
+pub fn difference(a: Expr, b: Expr) -> Expr {
+    set_reduce(
+        a,
+        lam(
+            "__d_elem",
+            "__d_other",
+            tuple([var("__d_elem"), member(var("__d_elem"), var("__d_other"))]),
+        ),
+        lam(
+            "__d_pair",
+            "__d_acc",
+            if_(
+                sel(var("__d_pair"), 2),
+                var("__d_acc"),
+                insert(sel(var("__d_pair"), 1), var("__d_acc")),
+            ),
+        ),
+        empty_set(),
+        b,
+    )
+}
+
+/// `forsome(S, p, extra)`: ∃x ∈ S. p(x, extra). The predicate is an
+/// arbitrary two-parameter lambda (element, extra) returning a boolean.
+pub fn forsome(set: Expr, predicate: Lambda, extra: Expr) -> Expr {
+    set_reduce(
+        set,
+        predicate,
+        lam("__fs_hit", "__fs_acc", or(var("__fs_hit"), var("__fs_acc"))),
+        bool_(false),
+        extra,
+    )
+}
+
+/// `forall(S, p, extra)`: ∀x ∈ S. p(x, extra).
+pub fn forall(set: Expr, predicate: Lambda, extra: Expr) -> Expr {
+    set_reduce(
+        set,
+        predicate,
+        lam("__fa_ok", "__fa_acc", and(var("__fa_ok"), var("__fa_acc"))),
+        bool_(true),
+        extra,
+    )
+}
+
+/// `subset(A, B)`: every element of A is a member of B.
+pub fn subset(a: Expr, b: Expr) -> Expr {
+    forall(
+        a,
+        lam("__s_elem", "__s_other", member(var("__s_elem"), var("__s_other"))),
+        b,
+    )
+}
+
+/// Set equality expressed in SRL (the paper's equality axiom covers only the
+/// base types, so equality of sets must be built): `A ⊆ B ∧ B ⊆ A`.
+pub fn set_eq(a: Expr, b: Expr) -> Expr {
+    and(subset(a.clone(), b.clone()), subset(b, a))
+}
+
+/// `select(S, p, extra)`: the subset of S whose elements satisfy the
+/// predicate.
+pub fn select(set: Expr, predicate: Lambda, extra: Expr) -> Expr {
+    // app returns [element, keep?]; acc inserts when the flag is true.
+    let pred_body = *predicate.body;
+    let app = lam(
+        predicate.x.clone(),
+        predicate.y.clone(),
+        tuple([var(predicate.x.clone()), pred_body]),
+    );
+    set_reduce(
+        set,
+        app,
+        lam(
+            "__sel_pair",
+            "__sel_acc",
+            if_(
+                sel(var("__sel_pair"), 2),
+                insert(sel(var("__sel_pair"), 1), var("__sel_acc")),
+                var("__sel_acc"),
+            ),
+        ),
+        empty_set(),
+        extra,
+    )
+}
+
+/// `map_set(S, f, extra)`: the image of S under the per-element function
+/// (a "project" in its most general form).
+pub fn map_set(set: Expr, f: Lambda, extra: Expr) -> Expr {
+    set_reduce(
+        set,
+        f,
+        lam("__map_out", "__map_acc", insert(var("__map_out"), var("__map_acc"))),
+        empty_set(),
+        extra,
+    )
+}
+
+/// `project(S, i)`: the set of i-th components of the tuples of S
+/// (1-based, as in the paper's `project(…, from)`).
+pub fn project(set: Expr, component: usize) -> Expr {
+    map_set(
+        set,
+        lam("__p_tuple", "__p_extra", sel(var("__p_tuple"), component)),
+        empty_set(),
+    )
+}
+
+/// `cartesian(A, B)`: the set of pairs `[a, b]`.
+pub fn cartesian(a: Expr, b: Expr) -> Expr {
+    set_reduce(
+        a,
+        // For each element of A build {[a, b] | b ∈ B}…
+        lam(
+            "__c_a",
+            "__c_bs",
+            map_set(
+                var("__c_bs"),
+                lam("__c_b", "__c_aa", tuple([var("__c_aa"), var("__c_b")])),
+                var("__c_a"),
+            ),
+        ),
+        // …and union the slices together.
+        lam("__c_slice", "__c_acc", union(var("__c_slice"), var("__c_acc"))),
+        empty_set(),
+        b,
+    )
+}
+
+/// `join(A, B, p, combine)`: the paper's θ-join —
+/// `{ combine(a, b) | a ∈ A, b ∈ B, p(a, b) }`. The predicate and combiner
+/// both receive `(a, b)` as their two parameters.
+pub fn join(a: Expr, b: Expr, predicate: Lambda, combine: Lambda) -> Expr {
+    // Build the cartesian product, select with the predicate applied to the
+    // pair, then map the combiner over the survivors.
+    let pred_on_pair = lam(
+        "__j_pair",
+        "__j_unused",
+        substitute_pair(predicate, "__j_pair"),
+    );
+    let combine_on_pair = lam(
+        "__j_pair2",
+        "__j_unused2",
+        substitute_pair(combine, "__j_pair2"),
+    );
+    map_set(
+        select(cartesian(a, b), pred_on_pair, empty_set()),
+        combine_on_pair,
+        empty_set(),
+    )
+}
+
+/// Rewrites a two-parameter lambda body so that its parameters become the
+/// two components of a single pair variable.
+fn substitute_pair(lambda: Lambda, pair_var: &str) -> Expr {
+    let body = *lambda.body;
+    let_in(
+        lambda.x,
+        sel(var(pair_var), 1),
+        let_in(lambda.y, sel(var(pair_var), 2), body),
+    )
+}
+
+/// The n-ary union of a set of sets — needs set-height 2 on its *input*, so
+/// it lives outside plain SRL; used by the powerset example.
+pub fn big_union(set_of_sets: Expr) -> Expr {
+    set_reduce(
+        set_of_sets,
+        Lambda::identity(),
+        lam("__bu_set", "__bu_acc", union(var("__bu_set"), var("__bu_acc"))),
+        empty_set(),
+        empty_set(),
+    )
+}
+
+/// `is_empty(S)`: true iff S has no elements (no equality on sets needed).
+pub fn is_empty(set: Expr) -> Expr {
+    forall(
+        set,
+        lam("__e_elem", "__e_extra", bool_(false)),
+        empty_set(),
+    )
+}
+
+/// `singleton(x)`: the set `{x}`.
+pub fn singleton(x: Expr) -> Expr {
+    insert(x, empty_set())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srl_core::dialect::Dialect;
+    use srl_core::eval::eval_expr;
+    use srl_core::limits::EvalLimits;
+    use srl_core::program::{Env, Program};
+    use srl_core::typecheck::check_expr;
+    use srl_core::types::Type;
+    use srl_core::value::Value;
+
+    fn eval(expr: &Expr, env: &Env) -> Value {
+        eval_expr(expr, env, EvalLimits::default()).expect("evaluation should succeed")
+    }
+
+    fn atoms(items: impl IntoIterator<Item = u64>) -> Value {
+        Value::set(items.into_iter().map(Value::atom))
+    }
+
+    fn env_ab(a: impl IntoIterator<Item = u64>, b: impl IntoIterator<Item = u64>) -> Env {
+        Env::new().bind("A", atoms(a)).bind("B", atoms(b))
+    }
+
+    #[test]
+    fn member_checks_containment() {
+        let env = Env::new().bind("S", atoms([1, 4, 9]));
+        assert_eq!(eval(&member(atom(4), var("S")), &env), Value::bool(true));
+        assert_eq!(eval(&member(atom(5), var("S")), &env), Value::bool(false));
+        assert_eq!(
+            eval(&member(atom(5), empty_set()), &Env::new()),
+            Value::bool(false)
+        );
+    }
+
+    #[test]
+    fn member_works_on_tuples() {
+        let env = Env::new().bind(
+            "E",
+            Value::set([
+                Value::tuple([Value::atom(0), Value::atom(1)]),
+                Value::tuple([Value::atom(1), Value::atom(2)]),
+            ]),
+        );
+        let probe = member(tuple([atom(1), atom(2)]), var("E"));
+        assert_eq!(eval(&probe, &env), Value::bool(true));
+        let probe = member(tuple([atom(2), atom(1)]), var("E"));
+        assert_eq!(eval(&probe, &env), Value::bool(false));
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let env = env_ab([1, 2, 3], [3, 4]);
+        assert_eq!(eval(&union(var("A"), var("B")), &env), atoms([1, 2, 3, 4]));
+        assert_eq!(eval(&intersection(var("A"), var("B")), &env), atoms([3]));
+        assert_eq!(eval(&difference(var("A"), var("B")), &env), atoms([1, 2]));
+        assert_eq!(eval(&difference(var("B"), var("A")), &env), atoms([4]));
+        // Identities with the empty set.
+        let env = env_ab([1, 2], []);
+        assert_eq!(eval(&union(var("A"), var("B")), &env), atoms([1, 2]));
+        assert_eq!(eval(&intersection(var("A"), var("B")), &env), atoms([]));
+        assert_eq!(eval(&difference(var("A"), var("B")), &env), atoms([1, 2]));
+    }
+
+    #[test]
+    fn quantifier_builders() {
+        let env = Env::new().bind("S", atoms([2, 4, 6])).bind("t", Value::atom(4));
+        let all_even_spaced = forall(
+            var("S"),
+            lam("x", "e", leq(atom(1), var("x"))),
+            empty_set(),
+        );
+        assert_eq!(eval(&all_even_spaced, &env), Value::bool(true));
+        let some_is_t = forsome(
+            var("S"),
+            lam("x", "t", eq(var("x"), var("t"))),
+            var("t"),
+        );
+        assert_eq!(eval(&some_is_t, &env), Value::bool(true));
+        let all_are_t = forall(
+            var("S"),
+            lam("x", "t", eq(var("x"), var("t"))),
+            var("t"),
+        );
+        assert_eq!(eval(&all_are_t, &env), Value::bool(false));
+        // Vacuous truth / falsity on the empty set.
+        assert_eq!(
+            eval(
+                &forall(empty_set(), lam("x", "e", bool_(false)), empty_set()),
+                &Env::new()
+            ),
+            Value::bool(true)
+        );
+        assert_eq!(
+            eval(
+                &forsome(empty_set(), lam("x", "e", bool_(true)), empty_set()),
+                &Env::new()
+            ),
+            Value::bool(false)
+        );
+    }
+
+    #[test]
+    fn subset_and_set_equality() {
+        let env = env_ab([1, 2], [1, 2, 3]);
+        assert_eq!(eval(&subset(var("A"), var("B")), &env), Value::bool(true));
+        assert_eq!(eval(&subset(var("B"), var("A")), &env), Value::bool(false));
+        assert_eq!(eval(&set_eq(var("A"), var("B")), &env), Value::bool(false));
+        let env = env_ab([1, 2], [1, 2]);
+        assert_eq!(eval(&set_eq(var("A"), var("B")), &env), Value::bool(true));
+    }
+
+    #[test]
+    fn select_and_project() {
+        let env = Env::new().bind(
+            "E",
+            Value::set([
+                Value::tuple([Value::atom(0), Value::atom(5)]),
+                Value::tuple([Value::atom(1), Value::atom(5)]),
+                Value::tuple([Value::atom(2), Value::atom(7)]),
+            ]),
+        );
+        // select: keep tuples whose second component is 5.
+        let sel5 = select(
+            var("E"),
+            lam("t", "e", eq(sel(var("t"), 2), atom(5))),
+            empty_set(),
+        );
+        let v = eval(&sel5, &env);
+        assert_eq!(v.len(), Some(2));
+        // project onto the first component.
+        let firsts = project(var("E"), 1);
+        assert_eq!(eval(&firsts, &env), atoms([0, 1, 2]));
+        // project onto the second collapses duplicates.
+        let seconds = project(var("E"), 2);
+        assert_eq!(eval(&seconds, &env), atoms([5, 7]));
+        // Composition: project(select(…)).
+        let firsts_of_sel = project(sel5, 1);
+        assert_eq!(eval(&firsts_of_sel, &env), atoms([0, 1]));
+    }
+
+    #[test]
+    fn cartesian_product() {
+        let env = env_ab([0, 1], [5, 6]);
+        let v = eval(&cartesian(var("A"), var("B")), &env);
+        assert_eq!(v.len(), Some(4));
+        assert!(v
+            .as_set()
+            .unwrap()
+            .contains(&Value::tuple([Value::atom(0), Value::atom(6)])));
+        assert!(v
+            .as_set()
+            .unwrap()
+            .contains(&Value::tuple([Value::atom(1), Value::atom(5)])));
+    }
+
+    #[test]
+    fn join_matches_nested_loop_semantics() {
+        // Join employees [id, dept] with departments [dept, manager] on
+        // equal dept, producing [id, manager].
+        let env = Env::new()
+            .bind(
+                "EMP",
+                Value::set([
+                    Value::tuple([Value::atom(0), Value::atom(10)]),
+                    Value::tuple([Value::atom(1), Value::atom(11)]),
+                    Value::tuple([Value::atom(2), Value::atom(10)]),
+                ]),
+            )
+            .bind(
+                "DEPT",
+                Value::set([
+                    Value::tuple([Value::atom(10), Value::atom(1)]),
+                    Value::tuple([Value::atom(11), Value::atom(2)]),
+                ]),
+            );
+        let joined = join(
+            var("EMP"),
+            var("DEPT"),
+            lam("e", "d", eq(sel(var("e"), 2), sel(var("d"), 1))),
+            lam("e", "d", tuple([sel(var("e"), 1), sel(var("d"), 2)])),
+        );
+        let v = eval(&joined, &env);
+        let expected = Value::set([
+            Value::tuple([Value::atom(0), Value::atom(1)]),
+            Value::tuple([Value::atom(1), Value::atom(2)]),
+            Value::tuple([Value::atom(2), Value::atom(1)]),
+        ]);
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn emptiness_and_singleton() {
+        assert_eq!(eval(&is_empty(empty_set()), &Env::new()), Value::bool(true));
+        let env = Env::new().bind("S", atoms([3]));
+        assert_eq!(eval(&is_empty(var("S")), &env), Value::bool(false));
+        assert_eq!(eval(&singleton(atom(3)), &Env::new()), atoms([3]));
+    }
+
+    #[test]
+    fn big_union_flattens() {
+        let env = Env::new().bind(
+            "SS",
+            Value::set([
+                Value::set([Value::atom(1), Value::atom(2)]),
+                Value::set([Value::atom(2), Value::atom(3)]),
+                Value::empty_set(),
+            ]),
+        );
+        assert_eq!(eval(&big_union(var("SS")), &env), atoms([1, 2, 3]));
+    }
+
+    #[test]
+    fn derived_operators_typecheck_in_srl() {
+        // The Fact 2.4 operators stay inside the SRL dialect (set-height 1).
+        let program = Program::new(Dialect::srl());
+        let rel = Type::relation(2);
+        let set_ty = Type::set_of(Type::Atom);
+        let inputs = vec![
+            ("A".to_string(), set_ty.clone()),
+            ("B".to_string(), set_ty.clone()),
+            ("E".to_string(), rel),
+        ];
+        assert_eq!(
+            check_expr(&program, &union(var("A"), var("B")), &inputs),
+            Ok(set_ty.clone())
+        );
+        assert_eq!(
+            check_expr(&program, &intersection(var("A"), var("B")), &inputs),
+            Ok(set_ty.clone())
+        );
+        assert_eq!(
+            check_expr(&program, &member(atom(0), var("A")), &inputs),
+            Ok(Type::Bool)
+        );
+        assert_eq!(
+            check_expr(&program, &subset(var("A"), var("B")), &inputs),
+            Ok(Type::Bool)
+        );
+        assert_eq!(
+            check_expr(&program, &project(var("E"), 1), &inputs),
+            Ok(set_ty)
+        );
+    }
+
+    #[test]
+    fn quantifiers_match_native_on_random_sets() {
+        // Cross-check forsome/forall against native iterators on a few
+        // deterministic pseudo-random sets.
+        for seed in 0..5u64 {
+            let items: Vec<u64> = (0..8).map(|i| (i * 7 + seed * 3) % 16).collect();
+            let env = Env::new()
+                .bind("S", atoms(items.clone()))
+                .bind("t", Value::atom(9));
+            let some9 = forsome(var("S"), lam("x", "t", eq(var("x"), var("t"))), var("t"));
+            let native_some = items.contains(&9);
+            assert_eq!(eval(&some9, &env), Value::bool(native_some), "seed {seed}");
+            let all_below_16 = forall(var("S"), lam("x", "t", leq(var("x"), atom(15))), var("t"));
+            assert_eq!(eval(&all_below_16, &env), Value::bool(true));
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! The `hom` operator and the order-(in)dependence examples of Section 7.
+//!
+//! Machiavelli's `hom(f, op, z, {x₁, …, xₙ}) = op(f(x₁), …, op(f(xₙ), z)…)`
+//! is, in the presence of an ordering and with set-height ≤ 1, interdefinable
+//! with `set-reduce`; an instance is *proper* when `op` is commutative and
+//! associative, in which case the result cannot depend on the traversal
+//! order. This module provides:
+//!
+//! * [`hom`] — the operator itself (an alias for `set-reduce` with the
+//!   argument roles named as in Section 7);
+//! * [`count`] — Proposition 7.6's counting via proper hom (`f = λx. 1`,
+//!   `op = +`), which needs the ℕ extension;
+//! * [`even`] — EVEN via a proper hom over the booleans (`op = xor`), an
+//!   order-independent query that (FO(wo≤)+LFP) cannot express (Fact 7.5);
+//! * [`purple_first`] — the paper's order-*dependent* query
+//!   `Purple(First(S))`;
+//! * [`first`] / [`last`] — the order-observing helpers it is built from.
+
+use srl_core::ast::{Expr, Lambda};
+use srl_core::dsl::*;
+
+use crate::derived::member;
+
+/// `hom(f, op, z, S)`: Section 7's operator, realised with `set-reduce`.
+/// `f` is applied to each element (its second parameter receives `extra`);
+/// `op` combines an `f`-image with the accumulated result.
+pub fn hom(f: Lambda, op: Lambda, z: Expr, s: Expr, extra: Expr) -> Expr {
+    set_reduce(s, f, op, z, extra)
+}
+
+/// `count(S)`: the number of elements of `S`, as a natural number, via the
+/// proper hom with `f = λx. 1` and `op = +` (Proposition 7.6). Requires a
+/// dialect with naturals and addition.
+pub fn count(s: Expr) -> Expr {
+    hom(
+        lam("__c_x", "__c_e", nat(1)),
+        lam("__c_one", "__c_acc", nat_add(var("__c_one"), var("__c_acc"))),
+        nat(0),
+        s,
+        empty_set(),
+    )
+}
+
+/// `even(S)`: true iff `|S|` is even, via the proper hom with `op = xor`
+/// over the booleans — order-independent and expressible without leaving
+/// plain SRL.
+pub fn even(s: Expr) -> Expr {
+    hom(
+        lam("__e_x", "__e_e", bool_(true)),
+        lam(
+            "__e_flip",
+            "__e_acc",
+            if_(var("__e_flip"), not(var("__e_acc")), var("__e_acc")),
+        ),
+        bool_(true),
+        s,
+        empty_set(),
+    )
+}
+
+/// `first(S)`: the element the traversal order presents first — `choose(S)`.
+/// Observing it is legitimate; *depending* on it is what Section 7 warns
+/// about.
+pub fn first(s: Expr) -> Expr {
+    choose(s)
+}
+
+/// `last(S)`: the element the traversal order presents last.
+pub fn last(s: Expr) -> Expr {
+    set_reduce(
+        s.clone(),
+        Lambda::identity(),
+        lam("__l_x", "__l_acc", var("__l_x")),
+        choose(s),
+        empty_set(),
+    )
+}
+
+/// The paper's order-dependent boolean query `Purple(First(S))`: does the
+/// element that happens to come first in the arbitrary ordering of `S`
+/// satisfy the predicate (given extensionally as the set `PURPLE`)?
+pub fn purple_first(s: Expr, purple: Expr) -> Expr {
+    member(first(s), purple)
+}
+
+/// A genuinely order-independent variant for contrast: does *some* element
+/// of `S` satisfy the predicate?
+pub fn purple_some(s: Expr, purple: Expr) -> Expr {
+    set_reduce(
+        s,
+        lam("__p_x", "__p_set", member(var("__p_x"), var("__p_set"))),
+        lam("__p_hit", "__p_acc", or(var("__p_hit"), var("__p_acc"))),
+        bool_(false),
+        purple,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srl_core::dialect::Dialect;
+    use srl_core::eval::{eval_expr, Evaluator};
+    use srl_core::limits::EvalLimits;
+    use srl_core::program::{Env, Program};
+    use srl_core::value::Value;
+    use workloads::orderings::DomainRenaming;
+
+    fn atoms(items: impl IntoIterator<Item = u64>) -> Value {
+        Value::set(items.into_iter().map(Value::atom))
+    }
+
+    fn eval_full(expr: &Expr, env: &Env) -> Value {
+        let program = Program::new(Dialect::full());
+        let mut ev = Evaluator::new(&program, EvalLimits::default());
+        ev.eval(expr, env).expect("evaluation succeeds")
+    }
+
+    #[test]
+    fn count_matches_cardinality() {
+        for n in 0..10u64 {
+            let env = Env::new().bind("S", atoms(0..n));
+            assert_eq!(eval_full(&count(var("S")), &env), Value::nat(n));
+        }
+    }
+
+    #[test]
+    fn even_matches_parity_and_is_plain_srl() {
+        for n in 0..10u64 {
+            let env = Env::new().bind("S", atoms(0..n));
+            // `even` avoids the ℕ extension entirely, so the plain SRL
+            // evaluator accepts it.
+            let v = eval_expr(&even(var("S")), &env, EvalLimits::default()).unwrap();
+            assert_eq!(v, Value::bool(n % 2 == 0), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn count_and_even_are_order_independent() {
+        let s = atoms([2, 5, 7, 11]);
+        for seed in 0..5 {
+            let renaming = DomainRenaming::random(16, seed);
+            let renamed_env = Env::new().bind("S", renaming.apply(&s));
+            let original_env = Env::new().bind("S", s.clone());
+            assert_eq!(
+                eval_full(&count(var("S")), &original_env),
+                eval_full(&count(var("S")), &renamed_env)
+            );
+            assert_eq!(
+                eval_full(&even(var("S")), &original_env),
+                eval_full(&even(var("S")), &renamed_env)
+            );
+        }
+    }
+
+    #[test]
+    fn first_and_last_observe_the_order() {
+        let env = Env::new().bind("S", atoms([4, 9, 2]));
+        assert_eq!(eval_full(&first(var("S")), &env), Value::atom(2));
+        assert_eq!(eval_full(&last(var("S")), &env), Value::atom(9));
+    }
+
+    #[test]
+    fn purple_first_is_order_dependent() {
+        // PURPLE = {9}; S = {2, 9}. Under the identity order, First(S) = 2 —
+        // not purple. Reverse the domain order and First becomes 9 — purple.
+        // The answer flips: the query depends on the ordering.
+        let s = atoms([2, 9]);
+        let purple = atoms([9]);
+        let env = Env::new().bind("S", s.clone()).bind("P", purple.clone());
+        let q = purple_first(var("S"), var("P"));
+        assert_eq!(eval_full(&q, &env), Value::bool(false));
+
+        let renaming = DomainRenaming::reversal(10);
+        let env_renamed = Env::new()
+            .bind("S", renaming.apply(&s))
+            .bind("P", renaming.apply(&purple));
+        assert_eq!(eval_full(&q, &env_renamed), Value::bool(true));
+    }
+
+    #[test]
+    fn purple_some_is_order_independent() {
+        let s = atoms([2, 9]);
+        let purple = atoms([9]);
+        let q = purple_some(var("S"), var("P"));
+        let env = Env::new().bind("S", s.clone()).bind("P", purple.clone());
+        assert_eq!(eval_full(&q, &env), Value::bool(true));
+        for seed in 0..5 {
+            let renaming = DomainRenaming::random(12, seed);
+            let env_renamed = Env::new()
+                .bind("S", renaming.apply(&s))
+                .bind("P", renaming.apply(&purple));
+            assert_eq!(eval_full(&q, &env_renamed), Value::bool(true), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn hom_with_noncommutative_op_can_depend_on_order() {
+        // op = "keep the left argument" is not commutative; the hom returns
+        // the image of the first element, which changes under reordering.
+        let keep_left = lam("__x", "__acc", var("__x"));
+        let q = hom(
+            Lambda::identity(),
+            keep_left,
+            atom(99),
+            var("S"),
+            empty_set(),
+        );
+        let s = atoms([3, 7]);
+        let env = Env::new().bind("S", s.clone());
+        let original = eval_full(&q, &env);
+        let renaming = DomainRenaming::reversal(8);
+        let env_renamed = Env::new().bind("S", renaming.apply(&s));
+        let renamed = eval_full(&q, &env_renamed);
+        // 3 ↦ 4 and 7 ↦ 0 under reversal of {0..7}; the "last-combined"
+        // element differs, so the raw results differ even after undoing the
+        // renaming.
+        assert_ne!(renaming.apply(&original), renamed);
+    }
+}

@@ -1,0 +1,35 @@
+//! # srl-stdlib — every program in the paper, rebuilt as SRL expressions
+//!
+//! The paper's constructive results are programs written in (fragments of)
+//! the set-reduce language. This crate reconstructs all of them on top of
+//! `srl-core`, as Rust builders that return [`srl_core::Expr`] values or
+//! whole [`srl_core::Program`]s:
+//!
+//! | Module | Paper result |
+//! |---|---|
+//! | [`derived`] | Fact 2.4 — union, intersection, difference, membership, forall/forsome, select, project, join |
+//! | [`agap`] | Lemma 3.6 — APATH / AGAP in SRL (the constructive half of `P = ℒ(SRL)`) |
+//! | [`blowup`] | Example 3.12 — `powerset` at set-height 2; the LRL 2ⁿ blow-up |
+//! | [`tc`] | Section 4 — the `TC` and `DTC` combinators (`SRFO+TC = NL`, `SRFO+DTC = L`) |
+//! | [`arith`] | Proposition 4.5, Lemma 4.6 — increment/decrement/ADD/MULT/EXP/SHIFT/PARITY/REM/BIT in BASRL |
+//! | [`perm`] | Lemma 4.10 — iterated permutation multiplication IMₛₙ in BASRL |
+//! | [`primrec_compile`] | Theorem 5.2 (i) — compiling primitive recursion into SRL + new |
+//! | [`tm_sim`] | Proposition 6.2, Corollary 6.3 — compiling Turing machines into width-2 SRL expressions |
+//! | [`hom`] | Section 7 — the `hom` operator, counting and EVEN via proper hom, and the order-dependent `Purple(First(S))` |
+//!
+//! Each module's tests compare the SRL construction against the native
+//! baselines in the `workloads`, `machines` and `fo-logic` crates; the
+//! benchmark harness (`srl-bench`) sweeps them over growing inputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agap;
+pub mod arith;
+pub mod blowup;
+pub mod derived;
+pub mod hom;
+pub mod perm;
+pub mod primrec_compile;
+pub mod tc;
+pub mod tm_sim;

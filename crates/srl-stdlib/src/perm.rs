@@ -1,0 +1,245 @@
+//! Iterated permutation multiplication in BASRL (Lemma 4.10).
+//!
+//! `IMₛₙ` — compose permutations π₁ ∗ π₂ ∗ … ∗ π_m and ask where point `i`
+//! lands — is complete for L under first-order reductions with BIT
+//! (Fact 4.9). Lemma 4.10 expresses it in BASRL with the input coded as a set
+//! of tuples `[p, [j, k]]` ("permutation p maps j to k") and a bounded
+//! accumulator `[next permutation index, current point]`:
+//!
+//! ```text
+//! IP(I, i) = set-reduce(I, identity,
+//!              λ(xtuple, pair). set-reduce(I, identity,
+//!                 λ(x, p). if (x.1 = p.1) ∧ (x.2.1 = p.2) ∧ ¬(p.1 = m)
+//!                          then [increment(p.1), x.2.2] else p,
+//!                 pair),
+//!              [0, i])
+//! IM(I, i, j) = (IP(I, i).2 = j)
+//! ```
+//!
+//! The one representational choice: the scan needs a rank *beyond* the last
+//! permutation index so that the accumulator can come to rest after applying
+//! π_m; [`padded_domain`] therefore supplies the domain
+//! `{0, …, max(m + 1, n)}`, which plays the role of the constant `n` the
+//! paper says is "available".
+
+use srl_core::ast::Lambda;
+use srl_core::dsl::*;
+use srl_core::program::Program;
+use srl_core::value::Value;
+use workloads::permutation::IteratedProductInstance;
+
+use crate::arith::{arithmetic_program, names as arith};
+
+/// Names of the definitions produced by [`perm_program`].
+pub mod names {
+    /// `ip(D, I, i) → [next_index, point]` — the scan of Lemma 4.10.
+    pub const IP: &str = "ip";
+    /// `im(D, I, i, j) → bool` — does the iterated product map `i` to `j`?
+    pub const IM: &str = "im";
+    /// `apply_perm(D, I, p, x) → [next_index, point]` — one application step
+    /// (exposed for testing).
+    pub const APPLY_PERM: &str = "apply_perm";
+}
+
+/// Builds the BASRL program for IMₛₙ (on top of the Section 4 arithmetic).
+pub fn perm_program() -> Program {
+    let program = arithmetic_program();
+
+    // apply_perm(D, I, p, x): scan I once, applying permutation `p` to point
+    // `x` and advancing the permutation index; if no matching tuple exists
+    // (p is past the end) the pair is returned unchanged.
+    let program = program.define(
+        names::APPLY_PERM,
+        ["D", "I", "p", "x"],
+        set_reduce(
+            var("I"),
+            Lambda::identity(),
+            lam(
+                "t",
+                "pair",
+                if_(
+                    and(
+                        eq(sel(var("t"), 1), sel(var("pair"), 1)),
+                        eq(sel(sel(var("t"), 2), 1), sel(var("pair"), 2)),
+                    ),
+                    tuple([
+                        call(arith::INC, [var("D"), sel(var("pair"), 1)]),
+                        sel(sel(var("t"), 2), 2),
+                    ]),
+                    var("pair"),
+                ),
+            ),
+            tuple([var("p"), var("x")]),
+            empty_set(),
+        ),
+    );
+
+    // ip(D, I, i): iterate apply_perm once per element of D (|D| ≥ m + 1
+    // iterations), starting from [first permutation, i].
+    let program = program.define(
+        names::IP,
+        ["D", "I", "i"],
+        set_reduce(
+            var("D"),
+            Lambda::identity(),
+            lam(
+                "step",
+                "pair",
+                call(
+                    names::APPLY_PERM,
+                    [var("D"), var("I"), sel(var("pair"), 1), sel(var("pair"), 2)],
+                ),
+            ),
+            tuple([choose(var("D")), var("i")]),
+            empty_set(),
+        ),
+    );
+
+    // im(D, I, i, j): the decision version.
+    program.define(
+        names::IM,
+        ["D", "I", "i", "j"],
+        eq(
+            sel(call(names::IP, [var("D"), var("I"), var("i")]), 2),
+            var("j"),
+        ),
+    )
+}
+
+/// The domain the program scans: `{0, …, max(m + 1, n) − 1}`, i.e. at least
+/// one rank beyond the last permutation index and at least every point.
+pub fn padded_domain(instance: &IteratedProductInstance) -> Value {
+    let size = (instance.permutations.len() as u64 + 1).max(instance.degree() as u64);
+    Value::set((0..size).map(Value::atom))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::names::*;
+    use super::*;
+    use srl_core::eval::run_program;
+    use srl_core::limits::EvalLimits;
+    use workloads::permutation::{IteratedProductInstance, Permutation};
+
+    fn srl_image(instance: &IteratedProductInstance, point: usize) -> u64 {
+        let program = perm_program();
+        let (value, _) = run_program(
+            &program,
+            IP,
+            &[
+                padded_domain(instance),
+                instance.to_srl_value(),
+                Value::atom(point as u64),
+            ],
+            EvalLimits::benchmark(),
+        )
+        .expect("ip evaluation");
+        value.as_tuple().expect("pair")[1]
+            .as_atom()
+            .expect("point is an atom")
+            .index
+    }
+
+    #[test]
+    fn program_validates() {
+        assert!(perm_program().validate().is_ok());
+    }
+
+    #[test]
+    fn identity_instance_fixes_every_point() {
+        let instance = IteratedProductInstance {
+            permutations: vec![Permutation::identity(4); 3],
+        };
+        for i in 0..4 {
+            assert_eq!(srl_image(&instance, i), i as u64);
+        }
+    }
+
+    #[test]
+    fn single_cycle_shifts_once() {
+        let instance = IteratedProductInstance {
+            permutations: vec![Permutation::cycle(5)],
+        };
+        for i in 0..5 {
+            assert_eq!(srl_image(&instance, i), ((i + 1) % 5) as u64);
+        }
+    }
+
+    #[test]
+    fn matches_native_product_on_random_instances() {
+        for seed in 0..4u64 {
+            let instance = IteratedProductInstance::random(5, 4, seed);
+            let product = instance.product();
+            for i in 0..5 {
+                assert_eq!(
+                    srl_image(&instance, i),
+                    product.apply(i) as u64,
+                    "seed {seed}, point {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decision_version_agrees() {
+        let instance = IteratedProductInstance::random(4, 3, 9);
+        let product = instance.product();
+        let program = perm_program();
+        for i in 0..4usize {
+            for j in 0..4usize {
+                let (value, _) = run_program(
+                    &program,
+                    IM,
+                    &[
+                        padded_domain(&instance),
+                        instance.to_srl_value(),
+                        Value::atom(i as u64),
+                        Value::atom(j as u64),
+                    ],
+                    EvalLimits::benchmark(),
+                )
+                .unwrap();
+                assert_eq!(
+                    value,
+                    Value::bool(product.apply(i) == j),
+                    "({i}, {j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn accumulator_is_logspace_sized() {
+        // The BASRL signature again: the accumulator stays a pair of atoms no
+        // matter how many permutations are composed.
+        let program = perm_program();
+        let mut widths = Vec::new();
+        for count in [2usize, 6, 10] {
+            let instance = IteratedProductInstance::random(6, count, 3);
+            let (_, stats) = run_program(
+                &program,
+                IP,
+                &[
+                    padded_domain(&instance),
+                    instance.to_srl_value(),
+                    Value::atom(0),
+                ],
+                EvalLimits::benchmark(),
+            )
+            .unwrap();
+            widths.push(stats.max_accumulator_weight);
+        }
+        assert_eq!(widths[0], widths[1]);
+        assert_eq!(widths[1], widths[2]);
+        assert!(widths[0] <= 8);
+    }
+
+    #[test]
+    fn padded_domain_has_room_for_the_sentinel_index() {
+        let instance = IteratedProductInstance::random(3, 5, 1);
+        // 5 permutations of degree 3: need ranks 0..=5, so 6 atoms.
+        assert_eq!(padded_domain(&instance).len(), Some(6));
+        let instance = IteratedProductInstance::random(6, 2, 1);
+        assert_eq!(padded_domain(&instance).len(), Some(6));
+    }
+}

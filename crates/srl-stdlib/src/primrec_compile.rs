@@ -1,0 +1,264 @@
+//! Compiling primitive recursive functions into `SRL + new` (Theorem 5.2 (i)).
+//!
+//! Direction (i) of Theorem 5.2 shows `PrimRec ⊆ ℱ(SRL + new)` by coding the
+//! natural number `k` as the set `{d₀, …, d_{k-1}}` (so `0 = ∅` and
+//! `k + 1 = k ∪ {new(k)}`) and translating the initial functions and the two
+//! closure operations:
+//!
+//! ```text
+//! succ(S)            = insert(new(S), S)
+//! proj_k             = the k-th parameter
+//! f from g, h by PR  = set-reduce(S, identity, λ(x, T'). h'(x, T'), [g(ȳ), {}])
+//!     where h'(x, T') = [h(T'.2, ȳ, T'.1), insert(x, T'.2)]
+//! ```
+//!
+//! This module is that translation, implemented as a compiler from the
+//! [`machines::primrec::PrTerm`] ground truth into an SRL program in the
+//! `SRL + new` dialect. The E6 experiment evaluates both sides on the same
+//! arguments and compares.
+
+use srl_core::ast::Expr;
+use srl_core::dialect::Dialect;
+use srl_core::dsl::*;
+use srl_core::program::Program;
+use srl_core::value::Value;
+
+use machines::primrec::{PrError, PrTerm};
+
+/// The result of compiling a primitive recursive term.
+#[derive(Clone, Debug)]
+pub struct CompiledPr {
+    /// The SRL + new program containing one definition per sub-term.
+    pub program: Program,
+    /// The name of the entry-point definition (the outermost term).
+    pub entry: String,
+    /// The arity of the entry point.
+    pub arity: usize,
+}
+
+/// Compiles a primitive recursive term into an `SRL + new` program.
+pub fn compile(term: &PrTerm) -> Result<CompiledPr, PrError> {
+    let arity = term.arity()?;
+    let mut compiler = Compiler {
+        program: Program::new(Dialect::srl_new()),
+        counter: 0,
+    };
+    let entry = compiler.compile_term(term)?;
+    Ok(CompiledPr {
+        program: compiler.program,
+        entry,
+        arity,
+    })
+}
+
+struct Compiler {
+    program: Program,
+    counter: usize,
+}
+
+impl Compiler {
+    fn fresh_name(&mut self, hint: &str) -> String {
+        let name = format!("pr_{hint}_{}", self.counter);
+        self.counter += 1;
+        name
+    }
+
+    fn params(arity: usize) -> Vec<String> {
+        (0..arity).map(|i| format!("x{i}")).collect()
+    }
+
+    fn compile_term(&mut self, term: &PrTerm) -> Result<String, PrError> {
+        let arity = term.arity()?;
+        let params = Self::params(arity);
+        let (hint, body) = match term {
+            PrTerm::Zero(_) => ("zero".to_string(), empty_set()),
+            PrTerm::Succ => (
+                "succ".to_string(),
+                insert(new_value(var("x0")), var("x0")),
+            ),
+            PrTerm::Proj(_, i) => ("proj".to_string(), var(format!("x{i}"))),
+            PrTerm::Compose(f, gs) => {
+                let inner_names: Vec<String> = gs
+                    .iter()
+                    .map(|g| self.compile_term(g))
+                    .collect::<Result<_, _>>()?;
+                let f_name = self.compile_term(f)?;
+                let args: Vec<Expr> = inner_names
+                    .iter()
+                    .map(|g| call(g.clone(), params.iter().map(var)))
+                    .collect();
+                ("compose".to_string(), call(f_name, args))
+            }
+            PrTerm::PrimRec(g, h) => {
+                let g_name = self.compile_term(g)?;
+                let h_name = self.compile_term(h)?;
+                // f(x0, y1..yk): fold over x0 with accumulator
+                // [f-so-far, counter-set]; the counter set grows by one
+                // element per iteration and is itself the coded recursion
+                // index handed to h.
+                let rest_params: Vec<Expr> = params[1..].iter().map(var).collect();
+                let mut h_args: Vec<Expr> = vec![sel(var("ACC"), 2)];
+                h_args.extend(rest_params.clone());
+                h_args.push(sel(var("ACC"), 1));
+                let step = tuple([
+                    call(h_name, h_args),
+                    insert(var("elem"), sel(var("ACC"), 2)),
+                ]);
+                let base = tuple([call(g_name, rest_params), empty_set()]);
+                let body = sel(
+                    set_reduce(
+                        var("x0"),
+                        srl_core::ast::Lambda::identity(),
+                        lam("elem", "ACC", step),
+                        base,
+                        empty_set(),
+                    ),
+                    1,
+                );
+                ("primrec".to_string(), body)
+            }
+        };
+        let name = self.fresh_name(&hint);
+        self.program = std::mem::replace(&mut self.program, Program::new(Dialect::srl_new()))
+            .define(name.clone(), params, body);
+        Ok(name)
+    }
+}
+
+/// Encodes a natural number in the Section 5 set coding `{d₀, …, d_{k-1}}`.
+pub fn encode_nat(k: u64) -> Value {
+    Value::set((0..k).map(Value::atom))
+}
+
+/// Decodes the set coding back to a natural (the cardinality).
+pub fn decode_nat(v: &Value) -> Option<u64> {
+    v.as_set().map(|s| s.len() as u64)
+}
+
+/// Evaluates a compiled term on machine-word arguments, returning the decoded
+/// result.
+pub fn eval_compiled(
+    compiled: &CompiledPr,
+    args: &[u64],
+    limits: srl_core::limits::EvalLimits,
+) -> Result<u64, srl_core::error::EvalError> {
+    let encoded: Vec<Value> = args.iter().map(|&a| encode_nat(a)).collect();
+    let (value, _) = srl_core::eval::run_program(&compiled.program, &compiled.entry, &encoded, limits)?;
+    Ok(decode_nat(&value).unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machines::primrec::library;
+    use srl_core::limits::EvalLimits;
+
+    fn check_against_ground_truth(term: &PrTerm, cases: &[&[u64]]) {
+        let compiled = compile(term).expect("term compiles");
+        assert!(compiled.program.validate().is_ok());
+        for case in cases {
+            let expected = term
+                .eval_u64(case)
+                .expect("ground-truth evaluation")
+                .to_u64()
+                .expect("fits in u64");
+            let got = eval_compiled(&compiled, case, EvalLimits::default())
+                .unwrap_or_else(|e| panic!("SRL evaluation of {case:?} failed: {e}"));
+            assert_eq!(got, expected, "args {case:?}");
+        }
+    }
+
+    #[test]
+    fn initial_functions_compile() {
+        check_against_ground_truth(&PrTerm::Succ, &[&[0], &[1], &[7]]);
+        check_against_ground_truth(&PrTerm::Zero(2), &[&[3, 4], &[0, 0]]);
+        check_against_ground_truth(&PrTerm::Proj(3, 1), &[&[3, 4, 5]]);
+        check_against_ground_truth(&library::identity(), &[&[9]]);
+        check_against_ground_truth(&library::constant(4), &[&[0], &[11]]);
+    }
+
+    #[test]
+    fn addition_compiles() {
+        check_against_ground_truth(
+            &library::add(),
+            &[&[0, 0], &[0, 5], &[5, 0], &[3, 4], &[7, 6]],
+        );
+    }
+
+    #[test]
+    fn predecessor_and_monus_compile() {
+        check_against_ground_truth(&library::pred(), &[&[0], &[1], &[9]]);
+        check_against_ground_truth(&library::monus(), &[&[3, 10], &[10, 3], &[0, 4]]);
+    }
+
+    #[test]
+    fn multiplication_compiles() {
+        check_against_ground_truth(&library::mul(), &[&[0, 4], &[4, 0], &[3, 4], &[5, 5]]);
+    }
+
+    #[test]
+    fn sign_and_cond_compile() {
+        check_against_ground_truth(&library::sign(), &[&[0], &[4]]);
+        check_against_ground_truth(&library::cond(), &[&[1, 7, 9], &[0, 7, 9]]);
+    }
+
+    #[test]
+    fn factorial_compiles() {
+        check_against_ground_truth(&library::factorial(), &[&[0], &[1], &[3], &[4]]);
+    }
+
+    #[test]
+    fn exponentiation_compiles_small() {
+        check_against_ground_truth(&library::exp(), &[&[0, 3], &[2, 3], &[3, 2]]);
+    }
+
+    #[test]
+    fn compiled_values_use_invented_atoms() {
+        // succ of {d0, d1} must contain a genuinely new atom (d2).
+        let compiled = compile(&PrTerm::Succ).unwrap();
+        let (v, stats) = srl_core::eval::run_program(
+            &compiled.program,
+            &compiled.entry,
+            &[encode_nat(2)],
+            EvalLimits::default(),
+        )
+        .unwrap();
+        assert_eq!(decode_nat(&v), Some(3));
+        assert!(v.as_set().unwrap().contains(&Value::atom(2)));
+        assert!(stats.new_values >= 1);
+    }
+
+    #[test]
+    fn plain_srl_dialect_rejects_the_compiled_program() {
+        // The same definitions re-homed in the plain SRL dialect fail at
+        // evaluation time on the `new` operator — the boundary Section 5
+        // draws.
+        let compiled = compile(&PrTerm::Succ).unwrap();
+        let mut srl_program = compiled.program.clone();
+        srl_program.dialect = Dialect::srl();
+        let result = srl_core::eval::run_program(
+            &srl_program,
+            &compiled.entry,
+            &[encode_nat(2)],
+            EvalLimits::default(),
+        );
+        assert!(matches!(
+            result,
+            Err(srl_core::error::EvalError::DialectViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn ill_formed_terms_fail_to_compile() {
+        let bad = PrTerm::Compose(Box::new(library::add()), vec![PrTerm::Proj(1, 0)]);
+        assert!(compile(&bad).is_err());
+    }
+
+    #[test]
+    fn goedel_coding_roundtrip() {
+        for k in 0..20 {
+            assert_eq!(decode_nat(&encode_nat(k)), Some(k));
+        }
+        assert_eq!(decode_nat(&Value::atom(3)), None);
+    }
+}

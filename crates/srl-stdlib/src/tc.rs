@@ -1,0 +1,243 @@
+//! Transitive closure and deterministic transitive closure in SRL
+//! (Section 4, Corollaries 4.2 and 4.4).
+//!
+//! Fact 4.1 states `NL = (FO + TC)` and Fact 4.3 `L = (FO + DTC)`; the paper
+//! defines the `TC` operator *inside* SRL by pivot iteration:
+//!
+//! ```text
+//! bothsides(v, E) = join(D, D, …)   — the pairs [x, y] with [x, v], [v, y] ∈ E
+//! add(v, E)       = E ∪ bothsides(v, E)
+//! TC(E)           = set-reduce over the vertices, applying add per pivot
+//! ```
+//!
+//! and `DTC(φ) = TC(φ_d)` where `φ_d(x, y)` additionally requires `y` to be
+//! the unique successor of `x`. The builders here produce those expressions
+//! over a domain `D` and an edge relation `EDGES` (both free variables or
+//! arbitrary sub-expressions); `SRFO + TC` / `SRFO + DTC` programs are then
+//! just first-order combinations of these closures, which the E5 experiment
+//! compares against the native closures of `workloads::digraph` and the
+//! formula-level `TC`/`DTC` of `fo-logic`.
+
+use srl_core::ast::Expr;
+use srl_core::dsl::*;
+
+use crate::derived::{forall, join, map_set, member, select, union};
+
+/// `reflexive(D)`: the identity relation `{[d, d] | d ∈ D}`.
+pub fn reflexive(domain: Expr) -> Expr {
+    map_set(
+        domain,
+        lam("__r_d", "__r_unused", tuple([var("__r_d"), var("__r_d")])),
+        empty_set(),
+    )
+}
+
+/// The paper's `bothsides(v, E)`: pairs at distance two through the pivot
+/// `v`, i.e. `{[x, y] | [x, v] ∈ E ∧ [v, y] ∈ E}`.
+pub fn bothsides(pivot: Expr, edges: Expr) -> Expr {
+    let_in(
+        "__b_v",
+        pivot,
+        join(
+            edges.clone(),
+            edges,
+            lam(
+                "__b_t1",
+                "__b_t2",
+                and(
+                    eq(sel(var("__b_t1"), 2), var("__b_v")),
+                    eq(sel(var("__b_t2"), 1), var("__b_v")),
+                ),
+            ),
+            lam(
+                "__b_s1",
+                "__b_s2",
+                tuple([sel(var("__b_s1"), 1), sel(var("__b_s2"), 2)]),
+            ),
+        ),
+    )
+}
+
+/// The paper's `add(v, E) = union(E, bothsides(v, E))`.
+pub fn add_pivot(pivot: Expr, edges: Expr) -> Expr {
+    union(edges.clone(), bothsides(pivot, edges))
+}
+
+/// `TC(D, EDGES)`: the reflexive-transitive closure, by iterating `add` over
+/// every vertex as a pivot (one sweep of pivots suffices, exactly as in
+/// Floyd–Warshall).
+pub fn transitive_closure(domain: Expr, edges: Expr) -> Expr {
+    set_reduce(
+        domain.clone(),
+        lam("__tc_v", "__tc_unused", var("__tc_v")),
+        lam("__tc_pivot", "__tc_edges", add_pivot(var("__tc_pivot"), var("__tc_edges"))),
+        union(edges, reflexive(domain)),
+        empty_set(),
+    )
+}
+
+/// The paper's `φ_d`: the subset of `EDGES` consisting of the pairs `[x, y]`
+/// such that `y` is the unique successor of `x`.
+pub fn deterministic_edges(edges: Expr) -> Expr {
+    select(
+        edges.clone(),
+        lam(
+            "__dd_t",
+            "__dd_all",
+            forall(
+                var("__dd_all"),
+                lam(
+                    "__dd_e",
+                    "__dd_t2",
+                    or(
+                        not(eq(sel(var("__dd_e"), 1), sel(var("__dd_t2"), 1))),
+                        eq(sel(var("__dd_e"), 2), sel(var("__dd_t2"), 2)),
+                    ),
+                ),
+                var("__dd_t"),
+            ),
+        ),
+        edges,
+    )
+}
+
+/// `DTC(D, EDGES) = TC(D, φ_d(EDGES))` (Section 4).
+pub fn deterministic_transitive_closure(domain: Expr, edges: Expr) -> Expr {
+    transitive_closure(domain, deterministic_edges(edges))
+}
+
+/// The SRFO+TC reachability query: `[s, t] ∈ TC(D, EDGES)`.
+pub fn reachable(domain: Expr, edges: Expr, source: Expr, target: Expr) -> Expr {
+    member(tuple([source, target]), transitive_closure(domain, edges))
+}
+
+/// The SRFO+DTC reachability query: `[s, t] ∈ DTC(D, EDGES)`.
+pub fn deterministically_reachable(
+    domain: Expr,
+    edges: Expr,
+    source: Expr,
+    target: Expr,
+) -> Expr {
+    member(
+        tuple([source, target]),
+        deterministic_transitive_closure(domain, edges),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srl_core::eval::eval_expr;
+    use srl_core::limits::EvalLimits;
+    use srl_core::program::Env;
+    use srl_core::value::Value;
+    use workloads::digraph::Digraph;
+
+    fn closure_matrix(expr: &Expr, g: &Digraph) -> Vec<Vec<bool>> {
+        let env = Env::new()
+            .bind("D", g.vertices_value())
+            .bind("E", g.edges_value());
+        let v = eval_expr(expr, &env, EvalLimits::benchmark()).expect("closure evaluates");
+        Digraph::closure_from_value(&v, g.n).expect("closure has relation shape")
+    }
+
+    #[test]
+    fn reflexive_relation() {
+        let g = Digraph::empty(3);
+        let env = Env::new().bind("D", g.vertices_value());
+        let v = eval_expr(&reflexive(var("D")), &env, EvalLimits::default()).unwrap();
+        assert_eq!(v.len(), Some(3));
+        assert!(v
+            .as_set()
+            .unwrap()
+            .contains(&Value::tuple([Value::atom(2), Value::atom(2)])));
+    }
+
+    #[test]
+    fn bothsides_finds_two_step_pairs() {
+        let g = Digraph::new(4, [(0, 1), (1, 2), (1, 3)]);
+        let env = Env::new().bind("E", g.edges_value());
+        let v = eval_expr(&bothsides(atom(1), var("E")), &env, EvalLimits::default()).unwrap();
+        let expected = Value::set([
+            Value::tuple([Value::atom(0), Value::atom(2)]),
+            Value::tuple([Value::atom(0), Value::atom(3)]),
+        ]);
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn tc_matches_native_on_paths_and_cycles() {
+        for g in [Digraph::path(5), Digraph::cycle(5)] {
+            let srl = closure_matrix(&transitive_closure(var("D"), var("E")), &g);
+            assert_eq!(srl, g.transitive_closure());
+        }
+    }
+
+    #[test]
+    fn tc_matches_native_on_random_graphs() {
+        for seed in 0..4u64 {
+            let g = Digraph::random(6, 0.25, seed);
+            let srl = closure_matrix(&transitive_closure(var("D"), var("E")), &g);
+            assert_eq!(srl, g.transitive_closure(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn dtc_matches_native() {
+        // Branching vertex: DTC must not pass through it.
+        let g = Digraph::new(4, [(0, 1), (1, 2), (1, 3)]);
+        let srl = closure_matrix(&deterministic_transitive_closure(var("D"), var("E")), &g);
+        assert_eq!(srl, g.deterministic_transitive_closure());
+        // Functional graphs: DTC equals TC.
+        let g = Digraph::random_functional(6, 5);
+        let dtc = closure_matrix(&deterministic_transitive_closure(var("D"), var("E")), &g);
+        let tc = closure_matrix(&transitive_closure(var("D"), var("E")), &g);
+        assert_eq!(dtc, tc);
+        assert_eq!(dtc, g.deterministic_transitive_closure());
+    }
+
+    #[test]
+    fn dtc_matches_native_on_random_graphs() {
+        for seed in 0..4u64 {
+            let g = Digraph::random(6, 0.3, seed + 100);
+            let srl = closure_matrix(&deterministic_transitive_closure(var("D"), var("E")), &g);
+            assert_eq!(srl, g.deterministic_transitive_closure(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn reachability_queries() {
+        let g = Digraph::new(4, [(0, 1), (1, 2), (1, 3)]);
+        let env = Env::new()
+            .bind("D", g.vertices_value())
+            .bind("E", g.edges_value());
+        let tc_probe = reachable(var("D"), var("E"), atom(0), atom(3));
+        assert_eq!(
+            eval_expr(&tc_probe, &env, EvalLimits::benchmark()).unwrap(),
+            Value::bool(true)
+        );
+        let dtc_probe = deterministically_reachable(var("D"), var("E"), atom(0), atom(3));
+        assert_eq!(
+            eval_expr(&dtc_probe, &env, EvalLimits::benchmark()).unwrap(),
+            Value::bool(false)
+        );
+        // Reflexivity through either closure.
+        let self_probe = deterministically_reachable(var("D"), var("E"), atom(2), atom(2));
+        assert_eq!(
+            eval_expr(&self_probe, &env, EvalLimits::benchmark()).unwrap(),
+            Value::bool(true)
+        );
+    }
+
+    #[test]
+    fn deterministic_edges_filters_branches() {
+        let g = Digraph::new(4, [(0, 1), (1, 2), (1, 3), (2, 3)]);
+        let env = Env::new().bind("E", g.edges_value());
+        let v = eval_expr(&deterministic_edges(var("E")), &env, EvalLimits::default()).unwrap();
+        let set = v.as_set().unwrap();
+        assert!(set.contains(&Value::tuple([Value::atom(0), Value::atom(1)])));
+        assert!(set.contains(&Value::tuple([Value::atom(2), Value::atom(3)])));
+        assert!(!set.contains(&Value::tuple([Value::atom(1), Value::atom(2)])));
+        assert!(!set.contains(&Value::tuple([Value::atom(1), Value::atom(3)])));
+    }
+}

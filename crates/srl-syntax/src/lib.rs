@@ -1,0 +1,15 @@
+//! # srl-syntax — a concrete syntax for SRL
+//!
+//! A pretty-printer that renders [`srl_core::Expr`] / [`srl_core::Program`]
+//! values in the paper's notation (`set-reduce(…, lambda(x, y) …, …)`,
+//! `if … then … else …`, selectors `e.1`). The examples use it to show the
+//! generated paper programs in readable form; a parser for the same notation
+//! is future work (the builders in `srl-core::dsl` and `srl-stdlib` are the
+//! supported way to construct programs).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod printer;
+
+pub use printer::{print_expr, print_lambda, print_program};

@@ -1,0 +1,232 @@
+//! Pretty-printer: renders expressions and programs in the paper's concrete
+//! syntax (`set-reduce(s, lambda(x, y) …, …)`, `if … then … else …`,
+//! selectors `e.1`), so generated programs can be read next to the paper.
+
+use srl_core::ast::{Expr, Lambda};
+use srl_core::program::Program;
+
+/// Renders an expression.
+pub fn print_expr(expr: &Expr) -> String {
+    let mut out = String::new();
+    write_expr(expr, &mut out);
+    out
+}
+
+/// Renders a two-parameter lambda.
+pub fn print_lambda(lambda: &Lambda) -> String {
+    format!(
+        "lambda({}, {}) {}",
+        lambda.x,
+        lambda.y,
+        print_expr(&lambda.body)
+    )
+}
+
+/// Renders a whole program, one definition per line block.
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    for def in &program.defs {
+        let params: Vec<&str> = def.params.iter().map(|p| p.name.as_str()).collect();
+        out.push_str(&format!(
+            "{}({}) =\n  {}\n\n",
+            def.name,
+            params.join(", "),
+            print_expr(&def.body)
+        ));
+    }
+    out
+}
+
+fn write_expr(expr: &Expr, out: &mut String) {
+    match expr {
+        Expr::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Expr::Const(v) => out.push_str(&v.to_string()),
+        Expr::Var(v) => out.push_str(v),
+        Expr::If(c, t, e) => {
+            out.push_str("if ");
+            write_expr(c, out);
+            out.push_str(" then ");
+            write_expr(t, out);
+            out.push_str(" else ");
+            write_expr(e, out);
+        }
+        Expr::Tuple(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(item, out);
+            }
+            out.push(']');
+        }
+        Expr::Sel(i, e) => {
+            write_expr(e, out);
+            out.push_str(&format!(".{i}"));
+        }
+        Expr::Eq(a, b) => binary(out, a, " = ", b),
+        Expr::Leq(a, b) => binary(out, a, " <= ", b),
+        Expr::EmptySet => out.push_str("emptyset"),
+        Expr::Insert(e, s) => fun(out, "insert", &[e, s]),
+        Expr::Choose(s) => fun(out, "choose", &[s]),
+        Expr::Rest(s) => fun(out, "rest", &[s]),
+        Expr::SetReduce {
+            set,
+            app,
+            acc,
+            base,
+            extra,
+        } => {
+            out.push_str("set-reduce(");
+            write_expr(set, out);
+            out.push_str(", ");
+            out.push_str(&print_lambda(app));
+            out.push_str(", ");
+            out.push_str(&print_lambda(acc));
+            out.push_str(", ");
+            write_expr(base, out);
+            out.push_str(", ");
+            write_expr(extra, out);
+            out.push(')');
+        }
+        Expr::ListReduce {
+            list,
+            app,
+            acc,
+            base,
+            extra,
+        } => {
+            out.push_str("list-reduce(");
+            write_expr(list, out);
+            out.push_str(", ");
+            out.push_str(&print_lambda(app));
+            out.push_str(", ");
+            out.push_str(&print_lambda(acc));
+            out.push_str(", ");
+            write_expr(base, out);
+            out.push_str(", ");
+            write_expr(extra, out);
+            out.push(')');
+        }
+        Expr::Call(name, args) => {
+            out.push_str(name);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(a, out);
+            }
+            out.push(')');
+        }
+        Expr::Let { name, value, body } => {
+            out.push_str("let ");
+            out.push_str(name);
+            out.push_str(" = ");
+            write_expr(value, out);
+            out.push_str(" in ");
+            write_expr(body, out);
+        }
+        Expr::New(s) => fun(out, "new", &[s]),
+        Expr::NatConst(n) => out.push_str(&n.to_string()),
+        Expr::Succ(e) => fun(out, "succ", &[e]),
+        Expr::NatAdd(a, b) => binary(out, a, " + ", b),
+        Expr::NatMul(a, b) => binary(out, a, " * ", b),
+        Expr::EmptyList => out.push_str("emptylist"),
+        Expr::Cons(e, l) => fun(out, "cons", &[e, l]),
+        Expr::Head(l) => fun(out, "head", &[l]),
+        Expr::Tail(l) => fun(out, "tail", &[l]),
+    }
+}
+
+fn binary(out: &mut String, a: &Expr, op: &str, b: &Expr) {
+    out.push('(');
+    write_expr(a, out);
+    out.push_str(op);
+    write_expr(b, out);
+    out.push(')');
+}
+
+fn fun(out: &mut String, name: &str, args: &[&Expr]) {
+    out.push_str(name);
+    out.push('(');
+    for (i, a) in args.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_expr(a, out);
+    }
+    out.push(')');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srl_core::dsl::*;
+    use srl_core::value::Value;
+
+    #[test]
+    fn literals_and_operators() {
+        assert_eq!(print_expr(&bool_(true)), "true");
+        assert_eq!(print_expr(&atom(3)), "d3");
+        assert_eq!(print_expr(&eq(var("x"), atom(1))), "(x = d1)");
+        assert_eq!(print_expr(&leq(var("x"), var("y"))), "(x <= y)");
+        assert_eq!(print_expr(&sel(var("t"), 2)), "t.2");
+        assert_eq!(
+            print_expr(&insert(var("x"), empty_set())),
+            "insert(x, emptyset)"
+        );
+        assert_eq!(print_expr(&const_v(Value::nat(0))), "0");
+    }
+
+    #[test]
+    fn if_tuple_let_call() {
+        assert_eq!(
+            print_expr(&if_(var("b"), atom(1), atom(2))),
+            "if b then d1 else d2"
+        );
+        assert_eq!(print_expr(&tuple([var("a"), var("b")])), "[a, b]");
+        assert_eq!(
+            print_expr(&let_in("x", atom(1), var("x"))),
+            "let x = d1 in x"
+        );
+        assert_eq!(
+            print_expr(&call("union", [var("A"), var("B")])),
+            "union(A, B)"
+        );
+    }
+
+    #[test]
+    fn set_reduce_shape_matches_paper_syntax() {
+        let e = set_reduce(
+            var("S"),
+            lam("x", "e", var("x")),
+            lam("v", "acc", insert(var("v"), var("acc"))),
+            empty_set(),
+            var("R"),
+        );
+        let text = print_expr(&e);
+        assert!(text.starts_with("set-reduce(S, lambda(x, e) x, lambda(v, acc) insert(v, acc)"));
+        assert!(text.ends_with("emptyset, R)"));
+    }
+
+    #[test]
+    fn extensions_print() {
+        assert_eq!(print_expr(&new_value(var("S"))), "new(S)");
+        assert_eq!(print_expr(&nat_add(nat(1), nat(2))), "(1 + 2)");
+        assert_eq!(print_expr(&cons(atom(1), empty_list())), "cons(d1, emptylist)");
+        assert_eq!(print_expr(&head(var("L"))), "head(L)");
+    }
+
+    #[test]
+    fn whole_programs_print_with_headers() {
+        let program = srl_stdlib::arith::arithmetic_program();
+        let text = print_program(&program);
+        assert!(text.contains("inc(D, a) ="));
+        assert!(text.contains("set-reduce("));
+        // Every definition name appears.
+        for def in &program.defs {
+            assert!(text.contains(&format!("{}(", def.name)), "{}", def.name);
+        }
+    }
+}

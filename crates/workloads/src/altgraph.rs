@@ -1,0 +1,382 @@
+//! Alternating graphs and the APATH / AGAP problem (Definition 3.4).
+//!
+//! An alternating graph is a digraph whose vertices are labelled *universal*
+//! (AND) or *existential* (OR). `APATH(x, y)` is the smallest relation such
+//! that
+//!
+//! 1. `APATH(x, x)`;
+//! 2. if `x` is existential and some edge (x, z) has `APATH(z, y)`, then
+//!    `APATH(x, y)`;
+//! 3. if `x` is universal, has at least one outgoing edge, and *every* edge
+//!    (x, z) has `APATH(z, y)`, then `APATH(x, y)`.
+//!
+//! `AGAP = {G | APATH(v₀, v_max)}` is complete for P under first-order
+//! reductions (Fact 3.5), which is why Lemma 3.6 (APATH expressible in SRL)
+//! gives `P ⊆ ℒ(SRL)`. This module provides the graph type, generators
+//! (layered AND/OR game graphs with a known answer, and random graphs), and a
+//! native fixpoint solver used as the experiments' ground truth.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use srl_core::value::Value;
+
+/// An alternating graph: a digraph plus a universal/existential label per
+/// vertex.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AlternatingGraph {
+    /// Number of vertices (vertices are `0 .. n`).
+    pub n: usize,
+    /// Directed edges.
+    pub edges: Vec<(usize, usize)>,
+    /// `universal[v]` is true iff vertex v is an AND vertex.
+    pub universal: Vec<bool>,
+}
+
+impl AlternatingGraph {
+    /// Creates an alternating graph; out-of-range edges are dropped and the
+    /// label vector is resized with `false` (existential).
+    pub fn new(
+        n: usize,
+        edges: impl IntoIterator<Item = (usize, usize)>,
+        universal: impl IntoIterator<Item = bool>,
+    ) -> Self {
+        let mut es: Vec<(usize, usize)> = edges
+            .into_iter()
+            .filter(|&(u, v)| u < n && v < n)
+            .collect();
+        es.sort_unstable();
+        es.dedup();
+        let mut labels: Vec<bool> = universal.into_iter().collect();
+        labels.resize(n, false);
+        AlternatingGraph {
+            n,
+            edges: es,
+            universal: labels,
+        }
+    }
+
+    /// A layered AND/OR game graph: `layers` layers of `width` vertices each
+    /// plus a single target vertex at the end. Every vertex of layer `i` has
+    /// an edge to every vertex of layer `i + 1`; every vertex of the last
+    /// layer has an edge to the target. Labels alternate by layer (layer 0
+    /// existential, layer 1 universal, …). Because *every* vertex reaches the
+    /// target, `APATH(v₀, v_max)` holds by construction regardless of the
+    /// labels — a positive AGAP instance of known shape whose fixpoint takes
+    /// `layers + 1` rounds to converge.
+    pub fn layered_game(layers: usize, width: usize) -> Self {
+        let width = width.max(1);
+        let n = layers * width + 1;
+        let target = n - 1;
+        let mut edges = Vec::new();
+        for layer in 0..layers {
+            for i in 0..width {
+                let u = layer * width + i;
+                if layer + 1 < layers {
+                    for j in 0..width {
+                        edges.push((u, (layer + 1) * width + j));
+                    }
+                } else {
+                    edges.push((u, target));
+                }
+            }
+        }
+        let universal = (0..n).map(|v| v != target && (v / width) % 2 == 1);
+        AlternatingGraph::new(n, edges, universal)
+    }
+
+    /// A random alternating graph: each ordered pair is an edge with
+    /// probability `p`, each vertex is universal with probability 1/2.
+    pub fn random(n: usize, p: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in 0..n {
+                if u != v && rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let universal: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+        AlternatingGraph::new(n, edges, universal)
+    }
+
+    /// A positive-by-construction instance: a binary AND/OR tree of the given
+    /// depth whose leaves all have a self-loop-free edge to the single target
+    /// vertex (the last vertex). The root is vertex 0. Every leaf reaches the
+    /// target, so `APATH(root, target)` holds regardless of labels.
+    pub fn and_or_tree(depth: usize) -> Self {
+        let internal = (1usize << depth) - 1; // full binary tree internal+leaf count = 2^depth - 1
+        let n = internal + 1; // plus the target vertex
+        let target = n - 1;
+        let mut edges = Vec::new();
+        for v in 0..internal {
+            let left = 2 * v + 1;
+            let right = 2 * v + 2;
+            if left < internal {
+                edges.push((v, left));
+            }
+            if right < internal {
+                edges.push((v, right));
+            }
+            if left >= internal && right >= internal {
+                // v is a leaf of the tree: connect it to the target.
+                edges.push((v, target));
+            }
+        }
+        // Alternate labels by tree level: even levels existential, odd
+        // universal; the target is existential.
+        let universal = (0..n).map(|v| {
+            if v == target {
+                false
+            } else {
+                (usize::BITS - (v + 1).leading_zeros() - 1) % 2 == 1
+            }
+        });
+        AlternatingGraph::new(n, edges, universal)
+    }
+
+    /// Out-neighbours of `u`.
+    pub fn successors(&self, u: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter(|&&(a, _)| a == u)
+            .map(|&(_, b)| b)
+            .collect()
+    }
+
+    /// Computes, for a fixed target `y`, the set of vertices `x` with
+    /// `APATH(x, y)`, by the obvious monotone fixpoint (the native evaluation
+    /// of the paper's operator `F` in Section 3).
+    pub fn apath_to(&self, y: usize) -> Vec<bool> {
+        let mut apath = vec![false; self.n];
+        if y >= self.n {
+            return apath;
+        }
+        apath[y] = true;
+        loop {
+            let mut changed = false;
+            for x in 0..self.n {
+                if apath[x] {
+                    continue;
+                }
+                let succ = self.successors(x);
+                let holds = if self.universal[x] {
+                    !succ.is_empty() && succ.iter().all(|&z| apath[z])
+                } else {
+                    succ.iter().any(|&z| apath[z])
+                };
+                if holds {
+                    apath[x] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return apath;
+            }
+        }
+    }
+
+    /// The full APATH relation as a matrix: `apath[x][y]`.
+    pub fn apath_all(&self) -> Vec<Vec<bool>> {
+        // APATH(x, y) is defined per target y; collect column-wise.
+        let mut m = vec![vec![false; self.n]; self.n];
+        for y in 0..self.n {
+            let col = self.apath_to(y);
+            for x in 0..self.n {
+                m[x][y] = col[x];
+            }
+        }
+        m
+    }
+
+    /// The AGAP decision: `APATH(v₀, v_max)`.
+    pub fn agap(&self) -> bool {
+        if self.n == 0 {
+            return false;
+        }
+        self.apath_to(self.n - 1)[0]
+    }
+
+    /// The vertex set as an SRL value.
+    pub fn nodes_value(&self) -> Value {
+        Value::set((0..self.n as u64).map(Value::atom))
+    }
+
+    /// The edge relation as an SRL set of `[from, to]` pairs.
+    pub fn edges_value(&self) -> Value {
+        Value::set(
+            self.edges
+                .iter()
+                .map(|&(u, v)| Value::tuple([Value::atom(u as u64), Value::atom(v as u64)])),
+        )
+    }
+
+    /// The set of universal (AND) vertices as an SRL value.
+    pub fn ands_value(&self) -> Value {
+        Value::set(
+            (0..self.n)
+                .filter(|&v| self.universal[v])
+                .map(|v| Value::atom(v as u64)),
+        )
+    }
+
+    /// The set of existential (OR) vertices as an SRL value.
+    pub fn ors_value(&self) -> Value {
+        Value::set(
+            (0..self.n)
+                .filter(|&v| !self.universal[v])
+                .map(|v| Value::atom(v as u64)),
+        )
+    }
+
+    /// The labelled edge encoding used verbatim in Lemma 3.6:
+    /// `set([from, to], label)` where the label is an atom — we reserve two
+    /// fresh atoms `n` (AND) and `n + 1` (OR) for the labels.
+    pub fn labelled_edges_value(&self) -> Value {
+        let and_label = Value::atom(self.n as u64);
+        let or_label = Value::atom(self.n as u64 + 1);
+        Value::set(self.edges.iter().map(|&(u, v)| {
+            let label = if self.universal[u] {
+                and_label.clone()
+            } else {
+                or_label.clone()
+            };
+            Value::tuple([
+                Value::tuple([Value::atom(u as u64), Value::atom(v as u64)]),
+                label,
+            ])
+        }))
+    }
+
+    /// Reads an APATH relation (set of `[x, y]` pairs) back from an SRL value.
+    pub fn apath_from_value(value: &Value, n: usize) -> Option<Vec<Vec<bool>>> {
+        let set = value.as_set()?;
+        let mut m = vec![vec![false; n]; n];
+        for item in set {
+            let t = item.as_tuple()?;
+            if t.len() != 2 {
+                return None;
+            }
+            let x = t[0].as_atom()?.index as usize;
+            let y = t[1].as_atom()?.index as usize;
+            if x < n && y < n {
+                m[x][y] = true;
+            }
+        }
+        Some(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apath_is_reflexive() {
+        let g = AlternatingGraph::random(8, 0.2, 1);
+        let m = g.apath_all();
+        for v in 0..8 {
+            assert!(m[v][v]);
+        }
+    }
+
+    #[test]
+    fn existential_only_graph_reduces_to_reachability() {
+        // With no universal vertices, APATH is plain reachability.
+        let g = AlternatingGraph::new(4, [(0, 1), (1, 2), (2, 3)], [false; 4]);
+        assert!(g.agap());
+        let m = g.apath_all();
+        assert!(m[0][3]);
+        assert!(!m[3][0]);
+    }
+
+    #[test]
+    fn universal_vertex_needs_all_successors() {
+        // 0 is universal with edges to 1 and 2; only 1 reaches 3.
+        let g = AlternatingGraph::new(
+            4,
+            [(0, 1), (0, 2), (1, 3)],
+            [true, false, false, false],
+        );
+        assert!(!g.apath_to(3)[0], "universal vertex 0 must not reach 3");
+        // Make 2 reach 3 as well: now 0 does too.
+        let g2 = AlternatingGraph::new(
+            4,
+            [(0, 1), (0, 2), (1, 3), (2, 3)],
+            [true, false, false, false],
+        );
+        assert!(g2.apath_to(3)[0]);
+    }
+
+    #[test]
+    fn universal_vertex_with_no_successors_fails() {
+        let g = AlternatingGraph::new(2, [], [true, false]);
+        assert!(!g.apath_to(1)[0]);
+        // But APATH(x, x) still holds for it.
+        assert!(g.apath_to(0)[0]);
+    }
+
+    #[test]
+    fn layered_game_is_positive() {
+        for (layers, width) in [(2, 2), (3, 2), (3, 3), (4, 2)] {
+            let g = AlternatingGraph::layered_game(layers, width);
+            assert!(g.agap(), "layers={layers} width={width}");
+        }
+    }
+
+    #[test]
+    fn and_or_tree_is_positive() {
+        for depth in 1..5 {
+            let g = AlternatingGraph::and_or_tree(depth);
+            assert!(g.agap(), "depth={depth}");
+        }
+    }
+
+    #[test]
+    fn random_graphs_deterministic_per_seed() {
+        assert_eq!(
+            AlternatingGraph::random(10, 0.3, 5),
+            AlternatingGraph::random(10, 0.3, 5)
+        );
+    }
+
+    #[test]
+    fn srl_encodings() {
+        let g = AlternatingGraph::new(3, [(0, 1), (1, 2)], [false, true, false]);
+        assert_eq!(g.nodes_value().len(), Some(3));
+        assert_eq!(g.edges_value().len(), Some(2));
+        assert_eq!(g.ands_value().len(), Some(1));
+        assert_eq!(g.ors_value().len(), Some(2));
+        let labelled = g.labelled_edges_value();
+        assert_eq!(labelled.len(), Some(2));
+        // Labels are atoms n and n+1, disjoint from vertex atoms.
+        for item in labelled.as_set().unwrap() {
+            let label = &item.as_tuple().unwrap()[1];
+            assert!(label.as_atom().unwrap().index >= 3);
+        }
+    }
+
+    #[test]
+    fn apath_from_value_roundtrip() {
+        let g = AlternatingGraph::new(3, [(0, 1), (1, 2)], [false; 3]);
+        let m = g.apath_all();
+        let mut pair_values = Vec::new();
+        for (x, row) in m.iter().enumerate() {
+            for (y, &reachable) in row.iter().enumerate() {
+                if reachable {
+                    pair_values.push(Value::tuple([Value::atom(x as u64), Value::atom(y as u64)]));
+                }
+            }
+        }
+        let pairs = Value::set(pair_values);
+        let back = AlternatingGraph::apath_from_value(&pairs, 3).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn agap_on_empty_graph_is_false() {
+        let g = AlternatingGraph::new(0, [], []);
+        assert!(!g.agap());
+    }
+}

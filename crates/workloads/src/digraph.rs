@@ -1,0 +1,312 @@
+//! Directed graphs: generators, native reachability baselines, and encodings
+//! into SRL values.
+//!
+//! These are the workloads behind the Section 4 experiments: `TC` (transitive
+//! closure, Corollary 4.2 / NL) and `DTC` (deterministic transitive closure,
+//! Corollary 4.4 / L) are evaluated on digraphs generated here, against the
+//! native closures computed here.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use srl_core::value::Value;
+
+/// A directed graph on vertices `0 .. n`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Digraph {
+    /// Number of vertices.
+    pub n: usize,
+    /// Edge list (may contain self-loops, never duplicates).
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl Digraph {
+    /// Creates a graph from an edge list, deduplicating and dropping
+    /// out-of-range edges.
+    pub fn new(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut es: Vec<(usize, usize)> = edges
+            .into_iter()
+            .filter(|&(u, v)| u < n && v < n)
+            .collect();
+        es.sort_unstable();
+        es.dedup();
+        Digraph { n, edges: es }
+    }
+
+    /// The empty graph on `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Digraph { n, edges: Vec::new() }
+    }
+
+    /// A simple directed path `0 → 1 → … → n-1`.
+    pub fn path(n: usize) -> Self {
+        Digraph::new(n, (1..n).map(|i| (i - 1, i)))
+    }
+
+    /// A directed cycle `0 → 1 → … → n-1 → 0`.
+    pub fn cycle(n: usize) -> Self {
+        let mut edges: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+        if n > 0 {
+            edges.push((n - 1, 0));
+        }
+        Digraph::new(n, edges)
+    }
+
+    /// An Erdős–Rényi-style random digraph: each ordered pair (u, v), u ≠ v,
+    /// is an edge independently with probability `p`.
+    pub fn random(n: usize, p: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in 0..n {
+                if u != v && rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        Digraph::new(n, edges)
+    }
+
+    /// A random *functional* graph: every vertex has exactly one outgoing
+    /// edge. On such graphs every path is deterministic, so plain transitive
+    /// closure and deterministic transitive closure coincide — the workload
+    /// for the DTC = L experiment.
+    pub fn random_functional(n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let edges = (0..n).map(|u| (u, rng.gen_range(0..n)));
+        Digraph::new(n, edges)
+    }
+
+    /// Out-neighbours of `u`.
+    pub fn successors(&self, u: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter(|&&(a, _)| a == u)
+            .map(|&(_, b)| b)
+            .collect()
+    }
+
+    /// Adjacency test.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.edges.binary_search(&(u, v)).is_ok()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Vertices reachable from `source` (including `source`), by BFS — the
+    /// native NL-style baseline.
+    pub fn reachable_from(&self, source: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.n];
+        if source >= self.n {
+            return seen;
+        }
+        let mut queue = std::collections::VecDeque::from([source]);
+        seen[source] = true;
+        while let Some(u) = queue.pop_front() {
+            for v in self.successors(u) {
+                if !seen[v] {
+                    seen[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// The full reflexive-transitive closure as a boolean matrix
+    /// (`closure[u][v]` iff there is a path from u to v), by Warshall's
+    /// algorithm. This is the native meaning of the paper's `TC(φ)`.
+    pub fn transitive_closure(&self) -> Vec<Vec<bool>> {
+        let mut c = vec![vec![false; self.n]; self.n];
+        for u in 0..self.n {
+            c[u][u] = true;
+        }
+        for &(u, v) in &self.edges {
+            c[u][v] = true;
+        }
+        for k in 0..self.n {
+            for i in 0..self.n {
+                if c[i][k] {
+                    for j in 0..self.n {
+                        if c[k][j] {
+                            c[i][j] = true;
+                        }
+                    }
+                }
+            }
+        }
+        c
+    }
+
+    /// The *deterministic* reflexive-transitive closure: `dtc[u][v]` iff `v`
+    /// is reachable from `u` along edges (x, y) such that y is the **unique**
+    /// successor of x (the paper's `φ_d` of Section 4).
+    pub fn deterministic_transitive_closure(&self) -> Vec<Vec<bool>> {
+        let unique_succ: Vec<Option<usize>> = (0..self.n)
+            .map(|u| {
+                let succ = self.successors(u);
+                if succ.len() == 1 {
+                    Some(succ[0])
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let mut c = vec![vec![false; self.n]; self.n];
+        for (u, row) in c.iter_mut().enumerate() {
+            row[u] = true;
+            let mut cur = u;
+            // Follow the unique-successor chain; it either terminates or
+            // enters a cycle within n steps.
+            for _ in 0..self.n {
+                match unique_succ[cur] {
+                    Some(next) => {
+                        row[next] = true;
+                        cur = next;
+                    }
+                    None => break,
+                }
+            }
+        }
+        c
+    }
+
+    /// The vertex set `{d_0, …, d_{n-1}}` as an SRL value.
+    pub fn vertices_value(&self) -> Value {
+        Value::set((0..self.n as u64).map(Value::atom))
+    }
+
+    /// The edge relation as an SRL set of `[from, to]` pairs.
+    pub fn edges_value(&self) -> Value {
+        Value::set(
+            self.edges
+                .iter()
+                .map(|&(u, v)| Value::tuple([Value::atom(u as u64), Value::atom(v as u64)])),
+        )
+    }
+
+    /// Reads a closure matrix back out of an SRL set of `[from, to]` pairs.
+    pub fn closure_from_value(value: &Value, n: usize) -> Option<Vec<Vec<bool>>> {
+        let set = value.as_set()?;
+        let mut c = vec![vec![false; n]; n];
+        for item in set {
+            let t = item.as_tuple()?;
+            if t.len() != 2 {
+                return None;
+            }
+            let u = t[0].as_atom()?.index as usize;
+            let v = t[1].as_atom()?.index as usize;
+            if u < n && v < n {
+                c[u][v] = true;
+            }
+        }
+        Some(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_dedups_and_filters() {
+        let g = Digraph::new(3, [(0, 1), (0, 1), (1, 2), (5, 1), (1, 7)]);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn path_and_cycle_shapes() {
+        let p = Digraph::path(4);
+        assert_eq!(p.edge_count(), 3);
+        assert!(p.has_edge(2, 3));
+        let c = Digraph::cycle(4);
+        assert_eq!(c.edge_count(), 4);
+        assert!(c.has_edge(3, 0));
+        assert_eq!(Digraph::cycle(0).edge_count(), 0);
+    }
+
+    #[test]
+    fn random_graph_is_deterministic_per_seed() {
+        let a = Digraph::random(10, 0.3, 7);
+        let b = Digraph::random(10, 0.3, 7);
+        let c = Digraph::random(10, 0.3, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn functional_graph_has_one_successor_each() {
+        let g = Digraph::random_functional(20, 3);
+        for u in 0..20 {
+            assert_eq!(g.successors(u).len(), 1, "vertex {u}");
+        }
+    }
+
+    #[test]
+    fn bfs_reachability_on_path() {
+        let g = Digraph::path(5);
+        let r = g.reachable_from(1);
+        assert_eq!(r, vec![false, true, true, true, true]);
+        let r = g.reachable_from(4);
+        assert_eq!(r, vec![false, false, false, false, true]);
+    }
+
+    #[test]
+    fn transitive_closure_matches_bfs() {
+        let g = Digraph::random(12, 0.2, 42);
+        let tc = g.transitive_closure();
+        for u in 0..12 {
+            let bfs = g.reachable_from(u);
+            for v in 0..12 {
+                assert_eq!(tc[u][v], bfs[v], "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn dtc_follows_only_unique_successors() {
+        // 0 → 1 → 2, and 1 → 3 as well: from 0, DTC stops at 1 because 1 has
+        // two successors; TC reaches everything.
+        let g = Digraph::new(4, [(0, 1), (1, 2), (1, 3)]);
+        let dtc = g.deterministic_transitive_closure();
+        assert!(dtc[0][1]);
+        assert!(!dtc[0][2]);
+        assert!(!dtc[0][3]);
+        let tc = g.transitive_closure();
+        assert!(tc[0][2] && tc[0][3]);
+    }
+
+    #[test]
+    fn dtc_equals_tc_on_functional_graphs() {
+        let g = Digraph::random_functional(16, 9);
+        assert_eq!(g.transitive_closure(), g.deterministic_transitive_closure());
+    }
+
+    #[test]
+    fn dtc_handles_cycles() {
+        let g = Digraph::cycle(5);
+        let dtc = g.deterministic_transitive_closure();
+        for u in 0..5 {
+            for v in 0..5 {
+                assert!(dtc[u][v], "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn srl_encodings_roundtrip() {
+        let g = Digraph::new(3, [(0, 1), (2, 1)]);
+        assert_eq!(g.vertices_value().len(), Some(3));
+        assert_eq!(g.edges_value().len(), Some(2));
+        let closure = Digraph::closure_from_value(&g.edges_value(), 3).unwrap();
+        assert!(closure[0][1]);
+        assert!(closure[2][1]);
+        assert!(!closure[1][0]);
+        assert_eq!(Digraph::closure_from_value(&Value::atom(1), 3), None);
+    }
+}

@@ -1,0 +1,38 @@
+//! # workloads — generators and native baselines for the SRL experiments
+//!
+//! Every experiment in the benchmark harness feeds on data produced here and
+//! is checked against a native (plain Rust) baseline implemented here:
+//!
+//! * [`altgraph`] — alternating graphs and the APATH/AGAP problem
+//!   (Definition 3.4, the P-complete problem of Lemma 3.6);
+//! * [`digraph`] — directed graphs with BFS reachability, transitive closure
+//!   and deterministic transitive closure (the Section 4 TC/DTC workloads);
+//! * [`permutation`] — permutations and the iterated multiplication problem
+//!   IMₛₙ (Definition 4.8, the L-complete problem of Lemma 4.10);
+//! * [`cfi`] — the Cai–Fürer–Immerman graph pairs behind Theorem 7.7;
+//! * [`wl`] — 1- and 2-dimensional Weisfeiler–Leman colour refinement, the
+//!   bounded-variable counting-logic equivalence used to exhibit the CFI
+//!   pairs' indistinguishability;
+//! * [`tables`] — employee/department relational workloads (Fact 2.4 / E9);
+//! * [`orderings`] — domain renamings for re-presenting the same database
+//!   under a different element order (the Section 7 order-independence
+//!   methodology).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod altgraph;
+pub mod cfi;
+pub mod digraph;
+pub mod orderings;
+pub mod permutation;
+pub mod tables;
+pub mod wl;
+
+pub use altgraph::AlternatingGraph;
+pub use cfi::{cfi_graph, cfi_pair, BaseGraph, CfiGraph};
+pub use digraph::Digraph;
+pub use orderings::DomainRenaming;
+pub use permutation::{IteratedProductInstance, Permutation};
+pub use tables::CompanyDatabase;
+pub use wl::{isomorphic, refine_1wl, wl1_equivalent, wl2_equivalent, ColoredGraph};

@@ -1,0 +1,246 @@
+//! Re-presenting inputs under a different element order.
+//!
+//! Section 7 of the paper is about what queries may legitimately depend on:
+//! the implementation supplies an order on every type, `set-reduce` scans in
+//! that order, and a query is *order-independent* when its answer does not
+//! change if the same abstract database is presented with a different
+//! underlying order. The mechanism here makes that testable: a
+//! [`DomainRenaming`] is a permutation of atom ranks; applying it to every
+//! input value re-presents the same abstract structure with a different
+//! ordering, and comparing a query's results before and after (modulo the
+//! renaming, for queries that *return* atoms) is exactly the paper's
+//! order-(in)dependence criterion.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use srl_core::program::Env;
+use srl_core::value::{Atom, Value};
+
+/// A bijective renaming of atom ranks `0 .. n`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DomainRenaming {
+    forward: Vec<u64>,
+}
+
+impl DomainRenaming {
+    /// The identity renaming on `n` atoms.
+    pub fn identity(n: usize) -> Self {
+        DomainRenaming {
+            forward: (0..n as u64).collect(),
+        }
+    }
+
+    /// A uniformly random renaming of `n` atoms.
+    pub fn random(n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut forward: Vec<u64> = (0..n as u64).collect();
+        forward.shuffle(&mut rng);
+        DomainRenaming { forward }
+    }
+
+    /// The renaming that reverses the order of `n` atoms.
+    pub fn reversal(n: usize) -> Self {
+        DomainRenaming {
+            forward: (0..n as u64).rev().collect(),
+        }
+    }
+
+    /// Builds a renaming from an explicit image vector; `None` if it is not a
+    /// bijection.
+    pub fn from_vec(forward: Vec<u64>) -> Option<Self> {
+        let n = forward.len();
+        let mut seen = vec![false; n];
+        for &v in &forward {
+            let idx = usize::try_from(v).ok()?;
+            if idx >= n || seen[idx] {
+                return None;
+            }
+            seen[idx] = true;
+        }
+        Some(DomainRenaming { forward })
+    }
+
+    /// Number of atoms covered.
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// True iff the renaming covers no atoms.
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// Image of a single atom rank (ranks outside the covered range are left
+    /// unchanged, so labels and out-of-domain constants survive).
+    pub fn rename_rank(&self, rank: u64) -> u64 {
+        usize::try_from(rank)
+            .ok()
+            .and_then(|i| self.forward.get(i).copied())
+            .unwrap_or(rank)
+    }
+
+    /// The inverse renaming.
+    pub fn inverse(&self) -> DomainRenaming {
+        let mut inv = vec![0u64; self.forward.len()];
+        for (i, &v) in self.forward.iter().enumerate() {
+            inv[v as usize] = i as u64;
+        }
+        DomainRenaming { forward: inv }
+    }
+
+    /// Applies the renaming to every atom occurring in a value. Because sets
+    /// are stored sorted by value, the result is the same abstract set
+    /// presented in a (generally) different traversal order.
+    pub fn apply(&self, v: &Value) -> Value {
+        match v {
+            Value::Bool(_) | Value::Nat(_) => v.clone(),
+            Value::Atom(a) => Value::Atom(Atom {
+                index: self.rename_rank(a.index),
+                name: a.name.clone(),
+            }),
+            Value::Tuple(items) => Value::Tuple(items.iter().map(|i| self.apply(i)).collect()),
+            Value::List(items) => Value::List(items.iter().map(|i| self.apply(i)).collect()),
+            Value::Set(items) => Value::Set(items.iter().map(|i| self.apply(i)).collect()),
+        }
+    }
+
+    /// Applies the renaming to every binding of an environment.
+    pub fn apply_env(&self, env: &Env) -> Env {
+        let mut out = Env::new();
+        for (name, value) in env.iter() {
+            out.insert(name.to_string(), self.apply(value));
+        }
+        out
+    }
+}
+
+/// Compares a query result computed on the original input with one computed
+/// on the renamed input: they *correspond* when renaming the first gives the
+/// second. For boolean (and other atom-free) results this degenerates to
+/// plain equality, which is the paper's notion of an order-independent query.
+pub fn results_correspond(original: &Value, renamed: &Value, renaming: &DomainRenaming) -> bool {
+    renaming.apply(original) == *renamed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_changes_nothing() {
+        let r = DomainRenaming::identity(5);
+        let v = Value::set([Value::atom(1), Value::atom(3)]);
+        assert_eq!(r.apply(&v), v);
+        assert_eq!(r.len(), 5);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn reversal_flips_choose() {
+        let r = DomainRenaming::reversal(10);
+        let v = Value::set([Value::atom(1), Value::atom(3)]);
+        let renamed = r.apply(&v);
+        // {1, 3} becomes {8, 6}; the minimum element changes identity.
+        assert_eq!(renamed, Value::set([Value::atom(6), Value::atom(8)]));
+        assert_eq!(v.choose(), Some(&Value::atom(1)));
+        assert_eq!(renamed.choose(), Some(&Value::atom(6)));
+    }
+
+    #[test]
+    fn random_renaming_is_bijection_and_seeded() {
+        let a = DomainRenaming::random(20, 3);
+        let b = DomainRenaming::random(20, 3);
+        assert_eq!(a, b);
+        let mut images: Vec<u64> = (0..20).map(|i| a.rename_rank(i)).collect();
+        images.sort_unstable();
+        assert_eq!(images, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let r = DomainRenaming::random(16, 9);
+        let inv = r.inverse();
+        let v = Value::set((0..16).map(Value::atom));
+        assert_eq!(inv.apply(&r.apply(&v)), v);
+        for i in 0..16 {
+            assert_eq!(inv.rename_rank(r.rename_rank(i)), i);
+        }
+    }
+
+    #[test]
+    fn from_vec_validates() {
+        assert!(DomainRenaming::from_vec(vec![2, 0, 1]).is_some());
+        assert!(DomainRenaming::from_vec(vec![2, 2, 1]).is_none());
+        assert!(DomainRenaming::from_vec(vec![3, 0, 1]).is_none());
+    }
+
+    #[test]
+    fn out_of_range_ranks_pass_through() {
+        let r = DomainRenaming::reversal(4);
+        assert_eq!(r.rename_rank(10), 10);
+        assert_eq!(r.apply(&Value::atom(10)), Value::atom(10));
+    }
+
+    #[test]
+    fn nested_values_are_renamed() {
+        let r = DomainRenaming::from_vec(vec![1, 0]).unwrap();
+        let v = Value::tuple([
+            Value::atom(0),
+            Value::set([Value::tuple([Value::atom(1), Value::bool(true)])]),
+            Value::list([Value::atom(0), Value::atom(0)]),
+            Value::nat(7),
+        ]);
+        let expected = Value::tuple([
+            Value::atom(1),
+            Value::set([Value::tuple([Value::atom(0), Value::bool(true)])]),
+            Value::list([Value::atom(1), Value::atom(1)]),
+            Value::nat(7),
+        ]);
+        assert_eq!(r.apply(&v), expected);
+    }
+
+    #[test]
+    fn env_renaming() {
+        let r = DomainRenaming::reversal(3);
+        let env = Env::new()
+            .bind("S", Value::set([Value::atom(0)]))
+            .bind("x", Value::atom(2));
+        let renamed = r.apply_env(&env);
+        assert_eq!(renamed.get("S"), Some(&Value::set([Value::atom(2)])));
+        assert_eq!(renamed.get("x"), Some(&Value::atom(0)));
+    }
+
+    #[test]
+    fn correspondence_for_boolean_and_atom_results() {
+        let r = DomainRenaming::reversal(5);
+        // Boolean results must be equal on the nose.
+        assert!(results_correspond(
+            &Value::bool(true),
+            &Value::bool(true),
+            &r
+        ));
+        assert!(!results_correspond(
+            &Value::bool(true),
+            &Value::bool(false),
+            &r
+        ));
+        // Atom-valued results correspond modulo the renaming.
+        assert!(results_correspond(&Value::atom(0), &Value::atom(4), &r));
+        assert!(!results_correspond(&Value::atom(0), &Value::atom(0), &r));
+    }
+
+    #[test]
+    fn names_survive_renaming() {
+        let r = DomainRenaming::reversal(2);
+        let v = Value::named_atom(0, "alice");
+        match r.apply(&v) {
+            Value::Atom(a) => {
+                assert_eq!(a.index, 1);
+                assert_eq!(a.name.as_deref(), Some("alice"));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+}

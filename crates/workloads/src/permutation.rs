@@ -1,0 +1,267 @@
+//! Permutations and the iterated multiplication problem IMₛₙ (Definition 4.8).
+//!
+//! `IMₛₙ`: given permutations π₁, …, πₙ ∈ Sₙ, compute their composition
+//! π₁ ∗ π₂ ∗ … ∗ πₙ, where `(π₁ ∗ π₂)(i) = π₂(π₁(i))`. Fact 4.9 (Cook &
+//! McKenzie; Immerman & Landau) states that IMₛₙ is complete for L under
+//! first-order reductions with BIT, and Lemma 4.10 expresses it in BASRL —
+//! the heart of Theorem 4.13 (`ℒ(BASRL) = L`). This module provides the
+//! permutation type, the native iterated product, instance generators, and
+//! the SRL encoding the paper uses (`[i, [j, k]]`: "the i-th permutation maps
+//! j to k").
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use srl_core::value::Value;
+
+/// A permutation of `{0, …, n-1}`, stored as the image vector.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Permutation {
+    map: Vec<usize>,
+}
+
+impl Permutation {
+    /// The identity on `n` points.
+    pub fn identity(n: usize) -> Self {
+        Permutation {
+            map: (0..n).collect(),
+        }
+    }
+
+    /// Builds a permutation from an image vector; returns `None` if it is not
+    /// a bijection on `{0, …, len-1}`.
+    pub fn from_vec(map: Vec<usize>) -> Option<Self> {
+        let n = map.len();
+        let mut seen = vec![false; n];
+        for &v in &map {
+            if v >= n || seen[v] {
+                return None;
+            }
+            seen[v] = true;
+        }
+        Some(Permutation { map })
+    }
+
+    /// The cyclic shift `i ↦ i + 1 (mod n)`.
+    pub fn cycle(n: usize) -> Self {
+        Permutation {
+            map: (0..n).map(|i| (i + 1) % n.max(1)).collect(),
+        }
+    }
+
+    /// A uniformly random permutation (Fisher–Yates, seeded).
+    pub fn random(n: usize, rng: &mut StdRng) -> Self {
+        let mut map: Vec<usize> = (0..n).collect();
+        map.shuffle(rng);
+        Permutation { map }
+    }
+
+    /// Degree (number of points).
+    pub fn degree(&self) -> usize {
+        self.map.len()
+    }
+
+    /// The image of `i`.
+    pub fn apply(&self, i: usize) -> usize {
+        self.map[i]
+    }
+
+    /// The paper's composition: `(self ∗ other)(i) = other(self(i))`
+    /// (Definition 4.8: π₁ ∗ π₂(i) = π₂(π₁(i))).
+    pub fn then(&self, other: &Permutation) -> Permutation {
+        Permutation {
+            map: self.map.iter().map(|&i| other.map[i]).collect(),
+        }
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Permutation {
+        let mut inv = vec![0; self.map.len()];
+        for (i, &v) in self.map.iter().enumerate() {
+            inv[v] = i;
+        }
+        Permutation { map: inv }
+    }
+
+    /// The underlying image vector.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.map
+    }
+}
+
+/// An IMₛₙ instance: a sequence of permutations of the same degree.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IteratedProductInstance {
+    /// The permutations π₁, …, π_m (the paper takes m = n, but the harness
+    /// allows any length).
+    pub permutations: Vec<Permutation>,
+}
+
+impl IteratedProductInstance {
+    /// A random instance of `count` permutations of degree `n`.
+    pub fn random(n: usize, count: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        IteratedProductInstance {
+            permutations: (0..count).map(|_| Permutation::random(n, &mut rng)).collect(),
+        }
+    }
+
+    /// The paper's square instance: n permutations of degree n.
+    pub fn random_square(n: usize, seed: u64) -> Self {
+        Self::random(n, n, seed)
+    }
+
+    /// Degree of the permutations (0 for an empty instance).
+    pub fn degree(&self) -> usize {
+        self.permutations.first().map_or(0, Permutation::degree)
+    }
+
+    /// The native iterated product π₁ ∗ π₂ ∗ … ∗ π_m — the experiments'
+    /// ground truth (the logspace-complete function of Fact 4.9).
+    pub fn product(&self) -> Permutation {
+        let n = self.degree();
+        self.permutations
+            .iter()
+            .fold(Permutation::identity(n), |acc, p| acc.then(p))
+    }
+
+    /// The paper's input coding for Lemma 4.10: a set of tuples
+    /// `[i, [j, k]]` meaning "the i-th permutation (1-based atom rank i-1…)
+    /// maps j to k". We index permutations by the atoms `0 .. m` and points
+    /// by the atoms `0 .. n`; both live in the same ordered domain, exactly
+    /// as in the paper (which indexes both by the input ranks).
+    pub fn to_srl_value(&self) -> Value {
+        Value::set(self.permutations.iter().enumerate().flat_map(|(i, p)| {
+            p.as_slice().iter().enumerate().map(move |(j, &k)| {
+                Value::tuple([
+                    Value::atom(i as u64),
+                    Value::tuple([Value::atom(j as u64), Value::atom(k as u64)]),
+                ])
+            })
+        }))
+    }
+
+    /// The domain needed to traverse the instance in SRL: atoms
+    /// `0 .. max(m, n)` (permutation indices and points share the domain).
+    pub fn domain_value(&self) -> Value {
+        let size = self.permutations.len().max(self.degree());
+        Value::set((0..size as u64).map(Value::atom))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_apply() {
+        let id = Permutation::identity(5);
+        for i in 0..5 {
+            assert_eq!(id.apply(i), i);
+        }
+        assert_eq!(id.degree(), 5);
+    }
+
+    #[test]
+    fn from_vec_validates() {
+        assert!(Permutation::from_vec(vec![1, 0, 2]).is_some());
+        assert!(Permutation::from_vec(vec![1, 1, 2]).is_none());
+        assert!(Permutation::from_vec(vec![1, 3]).is_none());
+        assert!(Permutation::from_vec(vec![]).is_some());
+    }
+
+    #[test]
+    fn composition_order_matches_definition_4_8() {
+        // π₁ = (0 1 2) cycle, π₂ = transposition of 0 and 1.
+        let p1 = Permutation::cycle(3);
+        let p2 = Permutation::from_vec(vec![1, 0, 2]).unwrap();
+        // (π₁ ∗ π₂)(i) = π₂(π₁(i)): 0 ↦ π₂(1) = 0, 1 ↦ π₂(2) = 2, 2 ↦ π₂(0) = 1.
+        let c = p1.then(&p2);
+        assert_eq!(c.as_slice(), &[0, 2, 1]);
+        // The other order differs.
+        let c2 = p2.then(&p1);
+        assert_eq!(c2.as_slice(), &[2, 1, 0]);
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..10 {
+            let p = Permutation::random(8, &mut rng);
+            assert_eq!(p.then(&p.inverse()), Permutation::identity(8));
+            assert_eq!(p.inverse().then(&p), Permutation::identity(8));
+        }
+    }
+
+    #[test]
+    fn cycle_has_full_order() {
+        let c = Permutation::cycle(5);
+        let mut acc = Permutation::identity(5);
+        for _ in 0..5 {
+            acc = acc.then(&c);
+        }
+        assert_eq!(acc, Permutation::identity(5));
+        let mut acc = Permutation::identity(5);
+        for _ in 0..3 {
+            acc = acc.then(&c);
+        }
+        assert_ne!(acc, Permutation::identity(5));
+    }
+
+    #[test]
+    fn product_of_cycles() {
+        // Composing the n-cycle n times gives the identity.
+        let n = 6;
+        let instance = IteratedProductInstance {
+            permutations: vec![Permutation::cycle(n); n],
+        };
+        assert_eq!(instance.product(), Permutation::identity(n));
+    }
+
+    #[test]
+    fn random_instances_are_seeded() {
+        assert_eq!(
+            IteratedProductInstance::random_square(6, 3),
+            IteratedProductInstance::random_square(6, 3)
+        );
+        assert_ne!(
+            IteratedProductInstance::random_square(6, 3),
+            IteratedProductInstance::random_square(6, 4)
+        );
+    }
+
+    #[test]
+    fn product_matches_pointwise_composition() {
+        let inst = IteratedProductInstance::random(7, 5, 99);
+        let prod = inst.product();
+        for i in 0..7 {
+            let mut x = i;
+            for p in &inst.permutations {
+                x = p.apply(x);
+            }
+            assert_eq!(prod.apply(i), x, "point {i}");
+        }
+    }
+
+    #[test]
+    fn srl_encoding_shape() {
+        let inst = IteratedProductInstance::random(4, 3, 5);
+        let v = inst.to_srl_value();
+        // 3 permutations × 4 points = 12 tuples.
+        assert_eq!(v.len(), Some(12));
+        for item in v.as_set().unwrap() {
+            let t = item.as_tuple().unwrap();
+            assert_eq!(t.len(), 2);
+            assert!(t[0].as_atom().is_some());
+            let inner = t[1].as_tuple().unwrap();
+            assert_eq!(inner.len(), 2);
+        }
+        assert_eq!(inst.domain_value().len(), Some(4));
+        let empty = IteratedProductInstance {
+            permutations: vec![],
+        };
+        assert_eq!(empty.degree(), 0);
+        assert_eq!(empty.product(), Permutation::identity(0));
+    }
+}

@@ -1,0 +1,237 @@
+//! Relational (database-style) workloads.
+//!
+//! The paper's motivation is database query and transaction languages, and
+//! Fact 2.4 notes that the relational operators — select, project, join — are
+//! all derivable in SRL. This module generates the classic employee/
+//! department workload used by the E9 experiment and the examples: two
+//! relations over a shared ordered domain, with tunable sizes, plus native
+//! implementations of the queries the SRL programs are checked against.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use srl_core::value::Value;
+
+/// One employee row.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Employee {
+    /// Employee id (atom rank).
+    pub id: u64,
+    /// Department id.
+    pub dept: u64,
+    /// Salary band (small integer, encoded as an atom).
+    pub band: u64,
+}
+
+/// One department row.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Department {
+    /// Department id.
+    pub id: u64,
+    /// Manager's employee id.
+    pub manager: u64,
+}
+
+/// The generated database: employees, departments, and the size of the
+/// underlying ordered domain (all ids and bands are atoms below this bound).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompanyDatabase {
+    /// Employee relation.
+    pub employees: Vec<Employee>,
+    /// Department relation.
+    pub departments: Vec<Department>,
+    /// Domain size (all atoms have rank < this).
+    pub domain_size: u64,
+}
+
+impl CompanyDatabase {
+    /// Generates a database with `num_employees` employees spread over
+    /// `num_departments` departments and `bands` salary bands.
+    pub fn generate(num_employees: usize, num_departments: usize, bands: u64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let num_departments = num_departments.max(1);
+        // Atom layout: employee ids 0..E, department ids E..E+D,
+        // bands E+D..E+D+bands.
+        let e = num_employees as u64;
+        let d = num_departments as u64;
+        let employees: Vec<Employee> = (0..e)
+            .map(|id| Employee {
+                id,
+                dept: e + rng.gen_range(0..d),
+                band: e + d + rng.gen_range(0..bands.max(1)),
+            })
+            .collect();
+        let departments: Vec<Department> = (0..d)
+            .map(|i| Department {
+                id: e + i,
+                manager: if num_employees == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..e)
+                },
+            })
+            .collect();
+        CompanyDatabase {
+            employees,
+            departments,
+            domain_size: e + d + bands.max(1),
+        }
+    }
+
+    /// The employee relation as an SRL set of `[id, dept, band]` triples.
+    pub fn employees_value(&self) -> Value {
+        Value::set(self.employees.iter().map(|r| {
+            Value::tuple([
+                Value::atom(r.id),
+                Value::atom(r.dept),
+                Value::atom(r.band),
+            ])
+        }))
+    }
+
+    /// The department relation as an SRL set of `[id, manager]` pairs.
+    pub fn departments_value(&self) -> Value {
+        Value::set(
+            self.departments
+                .iter()
+                .map(|r| Value::tuple([Value::atom(r.id), Value::atom(r.manager)])),
+        )
+    }
+
+    /// The ordered domain `{d_0, …}` as an SRL set.
+    pub fn domain_value(&self) -> Value {
+        Value::set((0..self.domain_size).map(Value::atom))
+    }
+
+    /// Native query: ids of employees in the given department.
+    pub fn employees_in_department(&self, dept: u64) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .employees
+            .iter()
+            .filter(|e| e.dept == dept)
+            .map(|e| e.id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Native query: pairs (employee id, manager id) joining employees with
+    /// the manager of their department.
+    pub fn employee_manager_join(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for e in &self.employees {
+            for d in &self.departments {
+                if e.dept == d.id {
+                    out.push((e.id, d.manager));
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Native query: does every department have at least one employee?
+    pub fn every_department_staffed(&self) -> bool {
+        self.departments
+            .iter()
+            .all(|d| self.employees.iter().any(|e| e.dept == d.id))
+    }
+
+    /// Native query: number of employees in the highest salary band present.
+    pub fn top_band_headcount(&self) -> usize {
+        match self.employees.iter().map(|e| e.band).max() {
+            None => 0,
+            Some(top) => self.employees.iter().filter(|e| e.band == top).count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_seeded_and_sized() {
+        let a = CompanyDatabase::generate(20, 4, 3, 7);
+        let b = CompanyDatabase::generate(20, 4, 3, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.employees.len(), 20);
+        assert_eq!(a.departments.len(), 4);
+        assert_eq!(a.domain_size, 20 + 4 + 3);
+    }
+
+    #[test]
+    fn atom_ranges_are_disjoint() {
+        let db = CompanyDatabase::generate(10, 3, 2, 1);
+        for e in &db.employees {
+            assert!(e.id < 10);
+            assert!((10..13).contains(&e.dept));
+            assert!((13..15).contains(&e.band));
+        }
+        for d in &db.departments {
+            assert!((10..13).contains(&d.id));
+            assert!(d.manager < 10);
+        }
+    }
+
+    #[test]
+    fn srl_encodings_have_expected_shapes() {
+        let db = CompanyDatabase::generate(5, 2, 2, 3);
+        assert_eq!(db.employees_value().len(), Some(5));
+        assert_eq!(db.departments_value().len(), Some(2));
+        assert_eq!(db.domain_value().len(), Some(db.domain_size as usize));
+        for row in db.employees_value().as_set().unwrap() {
+            assert_eq!(row.as_tuple().unwrap().len(), 3);
+        }
+    }
+
+    #[test]
+    fn native_queries_consistent() {
+        let db = CompanyDatabase::generate(30, 5, 4, 11);
+        // Every employee returned by the per-department query really is in
+        // that department.
+        for d in &db.departments {
+            for id in db.employees_in_department(d.id) {
+                let e = db.employees.iter().find(|e| e.id == id).unwrap();
+                assert_eq!(e.dept, d.id);
+            }
+        }
+        // The join contains exactly one manager per employee (departments
+        // have unique ids).
+        let join = db.employee_manager_join();
+        assert_eq!(join.len(), db.employees.len());
+        // Head-count of the top band is at least 1 when there are employees.
+        assert!(db.top_band_headcount() >= 1);
+    }
+
+    #[test]
+    fn staffing_check() {
+        let db = CompanyDatabase {
+            employees: vec![Employee { id: 0, dept: 2, band: 4 }],
+            departments: vec![
+                Department { id: 2, manager: 0 },
+                Department { id: 3, manager: 0 },
+            ],
+            domain_size: 5,
+        };
+        assert!(!db.every_department_staffed());
+        let db2 = CompanyDatabase {
+            employees: vec![
+                Employee { id: 0, dept: 2, band: 4 },
+                Employee { id: 1, dept: 3, band: 4 },
+            ],
+            ..db
+        };
+        assert!(db2.every_department_staffed());
+    }
+
+    #[test]
+    fn empty_database() {
+        let db = CompanyDatabase::generate(0, 1, 1, 0);
+        assert_eq!(db.employees.len(), 0);
+        assert!(db.every_department_staffed() == false);
+        assert_eq!(db.top_band_headcount(), 0);
+        assert_eq!(db.employee_manager_join().len(), 0);
+    }
+}

@@ -1,0 +1,529 @@
+//! Weisfeiler–Leman colour refinement.
+//!
+//! Theorem 7.7 rests on the Cai–Fürer–Immerman result that there are
+//! polynomial-time order-independent properties not expressible in
+//! (FO(wo≤) + LFP + count): the witnessing structures Gₙ, Hₙ "agree on all
+//! sentences in (FO(wo≤) + count) containing at most n distinct variables".
+//! Equivalence in k-variable counting logic coincides with
+//! indistinguishability by (k−1)-dimensional Weisfeiler–Leman refinement, so
+//! the empirical content of the theorem is:
+//!
+//! * 1-WL (and 2-WL) colour refinement cannot tell the CFI pair apart, while
+//! * the pair is genuinely non-isomorphic (checked directly for the small
+//!   instances we generate).
+//!
+//! This module implements classic 1-WL (vertex colour refinement) and 2-WL
+//! (refinement on ordered pairs) for undirected graphs, plus the colour
+//! histogram comparison used to declare two graphs WL-equivalent.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// An undirected graph on vertices `0 .. n` with optional initial vertex
+/// colours.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColoredGraph {
+    /// Number of vertices.
+    pub n: usize,
+    /// Adjacency lists (symmetric).
+    pub adj: Vec<Vec<usize>>,
+    /// Initial colour of each vertex.
+    pub colors: Vec<u64>,
+}
+
+impl ColoredGraph {
+    /// Builds a graph from an undirected edge list; all vertices start with
+    /// colour 0.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut adj = vec![Vec::new(); n];
+        for (u, v) in edges {
+            if u < n && v < n && u != v && !adj[u].contains(&v) {
+                adj[u].push(v);
+                adj[v].push(u);
+            }
+        }
+        for a in &mut adj {
+            a.sort_unstable();
+        }
+        ColoredGraph {
+            n,
+            adj,
+            colors: vec![0; n],
+        }
+    }
+
+    /// Sets the initial colour of a vertex.
+    pub fn set_color(&mut self, v: usize, color: u64) {
+        if v < self.n {
+            self.colors[v] = color;
+        }
+    }
+
+    /// Number of (undirected) edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// True iff `u` and `v` are adjacent.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u < self.n && self.adj[u].binary_search(&v).is_ok()
+    }
+
+    /// Degree sequence, sorted.
+    pub fn degree_sequence(&self) -> Vec<usize> {
+        let mut d: Vec<usize> = self.adj.iter().map(Vec::len).collect();
+        d.sort_unstable();
+        d
+    }
+}
+
+/// The outcome of a refinement: the stable colours and how many rounds it
+/// took to stabilise.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Refinement {
+    /// Final colour of each vertex (for 1-WL) or of each ordered pair indexed
+    /// `u * n + v` (for 2-WL).
+    pub colors: Vec<u64>,
+    /// Number of refinement rounds until stability.
+    pub rounds: usize,
+}
+
+impl Refinement {
+    /// Histogram of colours (colour → multiplicity), the canonical
+    /// comparison object: two graphs are WL-indistinguishable iff their
+    /// stable histograms agree.
+    pub fn histogram(&self) -> BTreeMap<u64, usize> {
+        let mut h = BTreeMap::new();
+        for &c in &self.colors {
+            *h.entry(c).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Number of distinct colours.
+    pub fn color_classes(&self) -> usize {
+        self.histogram().len()
+    }
+}
+
+/// Canonicalises a multiset signature into a colour id using a shared
+/// dictionary so that colours are comparable *across* graphs refined
+/// together.
+struct ColorDictionary {
+    next: u64,
+    table: BTreeMap<Vec<u64>, u64>,
+}
+
+impl ColorDictionary {
+    fn new() -> Self {
+        ColorDictionary {
+            next: 0,
+            table: BTreeMap::new(),
+        }
+    }
+
+    fn intern(&mut self, signature: Vec<u64>) -> u64 {
+        *self.table.entry(signature).or_insert_with(|| {
+            let id = self.next;
+            self.next += 1;
+            id
+        })
+    }
+}
+
+/// Runs 1-WL on a single graph until the colouring stabilises.
+pub fn refine_1wl(graph: &ColoredGraph) -> Refinement {
+    refine_1wl_joint(std::slice::from_ref(graph)).pop().expect("one input, one output")
+}
+
+/// Runs 1-WL on several graphs *jointly* (shared colour dictionary), so the
+/// resulting colours are directly comparable. This is the form used to test
+/// indistinguishability.
+pub fn refine_1wl_joint(graphs: &[ColoredGraph]) -> Vec<Refinement> {
+    let mut colorings: Vec<Vec<u64>> = graphs.iter().map(|g| g.colors.clone()).collect();
+    let mut rounds = 0;
+    loop {
+        let mut dict = ColorDictionary::new();
+        let mut next: Vec<Vec<u64>> = Vec::with_capacity(graphs.len());
+        for (g, coloring) in graphs.iter().zip(&colorings) {
+            let mut new_colors = Vec::with_capacity(g.n);
+            for v in 0..g.n {
+                let mut neighbour_colors: Vec<u64> =
+                    g.adj[v].iter().map(|&u| coloring[u]).collect();
+                neighbour_colors.sort_unstable();
+                let mut signature = vec![coloring[v]];
+                signature.extend(neighbour_colors);
+                new_colors.push(dict.intern(signature));
+            }
+            next.push(new_colors);
+        }
+        rounds += 1;
+        let stable = graphs.iter().enumerate().all(|(i, _)| {
+            partition_of(&next[i]) == partition_of(&colorings[i])
+        });
+        colorings = next;
+        if stable || rounds > graphs.iter().map(|g| g.n).max().unwrap_or(0) + 1 {
+            break;
+        }
+    }
+    colorings
+        .into_iter()
+        .map(|colors| Refinement { colors, rounds })
+        .collect()
+}
+
+/// Runs 2-WL (refinement on ordered pairs) on several graphs jointly.
+pub fn refine_2wl_joint(graphs: &[ColoredGraph]) -> Vec<Refinement> {
+    // Initial colour of a pair (u, v): (atp type) — whether u == v, whether
+    // they are adjacent, plus the vertex colours.
+    let mut colorings: Vec<Vec<u64>> = graphs
+        .iter()
+        .map(|g| {
+            let mut init = Vec::with_capacity(g.n * g.n);
+            let mut dict = BTreeMap::new();
+            let mut next = 0u64;
+            for u in 0..g.n {
+                for v in 0..g.n {
+                    let key = (
+                        u == v,
+                        g.has_edge(u, v),
+                        g.colors[u],
+                        g.colors[v],
+                    );
+                    let id = *dict.entry(key).or_insert_with(|| {
+                        let id = next;
+                        next += 1;
+                        id
+                    });
+                    init.push(id);
+                }
+            }
+            init
+        })
+        .collect();
+    // Re-intern the initial colours jointly so they are comparable.
+    {
+        let mut dict = ColorDictionary::new();
+        for (g, coloring) in graphs.iter().zip(&mut colorings) {
+            for u in 0..g.n {
+                for v in 0..g.n {
+                    let key = vec![
+                        u64::from(u == v),
+                        u64::from(g.has_edge(u, v)),
+                        g.colors[u],
+                        g.colors[v],
+                    ];
+                    coloring[u * g.n + v] = dict.intern(key);
+                }
+            }
+        }
+    }
+    let mut rounds = 0;
+    loop {
+        let mut dict = ColorDictionary::new();
+        let mut next: Vec<Vec<u64>> = Vec::with_capacity(graphs.len());
+        for (g, coloring) in graphs.iter().zip(&colorings) {
+            let n = g.n;
+            let mut new_colors = vec![0u64; n * n];
+            for u in 0..n {
+                for v in 0..n {
+                    // Signature: own colour plus the sorted multiset of
+                    // (colour(u, w), colour(w, v)) over all w.
+                    let mut sig_pairs: Vec<(u64, u64)> = (0..n)
+                        .map(|w| (coloring[u * n + w], coloring[w * n + v]))
+                        .collect();
+                    sig_pairs.sort_unstable();
+                    let mut signature = vec![coloring[u * n + v]];
+                    for (a, b) in sig_pairs {
+                        signature.push(a);
+                        signature.push(b);
+                    }
+                    new_colors[u * n + v] = dict.intern(signature);
+                }
+            }
+            next.push(new_colors);
+        }
+        rounds += 1;
+        let stable = graphs.iter().enumerate().all(|(i, _)| {
+            partition_of(&next[i]) == partition_of(&colorings[i])
+        });
+        colorings = next;
+        if stable || rounds > graphs.iter().map(|g| g.n * g.n).max().unwrap_or(0) + 1 {
+            break;
+        }
+    }
+    colorings
+        .into_iter()
+        .map(|colors| Refinement { colors, rounds })
+        .collect()
+}
+
+/// True iff 1-WL cannot distinguish the two graphs (their stable colour
+/// histograms agree under a joint refinement).
+pub fn wl1_equivalent(a: &ColoredGraph, b: &ColoredGraph) -> bool {
+    if a.n != b.n {
+        return false;
+    }
+    let refs = refine_1wl_joint(&[a.clone(), b.clone()]);
+    refs[0].histogram() == refs[1].histogram()
+}
+
+/// True iff 2-WL cannot distinguish the two graphs.
+pub fn wl2_equivalent(a: &ColoredGraph, b: &ColoredGraph) -> bool {
+    if a.n != b.n {
+        return false;
+    }
+    let refs = refine_2wl_joint(&[a.clone(), b.clone()]);
+    refs[0].histogram() == refs[1].histogram()
+}
+
+/// A brute-force isomorphism test: cheap invariants (degree sequence,
+/// connected-component size multiset, stable 1-WL histogram) followed by
+/// backtracking over a BFS vertex ordering with colour-class pruning.
+/// Exponential in the worst case; used only on small instances to certify
+/// that WL-equivalent pairs really are (or are not) isomorphic.
+pub fn isomorphic(a: &ColoredGraph, b: &ColoredGraph) -> bool {
+    if a.n != b.n || a.edge_count() != b.edge_count() {
+        return false;
+    }
+    if a.degree_sequence() != b.degree_sequence() {
+        return false;
+    }
+    if component_size_multiset(a) != component_size_multiset(b) {
+        return false;
+    }
+    let refs = refine_1wl_joint(&[a.clone(), b.clone()]);
+    if refs[0].histogram() != refs[1].histogram() {
+        return false;
+    }
+    let colors_a = &refs[0].colors;
+    let colors_b = &refs[1].colors;
+    let order = bfs_order(a);
+    let mut mapping: Vec<Option<usize>> = vec![None; a.n];
+    let mut used = vec![false; b.n];
+    backtrack(a, b, colors_a, colors_b, &order, 0, &mut mapping, &mut used)
+}
+
+/// Sorted multiset of connected-component sizes.
+fn component_size_multiset(g: &ColoredGraph) -> Vec<usize> {
+    let mut seen = vec![false; g.n];
+    let mut sizes = Vec::new();
+    for start in 0..g.n {
+        if seen[start] {
+            continue;
+        }
+        let mut size = 0;
+        let mut stack = vec![start];
+        seen[start] = true;
+        while let Some(u) = stack.pop() {
+            size += 1;
+            for &v in &g.adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    sizes.sort_unstable();
+    sizes
+}
+
+/// A vertex order in which each vertex (after the first of its component) is
+/// adjacent to some earlier vertex — keeps the backtracking search pruned.
+fn bfs_order(g: &ColoredGraph) -> Vec<usize> {
+    let mut order = Vec::with_capacity(g.n);
+    let mut seen = vec![false; g.n];
+    for start in 0..g.n {
+        if seen[start] {
+            continue;
+        }
+        let mut queue = std::collections::VecDeque::from([start]);
+        seen[start] = true;
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &v in &g.adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    order
+}
+
+#[allow(clippy::too_many_arguments)]
+fn backtrack(
+    a: &ColoredGraph,
+    b: &ColoredGraph,
+    colors_a: &[u64],
+    colors_b: &[u64],
+    order: &[usize],
+    position: usize,
+    mapping: &mut Vec<Option<usize>>,
+    used: &mut Vec<bool>,
+) -> bool {
+    if position == order.len() {
+        return true;
+    }
+    let v = order[position];
+    for candidate in 0..b.n {
+        if used[candidate] || colors_a[v] != colors_b[candidate] {
+            continue;
+        }
+        // Check consistency with already-mapped vertices.
+        let consistent = order[..position].iter().all(|&u| {
+            let mu = mapping[u].expect("mapped earlier in the order");
+            a.has_edge(u, v) == b.has_edge(mu, candidate)
+        });
+        if !consistent {
+            continue;
+        }
+        mapping[v] = Some(candidate);
+        used[candidate] = true;
+        if backtrack(a, b, colors_a, colors_b, order, position + 1, mapping, used) {
+            return true;
+        }
+        mapping[v] = None;
+        used[candidate] = false;
+    }
+    false
+}
+
+fn partition_of(colors: &[u64]) -> Vec<Vec<usize>> {
+    let mut groups: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    for (i, &c) in colors.iter().enumerate() {
+        groups.entry(c).or_default().push(i);
+    }
+    groups.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> ColoredGraph {
+        ColoredGraph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)))
+    }
+
+    fn two_triangles() -> ColoredGraph {
+        ColoredGraph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+    }
+
+    #[test]
+    fn construction_ignores_duplicates_and_loops() {
+        let g = ColoredGraph::from_edges(3, [(0, 1), (1, 0), (2, 2), (1, 2)]);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn refinement_separates_different_degrees() {
+        // A path has endpoints of degree 1, middles of degree 2.
+        let p = ColoredGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let r = refine_1wl(&p);
+        assert!(r.color_classes() >= 2);
+        // The two endpoints share a colour; the two middles share a colour.
+        assert_eq!(r.colors[0], r.colors[3]);
+        assert_eq!(r.colors[1], r.colors[2]);
+        assert_ne!(r.colors[0], r.colors[1]);
+    }
+
+    #[test]
+    fn classic_1wl_blind_spot_c6_vs_2c3() {
+        // The 6-cycle and two disjoint triangles are the textbook pair that
+        // 1-WL cannot distinguish (both are 2-regular on 6 vertices)…
+        let c6 = cycle(6);
+        let tt = two_triangles();
+        assert!(wl1_equivalent(&c6, &tt));
+        // …but they are not isomorphic, and 2-WL does distinguish them.
+        assert!(!isomorphic(&c6, &tt));
+        assert!(!wl2_equivalent(&c6, &tt));
+    }
+
+    #[test]
+    fn isomorphic_relabelled_graphs_detected() {
+        let g = ColoredGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        // Same cycle with the labels rotated.
+        let h = ColoredGraph::from_edges(5, [(2, 3), (3, 4), (4, 0), (0, 1), (1, 2)]);
+        assert!(isomorphic(&g, &h));
+        assert!(wl1_equivalent(&g, &h));
+        assert!(wl2_equivalent(&g, &h));
+    }
+
+    #[test]
+    fn different_sizes_never_equivalent() {
+        assert!(!wl1_equivalent(&cycle(5), &cycle(6)));
+        assert!(!wl2_equivalent(&cycle(5), &cycle(6)));
+        assert!(!isomorphic(&cycle(5), &cycle(6)));
+    }
+
+    #[test]
+    fn cycles_of_different_length_same_size_distinguished_by_edge_count() {
+        let g = cycle(6);
+        let h = ColoredGraph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        assert!(!isomorphic(&g, &h));
+        assert!(!wl1_equivalent(&g, &h));
+    }
+
+    #[test]
+    fn initial_colors_participate() {
+        let mut g = cycle(4);
+        let h = cycle(4);
+        assert!(wl1_equivalent(&g, &h));
+        g.set_color(0, 7);
+        assert!(!wl1_equivalent(&g, &h));
+        assert!(!isomorphic(&g, &h));
+    }
+
+    #[test]
+    fn petersen_vs_its_relabelling_2wl() {
+        // Petersen graph: vertices 0-4 outer cycle, 5-9 inner pentagram.
+        let petersen = ColoredGraph::from_edges(
+            10,
+            [
+                (0, 1), (1, 2), (2, 3), (3, 4), (4, 0),
+                (5, 7), (7, 9), (9, 6), (6, 8), (8, 5),
+                (0, 5), (1, 6), (2, 7), (3, 8), (4, 9),
+            ],
+        );
+        // A relabelled copy (swap 0 ↔ 9, 1 ↔ 8).
+        let relabel = |v: usize| match v {
+            0 => 9,
+            9 => 0,
+            1 => 8,
+            8 => 1,
+            other => other,
+        };
+        let copy = ColoredGraph::from_edges(
+            10,
+            petersen
+                .adj
+                .iter()
+                .enumerate()
+                .flat_map(|(u, vs)| vs.iter().map(move |&v| (relabel(u), relabel(v)))),
+        );
+        assert!(isomorphic(&petersen, &copy));
+        assert!(wl2_equivalent(&petersen, &copy));
+    }
+
+    #[test]
+    fn degree_sequence_sorted() {
+        let g = ColoredGraph::from_edges(4, [(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(g.degree_sequence(), vec![1, 1, 1, 3]);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let r = refine_1wl(&cycle(4));
+        let h = r.histogram();
+        assert_eq!(h.values().sum::<usize>(), 4);
+        // A cycle is vertex-transitive: everything one colour.
+        assert_eq!(r.color_classes(), 1);
+    }
+}

@@ -1,0 +1,46 @@
+//! Database-style queries over an employee/department workload, evaluated
+//! with the SRL relational operators of Fact 2.4 and checked against native
+//! answers.
+//!
+//! Run with `cargo run -p srl-examples --bin company_queries`.
+
+use srl_core::dsl::*;
+use srl_core::{eval_expr, Env, EvalLimits};
+use srl_examples::print_header;
+use srl_stdlib::derived::{join, project, select};
+use workloads::tables::CompanyDatabase;
+
+fn main() {
+    let db = CompanyDatabase::generate(12, 3, 3, 42);
+    print_header("The company database");
+    println!("{} employees, {} departments", db.employees.len(), db.departments.len());
+
+    let env = Env::new()
+        .bind("EMP", db.employees_value())
+        .bind("DEPT", db.departments_value());
+
+    print_header("select + project: who works in the first department?");
+    let dept = db.departments[0].id;
+    let q = project(
+        select(
+            var("EMP"),
+            lam("e", "x", eq(sel(var("e"), 2), atom(dept))),
+            empty_set(),
+        ),
+        1,
+    );
+    let v = eval_expr(&q, &env, EvalLimits::default()).unwrap();
+    println!("SRL answer:    {v}");
+    println!("native answer: {:?}", db.employees_in_department(dept));
+
+    print_header("join: every employee with their department's manager");
+    let q = join(
+        var("EMP"),
+        var("DEPT"),
+        lam("e", "d", eq(sel(var("e"), 2), sel(var("d"), 1))),
+        lam("e", "d", tuple([sel(var("e"), 1), sel(var("d"), 2)])),
+    );
+    let v = eval_expr(&q, &env, EvalLimits::default()).unwrap();
+    println!("SRL answer:    {v}");
+    println!("native answer: {:?}", db.employee_manager_join());
+}

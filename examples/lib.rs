@@ -1,0 +1,10 @@
+//! Shared helpers for the runnable examples.
+//!
+//! Each binary in this package exercises the public API of the SRL
+//! reproduction on a self-contained scenario; `print_header` just keeps their
+//! output uniform.
+
+/// Prints a section header.
+pub fn print_header(title: &str) {
+    println!("\n=== {title} ===");
+}

@@ -1,0 +1,36 @@
+//! Theorem 5.2: compile primitive recursive functions into SRL + new, where
+//! the natural number k is the set {d₀, …, d_{k-1}} and succ inserts an
+//! invented value.
+//!
+//! Run with `cargo run -p srl-examples --bin primitive_recursion`.
+
+use machines::primrec::library;
+use srl_core::{EvalLimits, Value};
+use srl_core::eval::run_program;
+use srl_examples::print_header;
+use srl_stdlib::blowup::{lrl_doubling_program, names as blow};
+use srl_stdlib::primrec_compile::{compile, eval_compiled};
+
+fn main() {
+    print_header("Primitive recursion compiled to SRL + new");
+    for (name, term, args) in [
+        ("add", library::add(), vec![5u64, 7]),
+        ("mul", library::mul(), vec![4, 6]),
+        ("factorial", library::factorial(), vec![5]),
+    ] {
+        let compiled = compile(&term).unwrap();
+        let ground_truth = term.eval_u64(&args).unwrap();
+        let srl = eval_compiled(&compiled, &args, EvalLimits::benchmark()).unwrap();
+        println!("{name}{args:?}: SRL+new = {srl}, PrimRec ground truth = {ground_truth}");
+    }
+
+    print_header("The LRL blow-up (Corollary 5.5)");
+    let doubling = lrl_doubling_program();
+    for n in [2u64, 5, 8, 11] {
+        let input = Value::list((0..n).map(Value::atom));
+        match run_program(&doubling, blow::DOUBLING, &[input], EvalLimits::default()) {
+            Ok((v, _)) => println!("n = {n}: list of {} ones", v.len().unwrap_or(0)),
+            Err(e) => println!("n = {n}: stopped by the evaluator's budget ({e})"),
+        }
+    }
+}

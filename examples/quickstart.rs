@@ -1,0 +1,49 @@
+//! Quickstart: build a small SRL query with the DSL, type-check it, evaluate
+//! it, and read its complexity off the syntax.
+//!
+//! Run with `cargo run -p srl-examples --bin quickstart`.
+
+use srl_analysis::classify_program;
+use srl_core::dsl::*;
+use srl_core::{check_expr, eval_expr, Env, EvalLimits, Program, Type, Value};
+use srl_examples::print_header;
+use srl_stdlib::derived::{intersection, member, union};
+
+fn main() {
+    print_header("A first SRL query: membership");
+    // forsome(S, λx. x = target): is `target` a member of S?
+    let query = member(var("target"), var("S"));
+    let program = Program::srl();
+    let inputs = vec![
+        ("S".to_string(), Type::set_of(Type::Atom)),
+        ("target".to_string(), Type::Atom),
+    ];
+    let ty = check_expr(&program, &query, &inputs).expect("query type-checks in SRL");
+    println!("type of the query: {ty}");
+
+    let env = Env::new()
+        .bind("S", Value::set([Value::atom(1), Value::atom(4), Value::atom(9)]))
+        .bind("target", Value::atom(4));
+    let answer = eval_expr(&query, &env, EvalLimits::default()).unwrap();
+    println!("member(4, {{1, 4, 9}}) = {answer}");
+
+    print_header("Derived set algebra (Fact 2.4)");
+    let env = Env::new()
+        .bind("A", Value::set([Value::atom(1), Value::atom(2), Value::atom(3)]))
+        .bind("B", Value::set([Value::atom(2), Value::atom(3), Value::atom(5)]));
+    for (name, expr) in [
+        ("A ∪ B", union(var("A"), var("B"))),
+        ("A ∩ B", intersection(var("A"), var("B"))),
+    ] {
+        let v = eval_expr(&expr, &env, EvalLimits::default()).unwrap();
+        println!("{name} = {v}");
+    }
+
+    print_header("Complexity read off the syntax (Section 6)");
+    let verdict = classify_program(&srl_stdlib::arith::arithmetic_program(), 1);
+    println!("BASRL arithmetic program: {}", verdict.fragment);
+    println!("  {}", verdict.explanation);
+    let verdict = classify_program(&srl_stdlib::blowup::powerset_program(), 1);
+    println!("powerset program: {}", verdict.fragment);
+    println!("  {}", verdict.explanation);
+}

@@ -1,0 +1,32 @@
+//! Proposition 6.2: compile a DTIME(n) Turing machine to an SRL program and
+//! run both side by side.
+//!
+//! Run with `cargo run -p srl-examples --bin turing_simulation`.
+
+use machines::tm::library::{encode_word, even_parity};
+use srl_core::eval::run_program;
+use srl_core::EvalLimits;
+use srl_examples::print_header;
+use srl_stdlib::tm_sim::{compile, encode_input, names, position_domain};
+
+fn main() {
+    let machine = even_parity();
+    let program = compile(&machine);
+    print_header("Simulating the even-parity machine in SRL");
+    for word in ["", "a", "ab", "aab", "abab", "aaab"] {
+        let input = encode_word(word);
+        let native = machine.accepts(&input, 10_000);
+        let (value, stats) = run_program(
+            &program,
+            names::ACCEPTS,
+            &[position_domain(input.len()), encode_input(&input)],
+            EvalLimits::benchmark(),
+        )
+        .unwrap();
+        println!(
+            "input {word:?}: SRL accepts = {value}, native accepts = {native}  ({} reduce iterations)",
+            stats.reduce_iterations
+        );
+    }
+    println!("\nThe SRL expression has width 2 and depth 3 as in Proposition 6.2; its measured cost grows ~ n², far below the syntactic n⁶ bound.");
+}

@@ -1,0 +1,11 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! The actual tests live under `tests/`; this library only provides small
+//! constructors they share.
+
+use srl_core::value::Value;
+
+/// A set of unnamed atoms.
+pub fn atom_set(items: impl IntoIterator<Item = u64>) -> Value {
+    Value::set(items.into_iter().map(Value::atom))
+}

@@ -1,0 +1,112 @@
+//! Property-based tests (proptest) on the core invariants.
+
+use proptest::prelude::*;
+use srl_core::dsl::*;
+use srl_core::eval::eval_expr;
+use srl_core::{BigNat, Env, EvalLimits, Value};
+use srl_integration_tests::atom_set;
+use srl_stdlib::derived::{difference, intersection, member, set_eq, subset, union};
+use srl_stdlib::hom;
+use workloads::orderings::DomainRenaming;
+
+fn eval(expr: &srl_core::Expr, env: &Env) -> Value {
+    eval_expr(expr, env, EvalLimits::default()).expect("evaluation succeeds")
+}
+
+fn small_set() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..24, 0..10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bignat_addition_is_commutative_and_matches_u64(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let x = BigNat::from_u64(a);
+        let y = BigNat::from_u64(b);
+        prop_assert_eq!(x.add(&y), y.add(&x));
+        prop_assert_eq!(x.add(&y).to_u64(), Some(a + b));
+        prop_assert_eq!(x.mul(&y), y.mul(&x));
+    }
+
+    #[test]
+    fn bignat_shifts_invert(a in 0u64..u64::MAX, k in 0usize..100) {
+        let x = BigNat::from_u64(a);
+        prop_assert_eq!(x.shl(k).shr(k), x);
+    }
+
+    #[test]
+    fn srl_union_is_commutative_idempotent_and_matches_native(a in small_set(), b in small_set()) {
+        let env = Env::new().bind("A", atom_set(a.clone())).bind("B", atom_set(b.clone()));
+        let ab = eval(&union(var("A"), var("B")), &env);
+        let ba = eval(&union(var("B"), var("A")), &env);
+        prop_assert_eq!(&ab, &ba);
+        let native: std::collections::BTreeSet<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(ab.len(), Some(native.len()));
+        let aa = eval(&union(var("A"), var("A")), &env);
+        prop_assert_eq!(aa, atom_set(a));
+    }
+
+    #[test]
+    fn srl_set_algebra_matches_native(a in small_set(), b in small_set()) {
+        let env = Env::new().bind("A", atom_set(a.clone())).bind("B", atom_set(b.clone()));
+        let sa: std::collections::BTreeSet<u64> = a.iter().copied().collect();
+        let sb: std::collections::BTreeSet<u64> = b.iter().copied().collect();
+        let inter = eval(&intersection(var("A"), var("B")), &env);
+        prop_assert_eq!(inter, atom_set(sa.intersection(&sb).copied().collect::<Vec<_>>()));
+        let diff = eval(&difference(var("A"), var("B")), &env);
+        prop_assert_eq!(diff, atom_set(sa.difference(&sb).copied().collect::<Vec<_>>()));
+        let sub = eval(&subset(var("A"), var("B")), &env);
+        prop_assert_eq!(sub, Value::bool(sa.is_subset(&sb)));
+        let eq_sets = eval(&set_eq(var("A"), var("B")), &env);
+        prop_assert_eq!(eq_sets, Value::bool(sa == sb));
+    }
+
+    #[test]
+    fn srl_membership_matches_native(a in small_set(), probe in 0u64..24) {
+        let env = Env::new().bind("A", atom_set(a.clone()));
+        let v = eval(&member(atom(probe), var("A")), &env);
+        prop_assert_eq!(v, Value::bool(a.contains(&probe)));
+    }
+
+    #[test]
+    fn proper_hom_queries_are_invariant_under_renaming(a in small_set(), seed in 0u64..1000) {
+        let s = atom_set(a.clone());
+        let renaming = DomainRenaming::random(24, seed);
+        let env = Env::new().bind("S", s.clone());
+        let renamed_env = Env::new().bind("S", renaming.apply(&s));
+        // EVEN via proper hom: same boolean either way.
+        prop_assert_eq!(
+            eval(&hom::even(var("S")), &env),
+            eval(&hom::even(var("S")), &renamed_env)
+        );
+        // Union-style rebuild corresponds modulo the renaming.
+        let rebuilt = eval(&union(var("S"), empty_set()), &env);
+        let rebuilt_renamed = eval(&union(var("S"), empty_set()), &renamed_env);
+        prop_assert_eq!(renaming.apply(&rebuilt), rebuilt_renamed);
+    }
+
+    #[test]
+    fn basrl_arithmetic_matches_native_addition(n in 6u64..24, a in 0u64..12, b in 0u64..12) {
+        let a = a % n;
+        let b = b % n;
+        let program = srl_stdlib::arith::arithmetic_program();
+        let (value, _) = srl_core::eval::run_program(
+            &program,
+            srl_stdlib::arith::names::ADD,
+            &[srl_stdlib::arith::domain(n), Value::atom(a), Value::atom(b)],
+            EvalLimits::benchmark(),
+        ).unwrap();
+        prop_assert_eq!(value, Value::atom((a + b).min(n - 1)));
+    }
+
+    #[test]
+    fn evaluation_is_deterministic(a in small_set()) {
+        let env = Env::new().bind("A", atom_set(a));
+        let q = hom::count(var("A"));
+        let program = srl_core::Program::new(srl_core::Dialect::full());
+        let mut ev1 = srl_core::Evaluator::new(&program, EvalLimits::default());
+        let mut ev2 = srl_core::Evaluator::new(&program, EvalLimits::default());
+        prop_assert_eq!(ev1.eval(&q, &env).unwrap(), ev2.eval(&q, &env).unwrap());
+    }
+}
