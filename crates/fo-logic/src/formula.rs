@@ -13,13 +13,12 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use serde::{Deserialize, Serialize};
 
 use crate::structure::Structure;
 
 /// A first-order term: a variable or one of the constants the paper's
 /// language `L(τ)` provides (`0` and `n − 1`), or an explicit element.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Term {
     /// A variable.
     Var(String),
@@ -37,7 +36,7 @@ pub fn tvar(name: impl Into<String>) -> Term {
 }
 
 /// A formula of first-order logic with order, BIT, counting and fixpoints.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Formula {
     /// Truth.
     True,

@@ -10,13 +10,12 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
 
 use crate::formula::{eval, Assignment, Formula};
 use crate::structure::{Structure, Vocabulary};
 
 /// A k-ary first-order interpretation.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Interpretation {
     /// The tuple width k: each target element is a k-tuple of source
     /// elements.

@@ -11,12 +11,11 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use srl_core::program::Env;
 use srl_core::value::Value;
 
 /// A vocabulary: named relation symbols with fixed arities.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Vocabulary {
     relations: Vec<(String, usize)>,
 }
@@ -78,7 +77,7 @@ impl Default for Vocabulary {
 
 /// A finite structure: a universe `{0, …, n-1}` plus an interpretation of
 /// every relation symbol of its vocabulary.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Structure {
     /// Universe size `n`.
     pub universe: usize,

@@ -13,7 +13,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use srl_core::bignat::BigNat;
 
 /// A primitive recursive function term of a fixed arity.
@@ -29,7 +28,7 @@ use srl_core::bignat::BigNat;
 /// * `PrimRec(g, h)` where `g` is k-ary and `h` is (k+2)-ary is the (k+1)-ary
 ///   function defined by
 ///   `f(0, ȳ) = g(ȳ)` and `f(s+1, ȳ) = h(s, ȳ, f(s, ȳ))`.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum PrTerm {
     /// The k-ary constant zero.
     Zero(usize),

@@ -18,7 +18,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// A tape symbol. `0` is reserved for the blank.
 pub type Symbol = u8;
@@ -30,7 +29,7 @@ pub const BLANK: Symbol = 0;
 pub type State = u32;
 
 /// A head movement.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Move {
     /// Move one cell to the left (clamped at the left end).
     Left,
@@ -55,7 +54,7 @@ impl Move {
 }
 
 /// The action taken by one transition.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Action {
     /// Next state.
     pub next_state: State,
@@ -69,7 +68,7 @@ pub struct Action {
 
 /// A deterministic Turing machine with a read-only input tape and one work
 /// tape.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TuringMachine {
     /// Human-readable name.
     pub name: String,
@@ -87,7 +86,7 @@ pub struct TuringMachine {
 }
 
 /// The full configuration of a running machine.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Configuration {
     /// Current state.
     pub state: State,
@@ -104,7 +103,7 @@ pub struct Configuration {
 }
 
 /// Why a run stopped.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Halt {
     /// Stopped in an accepting state.
     Accept,
@@ -115,7 +114,7 @@ pub enum Halt {
 }
 
 /// The result of running a machine.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunResult {
     /// How the run ended.
     pub halt: Halt,

@@ -21,6 +21,8 @@
 //! The verdict is three-valued, exactly like the original prover's:
 //! proved independent / proved dependent (witness) / unknown.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -208,16 +210,27 @@ pub fn permutation_test(
     domain_size: usize,
     trials: u64,
 ) -> OrderVerdict {
-    let mut evaluator = Evaluator::new(program, EvalLimits::default_budget());
-    let original = match evaluator.eval(expr, env) {
+    // Lower the program and the query once; each trial gets a fresh
+    // evaluator over the shared compiled form and re-evaluates the lowered
+    // query (a renamed env binds the same names in the same order, which is
+    // what `eval_lowered` requires).
+    let compiled = Arc::new(program.compile());
+    let mut evaluator =
+        Evaluator::with_compiled(program, Arc::clone(&compiled), EvalLimits::default_budget());
+    let lowered = evaluator.lower(expr, env);
+    let original = match evaluator.eval_lowered(&lowered, env) {
         Ok(v) => v,
         Err(_) => return OrderVerdict::Unknown,
     };
     for seed in 0..trials {
         let renaming = DomainRenaming::random(domain_size, seed);
         let renamed_env = renaming.apply_env(env);
-        let mut evaluator = Evaluator::new(program, EvalLimits::default_budget());
-        match evaluator.eval(expr, &renamed_env) {
+        let mut evaluator = Evaluator::with_compiled(
+            program,
+            Arc::clone(&compiled),
+            EvalLimits::default_budget(),
+        );
+        match evaluator.eval_lowered(&lowered, &renamed_env) {
             Ok(renamed_result) => {
                 if renaming.apply(&original) != renamed_result {
                     return OrderVerdict::ProvedDependent { witness_seed: seed };

@@ -1,0 +1,121 @@
+//! E0 — evaluator overhead: isolates the clone-vs-share cost the zero-copy
+//! refactor removed, on a nested-set reduce (the worst case for deep
+//! cloning: every element is itself a set).
+//!
+//! Three measurements per size n (a set of n sets of n atoms):
+//!
+//! * `srl_rebuild_reduce` — the real evaluator running
+//!   `set-reduce(S, id, insert, {}, {})`, which clones every element into
+//!   the accumulator. With `Arc`-shared payloads each clone is O(1).
+//! * `native_share` — the same traversal hand-written against `Value`:
+//!   `elem.clone()` (reference-count bump) + insert.
+//! * `native_deep_clone` — identical loop, but every element is copied
+//!   structurally, emulating what the pre-refactor representation paid per
+//!   iteration. The `native_share` / `native_deep_clone` gap is the
+//!   isolated representation cost; `srl_rebuild_reduce` shows how much of
+//!   the interpreter's time it dominated.
+//!
+//! A `rest_chain` pair does the same for `rest(rest(…))`: copy-on-write
+//! `pop_first` versus rebuilding the set minus its minimum each step.
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srl_core::ast::Lambda;
+use srl_core::dsl::*;
+use srl_core::eval::eval_expr;
+use srl_core::limits::EvalLimits;
+use srl_core::program::Env;
+use srl_core::value::Value;
+
+/// Structural copy of a value — the cost model of the pre-refactor
+/// representation, where `clone()` copied every node.
+fn deep_copy(v: &Value) -> Value {
+    match v {
+        Value::Bool(_) | Value::Atom(_) | Value::Nat(_) => v.clone(),
+        Value::Tuple(items) => Value::tuple(items.iter().map(deep_copy)),
+        Value::Set(items) => Value::set(items.iter().map(deep_copy)),
+        Value::List(items) => Value::list(items.iter().map(deep_copy)),
+    }
+}
+
+fn nested_set(n: u64) -> Value {
+    Value::set((0..n).map(|i| Value::set((0..n).map(|j| Value::atom(i * n + j)))))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e0_eval_overhead");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.measurement_time(std::time::Duration::from_millis(600));
+    for n in [8u64, 16, 32] {
+        let input = nested_set(n);
+        let rebuild = set_reduce(
+            var("S"),
+            Lambda::identity(),
+            lam("x", "acc", insert(var("x"), var("acc"))),
+            empty_set(),
+            empty_set(),
+        );
+        let env = Env::new().bind("S", input.clone());
+        group.bench_with_input(BenchmarkId::new("srl_rebuild_reduce", n), &n, |b, _| {
+            b.iter(|| eval_expr(&rebuild, &env, EvalLimits::benchmark()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("native_share", n), &n, |b, _| {
+            b.iter(|| {
+                let items = input.as_set().unwrap();
+                let mut acc: BTreeSet<Value> = BTreeSet::new();
+                for elem in items {
+                    acc.insert(elem.clone());
+                }
+                acc.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("native_deep_clone", n), &n, |b, _| {
+            b.iter(|| {
+                let items = input.as_set().unwrap();
+                let mut acc: BTreeSet<Value> = BTreeSet::new();
+                for elem in items {
+                    acc.insert(deep_copy(elem));
+                }
+                acc.len()
+            })
+        });
+        // rest(rest(…)) until empty: COW pop_first vs full rebuild per step
+        // (both native, so only the representation cost differs — exactly
+        // the two implementations of the evaluator's `Rest` operator).
+        let flat = Value::set((0..n * n).map(Value::atom));
+        group.bench_with_input(BenchmarkId::new("rest_chain_cow", n), &n, |b, _| {
+            b.iter(|| {
+                let mut s = flat.clone();
+                let mut steps = 0u64;
+                while let Value::Set(ref mut items) = s {
+                    if items.is_empty() {
+                        break;
+                    }
+                    std::sync::Arc::make_mut(items).pop_first();
+                    steps += 1;
+                }
+                steps
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rest_chain_rebuild", n), &n, |b, _| {
+            b.iter(|| {
+                let mut s = flat.as_set().unwrap().clone();
+                let mut steps = 0u64;
+                while let Some(min) = s.iter().next().cloned() {
+                    // The seed's rest(): copy the whole set, then remove.
+                    let mut copy = s.clone();
+                    copy.remove(&min);
+                    s = copy;
+                    steps += 1;
+                }
+                steps
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Quick wall-clock probe for E2 (powerset) and E7 (TM simulation) at their
+//! largest report sizes, used to compare pre/post-refactor timings in the
+//! same environment (see `crates/README.md` for the recorded numbers).
+//!
+//! Two numbers per experiment: `run_program` (compile + evaluate, the
+//! convenience path) and `with_compiled` (program lowered once, evaluated
+//! many times — the intended hot path).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use srl_core::eval::{run_program, Evaluator};
+use srl_core::limits::EvalLimits;
+use srl_core::value::Value;
+
+fn main() {
+    // E2 powerset at n = 12 (largest report seed size).
+    {
+        use srl_stdlib::blowup::{names, powerset_program};
+        let program = powerset_program();
+        let input = Value::set((0..12u64).map(Value::atom));
+        let t = Instant::now();
+        let r = run_program(
+            &program,
+            names::POWERSET,
+            &[input.clone()],
+            EvalLimits::default(),
+        );
+        let dt = t.elapsed();
+        let steps = r.as_ref().map(|(_, s)| s.steps).unwrap_or(0);
+        println!(
+            "E2 powerset n=12 run_program: {dt:?} ({}, steps={steps})",
+            if r.is_ok() { "ok" } else { "resource wall" },
+        );
+        let compiled = Arc::new(program.compile());
+        let t = Instant::now();
+        let mut ev = Evaluator::with_compiled(&program, compiled, EvalLimits::default());
+        ev.call(names::POWERSET, &[input]).expect("powerset evaluates");
+        println!("E2 powerset n=12 with_compiled: {:?}", t.elapsed());
+    }
+    // E7 TM simulation at n = 32 (largest report seed size).
+    {
+        use machines::tm::library::{even_parity, SYM_A, SYM_B};
+        use srl_stdlib::tm_sim::{compile, encode_input, names, position_domain};
+        let machine = even_parity();
+        let program = compile(&machine);
+        let n = 32usize;
+        let input: Vec<u8> = (0..n)
+            .map(|i| if i % 3 == 0 { SYM_A } else { SYM_B })
+            .collect();
+        let args = [position_domain(n), encode_input(&input)];
+        const RUNS: u32 = 10;
+        let t = Instant::now();
+        for _ in 0..RUNS {
+            run_program(&program, names::ACCEPTS, &args, EvalLimits::benchmark())
+                .expect("simulation evaluates");
+        }
+        println!("E7 tm_sim n=32 run_program ({RUNS} runs): {:?}", t.elapsed());
+        let compiled = Arc::new(program.compile());
+        let t = Instant::now();
+        for _ in 0..RUNS {
+            let mut ev =
+                Evaluator::with_compiled(&program, Arc::clone(&compiled), EvalLimits::benchmark());
+            ev.call(names::ACCEPTS, &args).expect("simulation evaluates");
+        }
+        println!("E7 tm_sim n=32 with_compiled ({RUNS} runs): {:?}", t.elapsed());
+    }
+}

@@ -17,7 +17,7 @@ fn main() {
     all.extend(experiment_e8(&[4, 5, 6]));
     all.extend(experiment_e9(&[8, 16, 32]));
     if json {
-        println!("{}", serde_json::to_string_pretty(&all).expect("rows serialise"));
+        println!("{}", to_json(&all));
     } else {
         println!("{}", to_markdown(&all));
         let disagreements = all.iter().filter(|r| !r.agrees_with_baseline).count();

@@ -9,7 +9,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::Serialize;
 
 use srl_core::eval::run_program;
 use srl_core::limits::{EvalLimits, EvalStats};
@@ -17,7 +16,7 @@ use srl_core::program::Env;
 use srl_core::value::Value;
 
 /// One measured row of an experiment.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Row {
     /// Experiment id (e.g. "E1").
     pub experiment: &'static str,
@@ -57,6 +56,45 @@ impl Row {
         self.allocated_leaves = stats.max_value_weight;
         self
     }
+}
+
+/// Renders rows as a pretty-printed JSON array (hand-rolled: the build runs
+/// offline, without serde; the schema is the `Row` struct field-for-field).
+pub fn to_json(rows: &[Row]) -> String {
+    fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut out = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\n    \"experiment\": \"{}\",\n    \"workload\": \"{}\",\n    \"n\": {},\n    \"agrees_with_baseline\": {},\n    \"reduce_iterations\": {},\n    \"max_accumulator_weight\": {},\n    \"allocated_leaves\": {},\n    \"note\": \"{}\"\n  }}",
+            escape(r.experiment),
+            escape(&r.workload),
+            r.n,
+            r.agrees_with_baseline,
+            r.reduce_iterations,
+            r.max_accumulator_weight,
+            r.allocated_leaves,
+            escape(&r.note)
+        ));
+    }
+    out.push_str("\n]");
+    out
 }
 
 /// Renders rows as a markdown table.

@@ -17,8 +17,14 @@
 //! Expressions are plain data; programs are built either with these
 //! constructors directly, with the combinators in [`crate::dsl`], or by
 //! parsing the surface syntax in the `srl-syntax` crate.
+//!
+//! This name-based AST is the *construction* surface only: before evaluation
+//! it is lowered once by [`crate::lower`] into a slot-indexed IR with
+//! interned symbols ([`crate::intern`]), so no string is compared and no
+//! body is cloned on the evaluator's hot path. Whole-value constants embed
+//! [`Value`]s, whose collection payloads are `Arc`-shared — cloning an
+//! `Expr::Const` is O(1).
 
-use serde::{Deserialize, Serialize};
 
 use crate::bignat::BigNat;
 use crate::value::Value;
@@ -28,7 +34,7 @@ use crate::value::Value;
 /// this shape; only the two parameters may occur free in the body (everything
 /// else must be routed through the `extra` argument — the paper's mechanism
 /// for keeping "all reference local").
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Lambda {
     /// First parameter name (the element / the value of `app`).
     pub x: String,
@@ -62,7 +68,7 @@ impl Lambda {
 }
 
 /// An expression of the set-reduce language.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Expr {
     /// Rule 1: `true` / `false`.
     Bool(bool),

@@ -16,13 +16,12 @@
 use std::cmp::Ordering;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// An arbitrary-precision natural number.
 ///
 /// Invariant: `limbs` is little-endian (least significant limb first) and has
 /// no trailing zero limb; zero is represented by an empty vector.
-#[derive(Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
 pub struct BigNat {
     limbs: Vec<u64>,
 }

@@ -9,13 +9,12 @@
 
 use std::fmt;
 
-use serde::Serialize;
 
 /// Which optional operators are permitted, on top of the always-available
 /// core (booleans, if-then-else, constants, tuples, selectors, equality on
 /// equality types, `≤` on ordered types, `emptyset`, `insert`, `set-reduce`,
 /// `choose`, `rest`, composition of definitions).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Dialect {
     /// Display name.
     pub name: &'static str,

@@ -5,6 +5,12 @@
 //! readable. Boolean connectives are provided as the `if-then-else`
 //! desugarings the paper notes ("boolean and, or, and not can easily be
 //! defined with the if-then-else function").
+//!
+//! Names used here (variables, definitions) are purely for construction and
+//! display: build-time lowering ([`crate::lower`]) interns every name to a
+//! `u32` symbol and resolves every variable to a frame slot, so spelling
+//! choices have zero run-time cost — pick the paper's names for
+//! readability.
 
 use crate::ast::{Expr, Lambda};
 use crate::bignat::BigNat;

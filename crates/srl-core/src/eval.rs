@@ -20,16 +20,41 @@
 //! Lemma 4.10 applies the permutations in index order. The Rust stack never
 //! grows with the cardinality of the set.
 //!
+//! ## Zero-copy evaluation
+//!
+//! The evaluator does not walk the name-based [`Expr`] AST directly: at
+//! construction it lowers the program once through [`crate::lower`] and then
+//! runs the slot-indexed [`LExpr`] IR.
+//!
+//! * Variable access is `locals[frame_base + slot]` — no string comparison,
+//!   no reverse scan of an association list.
+//! * Calls borrow the compiled callee body through a shared
+//!   [`CompiledProgram`]; the seed implementation deep-cloned the callee's
+//!   entire AST on **every** call.
+//! * `Value` payloads are `Arc`-shared (see [`crate::value`]), so the clones
+//!   the semantics equations require — each element and the `extra` value per
+//!   reduce iteration, the result of `choose` — are reference-count bumps,
+//!   and `rest`/`insert` mutate uniquely-owned sets in place via
+//!   [`Arc::make_mut`] instead of rebuilding them.
+//!
+//! None of this changes observable behaviour: the lowered tree mirrors the
+//! AST node-for-node, so evaluation order, results, errors and every
+//! [`EvalStats`] counter are identical to the tree-walking evaluator — the
+//! logspace experiments (E3/E4) depend on those counters byte-for-byte.
+//!
 //! Evaluation is resource-bounded by [`EvalLimits`] and instrumented by
 //! [`EvalStats`]; both are essential to the experiments: the statistics carry
 //! the paper's cost model (`|S|` iterations, `T_ins` inserts, accumulator
 //! size), and the limits keep the deliberately-exponential programs
 //! (Example 3.12, the LRL blow-up) from exhausting memory.
 
-use crate::ast::{Expr, Lambda};
+use std::sync::Arc;
+
+use crate::ast::Expr;
 use crate::dialect::Dialect;
 use crate::error::EvalError;
 use crate::limits::{EvalLimits, EvalStats};
+use crate::lower::{CompiledProgram, LExpr, LId, LLambda, LoweredExpr};
 use crate::program::{Env, Program};
 use crate::value::Value;
 
@@ -39,46 +64,116 @@ use crate::value::Value;
 const ACCUMULATOR_WEIGHT_CAP: usize = 4_096;
 
 /// A resource-bounded evaluator for a single [`Program`].
-pub struct Evaluator<'p> {
-    program: &'p Program,
+///
+/// Construction lowers the program to the slot-indexed IR once; evaluation
+/// then never touches names or clones definition bodies — the evaluator
+/// runs entirely off the compiled form, which can be shared between
+/// evaluators via [`Evaluator::with_compiled`].
+pub struct Evaluator {
+    compiled: Arc<CompiledProgram>,
+    core: EvalCore,
+}
+
+/// The mutable evaluation state, split from the compiled program so that the
+/// interpreter loop can borrow a definition body (`&CompiledProgram`) and the
+/// state (`&mut EvalCore`) simultaneously — calls are pure borrows, with no
+/// per-call clone or reference-count traffic.
+struct EvalCore {
     limits: EvalLimits,
     stats: EvalStats,
     allocated_leaves: usize,
+    /// The value stack: one slot per live binding (definition parameters,
+    /// `let`s, lambda parameters), pushed in binding order.
+    locals: Vec<Value>,
+    /// Start of the current call frame within `locals`.
+    frame_base: usize,
 }
 
-impl<'p> Evaluator<'p> {
-    /// Creates an evaluator over `program` with the given budget.
-    pub fn new(program: &'p Program, limits: EvalLimits) -> Self {
+impl Evaluator {
+    /// Creates an evaluator over `program` with the given budget, lowering
+    /// the program's definitions to the slot-indexed IR.
+    pub fn new(program: &Program, limits: EvalLimits) -> Self {
+        Self::with_compiled(program, Arc::new(CompiledProgram::compile(program)), limits)
+    }
+
+    /// Creates an evaluator reusing an already-compiled program (see
+    /// [`Program::compile`]). **Contract:** `compiled` must be the compiled
+    /// form of `program` — evaluation resolves calls through `compiled`
+    /// alone, so a mismatched pair evaluates the wrong bodies. Debug builds
+    /// assert the pairing (dialect plus every definition name).
+    pub fn with_compiled(
+        program: &Program,
+        compiled: Arc<CompiledProgram>,
+        limits: EvalLimits,
+    ) -> Self {
+        debug_assert!(
+            compiled.dialect == program.dialect
+                && compiled.defs().len() == program.defs.len()
+                && compiled
+                    .defs()
+                    .iter()
+                    .zip(&program.defs)
+                    .all(|(c, d)| compiled.symbols().resolve(c.name) == d.name),
+            "with_compiled: `compiled` is not the compiled form of `program`"
+        );
         Evaluator {
-            program,
-            limits,
-            stats: EvalStats::default(),
-            allocated_leaves: 0,
+            compiled,
+            core: EvalCore {
+                limits,
+                stats: EvalStats::default(),
+                allocated_leaves: 0,
+                locals: Vec::new(),
+                frame_base: 0,
+            },
         }
     }
 
     /// Statistics accumulated so far.
     pub fn stats(&self) -> &EvalStats {
-        &self.stats
+        &self.core.stats
     }
 
     /// Resets the statistics and allocation counters (the budget stays).
     pub fn reset_stats(&mut self) {
-        self.stats = EvalStats::default();
-        self.allocated_leaves = 0;
+        self.core.stats = EvalStats::default();
+        self.core.allocated_leaves = 0;
     }
 
     /// Evaluates an expression whose free variables are bound by `env`.
     pub fn eval(&mut self, expr: &Expr, env: &Env) -> Result<Value, EvalError> {
-        let mut scope = env.clone();
-        self.eval_in(expr, &mut scope, 0)
+        let lowered = self.lower(expr, env);
+        self.eval_lowered(&lowered, env)
+    }
+
+    /// Lowers `expr` against the names of `env` for repeated evaluation via
+    /// [`Evaluator::eval_lowered`] — the lower-once / evaluate-many path.
+    pub fn lower(&self, expr: &Expr, env: &Env) -> LoweredExpr {
+        let scope: Vec<&str> = env.iter().map(|(n, _)| n).collect();
+        self.compiled.lower_expr(expr, &scope)
+    }
+
+    /// Evaluates an already-lowered expression. `env` must bind the same
+    /// names, in the same order, as the environment `lowered` was lowered
+    /// against (slot indices are positional); renamed *values* are fine —
+    /// that is the repeated-evaluation use case.
+    pub fn eval_lowered(&mut self, lowered: &LoweredExpr, env: &Env) -> Result<Value, EvalError> {
+        self.core.locals.clear();
+        self.core.frame_base = 0;
+        self.core.locals.reserve(128);
+        self.core.locals.extend(env.iter().map(|(_, v)| v.clone()));
+        let result = self
+            .core
+            .eval_in(&self.compiled, lowered.nodes(), lowered.root_node(), 0);
+        // See `call`: drop the frame eagerly so inputs are not pinned.
+        self.core.locals.clear();
+        result
     }
 
     /// Calls a named definition on argument values.
     pub fn call(&mut self, name: &str, args: &[Value]) -> Result<Value, EvalError> {
         let def = self
-            .program
-            .lookup(name)
+            .compiled
+            .def_by_name(name)
             .ok_or_else(|| EvalError::UnknownFunction(name.to_string()))?;
         if def.params.len() != args.len() {
             return Err(EvalError::Shape {
@@ -91,17 +186,24 @@ impl<'p> Evaluator<'p> {
                 ),
             });
         }
-        let mut env = Env::new();
-        for (p, a) in def.params.iter().zip(args) {
-            env.insert(p.name.clone(), a.clone());
-        }
-        self.eval_in(&def.body.clone(), &mut env, 0)
+        self.core.locals.clear();
+        self.core.frame_base = 0;
+        self.core.locals.reserve(128);
+        self.core.locals.extend(args.iter().cloned());
+        let nodes = self.compiled.nodes();
+        let result = self
+            .core
+            .eval_in(&self.compiled, nodes, &nodes[def.body.index()], 0);
+        // Release the frame now rather than at the next evaluation: a
+        // long-lived evaluator must not pin the inputs' payloads (stale
+        // references would also force needless copy-on-write later).
+        self.core.locals.clear();
+        result
     }
+}
 
-    fn dialect(&self) -> &Dialect {
-        &self.program.dialect
-    }
-
+impl EvalCore {
+    #[inline]
     fn bump_step(&mut self, depth: usize) -> Result<(), EvalError> {
         self.stats.steps += 1;
         if self.stats.steps > self.limits.max_steps {
@@ -118,6 +220,7 @@ impl<'p> Evaluator<'p> {
         Ok(())
     }
 
+    #[inline]
     fn charge_allocation(&mut self, leaves: usize) -> Result<(), EvalError> {
         self.allocated_leaves = self.allocated_leaves.saturating_add(leaves);
         self.stats.max_value_weight = self.stats.max_value_weight.max(self.allocated_leaves);
@@ -129,31 +232,46 @@ impl<'p> Evaluator<'p> {
         Ok(())
     }
 
-    fn require_dialect(&self, allowed: bool, operator: &str) -> Result<(), EvalError> {
-        if allowed {
-            Ok(())
-        } else {
-            Err(EvalError::DialectViolation {
-                operator: operator.to_string(),
-                dialect: self.dialect().name.to_string(),
-            })
-        }
+
+
+    /// Borrows a frame slot (peephole paths that never need ownership).
+    #[inline]
+    fn local_ref(&self, slot: u32) -> Result<&Value, EvalError> {
+        self.locals
+            .get(self.frame_base + slot as usize)
+            .ok_or_else(|| EvalError::UnboundVariable(format!("<slot {slot}>")))
     }
 
-    fn eval_in(&mut self, expr: &Expr, env: &mut Env, depth: usize) -> Result<Value, EvalError> {
+    /// Reads a frame slot. Lowering guarantees the slot is in range whenever
+    /// the compile-time scope matched the runtime frame, so a miss is an
+    /// internal invariant violation, reported as an unbound variable rather
+    /// than a panic.
+    #[inline]
+    fn local(&self, slot: u32) -> Result<Value, EvalError> {
+        self.locals
+            .get(self.frame_base + slot as usize)
+            .cloned()
+            .ok_or_else(|| EvalError::UnboundVariable(format!("<slot {slot}>")))
+    }
+
+    fn eval_in(
+        &mut self,
+        compiled: &CompiledProgram,
+        nodes: &[LExpr],
+        expr: &LExpr,
+        depth: usize,
+    ) -> Result<Value, EvalError> {
         self.bump_step(depth)?;
         match expr {
-            Expr::Bool(b) => Ok(Value::Bool(*b)),
-            Expr::Const(v) => Ok(v.clone()),
-            Expr::Var(name) => env
-                .get(name)
-                .cloned()
-                .ok_or_else(|| EvalError::UnboundVariable(name.clone())),
-            Expr::If(c, t, e) => {
-                let cond = self.eval_in(c, env, depth + 1)?;
+            LExpr::Bool(b) => Ok(Value::Bool(*b)),
+            LExpr::Const(v) => Ok(v.clone()),
+            LExpr::Local(slot) => self.local(*slot),
+            LExpr::UnboundVar(name) => Err(EvalError::UnboundVariable(name.clone())),
+            LExpr::If(c, t, e) => {
+                let cond = self.eval_in(compiled, nodes, &nodes[c.index()], depth + 1)?;
                 match cond {
-                    Value::Bool(true) => self.eval_in(t, env, depth + 1),
-                    Value::Bool(false) => self.eval_in(e, env, depth + 1),
+                    Value::Bool(true) => self.eval_in(compiled, nodes, &nodes[t.index()], depth + 1),
+                    Value::Bool(false) => self.eval_in(compiled, nodes, &nodes[e.index()], depth + 1),
                     other => Err(EvalError::Shape {
                         operator: "if",
                         expected: "a boolean condition",
@@ -161,53 +279,67 @@ impl<'p> Evaluator<'p> {
                     }),
                 }
             }
-            Expr::Tuple(items) => {
+            LExpr::Tuple(items) => {
                 let mut out = Vec::with_capacity(items.len());
                 for item in items {
-                    out.push(self.eval_in(item, env, depth + 1)?);
+                    out.push(self.eval_in(compiled, nodes, &nodes[item.index()], depth + 1)?);
                 }
                 self.charge_allocation(1)?;
-                Ok(Value::Tuple(out))
+                Ok(Value::Tuple(Arc::from(out)))
             }
-            Expr::Sel(index, e) => {
-                let v = self.eval_in(e, env, depth + 1)?;
-                match v {
-                    Value::Tuple(items) => {
-                        if *index == 0 || *index > items.len() {
-                            Err(EvalError::SelectorOutOfRange {
-                                index: *index,
-                                arity: items.len(),
-                            })
-                        } else {
-                            Ok(items[*index - 1].clone())
-                        }
-                    }
-                    other => Err(EvalError::Shape {
-                        operator: "sel",
-                        expected: "a tuple",
-                        found: other.to_string(),
-                    }),
+            LExpr::Sel(index, e) => {
+                // Peephole: `sel_i(x)` on a variable borrows the frame slot
+                // and clones only the selected component — the common case
+                // in every accumulator-scanning program. Steps, depths and
+                // errors are identical to evaluating the `Local` child.
+                if let LExpr::Local(slot) = &nodes[e.index()] {
+                    self.bump_step(depth + 1)?;
+                    return sel_component(self.local_ref(*slot)?, *index);
                 }
+                let v = self.eval_in(compiled, nodes, &nodes[e.index()], depth + 1)?;
+                sel_component(&v, *index)
             }
-            Expr::Eq(a, b) => {
-                let va = self.eval_in(a, env, depth + 1)?;
-                let vb = self.eval_in(b, env, depth + 1)?;
+            LExpr::Eq(a, b) => {
+                // Peephole: comparing two variables borrows both slots —
+                // no clones. Step/depth accounting matches the two `Local`
+                // child evaluations.
+                if let (LExpr::Local(sa), LExpr::Local(sb)) =
+                    (&nodes[a.index()], &nodes[b.index()])
+                {
+                    self.bump_step(depth + 1)?;
+                    self.bump_step(depth + 1)?;
+                    let va = self.local_ref(*sa)?;
+                    let vb = self.local_ref(*sb)?;
+                    return Ok(Value::Bool(va == vb));
+                }
+                let va = self.eval_in(compiled, nodes, &nodes[a.index()], depth + 1)?;
+                let vb = self.eval_in(compiled, nodes, &nodes[b.index()], depth + 1)?;
                 Ok(Value::Bool(va == vb))
             }
-            Expr::Leq(a, b) => {
-                let va = self.eval_in(a, env, depth + 1)?;
-                let vb = self.eval_in(b, env, depth + 1)?;
+            LExpr::Leq(a, b) => {
+                if let (LExpr::Local(sa), LExpr::Local(sb)) =
+                    (&nodes[a.index()], &nodes[b.index()])
+                {
+                    self.bump_step(depth + 1)?;
+                    self.bump_step(depth + 1)?;
+                    let va = self.local_ref(*sa)?;
+                    let vb = self.local_ref(*sb)?;
+                    return Ok(Value::Bool(va <= vb));
+                }
+                let va = self.eval_in(compiled, nodes, &nodes[a.index()], depth + 1)?;
+                let vb = self.eval_in(compiled, nodes, &nodes[b.index()], depth + 1)?;
                 Ok(Value::Bool(va <= vb))
             }
-            Expr::EmptySet => Ok(Value::empty_set()),
-            Expr::Insert(elem, set) => {
-                let v = self.eval_in(elem, env, depth + 1)?;
-                let s = self.eval_in(set, env, depth + 1)?;
+            LExpr::EmptySet => Ok(Value::empty_set()),
+            LExpr::Insert(elem, set) => {
+                let v = self.eval_in(compiled, nodes, &nodes[elem.index()], depth + 1)?;
+                let s = self.eval_in(compiled, nodes, &nodes[set.index()], depth + 1)?;
                 match s {
                     Value::Set(mut items) => {
                         self.stats.inserts += 1;
                         self.charge_allocation(v.weight())?;
-                        items.insert(v);
+                        // Copy-on-write: in place when uniquely owned.
+                        Arc::make_mut(&mut items).insert(v);
                         Ok(Value::Set(items))
                     }
                     other => Err(EvalError::Shape {
@@ -217,31 +349,26 @@ impl<'p> Evaluator<'p> {
                     }),
                 }
             }
-            Expr::Choose(e) => {
-                let s = self.eval_in(e, env, depth + 1)?;
-                match s {
-                    Value::Set(items) => items
-                        .iter()
-                        .next()
-                        .cloned()
-                        .ok_or(EvalError::ChooseFromEmptySet),
-                    other => Err(EvalError::Shape {
-                        operator: "choose",
-                        expected: "a set",
-                        found: other.to_string(),
-                    }),
+            LExpr::Choose(e) => {
+                // Peephole: `choose(x)` on a variable borrows the slot and
+                // clones only the minimum element.
+                if let LExpr::Local(slot) = &nodes[e.index()] {
+                    self.bump_step(depth + 1)?;
+                    return choose_min(self.local_ref(*slot)?);
                 }
+                let s = self.eval_in(compiled, nodes, &nodes[e.index()], depth + 1)?;
+                choose_min(&s)
             }
-            Expr::Rest(e) => {
-                let s = self.eval_in(e, env, depth + 1)?;
+            LExpr::Rest(e) => {
+                let s = self.eval_in(compiled, nodes, &nodes[e.index()], depth + 1)?;
                 match s {
                     Value::Set(mut items) => {
-                        let min = items
-                            .iter()
-                            .next()
-                            .cloned()
-                            .ok_or(EvalError::ChooseFromEmptySet)?;
-                        items.remove(&min);
+                        if items.is_empty() {
+                            return Err(EvalError::ChooseFromEmptySet);
+                        }
+                        // One traversal pops the minimum; no second lookup,
+                        // and no rebuild when the set is uniquely owned.
+                        Arc::make_mut(&mut items).pop_first();
                         Ok(Value::Set(items))
                     }
                     other => Err(EvalError::Shape {
@@ -251,16 +378,16 @@ impl<'p> Evaluator<'p> {
                     }),
                 }
             }
-            Expr::SetReduce {
+            LExpr::SetReduce {
                 set,
                 app,
                 acc,
                 base,
                 extra,
             } => {
-                let set_v = self.eval_in(set, env, depth + 1)?;
-                let base_v = self.eval_in(base, env, depth + 1)?;
-                let extra_v = self.eval_in(extra, env, depth + 1)?;
+                let set_v = self.eval_in(compiled, nodes, &nodes[set.index()], depth + 1)?;
+                let base_v = self.eval_in(compiled, nodes, &nodes[base.index()], depth + 1)?;
+                let extra_v = self.eval_in(compiled, nodes, &nodes[extra.index()], depth + 1)?;
                 let items = match set_v {
                     Value::Set(items) => items,
                     other => {
@@ -273,28 +400,29 @@ impl<'p> Evaluator<'p> {
                 };
                 // The accumulator combines the elements in the choose/rest
                 // order (ascending): base first meets the minimal element.
+                // `elem.clone()` / `extra_v.clone()` are O(1) Arc bumps.
                 let mut accumulator = base_v;
                 for elem in items.iter() {
                     self.stats.reduce_iterations += 1;
-                    let applied = self.apply(app, elem.clone(), extra_v.clone(), env, depth + 1)?;
-                    accumulator = self.apply(acc, applied, accumulator, env, depth + 1)?;
+                    let applied = self.apply(compiled, nodes, *app, elem.clone(), extra_v.clone(), depth + 1)?;
+                    accumulator = self.apply(compiled, nodes, *acc, applied, accumulator, depth + 1)?;
                     let w = weight_capped(&accumulator, ACCUMULATOR_WEIGHT_CAP);
                     self.stats.max_accumulator_weight =
                         self.stats.max_accumulator_weight.max(w);
                 }
                 Ok(accumulator)
             }
-            Expr::ListReduce {
+            LExpr::ListReduce {
                 list,
                 app,
                 acc,
                 base,
                 extra,
             } => {
-                self.require_dialect(self.dialect().allow_lists, "list-reduce")?;
-                let list_v = self.eval_in(list, env, depth + 1)?;
-                let base_v = self.eval_in(base, env, depth + 1)?;
-                let extra_v = self.eval_in(extra, env, depth + 1)?;
+                require_dialect(&compiled.dialect, compiled.dialect.allow_lists, "list-reduce")?;
+                let list_v = self.eval_in(compiled, nodes, &nodes[list.index()], depth + 1)?;
+                let base_v = self.eval_in(compiled, nodes, &nodes[base.index()], depth + 1)?;
+                let extra_v = self.eval_in(compiled, nodes, &nodes[extra.index()], depth + 1)?;
                 let items = match list_v {
                     Value::List(items) => items,
                     other => {
@@ -310,91 +438,98 @@ impl<'p> Evaluator<'p> {
                 let mut accumulator = base_v;
                 for elem in items.iter() {
                     self.stats.reduce_iterations += 1;
-                    let applied = self.apply(app, elem.clone(), extra_v.clone(), env, depth + 1)?;
-                    accumulator = self.apply(acc, applied, accumulator, env, depth + 1)?;
+                    let applied = self.apply(compiled, nodes, *app, elem.clone(), extra_v.clone(), depth + 1)?;
+                    accumulator = self.apply(compiled, nodes, *acc, applied, accumulator, depth + 1)?;
                     let w = weight_capped(&accumulator, ACCUMULATOR_WEIGHT_CAP);
                     self.stats.max_accumulator_weight =
                         self.stats.max_accumulator_weight.max(w);
                 }
                 Ok(accumulator)
             }
-            Expr::Call(name, args) => {
-                let def = self
-                    .program
-                    .lookup(name)
-                    .ok_or_else(|| EvalError::UnknownFunction(name.clone()))?
-                    .clone();
-                if def.params.len() != args.len() {
+            LExpr::Call { def, args } => {
+                // Borrow the compiled body — the seed evaluator deep-cloned
+                // the callee's AST here.
+                let callee = &compiled.defs()[*def as usize];
+                if callee.params.len() != args.len() {
                     return Err(EvalError::Shape {
                         operator: "call",
                         expected: "matching argument count",
                         found: format!(
-                            "{name}: {} parameter(s), {} argument(s)",
-                            def.params.len(),
+                            "{}: {} parameter(s), {} argument(s)",
+                            compiled.def_name(callee),
+                            callee.params.len(),
                             args.len()
                         ),
                     });
                 }
+                // Arguments are buffered before any is pushed: a binder
+                // (`let`, a reduce lambda) inside a later argument resolves
+                // its slots against the *caller's* frame layout, which must
+                // not yet contain the earlier arguments' values.
                 let mut arg_values = Vec::with_capacity(args.len());
                 for a in args {
-                    arg_values.push(self.eval_in(a, env, depth + 1)?);
+                    arg_values.push(self.eval_in(compiled, nodes, &nodes[a.index()], depth + 1)?);
                 }
-                let mut callee_env = Env::new();
-                for (p, v) in def.params.iter().zip(arg_values) {
-                    callee_env.insert(p.name.clone(), v);
-                }
-                self.eval_in(&def.body, &mut callee_env, depth + 1)
-            }
-            Expr::Let { name, value, body } => {
-                let v = self.eval_in(value, env, depth + 1)?;
-                env.insert(name.clone(), v);
-                let result = self.eval_in(body, env, depth + 1);
-                env.pop();
+                let saved_base = self.frame_base;
+                let new_base = self.locals.len();
+                self.locals.append(&mut arg_values);
+                self.frame_base = new_base;
+                let result = self.eval_in(compiled, compiled.nodes(), &compiled.nodes()[callee.body.index()], depth + 1);
+                self.locals.truncate(new_base);
+                self.frame_base = saved_base;
                 result
             }
-            Expr::New(e) => {
-                self.require_dialect(self.dialect().allow_new, "new")?;
-                let v = self.eval_in(e, env, depth + 1)?;
+            LExpr::CallUnknown(name) => Err(EvalError::UnknownFunction(name.clone())),
+            LExpr::Let { value, body } => {
+                let v = self.eval_in(compiled, nodes, &nodes[value.index()], depth + 1)?;
+                self.locals.push(v);
+                let result = self.eval_in(compiled, nodes, &nodes[body.index()], depth + 1);
+                self.locals.pop();
+                result
+            }
+            LExpr::New(e) => {
+                require_dialect(&compiled.dialect, compiled.dialect.allow_new, "new")?;
+                let v = self.eval_in(compiled, nodes, &nodes[e.index()], depth + 1)?;
                 self.stats.new_values += 1;
                 Ok(Value::Atom(crate::value::Atom::new(next_fresh_index(&v))))
             }
-            Expr::NatConst(n) => {
-                self.require_dialect(self.dialect().allow_nat, "nat constant")?;
+            LExpr::NatConst(n) => {
+                require_dialect(&compiled.dialect, compiled.dialect.allow_nat, "nat constant")?;
                 Ok(Value::Nat(n.clone()))
             }
-            Expr::Succ(e) => {
-                self.require_dialect(self.dialect().allow_nat, "succ")?;
-                let n = self.expect_nat(e, env, depth, "succ")?;
+            LExpr::Succ(e) => {
+                require_dialect(&compiled.dialect, compiled.dialect.allow_nat, "succ")?;
+                let n = self.expect_nat(compiled, nodes, e, depth, "succ")?;
                 self.check_nat_width(n.bit_len() + 1)?;
                 Ok(Value::Nat(n.succ()))
             }
-            Expr::NatAdd(a, b) => {
-                self.require_dialect(self.dialect().allow_nat_add, "nat addition")?;
-                let na = self.expect_nat(a, env, depth, "+")?;
-                let nb = self.expect_nat(b, env, depth, "+")?;
+            LExpr::NatAdd(a, b) => {
+                require_dialect(&compiled.dialect, compiled.dialect.allow_nat_add, "nat addition")?;
+                let na = self.expect_nat(compiled, nodes, a, depth, "+")?;
+                let nb = self.expect_nat(compiled, nodes, b, depth, "+")?;
                 self.check_nat_width(na.bit_len().max(nb.bit_len()) + 1)?;
                 Ok(Value::Nat(na.add(&nb)))
             }
-            Expr::NatMul(a, b) => {
-                self.require_dialect(self.dialect().allow_nat_mul, "nat multiplication")?;
-                let na = self.expect_nat(a, env, depth, "*")?;
-                let nb = self.expect_nat(b, env, depth, "*")?;
+            LExpr::NatMul(a, b) => {
+                require_dialect(&compiled.dialect, compiled.dialect.allow_nat_mul, "nat multiplication")?;
+                let na = self.expect_nat(compiled, nodes, a, depth, "*")?;
+                let nb = self.expect_nat(compiled, nodes, b, depth, "*")?;
                 self.check_nat_width(na.bit_len() + nb.bit_len())?;
                 Ok(Value::Nat(na.mul(&nb)))
             }
-            Expr::EmptyList => {
-                self.require_dialect(self.dialect().allow_lists, "emptylist")?;
+            LExpr::EmptyList => {
+                require_dialect(&compiled.dialect, compiled.dialect.allow_lists, "emptylist")?;
                 Ok(Value::empty_list())
             }
-            Expr::Cons(elem, list) => {
-                self.require_dialect(self.dialect().allow_lists, "cons")?;
-                let v = self.eval_in(elem, env, depth + 1)?;
-                let l = self.eval_in(list, env, depth + 1)?;
+            LExpr::Cons(elem, list) => {
+                require_dialect(&compiled.dialect, compiled.dialect.allow_lists, "cons")?;
+                let v = self.eval_in(compiled, nodes, &nodes[elem.index()], depth + 1)?;
+                let l = self.eval_in(compiled, nodes, &nodes[list.index()], depth + 1)?;
                 match l {
                     Value::List(mut items) => {
                         self.stats.inserts += 1;
                         self.charge_allocation(v.weight())?;
-                        items.insert(0, v);
+                        Arc::make_mut(&mut items).insert(0, v);
                         Ok(Value::List(items))
                     }
                     other => Err(EvalError::Shape {
@@ -404,14 +539,13 @@ impl<'p> Evaluator<'p> {
                     }),
                 }
             }
-            Expr::Head(e) => {
-                self.require_dialect(self.dialect().allow_lists, "head")?;
-                let l = self.eval_in(e, env, depth + 1)?;
+            LExpr::Head(e) => {
+                require_dialect(&compiled.dialect, compiled.dialect.allow_lists, "head")?;
+                let l = self.eval_in(compiled, nodes, &nodes[e.index()], depth + 1)?;
                 match l {
-                    Value::List(items) => items
-                        .first()
-                        .cloned()
-                        .ok_or(EvalError::ChooseFromEmptySet),
+                    Value::List(items) => {
+                        items.first().cloned().ok_or(EvalError::ChooseFromEmptySet)
+                    }
                     other => Err(EvalError::Shape {
                         operator: "head",
                         expected: "a list",
@@ -419,15 +553,20 @@ impl<'p> Evaluator<'p> {
                     }),
                 }
             }
-            Expr::Tail(e) => {
-                self.require_dialect(self.dialect().allow_lists, "tail")?;
-                let l = self.eval_in(e, env, depth + 1)?;
+            LExpr::Tail(e) => {
+                require_dialect(&compiled.dialect, compiled.dialect.allow_lists, "tail")?;
+                let l = self.eval_in(compiled, nodes, &nodes[e.index()], depth + 1)?;
                 match l {
-                    Value::List(items) => {
+                    Value::List(mut items) => {
                         if items.is_empty() {
                             Err(EvalError::ChooseFromEmptySet)
+                        } else if let Some(unique) = Arc::get_mut(&mut items) {
+                            unique.remove(0);
+                            Ok(Value::List(items))
                         } else {
-                            Ok(Value::List(items[1..].to_vec()))
+                            // Shared payload: build the tail in one pass
+                            // instead of make_mut's full copy + shift.
+                            Ok(Value::List(Arc::new(items[1..].to_vec())))
                         }
                     }
                     other => Err(EvalError::Shape {
@@ -442,28 +581,30 @@ impl<'p> Evaluator<'p> {
 
     fn apply(
         &mut self,
-        lambda: &Lambda,
+        compiled: &CompiledProgram,
+        nodes: &[LExpr],
+        lambda: LLambda,
         x: Value,
         y: Value,
-        env: &mut Env,
         depth: usize,
     ) -> Result<Value, EvalError> {
-        env.insert(lambda.x.clone(), x);
-        env.insert(lambda.y.clone(), y);
-        let result = self.eval_in(&lambda.body, env, depth + 1);
-        env.pop();
-        env.pop();
+        self.locals.push(x);
+        self.locals.push(y);
+        let result = self.eval_in(compiled, nodes, &nodes[lambda.body.index()], depth + 1);
+        self.locals.pop();
+        self.locals.pop();
         result
     }
 
     fn expect_nat(
         &mut self,
-        e: &Expr,
-        env: &mut Env,
+        compiled: &CompiledProgram,
+        nodes: &[LExpr],
+        e: &LId,
         depth: usize,
         operator: &'static str,
     ) -> Result<crate::bignat::BigNat, EvalError> {
-        match self.eval_in(e, env, depth + 1)? {
+        match self.eval_in(compiled, nodes, &nodes[e.index()], depth + 1)? {
             Value::Nat(n) => Ok(n),
             other => Err(EvalError::Shape {
                 operator,
@@ -484,6 +625,53 @@ impl<'p> Evaluator<'p> {
     }
 }
 
+/// Rejects `operator` when the dialect does not allow it.
+fn require_dialect(dialect: &Dialect, allowed: bool, operator: &str) -> Result<(), EvalError> {
+    if allowed {
+        Ok(())
+    } else {
+        Err(EvalError::DialectViolation {
+            operator: operator.to_string(),
+            dialect: dialect.name.to_string(),
+        })
+    }
+}
+
+/// `sel_i(v)`: the i-th tuple component (1-based), shared by the general
+/// evaluation path and the Local-slot peephole so the two cannot diverge.
+fn sel_component(v: &Value, index: usize) -> Result<Value, EvalError> {
+    match v {
+        Value::Tuple(items) => {
+            if index == 0 || index > items.len() {
+                Err(EvalError::SelectorOutOfRange {
+                    index,
+                    arity: items.len(),
+                })
+            } else {
+                Ok(items[index - 1].clone())
+            }
+        }
+        other => Err(EvalError::Shape {
+            operator: "sel",
+            expected: "a tuple",
+            found: other.to_string(),
+        }),
+    }
+}
+
+/// `choose(v)`: the minimal element of a non-empty set, shared by the
+/// general evaluation path and the Local-slot peephole.
+fn choose_min(v: &Value) -> Result<Value, EvalError> {
+    match v {
+        Value::Set(items) => items.first().cloned().ok_or(EvalError::ChooseFromEmptySet),
+        other => Err(EvalError::Shape {
+            operator: "choose",
+            expected: "a set",
+            found: other.to_string(),
+        }),
+    }
+}
+
 /// The smallest atom rank not occurring anywhere in `v` (and at least one
 /// larger than every atom that does occur) — the deterministic realisation of
 /// the paper's `new(D) ∉ D`.
@@ -494,13 +682,18 @@ fn next_fresh_index(v: &Value) -> u64 {
                 *cur = Some(cur.map_or(a.index, |c| c.max(a.index)));
             }
             Value::Bool(_) | Value::Nat(_) => {}
-            Value::Tuple(items) | Value::List(items) => {
-                for i in items {
+            Value::Tuple(items) => {
+                for i in items.iter() {
+                    max_atom(i, cur);
+                }
+            }
+            Value::List(items) => {
+                for i in items.iter() {
                     max_atom(i, cur);
                 }
             }
             Value::Set(items) => {
-                for i in items {
+                for i in items.iter() {
                     max_atom(i, cur);
                 }
             }
@@ -521,7 +714,8 @@ fn weight_capped(v: &Value, cap: usize) -> usize {
         *budget -= 1;
         match v {
             Value::Bool(_) | Value::Atom(_) | Value::Nat(_) => true,
-            Value::Tuple(items) | Value::List(items) => items.iter().all(|i| go(i, budget)),
+            Value::Tuple(items) => items.iter().all(|i| go(i, budget)),
+            Value::List(items) => items.iter().all(|i| go(i, budget)),
             Value::Set(items) => items.iter().all(|i| go(i, budget)),
         }
     }
@@ -565,10 +759,10 @@ pub fn run_program(
     let value = evaluator.call(name, args)?;
     Ok((value, *evaluator.stats()))
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ast::Lambda;
     use crate::dsl::*;
 
     fn eval_full(expr: &Expr, env: &Env) -> Result<Value, EvalError> {
@@ -747,6 +941,39 @@ mod tests {
         assert!(ev.call("pair_with_self", &[]).is_err());
         // Unknown function is an error.
         assert!(ev.call("nope", &[]).is_err());
+    }
+
+    #[test]
+    fn binders_inside_later_call_arguments_resolve_correctly() {
+        // Regression: argument values must not occupy the caller's frame
+        // while later arguments are still being evaluated — a `let` (or a
+        // reduce lambda) inside the second argument would otherwise resolve
+        // its slot to the first argument's value.
+        let program = Program::new(Dialect::full())
+            .define("pair", ["a", "b"], tuple([var("b"), var("a")]));
+        let mut ev = Evaluator::new(&program, EvalLimits::default());
+        let expr = call(
+            "pair",
+            [atom(1), let_in("y", atom(2), var("y"))],
+        );
+        let v = ev.eval(&expr, &Env::new()).unwrap();
+        assert_eq!(v, Value::tuple([Value::atom(2), Value::atom(1)]));
+        // Same shape with a reduce lambda in the second argument.
+        let expr = call(
+            "pair",
+            [
+                atom(1),
+                set_reduce(
+                    const_v(Value::set([Value::atom(7)])),
+                    Lambda::identity(),
+                    lam("x", "acc", var("x")),
+                    atom(0),
+                    empty_set(),
+                ),
+            ],
+        );
+        let v = ev.eval(&expr, &Env::new()).unwrap();
+        assert_eq!(v, Value::tuple([Value::atom(7), Value::atom(1)]));
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! String interning: compact `u32` symbols for variable and function names.
+//!
+//! The evaluator never compares strings on its hot path: the lowering pass in
+//! [`crate::lower`] resolves every `Expr::Var` to a frame-slot index and every
+//! `Expr::Call` to a definition index at program-build time. The
+//! [`SymbolTable`] built alongside keeps the original spellings so that
+//! diagnostics, the printers in `srl-syntax`, and debugging output can map
+//! the numeric form back to names.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned name: an index into a [`SymbolTable`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A two-way map between names and [`Symbol`]s.
+///
+/// Interning the same string twice returns the same symbol; resolution is an
+/// indexed lookup. The table is append-only.
+#[derive(Clone, Debug, Default)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    by_name: HashMap<String, Symbol>,
+}
+
+impl SymbolTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        SymbolTable::default()
+    }
+
+    /// Interns `name`, returning its (possibly pre-existing) symbol.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&sym) = self.by_name.get(name) {
+            return sym;
+        }
+        let sym = Symbol(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), sym);
+        sym
+    }
+
+    /// The symbol for `name`, if it has been interned.
+    pub fn lookup(&self, name: &str) -> Option<Symbol> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The spelling of `sym`.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of distinct interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no name has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(symbol, name)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Symbol(i as u32), n.as_str()))
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("x");
+        let b = t.intern("y");
+        let a2 = t.intern("x");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.resolve(a), "x");
+        assert_eq!(t.resolve(b), "y");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn lookup_without_interning() {
+        let mut t = SymbolTable::new();
+        assert_eq!(t.lookup("f"), None);
+        let f = t.intern("f");
+        assert_eq!(t.lookup("f"), Some(f));
+    }
+
+    #[test]
+    fn iteration_in_interning_order() {
+        let mut t = SymbolTable::new();
+        t.intern("a");
+        t.intern("b");
+        let names: Vec<&str> = t.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn symbol_display() {
+        assert_eq!(Symbol(3).to_string(), "s3");
+    }
+}

@@ -8,10 +8,9 @@
 //! logspace bound shows up as a bounded `max_accumulator_weight` while the
 //! input grows.
 
-use serde::{Deserialize, Serialize};
 
 /// Resource budget for one evaluation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EvalLimits {
     /// Maximum number of evaluation steps (each AST node visit counts once).
     pub max_steps: u64,
@@ -89,7 +88,7 @@ impl Default for EvalLimits {
 }
 
 /// What an evaluation actually consumed.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EvalStats {
     /// Number of AST node visits.
     pub steps: u64,

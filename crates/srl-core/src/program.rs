@@ -11,17 +11,17 @@
 //! specified by the name(s) of set(s) or relation(s)").
 
 use std::collections::BTreeMap;
-
-use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 use crate::ast::Expr;
+use crate::lower::CompiledProgram;
 use crate::dialect::Dialect;
 use crate::error::CheckError;
 use crate::types::Type;
 use crate::value::Value;
 
 /// A formal parameter of a definition.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Param {
     /// Parameter name.
     pub name: String,
@@ -49,7 +49,7 @@ impl Param {
 }
 
 /// A named function definition.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct FunDef {
     /// Function name.
     pub name: String,
@@ -60,12 +60,18 @@ pub struct FunDef {
 }
 
 /// A program: a dialect plus an ordered list of definitions.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize)]
+///
+/// Definitions are held behind [`Arc`] so that programs — which are routinely
+/// spliced together with [`Program::extend_with`] and cloned into harnesses —
+/// share their ASTs instead of deep-copying them. The evaluator never touches
+/// these at run time: [`Program::compile`] lowers them once into a
+/// [`CompiledProgram`] (interned names, slot-indexed variables).
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Program {
     /// The dialect the program claims to live in.
     pub dialect: Dialect,
     /// Definitions, in dependency order (later may call earlier).
-    pub defs: Vec<FunDef>,
+    pub defs: Vec<Arc<FunDef>>,
 }
 
 impl Program {
@@ -90,11 +96,11 @@ impl Program {
         params: impl IntoIterator<Item = S>,
         body: Expr,
     ) -> Self {
-        self.defs.push(FunDef {
+        self.defs.push(Arc::new(FunDef {
             name: name.into(),
             params: params.into_iter().map(|p| Param::untyped(p)).collect(),
             body,
-        });
+        }));
         self
     }
 
@@ -105,37 +111,48 @@ impl Program {
         params: impl IntoIterator<Item = (&'static str, Type)>,
         body: Expr,
     ) -> Self {
-        self.defs.push(FunDef {
+        self.defs.push(Arc::new(FunDef {
             name: name.into(),
             params: params
                 .into_iter()
                 .map(|(n, t)| Param::typed(n, t))
                 .collect(),
             body,
-        });
+        }));
         self
     }
 
     /// Adds an already-built definition.
     pub fn with_def(mut self, def: FunDef) -> Self {
-        self.defs.push(def);
+        self.defs.push(Arc::new(def));
         self
     }
 
     /// Appends every definition of `other` (used to splice stdlib prologues
-    /// in front of paper programs).
+    /// in front of paper programs). Sharing, not copying: each appended
+    /// definition is an `Arc` clone.
     pub fn extend_with(mut self, other: &Program) -> Self {
         for def in &other.defs {
             if self.lookup(&def.name).is_none() {
-                self.defs.push(def.clone());
+                self.defs.push(Arc::clone(def));
             }
         }
         self
     }
 
-    /// Looks up a definition by name.
+    /// Looks up a definition by name (first definition wins).
     pub fn lookup(&self, name: &str) -> Option<&FunDef> {
-        self.defs.iter().find(|d| d.name == name)
+        self.defs.iter().find(|d| d.name == name).map(|d| &**d)
+    }
+
+    /// Lowers the program once into its compiled form: interned definition
+    /// and parameter names, slot-indexed variables, definition-indexed calls.
+    /// Infallible — dangling names become poison nodes that only error if
+    /// evaluated (see [`crate::lower`]). Use with
+    /// [`Evaluator::with_compiled`](crate::eval::Evaluator::with_compiled) to
+    /// amortise lowering across many evaluations.
+    pub fn compile(&self) -> CompiledProgram {
+        CompiledProgram::compile(self)
     }
 
     /// Names of all definitions, in order.
@@ -209,7 +226,7 @@ impl Program {
 
 /// An input environment: bindings from free variable names (the input
 /// relations / sets / constants of a query) to values.
-#[derive(Clone, Default, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
 pub struct Env {
     bindings: Vec<(String, Value)>,
 }

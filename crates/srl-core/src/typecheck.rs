@@ -21,6 +21,7 @@ use std::collections::BTreeMap;
 use crate::ast::{Expr, Lambda};
 use crate::dialect::Dialect;
 use crate::error::CheckError;
+use crate::lower::CompiledProgram;
 use crate::program::Program;
 use crate::types::Type;
 use crate::value::Value;
@@ -472,6 +473,16 @@ impl<'p> TypeChecker<'p> {
 /// Convenience: type-checks a whole program.
 pub fn check_program(program: &Program) -> Result<CheckedProgram, CheckError> {
     TypeChecker::new(program).check_program()
+}
+
+/// Type-checks a program and, on success, lowers it to its compiled form
+/// (interned symbols, slot-indexed variables) in one step — the intended
+/// build pipeline for harnesses that evaluate a program many times.
+pub fn check_and_compile(
+    program: &Program,
+) -> Result<(CheckedProgram, CompiledProgram), CheckError> {
+    let checked = TypeChecker::new(program).check_program()?;
+    Ok((checked, program.compile()))
 }
 
 /// Convenience: type-checks a stand-alone expression against typed inputs.

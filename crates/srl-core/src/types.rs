@@ -13,12 +13,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::value::Value;
 
 /// A type of the set-reduce language.
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Type {
     /// The booleans.
     Bool,

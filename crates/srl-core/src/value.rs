@@ -7,12 +7,30 @@
 //! Users of the language may observe the order but, per the paper, should not
 //! encode information in it; the `srl-analysis` crate provides the machinery
 //! to check whether a program's result in fact depends on it.
+//!
+//! ## Representation: `Arc`-shared payloads, copy-on-write
+//!
+//! Collection values (`Set`, `Tuple`, `List`) hold their payload behind an
+//! [`Arc`], so `Value::clone()` is **O(1)**: it bumps a reference count
+//! instead of deep-copying a `BTreeSet`/`Vec`. This matters because the
+//! evaluator's semantics equations are clone-heavy by construction —
+//! `set-reduce` hands a clone of each element and of the `extra` value to
+//! every iteration, and `rest(S)` produces "`S` without its minimum", which
+//! naively copies the whole set |S| times over a full traversal.
+//!
+//! Mutation goes through [`Arc::make_mut`]: a uniquely-owned payload is
+//! updated in place, a shared one is copied first (copy-on-write). The
+//! observable semantics — the value order, what `choose`/`rest` return, every
+//! `EvalStats` counter — are completely unchanged by the sharing; only the
+//! number of machine-level copies differs. Equality, ordering and hashing
+//! all go through the payload (never the pointer), so two structurally equal
+//! values compare equal whether or not they share storage.
 
 use std::cmp::Ordering;
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
 
 use crate::bignat::BigNat;
 
@@ -21,12 +39,13 @@ use crate::bignat::BigNat;
 /// Atoms are identified by their rank in the domain ordering; an optional
 /// human-readable name is carried only for display and never participates in
 /// equality or ordering.
-#[derive(Clone, Serialize, Deserialize)]
+#[derive(Clone)]
 pub struct Atom {
     /// Rank of the atom in the domain ordering `≤`.
     pub index: u64,
     /// Optional display name (e.g. a vertex label or an employee name).
-    pub name: Option<String>,
+    /// Shared so that cloning a named atom never allocates.
+    pub name: Option<Arc<str>>,
 }
 
 impl Atom {
@@ -39,7 +58,7 @@ impl Atom {
     pub fn named(index: u64, name: impl Into<String>) -> Self {
         Atom {
             index,
-            name: Some(name.into()),
+            name: Some(name.into().into()),
         }
     }
 }
@@ -98,7 +117,7 @@ pub type ValueSet = BTreeSet<Value>;
 /// fixed lexicographic convention (booleans < atoms < naturals < tuples <
 /// sets < lists); within a well-typed program only values of the same type
 /// are ever compared, so that convention is unobservable.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Eq, Hash)]
 pub enum Value {
     /// A boolean constant.
     Bool(bool),
@@ -106,12 +125,15 @@ pub enum Value {
     Atom(Atom),
     /// A natural number (arithmetic extension of Section 3 / Section 5).
     Nat(BigNat),
-    /// A fixed-arity tuple.
-    Tuple(Vec<Value>),
-    /// A finite set, kept sorted in the value order.
-    Set(ValueSet),
-    /// A finite list (the LRL extension of Sections 3 and 5).
-    List(Vec<Value>),
+    /// A fixed-arity tuple. The payload is `Arc`-shared: cloning is O(1).
+    /// Tuples are never mutated in place, so the payload is a slice — one
+    /// heap block, one pointer hop on the `sel`/compare hot paths.
+    Tuple(Arc<[Value]>),
+    /// A finite set, kept sorted in the value order. `Arc`-shared payload.
+    Set(Arc<ValueSet>),
+    /// A finite list (the LRL extension of Sections 3 and 5). `Arc`-shared
+    /// payload.
+    List(Arc<Vec<Value>>),
 }
 
 impl Value {
@@ -142,22 +164,22 @@ impl Value {
 
     /// Convenience constructor: set (duplicates collapse).
     pub fn set(items: impl IntoIterator<Item = Value>) -> Self {
-        Value::Set(items.into_iter().collect())
+        Value::Set(Arc::new(items.into_iter().collect()))
     }
 
     /// Convenience constructor: list.
     pub fn list(items: impl IntoIterator<Item = Value>) -> Self {
-        Value::List(items.into_iter().collect())
+        Value::List(Arc::new(items.into_iter().collect()))
     }
 
     /// The empty set.
     pub fn empty_set() -> Self {
-        Value::Set(BTreeSet::new())
+        Value::Set(Arc::new(BTreeSet::new()))
     }
 
     /// The empty list.
     pub fn empty_list() -> Self {
-        Value::List(Vec::new())
+        Value::List(Arc::new(Vec::new()))
     }
 
     /// Returns the boolean payload if this is a boolean.
@@ -235,9 +257,8 @@ impl Value {
         match self {
             Value::Bool(_) | Value::Atom(_) => 1,
             Value::Nat(n) => 1 + n.bit_len() / 64,
-            Value::Tuple(items) | Value::List(items) => {
-                1 + items.iter().map(Value::weight).sum::<usize>()
-            }
+            Value::Tuple(items) => 1 + items.iter().map(Value::weight).sum::<usize>(),
+            Value::List(items) => 1 + items.iter().map(Value::weight).sum::<usize>(),
             Value::Set(items) => 1 + items.iter().map(Value::weight).sum::<usize>(),
         }
     }
@@ -248,10 +269,78 @@ impl Value {
     pub fn set_height(&self) -> usize {
         match self {
             Value::Bool(_) | Value::Atom(_) | Value::Nat(_) => 0,
-            Value::Tuple(items) | Value::List(items) => {
-                items.iter().map(Value::set_height).max().unwrap_or(0)
-            }
+            Value::Tuple(items) => items.iter().map(Value::set_height).max().unwrap_or(0),
+            Value::List(items) => items.iter().map(Value::set_height).max().unwrap_or(0),
             Value::Set(items) => 1 + items.iter().map(Value::set_height).max().unwrap_or(0),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Atom(a), Value::Atom(b)) => a == b,
+            (Value::Nat(a), Value::Nat(b)) => a == b,
+            // Shared payloads compare equal without being walked: `Eq` is
+            // total and structural, so pointer equality implies value
+            // equality.
+            (Value::Tuple(a), Value::Tuple(b)) => Arc::ptr_eq(a, b) || a == b,
+            (Value::Set(a), Value::Set(b)) => Arc::ptr_eq(a, b) || a == b,
+            (Value::List(a), Value::List(b)) => Arc::ptr_eq(a, b) || a == b,
+            _ => false,
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Same order as the former derived implementation: discriminant
+        // order (booleans < atoms < naturals < tuples < sets < lists), then
+        // lexicographic payload comparison — with a pointer-equality fast
+        // path for shared payloads.
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Bool(_) => 0,
+                Value::Atom(_) => 1,
+                Value::Nat(_) => 2,
+                Value::Tuple(_) => 3,
+                Value::Set(_) => 4,
+                Value::List(_) => 5,
+            }
+        }
+        match (self, other) {
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Atom(a), Value::Atom(b)) => a.cmp(b),
+            (Value::Nat(a), Value::Nat(b)) => a.cmp(b),
+            (Value::Tuple(a), Value::Tuple(b)) => {
+                if Arc::ptr_eq(a, b) {
+                    Ordering::Equal
+                } else {
+                    a.cmp(b)
+                }
+            }
+            (Value::Set(a), Value::Set(b)) => {
+                if Arc::ptr_eq(a, b) {
+                    Ordering::Equal
+                } else {
+                    a.cmp(b)
+                }
+            }
+            (Value::List(a), Value::List(b)) => {
+                if Arc::ptr_eq(a, b) {
+                    Ordering::Equal
+                } else {
+                    a.cmp(b)
+                }
+            }
+            _ => rank(self).cmp(&rank(other)),
         }
     }
 }
@@ -318,7 +407,7 @@ pub fn leq_relation(n: u64) -> Value {
             pairs.insert(Value::tuple([Value::atom(a), Value::atom(b)]));
         }
     }
-    Value::Set(pairs)
+    Value::Set(Arc::new(pairs))
 }
 
 #[cfg(test)]

@@ -1,0 +1,255 @@
+//! Rendering of *compiled* programs: the slot-indexed IR of
+//! [`srl_core::lower`], printed with names resolved through the program's
+//! [`SymbolTable`](srl_core::SymbolTable).
+//!
+//! The surface printer ([`crate::printer`]) shows what the paper's notation
+//! looks like; this one shows what the evaluator actually runs — variables as
+//! `@slot` frame indices, calls as `name#defindex` — which is the form to
+//! read when debugging lowering or auditing what an optimisation changed.
+
+use srl_core::lower::{CompiledDef, CompiledProgram, LExpr, LId, LLambda, LoweredExpr};
+
+/// Renders a whole compiled program, one definition per line block.
+pub fn print_compiled_program(program: &CompiledProgram) -> String {
+    let mut out = String::new();
+    for index in 0..program.defs().len() as u32 {
+        out.push_str(&print_compiled_def(program, index));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the definition at `def_index` with its parameter slots. The index
+/// is the definition's own position (duplicate names are legal — only the
+/// first is callable, but all compile), so the header always identifies the
+/// body actually shown.
+pub fn print_compiled_def(program: &CompiledProgram, def_index: u32) -> String {
+    let def: &CompiledDef = &program.defs()[def_index as usize];
+    let params: Vec<String> = def
+        .params
+        .iter()
+        .enumerate()
+        .map(|(slot, sym)| format!("{}@{slot}", program.symbols().resolve(*sym)))
+        .collect();
+    let mut body = String::new();
+    write_expr(program, def.body, &mut body);
+    format!(
+        "{}#{def_index}({}) =\n  {}\n",
+        program.def_name(def),
+        params.join(", "),
+        body
+    )
+}
+
+/// Renders a lowered expression of the program's arena.
+pub fn print_compiled_expr(program: &CompiledProgram, root: LId) -> String {
+    let mut out = String::new();
+    write_expr(program, root, &mut out);
+    out
+}
+
+/// Renders a stand-alone [`LoweredExpr`] (which carries its own node arena;
+/// see [`CompiledProgram::lower_expr`]), resolving call targets against
+/// `program`.
+pub fn print_lowered_expr(program: &CompiledProgram, lowered: &LoweredExpr) -> String {
+    let mut out = String::new();
+    write_in(program, lowered.nodes(), lowered.root(), &mut out);
+    out
+}
+
+fn write_lambda(
+    program: &CompiledProgram,
+    nodes: &[LExpr],
+    lambda: &LLambda,
+    out: &mut String,
+) {
+    out.push_str("lambda(@x, @y) ");
+    write_in(program, nodes, lambda.body, out);
+}
+
+fn write_expr(program: &CompiledProgram, id: LId, out: &mut String) {
+    write_in(program, program.nodes(), id, out);
+}
+
+fn write_in(program: &CompiledProgram, nodes: &[LExpr], id: LId, out: &mut String) {
+    match &nodes[id.index()] {
+        LExpr::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        LExpr::Const(v) => out.push_str(&v.to_string()),
+        LExpr::Local(slot) => out.push_str(&format!("@{slot}")),
+        LExpr::UnboundVar(name) => out.push_str(&format!("?{name}")),
+        LExpr::If(c, t, e) => {
+            out.push_str("if ");
+            write_in(program, nodes, *c, out);
+            out.push_str(" then ");
+            write_in(program, nodes, *t, out);
+            out.push_str(" else ");
+            write_in(program, nodes, *e, out);
+        }
+        LExpr::Tuple(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_in(program, nodes, *item, out);
+            }
+            out.push(']');
+        }
+        LExpr::Sel(i, e) => {
+            write_in(program, nodes, *e, out);
+            out.push_str(&format!(".{i}"));
+        }
+        LExpr::Eq(a, b) => binary(program, nodes, out, *a, " = ", *b),
+        LExpr::Leq(a, b) => binary(program, nodes, out, *a, " <= ", *b),
+        LExpr::EmptySet => out.push_str("emptyset"),
+        LExpr::Insert(e, s) => fun(program, nodes, out, "insert", &[*e, *s]),
+        LExpr::Choose(s) => fun(program, nodes, out, "choose", &[*s]),
+        LExpr::Rest(s) => fun(program, nodes, out, "rest", &[*s]),
+        LExpr::SetReduce {
+            set,
+            app,
+            acc,
+            base,
+            extra,
+        } => {
+            out.push_str("set-reduce(");
+            write_in(program, nodes, *set, out);
+            out.push_str(", ");
+            write_lambda(program, nodes, app, out);
+            out.push_str(", ");
+            write_lambda(program, nodes, acc, out);
+            out.push_str(", ");
+            write_in(program, nodes, *base, out);
+            out.push_str(", ");
+            write_in(program, nodes, *extra, out);
+            out.push(')');
+        }
+        LExpr::ListReduce {
+            list,
+            app,
+            acc,
+            base,
+            extra,
+        } => {
+            out.push_str("list-reduce(");
+            write_in(program, nodes, *list, out);
+            out.push_str(", ");
+            write_lambda(program, nodes, app, out);
+            out.push_str(", ");
+            write_lambda(program, nodes, acc, out);
+            out.push_str(", ");
+            write_in(program, nodes, *base, out);
+            out.push_str(", ");
+            write_in(program, nodes, *extra, out);
+            out.push(')');
+        }
+        LExpr::Call { def, args } => {
+            let name = program
+                .defs()
+                .get(*def as usize)
+                .map(|d| program.def_name(d))
+                .unwrap_or("<bad def>");
+            out.push_str(&format!("{name}#{def}("));
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_in(program, nodes, *a, out);
+            }
+            out.push(')');
+        }
+        LExpr::CallUnknown(name) => out.push_str(&format!("?{name}(…)")),
+        LExpr::Let { value, body } => {
+            out.push_str("let @+ = ");
+            write_in(program, nodes, *value, out);
+            out.push_str(" in ");
+            write_in(program, nodes, *body, out);
+        }
+        LExpr::New(s) => fun(program, nodes, out, "new", &[*s]),
+        LExpr::NatConst(n) => out.push_str(&n.to_string()),
+        LExpr::Succ(e) => fun(program, nodes, out, "succ", &[*e]),
+        LExpr::NatAdd(a, b) => binary(program, nodes, out, *a, " + ", *b),
+        LExpr::NatMul(a, b) => binary(program, nodes, out, *a, " * ", *b),
+        LExpr::EmptyList => out.push_str("emptylist"),
+        LExpr::Cons(e, l) => fun(program, nodes, out, "cons", &[*e, *l]),
+        LExpr::Head(l) => fun(program, nodes, out, "head", &[*l]),
+        LExpr::Tail(l) => fun(program, nodes, out, "tail", &[*l]),
+    }
+}
+
+fn binary(
+    program: &CompiledProgram,
+    nodes: &[LExpr],
+    out: &mut String,
+    a: LId,
+    op: &str,
+    b: LId,
+) {
+    out.push('(');
+    write_in(program, nodes, a, out);
+    out.push_str(op);
+    write_in(program, nodes, b, out);
+    out.push(')');
+}
+
+fn fun(program: &CompiledProgram, nodes: &[LExpr], out: &mut String, name: &str, args: &[LId]) {
+    out.push_str(name);
+    out.push('(');
+    for (i, a) in args.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_in(program, nodes, *a, out);
+    }
+    out.push(')');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srl_core::dsl::*;
+    use srl_core::program::Program;
+
+    #[test]
+    fn slots_and_def_indices_are_visible() {
+        let p = Program::srl()
+            .define("fst", ["t"], sel(var("t"), 1))
+            .define("use", ["t"], call("fst", [var("t")]));
+        let c = p.compile();
+        let text = print_compiled_program(&c);
+        assert!(text.contains("fst#0(t@0) ="), "{text}");
+        assert!(text.contains("@0.1"), "{text}");
+        assert!(text.contains("fst#0(@0)"), "{text}");
+    }
+
+    #[test]
+    fn lambdas_and_reduces_render() {
+        let p = Program::srl().define(
+            "rebuild",
+            ["S"],
+            set_reduce(
+                var("S"),
+                lam("x", "e", var("x")),
+                lam("v", "acc", insert(var("v"), var("acc"))),
+                empty_set(),
+                empty_set(),
+            ),
+        );
+        let c = p.compile();
+        let text = print_compiled_program(&c);
+        assert!(text.contains("set-reduce(@0"), "{text}");
+        // x is slot 1 in frame [S, x, e]; v/acc are slots 1/2.
+        assert!(text.contains("lambda(@x, @y) @1"), "{text}");
+        assert!(text.contains("insert(@1, @2)"), "{text}");
+    }
+
+    #[test]
+    fn poison_nodes_render_with_their_spelling() {
+        let p = Program::srl();
+        let c = p.compile();
+        let l = c.lower_expr(&call("nope", [var("x")]), &[]);
+        assert_eq!(print_lowered_expr(&c, &l), "?nope(…)");
+        let l = c.lower_expr(&insert(var("x"), empty_set()), &["x"]);
+        assert_eq!(print_lowered_expr(&c, &l), "insert(@0, emptyset)");
+    }
+}

@@ -2,14 +2,19 @@
 //!
 //! A pretty-printer that renders [`srl_core::Expr`] / [`srl_core::Program`]
 //! values in the paper's notation (`set-reduce(…, lambda(x, y) …, …)`,
-//! `if … then … else …`, selectors `e.1`). The examples use it to show the
-//! generated paper programs in readable form; a parser for the same notation
-//! is future work (the builders in `srl-core::dsl` and `srl-stdlib` are the
-//! supported way to construct programs).
+//! `if … then … else …`, selectors `e.1`), plus a printer for the *compiled*
+//! form ([`srl_core::CompiledProgram`]) that resolves interned symbols back
+//! to names and shows frame slots (`@0`) and definition indices (`f#3`) —
+//! what the evaluator actually runs. The examples use the surface printer to
+//! show the generated paper programs in readable form; a parser for the same
+//! notation is future work (the builders in `srl-core::dsl` and `srl-stdlib`
+//! are the supported way to construct programs).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod printer;
 
+pub use compiled::{print_compiled_def, print_compiled_expr, print_compiled_program};
 pub use printer::{print_expr, print_lambda, print_program};

@@ -18,12 +18,11 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use srl_core::value::Value;
 
 /// An alternating graph: a digraph plus a universal/existential label per
 /// vertex.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AlternatingGraph {
     /// Number of vertices (vertices are `0 .. n`).
     pub n: usize,

@@ -32,12 +32,11 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
 
 use crate::wl::ColoredGraph;
 
 /// An undirected base graph for the CFI construction.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BaseGraph {
     /// Number of vertices.
     pub n: usize,
@@ -87,7 +86,7 @@ impl BaseGraph {
 
 /// Names of the vertices of a CFI graph, kept so experiments can relate the
 /// built graph back to the construction.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CfiVertex {
     /// A middle vertex `m_{v,S}`: base vertex and the even subset of incident
     /// edge indices.
@@ -109,7 +108,7 @@ pub enum CfiVertex {
 }
 
 /// A constructed CFI graph together with its provenance.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CfiGraph {
     /// The underlying plain graph (for WL refinement and isomorphism tests).
     pub graph: ColoredGraph,

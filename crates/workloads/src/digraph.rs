@@ -8,11 +8,10 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use srl_core::value::Value;
 
 /// A directed graph on vertices `0 .. n`.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Digraph {
     /// Number of vertices.
     pub n: usize,

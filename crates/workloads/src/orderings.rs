@@ -14,12 +14,11 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 use srl_core::program::Env;
 use srl_core::value::{Atom, Value};
 
 /// A bijective renaming of atom ranks `0 .. n`.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DomainRenaming {
     forward: Vec<u64>,
 }
@@ -100,9 +99,9 @@ impl DomainRenaming {
                 index: self.rename_rank(a.index),
                 name: a.name.clone(),
             }),
-            Value::Tuple(items) => Value::Tuple(items.iter().map(|i| self.apply(i)).collect()),
-            Value::List(items) => Value::List(items.iter().map(|i| self.apply(i)).collect()),
-            Value::Set(items) => Value::Set(items.iter().map(|i| self.apply(i)).collect()),
+            Value::Tuple(items) => Value::tuple(items.iter().map(|i| self.apply(i))),
+            Value::List(items) => Value::list(items.iter().map(|i| self.apply(i))),
+            Value::Set(items) => Value::set(items.iter().map(|i| self.apply(i))),
         }
     }
 

@@ -12,11 +12,10 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 use srl_core::value::Value;
 
 /// A permutation of `{0, …, n-1}`, stored as the image vector.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Permutation {
     map: Vec<usize>,
 }
@@ -91,7 +90,7 @@ impl Permutation {
 }
 
 /// An IMₛₙ instance: a sequence of permutations of the same degree.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct IteratedProductInstance {
     /// The permutations π₁, …, π_m (the paper takes m = n, but the harness
     /// allows any length).

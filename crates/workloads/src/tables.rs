@@ -9,11 +9,10 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use srl_core::value::Value;
 
 /// One employee row.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Employee {
     /// Employee id (atom rank).
     pub id: u64,
@@ -24,7 +23,7 @@ pub struct Employee {
 }
 
 /// One department row.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Department {
     /// Department id.
     pub id: u64,
@@ -34,7 +33,7 @@ pub struct Department {
 
 /// The generated database: employees, departments, and the size of the
 /// underlying ordered domain (all ids and bands are atoms below this bound).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CompanyDatabase {
     /// Employee relation.
     pub employees: Vec<Employee>,

@@ -18,11 +18,10 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
 
 /// An undirected graph on vertices `0 .. n` with optional initial vertex
 /// colours.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ColoredGraph {
     /// Number of vertices.
     pub n: usize,
@@ -80,7 +79,7 @@ impl ColoredGraph {
 
 /// The outcome of a refinement: the stable colours and how many rounds it
 /// took to stabilise.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Refinement {
     /// Final colour of each vertex (for 1-WL) or of each ordered pair indexed
     /// `u * n + v` (for 2-WL).

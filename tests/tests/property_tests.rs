@@ -1,6 +1,10 @@
-//! Property-based tests (proptest) on the core invariants.
+//! Property-style tests on the core invariants.
+//!
+//! The build runs offline (no proptest), so these drive the same properties
+//! with a small deterministic case generator: a SplitMix64 stream per test
+//! seed, 64 cases per property — failures print the generating seed so the
+//! case can be replayed exactly.
 
-use proptest::prelude::*;
 use srl_core::dsl::*;
 use srl_core::eval::eval_expr;
 use srl_core::{BigNat, Env, EvalLimits, Value};
@@ -9,104 +13,200 @@ use srl_stdlib::derived::{difference, intersection, member, set_eq, subset, unio
 use srl_stdlib::hom;
 use workloads::orderings::DomainRenaming;
 
+const CASES: u64 = 64;
+
+/// Deterministic case stream (SplitMix64 — same construction as the vendored
+/// `rand` shim, but independent of it so core invariants don't depend on the
+/// shim's stream).
+struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Self {
+        Gen {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+
+    /// A vector of up to 9 atom ranks drawn from `0..24` (duplicates kept, as
+    /// proptest's `vec(0u64..24, 0..10)` would produce).
+    fn small_set(&mut self) -> Vec<u64> {
+        let len = self.below(10);
+        (0..len).map(|_| self.below(24)).collect()
+    }
+}
+
 fn eval(expr: &srl_core::Expr, env: &Env) -> Value {
     eval_expr(expr, env, EvalLimits::default()).expect("evaluation succeeds")
 }
 
-fn small_set() -> impl Strategy<Value = Vec<u64>> {
-    proptest::collection::vec(0u64..24, 0..10)
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn bignat_addition_is_commutative_and_matches_u64(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+#[test]
+fn bignat_addition_is_commutative_and_matches_u64() {
+    let mut g = Gen::new(1);
+    for case in 0..CASES {
+        let a = g.below(1_000_000);
+        let b = g.below(1_000_000);
         let x = BigNat::from_u64(a);
         let y = BigNat::from_u64(b);
-        prop_assert_eq!(x.add(&y), y.add(&x));
-        prop_assert_eq!(x.add(&y).to_u64(), Some(a + b));
-        prop_assert_eq!(x.mul(&y), y.mul(&x));
+        assert_eq!(x.add(&y), y.add(&x), "case {case}: a={a} b={b}");
+        assert_eq!(x.add(&y).to_u64(), Some(a + b), "case {case}: a={a} b={b}");
+        assert_eq!(x.mul(&y), y.mul(&x), "case {case}: a={a} b={b}");
     }
+}
 
-    #[test]
-    fn bignat_shifts_invert(a in 0u64..u64::MAX, k in 0usize..100) {
+#[test]
+fn bignat_shifts_invert() {
+    let mut g = Gen::new(2);
+    for case in 0..CASES {
+        let a = g.next_u64();
+        let k = g.below(100) as usize;
         let x = BigNat::from_u64(a);
-        prop_assert_eq!(x.shl(k).shr(k), x);
+        assert_eq!(x.shl(k).shr(k), x, "case {case}: a={a} k={k}");
     }
+}
 
-    #[test]
-    fn srl_union_is_commutative_idempotent_and_matches_native(a in small_set(), b in small_set()) {
-        let env = Env::new().bind("A", atom_set(a.clone())).bind("B", atom_set(b.clone()));
+#[test]
+fn srl_union_is_commutative_idempotent_and_matches_native() {
+    let mut g = Gen::new(3);
+    for case in 0..CASES {
+        let a = g.small_set();
+        let b = g.small_set();
+        let env = Env::new()
+            .bind("A", atom_set(a.clone()))
+            .bind("B", atom_set(b.clone()));
         let ab = eval(&union(var("A"), var("B")), &env);
         let ba = eval(&union(var("B"), var("A")), &env);
-        prop_assert_eq!(&ab, &ba);
+        assert_eq!(ab, ba, "case {case}: a={a:?} b={b:?}");
         let native: std::collections::BTreeSet<u64> = a.iter().chain(b.iter()).copied().collect();
-        prop_assert_eq!(ab.len(), Some(native.len()));
+        assert_eq!(ab.len(), Some(native.len()), "case {case}: a={a:?} b={b:?}");
         let aa = eval(&union(var("A"), var("A")), &env);
-        prop_assert_eq!(aa, atom_set(a));
+        assert_eq!(aa, atom_set(a.clone()), "case {case}: a={a:?}");
     }
+}
 
-    #[test]
-    fn srl_set_algebra_matches_native(a in small_set(), b in small_set()) {
-        let env = Env::new().bind("A", atom_set(a.clone())).bind("B", atom_set(b.clone()));
+#[test]
+fn srl_set_algebra_matches_native() {
+    let mut g = Gen::new(4);
+    for case in 0..CASES {
+        let a = g.small_set();
+        let b = g.small_set();
+        let env = Env::new()
+            .bind("A", atom_set(a.clone()))
+            .bind("B", atom_set(b.clone()));
         let sa: std::collections::BTreeSet<u64> = a.iter().copied().collect();
         let sb: std::collections::BTreeSet<u64> = b.iter().copied().collect();
         let inter = eval(&intersection(var("A"), var("B")), &env);
-        prop_assert_eq!(inter, atom_set(sa.intersection(&sb).copied().collect::<Vec<_>>()));
+        assert_eq!(
+            inter,
+            atom_set(sa.intersection(&sb).copied().collect::<Vec<_>>()),
+            "case {case}: a={a:?} b={b:?}"
+        );
         let diff = eval(&difference(var("A"), var("B")), &env);
-        prop_assert_eq!(diff, atom_set(sa.difference(&sb).copied().collect::<Vec<_>>()));
+        assert_eq!(
+            diff,
+            atom_set(sa.difference(&sb).copied().collect::<Vec<_>>()),
+            "case {case}: a={a:?} b={b:?}"
+        );
         let sub = eval(&subset(var("A"), var("B")), &env);
-        prop_assert_eq!(sub, Value::bool(sa.is_subset(&sb)));
+        assert_eq!(sub, Value::bool(sa.is_subset(&sb)), "case {case}");
         let eq_sets = eval(&set_eq(var("A"), var("B")), &env);
-        prop_assert_eq!(eq_sets, Value::bool(sa == sb));
+        assert_eq!(eq_sets, Value::bool(sa == sb), "case {case}");
     }
+}
 
-    #[test]
-    fn srl_membership_matches_native(a in small_set(), probe in 0u64..24) {
+#[test]
+fn srl_membership_matches_native() {
+    let mut g = Gen::new(5);
+    for case in 0..CASES {
+        let a = g.small_set();
+        let probe = g.below(24);
         let env = Env::new().bind("A", atom_set(a.clone()));
         let v = eval(&member(atom(probe), var("A")), &env);
-        prop_assert_eq!(v, Value::bool(a.contains(&probe)));
+        assert_eq!(
+            v,
+            Value::bool(a.contains(&probe)),
+            "case {case}: a={a:?} probe={probe}"
+        );
     }
+}
 
-    #[test]
-    fn proper_hom_queries_are_invariant_under_renaming(a in small_set(), seed in 0u64..1000) {
+#[test]
+fn proper_hom_queries_are_invariant_under_renaming() {
+    let mut g = Gen::new(6);
+    for case in 0..CASES {
+        let a = g.small_set();
+        let seed = g.below(1000);
         let s = atom_set(a.clone());
         let renaming = DomainRenaming::random(24, seed);
         let env = Env::new().bind("S", s.clone());
         let renamed_env = Env::new().bind("S", renaming.apply(&s));
         // EVEN via proper hom: same boolean either way.
-        prop_assert_eq!(
+        assert_eq!(
             eval(&hom::even(var("S")), &env),
-            eval(&hom::even(var("S")), &renamed_env)
+            eval(&hom::even(var("S")), &renamed_env),
+            "case {case}: a={a:?} seed={seed}"
         );
         // Union-style rebuild corresponds modulo the renaming.
         let rebuilt = eval(&union(var("S"), empty_set()), &env);
         let rebuilt_renamed = eval(&union(var("S"), empty_set()), &renamed_env);
-        prop_assert_eq!(renaming.apply(&rebuilt), rebuilt_renamed);
+        assert_eq!(
+            renaming.apply(&rebuilt),
+            rebuilt_renamed,
+            "case {case}: a={a:?} seed={seed}"
+        );
     }
+}
 
-    #[test]
-    fn basrl_arithmetic_matches_native_addition(n in 6u64..24, a in 0u64..12, b in 0u64..12) {
-        let a = a % n;
-        let b = b % n;
+#[test]
+fn basrl_arithmetic_matches_native_addition() {
+    let mut g = Gen::new(7);
+    for case in 0..CASES {
+        let n = 6 + g.below(18);
+        let a = g.below(12) % n;
+        let b = g.below(12) % n;
         let program = srl_stdlib::arith::arithmetic_program();
         let (value, _) = srl_core::eval::run_program(
             &program,
             srl_stdlib::arith::names::ADD,
             &[srl_stdlib::arith::domain(n), Value::atom(a), Value::atom(b)],
             EvalLimits::benchmark(),
-        ).unwrap();
-        prop_assert_eq!(value, Value::atom((a + b).min(n - 1)));
+        )
+        .unwrap();
+        assert_eq!(
+            value,
+            Value::atom((a + b).min(n - 1)),
+            "case {case}: n={n} a={a} b={b}"
+        );
     }
+}
 
-    #[test]
-    fn evaluation_is_deterministic(a in small_set()) {
-        let env = Env::new().bind("A", atom_set(a));
+#[test]
+fn evaluation_is_deterministic() {
+    let mut g = Gen::new(8);
+    for case in 0..CASES {
+        let a = g.small_set();
+        let env = Env::new().bind("A", atom_set(a.clone()));
         let q = hom::count(var("A"));
         let program = srl_core::Program::new(srl_core::Dialect::full());
         let mut ev1 = srl_core::Evaluator::new(&program, EvalLimits::default());
         let mut ev2 = srl_core::Evaluator::new(&program, EvalLimits::default());
-        prop_assert_eq!(ev1.eval(&q, &env).unwrap(), ev2.eval(&q, &env).unwrap());
+        assert_eq!(
+            ev1.eval(&q, &env).unwrap(),
+            ev2.eval(&q, &env).unwrap(),
+            "case {case}: a={a:?}"
+        );
     }
 }

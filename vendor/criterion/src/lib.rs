@@ -1,0 +1,230 @@
+//! Offline shim for the subset of the `criterion` crate API this workspace's
+//! benches use (`cargo bench` with no registry access — see `vendor/README.md`).
+//!
+//! It really measures: each benchmark runs `warm_up_time` of warm-up
+//! iterations, then `sample_size` timed samples of adaptively-batched
+//! iterations for `measurement_time`, and prints min/median/mean per-iteration
+//! wall-clock times. There are no plots and no regression statistics.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// A benchmark identifier: a function name plus a parameter rendering.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("srl_powerset", 8)` renders as `srl_powerset/8`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Drives the timed iterations of one benchmark.
+pub struct Bencher {
+    batch: u64,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `batch` times and accumulating the total.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            std_black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += self.batch;
+    }
+}
+
+/// A group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// How long to warm up before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full_name = format!("{}/{}", self.name, id);
+        // Warm-up: also estimates the per-iteration cost to size batches.
+        let mut bencher = Bencher {
+            batch: 1,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher, input);
+        if bencher.iters == 0 {
+            // `f` never called `iter`; nothing to measure.
+            println!("{full_name:<48} (no iterations)");
+            return self;
+        }
+        let warm_up_start = Instant::now();
+        while warm_up_start.elapsed() < self.warm_up_time {
+            f(&mut bencher, input);
+        }
+        let per_iter = bencher.elapsed.div_f64(bencher.iters.max(1) as f64);
+        let per_sample = self.measurement_time.div_f64(self.sample_size as f64);
+        let batch = (per_sample.as_secs_f64() / per_iter.as_secs_f64().max(1e-9))
+            .ceil()
+            .clamp(1.0, 1e9) as u64;
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                batch,
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut b, input);
+            if b.iters > 0 {
+                samples.push(b.elapsed.div_f64(b.iters as f64));
+            }
+        }
+        samples.sort_unstable();
+        if let (Some(min), Some(&median)) = (samples.first(), samples.get(samples.len() / 2)) {
+            let mean = samples.iter().sum::<Duration>().div_f64(samples.len() as f64);
+            println!(
+                "{full_name:<48} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples × {} iters)",
+                min, median, mean, samples.len(), batch
+            );
+            self.criterion
+                .results
+                .push((full_name, median.as_secs_f64()));
+        }
+        self
+    }
+
+    /// Runs one benchmark without a parameterised input.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let unit = ();
+        self.bench_with_input(BenchmarkId::new(name, "-"), &unit, |b, _| f(b))
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op marker).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    /// `(full name, median seconds per iteration)` for every benchmark run.
+    pub results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    /// Begins a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+
+    /// Top-level single benchmark, mirroring `Criterion::bench_function`.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name.to_string()).bench_function(name, f);
+        self
+    }
+}
+
+/// Declares the benchmark entry points, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_measures_and_records() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("shim_self_test");
+            g.sample_size(3)
+                .warm_up_time(Duration::from_millis(5))
+                .measurement_time(Duration::from_millis(15));
+            g.bench_with_input(BenchmarkId::new("sum", 100u64), &100u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+            g.finish();
+        }
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].0.contains("sum/100"));
+        assert!(c.results[0].1 > 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_renders_name_slash_param() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+    }
+}
