@@ -216,7 +216,8 @@ pub fn permutation_test(
     // what `eval_lowered` requires).
     let compiled = Arc::new(program.compile());
     let mut evaluator =
-        Evaluator::with_compiled(program, Arc::clone(&compiled), EvalLimits::default_budget());
+        Evaluator::with_compiled(program, Arc::clone(&compiled), EvalLimits::default_budget())
+            .expect("compiled from this program");
     let lowered = evaluator.lower(expr, env);
     let original = match evaluator.eval_lowered(&lowered, env) {
         Ok(v) => v,
@@ -229,7 +230,8 @@ pub fn permutation_test(
             program,
             Arc::clone(&compiled),
             EvalLimits::default_budget(),
-        );
+        )
+        .expect("compiled from this program");
         match evaluator.eval_lowered(&lowered, &renamed_env) {
             Ok(renamed_result) => {
                 if renaming.apply(&original) != renamed_result {

@@ -1,31 +1,38 @@
-//! E0 — evaluator overhead: isolates the clone-vs-share cost the zero-copy
-//! refactor removed, on a nested-set reduce (the worst case for deep
-//! cloning: every element is itself a set).
+//! E0 — evaluator overhead: isolates the representation costs the zero-copy
+//! refactor (PR 1) and the sorted-vec set backend (PR 2) removed, on a
+//! nested-set reduce (the worst case for deep cloning: every element is
+//! itself a set).
 //!
-//! Three measurements per size n (a set of n sets of n atoms):
+//! Measurements per size n (a set of n sets of n atoms):
 //!
 //! * `srl_rebuild_reduce` — the real evaluator running
-//!   `set-reduce(S, id, insert, {}, {})`, which clones every element into
-//!   the accumulator. With `Arc`-shared payloads each clone is O(1).
-//! * `native_share` — the same traversal hand-written against `Value`:
-//!   `elem.clone()` (reference-count bump) + insert.
+//!   `set-reduce(S, id, insert, {}, {})` over a pre-compiled program,
+//!   which clones every element into the accumulator. With `Arc`-shared
+//!   payloads each clone is O(1).
+//! * `native_share_sortedvec` — the same traversal hand-written against the
+//!   live set backend (`SetRepr`): `elem.clone()` (reference-count bump) +
+//!   binary-search insert into a sorted vector.
+//! * `native_share_btreeset` — identical loop accumulating into a
+//!   `BTreeSet<Value>`, the pre-PR-2 backend. The gap to
+//!   `native_share_sortedvec` is the isolated node-churn cost the sorted
+//!   vector removed.
 //! * `native_deep_clone` — identical loop, but every element is copied
-//!   structurally, emulating what the pre-refactor representation paid per
-//!   iteration. The `native_share` / `native_deep_clone` gap is the
-//!   isolated representation cost; `srl_rebuild_reduce` shows how much of
-//!   the interpreter's time it dominated.
+//!   structurally, emulating what the pre-PR-1 representation paid per
+//!   iteration.
 //!
-//! A `rest_chain` pair does the same for `rest(rest(…))`: copy-on-write
-//! `pop_first` versus rebuilding the set minus its minimum each step.
+//! A `rest_chain` pair does the same for `rest(rest(…))`: the slice-window
+//! `pop_first` on a COW sorted vector versus the seed's rebuild of the set
+//! minus its minimum each step (BTreeSet clone + remove).
 
 use std::collections::BTreeSet;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use srl_core::ast::Lambda;
 use srl_core::dsl::*;
-use srl_core::eval::eval_expr;
+use srl_core::eval::Evaluator;
 use srl_core::limits::EvalLimits;
-use srl_core::program::Env;
+use srl_core::program::{Env, Program};
+use srl_core::setrepr::SetRepr;
 use srl_core::value::Value;
 
 /// Structural copy of a value — the cost model of the pre-refactor
@@ -48,6 +55,9 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(200));
     group.measurement_time(std::time::Duration::from_millis(600));
+    // Compile once; the measured region is evaluation alone.
+    let program = Program::new(srl_core::Dialect::full());
+    let compiled = std::sync::Arc::new(program.compile());
     for n in [8u64, 16, 32] {
         let input = nested_set(n);
         let rebuild = set_reduce(
@@ -58,10 +68,30 @@ fn bench(c: &mut Criterion) {
             empty_set(),
         );
         let env = Env::new().bind("S", input.clone());
+        let mut ev = Evaluator::with_compiled(
+            &program,
+            std::sync::Arc::clone(&compiled),
+            EvalLimits::benchmark(),
+        )
+        .expect("compiled from this program");
+        let lowered = ev.lower(&rebuild, &env);
         group.bench_with_input(BenchmarkId::new("srl_rebuild_reduce", n), &n, |b, _| {
-            b.iter(|| eval_expr(&rebuild, &env, EvalLimits::benchmark()).unwrap())
+            b.iter(|| {
+                ev.reset_stats();
+                ev.eval_lowered(&lowered, &env).unwrap()
+            })
         });
-        group.bench_with_input(BenchmarkId::new("native_share", n), &n, |b, _| {
+        group.bench_with_input(BenchmarkId::new("native_share_sortedvec", n), &n, |b, _| {
+            b.iter(|| {
+                let items = input.as_set().unwrap();
+                let mut acc = SetRepr::new();
+                for elem in items {
+                    acc.insert(elem.clone());
+                }
+                acc.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("native_share_btreeset", n), &n, |b, _| {
             b.iter(|| {
                 let items = input.as_set().unwrap();
                 let mut acc: BTreeSet<Value> = BTreeSet::new();
@@ -74,16 +104,17 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("native_deep_clone", n), &n, |b, _| {
             b.iter(|| {
                 let items = input.as_set().unwrap();
-                let mut acc: BTreeSet<Value> = BTreeSet::new();
+                let mut acc = SetRepr::new();
                 for elem in items {
                     acc.insert(deep_copy(elem));
                 }
                 acc.len()
             })
         });
-        // rest(rest(…)) until empty: COW pop_first vs full rebuild per step
-        // (both native, so only the representation cost differs — exactly
-        // the two implementations of the evaluator's `Rest` operator).
+        // rest(rest(…)) until empty: slice-window pop_first vs the seed's
+        // full rebuild per step (both native, so only the representation
+        // cost differs — exactly two implementations of the evaluator's
+        // `Rest` operator).
         let flat = Value::set((0..n * n).map(Value::atom));
         group.bench_with_input(BenchmarkId::new("rest_chain_cow", n), &n, |b, _| {
             b.iter(|| {
@@ -101,7 +132,7 @@ fn bench(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("rest_chain_rebuild", n), &n, |b, _| {
             b.iter(|| {
-                let mut s = flat.as_set().unwrap().clone();
+                let mut s: BTreeSet<Value> = flat.as_set().unwrap().iter().cloned().collect();
                 let mut steps = 0u64;
                 while let Some(min) = s.iter().next().cloned() {
                     // The seed's rest(): copy the whole set, then remove.

@@ -1,14 +1,18 @@
 //! E3 — Proposition 4.5 / Lemma 4.6: BASRL arithmetic; the SRL cost grows with
 //! the domain while the accumulator stays constant-size.
 
+use std::sync::Arc;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use srl_core::eval::run_program;
+use srl_core::eval::Evaluator;
 use srl_core::limits::EvalLimits;
 use srl_core::value::Value;
 use srl_stdlib::arith::{arithmetic_program, domain, names};
 
 fn bench(c: &mut Criterion) {
+    // Compiled once; the measured region is evaluation alone.
     let program = arithmetic_program();
+    let compiled = Arc::new(program.compile());
     let mut group = c.benchmark_group("e3_basrl_arith");
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(200));
@@ -17,26 +21,19 @@ fn bench(c: &mut Criterion) {
         let d = domain(n);
         let a = Value::atom(n / 3);
         let b = Value::atom(n / 4);
+        let mut ev =
+            Evaluator::with_compiled(&program, Arc::clone(&compiled), EvalLimits::benchmark())
+                .expect("compiled from this program");
         group.bench_with_input(BenchmarkId::new("srl_add", n), &n, |bench, _| {
             bench.iter(|| {
-                run_program(
-                    &program,
-                    names::ADD,
-                    &[d.clone(), a.clone(), b.clone()],
-                    EvalLimits::benchmark(),
-                )
-                .unwrap()
+                ev.reset_stats();
+                ev.call(names::ADD, &[d.clone(), a.clone(), b.clone()]).unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("srl_bit", n), &n, |bench, _| {
             bench.iter(|| {
-                run_program(
-                    &program,
-                    names::BIT,
-                    &[d.clone(), Value::atom(1), a.clone()],
-                    EvalLimits::benchmark(),
-                )
-                .unwrap()
+                ev.reset_stats();
+                ev.call(names::BIT, &[d.clone(), Value::atom(1), a.clone()]).unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("native_add", n), &n, |bench, _| {

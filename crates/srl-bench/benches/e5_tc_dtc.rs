@@ -1,15 +1,21 @@
 //! E5 — Corollaries 4.2 / 4.4: the SRL TC/DTC combinators vs. native closures
 //! and the FO+TC formula evaluator.
 
+use std::sync::Arc;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use srl_core::dsl::var;
-use srl_core::eval::eval_expr;
+use srl_bench::queries;
+use srl_core::eval::Evaluator;
 use srl_core::limits::EvalLimits;
-use srl_core::program::Env;
-use srl_stdlib::tc;
+use srl_core::program::{Env, Program};
 use workloads::digraph::Digraph;
 
 fn bench(c: &mut Criterion) {
+    // Compiled and lowered once; the measured region is evaluation alone.
+    let program = Program::new(srl_core::Dialect::full());
+    let compiled = Arc::new(program.compile());
+    let tc_expr = queries::tc_query();
+    let dtc_expr = queries::dtc_query();
     let mut group = c.benchmark_group("e5_tc_dtc");
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(200));
@@ -19,13 +25,22 @@ fn bench(c: &mut Criterion) {
         let env = Env::new()
             .bind("D", g.vertices_value())
             .bind("E", g.edges_value());
-        let tc_expr = tc::transitive_closure(var("D"), var("E"));
-        let dtc_expr = tc::deterministic_transitive_closure(var("D"), var("E"));
+        let mut ev =
+            Evaluator::with_compiled(&program, Arc::clone(&compiled), EvalLimits::benchmark())
+                .expect("compiled from this program");
+        let tc_lowered = ev.lower(&tc_expr, &env);
+        let dtc_lowered = ev.lower(&dtc_expr, &env);
         group.bench_with_input(BenchmarkId::new("srl_tc", n), &n, |b, _| {
-            b.iter(|| eval_expr(&tc_expr, &env, EvalLimits::benchmark()).unwrap())
+            b.iter(|| {
+                ev.reset_stats();
+                ev.eval_lowered(&tc_lowered, &env).unwrap()
+            })
         });
         group.bench_with_input(BenchmarkId::new("srl_dtc", n), &n, |b, _| {
-            b.iter(|| eval_expr(&dtc_expr, &env, EvalLimits::benchmark()).unwrap())
+            b.iter(|| {
+                ev.reset_stats();
+                ev.eval_lowered(&dtc_lowered, &env).unwrap()
+            })
         });
         group.bench_with_input(BenchmarkId::new("native_warshall", n), &n, |b, _| {
             b.iter(|| g.transitive_closure())

@@ -1,44 +1,72 @@
 //! E6 — Theorem 5.2 / Corollary 5.5: primitive recursion compiled to SRL+new
 //! vs. the PrTerm evaluator; the LRL doubling blow-up.
 
+use std::sync::Arc;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use machines::primrec::library;
-use srl_core::eval::run_program;
+use srl_core::eval::Evaluator;
 use srl_core::limits::EvalLimits;
 use srl_core::value::Value;
 use srl_stdlib::blowup::{lrl_doubling_program, names as blow_names};
-use srl_stdlib::primrec_compile::{compile, eval_compiled};
+use srl_stdlib::primrec_compile::{compile, decode_nat, encode_nat};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_primrec");
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(200));
     group.measurement_time(std::time::Duration::from_millis(600));
+    // Compiled once; the measured region is evaluation alone (`eval_compiled`
+    // would re-lower the compiled-PR program on every call).
     let add = compile(&library::add()).unwrap();
     let mul = compile(&library::mul()).unwrap();
+    let add_compiled = Arc::new(add.program.compile());
+    let mul_compiled = Arc::new(mul.program.compile());
     for n in [4u64, 8, 16] {
+        let mut add_ev = Evaluator::with_compiled(
+            &add.program,
+            Arc::clone(&add_compiled),
+            EvalLimits::benchmark(),
+        )
+        .expect("compiled from this program");
+        let mut mul_ev = Evaluator::with_compiled(
+            &mul.program,
+            Arc::clone(&mul_compiled),
+            EvalLimits::benchmark(),
+        )
+        .expect("compiled from this program");
         group.bench_with_input(BenchmarkId::new("srl_new_add", n), &n, |b, &n| {
-            b.iter(|| eval_compiled(&add, &[n, n / 2], EvalLimits::benchmark()).unwrap())
+            let args = [encode_nat(n), encode_nat(n / 2)];
+            b.iter(|| {
+                add_ev.reset_stats();
+                decode_nat(&add_ev.call(&add.entry, &args).unwrap()).unwrap()
+            })
         });
         group.bench_with_input(BenchmarkId::new("primrec_add", n), &n, |b, &n| {
             b.iter(|| library::add().eval_u64(&[n, n / 2]).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("srl_new_mul", n), &n, |b, &n| {
-            b.iter(|| eval_compiled(&mul, &[n.min(8), 3], EvalLimits::benchmark()).unwrap())
+            let args = [encode_nat(n.min(8)), encode_nat(3)];
+            b.iter(|| {
+                mul_ev.reset_stats();
+                decode_nat(&mul_ev.call(&mul.entry, &args).unwrap()).unwrap()
+            })
         });
     }
     let doubling = lrl_doubling_program();
+    let doubling_compiled = Arc::new(doubling.compile());
     for n in [2u64, 6, 10] {
         let input = Value::list((0..n).map(Value::atom));
+        let mut ev = Evaluator::with_compiled(
+            &doubling,
+            Arc::clone(&doubling_compiled),
+            EvalLimits::benchmark(),
+        )
+        .expect("compiled from this program");
         group.bench_with_input(BenchmarkId::new("lrl_doubling", n), &n, |b, _| {
             b.iter(|| {
-                run_program(
-                    &doubling,
-                    blow_names::DOUBLING,
-                    &[input.clone()],
-                    EvalLimits::benchmark(),
-                )
-                .unwrap()
+                ev.reset_stats();
+                ev.call(blow_names::DOUBLING, &[input.clone()]).unwrap()
             })
         });
     }

@@ -2,15 +2,19 @@
 //! simulation vs. the native runner; measured growth ~ n², far below the
 //! syntactic n⁶ envelope.
 
+use std::sync::Arc;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use machines::tm::library::{even_parity, SYM_A, SYM_B};
-use srl_core::eval::run_program;
+use srl_core::eval::Evaluator;
 use srl_core::limits::EvalLimits;
 use srl_stdlib::tm_sim::{compile, encode_input, names, position_domain};
 
 fn bench(c: &mut Criterion) {
+    // Compiled once; the measured region is evaluation alone.
     let machine = even_parity();
     let program = compile(&machine);
+    let compiled = Arc::new(program.compile());
     let mut group = c.benchmark_group("e7_tm_sim");
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(200));
@@ -18,9 +22,13 @@ fn bench(c: &mut Criterion) {
     for n in [4usize, 8, 16, 32] {
         let input: Vec<u8> = (0..n).map(|i| if i % 3 == 0 { SYM_A } else { SYM_B }).collect();
         let args = [position_domain(n), encode_input(&input)];
+        let mut ev =
+            Evaluator::with_compiled(&program, Arc::clone(&compiled), EvalLimits::benchmark())
+                .expect("compiled from this program");
         group.bench_with_input(BenchmarkId::new("srl_simulate", n), &n, |b, _| {
             b.iter(|| {
-                run_program(&program, names::SIMULATE, &args, EvalLimits::benchmark()).unwrap()
+                ev.reset_stats();
+                ev.call(names::SIMULATE, &args).unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("native_tm", n), &n, |b, _| {

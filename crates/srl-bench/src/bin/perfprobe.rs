@@ -1,16 +1,21 @@
-//! Quick wall-clock probe for E2 (powerset) and E7 (TM simulation) at their
-//! largest report sizes, used to compare pre/post-refactor timings in the
-//! same environment (see `crates/README.md` for the recorded numbers).
+//! Quick wall-clock probe for the reduce-heavy experiments (E2 powerset,
+//! E5 TC/DTC, E9 relational join) and the E7 TM simulation at their largest
+//! report sizes, used to compare pre/post-refactor timings in the same
+//! environment (see `crates/README.md` and `BENCH_2.json` for the recorded
+//! numbers).
 //!
-//! Two numbers per experiment: `run_program` (compile + evaluate, the
-//! convenience path) and `with_compiled` (program lowered once, evaluated
-//! many times — the intended hot path).
+//! For E2 and E7 two numbers are printed: `run_program` (compile + evaluate,
+//! the convenience path) and `with_compiled` (program lowered once, evaluated
+//! many times — the intended hot path). E5 and E9 are expression workloads:
+//! the evaluator is constructed and the expression lowered once, outside the
+//! timer, so only `eval_lowered` is timed.
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use srl_core::eval::{run_program, Evaluator};
 use srl_core::limits::EvalLimits;
+use srl_core::program::{Env, Program};
 use srl_core::value::Value;
 
 fn main() {
@@ -34,9 +39,35 @@ fn main() {
         );
         let compiled = Arc::new(program.compile());
         let t = Instant::now();
-        let mut ev = Evaluator::with_compiled(&program, compiled, EvalLimits::default());
+        let mut ev = Evaluator::with_compiled(&program, compiled, EvalLimits::default())
+            .expect("compiled from this program");
         ev.call(names::POWERSET, &[input]).expect("powerset evaluates");
         println!("E2 powerset n=12 with_compiled: {:?}", t.elapsed());
+    }
+    // E5 TC/DTC at n = 14 (largest report seed size), lowered once.
+    {
+        use workloads::digraph::Digraph;
+        let n = 14usize;
+        let g = Digraph::random(n, 2.0 / n as f64, 23 + n as u64);
+        let env = Env::new()
+            .bind("D", g.vertices_value())
+            .bind("E", g.edges_value());
+        let program = Program::new(srl_core::Dialect::full());
+        let compiled = Arc::new(program.compile());
+        let exprs = [srl_bench::queries::tc_query(), srl_bench::queries::dtc_query()];
+        let mut ev =
+            Evaluator::with_compiled(&program, Arc::clone(&compiled), EvalLimits::benchmark())
+                .expect("compiled from this program");
+        let lowered: Vec<_> = exprs.iter().map(|e| ev.lower(e, &env)).collect();
+        const RUNS: u32 = 5;
+        let t = Instant::now();
+        for _ in 0..RUNS {
+            for l in &lowered {
+                ev.reset_stats();
+                ev.eval_lowered(l, &env).expect("TC/DTC evaluates");
+            }
+        }
+        println!("E5 tc+dtc n=14 eval_lowered ({RUNS} runs): {:?}", t.elapsed());
     }
     // E7 TM simulation at n = 32 (largest report seed size).
     {
@@ -57,12 +88,37 @@ fn main() {
         }
         println!("E7 tm_sim n=32 run_program ({RUNS} runs): {:?}", t.elapsed());
         let compiled = Arc::new(program.compile());
+        let mut ev =
+            Evaluator::with_compiled(&program, Arc::clone(&compiled), EvalLimits::benchmark())
+                .expect("compiled from this program");
         let t = Instant::now();
         for _ in 0..RUNS {
-            let mut ev =
-                Evaluator::with_compiled(&program, Arc::clone(&compiled), EvalLimits::benchmark());
+            ev.reset_stats();
             ev.call(names::ACCEPTS, &args).expect("simulation evaluates");
         }
         println!("E7 tm_sim n=32 with_compiled ({RUNS} runs): {:?}", t.elapsed());
+    }
+    // E9 relational join at n = 64 (largest bench size), lowered once.
+    {
+        use workloads::tables::CompanyDatabase;
+        let n = 64usize;
+        let db = CompanyDatabase::generate(n, (n / 4).max(1), 4, 31 + n as u64);
+        let env = Env::new()
+            .bind("EMP", db.employees_value())
+            .bind("DEPT", db.departments_value());
+        let joined = srl_bench::queries::company_join();
+        let program = Program::new(srl_core::Dialect::full());
+        let compiled = Arc::new(program.compile());
+        let mut ev =
+            Evaluator::with_compiled(&program, Arc::clone(&compiled), EvalLimits::benchmark())
+                .expect("compiled from this program");
+        let lowered = ev.lower(&joined, &env);
+        const RUNS: u32 = 20;
+        let t = Instant::now();
+        for _ in 0..RUNS {
+            ev.reset_stats();
+            ev.eval_lowered(&lowered, &env).expect("join evaluates");
+        }
+        println!("E9 join n=64 eval_lowered ({RUNS} runs): {:?}", t.elapsed());
     }
 }

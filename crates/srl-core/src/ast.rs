@@ -34,7 +34,7 @@ use crate::value::Value;
 /// this shape; only the two parameters may occur free in the body (everything
 /// else must be routed through the `extra` argument — the paper's mechanism
 /// for keeping "all reference local").
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Lambda {
     /// First parameter name (the element / the value of `app`).
     pub x: String,
@@ -68,7 +68,7 @@ impl Lambda {
 }
 
 /// An expression of the set-reduce language.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Expr {
     /// Rule 1: `true` / `false`.
     Bool(bool),

@@ -159,6 +159,16 @@ pub enum EvalError {
     },
     /// `choose`/`rest` was applied to an empty set.
     ChooseFromEmptySet,
+    /// [`Evaluator::with_compiled`](crate::eval::Evaluator::with_compiled)
+    /// was handed a [`CompiledProgram`](crate::lower::CompiledProgram) that is
+    /// not the compiled form of the accompanying program: evaluation would
+    /// silently resolve calls against the wrong definitions.
+    CompiledProgramMismatch {
+        /// Fingerprint of the program the caller supplied.
+        expected: u64,
+        /// Fingerprint recorded in the compiled program.
+        found: u64,
+    },
     /// An operator forbidden by the dialect was reached at run time (only
     /// possible when evaluation is run without a prior check).
     DialectViolation {
@@ -195,6 +205,11 @@ impl fmt::Display for EvalError {
                 write!(f, "a natural number exceeded the width budget of {limit_bits} bits")
             }
             EvalError::ChooseFromEmptySet => write!(f, "choose/rest applied to the empty set"),
+            EvalError::CompiledProgramMismatch { expected, found } => write!(
+                f,
+                "compiled program is not the compiled form of this program \
+                 (program fingerprint {expected:#018x}, compiled fingerprint {found:#018x})"
+            ),
             EvalError::DialectViolation { operator, dialect } => {
                 write!(f, "operator `{operator}` is not allowed in dialect {dialect}")
             }

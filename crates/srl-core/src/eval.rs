@@ -93,29 +93,33 @@ impl Evaluator {
     /// Creates an evaluator over `program` with the given budget, lowering
     /// the program's definitions to the slot-indexed IR.
     pub fn new(program: &Program, limits: EvalLimits) -> Self {
-        Self::with_compiled(program, Arc::new(CompiledProgram::compile(program)), limits)
+        Self::from_compiled(Arc::new(CompiledProgram::compile(program)), limits)
     }
 
     /// Creates an evaluator reusing an already-compiled program (see
     /// [`Program::compile`]). **Contract:** `compiled` must be the compiled
     /// form of `program` — evaluation resolves calls through `compiled`
-    /// alone, so a mismatched pair evaluates the wrong bodies. Debug builds
-    /// assert the pairing (dialect plus every definition name).
+    /// alone, so a mismatched pair would evaluate the wrong bodies. The
+    /// pairing is validated in every build profile by comparing the
+    /// structural fingerprint recorded at compile time (see
+    /// [`crate::lower::program_fingerprint`]); a mismatch is
+    /// [`EvalError::CompiledProgramMismatch`].
     pub fn with_compiled(
         program: &Program,
         compiled: Arc<CompiledProgram>,
         limits: EvalLimits,
-    ) -> Self {
-        debug_assert!(
-            compiled.dialect == program.dialect
-                && compiled.defs().len() == program.defs.len()
-                && compiled
-                    .defs()
-                    .iter()
-                    .zip(&program.defs)
-                    .all(|(c, d)| compiled.symbols().resolve(c.name) == d.name),
-            "with_compiled: `compiled` is not the compiled form of `program`"
-        );
+    ) -> Result<Self, EvalError> {
+        let expected = crate::lower::program_fingerprint(program);
+        let found = compiled.fingerprint();
+        if expected != found {
+            return Err(EvalError::CompiledProgramMismatch { expected, found });
+        }
+        Ok(Self::from_compiled(compiled, limits))
+    }
+
+    /// Builds the evaluator around a compiled program whose provenance is
+    /// already trusted (freshly compiled, or fingerprint-checked).
+    fn from_compiled(compiled: Arc<CompiledProgram>, limits: EvalLimits) -> Self {
         Evaluator {
             compiled,
             core: EvalCore {
@@ -157,16 +161,11 @@ impl Evaluator {
     /// against (slot indices are positional); renamed *values* are fine —
     /// that is the repeated-evaluation use case.
     pub fn eval_lowered(&mut self, lowered: &LoweredExpr, env: &Env) -> Result<Value, EvalError> {
-        self.core.locals.clear();
-        self.core.frame_base = 0;
-        self.core.locals.reserve(128);
-        self.core.locals.extend(env.iter().map(|(_, v)| v.clone()));
-        let result = self
-            .core
-            .eval_in(&self.compiled, lowered.nodes(), lowered.root_node(), 0);
-        // See `call`: drop the frame eagerly so inputs are not pinned.
-        self.core.locals.clear();
-        result
+        let compiled = &self.compiled;
+        self.core
+            .in_root_frame(env.iter().map(|(_, v)| v.clone()), |core| {
+                core.eval_in(compiled, lowered.nodes(), lowered.root_node(), 0)
+            })
     }
 
     /// Calls a named definition on argument values.
@@ -186,23 +185,36 @@ impl Evaluator {
                 ),
             });
         }
-        self.core.locals.clear();
-        self.core.frame_base = 0;
-        self.core.locals.reserve(128);
-        self.core.locals.extend(args.iter().cloned());
-        let nodes = self.compiled.nodes();
-        let result = self
-            .core
-            .eval_in(&self.compiled, nodes, &nodes[def.body.index()], 0);
-        // Release the frame now rather than at the next evaluation: a
-        // long-lived evaluator must not pin the inputs' payloads (stale
-        // references would also force needless copy-on-write later).
-        self.core.locals.clear();
-        result
+        let compiled = &self.compiled;
+        let body = def.body;
+        self.core.in_root_frame(args.iter().cloned(), |core| {
+            let nodes = compiled.nodes();
+            core.eval_in(compiled, nodes, &nodes[body.index()], 0)
+        })
     }
 }
 
 impl EvalCore {
+    /// Installs a fresh root frame holding `inputs`, runs `body`, and drops
+    /// the frame eagerly — shared by [`Evaluator::eval_lowered`] and
+    /// [`Evaluator::call`]. Dropping before returning (not at the next
+    /// evaluation) matters twice over: a long-lived evaluator must not pin
+    /// the inputs' payloads, and stale references would force needless
+    /// copy-on-write later.
+    fn in_root_frame(
+        &mut self,
+        inputs: impl Iterator<Item = Value>,
+        body: impl FnOnce(&mut Self) -> Result<Value, EvalError>,
+    ) -> Result<Value, EvalError> {
+        self.locals.clear();
+        self.frame_base = 0;
+        self.locals.reserve(128);
+        self.locals.extend(inputs);
+        let result = body(self);
+        self.locals.clear();
+        result
+    }
+
     #[inline]
     fn bump_step(&mut self, depth: usize) -> Result<(), EvalError> {
         self.stats.steps += 1;
@@ -299,37 +311,8 @@ impl EvalCore {
                 let v = self.eval_in(compiled, nodes, &nodes[e.index()], depth + 1)?;
                 sel_component(&v, *index)
             }
-            LExpr::Eq(a, b) => {
-                // Peephole: comparing two variables borrows both slots —
-                // no clones. Step/depth accounting matches the two `Local`
-                // child evaluations.
-                if let (LExpr::Local(sa), LExpr::Local(sb)) =
-                    (&nodes[a.index()], &nodes[b.index()])
-                {
-                    self.bump_step(depth + 1)?;
-                    self.bump_step(depth + 1)?;
-                    let va = self.local_ref(*sa)?;
-                    let vb = self.local_ref(*sb)?;
-                    return Ok(Value::Bool(va == vb));
-                }
-                let va = self.eval_in(compiled, nodes, &nodes[a.index()], depth + 1)?;
-                let vb = self.eval_in(compiled, nodes, &nodes[b.index()], depth + 1)?;
-                Ok(Value::Bool(va == vb))
-            }
-            LExpr::Leq(a, b) => {
-                if let (LExpr::Local(sa), LExpr::Local(sb)) =
-                    (&nodes[a.index()], &nodes[b.index()])
-                {
-                    self.bump_step(depth + 1)?;
-                    self.bump_step(depth + 1)?;
-                    let va = self.local_ref(*sa)?;
-                    let vb = self.local_ref(*sb)?;
-                    return Ok(Value::Bool(va <= vb));
-                }
-                let va = self.eval_in(compiled, nodes, &nodes[a.index()], depth + 1)?;
-                let vb = self.eval_in(compiled, nodes, &nodes[b.index()], depth + 1)?;
-                Ok(Value::Bool(va <= vb))
-            }
+            LExpr::Eq(a, b) => self.eval_comparison(compiled, nodes, *a, *b, depth, |x, y| x == y),
+            LExpr::Leq(a, b) => self.eval_comparison(compiled, nodes, *a, *b, depth, |x, y| x <= y),
             LExpr::EmptySet => Ok(Value::empty_set()),
             LExpr::Insert(elem, set) => {
                 let v = self.eval_in(compiled, nodes, &nodes[elem.index()], depth + 1)?;
@@ -577,6 +560,32 @@ impl EvalCore {
                 }
             }
         }
+    }
+
+    /// `Eq`/`Leq` share one code path so the stats byte-identity contract is
+    /// protected by a single implementation. Peephole: comparing two
+    /// variables borrows both slots — no clones — with step/depth accounting
+    /// identical to evaluating the two `Local` children.
+    #[inline]
+    fn eval_comparison(
+        &mut self,
+        compiled: &CompiledProgram,
+        nodes: &[LExpr],
+        a: LId,
+        b: LId,
+        depth: usize,
+        compare: impl Fn(&Value, &Value) -> bool,
+    ) -> Result<Value, EvalError> {
+        if let (LExpr::Local(sa), LExpr::Local(sb)) = (&nodes[a.index()], &nodes[b.index()]) {
+            self.bump_step(depth + 1)?;
+            self.bump_step(depth + 1)?;
+            let va = self.local_ref(*sa)?;
+            let vb = self.local_ref(*sb)?;
+            return Ok(Value::Bool(compare(va, vb)));
+        }
+        let va = self.eval_in(compiled, nodes, &nodes[a.index()], depth + 1)?;
+        let vb = self.eval_in(compiled, nodes, &nodes[b.index()], depth + 1)?;
+        Ok(Value::Bool(compare(&va, &vb)))
     }
 
     fn apply(

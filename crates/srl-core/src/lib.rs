@@ -72,6 +72,7 @@ pub mod intern;
 pub mod limits;
 pub mod lower;
 pub mod program;
+pub mod setrepr;
 pub mod typecheck;
 pub mod types;
 pub mod value;
@@ -82,9 +83,10 @@ pub use dialect::Dialect;
 pub use error::{CheckError, EvalError, SrlError};
 pub use eval::{eval_expr, eval_expr_with_stats, run_program, Evaluator};
 pub use intern::{Symbol, SymbolTable};
-pub use lower::{CompiledDef, CompiledProgram, LExpr, LLambda};
+pub use lower::{program_fingerprint, CompiledDef, CompiledProgram, LExpr, LLambda};
 pub use limits::{EvalLimits, EvalStats};
 pub use program::{Env, FunDef, Param, Program};
 pub use typecheck::{check_and_compile, check_expr, check_program, CheckedProgram, FunSig, TypeChecker};
 pub use types::Type;
+pub use setrepr::SetRepr;
 pub use value::{domain_set, leq_relation, Atom, Value, ValueSet};

@@ -33,6 +33,7 @@
 //! all `EvalStats` are byte-identical to the pre-lowering evaluator.
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 use crate::ast::{Expr, Lambda};
 use crate::bignat::BigNat;
@@ -209,6 +210,76 @@ pub struct CompiledProgram {
     defs: Vec<CompiledDef>,
     symbols: SymbolTable,
     def_index: HashMap<String, u32>,
+    fingerprint: u64,
+}
+
+/// A structural fingerprint of a [`Program`]: dialect, definition names,
+/// parameter names and bodies, hashed with a fixed (process-independent)
+/// FNV-1a hasher. Two programs that fingerprint differently are structurally
+/// different; `Evaluator::with_compiled` uses this to reject a mispaired
+/// program/compiled pair in every build profile, not just under
+/// `debug_assert`.
+pub fn program_fingerprint(program: &Program) -> u64 {
+    // Destructured without `..` on purpose: a new `Dialect` field must show
+    // up here (compile error) rather than be silently excluded from the
+    // mismatch check.
+    let Dialect {
+        name,
+        allow_new,
+        allow_lists,
+        allow_nat,
+        allow_nat_add,
+        allow_nat_mul,
+        max_set_height,
+        bounded_accumulator,
+    } = program.dialect;
+    let mut hasher = Fnv1a::new();
+    name.hash(&mut hasher);
+    (
+        allow_new,
+        allow_lists,
+        allow_nat,
+        allow_nat_add,
+        allow_nat_mul,
+        max_set_height,
+        bounded_accumulator,
+    )
+        .hash(&mut hasher);
+    program.defs.len().hash(&mut hasher);
+    for def in &program.defs {
+        def.name.hash(&mut hasher);
+        def.params.len().hash(&mut hasher);
+        for p in &def.params {
+            p.name.hash(&mut hasher);
+        }
+        def.body.hash(&mut hasher);
+    }
+    hasher.finish()
+}
+
+/// 64-bit FNV-1a. The standard library's `DefaultHasher` is explicitly not
+/// guaranteed stable across Rust versions; fingerprints are only ever
+/// compared in-process, but a fixed algorithm keeps them printable and
+/// reproducible in diagnostics and golden tests.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
 }
 
 impl CompiledProgram {
@@ -248,7 +319,14 @@ impl CompiledProgram {
             defs,
             symbols,
             def_index,
+            fingerprint: program_fingerprint(program),
         }
+    }
+
+    /// The fingerprint of the [`Program`] this was compiled from (see
+    /// [`program_fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// The shared node arena of every compiled definition body.

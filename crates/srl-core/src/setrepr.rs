@@ -1,0 +1,363 @@
+//! `SetRepr` — the sorted-vector backing store of [`Value::Set`].
+//!
+//! The paper's cost model is driven by the set primitives (`choose`, `rest`,
+//! `insert`, `set-reduce`), so the representation behind `Value::Set` is the
+//! system's universal data structure. The original backing store was a
+//! `BTreeSet<Value>`; profiling after the zero-copy refactor showed its node
+//! churn (pointer-chasing iteration, per-node allocation on insert/clone)
+//! dominating reduce-heavy workloads. This module replaces it with a
+//! **sorted `Vec<Value>`**:
+//!
+//! * iteration — what `set-reduce` does for every element — walks contiguous
+//!   memory;
+//! * membership and `insert` are a binary search (plus a tail shift on
+//!   insertion; reduces that rebuild a set meet the common case of inserting
+//!   at the end, which is a pure push);
+//! * `choose` is the first element of the live window, O(1);
+//! * `rest` is a **slice window**: popping the minimum just advances the
+//!   window start, O(1) on a uniquely-owned set, so a full `rest`-chain
+//!   drain is O(n) instead of O(n log n).
+//!
+//! ## Invariants
+//!
+//! `items[start..]` is the live window; it is strictly sorted ascending in
+//! the total [`Value`] order and duplicate-free. Slots before `start` are
+//! dead (overwritten with placeholder booleans by [`SetRepr::pop_first`]) and
+//! are never observed: equality, ordering, hashing, iteration and length all
+//! go through the window. [`Clone`] compacts — it copies only the window —
+//! so an `Arc::make_mut` on a shared, partially-drained set re-bases it for
+//! free.
+//!
+//! Everything observable — the element order, what `choose`/`rest` return,
+//! first-wins deduplication (two values can compare equal while differing in
+//! display, e.g. named vs. unnamed atoms) and therefore every `EvalStats`
+//! counter — matches the `BTreeSet` representation exactly;
+//! `tests/tests/set_backend_differential.rs` pits the two against each other
+//! operation-by-operation.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::value::Value;
+
+/// A finite set of [`Value`]s, stored as a sorted, deduplicated vector.
+///
+/// Iteration order *is* the value order — exactly the order `set-reduce`
+/// scans. See the module docs for the representation invariants.
+pub struct SetRepr {
+    /// Backing store; `items[start..]` is sorted ascending and duplicate-free.
+    items: Vec<Value>,
+    /// Start of the live window (`rest` advances this instead of shifting).
+    start: usize,
+}
+
+impl SetRepr {
+    /// The empty set.
+    pub fn new() -> Self {
+        SetRepr {
+            items: Vec::new(),
+            start: 0,
+        }
+    }
+
+    /// The live elements, ascending. This is the whole observable state.
+    #[inline]
+    pub fn as_slice(&self) -> &[Value] {
+        &self.items[self.start..]
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len() - self.start
+    }
+
+    /// True if the set has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.items.len()
+    }
+
+    /// Iterates the elements in ascending value order.
+    #[inline]
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.as_slice().iter()
+    }
+
+    /// The minimal element — the paper's `choose(S)` — if non-empty.
+    #[inline]
+    pub fn first(&self) -> Option<&Value> {
+        self.as_slice().first()
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, value: &Value) -> bool {
+        self.as_slice().binary_search(value).is_ok()
+    }
+
+    /// Inserts `value`, keeping the set sorted and duplicate-free. Returns
+    /// `true` if the value was new. Like `BTreeSet::insert`, an equal element
+    /// that is already present is **kept** (first-wins: equal values may
+    /// still differ in display, e.g. named vs. unnamed atoms).
+    pub fn insert(&mut self, value: Value) -> bool {
+        match self.as_slice().binary_search(&value) {
+            Ok(_) => false,
+            Err(pos) => {
+                // Shifts only the tail after the insertion point; the common
+                // ascending-rebuild case (pos == len) is a plain push.
+                self.items.insert(self.start + pos, value);
+                true
+            }
+        }
+    }
+
+    /// Removes and returns the minimal element. Amortized O(1): the window
+    /// start advances and the dead slot is overwritten with a placeholder
+    /// (dead slots are never read — see the module docs). Once the dead
+    /// prefix outgrows the live window the backing vector is compacted, so
+    /// a uniquely-owned set driven as a worklist (`insert` interleaved with
+    /// `rest`) stays O(live size), not O(total operations).
+    pub fn pop_first(&mut self) -> Option<Value> {
+        if self.is_empty() {
+            return None;
+        }
+        let value = std::mem::replace(&mut self.items[self.start], Value::Bool(false));
+        self.start += 1;
+        if self.start * 2 > self.items.len() {
+            // At least as many pops since the last compaction as elements
+            // moved here, so the drain amortizes to O(1) per pop.
+            self.items.drain(..self.start);
+            self.start = 0;
+        }
+        Some(value)
+    }
+}
+
+impl Default for SetRepr {
+    fn default() -> Self {
+        SetRepr::new()
+    }
+}
+
+/// Cloning compacts: only the live window is copied, so a shared,
+/// partially-drained set re-bases (start = 0) on copy-on-write.
+impl Clone for SetRepr {
+    fn clone(&self) -> Self {
+        SetRepr {
+            items: self.as_slice().to_vec(),
+            start: 0,
+        }
+    }
+}
+
+/// Builds the set from arbitrary (unsorted, possibly duplicated) values.
+/// Deduplication is first-wins, matching a sequence of `BTreeSet::insert`s:
+/// the stable sort keeps equal values in arrival order and `dedup` keeps the
+/// first of each run.
+impl FromIterator<Value> for SetRepr {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        let mut items: Vec<Value> = iter.into_iter().collect();
+        items.sort();
+        items.dedup();
+        SetRepr { items, start: 0 }
+    }
+}
+
+impl Extend<Value> for SetRepr {
+    fn extend<I: IntoIterator<Item = Value>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a SetRepr {
+    type Item = &'a Value;
+    type IntoIter = std::slice::Iter<'a, Value>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl IntoIterator for SetRepr {
+    type Item = Value;
+    type IntoIter = std::iter::Skip<std::vec::IntoIter<Value>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        // The skipped prefix is dead placeholder slots, not elements.
+        let start = self.start;
+        self.items.into_iter().skip(start)
+    }
+}
+
+impl PartialEq for SetRepr {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for SetRepr {}
+
+impl PartialOrd for SetRepr {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Lexicographic on the ascending element sequence — the same order
+/// `BTreeSet<Value>` exposed, so the total [`Value`] order (and with it every
+/// `choose`/`rest`/`set-reduce` traversal) is unchanged.
+impl Ord for SetRepr {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for SetRepr {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Like the std collections: length, then elements in order.
+        self.len().hash(state);
+        for v in self {
+            v.hash(state);
+        }
+    }
+}
+
+/// Renders like `BTreeSet` did: `{elem, elem, …}`.
+impl fmt::Debug for SetRepr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atoms(ixs: impl IntoIterator<Item = u64>) -> SetRepr {
+        ixs.into_iter().map(Value::atom).collect()
+    }
+
+    #[test]
+    fn from_iter_sorts_and_dedups_first_wins() {
+        let s: SetRepr = [
+            Value::atom(3),
+            Value::named_atom(1, "first"),
+            Value::atom(1),
+            Value::atom(2),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(s.len(), 3);
+        // Equal atoms collapse to the *first* occurrence (the named one).
+        assert_eq!(format!("{:?}", s.first().unwrap()), "first#1");
+    }
+
+    #[test]
+    fn insert_keeps_sorted_and_reports_novelty() {
+        let mut s = SetRepr::new();
+        assert!(s.insert(Value::atom(5)));
+        assert!(s.insert(Value::atom(1)));
+        assert!(s.insert(Value::atom(3)));
+        assert!(!s.insert(Value::atom(3)));
+        let got: Vec<_> = s.iter().cloned().collect();
+        assert_eq!(got, vec![Value::atom(1), Value::atom(3), Value::atom(5)]);
+        assert!(s.contains(&Value::atom(3)));
+        assert!(!s.contains(&Value::atom(4)));
+    }
+
+    #[test]
+    fn insert_keeps_existing_on_duplicate() {
+        let mut s = SetRepr::new();
+        s.insert(Value::named_atom(2, "kept"));
+        assert!(!s.insert(Value::atom(2)));
+        assert_eq!(format!("{:?}", s.first().unwrap()), "kept#2");
+    }
+
+    #[test]
+    fn pop_first_drains_ascending_in_place() {
+        let mut s = atoms([4, 2, 9]);
+        assert_eq!(s.pop_first(), Some(Value::atom(2)));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.first(), Some(&Value::atom(4)));
+        assert_eq!(s.pop_first(), Some(Value::atom(4)));
+        assert_eq!(s.pop_first(), Some(Value::atom(9)));
+        assert_eq!(s.pop_first(), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn window_is_invisible_to_eq_ord_hash_and_clone() {
+        use std::collections::hash_map::DefaultHasher;
+        let mut drained = atoms([1, 2, 3]);
+        drained.pop_first();
+        let fresh = atoms([2, 3]);
+        assert_eq!(drained, fresh);
+        assert_eq!(drained.cmp(&fresh), Ordering::Equal);
+        let hash = |s: &SetRepr| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&drained), hash(&fresh));
+        let compacted = drained.clone();
+        assert_eq!(compacted, fresh);
+        assert_eq!(compacted.start, 0);
+        assert_eq!(compacted.items.len(), 2);
+    }
+
+    #[test]
+    fn insert_into_drained_window_lands_in_window() {
+        let mut s = atoms([1, 5, 9]);
+        s.pop_first();
+        assert!(s.insert(Value::atom(3)));
+        let got: Vec<_> = s.iter().cloned().collect();
+        assert_eq!(got, vec![Value::atom(3), Value::atom(5), Value::atom(9)]);
+        // Re-inserting the popped minimum is a fresh element again.
+        assert!(s.insert(Value::atom(1)));
+        assert_eq!(s.first(), Some(&Value::atom(1)));
+    }
+
+    #[test]
+    fn interleaved_pop_and_insert_keeps_backing_storage_bounded() {
+        // The worklist pattern `S = insert(x, rest(S))`, iterated: without
+        // amortized compaction the dead prefix would grow by one slot per
+        // round on a uniquely-owned set.
+        let mut s = atoms(0u64..8);
+        for round in 0..10_000u64 {
+            let popped = s.pop_first().expect("non-empty");
+            assert_eq!(popped, Value::atom(round), "FIFO over ranks");
+            s.insert(Value::atom(round + 8));
+            assert_eq!(s.len(), 8, "round {round}");
+        }
+        assert!(
+            s.items.len() <= 2 * s.len(),
+            "backing storage grew unboundedly: {} slots for {} live elements",
+            s.items.len(),
+            s.len()
+        );
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_on_elements() {
+        assert!(atoms([1]) < atoms([2]));
+        assert!(atoms([1, 2]) < atoms([1, 3]));
+        assert!(atoms([1]) < atoms([1, 2]), "a strict prefix sorts first");
+        assert!(atoms([0, 1]) < atoms([1]), "smaller minimum sorts first");
+        assert_eq!(atoms([]).cmp(&atoms([])), Ordering::Equal);
+    }
+
+    #[test]
+    fn owned_iteration_skips_dead_slots() {
+        let mut s = atoms([7, 3, 5]);
+        s.pop_first();
+        let got: Vec<_> = s.into_iter().collect();
+        assert_eq!(got, vec![Value::atom(5), Value::atom(7)]);
+    }
+
+    #[test]
+    fn debug_renders_as_a_set() {
+        assert_eq!(format!("{:?}", atoms([2, 1])), "{d1, d2}");
+    }
+}

@@ -12,7 +12,7 @@
 //!
 //! Collection values (`Set`, `Tuple`, `List`) hold their payload behind an
 //! [`Arc`], so `Value::clone()` is **O(1)**: it bumps a reference count
-//! instead of deep-copying a `BTreeSet`/`Vec`. This matters because the
+//! instead of deep-copying a set/`Vec`. This matters because the
 //! evaluator's semantics equations are clone-heavy by construction —
 //! `set-reduce` hands a clone of each element and of the `extra` value to
 //! every iteration, and `rest(S)` produces "`S` without its minimum", which
@@ -27,12 +27,12 @@
 //! values compare equal whether or not they share storage.
 
 use std::cmp::Ordering;
-use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 
 
 use crate::bignat::BigNat;
+use crate::setrepr::SetRepr;
 
 /// An element of the (finite, ordered) base domain `D = {0, …, n-1}`.
 ///
@@ -107,9 +107,9 @@ impl fmt::Display for Atom {
 
 /// A finite, ordered set of values.
 ///
-/// The representation is a `BTreeSet`, so iteration order *is* the value
-/// order — exactly the order `set-reduce` scans.
-pub type ValueSet = BTreeSet<Value>;
+/// The representation is a sorted vector ([`SetRepr`]); iteration order *is*
+/// the value order — exactly the order `set-reduce` scans.
+pub type ValueSet = SetRepr;
 
 /// A runtime value of the set-reduce language.
 ///
@@ -174,7 +174,7 @@ impl Value {
 
     /// The empty set.
     pub fn empty_set() -> Self {
-        Value::Set(Arc::new(BTreeSet::new()))
+        Value::Set(Arc::new(ValueSet::new()))
     }
 
     /// The empty list.
@@ -232,7 +232,7 @@ impl Value {
 
     /// The paper's `choose(S)`: the minimal element of a non-empty set.
     pub fn choose(&self) -> Option<&Value> {
-        self.as_set().and_then(|s| s.iter().next())
+        self.as_set().and_then(ValueSet::first)
     }
 
     /// Cardinality for sets / length for lists and tuples; `None` otherwise.
@@ -401,7 +401,7 @@ pub fn domain_set(n: u64) -> Value {
 /// the explicit representation of the ordering the paper mentions in
 /// Section 4 ("we can assume it is available to us as a set of pairs").
 pub fn leq_relation(n: u64) -> Value {
-    let mut pairs = BTreeSet::new();
+    let mut pairs = ValueSet::new();
     for a in 0..n {
         for b in a..n {
             pairs.insert(Value::tuple([Value::atom(a), Value::atom(b)]));

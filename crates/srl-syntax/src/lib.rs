@@ -16,5 +16,7 @@
 pub mod compiled;
 pub mod printer;
 
-pub use compiled::{print_compiled_def, print_compiled_expr, print_compiled_program};
+pub use compiled::{
+    print_compiled_def, print_compiled_expr, print_compiled_program, print_lowered_expr,
+};
 pub use printer::{print_expr, print_lambda, print_program};
