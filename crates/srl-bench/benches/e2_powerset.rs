@@ -28,6 +28,17 @@ fn bench(c: &mut Criterion) {
                 ev.call(names::POWERSET, &[input.clone()]).unwrap()
             })
         });
+        // Backend axis: the same compiled program on the bytecode VM.
+        let mut vm =
+            Evaluator::with_compiled(&program, Arc::clone(&compiled), EvalLimits::benchmark())
+                .expect("compiled from this program")
+                .with_backend(srl_core::ExecBackend::Vm);
+        group.bench_with_input(BenchmarkId::new("srl_powerset_vm", n), &n, |b, _| {
+            b.iter(|| {
+                vm.reset_stats();
+                vm.call(names::POWERSET, &[input.clone()]).unwrap()
+            })
+        });
         group.bench_with_input(BenchmarkId::new("native_powerset", n), &n, |b, _| {
             b.iter(|| {
                 let items: Vec<u64> = (0..n).collect();

@@ -20,7 +20,14 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(std::time::Duration::from_millis(200));
     group.measurement_time(std::time::Duration::from_millis(600));
-    for n in [6usize, 10, 14] {
+    // `SRL_BENCH_SMOKE=1` trims the size sweep so CI's bench smoke finishes
+    // quickly (the n = 14 tree-walk closure alone runs for seconds).
+    let sizes: &[usize] = if std::env::var_os("SRL_BENCH_SMOKE").is_some() {
+        &[6, 10]
+    } else {
+        &[6, 10, 14]
+    };
+    for &n in sizes {
         let g = Digraph::random(n, 2.0 / n as f64, 23 + n as u64);
         let env = Env::new()
             .bind("D", g.vertices_value())
@@ -40,6 +47,23 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 ev.reset_stats();
                 ev.eval_lowered(&dtc_lowered, &env).unwrap()
+            })
+        });
+        // Backend axis: the same lowered expressions on the bytecode VM.
+        let mut vm =
+            Evaluator::with_compiled(&program, Arc::clone(&compiled), EvalLimits::benchmark())
+                .expect("compiled from this program")
+                .with_backend(srl_core::ExecBackend::Vm);
+        group.bench_with_input(BenchmarkId::new("srl_tc_vm", n), &n, |b, _| {
+            b.iter(|| {
+                vm.reset_stats();
+                vm.eval_lowered(&tc_lowered, &env).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("srl_dtc_vm", n), &n, |b, _| {
+            b.iter(|| {
+                vm.reset_stats();
+                vm.eval_lowered(&dtc_lowered, &env).unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("native_warshall", n), &n, |b, _| {

@@ -31,6 +31,17 @@ fn bench(c: &mut Criterion) {
                 ev.call(names::SIMULATE, &args).unwrap()
             })
         });
+        // Backend axis: the same compiled program on the bytecode VM.
+        let mut vm =
+            Evaluator::with_compiled(&program, Arc::clone(&compiled), EvalLimits::benchmark())
+                .expect("compiled from this program")
+                .with_backend(srl_core::ExecBackend::Vm);
+        group.bench_with_input(BenchmarkId::new("srl_simulate_vm", n), &n, |b, _| {
+            b.iter(|| {
+                vm.reset_stats();
+                vm.call(names::SIMULATE, &args).unwrap()
+            })
+        });
         group.bench_with_input(BenchmarkId::new("native_tm", n), &n, |b, _| {
             b.iter(|| machine.run(&input, 10_000, false))
         });

@@ -43,6 +43,23 @@ fn bench(c: &mut Criterion) {
                 ev.eval_lowered(&selection_lowered, &env).unwrap()
             })
         });
+        // Backend axis: the same lowered expressions on the bytecode VM.
+        let mut vm =
+            Evaluator::with_compiled(&program, Arc::clone(&compiled), EvalLimits::benchmark())
+                .expect("compiled from this program")
+                .with_backend(srl_core::ExecBackend::Vm);
+        group.bench_with_input(BenchmarkId::new("srl_join_vm", n), &n, |b, _| {
+            b.iter(|| {
+                vm.reset_stats();
+                vm.eval_lowered(&joined_lowered, &env).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("srl_select_project_vm", n), &n, |b, _| {
+            b.iter(|| {
+                vm.reset_stats();
+                vm.eval_lowered(&selection_lowered, &env).unwrap()
+            })
+        });
         group.bench_with_input(BenchmarkId::new("native_join", n), &n, |b, _| {
             b.iter(|| db.employee_manager_join())
         });

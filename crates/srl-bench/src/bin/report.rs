@@ -1,11 +1,26 @@
 //! Prints the experiment tables (E1–E9) recorded in `EXPERIMENTS.md`.
 //!
-//! Usage: `cargo run -p srl-bench --release --bin report [--json]`
+//! Usage: `cargo run -p srl-bench --release --bin report [--json] [--backend vm|tree]`
+//!
+//! The semantic rows are backend-invariant: the bytecode VM produces
+//! byte-identical `EvalStats` to the tree-walk, so `--backend vm` must print
+//! exactly the same report (CI diffs both against `BENCH_1.json`).
 
 use srl_bench::*;
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let args: Vec<String> = std::env::args().collect();
+    let json = args.iter().any(|a| a == "--json");
+    if let Some(i) = args.iter().position(|a| a == "--backend") {
+        match args.get(i + 1).map(String::as_str) {
+            Some("vm") => set_backend(srl_core::ExecBackend::Vm),
+            Some("tree") | Some("tree-walk") => set_backend(srl_core::ExecBackend::TreeWalk),
+            other => {
+                eprintln!("unknown --backend {other:?} (expected vm|tree)");
+                std::process::exit(2);
+            }
+        }
+    }
     let mut all = Vec::new();
     all.extend(experiment_e1(&[4, 6, 8]));
     all.extend(experiment_e2(&[2, 4, 8, 12]));

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
 use srl_core::ast::Expr;
@@ -27,6 +28,33 @@ use srl_core::limits::{EvalLimits, EvalStats};
 use srl_core::lower::{CompiledProgram, LoweredExpr};
 use srl_core::program::{Env, Program};
 use srl_core::value::Value;
+use srl_core::ExecBackend;
+
+/// The execution backend every experiment harness uses (the benchmark's
+/// **backend axis**). Tree-walk by default; `report --backend vm` flips it.
+/// The semantic rows are backend-invariant — both engines produce
+/// byte-identical `EvalStats` — so `report --json` must diff clean against
+/// the pinned trajectory point under either setting (CI checks both).
+static BACKEND: AtomicU8 = AtomicU8::new(0);
+
+/// Selects the execution backend for subsequently-constructed harnesses.
+pub fn set_backend(backend: ExecBackend) {
+    BACKEND.store(
+        match backend {
+            ExecBackend::TreeWalk => 0,
+            ExecBackend::Vm => 1,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The currently selected harness backend.
+pub fn backend() -> ExecBackend {
+    match BACKEND.load(Ordering::Relaxed) {
+        0 => ExecBackend::TreeWalk,
+        _ => ExecBackend::Vm,
+    }
+}
 
 /// A program compiled and validated once per experiment, with one long-lived
 /// [`Evaluator`] shared by every measured run.
@@ -34,7 +62,8 @@ use srl_core::value::Value;
 /// Statistics are reset before each run (so they cover exactly one
 /// evaluation, as `run_program` reported them), but nothing is re-lowered,
 /// re-validated or re-fingerprinted per measurement — the construction cost
-/// is paid exactly once.
+/// is paid exactly once. The evaluator runs on the module-level backend
+/// (see [`set_backend`]).
 struct Harness {
     compiled: Arc<CompiledProgram>,
     evaluator: Evaluator,
@@ -44,7 +73,8 @@ impl Harness {
     fn new(program: Program, limits: EvalLimits) -> Self {
         let compiled = Arc::new(program.compile());
         let evaluator = Evaluator::with_compiled(&program, Arc::clone(&compiled), limits)
-            .expect("compiled from this program");
+            .expect("compiled from this program")
+            .with_backend(backend());
         Harness {
             compiled,
             evaluator,

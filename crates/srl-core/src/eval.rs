@@ -61,32 +61,67 @@ use crate::value::Value;
 /// Cap used when measuring accumulator sizes: accumulators larger than this
 /// are recorded as "at least the cap", which is all the logspace experiments
 /// need to know, and keeps measurement from dominating evaluation time.
-const ACCUMULATOR_WEIGHT_CAP: usize = 4_096;
+pub(crate) const ACCUMULATOR_WEIGHT_CAP: usize = 4_096;
+
+/// Which execution engine an [`Evaluator`] runs.
+///
+/// Both backends execute the same compiled form ([`CompiledProgram`]) under
+/// the same [`EvalLimits`] budget and produce **byte-identical results and
+/// [`EvalStats`]** on every successful evaluation — the statistics carry the
+/// paper's cost model, so they are part of the semantics, not a tuning knob
+/// (`tests/tests/vm_differential.rs` pins this across the benchmark suite).
+/// On error paths the error kind matches while partial counters may differ
+/// by instruction reordering — with one caveat: a program that would cross
+/// the step **and** depth budget inside the same fused batch may report
+/// either limit error depending on the backend (see
+/// [`EvalCore::bump_batch`]'s ordering note); which limits are exceeded is
+/// still identical, as are all values and statistics whenever evaluation
+/// succeeds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecBackend {
+    /// The recursive tree-walk over the lowered arena (this module).
+    #[default]
+    TreeWalk,
+    /// The register bytecode VM ([`crate::vm`]) with superinstruction
+    /// fusion ([`crate::bytecode`]); chunks are generated lazily, once per
+    /// compiled program / lowered expression.
+    Vm,
+}
 
 /// A resource-bounded evaluator for a single [`Program`].
 ///
 /// Construction lowers the program to the slot-indexed IR once; evaluation
 /// then never touches names or clones definition bodies — the evaluator
 /// runs entirely off the compiled form, which can be shared between
-/// evaluators via [`Evaluator::with_compiled`].
+/// evaluators via [`Evaluator::with_compiled`]. The execution engine is
+/// selected by [`ExecBackend`] (tree-walk by default; see
+/// [`Evaluator::with_backend`]).
 pub struct Evaluator {
     compiled: Arc<CompiledProgram>,
     core: EvalCore,
+    backend: ExecBackend,
 }
 
 /// The mutable evaluation state, split from the compiled program so that the
 /// interpreter loop can borrow a definition body (`&CompiledProgram`) and the
 /// state (`&mut EvalCore`) simultaneously — calls are pure borrows, with no
-/// per-call clone or reference-count traffic.
-struct EvalCore {
-    limits: EvalLimits,
-    stats: EvalStats,
-    allocated_leaves: usize,
+/// per-call clone or reference-count traffic. Shared by both backends: the
+/// bytecode VM uses `locals` as its register file (frames are slot registers
+/// plus temporaries) and charges through the same accounting methods, which
+/// is what keeps the two engines' statistics byte-identical.
+pub(crate) struct EvalCore {
+    pub(crate) limits: EvalLimits,
+    pub(crate) stats: EvalStats,
+    pub(crate) allocated_leaves: usize,
     /// The value stack: one slot per live binding (definition parameters,
-    /// `let`s, lambda parameters), pushed in binding order.
-    locals: Vec<Value>,
+    /// `let`s, lambda parameters), pushed in binding order. The VM widens
+    /// each frame with its statically-sized temporary registers.
+    pub(crate) locals: Vec<Value>,
     /// Start of the current call frame within `locals`.
-    frame_base: usize,
+    pub(crate) frame_base: usize,
+    /// Scratch used by the VM's fused monotone folds: spine inserts report
+    /// the weights of novel elements here (see `bytecode::ReduceKind`).
+    pub(crate) spine_delta: usize,
 }
 
 impl Evaluator {
@@ -128,8 +163,29 @@ impl Evaluator {
                 allocated_leaves: 0,
                 locals: Vec::new(),
                 frame_base: 0,
+                spine_delta: 0,
             },
+            backend: ExecBackend::default(),
         }
+    }
+
+    /// Selects the execution backend (builder form). Both backends honour
+    /// the same limits and produce byte-identical results and statistics;
+    /// the VM generates its bytecode lazily on first use and reuses it for
+    /// the life of the shared [`CompiledProgram`] / [`LoweredExpr`].
+    pub fn with_backend(mut self, backend: ExecBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Selects the execution backend in place.
+    pub fn set_backend(&mut self, backend: ExecBackend) {
+        self.backend = backend;
+    }
+
+    /// The currently selected execution backend.
+    pub fn backend(&self) -> ExecBackend {
+        self.backend
     }
 
     /// Statistics accumulated so far.
@@ -144,36 +200,78 @@ impl Evaluator {
     }
 
     /// Evaluates an expression whose free variables are bound by `env`.
+    ///
+    /// This is the convenience one-shot path: it lowers `expr` against
+    /// `env`'s names and evaluates immediately, so the scope/environment
+    /// pairing cannot drift. For repeated evaluation, lower once with
+    /// [`Evaluator::lower`] and call [`Evaluator::eval_lowered`].
     pub fn eval(&mut self, expr: &Expr, env: &Env) -> Result<Value, EvalError> {
         let lowered = self.lower(expr, env);
         self.eval_lowered(&lowered, env)
     }
 
-    /// Lowers `expr` against the names of `env` for repeated evaluation via
-    /// [`Evaluator::eval_lowered`] — the lower-once / evaluate-many path.
+    /// Lowers `expr` against the **names** of `env` for repeated evaluation
+    /// via [`Evaluator::eval_lowered`] — the lower-once / evaluate-many
+    /// path.
+    ///
+    /// Lowering is *scope*-dependent, not value-dependent: the environment's
+    /// names (in binding order) become frame slots, so every free name of
+    /// `expr` resolves **at lowering time** — a name missing from the scope
+    /// becomes a poison node that errors if evaluated, never a late lookup.
+    /// The resulting [`LoweredExpr`] records the scope it was lowered
+    /// against; [`Evaluator::eval_lowered`] asserts (in debug builds) that
+    /// the environment it is given binds those names in that order. Rebound
+    /// *values* are fine — that is the repeated-evaluation use case.
     pub fn lower(&self, expr: &Expr, env: &Env) -> LoweredExpr {
         let scope: Vec<&str> = env.iter().map(|(n, _)| n).collect();
         self.compiled.lower_expr(expr, &scope)
     }
 
-    /// Evaluates an already-lowered expression. `env` must bind the same
-    /// names, in the same order, as the environment `lowered` was lowered
-    /// against (slot indices are positional); renamed *values* are fine —
-    /// that is the repeated-evaluation use case.
+    /// Evaluates an already-lowered expression. **Contract:** `env` must
+    /// bind the same names, in the same order, as the scope `lowered` was
+    /// lowered against (slot indices are positional) — checked by a
+    /// `debug_assert` against the recorded scope. Renamed *values* are fine.
     pub fn eval_lowered(&mut self, lowered: &LoweredExpr, env: &Env) -> Result<Value, EvalError> {
+        debug_assert!(
+            lowered.scope_names().len() == env.len()
+                && lowered
+                    .scope_names()
+                    .iter()
+                    .zip(env.iter())
+                    .all(|(scope_name, (env_name, _))| scope_name == env_name),
+            "eval_lowered: environment binds {:?} but the expression was lowered against {:?} — \
+             free names resolve at lowering time, so the frames must agree positionally",
+            env.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+            lowered.scope_names(),
+        );
         let compiled = &self.compiled;
-        self.core
-            .in_root_frame(env.iter().map(|(_, v)| v.clone()), |core| {
-                core.eval_in(compiled, lowered.nodes(), lowered.root_node(), 0)
-            })
+        match self.backend {
+            ExecBackend::TreeWalk => self
+                .core
+                .in_root_frame(env.iter().map(|(_, v)| v.clone()), |core| {
+                    core.eval_in(compiled, lowered.nodes(), lowered.root_node(), 0)
+                }),
+            ExecBackend::Vm => {
+                let ctx = crate::vm::VmCtx {
+                    program: compiled,
+                    pchunk: compiled.code(),
+                };
+                let chunk = lowered.code(compiled);
+                self.core
+                    .in_root_frame(env.iter().map(|(_, v)| v.clone()), |core| {
+                        crate::vm::run_expr(core, &ctx, chunk)
+                    })
+            }
+        }
     }
 
     /// Calls a named definition on argument values.
     pub fn call(&mut self, name: &str, args: &[Value]) -> Result<Value, EvalError> {
-        let def = self
+        let def_id = self
             .compiled
-            .def_by_name(name)
+            .def_id(name)
             .ok_or_else(|| EvalError::UnknownFunction(name.to_string()))?;
+        let def = &self.compiled.defs()[def_id as usize];
         if def.params.len() != args.len() {
             return Err(EvalError::Shape {
                 operator: "call",
@@ -186,11 +284,24 @@ impl Evaluator {
             });
         }
         let compiled = &self.compiled;
-        let body = def.body;
-        self.core.in_root_frame(args.iter().cloned(), |core| {
-            let nodes = compiled.nodes();
-            core.eval_in(compiled, nodes, &nodes[body.index()], 0)
-        })
+        match self.backend {
+            ExecBackend::TreeWalk => {
+                let body = def.body;
+                self.core.in_root_frame(args.iter().cloned(), |core| {
+                    let nodes = compiled.nodes();
+                    core.eval_in(compiled, nodes, &nodes[body.index()], 0)
+                })
+            }
+            ExecBackend::Vm => {
+                let ctx = crate::vm::VmCtx {
+                    program: compiled,
+                    pchunk: compiled.code(),
+                };
+                self.core.in_root_frame(args.iter().cloned(), |core| {
+                    crate::vm::run_def(core, &ctx, def_id)
+                })
+            }
+        }
     }
 }
 
@@ -216,7 +327,7 @@ impl EvalCore {
     }
 
     #[inline]
-    fn bump_step(&mut self, depth: usize) -> Result<(), EvalError> {
+    pub(crate) fn bump_step(&mut self, depth: usize) -> Result<(), EvalError> {
         self.stats.steps += 1;
         if self.stats.steps > self.limits.max_steps {
             return Err(EvalError::StepLimitExceeded {
@@ -232,8 +343,34 @@ impl EvalCore {
         Ok(())
     }
 
+    /// Charges `count` steps whose deepest visit is `max_depth` in one
+    /// batch — the VM's fused folds use this for step sequences whose
+    /// counts are value-independent. Sound because both budgets are
+    /// monotone: the batch total crosses the step limit iff some single
+    /// bump inside it would have, and some visit exceeds the depth limit
+    /// iff the deepest one does. (When a batch would trip *both* limits,
+    /// the step error wins; the tree-walk reports whichever its
+    /// interleaving reached first — error kinds on such double-limit
+    /// programs may differ, values and success-path statistics cannot.)
     #[inline]
-    fn charge_allocation(&mut self, leaves: usize) -> Result<(), EvalError> {
+    pub(crate) fn bump_batch(&mut self, count: u64, max_depth: usize) -> Result<(), EvalError> {
+        self.stats.steps += count;
+        if self.stats.steps > self.limits.max_steps {
+            return Err(EvalError::StepLimitExceeded {
+                limit: self.limits.max_steps,
+            });
+        }
+        if max_depth > self.limits.max_depth {
+            return Err(EvalError::DepthLimitExceeded {
+                limit: self.limits.max_depth,
+            });
+        }
+        self.stats.max_depth = self.stats.max_depth.max(max_depth);
+        Ok(())
+    }
+
+    #[inline]
+    pub(crate) fn charge_allocation(&mut self, leaves: usize) -> Result<(), EvalError> {
         self.allocated_leaves = self.allocated_leaves.saturating_add(leaves);
         self.stats.max_value_weight = self.stats.max_value_weight.max(self.allocated_leaves);
         if self.allocated_leaves > self.limits.max_value_weight {
@@ -242,6 +379,88 @@ impl EvalCore {
             });
         }
         Ok(())
+    }
+
+    /// Records an accumulator weight observation (the per-iteration update
+    /// of `max_accumulator_weight`).
+    #[inline]
+    pub(crate) fn note_accumulator_weight(&mut self, w: usize) {
+        self.stats.max_accumulator_weight = self.stats.max_accumulator_weight.max(w);
+    }
+
+    /// Borrows a VM register of the current frame.
+    #[inline]
+    pub(crate) fn reg(&self, r: u16) -> &Value {
+        &self.locals[self.frame_base + r as usize]
+    }
+
+    /// Moves a VM register's value out, leaving a placeholder.
+    #[inline]
+    pub(crate) fn take_reg(&mut self, r: u16) -> Value {
+        let index = self.frame_base + r as usize;
+        std::mem::replace(&mut self.locals[index], Value::Bool(false))
+    }
+
+    /// Writes a VM register.
+    #[inline]
+    pub(crate) fn set_reg(&mut self, r: u16, v: Value) {
+        let index = self.frame_base + r as usize;
+        self.locals[index] = v;
+    }
+
+    /// Drops the values left in a reduce's lambda-parameter slots after the
+    /// loop (the tree-walk pops them per application; a long-lived frame
+    /// must not pin the last element's payload).
+    #[inline]
+    pub(crate) fn clear_lambda_slots(&mut self, x: u16) {
+        self.set_reg(x, Value::Bool(false));
+        self.set_reg(x + 1, Value::Bool(false));
+    }
+
+    /// `insert(elem, set)` with the paper's accounting — shape check first
+    /// (like the tree-walk's match), then one insert counted and the
+    /// element's weight charged, then the copy-on-write insert. Returns the
+    /// grown set plus whether the element was novel and its weight (the
+    /// VM's monotone folds consume those). Shared by both backends so the
+    /// shape error, the stats order and the COW discipline cannot diverge.
+    pub(crate) fn insert_value(
+        &mut self,
+        elem: Value,
+        set: Value,
+    ) -> Result<(Value, bool, usize), EvalError> {
+        match set {
+            Value::Set(mut items) => {
+                self.stats.inserts += 1;
+                let weight = elem.weight();
+                self.charge_allocation(weight)?;
+                // Copy-on-write: in place when uniquely owned.
+                let novel = Arc::make_mut(&mut items).insert(elem);
+                Ok((Value::Set(items), novel, weight))
+            }
+            other => Err(EvalError::Shape {
+                operator: "insert",
+                expected: "a set as second argument",
+                found: other.to_string(),
+            }),
+        }
+    }
+
+    /// `cons(elem, list)` with the paper's accounting; shared by both
+    /// backends like [`EvalCore::insert_value`].
+    pub(crate) fn cons_value(&mut self, elem: Value, list: Value) -> Result<Value, EvalError> {
+        match list {
+            Value::List(mut items) => {
+                self.stats.inserts += 1;
+                self.charge_allocation(elem.weight())?;
+                Arc::make_mut(&mut items).insert(0, elem);
+                Ok(Value::List(items))
+            }
+            other => Err(EvalError::Shape {
+                operator: "cons",
+                expected: "a list as second argument",
+                found: other.to_string(),
+            }),
+        }
     }
 
 
@@ -317,20 +536,8 @@ impl EvalCore {
             LExpr::Insert(elem, set) => {
                 let v = self.eval_in(compiled, nodes, &nodes[elem.index()], depth + 1)?;
                 let s = self.eval_in(compiled, nodes, &nodes[set.index()], depth + 1)?;
-                match s {
-                    Value::Set(mut items) => {
-                        self.stats.inserts += 1;
-                        self.charge_allocation(v.weight())?;
-                        // Copy-on-write: in place when uniquely owned.
-                        Arc::make_mut(&mut items).insert(v);
-                        Ok(Value::Set(items))
-                    }
-                    other => Err(EvalError::Shape {
-                        operator: "insert",
-                        expected: "a set as second argument",
-                        found: other.to_string(),
-                    }),
-                }
+                let (grown, _, _) = self.insert_value(v, s)?;
+                Ok(grown)
             }
             LExpr::Choose(e) => {
                 // Peephole: `choose(x)` on a variable borrows the slot and
@@ -344,22 +551,7 @@ impl EvalCore {
             }
             LExpr::Rest(e) => {
                 let s = self.eval_in(compiled, nodes, &nodes[e.index()], depth + 1)?;
-                match s {
-                    Value::Set(mut items) => {
-                        if items.is_empty() {
-                            return Err(EvalError::ChooseFromEmptySet);
-                        }
-                        // One traversal pops the minimum; no second lookup,
-                        // and no rebuild when the set is uniquely owned.
-                        Arc::make_mut(&mut items).pop_first();
-                        Ok(Value::Set(items))
-                    }
-                    other => Err(EvalError::Shape {
-                        operator: "rest",
-                        expected: "a set",
-                        found: other.to_string(),
-                    }),
-                }
+                rest_value(s)
             }
             LExpr::SetReduce {
                 set,
@@ -508,56 +700,17 @@ impl EvalCore {
                 require_dialect(&compiled.dialect, compiled.dialect.allow_lists, "cons")?;
                 let v = self.eval_in(compiled, nodes, &nodes[elem.index()], depth + 1)?;
                 let l = self.eval_in(compiled, nodes, &nodes[list.index()], depth + 1)?;
-                match l {
-                    Value::List(mut items) => {
-                        self.stats.inserts += 1;
-                        self.charge_allocation(v.weight())?;
-                        Arc::make_mut(&mut items).insert(0, v);
-                        Ok(Value::List(items))
-                    }
-                    other => Err(EvalError::Shape {
-                        operator: "cons",
-                        expected: "a list as second argument",
-                        found: other.to_string(),
-                    }),
-                }
+                self.cons_value(v, l)
             }
             LExpr::Head(e) => {
                 require_dialect(&compiled.dialect, compiled.dialect.allow_lists, "head")?;
                 let l = self.eval_in(compiled, nodes, &nodes[e.index()], depth + 1)?;
-                match l {
-                    Value::List(items) => {
-                        items.first().cloned().ok_or(EvalError::ChooseFromEmptySet)
-                    }
-                    other => Err(EvalError::Shape {
-                        operator: "head",
-                        expected: "a list",
-                        found: other.to_string(),
-                    }),
-                }
+                head_value(l)
             }
             LExpr::Tail(e) => {
                 require_dialect(&compiled.dialect, compiled.dialect.allow_lists, "tail")?;
                 let l = self.eval_in(compiled, nodes, &nodes[e.index()], depth + 1)?;
-                match l {
-                    Value::List(mut items) => {
-                        if items.is_empty() {
-                            Err(EvalError::ChooseFromEmptySet)
-                        } else if let Some(unique) = Arc::get_mut(&mut items) {
-                            unique.remove(0);
-                            Ok(Value::List(items))
-                        } else {
-                            // Shared payload: build the tail in one pass
-                            // instead of make_mut's full copy + shift.
-                            Ok(Value::List(Arc::new(items[1..].to_vec())))
-                        }
-                    }
-                    other => Err(EvalError::Shape {
-                        operator: "tail",
-                        expected: "a list",
-                        found: other.to_string(),
-                    }),
-                }
+                tail_value(l)
             }
         }
     }
@@ -623,7 +776,7 @@ impl EvalCore {
         }
     }
 
-    fn check_nat_width(&self, bits: usize) -> Result<(), EvalError> {
+    pub(crate) fn check_nat_width(&self, bits: usize) -> Result<(), EvalError> {
         if bits > self.limits.max_nat_bits {
             Err(EvalError::NatWidthExceeded {
                 limit_bits: self.limits.max_nat_bits,
@@ -635,7 +788,7 @@ impl EvalCore {
 }
 
 /// Rejects `operator` when the dialect does not allow it.
-fn require_dialect(dialect: &Dialect, allowed: bool, operator: &str) -> Result<(), EvalError> {
+pub(crate) fn require_dialect(dialect: &Dialect, allowed: bool, operator: &str) -> Result<(), EvalError> {
     if allowed {
         Ok(())
     } else {
@@ -646,9 +799,9 @@ fn require_dialect(dialect: &Dialect, allowed: bool, operator: &str) -> Result<(
     }
 }
 
-/// `sel_i(v)`: the i-th tuple component (1-based), shared by the general
-/// evaluation path and the Local-slot peephole so the two cannot diverge.
-fn sel_component(v: &Value, index: usize) -> Result<Value, EvalError> {
+/// `sel_i(v)` borrowing the component: shared by the tree-walk, the
+/// Local-slot peephole and the VM's fused operands, so none can diverge.
+pub(crate) fn sel_component_ref(v: &Value, index: usize) -> Result<&Value, EvalError> {
     match v {
         Value::Tuple(items) => {
             if index == 0 || index > items.len() {
@@ -657,7 +810,7 @@ fn sel_component(v: &Value, index: usize) -> Result<Value, EvalError> {
                     arity: items.len(),
                 })
             } else {
-                Ok(items[index - 1].clone())
+                Ok(&items[index - 1])
             }
         }
         other => Err(EvalError::Shape {
@@ -668,9 +821,68 @@ fn sel_component(v: &Value, index: usize) -> Result<Value, EvalError> {
     }
 }
 
+/// `sel_i(v)`: the i-th tuple component (1-based), cloned.
+fn sel_component(v: &Value, index: usize) -> Result<Value, EvalError> {
+    sel_component_ref(v, index).cloned()
+}
+
+/// `rest(v)`: the set without its minimum — one traversal pops it, with no
+/// rebuild when the payload is uniquely owned. Shared by both backends.
+pub(crate) fn rest_value(v: Value) -> Result<Value, EvalError> {
+    match v {
+        Value::Set(mut items) => {
+            if items.is_empty() {
+                return Err(EvalError::ChooseFromEmptySet);
+            }
+            Arc::make_mut(&mut items).pop_first();
+            Ok(Value::Set(items))
+        }
+        other => Err(EvalError::Shape {
+            operator: "rest",
+            expected: "a set",
+            found: other.to_string(),
+        }),
+    }
+}
+
+/// `head(v)`: the first list element, cloned. Shared by both backends.
+pub(crate) fn head_value(v: Value) -> Result<Value, EvalError> {
+    match v {
+        Value::List(items) => items.first().cloned().ok_or(EvalError::ChooseFromEmptySet),
+        other => Err(EvalError::Shape {
+            operator: "head",
+            expected: "a list",
+            found: other.to_string(),
+        }),
+    }
+}
+
+/// `tail(v)`: the list without its head — removed in place when uniquely
+/// owned, rebuilt in one pass (instead of make_mut's full copy + shift)
+/// when shared. Shared by both backends.
+pub(crate) fn tail_value(v: Value) -> Result<Value, EvalError> {
+    match v {
+        Value::List(mut items) => {
+            if items.is_empty() {
+                Err(EvalError::ChooseFromEmptySet)
+            } else if let Some(unique) = Arc::get_mut(&mut items) {
+                unique.remove(0);
+                Ok(Value::List(items))
+            } else {
+                Ok(Value::List(Arc::new(items[1..].to_vec())))
+            }
+        }
+        other => Err(EvalError::Shape {
+            operator: "tail",
+            expected: "a list",
+            found: other.to_string(),
+        }),
+    }
+}
+
 /// `choose(v)`: the minimal element of a non-empty set, shared by the
-/// general evaluation path and the Local-slot peephole.
-fn choose_min(v: &Value) -> Result<Value, EvalError> {
+/// general evaluation path, the Local-slot peephole and the VM.
+pub(crate) fn choose_min(v: &Value) -> Result<Value, EvalError> {
     match v {
         Value::Set(items) => items.first().cloned().ok_or(EvalError::ChooseFromEmptySet),
         other => Err(EvalError::Shape {
@@ -684,7 +896,7 @@ fn choose_min(v: &Value) -> Result<Value, EvalError> {
 /// The smallest atom rank not occurring anywhere in `v` (and at least one
 /// larger than every atom that does occur) — the deterministic realisation of
 /// the paper's `new(D) ∉ D`.
-fn next_fresh_index(v: &Value) -> u64 {
+pub(crate) fn next_fresh_index(v: &Value) -> u64 {
     fn max_atom(v: &Value, cur: &mut Option<u64>) {
         match v {
             Value::Atom(a) => {
@@ -715,7 +927,7 @@ fn next_fresh_index(v: &Value) -> u64 {
 
 /// Computes `v.weight()` but stops counting once `cap` is exceeded, returning
 /// `cap + 1` in that case.
-fn weight_capped(v: &Value, cap: usize) -> usize {
+pub(crate) fn weight_capped(v: &Value, cap: usize) -> usize {
     fn go(v: &Value, budget: &mut usize) -> bool {
         if *budget == 0 {
             return false;

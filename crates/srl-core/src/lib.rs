@@ -64,6 +64,7 @@
 
 pub mod ast;
 pub mod bignat;
+pub mod bytecode;
 pub mod dialect;
 pub mod dsl;
 pub mod error;
@@ -76,14 +77,16 @@ pub mod setrepr;
 pub mod typecheck;
 pub mod types;
 pub mod value;
+pub(crate) mod vm;
 
 pub use ast::{Expr, Lambda};
 pub use bignat::BigNat;
+pub use bytecode::Chunk;
 pub use dialect::Dialect;
 pub use error::{CheckError, EvalError, SrlError};
-pub use eval::{eval_expr, eval_expr_with_stats, run_program, Evaluator};
+pub use eval::{eval_expr, eval_expr_with_stats, run_program, Evaluator, ExecBackend};
 pub use intern::{Symbol, SymbolTable};
-pub use lower::{program_fingerprint, CompiledDef, CompiledProgram, LExpr, LLambda};
+pub use lower::{program_fingerprint, CompiledDef, CompiledProgram, LExpr, LLambda, LoweredExpr};
 pub use limits::{EvalLimits, EvalStats};
 pub use program::{Env, FunDef, Param, Program};
 pub use typecheck::{check_and_compile, check_expr, check_program, CheckedProgram, FunSig, TypeChecker};

@@ -34,9 +34,11 @@
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::OnceLock;
 
 use crate::ast::{Expr, Lambda};
 use crate::bignat::BigNat;
+use crate::bytecode::{codegen_expr, codegen_program, Chunk};
 use crate::dialect::Dialect;
 use crate::intern::{Symbol, SymbolTable};
 use crate::program::Program;
@@ -172,10 +174,19 @@ pub struct CompiledDef {
 
 /// A stand-alone expression lowered against a program: its own node arena
 /// plus the root id (see [`CompiledProgram::lower_expr`]).
+///
+/// The expression also records the **scope** (the frame names, outermost
+/// first) it was lowered against: slot indices are positional, so an
+/// environment used with
+/// [`Evaluator::eval_lowered`](crate::eval::Evaluator::eval_lowered) must
+/// bind exactly these names in this order. The bytecode form (for the VM
+/// backend) is generated lazily on first use and cached here.
 #[derive(Clone, Debug)]
 pub struct LoweredExpr {
     nodes: Vec<LExpr>,
     root: LId,
+    scope: Vec<String>,
+    code: OnceLock<Chunk>,
 }
 
 impl LoweredExpr {
@@ -198,6 +209,19 @@ impl LoweredExpr {
     pub fn node(&self, id: LId) -> &LExpr {
         &self.nodes[id.index()]
     }
+
+    /// The frame names this expression was lowered against, outermost
+    /// binding first — the environment contract of `eval_lowered`.
+    pub fn scope_names(&self) -> &[String] {
+        &self.scope
+    }
+
+    /// The bytecode chunk for the VM backend, generated on first use.
+    /// `program` must be the program this expression was lowered against
+    /// (its calls are resolved through the program's chunk).
+    pub fn code(&self, program: &CompiledProgram) -> &Chunk {
+        self.code.get_or_init(|| codegen_expr(program, self))
+    }
 }
 
 /// A [`Program`] lowered once at build time: slot-indexed bodies in one flat
@@ -211,6 +235,7 @@ pub struct CompiledProgram {
     symbols: SymbolTable,
     def_index: HashMap<String, u32>,
     fingerprint: u64,
+    code: OnceLock<Chunk>,
 }
 
 /// A structural fingerprint of a [`Program`]: dialect, definition names,
@@ -320,7 +345,15 @@ impl CompiledProgram {
             symbols,
             def_index,
             fingerprint: program_fingerprint(program),
+            code: OnceLock::new(),
         }
+    }
+
+    /// The program's bytecode chunk (one block per definition body) for the
+    /// VM backend, generated on first use and shared by every evaluator
+    /// holding this compiled program.
+    pub fn code(&self) -> &Chunk {
+        self.code.get_or_init(|| codegen_program(self))
     }
 
     /// The fingerprint of the [`Program`] this was compiled from (see
@@ -370,11 +403,22 @@ impl CompiledProgram {
     /// top-level query these are the environment's input names; resolution
     /// scans from the end, so later bindings shadow earlier ones exactly
     /// like `Env::get`.
+    ///
+    /// Lowering depends on the scope's **names only**, never on values:
+    /// every free name resolves here (to a slot, or to a poison node that
+    /// errors only if evaluated), and the scope is recorded on the result so
+    /// evaluation can assert the environment matches positionally.
     pub fn lower_expr(&self, expr: &Expr, scope: &[&str]) -> LoweredExpr {
+        let recorded: Vec<String> = scope.iter().map(|s| s.to_string()).collect();
         let mut scope: Vec<&str> = scope.to_vec();
         let mut nodes = Vec::new();
         let root = lower(expr, &mut scope, &self.def_index, &mut nodes);
-        LoweredExpr { nodes, root }
+        LoweredExpr {
+            nodes,
+            root,
+            scope: recorded,
+            code: OnceLock::new(),
+        }
     }
 }
 

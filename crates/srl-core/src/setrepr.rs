@@ -1,39 +1,56 @@
-//! `SetRepr` — the sorted-vector backing store of [`Value::Set`].
+//! `SetRepr` — the backing store of [`Value::Set`]: inline for small sets,
+//! a sorted vector with a slice window once it grows.
 //!
 //! The paper's cost model is driven by the set primitives (`choose`, `rest`,
 //! `insert`, `set-reduce`), so the representation behind `Value::Set` is the
 //! system's universal data structure. The original backing store was a
 //! `BTreeSet<Value>`; profiling after the zero-copy refactor showed its node
 //! churn (pointer-chasing iteration, per-node allocation on insert/clone)
-//! dominating reduce-heavy workloads. This module replaces it with a
-//! **sorted `Vec<Value>`**:
+//! dominating reduce-heavy workloads, and it was replaced by a sorted
+//! `Vec<Value>`. This revision adds a second tier below the vector:
 //!
-//! * iteration — what `set-reduce` does for every element — walks contiguous
-//!   memory;
-//! * membership and `insert` are a binary search (plus a tail shift on
+//! * **Inline small sets.** Most accumulator sets in BASRL runs hold at most
+//!   [`INLINE_CAP`] elements (bounded accumulators are the whole point of
+//!   Theorem 4.13), so those live in a fixed inline array — no heap
+//!   allocation for the element storage at all. The set spills to the
+//!   vector representation on the first insert past the cap and stays
+//!   spilled (re-smallification happens naturally on [`Clone`], which
+//!   compacts).
+//! * **Sorted vector with a slice window** for everything larger: iteration
+//!   — what `set-reduce` does for every element — walks contiguous memory;
+//!   membership and `insert` are a binary search (plus a tail shift on
 //!   insertion; reduces that rebuild a set meet the common case of inserting
-//!   at the end, which is a pure push);
-//! * `choose` is the first element of the live window, O(1);
-//! * `rest` is a **slice window**: popping the minimum just advances the
-//!   window start, O(1) on a uniquely-owned set, so a full `rest`-chain
-//!   drain is O(n) instead of O(n log n).
+//!   at the end, which is a pure push); `choose` is the first element of the
+//!   live window, O(1); `rest` is a slice window: popping the minimum just
+//!   advances the window start, O(1) on a uniquely-owned set, so a full
+//!   `rest`-chain drain is O(n) instead of O(n log n).
+//!
+//! The bulk operations [`SetRepr::merge_union`] and
+//! [`SetRepr::merge_sorted_difference`] are O(n+m) two-pointer merges over
+//! the sorted representations. They exist for callers that would otherwise
+//! drive `insert` element-by-element through the evaluator — the bytecode
+//! VM's fused `union` fold (`crate::vm`) sits on `merge_union`, and native
+//! harness code building differences of relations can use
+//! `merge_sorted_difference` instead of re-deriving it per element.
 //!
 //! ## Invariants
 //!
-//! `items[start..]` is the live window; it is strictly sorted ascending in
-//! the total [`Value`] order and duplicate-free. Slots before `start` are
-//! dead (overwritten with placeholder booleans by [`SetRepr::pop_first`]) and
-//! are never observed: equality, ordering, hashing, iteration and length all
-//! go through the window. [`Clone`] compacts — it copies only the window —
-//! so an `Arc::make_mut` on a shared, partially-drained set re-bases it for
-//! free.
+//! The live elements (`as_slice`) are strictly sorted ascending in the total
+//! [`Value`] order and duplicate-free — in the inline representation these
+//! are `slots[..len]`, in the spilled representation `items[start..]`. Dead
+//! slots (inline slots past `len`, spilled slots before `start`) hold
+//! placeholder booleans and are never observed: equality, ordering, hashing,
+//! iteration and length all go through the live window. [`Clone`] compacts —
+//! it copies only the live elements (back into the inline form when they
+//! fit) — so an `Arc::make_mut` on a shared, partially-drained set re-bases
+//! it for free.
 //!
 //! Everything observable — the element order, what `choose`/`rest` return,
 //! first-wins deduplication (two values can compare equal while differing in
 //! display, e.g. named vs. unnamed atoms) and therefore every `EvalStats`
-//! counter — matches the `BTreeSet` representation exactly;
+//! counter — matches the original `BTreeSet` representation exactly;
 //! `tests/tests/set_backend_differential.rs` pits the two against each other
-//! operation-by-operation.
+//! operation-by-operation, across the spill boundary.
 
 use std::cmp::Ordering;
 use std::fmt;
@@ -41,42 +58,82 @@ use std::hash::{Hash, Hasher};
 
 use crate::value::Value;
 
-/// A finite set of [`Value`]s, stored as a sorted, deduplicated vector.
+/// Sets of up to this many elements are stored inline, without a heap
+/// allocation for the element storage.
+pub const INLINE_CAP: usize = 4;
+
+/// Placeholder stored in dead slots; never observed.
+const PAD: Value = Value::Bool(false);
+
+/// A finite set of [`Value`]s: inline array when small, sorted vector with a
+/// slice window once spilled.
 ///
 /// Iteration order *is* the value order — exactly the order `set-reduce`
 /// scans. See the module docs for the representation invariants.
 pub struct SetRepr {
-    /// Backing store; `items[start..]` is sorted ascending and duplicate-free.
-    items: Vec<Value>,
-    /// Start of the live window (`rest` advances this instead of shifting).
-    start: usize,
+    store: Store,
+}
+
+enum Store {
+    /// `slots[..len]` live, sorted, duplicate-free; the rest is [`PAD`].
+    Small { len: u8, slots: [Value; INLINE_CAP] },
+    /// `items[start..]` live (`rest` advances `start` instead of shifting).
+    Spilled { items: Vec<Value>, start: usize },
 }
 
 impl SetRepr {
     /// The empty set.
     pub fn new() -> Self {
         SetRepr {
-            items: Vec::new(),
-            start: 0,
+            store: Store::Small {
+                len: 0,
+                slots: [PAD; INLINE_CAP],
+            },
+        }
+    }
+
+    /// Builds the set from an already-sorted, deduplicated vector (private:
+    /// callers are the merge ops and `FromIterator`, which establish the
+    /// invariant themselves).
+    fn from_sorted_vec(items: Vec<Value>) -> Self {
+        if items.len() <= INLINE_CAP {
+            let mut slots = [PAD; INLINE_CAP];
+            let len = items.len() as u8;
+            for (slot, v) in slots.iter_mut().zip(items) {
+                *slot = v;
+            }
+            SetRepr {
+                store: Store::Small { len, slots },
+            }
+        } else {
+            SetRepr {
+                store: Store::Spilled { items, start: 0 },
+            }
         }
     }
 
     /// The live elements, ascending. This is the whole observable state.
     #[inline]
     pub fn as_slice(&self) -> &[Value] {
-        &self.items[self.start..]
+        match &self.store {
+            Store::Small { len, slots } => &slots[..*len as usize],
+            Store::Spilled { items, start } => &items[*start..],
+        }
     }
 
     /// Number of elements.
     #[inline]
     pub fn len(&self) -> usize {
-        self.items.len() - self.start
+        match &self.store {
+            Store::Small { len, .. } => *len as usize,
+            Store::Spilled { items, start } => items.len() - start,
+        }
     }
 
     /// True if the set has no elements.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.start == self.items.len()
+        self.len() == 0
     }
 
     /// Iterates the elements in ascending value order.
@@ -101,36 +158,142 @@ impl SetRepr {
     /// that is already present is **kept** (first-wins: equal values may
     /// still differ in display, e.g. named vs. unnamed atoms).
     pub fn insert(&mut self, value: Value) -> bool {
-        match self.as_slice().binary_search(&value) {
-            Ok(_) => false,
-            Err(pos) => {
+        let pos = match self.as_slice().binary_search(&value) {
+            Ok(_) => return false,
+            Err(pos) => pos,
+        };
+        match &mut self.store {
+            Store::Small { len, slots } => {
+                let n = *len as usize;
+                if n < INLINE_CAP {
+                    // Shift the tail one slot right; the rotated-in value is
+                    // the PAD from slot n, immediately overwritten.
+                    slots[pos..=n].rotate_right(1);
+                    slots[pos] = value;
+                    *len += 1;
+                } else {
+                    // Spill: move the inline elements into a vector.
+                    let mut items = Vec::with_capacity(2 * INLINE_CAP);
+                    items.extend(slots.iter_mut().map(|s| std::mem::replace(s, PAD)));
+                    items.insert(pos, value);
+                    self.store = Store::Spilled { items, start: 0 };
+                }
+            }
+            Store::Spilled { items, start } => {
                 // Shifts only the tail after the insertion point; the common
                 // ascending-rebuild case (pos == len) is a plain push.
-                self.items.insert(self.start + pos, value);
-                true
+                items.insert(*start + pos, value);
+            }
+        }
+        true
+    }
+
+    /// Removes and returns the minimal element. Inline sets shift (at most
+    /// [`INLINE_CAP`] moves); spilled sets are amortized O(1): the window
+    /// start advances and the dead slot is overwritten with a placeholder.
+    /// Once the dead prefix outgrows the live window the backing vector is
+    /// compacted, so a uniquely-owned set driven as a worklist (`insert`
+    /// interleaved with `rest`) stays O(live size), not O(total operations).
+    pub fn pop_first(&mut self) -> Option<Value> {
+        match &mut self.store {
+            Store::Small { len, slots } => {
+                let n = *len as usize;
+                if n == 0 {
+                    return None;
+                }
+                let value = std::mem::replace(&mut slots[0], PAD);
+                // The PAD now at slot 0 rotates to the end of the live range.
+                slots[..n].rotate_left(1);
+                *len -= 1;
+                Some(value)
+            }
+            Store::Spilled { items, start } => {
+                if *start == items.len() {
+                    return None;
+                }
+                let value = std::mem::replace(&mut items[*start], PAD);
+                *start += 1;
+                if *start * 2 > items.len() {
+                    // At least as many pops since the last compaction as
+                    // elements moved here, so the drain amortizes to O(1)
+                    // per pop.
+                    items.drain(..*start);
+                    *start = 0;
+                }
+                Some(value)
             }
         }
     }
 
-    /// Removes and returns the minimal element. Amortized O(1): the window
-    /// start advances and the dead slot is overwritten with a placeholder
-    /// (dead slots are never read — see the module docs). Once the dead
-    /// prefix outgrows the live window the backing vector is compacted, so
-    /// a uniquely-owned set driven as a worklist (`insert` interleaved with
-    /// `rest`) stays O(live size), not O(total operations).
-    pub fn pop_first(&mut self) -> Option<Value> {
-        if self.is_empty() {
-            return None;
+    /// `self ∪ other` as an O(n+m) two-pointer merge over the two sorted
+    /// representations. On equal elements **`self`'s copy is kept** — the
+    /// same first-wins rule as folding `other`'s elements into `self` with
+    /// [`SetRepr::insert`], which this is the bulk form of (the VM's fused
+    /// `union` fold and native relation-building callers use it instead of
+    /// per-element inserts through the evaluator).
+    pub fn merge_union(&self, other: &SetRepr) -> SetRepr {
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                Ordering::Less => {
+                    out.push(a[i].clone());
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    out.push(b[j].clone());
+                    j += 1;
+                }
+                Ordering::Equal => {
+                    out.push(a[i].clone());
+                    i += 1;
+                    j += 1;
+                }
+            }
         }
-        let value = std::mem::replace(&mut self.items[self.start], Value::Bool(false));
-        self.start += 1;
-        if self.start * 2 > self.items.len() {
-            // At least as many pops since the last compaction as elements
-            // moved here, so the drain amortizes to O(1) per pop.
-            self.items.drain(..self.start);
-            self.start = 0;
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        SetRepr::from_sorted_vec(out)
+    }
+
+    /// `self \ other` as an O(n+m) two-pointer sweep over the two sorted
+    /// representations — the bulk form of testing each element of `self`
+    /// for membership in `other` and keeping the misses.
+    pub fn merge_sorted_difference(&self, other: &SetRepr) -> SetRepr {
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut out = Vec::new();
+        let mut j = 0;
+        for v in a {
+            while j < b.len() && b[j] < *v {
+                j += 1;
+            }
+            if j < b.len() && b[j] == *v {
+                j += 1;
+            } else {
+                out.push(v.clone());
+            }
         }
-        Some(value)
+        SetRepr::from_sorted_vec(out)
+    }
+
+    /// Number of backing slots currently held (live + dead). Exposed for
+    /// tests that pin the amortized-compaction guarantee.
+    #[doc(hidden)]
+    pub fn backing_slots(&self) -> usize {
+        match &self.store {
+            Store::Small { .. } => INLINE_CAP,
+            Store::Spilled { items, .. } => items.len(),
+        }
+    }
+
+    /// True if the elements are stored inline (no heap allocation for the
+    /// element storage). Exposed for tests pinning the spill boundary.
+    #[doc(hidden)]
+    pub fn is_inline(&self) -> bool {
+        matches!(self.store, Store::Small { .. })
     }
 }
 
@@ -140,14 +303,12 @@ impl Default for SetRepr {
     }
 }
 
-/// Cloning compacts: only the live window is copied, so a shared,
-/// partially-drained set re-bases (start = 0) on copy-on-write.
+/// Cloning compacts: only the live elements are copied, back into the inline
+/// form when they fit, so a shared, partially-drained set re-bases on
+/// copy-on-write.
 impl Clone for SetRepr {
     fn clone(&self) -> Self {
-        SetRepr {
-            items: self.as_slice().to_vec(),
-            start: 0,
-        }
+        SetRepr::from_sorted_vec(self.as_slice().to_vec())
     }
 }
 
@@ -160,7 +321,7 @@ impl FromIterator<Value> for SetRepr {
         let mut items: Vec<Value> = iter.into_iter().collect();
         items.sort();
         items.dedup();
-        SetRepr { items, start: 0 }
+        SetRepr::from_sorted_vec(items)
     }
 }
 
@@ -183,12 +344,22 @@ impl<'a> IntoIterator for &'a SetRepr {
 
 impl IntoIterator for SetRepr {
     type Item = Value;
-    type IntoIter = std::iter::Skip<std::vec::IntoIter<Value>>;
+    type IntoIter = std::vec::IntoIter<Value>;
 
     fn into_iter(self) -> Self::IntoIter {
-        // The skipped prefix is dead placeholder slots, not elements.
-        let start = self.start;
-        self.items.into_iter().skip(start)
+        // Unify the two stores into one owned vector of the live elements
+        // (dead slots are placeholders, not elements).
+        match self.store {
+            Store::Small { len, slots } => {
+                let mut out: Vec<Value> = slots.into_iter().collect();
+                out.truncate(len as usize);
+                out.into_iter()
+            }
+            Store::Spilled { mut items, start } => {
+                items.drain(..start);
+                items.into_iter()
+            }
+        }
     }
 }
 
@@ -276,23 +447,56 @@ mod tests {
     }
 
     #[test]
+    fn small_sets_stay_inline_and_spill_on_growth() {
+        let mut s = SetRepr::new();
+        for i in 0..INLINE_CAP as u64 {
+            assert!(s.is_inline(), "inline up to the cap");
+            s.insert(Value::atom(i * 2));
+        }
+        assert!(s.is_inline(), "exactly at the cap is still inline");
+        // The spilling insert lands in the middle and keeps the order.
+        s.insert(Value::atom(3));
+        assert!(!s.is_inline(), "past the cap spills to the vector");
+        let got: Vec<_> = s.iter().cloned().collect();
+        assert_eq!(
+            got,
+            [0u64, 2, 3, 4, 6].map(Value::atom).to_vec(),
+            "order preserved across the spill"
+        );
+        // Once spilled, stays spilled in place — but a clone re-smallifies
+        // when the live window fits inline again.
+        s.pop_first();
+        s.pop_first();
+        assert!(!s.is_inline());
+        assert_eq!(s.len(), 3);
+        let compacted = s.clone();
+        assert!(compacted.is_inline(), "clone compacts back inline");
+        assert_eq!(compacted, s);
+    }
+
+    #[test]
     fn pop_first_drains_ascending_in_place() {
-        let mut s = atoms([4, 2, 9]);
-        assert_eq!(s.pop_first(), Some(Value::atom(2)));
-        assert_eq!(s.len(), 2);
-        assert_eq!(s.first(), Some(&Value::atom(4)));
-        assert_eq!(s.pop_first(), Some(Value::atom(4)));
-        assert_eq!(s.pop_first(), Some(Value::atom(9)));
-        assert_eq!(s.pop_first(), None);
-        assert!(s.is_empty());
+        for seed in [vec![4, 2, 9], vec![4, 2, 9, 11, 7, 5]] {
+            // Covers both the inline and the spilled store.
+            let mut s = atoms(seed.iter().copied());
+            let mut expect: Vec<u64> = seed.clone();
+            expect.sort_unstable();
+            for e in expect {
+                assert_eq!(s.first(), Some(&Value::atom(e)));
+                assert_eq!(s.pop_first(), Some(Value::atom(e)));
+            }
+            assert_eq!(s.pop_first(), None);
+            assert!(s.is_empty());
+        }
     }
 
     #[test]
     fn window_is_invisible_to_eq_ord_hash_and_clone() {
         use std::collections::hash_map::DefaultHasher;
-        let mut drained = atoms([1, 2, 3]);
+        // Large enough to be spilled, so the drained window exists.
+        let mut drained = atoms([1, 2, 3, 4, 5, 6]);
         drained.pop_first();
-        let fresh = atoms([2, 3]);
+        let fresh = atoms([2, 3, 4, 5, 6]);
         assert_eq!(drained, fresh);
         assert_eq!(drained.cmp(&fresh), Ordering::Equal);
         let hash = |s: &SetRepr| {
@@ -303,17 +507,19 @@ mod tests {
         assert_eq!(hash(&drained), hash(&fresh));
         let compacted = drained.clone();
         assert_eq!(compacted, fresh);
-        assert_eq!(compacted.start, 0);
-        assert_eq!(compacted.items.len(), 2);
+        assert_eq!(compacted.backing_slots(), 5, "clone copies only the window");
     }
 
     #[test]
     fn insert_into_drained_window_lands_in_window() {
-        let mut s = atoms([1, 5, 9]);
+        let mut s = atoms([1, 5, 9, 13, 17]);
         s.pop_first();
         assert!(s.insert(Value::atom(3)));
         let got: Vec<_> = s.iter().cloned().collect();
-        assert_eq!(got, vec![Value::atom(3), Value::atom(5), Value::atom(9)]);
+        assert_eq!(
+            got,
+            [3u64, 5, 9, 13, 17].map(Value::atom).to_vec()
+        );
         // Re-inserting the popped minimum is a fresh element again.
         assert!(s.insert(Value::atom(1)));
         assert_eq!(s.first(), Some(&Value::atom(1)));
@@ -332,9 +538,9 @@ mod tests {
             assert_eq!(s.len(), 8, "round {round}");
         }
         assert!(
-            s.items.len() <= 2 * s.len(),
+            s.backing_slots() <= 2 * s.len(),
             "backing storage grew unboundedly: {} slots for {} live elements",
-            s.items.len(),
+            s.backing_slots(),
             s.len()
         );
     }
@@ -346,6 +552,13 @@ mod tests {
         assert!(atoms([1]) < atoms([1, 2]), "a strict prefix sorts first");
         assert!(atoms([0, 1]) < atoms([1]), "smaller minimum sorts first");
         assert_eq!(atoms([]).cmp(&atoms([])), Ordering::Equal);
+        // Inline and spilled stores compare by elements alone.
+        let spilled = atoms([1, 2, 3, 4, 5, 6]);
+        let mut drained = spilled.clone();
+        for _ in 0..3 {
+            drained.pop_first();
+        }
+        assert_eq!(drained.cmp(&atoms([4, 5, 6])), Ordering::Equal);
     }
 
     #[test]
@@ -354,6 +567,64 @@ mod tests {
         s.pop_first();
         let got: Vec<_> = s.into_iter().collect();
         assert_eq!(got, vec![Value::atom(5), Value::atom(7)]);
+        let mut s = atoms([7, 3, 5, 11, 9, 1]);
+        s.pop_first();
+        let got: Vec<_> = s.into_iter().collect();
+        assert_eq!(got, [3u64, 5, 7, 9, 11].map(Value::atom).to_vec());
+    }
+
+    #[test]
+    fn merge_union_is_first_wins_and_sorted() {
+        let a = atoms([1, 3, 5, 7, 9, 11]);
+        let b = atoms([2, 3, 4, 11, 12]);
+        let u = a.merge_union(&b);
+        let got: Vec<_> = u.iter().cloned().collect();
+        assert_eq!(
+            got,
+            [1u64, 2, 3, 4, 5, 7, 9, 11, 12].map(Value::atom).to_vec()
+        );
+        // Ties keep self's copy — the same rule as insert-into-self.
+        let named: SetRepr = [Value::named_atom(2, "mine")].into_iter().collect();
+        let other: SetRepr = [Value::atom(2)].into_iter().collect();
+        let u = named.merge_union(&other);
+        assert_eq!(format!("{:?}", u.first().unwrap()), "mine#2");
+        // Matches the element-by-element fold exactly.
+        let mut folded = a.clone();
+        for v in b.iter() {
+            folded.insert(v.clone());
+        }
+        assert_eq!(a.merge_union(&b), folded);
+        // Identities.
+        assert_eq!(a.merge_union(&SetRepr::new()), a);
+        assert_eq!(SetRepr::new().merge_union(&b), b);
+    }
+
+    #[test]
+    fn merge_sorted_difference_matches_per_element_membership() {
+        let a = atoms([1, 2, 3, 5, 8, 13]);
+        let b = atoms([2, 4, 8, 9]);
+        let d = a.merge_sorted_difference(&b);
+        let got: Vec<_> = d.iter().cloned().collect();
+        assert_eq!(got, [1u64, 3, 5, 13].map(Value::atom).to_vec());
+        let expected: SetRepr = a
+            .iter()
+            .filter(|v| !b.contains(v))
+            .cloned()
+            .collect();
+        assert_eq!(d, expected);
+        assert_eq!(a.merge_sorted_difference(&SetRepr::new()), a);
+        assert!(SetRepr::new().merge_sorted_difference(&b).is_empty());
+        assert!(a.merge_sorted_difference(&a).is_empty());
+    }
+
+    #[test]
+    fn merge_results_fit_inline_when_small() {
+        let a = atoms([1, 2]);
+        let b = atoms([2, 3]);
+        assert!(a.merge_union(&b).is_inline());
+        let big = atoms(0..10);
+        assert!(!big.merge_union(&a).is_inline());
+        assert!(big.merge_sorted_difference(&atoms(0..7)).is_inline());
     }
 
     #[test]

@@ -1,0 +1,262 @@
+//! Disassembler for the bytecode VM's chunks (`srl_core::bytecode`).
+//!
+//! The third member of the printer family: [`crate::printer`] shows the
+//! paper's surface notation, [`crate::compiled`] shows the slot-indexed
+//! lowered form, and this module shows what the **VM backend** actually
+//! executes — register instructions with their static depth offsets, the
+//! fused superinstructions a fold compiled to, and the block structure of
+//! the reduce lambdas. Read it when auditing which folds fused (a `reduce`
+//! line names its kind: `member`, `union/merge`, `insert-app`, `filter`,
+//! `bool-acc`, `scan`, `monotone`, or `generic`) or when debugging codegen.
+//!
+//! Registers print as `r<n>`; frame slots and temporaries share one
+//! register space (slots below each frame's lexical height, temporaries
+//! above). Jump targets are instruction indices within the block.
+
+use srl_core::bytecode::{Block, Chunk, Insn, Operand, ReduceKind};
+use srl_core::lower::{CompiledProgram, LoweredExpr};
+
+/// Disassembles a whole program's chunk: every definition with its entry
+/// block, frame size, and all blocks it references. Forces bytecode
+/// generation if it has not happened yet.
+pub fn disasm_program(program: &CompiledProgram) -> String {
+    let chunk = program.code();
+    let mut out = String::new();
+    for (i, (def, code)) in program.defs().iter().zip(chunk.defs()).enumerate() {
+        out.push_str(&format!(
+            "def {}#{i}/{} = block {} (frame {})\n",
+            program.def_name(def),
+            def.params.len(),
+            code.block,
+            code.frame_size,
+        ));
+    }
+    out.push_str(&disasm_blocks(chunk));
+    out
+}
+
+/// Disassembles the chunk of a stand-alone lowered expression (generating
+/// it if needed): the main block, its frame size, and every lambda block.
+pub fn disasm_lowered(program: &CompiledProgram, lowered: &LoweredExpr) -> String {
+    let chunk = lowered.code(program);
+    let mut out = format!(
+        "main = block {} (frame {}, scope [{}])\n",
+        chunk.main(),
+        chunk.main_frame(),
+        lowered.scope_names().join(", "),
+    );
+    out.push_str(&disasm_blocks(chunk));
+    out
+}
+
+/// Disassembles every block of an already-generated chunk.
+pub fn disasm_chunk(chunk: &Chunk) -> String {
+    disasm_blocks(chunk)
+}
+
+fn disasm_blocks(chunk: &Chunk) -> String {
+    let mut out = String::new();
+    for (id, block) in chunk.blocks().iter().enumerate() {
+        out.push_str(&format!("block {id} (result r{}):\n", block.result()));
+        out.push_str(&disasm_block(chunk, block));
+    }
+    out
+}
+
+fn disasm_block(chunk: &Chunk, block: &Block) -> String {
+    let mut out = String::new();
+    for (pc, insn) in block.code().iter().enumerate() {
+        out.push_str(&format!("  {pc:>3}  {}\n", render_insn(chunk, insn)));
+    }
+    out
+}
+
+fn operand(chunk: &Chunk, op: &Operand) -> String {
+    match op {
+        Operand::Temp(r) => format!("r{r}"),
+        Operand::Slot(r) => format!("slot r{r}"),
+        Operand::SlotSel(r, i) => format!("slot r{r}.{i}"),
+        Operand::Const(i) => format!("const {}", chunk.consts()[*i as usize]),
+    }
+}
+
+fn render_insn(chunk: &Chunk, insn: &Insn) -> String {
+    match insn {
+        Insn::LoadBool { dst, value, depth } => format!("r{dst} <- {value}  @{depth}"),
+        Insn::LoadConst { dst, index, depth } => {
+            format!("r{dst} <- const {}  @{depth}", chunk.consts()[*index as usize])
+        }
+        Insn::LoadEmptySet { dst, depth } => format!("r{dst} <- emptyset  @{depth}"),
+        Insn::LoadEmptyList { dst, depth } => format!("r{dst} <- emptylist  @{depth}"),
+        Insn::LoadNat { dst, index, depth } => {
+            format!("r{dst} <- nat {}  @{depth}", chunk.nats()[*index as usize])
+        }
+        Insn::Copy { dst, src, depth } => format!("r{dst} <- copy r{src}  @{depth}"),
+        Insn::Take { dst, src, depth } => format!("r{dst} <- take r{src}  @{depth}"),
+        Insn::FailUnbound { name, depth } => {
+            format!("fail unbound ?{}  @{depth}", chunk.names()[*name as usize])
+        }
+        Insn::FailUnknownCall { name, depth } => {
+            format!("fail unknown-call ?{}  @{depth}", chunk.names()[*name as usize])
+        }
+        Insn::FailArity { def, nargs, depth } => {
+            format!("fail arity def#{def} with {nargs} arg(s)  @{depth}")
+        }
+        Insn::Bump { depth } => format!("bump  @{depth}"),
+        Insn::Guard { name, depth, .. } => format!("guard dialect[{name}]  @{depth}"),
+        Insn::Branch {
+            cond,
+            else_to,
+            depth,
+        } => format!("branch r{cond} else -> {else_to}  @{depth}"),
+        Insn::Jump { to } => format!("jump -> {to}"),
+        Insn::MakeTuple {
+            dst,
+            start,
+            len,
+            depth,
+        } => format!("r{dst} <- tuple r{start}..r{}  @{depth}", start + len - 1),
+        Insn::Sel {
+            dst,
+            index,
+            op,
+            depth,
+        } => format!("r{dst} <- sel.{index} {}  @{depth}", operand(chunk, op)),
+        Insn::Cmp {
+            dst,
+            a,
+            b,
+            leq,
+            depth,
+        } => format!(
+            "r{dst} <- {} {} {}  @{depth}",
+            operand(chunk, a),
+            if *leq { "<=" } else { "=" },
+            operand(chunk, b),
+        ),
+        Insn::Insert {
+            dst,
+            elem,
+            set,
+            spine,
+            depth,
+        } => format!(
+            "r{dst} <- insert r{elem} into r{set}{}  @{depth}",
+            if *spine { " [spine]" } else { "" },
+        ),
+        Insn::Choose { dst, op, depth } => {
+            format!("r{dst} <- choose {}  @{depth}", operand(chunk, op))
+        }
+        Insn::Rest { dst, src, depth } => format!("r{dst} <- rest r{src}  @{depth}"),
+        Insn::Cons { dst, elem, list } => format!("r{dst} <- cons r{elem} onto r{list}"),
+        Insn::Head { dst, src } => format!("r{dst} <- head r{src}"),
+        Insn::Tail { dst, src } => format!("r{dst} <- tail r{src}"),
+        Insn::New { dst, src } => format!("r{dst} <- new r{src}"),
+        Insn::Succ { dst, src } => format!("r{dst} <- succ r{src}"),
+        Insn::CheckNat { src, op } => format!("check-nat r{src} for {op}"),
+        Insn::NatAdd { dst, a, b } => format!("r{dst} <- r{a} + r{b}"),
+        Insn::NatMul { dst, a, b } => format!("r{dst} <- r{a} * r{b}"),
+        Insn::Call {
+            dst,
+            def,
+            args,
+            nargs,
+            depth,
+        } => {
+            if *nargs == 0 {
+                format!("r{dst} <- call def#{def}()  @{depth}")
+            } else {
+                format!(
+                    "r{dst} <- call def#{def}(r{args}..r{})  @{depth}",
+                    args + nargs - 1
+                )
+            }
+        }
+        Insn::Reduce(r) => {
+            let kind = match &r.kind {
+                ReduceKind::Generic { app, acc } => format!("generic app=b{app} acc=b{acc}"),
+                ReduceKind::Member => "member [fused: binary search]".to_string(),
+                ReduceKind::Union => "union [fused: SetMerge]".to_string(),
+                ReduceKind::InsertApp { app } => format!("insert-app app=b{app}"),
+                ReduceKind::Filter {
+                    app,
+                    keep_on_true,
+                    cond_index,
+                    value_index,
+                } => format!(
+                    "filter app=b{app} keep-on-{keep_on_true} flag=.{cond_index} value=.{value_index}"
+                ),
+                ReduceKind::BoolAcc { app, is_or } => {
+                    format!("bool-acc app=b{app} {}", if *is_or { "or" } else { "and" })
+                }
+                ReduceKind::Scan {
+                    app,
+                    cond_index,
+                    value_index,
+                } => format!("scan app=b{app} flag=.{cond_index} value=.{value_index}"),
+                ReduceKind::Monotone { app, acc } => {
+                    format!("monotone app=b{app} acc=b{acc}")
+                }
+            };
+            format!(
+                "r{} <- {}reduce[{kind}] set=r{} base=r{} extra=r{} x=r{}  @{}",
+                r.dst,
+                if r.is_list { "list-" } else { "" },
+                r.set,
+                r.base,
+                r.extra,
+                r.x_slot,
+                r.depth,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srl_core::ast::Lambda;
+    use srl_core::dsl::*;
+    use srl_core::program::Program;
+
+    #[test]
+    fn union_fold_disassembles_to_the_fused_merge() {
+        let p = Program::srl();
+        let c = p.compile();
+        let e = set_reduce(
+            var("A"),
+            Lambda::identity(),
+            lam("x", "acc", insert(var("x"), var("acc"))),
+            var("B"),
+            empty_set(),
+        );
+        let lowered = c.lower_expr(&e, &["A", "B"]);
+        let text = disasm_lowered(&c, &lowered);
+        assert!(text.contains("union [fused: SetMerge]"), "{text}");
+        assert!(text.contains("scope [A, B]"), "{text}");
+    }
+
+    #[test]
+    fn program_disassembly_names_defs_and_blocks() {
+        let p = Program::srl()
+            .define("fst", ["t"], sel(var("t"), 1))
+            .define("use", ["t"], call("fst", [var("t")]));
+        let c = p.compile();
+        let text = disasm_program(&c);
+        assert!(text.contains("def fst#0/1 = block 0"), "{text}");
+        assert!(text.contains("sel.1 slot r0"), "{text}");
+        assert!(text.contains("call def#0"), "{text}");
+    }
+
+    #[test]
+    fn branches_show_targets_and_takes_show_moves() {
+        let p = Program::srl();
+        let c = p.compile();
+        let e = if_(var("b"), rest(var("S")), var("S"));
+        let lowered = c.lower_expr(&e, &["b", "S"]);
+        let text = disasm_lowered(&c, &lowered);
+        assert!(text.contains("branch r"), "{text}");
+        assert!(text.contains("take r1"), "{text}");
+        assert!(text.contains("jump ->"), "{text}");
+    }
+}

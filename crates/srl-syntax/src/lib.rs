@@ -5,18 +5,22 @@
 //! `if … then … else …`, selectors `e.1`), plus a printer for the *compiled*
 //! form ([`srl_core::CompiledProgram`]) that resolves interned symbols back
 //! to names and shows frame slots (`@0`) and definition indices (`f#3`) —
-//! what the evaluator actually runs. The examples use the surface printer to
-//! show the generated paper programs in readable form; a parser for the same
-//! notation is future work (the builders in `srl-core::dsl` and `srl-stdlib`
-//! are the supported way to construct programs).
+//! what the tree-walk evaluator runs — and a [`disasm`] printer for the
+//! bytecode chunks the VM backend runs (register instructions, fused
+//! superinstructions, block structure). The examples use the surface printer
+//! to show the generated paper programs in readable form; a parser for the
+//! same notation is future work (the builders in `srl-core::dsl` and
+//! `srl-stdlib` are the supported way to construct programs).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod compiled;
+pub mod disasm;
 pub mod printer;
 
 pub use compiled::{
     print_compiled_def, print_compiled_expr, print_compiled_program, print_lowered_expr,
 };
+pub use disasm::{disasm_chunk, disasm_lowered, disasm_program};
 pub use printer::{print_expr, print_lambda, print_program};
