@@ -28,15 +28,16 @@ fn bench(c: &mut Criterion) {
                 ev.call(names::POWERSET, &[input.clone()]).unwrap()
             })
         });
-        // Backend axis: the same compiled program on the bytecode VM.
-        let mut vm =
+        // Backend axis: the unsuffixed variant above runs the default
+        // backend (the bytecode VM); this one pins the reference tree-walk.
+        let mut tree =
             Evaluator::with_compiled(&program, Arc::clone(&compiled), EvalLimits::benchmark())
                 .expect("compiled from this program")
-                .with_backend(srl_core::ExecBackend::Vm);
-        group.bench_with_input(BenchmarkId::new("srl_powerset_vm", n), &n, |b, _| {
+                .with_backend(srl_core::ExecBackend::TreeWalk);
+        group.bench_with_input(BenchmarkId::new("srl_powerset_tree", n), &n, |b, _| {
             b.iter(|| {
-                vm.reset_stats();
-                vm.call(names::POWERSET, &[input.clone()]).unwrap()
+                tree.reset_stats();
+                tree.call(names::POWERSET, &[input.clone()]).unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("native_powerset", n), &n, |b, _| {

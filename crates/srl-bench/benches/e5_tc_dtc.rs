@@ -49,21 +49,22 @@ fn bench(c: &mut Criterion) {
                 ev.eval_lowered(&dtc_lowered, &env).unwrap()
             })
         });
-        // Backend axis: the same lowered expressions on the bytecode VM.
-        let mut vm =
+        // Backend axis: the unsuffixed variants above run the default
+        // backend (the bytecode VM); these pin the reference tree-walk.
+        let mut tree =
             Evaluator::with_compiled(&program, Arc::clone(&compiled), EvalLimits::benchmark())
                 .expect("compiled from this program")
-                .with_backend(srl_core::ExecBackend::Vm);
-        group.bench_with_input(BenchmarkId::new("srl_tc_vm", n), &n, |b, _| {
+                .with_backend(srl_core::ExecBackend::TreeWalk);
+        group.bench_with_input(BenchmarkId::new("srl_tc_tree", n), &n, |b, _| {
             b.iter(|| {
-                vm.reset_stats();
-                vm.eval_lowered(&tc_lowered, &env).unwrap()
+                tree.reset_stats();
+                tree.eval_lowered(&tc_lowered, &env).unwrap()
             })
         });
-        group.bench_with_input(BenchmarkId::new("srl_dtc_vm", n), &n, |b, _| {
+        group.bench_with_input(BenchmarkId::new("srl_dtc_tree", n), &n, |b, _| {
             b.iter(|| {
-                vm.reset_stats();
-                vm.eval_lowered(&dtc_lowered, &env).unwrap()
+                tree.reset_stats();
+                tree.eval_lowered(&dtc_lowered, &env).unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("native_warshall", n), &n, |b, _| {

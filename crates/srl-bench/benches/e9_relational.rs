@@ -43,21 +43,22 @@ fn bench(c: &mut Criterion) {
                 ev.eval_lowered(&selection_lowered, &env).unwrap()
             })
         });
-        // Backend axis: the same lowered expressions on the bytecode VM.
-        let mut vm =
+        // Backend axis: the unsuffixed variants above run the default
+        // backend (the bytecode VM); these pin the reference tree-walk.
+        let mut tree =
             Evaluator::with_compiled(&program, Arc::clone(&compiled), EvalLimits::benchmark())
                 .expect("compiled from this program")
-                .with_backend(srl_core::ExecBackend::Vm);
-        group.bench_with_input(BenchmarkId::new("srl_join_vm", n), &n, |b, _| {
+                .with_backend(srl_core::ExecBackend::TreeWalk);
+        group.bench_with_input(BenchmarkId::new("srl_join_tree", n), &n, |b, _| {
             b.iter(|| {
-                vm.reset_stats();
-                vm.eval_lowered(&joined_lowered, &env).unwrap()
+                tree.reset_stats();
+                tree.eval_lowered(&joined_lowered, &env).unwrap()
             })
         });
-        group.bench_with_input(BenchmarkId::new("srl_select_project_vm", n), &n, |b, _| {
+        group.bench_with_input(BenchmarkId::new("srl_select_project_tree", n), &n, |b, _| {
             b.iter(|| {
-                vm.reset_stats();
-                vm.eval_lowered(&selection_lowered, &env).unwrap()
+                tree.reset_stats();
+                tree.eval_lowered(&selection_lowered, &env).unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("native_join", n), &n, |b, _| {

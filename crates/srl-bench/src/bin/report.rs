@@ -2,9 +2,10 @@
 //!
 //! Usage: `cargo run -p srl-bench --release --bin report [--json] [--backend vm|tree]`
 //!
-//! The semantic rows are backend-invariant: the bytecode VM produces
-//! byte-identical `EvalStats` to the tree-walk, so `--backend vm` must print
-//! exactly the same report (CI diffs both against `BENCH_1.json`).
+//! Runs on the default backend (the bytecode VM) unless `--backend` pins
+//! one. The semantic rows are backend-invariant: both engines produce
+//! byte-identical `EvalStats`, so `--backend tree` must print exactly the
+//! same report (CI diffs both against `BENCH_1.json`).
 
 use srl_bench::*;
 

@@ -6,7 +6,8 @@
 //! with the native baselines, growth of iteration counts, accumulator sizes)
 //! that the `report` binary prints and that `EXPERIMENTS.md` records.
 //!
-//! Every experiment compiles its program **once** (via [`Harness`]) and
+//! Every experiment pushes its program through the staged compile pipeline
+//! **once** (via [`Harness`], over `srl_core::pipeline::Pipeline`) and
 //! reuses the compiled form across all measured sizes and repetitions —
 //! the compile-once / evaluate-many discipline `srl-analysis`'s
 //! `permutation_test` established. Recompiling inside the measured region
@@ -19,23 +20,26 @@
 
 
 use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::Arc;
 
 use srl_core::ast::Expr;
 use srl_core::error::EvalError;
 use srl_core::eval::Evaluator;
 use srl_core::limits::{EvalLimits, EvalStats};
-use srl_core::lower::{CompiledProgram, LoweredExpr};
+use srl_core::lower::LoweredExpr;
+use srl_core::pipeline::{Compiled, Pipeline, TypePolicy};
 use srl_core::program::{Env, Program};
 use srl_core::value::Value;
 use srl_core::ExecBackend;
 
 /// The execution backend every experiment harness uses (the benchmark's
-/// **backend axis**). Tree-walk by default; `report --backend vm` flips it.
-/// The semantic rows are backend-invariant — both engines produce
-/// byte-identical `EvalStats` — so `report --json` must diff clean against
-/// the pinned trajectory point under either setting (CI checks both).
-static BACKEND: AtomicU8 = AtomicU8::new(0);
+/// **backend axis**). Follows [`ExecBackend::default`] (the bytecode VM)
+/// until `report --backend tree|vm` pins one explicitly. The semantic rows
+/// are backend-invariant — both engines produce byte-identical `EvalStats`
+/// — so `report --json` must diff clean against the pinned trajectory point
+/// under either setting (CI checks both).
+static BACKEND: AtomicU8 = AtomicU8::new(FOLLOW_DEFAULT);
+
+const FOLLOW_DEFAULT: u8 = u8::MAX;
 
 /// Selects the execution backend for subsequently-constructed harnesses.
 pub fn set_backend(backend: ExecBackend) {
@@ -52,11 +56,13 @@ pub fn set_backend(backend: ExecBackend) {
 pub fn backend() -> ExecBackend {
     match BACKEND.load(Ordering::Relaxed) {
         0 => ExecBackend::TreeWalk,
-        _ => ExecBackend::Vm,
+        1 => ExecBackend::Vm,
+        _ => ExecBackend::default(),
     }
 }
 
-/// A program compiled and validated once per experiment, with one long-lived
+/// A program pushed once through the staged compile pipeline
+/// ([`srl_core::pipeline::Pipeline`]) per experiment, with one long-lived
 /// [`Evaluator`] shared by every measured run.
 ///
 /// Statistics are reset before each run (so they cover exactly one
@@ -65,18 +71,21 @@ pub fn backend() -> ExecBackend {
 /// is paid exactly once. The evaluator runs on the module-level backend
 /// (see [`set_backend`]).
 struct Harness {
-    compiled: Arc<CompiledProgram>,
+    artifact: Compiled,
     evaluator: Evaluator,
 }
 
 impl Harness {
     fn new(program: Program, limits: EvalLimits) -> Self {
-        let compiled = Arc::new(program.compile());
-        let evaluator = Evaluator::with_compiled(&program, Arc::clone(&compiled), limits)
-            .expect("compiled from this program")
-            .with_backend(backend());
+        let artifact = Pipeline::new()
+            .with_limits(limits)
+            .with_backend(backend())
+            .with_type_policy(TypePolicy::Skip)
+            .prepare(program)
+            .expect("experiment programs are structurally well-formed");
+        let evaluator = artifact.evaluator();
         Harness {
-            compiled,
+            artifact,
             evaluator,
         }
     }
@@ -92,7 +101,7 @@ impl Harness {
     /// Lowers a stand-alone expression once against `scope` (the input names,
     /// in environment binding order) for repeated evaluation.
     fn lower(&self, expr: &Expr, scope: &[&str]) -> LoweredExpr {
-        self.compiled.lower_expr(expr, scope)
+        self.artifact.lower_expr(expr, scope)
     }
 
     /// Evaluates a pre-lowered expression against an environment binding the

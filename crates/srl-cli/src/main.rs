@@ -1,0 +1,418 @@
+//! `srl` — the SRL command line.
+//!
+//! Drives the staged compile pipeline end to end from text: parse (with
+//! caret diagnostics), check, compile, and run on either execution backend.
+//!
+//! ```text
+//! srl run <file.srl> [--call NAME] [--arg VALUE]... [--backend vm|tree]
+//!                    [--limits default|small|benchmark] [--json]
+//! srl check <file.srl>
+//! srl print <file.srl>
+//! srl disasm <file.srl>
+//! srl repl
+//! ```
+//!
+//! `run` calls `--call NAME` (or a zero-parameter `main` definition) with
+//! `--arg` values written in value-literal syntax (`d3`, `42`, `{d0, d1}`,
+//! `[d1, d2]`, `<d1, d2>`); `--json` emits the result and the `EvalStats`
+//! in a stable field order, which is byte-identical across backends — CI
+//! diffs the two. The REPL accepts definitions (`f(x) = …`), input bindings
+//! (`S := {d1, d2}`), and expressions over both.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::process::ExitCode;
+
+use srl_core::pipeline::{Pipeline, Source};
+use srl_core::{EvalLimits, EvalStats, ExecBackend, Value};
+use srl_syntax::frontend::TextFrontend;
+
+mod repl;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let rest = &args[1..];
+    match command {
+        "run" => run(rest),
+        "check" => check(rest),
+        "print" => print_cmd(rest),
+        "disasm" => disasm(rest),
+        "repl" => repl::repl(rest),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+srl — the set-reduce language of Immerman, Patnaik and Stemple (PODS 1991)
+
+USAGE:
+  srl run <file.srl> [--call NAME] [--arg VALUE]... [--backend vm|tree]
+                     [--limits default|small|benchmark] [--json]
+  srl check <file.srl>            parse, validate, and classify a program
+  srl print <file.srl>            parse and re-print in canonical form
+  srl disasm <file.srl>           show the VM bytecode of every definition
+  srl repl                        interactive session
+
+`run` calls the definition named by --call (default: a zero-parameter
+`main`), passing each --arg parsed as a value literal: d3, 42, true,
+[d1, d2] (tuple), {d0, d1} (set), <d1, d2> (list). With --json the result
+and EvalStats print as JSON (byte-identical across backends).
+";
+
+/// Parsed common options of the file-taking subcommands.
+#[derive(Debug)]
+struct Options {
+    file: String,
+    call: Option<String>,
+    args: Vec<String>,
+    backend: ExecBackend,
+    limits: EvalLimits,
+    json: bool,
+}
+
+/// Flags each subcommand accepts; anything else is a usage error (so e.g.
+/// `srl check file.srl --json` fails loudly instead of silently ignoring
+/// the flag).
+fn allowed_flags(command: &str) -> &'static [&'static str] {
+    match command {
+        "run" => &["--call", "--arg", "--backend", "--limits", "--json"],
+        _ => &[],
+    }
+}
+
+fn parse_options(rest: &[String], command: &str) -> Result<Options, String> {
+    let allowed = allowed_flags(command);
+    let mut file = None;
+    let mut call = None;
+    let mut args = Vec::new();
+    let mut backend = ExecBackend::default();
+    let mut limits = EvalLimits::default();
+    let mut json = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        if arg.starts_with('-') && !allowed.contains(&arg.as_str()) {
+            return Err(format!("`srl {command}` does not take `{arg}`"));
+        }
+        match arg.as_str() {
+            "--call" => {
+                call = Some(
+                    it.next()
+                        .ok_or("--call needs a definition name")?
+                        .to_string(),
+                )
+            }
+            "--arg" => args.push(it.next().ok_or("--arg needs a value literal")?.to_string()),
+            "--backend" => {
+                backend = match it.next().map(String::as_str) {
+                    Some("vm") => ExecBackend::Vm,
+                    Some("tree") | Some("tree-walk") => ExecBackend::TreeWalk,
+                    other => return Err(format!("unknown --backend {other:?} (expected vm|tree)")),
+                }
+            }
+            "--limits" => {
+                limits = match it.next().map(String::as_str) {
+                    Some("default") => EvalLimits::default(),
+                    Some("small") => EvalLimits::small(),
+                    Some("benchmark") => EvalLimits::benchmark(),
+                    other => {
+                        return Err(format!(
+                            "unknown --limits {other:?} (expected default|small|benchmark)"
+                        ))
+                    }
+                }
+            }
+            "--json" => json = true,
+            other if !other.starts_with('-') && file.is_none() => file = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}` to `srl {command}`")),
+        }
+    }
+    Ok(Options {
+        file: file.ok_or_else(|| format!("`srl {command}` needs a .srl file"))?,
+        call,
+        args,
+        backend,
+        limits,
+        json,
+    })
+}
+
+fn load_source(path: &str) -> Result<Source, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    Ok(Source::new(path, text))
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("error: {message}");
+    ExitCode::from(2)
+}
+
+fn run(rest: &[String]) -> ExitCode {
+    let opts = match parse_options(rest, "run") {
+        Ok(o) => o,
+        Err(e) => return usage_error(&e),
+    };
+    let source = match load_source(&opts.file) {
+        Ok(s) => s,
+        Err(e) => return usage_error(&e),
+    };
+    let pipeline = Pipeline::new()
+        .with_limits(opts.limits)
+        .with_backend(opts.backend);
+    let artifact = match pipeline.compile_source(&source) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{}", e.render(&source));
+            return ExitCode::FAILURE;
+        }
+    };
+    let entry = match &opts.call {
+        Some(name) => name.clone(),
+        None => {
+            let main_def = artifact
+                .program()
+                .lookup("main")
+                .filter(|def| def.params.is_empty());
+            match main_def {
+                Some(def) => def.name.clone(),
+                None => {
+                    return usage_error(
+                        "no --call given and the program has no zero-parameter `main`",
+                    )
+                }
+            }
+        }
+    };
+    let mut values = Vec::new();
+    for (i, literal) in opts.args.iter().enumerate() {
+        match srl_syntax::parse_value(literal) {
+            Ok(v) => values.push(v),
+            Err(e) => {
+                eprintln!(
+                    "error in --arg {}: {}",
+                    i + 1,
+                    e.to_diagnostic("<arg>", literal)
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match artifact.call(&entry, &values) {
+        Ok((value, stats)) => {
+            if opts.json {
+                println!("{}", result_json(&value, &stats));
+            } else {
+                println!("{value}");
+                eprintln!("{}", stats_table(&stats));
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("evaluation error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn check(rest: &[String]) -> ExitCode {
+    let opts = match parse_options(rest, "check") {
+        Ok(o) => o,
+        Err(e) => return usage_error(&e),
+    };
+    let source = match load_source(&opts.file) {
+        Ok(s) => s,
+        Err(e) => return usage_error(&e),
+    };
+    match Pipeline::new().check_source(&source) {
+        Ok(checked) => {
+            let program = checked.program();
+            println!(
+                "ok: {} definition(s): {}",
+                program.defs.len(),
+                program.def_names().join(", ")
+            );
+            let verdict = srl_analysis::classify_program(program, 1);
+            println!("fragment: {}", verdict.fragment);
+            println!("  {}", verdict.explanation);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{}", e.render(&source));
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_cmd(rest: &[String]) -> ExitCode {
+    let opts = match parse_options(rest, "print") {
+        Ok(o) => o,
+        Err(e) => return usage_error(&e),
+    };
+    let source = match load_source(&opts.file) {
+        Ok(s) => s,
+        Err(e) => return usage_error(&e),
+    };
+    match srl_syntax::parse_program(&source.text) {
+        Ok(program) => {
+            print!("{}", srl_syntax::print_program(&program));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{}", e.to_diagnostic(&source.name, &source.text));
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn disasm(rest: &[String]) -> ExitCode {
+    let opts = match parse_options(rest, "disasm") {
+        Ok(o) => o,
+        Err(e) => return usage_error(&e),
+    };
+    let source = match load_source(&opts.file) {
+        Ok(s) => s,
+        Err(e) => return usage_error(&e),
+    };
+    match Pipeline::new().compile_source(&source) {
+        Ok(artifact) => {
+            print!("{}", srl_syntax::disasm_program(artifact.compiled()));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{}", e.render(&source));
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The result and statistics as JSON, fields in a fixed order so the output
+/// is diffable across backends (the stats contract makes them identical).
+fn result_json(value: &Value, stats: &EvalStats) -> String {
+    format!(
+        "{{\n  \"result\": \"{}\",\n  \"stats\": {}\n}}",
+        escape_json(&value.to_string()),
+        stats_json(stats)
+    )
+}
+
+fn stats_json(stats: &EvalStats) -> String {
+    format!(
+        "{{ \"steps\": {}, \"reduce_iterations\": {}, \"inserts\": {}, \"max_value_weight\": {}, \"max_accumulator_weight\": {}, \"max_depth\": {}, \"new_values\": {} }}",
+        stats.steps,
+        stats.reduce_iterations,
+        stats.inserts,
+        stats.max_value_weight,
+        stats.max_accumulator_weight,
+        stats.max_depth,
+        stats.new_values
+    )
+}
+
+fn stats_table(stats: &EvalStats) -> String {
+    format!(
+        "steps: {}  reduce iterations: {}  inserts: {}  max value weight: {}  max accumulator weight: {}  max depth: {}  new values: {}",
+        stats.steps,
+        stats.reduce_iterations,
+        stats.inserts,
+        stats.max_value_weight,
+        stats.max_accumulator_weight,
+        stats.max_depth,
+        stats.new_values
+    )
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_parse_flags_and_file() {
+        let rest: Vec<String> = [
+            "prog.srl",
+            "--call",
+            "powerset",
+            "--arg",
+            "{d0, d1}",
+            "--backend",
+            "tree",
+            "--limits",
+            "benchmark",
+            "--json",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let opts = parse_options(&rest, "run").unwrap();
+        assert_eq!(opts.file, "prog.srl");
+        assert_eq!(opts.call.as_deref(), Some("powerset"));
+        assert_eq!(opts.args, vec!["{d0, d1}".to_string()]);
+        assert_eq!(opts.backend, ExecBackend::TreeWalk);
+        assert_eq!(opts.limits, EvalLimits::benchmark());
+        assert!(opts.json);
+    }
+
+    #[test]
+    fn options_reject_unknown_flags_and_missing_file() {
+        assert!(parse_options(&["--wat".to_string()], "run").is_err());
+        assert!(parse_options(&[], "run").is_err());
+    }
+
+    #[test]
+    fn run_only_flags_are_rejected_by_other_commands() {
+        for command in ["check", "print", "disasm"] {
+            let rest: Vec<String> =
+                ["file.srl", "--json"].iter().map(|s| s.to_string()).collect();
+            let err = parse_options(&rest, command).unwrap_err();
+            assert!(err.contains("--json"), "{command}: {err}");
+        }
+        // The file argument itself still parses everywhere.
+        assert_eq!(
+            parse_options(&["file.srl".to_string()], "check").unwrap().file,
+            "file.srl"
+        );
+    }
+
+    #[test]
+    fn json_stats_have_stable_field_order() {
+        let stats = EvalStats::default();
+        let json = stats_json(&stats);
+        let steps = json.find("\"steps\"").unwrap();
+        let iters = json.find("\"reduce_iterations\"").unwrap();
+        let new_values = json.find("\"new_values\"").unwrap();
+        assert!(steps < iters && iters < new_values);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

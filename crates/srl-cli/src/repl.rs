@@ -1,0 +1,357 @@
+//! A tiny interactive session over the pipeline.
+//!
+//! Three kinds of input line:
+//!
+//! * `f(x, y) = body` — adds (or replaces) a definition in the session
+//!   program; the whole line set is re-validated through the pipeline, and
+//!   rejected definitions leave the session unchanged;
+//! * `S := {d1, d2}` — binds an input name to a value literal (the
+//!   environment queries evaluate against);
+//! * anything else — parsed as an expression and evaluated, with free
+//!   variables resolved against the bound inputs.
+//!
+//! Colon commands: `:help`, `:defs`, `:env`, `:backend vm|tree`,
+//! `:load FILE`, `:disasm`, `:quit`. Reads stdin to exhaustion, so it is
+//! scriptable: `echo 'choose({d3, d5})' | srl repl`.
+
+use std::io::{BufRead, IsTerminal, Write};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use srl_core::pipeline::{Compiled, Pipeline, Source};
+use srl_core::program::Program;
+use srl_core::{Dialect, Env, EvalLimits, ExecBackend};
+use srl_syntax::frontend::TextFrontend;
+
+const REPL_HELP: &str = "\
+definitions   f(x) = insert(x, emptyset)
+inputs        S := {d1, d2}
+expressions   f(choose(S))
+commands      :help :defs :env :backend vm|tree :load FILE :disasm :quit
+";
+
+struct Session {
+    pipeline: Pipeline,
+    program: Program,
+    artifact: Option<Compiled>,
+    env: Env,
+}
+
+impl Session {
+    fn new(backend: ExecBackend) -> Self {
+        Session {
+            pipeline: Pipeline::new()
+                .with_limits(EvalLimits::default())
+                .with_backend(backend),
+            program: Program::new(Dialect::full()),
+            artifact: None,
+            env: Env::new(),
+        }
+    }
+
+    /// The compiled artifact for the current program, built on demand and
+    /// cached until the program changes.
+    fn artifact(&mut self) -> &Compiled {
+        if self.artifact.is_none() {
+            self.artifact = Some(
+                self.pipeline
+                    .prepare(self.program.clone())
+                    .expect("session program was validated when it was built"),
+            );
+        }
+        self.artifact.as_ref().unwrap()
+    }
+
+    /// Merges `incoming` definitions (replacing same-named ones) and
+    /// re-validates; on error the session keeps its previous program.
+    fn merge_defs(&mut self, incoming: Program) -> Result<Vec<String>, String> {
+        let mut candidate = self.program.clone();
+        let mut added = Vec::new();
+        for def in incoming.defs {
+            candidate.defs.retain(|d| d.name != def.name);
+            added.push(def.name.clone());
+            candidate.defs.push(Arc::clone(&def));
+        }
+        match self.pipeline.prepare(candidate) {
+            Ok(artifact) => {
+                self.program = artifact.program().clone();
+                self.artifact = Some(artifact);
+                Ok(added)
+            }
+            Err(e) => Err(format!("error: {e}")),
+        }
+    }
+}
+
+/// `srl repl [--backend vm|tree]`.
+pub fn repl(rest: &[String]) -> ExitCode {
+    let mut backend = ExecBackend::default();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--backend" => match it.next().map(String::as_str) {
+                Some("vm") => backend = ExecBackend::Vm,
+                Some("tree") | Some("tree-walk") => backend = ExecBackend::TreeWalk,
+                other => {
+                    eprintln!("unknown --backend {other:?} (expected vm|tree)");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unexpected argument `{other}` to `srl repl`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let interactive = std::io::stdin().is_terminal();
+    if interactive {
+        println!("srl repl — :help for commands, :quit to leave");
+    }
+    let mut session = Session::new(backend);
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+    loop {
+        if interactive {
+            print!("srl> ");
+            let _ = std::io::stdout().flush();
+        }
+        let Some(Ok(line)) = lines.next() else { break };
+        if !handle_line(&mut session, line.trim()) {
+            break;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Processes one line; returns `false` to leave the loop.
+fn handle_line(session: &mut Session, line: &str) -> bool {
+    if line.is_empty() || line.starts_with("//") {
+        return true;
+    }
+    if let Some(command) = line.strip_prefix(':') {
+        return handle_command(session, command);
+    }
+    // `name := value` binds an input. The name must be referenceable as a
+    // variable afterwards — a keyword or atom-shaped word (`d3`) would bind
+    // successfully but could never be read back in an expression.
+    if let Some((name, literal)) = line.split_once(":=") {
+        let name = name.trim();
+        let literal = literal.trim();
+        if !matches!(
+            srl_syntax::parse_expr(name),
+            Ok(srl_core::Expr::Var(v)) if v == name
+        ) {
+            eprintln!("error: `{name}` cannot be used as an input name (it is not a plain variable)");
+            return true;
+        }
+        match srl_syntax::parse_value(literal) {
+            Ok(value) => {
+                println!("{name} = {value}");
+                session.env.insert(name, value);
+            }
+            Err(e) => eprintln!("{}", e.to_diagnostic("<repl>", literal)),
+        }
+        return true;
+    }
+    // A definition if an ident-headed parameter list is followed by `=`.
+    if looks_like_definition(line) {
+        match srl_syntax::parse_program(line) {
+            Ok(incoming) => match session.merge_defs(incoming) {
+                Ok(added) => println!("defined {}", added.join(", ")),
+                Err(e) => eprintln!("{e}"),
+            },
+            Err(e) => eprintln!("{}", e.to_diagnostic("<repl>", line)),
+        }
+        return true;
+    }
+    // Otherwise: an expression over the bound inputs.
+    match srl_syntax::parse_expr(line) {
+        Ok(expr) => {
+            let env = session.env.clone();
+            match session.artifact().eval(&expr, &env) {
+                Ok((value, stats)) => {
+                    println!("{value}");
+                    println!(
+                        "  [steps {} | reduce iterations {} | inserts {}]",
+                        stats.steps, stats.reduce_iterations, stats.inserts
+                    );
+                }
+                Err(e) => eprintln!("evaluation error: {e}"),
+            }
+        }
+        Err(e) => eprintln!("{}", e.to_diagnostic("<repl>", line)),
+    }
+    true
+}
+
+fn handle_command(session: &mut Session, command: &str) -> bool {
+    let mut words = command.split_whitespace();
+    match words.next() {
+        Some("q") | Some("quit") | Some("exit") => return false,
+        Some("help") => print!("{REPL_HELP}"),
+        Some("defs") => {
+            if session.program.defs.is_empty() {
+                println!("(no definitions)");
+            } else {
+                for def in &session.program.defs {
+                    let params: Vec<&str> =
+                        def.params.iter().map(|p| p.name.as_str()).collect();
+                    println!("{}({})", def.name, params.join(", "));
+                }
+            }
+        }
+        Some("env") => {
+            if session.env.is_empty() {
+                println!("(no inputs bound)");
+            } else {
+                for (name, value) in session.env.iter() {
+                    println!("{name} = {value}");
+                }
+            }
+        }
+        Some("backend") => match words.next() {
+            Some("vm") => {
+                session.pipeline = session.pipeline.clone().with_backend(ExecBackend::Vm);
+                session.artifact = None;
+                println!("backend: vm");
+            }
+            Some("tree") | Some("tree-walk") => {
+                session.pipeline = session.pipeline.clone().with_backend(ExecBackend::TreeWalk);
+                session.artifact = None;
+                println!("backend: tree-walk");
+            }
+            _ => eprintln!("usage: :backend vm|tree"),
+        },
+        Some("load") => match words.next() {
+            Some(path) => match std::fs::read_to_string(path) {
+                Ok(text) => {
+                    let source = Source::new(path, text);
+                    match session.pipeline.check_source(&source) {
+                        Ok(checked) => match session.merge_defs(checked.program().clone()) {
+                            Ok(added) => println!("loaded {}: {}", path, added.join(", ")),
+                            Err(e) => eprintln!("{e}"),
+                        },
+                        Err(e) => eprintln!("{}", e.render(&source)),
+                    }
+                }
+                Err(e) => eprintln!("cannot read `{path}`: {e}"),
+            },
+            None => eprintln!("usage: :load FILE"),
+        },
+        Some("disasm") => {
+            print!("{}", srl_syntax::disasm_program(session.artifact().compiled()));
+        }
+        _ => eprintln!("unknown command `:{command}` (:help lists commands)"),
+    }
+    true
+}
+
+/// `name(p1, …) = …` — an identifier, a parenthesised parameter list, `=`.
+/// (`(a = b)` starts with `(`; a call `f(x)` has no `=` after the list.)
+fn looks_like_definition(line: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'-')
+    {
+        i += 1;
+    }
+    if i == 0 {
+        return false;
+    }
+    while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    if i >= bytes.len() || bytes[i] != b'(' {
+        return false;
+    }
+    let mut depth = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    let rest = line[i + 1..].trim_start();
+                    return rest.starts_with('=');
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srl_core::Value;
+
+    #[test]
+    fn definition_lines_are_recognised() {
+        assert!(looks_like_definition("f(x) = x"));
+        assert!(looks_like_definition("set_union(A, B) =\n  x"));
+        assert!(!looks_like_definition("f(x)"));
+        assert!(!looks_like_definition("(a = b)"));
+        assert!(!looks_like_definition("insert(x, emptyset)"));
+        assert!(!looks_like_definition(":defs"));
+    }
+
+    #[test]
+    fn session_defines_binds_and_evaluates() {
+        let mut session = Session::new(ExecBackend::default());
+        assert!(handle_line(&mut session, "singleton(x) = insert(x, emptyset)"));
+        assert!(handle_line(&mut session, "S := {d1, d2}"));
+        assert_eq!(session.program.defs.len(), 1);
+        assert_eq!(session.env.get("S"), Some(&Value::set([Value::atom(1), Value::atom(2)])));
+        // Expressions evaluate against the environment.
+        let env = session.env.clone();
+        let expr = srl_syntax::parse_expr("singleton(choose(S))").unwrap();
+        let (value, _) = session.artifact().eval(&expr, &env).unwrap();
+        assert_eq!(value, Value::set([Value::atom(1)]));
+    }
+
+    #[test]
+    fn unreferenceable_input_names_are_rejected() {
+        let mut session = Session::new(ExecBackend::default());
+        for bad in ["if", "d3", "x.1", "insert", ""] {
+            assert!(handle_line(&mut session, &format!("{bad} := {{d1}}")));
+        }
+        assert!(session.env.is_empty(), "no bad name may bind");
+        assert!(handle_line(&mut session, "S := {d1}"));
+        assert_eq!(session.env.len(), 1);
+    }
+
+    #[test]
+    fn bad_definitions_leave_the_session_unchanged() {
+        let mut session = Session::new(ExecBackend::default());
+        assert!(handle_line(&mut session, "f(x) = x"));
+        // Recursive definition is rejected by the pipeline's check stage...
+        assert!(handle_line(&mut session, "g(x) = g(x)"));
+        // ...so the session still has exactly the first definition.
+        assert_eq!(session.program.def_names(), vec!["f"]);
+    }
+
+    #[test]
+    fn redefinition_replaces() {
+        let mut session = Session::new(ExecBackend::default());
+        assert!(handle_line(&mut session, "f(x) = x"));
+        assert!(handle_line(&mut session, "f(x) = [x, x]"));
+        assert_eq!(session.program.defs.len(), 1);
+        assert_eq!(
+            session.program.lookup("f").unwrap().body,
+            srl_core::dsl::tuple([srl_core::dsl::var("x"), srl_core::dsl::var("x")])
+        );
+    }
+
+    #[test]
+    fn quit_commands_end_the_loop() {
+        let mut session = Session::new(ExecBackend::default());
+        assert!(!handle_line(&mut session, ":quit"));
+        assert!(!handle_line(&mut session, ":q"));
+        assert!(handle_line(&mut session, ":help"));
+        assert!(handle_line(&mut session, "// comment"));
+        assert!(handle_line(&mut session, ""));
+    }
+}

@@ -28,7 +28,11 @@
 //! * [`dialect::Dialect`] — which optional operators are available
 //!   (SRL, BASRL, u-SRL, SRL+new, LRL, arithmetic extensions);
 //! * [`eval`] — a resource-bounded evaluator implementing the Section 2
-//!   semantics equations literally, instrumented with the paper's cost model.
+//!   semantics equations literally, instrumented with the paper's cost model;
+//! * [`pipeline`] — the staged compile path
+//!   (`Source → Program → Checked → Compiled`) that text input (parsed by
+//!   `srl-syntax`), DSL input, type checking, lowering, and bytecode caching
+//!   all flow through.
 //!
 //! The companion crates build on this one: `srl-stdlib` reconstructs every
 //! program in the paper, `srl-analysis` reads complexity off the syntax
@@ -72,6 +76,7 @@ pub mod eval;
 pub mod intern;
 pub mod limits;
 pub mod lower;
+pub mod pipeline;
 pub mod program;
 pub mod setrepr;
 pub mod typecheck;
@@ -88,6 +93,7 @@ pub use eval::{eval_expr, eval_expr_with_stats, run_program, Evaluator, ExecBack
 pub use intern::{Symbol, SymbolTable};
 pub use lower::{program_fingerprint, CompiledDef, CompiledProgram, LExpr, LLambda, LoweredExpr};
 pub use limits::{EvalLimits, EvalStats};
+pub use pipeline::{Pipeline, Source, TypePolicy};
 pub use program::{Env, FunDef, Param, Program};
 pub use typecheck::{check_and_compile, check_expr, check_program, CheckedProgram, FunSig, TypeChecker};
 pub use types::Type;

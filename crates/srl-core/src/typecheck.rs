@@ -476,13 +476,24 @@ pub fn check_program(program: &Program) -> Result<CheckedProgram, CheckError> {
 }
 
 /// Type-checks a program and, on success, lowers it to its compiled form
-/// (interned symbols, slot-indexed variables) in one step — the intended
-/// build pipeline for harnesses that evaluate a program many times.
+/// (interned symbols, slot-indexed variables) in one step.
+///
+/// This is a thin compatibility wrapper over the staged
+/// [`Pipeline`](crate::pipeline::Pipeline) (with
+/// [`TypePolicy::Require`](crate::pipeline::TypePolicy)), which is the
+/// intended entry point for new code: it additionally owns the evaluation
+/// budget and backend choice, and hands out evaluators whose
+/// program↔compiled pairing is correct by construction.
 pub fn check_and_compile(
     program: &Program,
 ) -> Result<(CheckedProgram, CompiledProgram), CheckError> {
-    let checked = TypeChecker::new(program).check_program()?;
-    Ok((checked, program.compile()))
+    use crate::pipeline::{Pipeline, TypePolicy};
+    let checked = Pipeline::new()
+        .with_type_policy(TypePolicy::Require)
+        .check(program.clone())?;
+    let (program, signatures) = checked.into_parts();
+    let signatures = signatures.expect("TypePolicy::Require always runs the checker");
+    Ok((signatures, program.compile()))
 }
 
 /// Convenience: type-checks a stand-alone expression against typed inputs.

@@ -1,0 +1,179 @@
+//! The parse stage of the compile pipeline: turns a [`Source`] (named text)
+//! into a checked, compiled artifact by feeding the parser's output into
+//! [`srl_core::pipeline::Pipeline`].
+//!
+//! `srl-core` deliberately has no dependency on the text syntax, so the
+//! `Source → Program` step lives here as an extension trait on `Pipeline`:
+//!
+//! ```
+//! use srl_core::pipeline::{Pipeline, Source};
+//! use srl_syntax::frontend::TextFrontend;
+//!
+//! let source = Source::new("inline.srl", "singleton(x) = insert(x, emptyset)");
+//! let artifact = Pipeline::new().compile_source(&source).unwrap();
+//! let (v, _) = artifact
+//!     .call("singleton", &[srl_core::Value::atom(3)])
+//!     .unwrap();
+//! assert_eq!(v, srl_core::Value::set([srl_core::Value::atom(3)]));
+//! ```
+//!
+//! From the check stage on, text-built and DSL-built programs are
+//! indistinguishable — same validation, same lowering, same evaluators,
+//! byte-identical `EvalStats`.
+
+use std::fmt;
+
+use srl_core::error::CheckError;
+use srl_core::pipeline::{Checked, Compiled, Pipeline, Source};
+use srl_core::program::Program;
+
+use crate::parser::{parse_program, Diagnostic, ParseError};
+
+/// What can go wrong between a [`Source`] and a [`Compiled`] artifact.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FrontendError {
+    /// The text did not parse; carries the structured span-bearing error.
+    Parse(ParseError),
+    /// The parsed program failed validation or type checking.
+    Check(CheckError),
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrontendError::Parse(e) => write!(f, "{e}"),
+            FrontendError::Check(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+impl From<ParseError> for FrontendError {
+    fn from(e: ParseError) -> Self {
+        FrontendError::Parse(e)
+    }
+}
+
+impl From<CheckError> for FrontendError {
+    fn from(e: CheckError) -> Self {
+        FrontendError::Check(e)
+    }
+}
+
+impl FrontendError {
+    /// Renders the error against its source: parse errors get the full
+    /// caret-underlined [`Diagnostic`]; check errors (which have no spans —
+    /// they are discovered on the AST) are prefixed with the source name.
+    pub fn render(&self, source: &Source) -> String {
+        match self {
+            FrontendError::Parse(e) => e.to_diagnostic(&source.name, &source.text).to_string(),
+            FrontendError::Check(e) => format!("error: {e}\n  --> {}", source.name),
+        }
+    }
+
+    /// The parse diagnostic, when this is a parse error.
+    pub fn diagnostic(&self, source: &Source) -> Option<Diagnostic> {
+        match self {
+            FrontendError::Parse(e) => Some(e.to_diagnostic(&source.name, &source.text)),
+            FrontendError::Check(_) => None,
+        }
+    }
+}
+
+/// Extension trait adding the text entry point to
+/// [`srl_core::pipeline::Pipeline`].
+pub trait TextFrontend {
+    /// Parses `source` into a [`Program`] (the pipeline's dialect override,
+    /// if any, replaces the parser's permissive default) and runs the check
+    /// stage.
+    fn check_source(&self, source: &Source) -> Result<Checked, FrontendError>;
+
+    /// Parses, checks and compiles `source` — the full
+    /// `Source → Program → Checked → Compiled` path.
+    fn compile_source(&self, source: &Source) -> Result<Compiled, FrontendError>;
+}
+
+impl TextFrontend for Pipeline {
+    fn check_source(&self, source: &Source) -> Result<Checked, FrontendError> {
+        let program: Program = parse_program(&source.text)?;
+        Ok(self.check(program)?)
+    }
+
+    fn compile_source(&self, source: &Source) -> Result<Compiled, FrontendError> {
+        let checked = self.check_source(source)?;
+        Ok(self.compile(checked))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srl_core::value::Value;
+    use srl_core::ExecBackend;
+
+    const MEMBER: &str = "\
+member(S, t) =
+  set-reduce(S, lambda(x, e) (x = e), lambda(found, acc) if found then true else acc, false, t)
+";
+
+    #[test]
+    fn text_programs_compile_and_run() {
+        let source = Source::new("member.srl", MEMBER);
+        let artifact = Pipeline::new().compile_source(&source).unwrap();
+        let set = Value::set([Value::atom(1), Value::atom(4), Value::atom(9)]);
+        let (v, _) = artifact.call("member", &[set.clone(), Value::atom(4)]).unwrap();
+        assert_eq!(v, Value::bool(true));
+        let (v, _) = artifact.call("member", &[set, Value::atom(5)]).unwrap();
+        assert_eq!(v, Value::bool(false));
+    }
+
+    #[test]
+    fn text_and_dsl_programs_produce_identical_stats_on_both_backends() {
+        use srl_core::dsl::*;
+        let program = srl_core::Program::srl().define(
+            "member",
+            ["S", "t"],
+            set_reduce(
+                var("S"),
+                lam("x", "e", eq(var("x"), var("e"))),
+                lam("found", "acc", if_(var("found"), bool_(true), var("acc"))),
+                bool_(false),
+                var("t"),
+            ),
+        );
+        let source = Source::new("member.srl", MEMBER);
+        let set = Value::set((0..24).map(Value::atom));
+        let args = [set, Value::atom(17)];
+        for backend in [ExecBackend::TreeWalk, ExecBackend::Vm] {
+            let pipeline = Pipeline::new().with_backend(backend);
+            let from_text = pipeline.compile_source(&source).unwrap();
+            let from_dsl = pipeline.prepare(program.clone()).unwrap();
+            let (tv, ts) = from_text.call("member", &args).unwrap();
+            let (dv, ds) = from_dsl.call("member", &args).unwrap();
+            assert_eq!(tv, dv, "{backend:?}");
+            assert_eq!(ts, ds, "{backend:?}: EvalStats must be byte-identical");
+        }
+    }
+
+    #[test]
+    fn parse_errors_render_with_source_name_and_caret() {
+        let source = Source::new("broken.srl", "f(x) = insert(x, emptyset");
+        let err = Pipeline::new().compile_source(&source).unwrap_err();
+        let rendered = err.render(&source);
+        assert!(rendered.contains("broken.srl"), "{rendered}");
+        assert!(rendered.contains('^'), "{rendered}");
+        assert!(err.diagnostic(&source).is_some());
+    }
+
+    #[test]
+    fn check_errors_pass_through() {
+        let source = Source::new("rec.srl", "f(x) = f(x)");
+        let err = Pipeline::new().compile_source(&source).unwrap_err();
+        assert!(matches!(
+            err,
+            FrontendError::Check(CheckError::RecursiveDefinition(_))
+        ));
+        assert!(err.render(&source).contains("rec.srl"));
+    }
+}

@@ -1,0 +1,231 @@
+//! Hand-written lexer for the SRL surface syntax.
+//!
+//! Produces the full token stream up front (source programs are small —
+//! the largest paper program is a few kilobytes), with every token carrying
+//! its byte [`Span`]. `//` starts a line comment; whitespace is free-form.
+//!
+//! Identifier syntax: a letter or `_`, followed by letters, digits, `_` or
+//! `-` — the hyphen makes `set-reduce` / `list-reduce` single words, exactly
+//! as the printer spells them. Two identifier shapes are reclassified into
+//! constants, matching how the printer renders atom values:
+//!
+//! * `d<digits>` is an unnamed atom constant (`d7` = the atom of rank 7);
+//! * `<word>#<digits>` is a named atom constant (`alice#5`).
+//!
+//! Consequently `d7`-shaped words are not available as variable names; no
+//! program in the repository uses one.
+
+use crate::parser::{ParseError, ParseErrorKind};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Lexes `source` into a token vector terminated by a [`TokenKind::Eof`]
+/// token (whose span is a point at the end of input).
+pub fn lex(source: &str) -> Result<Vec<Token<'_>>, ParseError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        // Whitespace.
+        if b.is_ascii_whitespace() {
+            pos += 1;
+            continue;
+        }
+        // Line comments.
+        if b == b'/' && bytes.get(pos + 1) == Some(&b'/') {
+            while pos < bytes.len() && bytes[pos] != b'\n' {
+                pos += 1;
+            }
+            continue;
+        }
+        let start = pos;
+        let kind = match b {
+            b'(' => one(&mut pos, TokenKind::LParen),
+            b')' => one(&mut pos, TokenKind::RParen),
+            b'[' => one(&mut pos, TokenKind::LBracket),
+            b']' => one(&mut pos, TokenKind::RBracket),
+            b'{' => one(&mut pos, TokenKind::LBrace),
+            b'}' => one(&mut pos, TokenKind::RBrace),
+            b',' => one(&mut pos, TokenKind::Comma),
+            b'.' => one(&mut pos, TokenKind::Dot),
+            b'=' => one(&mut pos, TokenKind::Eq),
+            b'+' => one(&mut pos, TokenKind::Plus),
+            b'*' => one(&mut pos, TokenKind::Star),
+            b'>' => one(&mut pos, TokenKind::Gt),
+            b'<' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    pos += 2;
+                    TokenKind::Leq
+                } else {
+                    one(&mut pos, TokenKind::Lt)
+                }
+            }
+            b'0'..=b'9' => {
+                while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                    pos += 1;
+                }
+                TokenKind::Number(&source[start..pos])
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                pos += 1;
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_alphanumeric()
+                        || bytes[pos] == b'_'
+                        || bytes[pos] == b'-')
+                {
+                    pos += 1;
+                }
+                let word = &source[start..pos];
+                // `name#digits` — a named atom constant.
+                if bytes.get(pos) == Some(&b'#') {
+                    let digits_start = pos + 1;
+                    let mut p = digits_start;
+                    while p < bytes.len() && bytes[p].is_ascii_digit() {
+                        p += 1;
+                    }
+                    if p == digits_start {
+                        return Err(ParseError {
+                            kind: ParseErrorKind::UnexpectedChar { found: '#' },
+                            span: Span::new(pos, pos + 1),
+                        });
+                    }
+                    let rank = parse_rank(&source[digits_start..p], Span::new(digits_start, p))?;
+                    pos = p;
+                    TokenKind::NamedAtom(word, rank)
+                } else if let Some(rank) = atom_rank(word) {
+                    TokenKind::Atom(parse_rank(rank, Span::new(start + 1, pos))?)
+                } else {
+                    TokenKind::Ident(word)
+                }
+            }
+            other => {
+                let ch = source[pos..].chars().next().unwrap_or(other as char);
+                return Err(ParseError {
+                    kind: ParseErrorKind::UnexpectedChar { found: ch },
+                    span: Span::new(pos, pos + ch.len_utf8()),
+                });
+            }
+        };
+        tokens.push(Token {
+            kind,
+            span: Span::new(start, pos),
+        });
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        span: Span::point(source.len()),
+    });
+    Ok(tokens)
+}
+
+fn one<'s>(pos: &mut usize, kind: TokenKind<'s>) -> TokenKind<'s> {
+    *pos += 1;
+    kind
+}
+
+/// `d<digits>` → the digit text; anything else → `None`.
+fn atom_rank(word: &str) -> Option<&str> {
+    let digits = word.strip_prefix('d')?;
+    (!digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit())).then_some(digits)
+}
+
+fn parse_rank(digits: &str, span: Span) -> Result<u64, ParseError> {
+    digits.parse().map_err(|_| ParseError {
+        kind: ParseErrorKind::NumberOutOfRange,
+        span,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind<'_>> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn words_atoms_and_numbers() {
+        assert_eq!(
+            kinds("apath d7 alice#5 42 set-reduce __c_x"),
+            vec![
+                TokenKind::Ident("apath"),
+                TokenKind::Atom(7),
+                TokenKind::NamedAtom("alice", 5),
+                TokenKind::Number("42"),
+                TokenKind::Ident("set-reduce"),
+                TokenKind::Ident("__c_x"),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn punctuation_and_operators() {
+        assert_eq!(
+            kinds("( ) [ ] { } < > <= = + * , ."),
+            vec![
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::LBracket,
+                TokenKind::RBracket,
+                TokenKind::LBrace,
+                TokenKind::RBrace,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Leq,
+                TokenKind::Eq,
+                TokenKind::Plus,
+                TokenKind::Star,
+                TokenKind::Comma,
+                TokenKind::Dot,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_skipped() {
+        assert_eq!(
+            kinds("x // trailing comment\n// full line\n  y"),
+            vec![TokenKind::Ident("x"), TokenKind::Ident("y"), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn spans_are_byte_accurate() {
+        let toks = lex("ab d12").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 6));
+        assert_eq!(toks[2].span, Span::point(6));
+    }
+
+    #[test]
+    fn d_alone_and_d_mixed_stay_identifiers() {
+        assert_eq!(kinds("d"), vec![TokenKind::Ident("d"), TokenKind::Eof]);
+        assert_eq!(
+            kinds("d2x"),
+            vec![TokenKind::Ident("d2x"), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn bad_character_is_reported_with_span() {
+        let err = lex("x $ y").unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::UnexpectedChar { found: '$' }
+        ));
+        assert_eq!(err.span, Span::new(2, 3));
+    }
+
+    #[test]
+    fn lone_hash_is_rejected() {
+        let err = lex("x# y").unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::UnexpectedChar { found: '#' }
+        ));
+    }
+}

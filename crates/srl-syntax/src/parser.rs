@@ -1,0 +1,963 @@
+//! Recursive-descent parser for the SRL surface syntax.
+//!
+//! Parses exactly the notation [`crate::printer`] emits, so
+//! `parse_program(print_program(p))` is structurally equal to `p` for every
+//! program built from the repository's constructors (the round-trip suite in
+//! `tests/tests/parser_roundtrip.rs` pins this over the full E1–E9 program
+//! set). See the crate docs for the grammar in EBNF.
+//!
+//! ## Canonical parses
+//!
+//! A few printed forms are shared by more than one AST constructor; the
+//! parser resolves each to a single canonical node:
+//!
+//! * `true` / `false` parse to [`Expr::Bool`] (never `Const(Value::Bool)`);
+//! * decimal literals parse to [`Expr::NatConst`] (never `Const(Value::Nat)`);
+//! * `[e1, …]` parses to [`Expr::Tuple`] (never `Const(Value::Tuple)`).
+//!
+//! The printer keeps the round trip exact by parenthesising the rare
+//! constructs whose printed form would otherwise be ambiguous (selectors of
+//! `if`/`let`/numeric literals); repository programs embed constants only as
+//! atoms (`d7`) and naturals, both of which round-trip canonically. Set and
+//! list *literals* (`{…}`, `<…>`) contain value syntax, not expressions, and
+//! parse to [`Expr::Const`].
+//!
+//! Errors are structured [`ParseError`] values carrying byte [`Span`]s;
+//! [`ParseError::to_diagnostic`] renders a caret-underlined source excerpt.
+
+use std::fmt;
+
+use srl_core::ast::{Expr, Lambda};
+use srl_core::bignat::BigNat;
+use srl_core::dialect::Dialect;
+use srl_core::program::Program;
+use srl_core::value::{Atom, Value};
+
+use crate::lexer::lex;
+use crate::span::{caret_excerpt, line_col, Span};
+use crate::token::{is_keyword, Token, TokenKind};
+
+/// What went wrong during lexing or parsing.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ParseErrorKind {
+    /// A character outside the language's alphabet.
+    UnexpectedChar {
+        /// The offending character.
+        found: char,
+    },
+    /// A numeric literal that does not fit its context (e.g. an atom rank
+    /// beyond `u64`).
+    NumberOutOfRange,
+    /// The parser needed one construct and found another token.
+    UnexpectedToken {
+        /// What the grammar allowed here.
+        expected: String,
+        /// Display form of the token found.
+        found: String,
+    },
+    /// Input ended in the middle of a construct.
+    UnexpectedEof {
+        /// What the grammar still required.
+        expected: String,
+    },
+    /// A bracketing construct was opened but never closed; the span points
+    /// at the opening delimiter.
+    UnclosedDelimiter {
+        /// The opening delimiter, e.g. `(`.
+        delimiter: &'static str,
+    },
+    /// A built-in operator head was applied to the wrong number of
+    /// arguments (`insert` takes exactly 2, `choose` exactly 1, …).
+    OperatorArity {
+        /// The operator head.
+        operator: &'static str,
+        /// Its arity.
+        expected: usize,
+        /// Number of arguments written.
+        found: usize,
+    },
+    /// A selector index that is not a positive integer (selectors are
+    /// 1-based, as in the paper).
+    SelectorIndex,
+    /// A keyword was used where a name is required.
+    ReservedWord {
+        /// The keyword.
+        word: String,
+    },
+    /// `lambda` appeared somewhere other than the `app`/`acc` argument of a
+    /// reduce (lambdas are not first-class in SRL).
+    LambdaPosition,
+}
+
+/// A lexing or parsing error with its source location.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// The structured error.
+    pub kind: ParseErrorKind,
+    /// Where in the source it was detected.
+    pub span: Span,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParseErrorKind::UnexpectedChar { found } => {
+                write!(f, "unexpected character `{found}`")
+            }
+            ParseErrorKind::NumberOutOfRange => write!(f, "numeric literal out of range"),
+            ParseErrorKind::UnexpectedToken { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            ParseErrorKind::UnexpectedEof { expected } => {
+                write!(f, "unexpected end of input: expected {expected}")
+            }
+            ParseErrorKind::UnclosedDelimiter { delimiter } => {
+                write!(f, "this `{delimiter}` is never closed")
+            }
+            ParseErrorKind::OperatorArity {
+                operator,
+                expected,
+                found,
+            } => write!(
+                f,
+                "`{operator}` expects {expected} argument(s) but was given {found}"
+            ),
+            ParseErrorKind::SelectorIndex => {
+                write!(f, "selector index must be a positive integer (selectors are 1-based)")
+            }
+            ParseErrorKind::ReservedWord { word } => {
+                write!(f, "`{word}` is a reserved word and cannot be used as a name")
+            }
+            ParseErrorKind::LambdaPosition => write!(
+                f,
+                "`lambda` is only valid as the app/acc argument of set-reduce or list-reduce"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl ParseError {
+    /// Resolves the error against its source text into a renderable
+    /// [`Diagnostic`] (message, 1-based position, caret excerpt).
+    pub fn to_diagnostic(&self, source_name: &str, source: &str) -> Diagnostic {
+        let lc = line_col(source, self.span.start as usize);
+        Diagnostic {
+            message: self.to_string(),
+            source_name: source_name.to_string(),
+            line: lc.line,
+            col: lc.col,
+            excerpt: caret_excerpt(source, self.span),
+        }
+    }
+}
+
+/// A parse error resolved against its source: what, where, and a
+/// caret-underlined excerpt. `Display` renders the full report:
+///
+/// ```text
+/// error: expected `)`, found `,`
+///   --> powerset.srl:3:14
+///    |
+///  3 |   insert(x, y, z)
+///    |              ^
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// The error message.
+    pub message: String,
+    /// Name of the source (file name, `<repl>`, …).
+    pub source_name: String,
+    /// 1-based line of the error.
+    pub line: usize,
+    /// 1-based column of the error.
+    pub col: usize,
+    /// The caret-underlined source excerpt.
+    pub excerpt: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "error: {}", self.message)?;
+        writeln!(f, "  --> {}:{}:{}", self.source_name, self.line, self.col)?;
+        write!(f, "{}", self.excerpt)
+    }
+}
+
+/// Parses a whole program (a sequence of `name(params) = body` definitions)
+/// in the permissive [`Dialect::full`]. Use [`parse_program_in`] to record a
+/// specific dialect; dialect *enforcement* happens in the checking stage of
+/// the pipeline, not here.
+pub fn parse_program(source: &str) -> Result<Program, ParseError> {
+    parse_program_in(source, Dialect::full())
+}
+
+/// Parses a whole program into the given dialect.
+pub fn parse_program_in(source: &str, dialect: Dialect) -> Result<Program, ParseError> {
+    let mut parser = Parser::new(source)?;
+    let program = parser.program(dialect)?;
+    parser.expect_eof()?;
+    Ok(program)
+}
+
+/// Parses a stand-alone expression; the whole input must be consumed.
+pub fn parse_expr(source: &str) -> Result<Expr, ParseError> {
+    let mut parser = Parser::new(source)?;
+    let expr = parser.expr()?;
+    parser.expect_eof()?;
+    Ok(expr)
+}
+
+/// Parses a stand-alone two-parameter lambda, `lambda(x, y) body`.
+pub fn parse_lambda(source: &str) -> Result<Lambda, ParseError> {
+    let mut parser = Parser::new(source)?;
+    parser.expect_kw("lambda")?;
+    let lambda = parser.lambda_after_kw()?;
+    parser.expect_eof()?;
+    Ok(lambda)
+}
+
+/// Parses a value literal (`d3`, `42`, `true`, `[d1, d2]`, `{…}`, `<…>`) —
+/// the notation `Value`'s `Display` prints, used for set/list literal
+/// elements and for argument values on the `srl` command line.
+pub fn parse_value(source: &str) -> Result<Value, ParseError> {
+    let mut parser = Parser::new(source)?;
+    let value = parser.value()?;
+    parser.expect_eof()?;
+    Ok(value)
+}
+
+struct Parser<'s> {
+    tokens: Vec<Token<'s>>,
+    pos: usize,
+}
+
+impl<'s> Parser<'s> {
+    fn new(source: &'s str) -> Result<Self, ParseError> {
+        Ok(Parser {
+            tokens: lex(source)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> Token<'s> {
+        self.tokens[self.pos]
+    }
+
+    fn bump(&mut self) -> Token<'s> {
+        let tok = self.tokens[self.pos];
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek().kind, TokenKind::Eof)
+    }
+
+    fn unexpected<T>(&self, expected: &str) -> Result<T, ParseError> {
+        let tok = self.peek();
+        Err(match tok.kind {
+            TokenKind::Eof => ParseError {
+                kind: ParseErrorKind::UnexpectedEof {
+                    expected: expected.to_string(),
+                },
+                span: tok.span,
+            },
+            found => ParseError {
+                kind: ParseErrorKind::UnexpectedToken {
+                    expected: expected.to_string(),
+                    found: found.to_string(),
+                },
+                span: tok.span,
+            },
+        })
+    }
+
+    fn expect(&mut self, kind: TokenKind<'static>, expected: &str) -> Result<Token<'s>, ParseError> {
+        if self.peek().kind == kind {
+            Ok(self.bump())
+        } else {
+            self.unexpected(expected)
+        }
+    }
+
+    /// Like [`Parser::expect`] for a closing delimiter: at end of input the
+    /// error points back at the unclosed opener instead of at nothing.
+    fn expect_close(
+        &mut self,
+        kind: TokenKind<'static>,
+        expected: &str,
+        open: Span,
+        open_text: &'static str,
+    ) -> Result<Token<'s>, ParseError> {
+        if self.at_eof() {
+            return Err(ParseError {
+                kind: ParseErrorKind::UnclosedDelimiter {
+                    delimiter: open_text,
+                },
+                span: open,
+            });
+        }
+        self.expect(kind, expected)
+    }
+
+    fn expect_kw(&mut self, word: &'static str) -> Result<Token<'s>, ParseError> {
+        match self.peek().kind {
+            TokenKind::Ident(w) if w == word => Ok(self.bump()),
+            _ => self.unexpected(&format!("`{word}`")),
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            self.unexpected("end of input")
+        }
+    }
+
+    /// A non-keyword identifier (definition name, parameter, variable).
+    fn name(&mut self, what: &str) -> Result<(&'s str, Span), ParseError> {
+        match self.peek().kind {
+            TokenKind::Ident(w) if is_keyword(w) => Err(ParseError {
+                kind: ParseErrorKind::ReservedWord {
+                    word: w.to_string(),
+                },
+                span: self.peek().span,
+            }),
+            TokenKind::Ident(w) => {
+                let span = self.bump().span;
+                Ok((w, span))
+            }
+            _ => self.unexpected(what),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Programs
+    // ------------------------------------------------------------------
+
+    fn program(&mut self, dialect: Dialect) -> Result<Program, ParseError> {
+        let mut program = Program::new(dialect);
+        while !self.at_eof() {
+            let (name, _) = self.name("a definition name")?;
+            let open = self.expect(TokenKind::LParen, "`(` after the definition name")?;
+            let mut params: Vec<String> = Vec::new();
+            if self.peek().kind != TokenKind::RParen {
+                loop {
+                    let (param, _) = self.name("a parameter name")?;
+                    params.push(param.to_string());
+                    match self.peek().kind {
+                        TokenKind::Comma => {
+                            self.bump();
+                        }
+                        _ => break,
+                    }
+                }
+            }
+            self.expect_close(
+                TokenKind::RParen,
+                "`,` or `)` in the parameter list",
+                open.span,
+                "(",
+            )?;
+            self.expect(TokenKind::Eq, "`=` before the definition body")?;
+            let body = self.expr()?;
+            program = program.define(name, params, body);
+        }
+        Ok(program)
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut expr = self.primary()?;
+        // Postfix selectors: `e.1.2`.
+        while self.peek().kind == TokenKind::Dot {
+            let dot = self.bump();
+            let index = match self.peek().kind {
+                TokenKind::Number(digits) => {
+                    let span = self.bump().span;
+                    let index: usize = digits.parse().map_err(|_| ParseError {
+                        kind: ParseErrorKind::NumberOutOfRange,
+                        span,
+                    })?;
+                    if index == 0 {
+                        return Err(ParseError {
+                            kind: ParseErrorKind::SelectorIndex,
+                            span,
+                        });
+                    }
+                    index
+                }
+                _ => {
+                    return Err(ParseError {
+                        kind: ParseErrorKind::SelectorIndex,
+                        span: dot.span.to(self.peek().span),
+                    })
+                }
+            };
+            expr = Expr::Sel(index, Box::new(expr));
+        }
+        Ok(expr)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        let tok = self.peek();
+        match tok.kind {
+            TokenKind::Ident(word) => self.word_form(word),
+            TokenKind::Number(digits) => {
+                self.bump();
+                Ok(Expr::NatConst(bignat_from_decimal(digits)))
+            }
+            TokenKind::Atom(rank) => {
+                self.bump();
+                Ok(Expr::Const(Value::atom(rank)))
+            }
+            TokenKind::NamedAtom(name, rank) => {
+                self.bump();
+                Ok(Expr::Const(Value::Atom(Atom::named(rank, name))))
+            }
+            TokenKind::LBracket => {
+                let open = self.bump();
+                let mut items = Vec::new();
+                if self.peek().kind != TokenKind::RBracket {
+                    loop {
+                        items.push(self.expr()?);
+                        match self.peek().kind {
+                            TokenKind::Comma => {
+                                self.bump();
+                            }
+                            _ => break,
+                        }
+                    }
+                }
+                self.expect_close(
+                    TokenKind::RBracket,
+                    "`,` or `]` in the tuple",
+                    open.span,
+                    "[",
+                )?;
+                Ok(Expr::Tuple(items))
+            }
+            TokenKind::LBrace => {
+                let values = self.braced_values()?;
+                Ok(Expr::Const(Value::set(values)))
+            }
+            TokenKind::Lt => {
+                let values = self.angled_values()?;
+                Ok(Expr::Const(Value::list(values)))
+            }
+            TokenKind::LParen => {
+                let open = self.bump();
+                let lhs = self.expr()?;
+                let expr = match self.peek().kind {
+                    TokenKind::Eq => self.binary(lhs, Expr::Eq)?,
+                    TokenKind::Leq => self.binary(lhs, Expr::Leq)?,
+                    TokenKind::Plus => self.binary(lhs, Expr::NatAdd)?,
+                    TokenKind::Star => self.binary(lhs, Expr::NatMul)?,
+                    _ => lhs, // grouping parentheses
+                };
+                self.expect_close(
+                    TokenKind::RParen,
+                    "`)` or a binary operator (`=`, `<=`, `+`, `*`)",
+                    open.span,
+                    "(",
+                )?;
+                Ok(expr)
+            }
+            _ => self.unexpected("an expression"),
+        }
+    }
+
+    fn binary(
+        &mut self,
+        lhs: Expr,
+        build: impl FnOnce(Box<Expr>, Box<Expr>) -> Expr,
+    ) -> Result<Expr, ParseError> {
+        self.bump(); // the operator
+        let rhs = self.expr()?;
+        Ok(build(Box::new(lhs), Box::new(rhs)))
+    }
+
+    /// An expression starting with an identifier: a literal keyword, a
+    /// structured form, a built-in operator application, a call, or a
+    /// variable.
+    fn word_form(&mut self, word: &'s str) -> Result<Expr, ParseError> {
+        match word {
+            "true" => {
+                self.bump();
+                Ok(Expr::Bool(true))
+            }
+            "false" => {
+                self.bump();
+                Ok(Expr::Bool(false))
+            }
+            "emptyset" => {
+                self.bump();
+                Ok(Expr::EmptySet)
+            }
+            "emptylist" => {
+                self.bump();
+                Ok(Expr::EmptyList)
+            }
+            "if" => {
+                self.bump();
+                let cond = self.expr()?;
+                self.expect_kw("then")?;
+                let then_branch = self.expr()?;
+                self.expect_kw("else")?;
+                let else_branch = self.expr()?;
+                Ok(Expr::If(
+                    Box::new(cond),
+                    Box::new(then_branch),
+                    Box::new(else_branch),
+                ))
+            }
+            "let" => {
+                self.bump();
+                let (name, _) = self.name("a binding name")?;
+                self.expect(TokenKind::Eq, "`=` after the `let` binding name")?;
+                let value = self.expr()?;
+                self.expect_kw("in")?;
+                let body = self.expr()?;
+                Ok(Expr::Let {
+                    name: name.to_string(),
+                    value: Box::new(value),
+                    body: Box::new(body),
+                })
+            }
+            "lambda" => Err(ParseError {
+                kind: ParseErrorKind::LambdaPosition,
+                span: self.peek().span,
+            }),
+            "set-reduce" => self.reduce_form(true),
+            "list-reduce" => self.reduce_form(false),
+            "choose" => self.unary_form("choose", |e| Expr::Choose(Box::new(e))),
+            "rest" => self.unary_form("rest", |e| Expr::Rest(Box::new(e))),
+            "new" => self.unary_form("new", |e| Expr::New(Box::new(e))),
+            "succ" => self.unary_form("succ", |e| Expr::Succ(Box::new(e))),
+            "head" => self.unary_form("head", |e| Expr::Head(Box::new(e))),
+            "tail" => self.unary_form("tail", |e| Expr::Tail(Box::new(e))),
+            "insert" => self.binary_form("insert", |a, b| Expr::Insert(Box::new(a), Box::new(b))),
+            "cons" => self.binary_form("cons", |a, b| Expr::Cons(Box::new(a), Box::new(b))),
+            // `then` / `else` / `in` reach here when an expression is
+            // missing before them; report the missing expression.
+            _ if is_keyword(word) => self.unexpected("an expression"),
+            _ => {
+                self.bump();
+                if self.peek().kind == TokenKind::LParen {
+                    let (args, _) = self.paren_args()?;
+                    Ok(Expr::Call(word.to_string(), args))
+                } else {
+                    Ok(Expr::Var(word.to_string()))
+                }
+            }
+        }
+    }
+
+    /// `head(args…)` for a built-in of arity 1.
+    fn unary_form(
+        &mut self,
+        operator: &'static str,
+        build: impl FnOnce(Expr) -> Expr,
+    ) -> Result<Expr, ParseError> {
+        let head = self.bump();
+        let (mut args, close) = self.paren_args()?;
+        if args.len() != 1 {
+            return Err(ParseError {
+                kind: ParseErrorKind::OperatorArity {
+                    operator,
+                    expected: 1,
+                    found: args.len(),
+                },
+                span: head.span.to(close),
+            });
+        }
+        Ok(build(args.remove(0)))
+    }
+
+    /// `head(args…)` for a built-in of arity 2.
+    fn binary_form(
+        &mut self,
+        operator: &'static str,
+        build: impl FnOnce(Expr, Expr) -> Expr,
+    ) -> Result<Expr, ParseError> {
+        let head = self.bump();
+        let (mut args, close) = self.paren_args()?;
+        if args.len() != 2 {
+            return Err(ParseError {
+                kind: ParseErrorKind::OperatorArity {
+                    operator,
+                    expected: 2,
+                    found: args.len(),
+                },
+                span: head.span.to(close),
+            });
+        }
+        let second = args.remove(1);
+        Ok(build(args.remove(0), second))
+    }
+
+    /// `set-reduce(s, lambda…, lambda…, base, extra)` (or `list-reduce`).
+    fn reduce_form(&mut self, set: bool) -> Result<Expr, ParseError> {
+        self.bump(); // the head keyword
+        let open = self.expect(TokenKind::LParen, "`(` after the reduce head")?;
+        let collection = self.expr()?;
+        self.expect(TokenKind::Comma, "`,` after the reduced collection")?;
+        self.expect_kw("lambda")?;
+        let app = self.lambda_after_kw()?;
+        self.expect(TokenKind::Comma, "`,` after the app lambda")?;
+        self.expect_kw("lambda")?;
+        let acc = self.lambda_after_kw()?;
+        self.expect(TokenKind::Comma, "`,` after the acc lambda")?;
+        let base = self.expr()?;
+        self.expect(TokenKind::Comma, "`,` after the base expression")?;
+        let extra = self.expr()?;
+        self.expect_close(TokenKind::RParen, "`)` closing the reduce", open.span, "(")?;
+        Ok(if set {
+            Expr::SetReduce {
+                set: Box::new(collection),
+                app,
+                acc,
+                base: Box::new(base),
+                extra: Box::new(extra),
+            }
+        } else {
+            Expr::ListReduce {
+                list: Box::new(collection),
+                app,
+                acc,
+                base: Box::new(base),
+                extra: Box::new(extra),
+            }
+        })
+    }
+
+    /// `(x, y) body`, with the `lambda` keyword already consumed.
+    fn lambda_after_kw(&mut self) -> Result<Lambda, ParseError> {
+        self.expect(TokenKind::LParen, "`(` after `lambda`")?;
+        let (x, _) = self.name("the first lambda parameter")?;
+        self.expect(TokenKind::Comma, "`,` between the lambda parameters")?;
+        let (y, _) = self.name("the second lambda parameter")?;
+        self.expect(TokenKind::RParen, "`)` after the lambda parameters")?;
+        let body = self.expr()?;
+        Ok(Lambda::new(x, y, body))
+    }
+
+    /// A parenthesised, comma-separated argument list. Returns the arguments
+    /// and the span of the closing parenthesis.
+    fn paren_args(&mut self) -> Result<(Vec<Expr>, Span), ParseError> {
+        let open = self.expect(TokenKind::LParen, "`(`")?;
+        let mut args = Vec::new();
+        if self.peek().kind != TokenKind::RParen {
+            loop {
+                args.push(self.expr()?);
+                match self.peek().kind {
+                    TokenKind::Comma => {
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            }
+        }
+        let close = self.expect_close(
+            TokenKind::RParen,
+            "`,` or `)` in the argument list",
+            open.span,
+            "(",
+        )?;
+        Ok((args, close.span))
+    }
+
+    // ------------------------------------------------------------------
+    // Value literals
+    // ------------------------------------------------------------------
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        let tok = self.peek();
+        match tok.kind {
+            TokenKind::Ident("true") => {
+                self.bump();
+                Ok(Value::bool(true))
+            }
+            TokenKind::Ident("false") => {
+                self.bump();
+                Ok(Value::bool(false))
+            }
+            TokenKind::Number(digits) => {
+                self.bump();
+                Ok(Value::Nat(bignat_from_decimal(digits)))
+            }
+            TokenKind::Atom(rank) => {
+                self.bump();
+                Ok(Value::atom(rank))
+            }
+            TokenKind::NamedAtom(name, rank) => {
+                self.bump();
+                Ok(Value::Atom(Atom::named(rank, name)))
+            }
+            TokenKind::LBracket => {
+                let open = self.bump();
+                let items = self.value_list(TokenKind::RBracket, open.span, "[")?;
+                Ok(Value::tuple(items))
+            }
+            TokenKind::LBrace => Ok(Value::set(self.braced_values()?)),
+            TokenKind::Lt => Ok(Value::list(self.angled_values()?)),
+            _ => self.unexpected("a value literal (`d3`, `42`, `true`, `[…]`, `{…}`, `<…>`)"),
+        }
+    }
+
+    fn braced_values(&mut self) -> Result<Vec<Value>, ParseError> {
+        let open = self.expect(TokenKind::LBrace, "`{`")?;
+        self.value_list(TokenKind::RBrace, open.span, "{")
+    }
+
+    fn angled_values(&mut self) -> Result<Vec<Value>, ParseError> {
+        let open = self.expect(TokenKind::Lt, "`<`")?;
+        self.value_list(TokenKind::Gt, open.span, "<")
+    }
+
+    fn value_list(
+        &mut self,
+        close: TokenKind<'static>,
+        open: Span,
+        open_text: &'static str,
+    ) -> Result<Vec<Value>, ParseError> {
+        let mut items = Vec::new();
+        if self.peek().kind != close {
+            loop {
+                items.push(self.value()?);
+                match self.peek().kind {
+                    TokenKind::Comma => {
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            }
+        }
+        self.expect_close(close, "`,` or the closing delimiter", open, open_text)?;
+        Ok(items)
+    }
+}
+
+fn bignat_from_decimal(digits: &str) -> BigNat {
+    digits.bytes().fold(BigNat::zero(), |acc, b| {
+        acc.mul_u64(10)
+            .add(&BigNat::from_u64(u64::from(b - b'0')))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srl_core::dsl::*;
+
+    fn roundtrip_expr(e: &Expr) {
+        let text = crate::printer::print_expr(e);
+        let parsed = parse_expr(&text).unwrap_or_else(|err| panic!("{text}: {err}"));
+        assert_eq!(&parsed, e, "round trip of `{text}`");
+        assert_eq!(crate::printer::print_expr(&parsed), text, "re-print fixpoint");
+    }
+
+    #[test]
+    fn literals_and_variables() {
+        assert_eq!(parse_expr("true").unwrap(), bool_(true));
+        assert_eq!(parse_expr("false").unwrap(), bool_(false));
+        assert_eq!(parse_expr("d3").unwrap(), atom(3));
+        assert_eq!(parse_expr("42").unwrap(), nat(42));
+        assert_eq!(parse_expr("x").unwrap(), var("x"));
+        assert_eq!(parse_expr("emptyset").unwrap(), empty_set());
+        assert_eq!(parse_expr("emptylist").unwrap(), empty_list());
+    }
+
+    #[test]
+    fn structured_forms() {
+        assert_eq!(
+            parse_expr("if b then d1 else d2").unwrap(),
+            if_(var("b"), atom(1), atom(2))
+        );
+        assert_eq!(
+            parse_expr("let x = d1 in x").unwrap(),
+            let_in("x", atom(1), var("x"))
+        );
+        assert_eq!(
+            parse_expr("[a, b]").unwrap(),
+            tuple([var("a"), var("b")])
+        );
+        assert_eq!(parse_expr("t.2").unwrap(), sel(var("t"), 2));
+        assert_eq!(parse_expr("(x = d1)").unwrap(), eq(var("x"), atom(1)));
+        assert_eq!(parse_expr("(x <= y)").unwrap(), leq(var("x"), var("y")));
+        assert_eq!(parse_expr("(1 + 2)").unwrap(), nat_add(nat(1), nat(2)));
+        assert_eq!(parse_expr("(1 * 2)").unwrap(), nat_mul(nat(1), nat(2)));
+        assert_eq!(
+            parse_expr("insert(x, emptyset)").unwrap(),
+            insert(var("x"), empty_set())
+        );
+        assert_eq!(
+            parse_expr("union(A, B)").unwrap(),
+            call("union", [var("A"), var("B")])
+        );
+    }
+
+    #[test]
+    fn nested_if_binds_greedily_like_the_printer() {
+        let inner_then = if_(var("a"), if_(var("b"), var("c"), var("d")), var("e"));
+        roundtrip_expr(&inner_then);
+        let inner_cond = if_(if_(var("a"), var("b"), var("c")), var("d"), var("e"));
+        roundtrip_expr(&inner_cond);
+        let inner_else = if_(var("a"), var("b"), if_(var("c"), var("d"), var("e")));
+        roundtrip_expr(&inner_else);
+    }
+
+    #[test]
+    fn reduce_forms_roundtrip() {
+        let e = set_reduce(
+            var("S"),
+            lam("x", "e", eq(var("x"), var("e"))),
+            lam("v", "acc", insert(var("v"), var("acc"))),
+            empty_set(),
+            var("R"),
+        );
+        roundtrip_expr(&e);
+        let l = list_reduce(
+            var("L"),
+            lam("x", "e", var("x")),
+            lam("v", "acc", cons(var("v"), var("acc"))),
+            empty_list(),
+            var("R"),
+        );
+        roundtrip_expr(&l);
+    }
+
+    #[test]
+    fn selectors_of_compound_expressions_roundtrip() {
+        roundtrip_expr(&sel(if_(var("b"), var("t"), var("u")), 1));
+        roundtrip_expr(&sel(let_in("x", var("v"), var("x")), 2));
+        roundtrip_expr(&sel(eq(var("a"), var("b")), 1));
+        roundtrip_expr(&sel(sel(var("t"), 1), 2));
+        roundtrip_expr(&sel(nat(5), 1));
+    }
+
+    #[test]
+    fn grouping_parens_add_no_node() {
+        assert_eq!(
+            parse_expr("(if b then t else u).1").unwrap(),
+            sel(if_(var("b"), var("t"), var("u")), 1)
+        );
+        assert_eq!(parse_expr("(x)").unwrap(), var("x"));
+    }
+
+    #[test]
+    fn set_and_list_value_literals() {
+        assert_eq!(
+            parse_expr("{d1, d2}").unwrap(),
+            const_v(Value::set([Value::atom(1), Value::atom(2)]))
+        );
+        assert_eq!(
+            parse_expr("{[d1, d2]}").unwrap(),
+            const_v(Value::set([Value::tuple([Value::atom(1), Value::atom(2)])]))
+        );
+        assert_eq!(
+            parse_expr("<d1, d1>").unwrap(),
+            const_v(Value::list([Value::atom(1), Value::atom(1)]))
+        );
+        assert_eq!(parse_value("alice#5").unwrap(), Value::Atom(Atom::named(5, "alice")));
+        assert_eq!(parse_value("{}").unwrap(), Value::empty_set());
+    }
+
+    #[test]
+    fn programs_parse_into_ordered_definitions() {
+        let p = parse_program(
+            "first(t) =\n  t.1\n\nuses(t) =\n  first([t, t])\n\n",
+        )
+        .unwrap();
+        assert_eq!(p.def_names(), vec!["first", "uses"]);
+        assert_eq!(p.lookup("first").unwrap().body, sel(var("t"), 1));
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn empty_parameter_lists_parse() {
+        let p = parse_program("main() = insert(d1, emptyset)").unwrap();
+        assert_eq!(p.lookup("main").unwrap().params.len(), 0);
+    }
+
+    #[test]
+    fn builtin_arity_is_checked_with_spans() {
+        let err = parse_expr("insert(x)").unwrap_err();
+        assert_eq!(
+            err.kind,
+            ParseErrorKind::OperatorArity {
+                operator: "insert",
+                expected: 2,
+                found: 1
+            }
+        );
+        assert_eq!(err.span, Span::new(0, 9));
+        let err = parse_expr("choose(x, y)").unwrap_err();
+        assert!(matches!(
+            err.kind,
+            ParseErrorKind::OperatorArity {
+                operator: "choose",
+                expected: 1,
+                found: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn unclosed_paren_points_at_the_opener() {
+        let err = parse_expr("insert(x, emptyset").unwrap_err();
+        assert_eq!(
+            err.kind,
+            ParseErrorKind::UnclosedDelimiter { delimiter: "(" }
+        );
+        assert_eq!(err.span, Span::new(6, 7));
+    }
+
+    #[test]
+    fn reserved_words_cannot_name_things() {
+        let err = parse_program("if(x) = x").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::ReservedWord { .. }));
+        let err = parse_expr("let in = d1 in in").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::ReservedWord { .. }));
+    }
+
+    #[test]
+    fn lambda_outside_reduce_is_rejected() {
+        let err = parse_expr("lambda(x, y) x").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::LambdaPosition);
+        assert_eq!(parse_lambda("lambda(x, y) x").unwrap(), lam("x", "y", var("x")));
+    }
+
+    #[test]
+    fn selector_zero_is_rejected() {
+        let err = parse_expr("t.0").unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::SelectorIndex);
+    }
+
+    #[test]
+    fn diagnostics_render_carets() {
+        let err = parse_program("f(x) =\n  insert(x, y, z)\n").unwrap_err();
+        let diag = err.to_diagnostic("demo.srl", "f(x) =\n  insert(x, y, z)\n");
+        let rendered = diag.to_string();
+        assert!(rendered.contains("error: `insert` expects 2 argument(s) but was given 3"));
+        assert!(rendered.contains("demo.srl:2:3"), "{rendered}");
+        assert!(rendered.contains('^'), "{rendered}");
+    }
+
+    #[test]
+    fn big_naturals_parse_exactly() {
+        let big = "123456789012345678901234567890";
+        match parse_expr(big).unwrap() {
+            Expr::NatConst(n) => assert_eq!(n.to_string(), big),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -61,7 +61,19 @@ fn write_expr(expr: &Expr, out: &mut String) {
             out.push(']');
         }
         Expr::Sel(i, e) => {
-            write_expr(e, out);
+            // Keyword-delimited forms (`if`/`let`) must be parenthesised
+            // under a selector: `if c then t else u.1` re-parses with the
+            // selector on `u`. Numeric literals are parenthesised too —
+            // `5.1` does lex as Number-Dot-Number and re-parses correctly,
+            // but `(5).1` is the canonical form (a bare `5.1` reads as a
+            // decimal fraction). Everything else is self-delimiting.
+            if sel_operand_needs_parens(e) {
+                out.push('(');
+                write_expr(e, out);
+                out.push(')');
+            } else {
+                write_expr(e, out);
+            }
             out.push_str(&format!(".{i}"));
         }
         Expr::Eq(a, b) => binary(out, a, " = ", b),
@@ -137,6 +149,13 @@ fn write_expr(expr: &Expr, out: &mut String) {
         Expr::Head(l) => fun(out, "head", &[l]),
         Expr::Tail(l) => fun(out, "tail", &[l]),
     }
+}
+
+fn sel_operand_needs_parens(e: &Expr) -> bool {
+    matches!(
+        e,
+        Expr::If(..) | Expr::Let { .. } | Expr::NatConst(_) | Expr::Const(srl_core::value::Value::Nat(_))
+    )
 }
 
 fn binary(out: &mut String, a: &Expr, op: &str, b: &Expr) {
@@ -216,6 +235,26 @@ mod tests {
         assert_eq!(print_expr(&nat_add(nat(1), nat(2))), "(1 + 2)");
         assert_eq!(print_expr(&cons(atom(1), empty_list())), "cons(d1, emptylist)");
         assert_eq!(print_expr(&head(var("L"))), "head(L)");
+    }
+
+    #[test]
+    fn selectors_of_keyword_forms_are_parenthesised() {
+        assert_eq!(
+            print_expr(&sel(if_(var("b"), var("t"), var("u")), 1)),
+            "(if b then t else u).1"
+        );
+        assert_eq!(
+            print_expr(&sel(let_in("x", var("v"), var("x")), 2)),
+            "(let x = v in x).2"
+        );
+        assert_eq!(print_expr(&sel(nat(5), 1)), "(5).1");
+        // Self-delimiting operands stay bare.
+        assert_eq!(print_expr(&sel(sel(var("t"), 1), 2)), "t.1.2");
+        assert_eq!(print_expr(&sel(eq(var("a"), var("b")), 1)), "(a = b).1");
+        assert_eq!(
+            print_expr(&sel(call("f", [var("x")]), 1)),
+            "f(x).1"
+        );
     }
 
     #[test]

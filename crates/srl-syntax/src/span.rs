@@ -1,0 +1,158 @@
+//! Byte spans into a source text, and line/column resolution for rendering
+//! caret-underlined diagnostics.
+//!
+//! Every token the lexer produces and every error the parser reports carries
+//! a [`Span`]: a half-open byte range `[start, end)` into the original source
+//! string. Spans are deliberately tiny (two `u32`s, `Copy`) so carrying them
+//! everywhere costs nothing; they resolve to human line/column positions only
+//! when a diagnostic is actually rendered.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source text.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Span {
+    /// Byte offset of the first byte covered.
+    pub start: u32,
+    /// Byte offset one past the last byte covered.
+    pub end: u32,
+}
+
+impl Span {
+    /// A span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span {
+            start: start as u32,
+            end: end as u32,
+        }
+    }
+
+    /// An empty span at a single position (used for end-of-input errors).
+    pub fn point(at: usize) -> Self {
+        Span::new(at, at)
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// True for zero-length (point) spans.
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+
+    /// The source text the span covers.
+    pub fn slice(self, source: &str) -> &str {
+        &source[self.start as usize..(self.end as usize).min(source.len())]
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A span resolved to 1-based line and column numbers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number (in bytes; the sources here are ASCII).
+    pub col: usize,
+}
+
+/// Resolves a byte offset to its 1-based line and column in `source`.
+pub fn line_col(source: &str, offset: usize) -> LineCol {
+    let offset = offset.min(source.len());
+    let before = &source[..offset];
+    let line = before.bytes().filter(|&b| b == b'\n').count() + 1;
+    let col = offset - before.rfind('\n').map(|i| i + 1).unwrap_or(0) + 1;
+    LineCol { line, col }
+}
+
+/// Renders the source line containing `span` with a caret underline:
+///
+/// ```text
+///   |
+/// 3 | insert(x, emptyset
+///   |       ^
+/// ```
+///
+/// The underline covers the span (clamped to the line), with a minimum width
+/// of one caret so point spans (end-of-input) still show a position.
+pub fn caret_excerpt(source: &str, span: Span) -> String {
+    let at = (span.start as usize).min(source.len());
+    let line_start = source[..at].rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let line_end = source[at..]
+        .find('\n')
+        .map(|i| at + i)
+        .unwrap_or(source.len());
+    let line_text = &source[line_start..line_end];
+    let lc = line_col(source, at);
+    let gutter = lc.line.to_string();
+    let pad = " ".repeat(gutter.len());
+    let underline_start = at - line_start;
+    let underline_len = (span.len()).max(1).min(line_end.saturating_sub(at).max(1));
+    let mut out = String::new();
+    out.push_str(&format!("{pad} |\n"));
+    out.push_str(&format!("{gutter} | {line_text}\n"));
+    out.push_str(&format!(
+        "{pad} | {}{}\n",
+        " ".repeat(underline_start),
+        "^".repeat(underline_len)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_and_slice() {
+        let a = Span::new(2, 5);
+        let b = Span::new(7, 9);
+        assert_eq!(a.to(b), Span::new(2, 9));
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert!(Span::point(4).is_empty());
+        assert_eq!(a.slice("0123456789"), "234");
+    }
+
+    #[test]
+    fn line_col_resolution() {
+        let src = "ab\ncde\nf";
+        assert_eq!(line_col(src, 0), LineCol { line: 1, col: 1 });
+        assert_eq!(line_col(src, 3), LineCol { line: 2, col: 1 });
+        assert_eq!(line_col(src, 5), LineCol { line: 2, col: 3 });
+        assert_eq!(line_col(src, 7), LineCol { line: 3, col: 1 });
+        // Past the end clamps to the end.
+        assert_eq!(line_col(src, 99), LineCol { line: 3, col: 2 });
+    }
+
+    #[test]
+    fn caret_excerpt_underlines_the_span() {
+        let src = "f(x) =\n  insert(x)\n";
+        let span = Span::new(9, 18); // `insert(x)`
+        let rendered = caret_excerpt(src, span);
+        assert!(rendered.contains("2 |   insert(x)"), "{rendered}");
+        assert!(rendered.contains("^^^^^^^^^"), "{rendered}");
+    }
+
+    #[test]
+    fn caret_excerpt_point_span_shows_one_caret() {
+        let src = "abc";
+        let rendered = caret_excerpt(src, Span::point(3));
+        assert!(rendered.contains('^'), "{rendered}");
+    }
+}

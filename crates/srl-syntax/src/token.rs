@@ -1,0 +1,149 @@
+//! Tokens of the SRL surface syntax.
+//!
+//! The token set covers exactly the notation the pretty-printer
+//! ([`crate::printer`]) emits: word-shaped identifiers and keywords
+//! (hyphens are identifier characters, so `set-reduce` is one token),
+//! unnamed atom constants `d7`, named atom constants `alice#5`, decimal
+//! naturals, and the punctuation of tuples, set/list literals, calls,
+//! selectors and the parenthesised binary operators `=`, `<=`, `+`, `*`.
+
+use std::fmt;
+
+use crate::span::Span;
+
+/// A lexical token. The payload borrows from the source text; positions are
+/// carried by the accompanying [`Span`] on [`Token`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokenKind<'s> {
+    /// An identifier or keyword (`x`, `apath`, `set-reduce`, `if`).
+    /// Keyword recognition happens in the parser, against [`KEYWORDS`].
+    Ident(&'s str),
+    /// An unnamed atom constant `d<rank>` (the printed form of
+    /// `Value::atom(rank)`).
+    Atom(u64),
+    /// A named atom constant `<name>#<rank>` (the printed form of
+    /// `Value::named_atom`).
+    NamedAtom(&'s str, u64),
+    /// A decimal natural-number literal; the digits are kept as text so the
+    /// parser can build an arbitrary-precision [`srl_core::BigNat`] or a
+    /// `usize` selector index as context demands.
+    Number(&'s str),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `<` (opens a list value literal)
+    Lt,
+    /// `>` (closes a list value literal)
+    Gt,
+    /// `,`
+    Comma,
+    /// `.` (selector)
+    Dot,
+    /// `=`
+    Eq,
+    /// `<=`
+    Leq,
+    /// `+`
+    Plus,
+    /// `*`
+    Star,
+    /// End of input (always the final token).
+    Eof,
+}
+
+impl fmt::Display for TokenKind<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Atom(i) => write!(f, "atom `d{i}`"),
+            TokenKind::NamedAtom(n, i) => write!(f, "atom `{n}#{i}`"),
+            TokenKind::Number(s) => write!(f, "number `{s}`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::Eq => write!(f, "`=`"),
+            TokenKind::Leq => write!(f, "`<=`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Token<'s> {
+    /// What was lexed.
+    pub kind: TokenKind<'s>,
+    /// Where it sits in the source.
+    pub span: Span,
+}
+
+/// The reserved words of the surface syntax. These cannot be used as
+/// definition names, parameter names or variables: each is either a literal,
+/// a structural keyword, or the head of a built-in operator form.
+pub const KEYWORDS: &[&str] = &[
+    "true",
+    "false",
+    "if",
+    "then",
+    "else",
+    "let",
+    "in",
+    "lambda",
+    "emptyset",
+    "emptylist",
+    "set-reduce",
+    "list-reduce",
+    "insert",
+    "choose",
+    "rest",
+    "new",
+    "succ",
+    "cons",
+    "head",
+    "tail",
+];
+
+/// True if `word` is one of the [`KEYWORDS`].
+pub fn is_keyword(word: &str) -> bool {
+    KEYWORDS.contains(&word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_include_operator_heads_and_literals() {
+        for kw in ["set-reduce", "lambda", "insert", "true", "emptyset"] {
+            assert!(is_keyword(kw), "{kw}");
+        }
+        assert!(!is_keyword("union"));
+        assert!(!is_keyword("apath"));
+    }
+
+    #[test]
+    fn token_kinds_display_for_diagnostics() {
+        assert_eq!(TokenKind::Ident("x").to_string(), "`x`");
+        assert_eq!(TokenKind::Atom(3).to_string(), "atom `d3`");
+        assert_eq!(TokenKind::Leq.to_string(), "`<=`");
+        assert_eq!(TokenKind::Eof.to_string(), "end of input");
+    }
+}

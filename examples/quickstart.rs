@@ -1,11 +1,13 @@
-//! Quickstart: build a small SRL query with the DSL, type-check it, evaluate
-//! it, and read its complexity off the syntax.
+//! Quickstart: build a small SRL query with the DSL, type-check it, push it
+//! through the staged compile pipeline, evaluate it, and read its
+//! complexity off the syntax.
 //!
 //! Run with `cargo run -p srl-examples --bin quickstart`.
 
 use srl_analysis::classify_program;
 use srl_core::dsl::*;
-use srl_core::{check_expr, eval_expr, Env, EvalLimits, Program, Type, Value};
+use srl_core::pipeline::Pipeline;
+use srl_core::{check_expr, Env, Program, Type, Value};
 use srl_examples::print_header;
 use srl_stdlib::derived::{intersection, member, union};
 
@@ -21,11 +23,22 @@ fn main() {
     let ty = check_expr(&program, &query, &inputs).expect("query type-checks in SRL");
     println!("type of the query: {ty}");
 
+    // One pipeline, one compiled artifact; every evaluation below flows
+    // through it (same path text programs take via `srl-syntax`/`srl`).
+    let artifact = Pipeline::new()
+        .prepare(program)
+        .expect("the empty SRL program is trivially valid");
     let env = Env::new()
         .bind("S", Value::set([Value::atom(1), Value::atom(4), Value::atom(9)]))
         .bind("target", Value::atom(4));
-    let answer = eval_expr(&query, &env, EvalLimits::default()).unwrap();
+    let (answer, stats) = artifact.eval(&query, &env).unwrap();
     println!("member(4, {{1, 4, 9}}) = {answer}");
+    println!(
+        "  [{} steps, {} reduce iterations, on the {:?} backend]",
+        stats.steps,
+        stats.reduce_iterations,
+        artifact.backend()
+    );
 
     print_header("Derived set algebra (Fact 2.4)");
     let env = Env::new()
@@ -35,7 +48,7 @@ fn main() {
         ("A ∪ B", union(var("A"), var("B"))),
         ("A ∩ B", intersection(var("A"), var("B"))),
     ] {
-        let v = eval_expr(&expr, &env, EvalLimits::default()).unwrap();
+        let (v, _) = artifact.eval(&expr, &env).unwrap();
         println!("{name} = {v}");
     }
 
