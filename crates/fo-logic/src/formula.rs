@@ -13,7 +13,6 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-
 use crate::structure::Structure;
 
 /// A first-order term: a variable or one of the constants the paper's
@@ -115,6 +114,7 @@ pub enum Formula {
 
 impl Formula {
     /// `¬φ`.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Formula) -> Formula {
         Formula::Not(Box::new(f))
     }
@@ -159,11 +159,7 @@ pub fn eval(structure: &Structure, formula: &Formula, assignment: &Assignment) -
 
 /// The set of elements satisfying a formula in one free variable — used by
 /// the harness to materialise unary queries.
-pub fn satisfying_elements(
-    structure: &Structure,
-    variable: &str,
-    formula: &Formula,
-) -> Vec<usize> {
+pub fn satisfying_elements(structure: &Structure, variable: &str, formula: &Formula) -> Vec<usize> {
     let mut out = Vec::new();
     let mut assignment = Assignment::new();
     for x in 0..structure.universe {
@@ -614,10 +610,7 @@ mod tests {
             &Formula::implies(Formula::False, Formula::False)
         ));
         assert!(eval_sentence(&s, &Formula::Leq(Term::Zero, Term::Max)));
-        assert!(eval_sentence(
-            &s,
-            &Formula::Eq(Term::Const(2), Term::Max)
-        ));
+        assert!(eval_sentence(&s, &Formula::Eq(Term::Const(2), Term::Max)));
     }
 
     #[test]

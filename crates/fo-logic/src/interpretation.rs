@@ -10,7 +10,6 @@
 
 use std::collections::BTreeMap;
 
-
 use crate::formula::{eval, Assignment, Formula};
 use crate::structure::{Structure, Vocabulary};
 

@@ -42,7 +42,9 @@ impl Vocabulary {
     /// The vocabulary of alternating graphs: `E` (binary) and the unary
     /// universal-vertex label `A` (Definition 3.4).
     pub fn alternating_graph() -> Self {
-        Vocabulary::new().with_relation("E", 2).with_relation("A", 1)
+        Vocabulary::new()
+            .with_relation("E", 2)
+            .with_relation("A", 1)
     }
 
     /// Arity of a relation symbol.
@@ -142,11 +144,7 @@ impl Structure {
     }
 
     /// Builds the alternating-graph structure of Definition 3.4.
-    pub fn from_alternating_graph(
-        n: usize,
-        edges: &[(usize, usize)],
-        universal: &[bool],
-    ) -> Self {
+    pub fn from_alternating_graph(n: usize, edges: &[(usize, usize)], universal: &[bool]) -> Self {
         let mut s = Structure::new(n, Vocabulary::alternating_graph());
         for &(u, v) in edges {
             s.add_tuple("E", &[u, v]);

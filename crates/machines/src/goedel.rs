@@ -185,7 +185,7 @@ mod tests {
     fn choose_and_rest_codes() {
         let s = n(0b101000); // {d3, d5}
         assert_eq!(choose_code(&s), Some(n(0b1000))); // d3
-        // Paper's rest shifts: Div(S, Rlog+1) = 0b101000 >> 4 = 0b10.
+                                                      // Paper's rest shifts: Div(S, Rlog+1) = 0b101000 >> 4 = 0b10.
         assert_eq!(rest_code(&s), Some(n(0b10)));
         // The preserving rest keeps d5 in place.
         assert_eq!(rest_code_preserving(&s), Some(n(0b100000)));

@@ -315,10 +315,7 @@ pub mod library {
         // m(0, y) = y;  m(s+1, y) = pred(m(s, y)).
         PrTerm::PrimRec(
             Box::new(PrTerm::Proj(1, 0)),
-            Box::new(PrTerm::Compose(
-                Box::new(pred()),
-                vec![PrTerm::Proj(3, 2)],
-            )),
+            Box::new(PrTerm::Compose(Box::new(pred()), vec![PrTerm::Proj(3, 2)])),
         )
     }
 

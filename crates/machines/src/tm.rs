@@ -18,7 +18,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-
 /// A tape symbol. `0` is reserved for the blank.
 pub type Symbol = u8;
 
@@ -204,15 +203,15 @@ impl TuringMachine {
             .copied()
             .unwrap_or(BLANK);
         let work_sym = config.work.get(config.work_head).copied().unwrap_or(BLANK);
-        let action = self
-            .transitions
-            .get(&(config.state, input_sym, work_sym))?;
+        let action = self.transitions.get(&(config.state, input_sym, work_sym))?;
         let mut next = config.clone();
         next.state = action.next_state;
         if let Some(cell) = next.work.get_mut(config.work_head) {
             *cell = action.write;
         }
-        next.input_head = action.input_move.apply(config.input_head, config.input.len());
+        next.input_head = action
+            .input_move
+            .apply(config.input_head, config.input.len());
         next.work_head = action.work_move.apply(config.work_head, config.work.len());
         next.steps += 1;
         Some(next)
@@ -234,7 +233,11 @@ impl TuringMachine {
         trace: bool,
     ) -> RunResult {
         let mut config = self.initial_configuration(input, work_len);
-        let mut history = if trace { vec![config.clone()] } else { Vec::new() };
+        let mut history = if trace {
+            vec![config.clone()]
+        } else {
+            Vec::new()
+        };
         loop {
             if self.is_accepting(config.state) {
                 return RunResult {
@@ -317,42 +320,72 @@ pub mod library {
             // In state 0/1 reading A flips parity; reading B keeps it; reading
             // blank (end of input) halts.
             m = m
-                .with_transition(0, SYM_A, work, Action {
-                    next_state: 1,
-                    write: work,
-                    input_move: Move::Right,
-                    work_move: Move::Stay,
-                })
-                .with_transition(0, SYM_B, work, Action {
-                    next_state: 0,
-                    write: work,
-                    input_move: Move::Right,
-                    work_move: Move::Stay,
-                })
-                .with_transition(0, BLANK, work, Action {
-                    next_state: 2,
-                    write: work,
-                    input_move: Move::Stay,
-                    work_move: Move::Stay,
-                })
-                .with_transition(1, SYM_A, work, Action {
-                    next_state: 0,
-                    write: work,
-                    input_move: Move::Right,
-                    work_move: Move::Stay,
-                })
-                .with_transition(1, SYM_B, work, Action {
-                    next_state: 1,
-                    write: work,
-                    input_move: Move::Right,
-                    work_move: Move::Stay,
-                })
-                .with_transition(1, BLANK, work, Action {
-                    next_state: 3,
-                    write: work,
-                    input_move: Move::Stay,
-                    work_move: Move::Stay,
-                });
+                .with_transition(
+                    0,
+                    SYM_A,
+                    work,
+                    Action {
+                        next_state: 1,
+                        write: work,
+                        input_move: Move::Right,
+                        work_move: Move::Stay,
+                    },
+                )
+                .with_transition(
+                    0,
+                    SYM_B,
+                    work,
+                    Action {
+                        next_state: 0,
+                        write: work,
+                        input_move: Move::Right,
+                        work_move: Move::Stay,
+                    },
+                )
+                .with_transition(
+                    0,
+                    BLANK,
+                    work,
+                    Action {
+                        next_state: 2,
+                        write: work,
+                        input_move: Move::Stay,
+                        work_move: Move::Stay,
+                    },
+                )
+                .with_transition(
+                    1,
+                    SYM_A,
+                    work,
+                    Action {
+                        next_state: 0,
+                        write: work,
+                        input_move: Move::Right,
+                        work_move: Move::Stay,
+                    },
+                )
+                .with_transition(
+                    1,
+                    SYM_B,
+                    work,
+                    Action {
+                        next_state: 1,
+                        write: work,
+                        input_move: Move::Right,
+                        work_move: Move::Stay,
+                    },
+                )
+                .with_transition(
+                    1,
+                    BLANK,
+                    work,
+                    Action {
+                        next_state: 3,
+                        write: work,
+                        input_move: Move::Stay,
+                        work_move: Move::Stay,
+                    },
+                );
         }
         m
     }
@@ -365,19 +398,29 @@ pub mod library {
     pub fn copy_input() -> TuringMachine {
         let mut m = TuringMachine::new("copy-input", 2, 0).with_accept([1]);
         for sym in [SYM_A, SYM_B] {
-            m = m.with_transition(0, sym, BLANK, Action {
-                next_state: 0,
-                write: sym,
-                input_move: Move::Right,
-                work_move: Move::Right,
-            });
+            m = m.with_transition(
+                0,
+                sym,
+                BLANK,
+                Action {
+                    next_state: 0,
+                    write: sym,
+                    input_move: Move::Right,
+                    work_move: Move::Right,
+                },
+            );
         }
-        m = m.with_transition(0, BLANK, BLANK, Action {
-            next_state: 1,
-            write: BLANK,
-            input_move: Move::Stay,
-            work_move: Move::Stay,
-        });
+        m = m.with_transition(
+            0,
+            BLANK,
+            BLANK,
+            Action {
+                next_state: 1,
+                write: BLANK,
+                input_move: Move::Stay,
+                work_move: Move::Stay,
+            },
+        );
         m
     }
 
@@ -394,42 +437,72 @@ pub mod library {
             .with_reject([3]);
         for work in [BLANK, SYM_A, SYM_B] {
             m = m
-                .with_transition(0, SYM_A, work, Action {
-                    next_state: 1,
-                    write: work,
-                    input_move: Move::Right,
-                    work_move: Move::Stay,
-                })
-                .with_transition(0, SYM_B, work, Action {
-                    next_state: 0,
-                    write: work,
-                    input_move: Move::Right,
-                    work_move: Move::Stay,
-                })
-                .with_transition(0, BLANK, work, Action {
-                    next_state: 3,
-                    write: work,
-                    input_move: Move::Stay,
-                    work_move: Move::Stay,
-                })
-                .with_transition(1, SYM_A, work, Action {
-                    next_state: 1,
-                    write: work,
-                    input_move: Move::Right,
-                    work_move: Move::Stay,
-                })
-                .with_transition(1, SYM_B, work, Action {
-                    next_state: 0,
-                    write: work,
-                    input_move: Move::Right,
-                    work_move: Move::Stay,
-                })
-                .with_transition(1, BLANK, work, Action {
-                    next_state: 2,
-                    write: work,
-                    input_move: Move::Stay,
-                    work_move: Move::Stay,
-                });
+                .with_transition(
+                    0,
+                    SYM_A,
+                    work,
+                    Action {
+                        next_state: 1,
+                        write: work,
+                        input_move: Move::Right,
+                        work_move: Move::Stay,
+                    },
+                )
+                .with_transition(
+                    0,
+                    SYM_B,
+                    work,
+                    Action {
+                        next_state: 0,
+                        write: work,
+                        input_move: Move::Right,
+                        work_move: Move::Stay,
+                    },
+                )
+                .with_transition(
+                    0,
+                    BLANK,
+                    work,
+                    Action {
+                        next_state: 3,
+                        write: work,
+                        input_move: Move::Stay,
+                        work_move: Move::Stay,
+                    },
+                )
+                .with_transition(
+                    1,
+                    SYM_A,
+                    work,
+                    Action {
+                        next_state: 1,
+                        write: work,
+                        input_move: Move::Right,
+                        work_move: Move::Stay,
+                    },
+                )
+                .with_transition(
+                    1,
+                    SYM_B,
+                    work,
+                    Action {
+                        next_state: 0,
+                        write: work,
+                        input_move: Move::Right,
+                        work_move: Move::Stay,
+                    },
+                )
+                .with_transition(
+                    1,
+                    BLANK,
+                    work,
+                    Action {
+                        next_state: 2,
+                        write: work,
+                        input_move: Move::Stay,
+                        work_move: Move::Stay,
+                    },
+                );
         }
         m
     }
@@ -440,7 +513,7 @@ pub mod library {
     /// giving linear machines an `n^k` step allowance.
     pub fn equal_blocks_accepts(input: &[Symbol]) -> bool {
         let n = input.len();
-        if n % 2 != 0 {
+        if !n.is_multiple_of(2) {
             return false;
         }
         let half = n / 2;
@@ -491,7 +564,12 @@ mod tests {
         for n in [1usize, 4, 16, 64] {
             let input = vec![SYM_A; n];
             let r = m.run(&input, 10_000, false);
-            assert!(r.final_config.steps as usize <= n + 1, "steps {} for n {}", r.final_config.steps, n);
+            assert!(
+                r.final_config.steps as usize <= n + 1,
+                "steps {} for n {}",
+                r.final_config.steps,
+                n
+            );
         }
     }
 

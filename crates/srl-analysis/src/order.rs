@@ -115,9 +115,7 @@ fn classify_combiner(body: &Expr, x: &str, y: &str) -> Option<CombinerKind> {
             }
         }
         Expr::Insert(e, s) if is_var(e, x) && is_var(s, y) => Some(CombinerKind::Insert),
-        Expr::NatAdd(a, b)
-            if (is_var(a, x) && is_var(b, y)) || (is_var(a, y) && is_var(b, x)) =>
-        {
+        Expr::NatAdd(a, b) if (is_var(a, x) && is_var(b, y)) || (is_var(a, y) && is_var(b, x)) => {
             Some(CombinerKind::NatAdd)
         }
         _ => None,
@@ -141,13 +139,11 @@ pub fn provably_order_independent(program: &Program, expr: &Expr) -> bool {
                     return false;
                 }
             }
-            Expr::Call(name, _) => {
-                if !seen.contains(name) {
-                    seen.push(name.clone());
-                    if let Some(def) = program.lookup(name) {
-                        if !go(program, &def.body, seen) {
-                            return false;
-                        }
+            Expr::Call(name, _) if !seen.contains(name) => {
+                seen.push(name.clone());
+                if let Some(def) = program.lookup(name) {
+                    if !go(program, &def.body, seen) {
+                        return false;
                     }
                 }
             }
@@ -186,9 +182,10 @@ pub fn combiner_seems_commutative_associative(acc: &Lambda, samples: u32, seed: 
             if ab != ba {
                 return false;
             }
-            if let (Some(ab_c), Some(bc)) =
-                (apply(&mut evaluator, &ab, &c), apply(&mut evaluator, &b, &c))
-            {
+            if let (Some(ab_c), Some(bc)) = (
+                apply(&mut evaluator, &ab, &c),
+                apply(&mut evaluator, &b, &c),
+            ) {
                 if let Some(a_bc) = apply(&mut evaluator, &a, &bc) {
                     if ab_c != a_bc {
                         return false;
@@ -226,12 +223,9 @@ pub fn permutation_test(
     for seed in 0..trials {
         let renaming = DomainRenaming::random(domain_size, seed);
         let renamed_env = renaming.apply_env(env);
-        let mut evaluator = Evaluator::with_compiled(
-            program,
-            Arc::clone(&compiled),
-            EvalLimits::default_budget(),
-        )
-        .expect("compiled from this program");
+        let mut evaluator =
+            Evaluator::with_compiled(program, Arc::clone(&compiled), EvalLimits::default_budget())
+                .expect("compiled from this program");
         match evaluator.eval_lowered(&lowered, &renamed_env) {
             Ok(renamed_result) => {
                 if renaming.apply(&original) != renamed_result {
@@ -292,7 +286,11 @@ mod tests {
         // "keep left" is not proper.
         assert!(!combiner_is_proper(&lam("a", "b", var("a"))));
         // Cons is not proper.
-        assert!(!combiner_is_proper(&lam("a", "b", cons(var("a"), var("b")))));
+        assert!(!combiner_is_proper(&lam(
+            "a",
+            "b",
+            cons(var("a"), var("b"))
+        )));
     }
 
     #[test]
@@ -338,16 +336,9 @@ mod tests {
     #[test]
     fn permutation_test_finds_purple_first_witness() {
         let p = Program::srl();
-        let env = Env::new()
-            .bind("S", atoms([2, 9]))
-            .bind("P", atoms([9]));
-        let verdict = analyze_order_dependence(
-            &p,
-            &hom::purple_first(var("S"), var("P")),
-            &env,
-            12,
-            16,
-        );
+        let env = Env::new().bind("S", atoms([2, 9])).bind("P", atoms([9]));
+        let verdict =
+            analyze_order_dependence(&p, &hom::purple_first(var("S"), var("P")), &env, 12, 16);
         assert!(matches!(verdict, OrderVerdict::ProvedDependent { .. }));
     }
 

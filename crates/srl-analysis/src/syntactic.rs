@@ -301,7 +301,10 @@ fn construction_height(program: &Program, expr: &Expr) -> usize {
 fn scan_flags(program: &Program, expr: &Expr, m: &mut Measures, inside_acc: bool) {
     match expr {
         Expr::New(_) => m.uses_new = true,
-        Expr::EmptyList | Expr::Cons(..) | Expr::Head(_) | Expr::Tail(_)
+        Expr::EmptyList
+        | Expr::Cons(..)
+        | Expr::Head(_)
+        | Expr::Tail(_)
         | Expr::ListReduce { .. } => m.uses_lists = true,
         Expr::NatConst(_) | Expr::Succ(_) | Expr::NatAdd(..) => m.uses_nat = true,
         Expr::NatMul(..) => {

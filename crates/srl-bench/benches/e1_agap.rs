@@ -32,8 +32,7 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("native_apath", n), &n, |b, _| {
             b.iter(|| g.apath_all())
         });
-        let structure =
-            fo_logic::Structure::from_alternating_graph(g.n, &g.edges, &g.universal);
+        let structure = fo_logic::Structure::from_alternating_graph(g.n, &g.edges, &g.universal);
         let sentence = fo_logic::formula::library::agap_sentence();
         group.bench_with_input(BenchmarkId::new("fo_lfp_agap", n), &n, |b, _| {
             b.iter(|| fo_logic::formula::eval_sentence(&structure, &sentence))

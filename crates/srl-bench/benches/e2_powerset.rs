@@ -25,7 +25,8 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("srl_powerset", n), &n, |b, _| {
             b.iter(|| {
                 ev.reset_stats();
-                ev.call(names::POWERSET, &[input.clone()]).unwrap()
+                ev.call(names::POWERSET, std::slice::from_ref(&input))
+                    .unwrap()
             })
         });
         // Backend axis: the unsuffixed variant above runs the default
@@ -37,7 +38,24 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("srl_powerset_tree", n), &n, |b, _| {
             b.iter(|| {
                 tree.reset_stats();
-                tree.call(names::POWERSET, &[input.clone()]).unwrap()
+                tree.call(names::POWERSET, std::slice::from_ref(&input))
+                    .unwrap()
+            })
+        });
+        // Par axis: the VM with a 4-worker pool. The powerset's folds are
+        // call-threaded (Generic, ordered), so this variant currently pins
+        // the *absence* of sharding overhead rather than a speedup — the
+        // interprocedural monotone-spine analysis is the ROADMAP follow-up
+        // that would let these folds split.
+        let mut par =
+            Evaluator::with_compiled(&program, Arc::clone(&compiled), EvalLimits::benchmark())
+                .expect("compiled from this program")
+                .with_backend(srl_core::ExecBackend::vm_with_threads(4));
+        group.bench_with_input(BenchmarkId::new("srl_powerset_par", n), &n, |b, _| {
+            b.iter(|| {
+                par.reset_stats();
+                par.call(names::POWERSET, std::slice::from_ref(&input))
+                    .unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("native_powerset", n), &n, |b, _| {
@@ -45,8 +63,14 @@ fn bench(c: &mut Criterion) {
                 let items: Vec<u64> = (0..n).collect();
                 let mut subsets: Vec<Vec<u64>> = vec![vec![]];
                 for &x in &items {
-                    let mut extended: Vec<Vec<u64>> =
-                        subsets.iter().cloned().map(|mut s| { s.push(x); s }).collect();
+                    let mut extended: Vec<Vec<u64>> = subsets
+                        .iter()
+                        .cloned()
+                        .map(|mut s| {
+                            s.push(x);
+                            s
+                        })
+                        .collect();
                     subsets.append(&mut extended);
                 }
                 subsets.len()

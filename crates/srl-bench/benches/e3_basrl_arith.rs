@@ -27,13 +27,15 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("srl_add", n), &n, |bench, _| {
             bench.iter(|| {
                 ev.reset_stats();
-                ev.call(names::ADD, &[d.clone(), a.clone(), b.clone()]).unwrap()
+                ev.call(names::ADD, &[d.clone(), a.clone(), b.clone()])
+                    .unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("srl_bit", n), &n, |bench, _| {
             bench.iter(|| {
                 ev.reset_stats();
-                ev.call(names::BIT, &[d.clone(), Value::atom(1), a.clone()]).unwrap()
+                ev.call(names::BIT, &[d.clone(), Value::atom(1), a.clone()])
+                    .unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("native_add", n), &n, |bench, _| {

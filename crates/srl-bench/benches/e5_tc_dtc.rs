@@ -67,6 +67,27 @@ fn bench(c: &mut Criterion) {
                 tree.eval_lowered(&dtc_lowered, &env).unwrap()
             })
         });
+        // Par axis: the VM sharding the proper-hom folds (the
+        // select-over-cartesian inside each pivot's join, and DTC's
+        // deterministic-edge filter) across a 4-worker pool. Statistics
+        // stay byte-identical; only wall clock moves (and only on hosts
+        // with cores to fan out to).
+        let mut par =
+            Evaluator::with_compiled(&program, Arc::clone(&compiled), EvalLimits::benchmark())
+                .expect("compiled from this program")
+                .with_backend(srl_core::ExecBackend::vm_with_threads(4));
+        group.bench_with_input(BenchmarkId::new("srl_tc_par", n), &n, |b, _| {
+            b.iter(|| {
+                par.reset_stats();
+                par.eval_lowered(&tc_lowered, &env).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("srl_dtc_par", n), &n, |b, _| {
+            b.iter(|| {
+                par.reset_stats();
+                par.eval_lowered(&dtc_lowered, &env).unwrap()
+            })
+        });
         group.bench_with_input(BenchmarkId::new("native_warshall", n), &n, |b, _| {
             b.iter(|| g.transitive_closure())
         });

@@ -66,7 +66,8 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("lrl_doubling", n), &n, |b, _| {
             b.iter(|| {
                 ev.reset_stats();
-                ev.call(blow_names::DOUBLING, &[input.clone()]).unwrap()
+                ev.call(blow_names::DOUBLING, std::slice::from_ref(&input))
+                    .unwrap()
             })
         });
     }

@@ -20,7 +20,9 @@ fn bench(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(200));
     group.measurement_time(std::time::Duration::from_millis(600));
     for n in [4usize, 8, 16, 32] {
-        let input: Vec<u8> = (0..n).map(|i| if i % 3 == 0 { SYM_A } else { SYM_B }).collect();
+        let input: Vec<u8> = (0..n)
+            .map(|i| if i % 3 == 0 { SYM_A } else { SYM_B })
+            .collect();
         let args = [position_domain(n), encode_input(&input)];
         let mut ev =
             Evaluator::with_compiled(&program, Arc::clone(&compiled), EvalLimits::benchmark())

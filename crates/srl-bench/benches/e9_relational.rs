@@ -55,12 +55,16 @@ fn bench(c: &mut Criterion) {
                 tree.eval_lowered(&joined_lowered, &env).unwrap()
             })
         });
-        group.bench_with_input(BenchmarkId::new("srl_select_project_tree", n), &n, |b, _| {
-            b.iter(|| {
-                tree.reset_stats();
-                tree.eval_lowered(&selection_lowered, &env).unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("srl_select_project_tree", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    tree.reset_stats();
+                    tree.eval_lowered(&selection_lowered, &env).unwrap()
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("native_join", n), &n, |b, _| {
             b.iter(|| db.employee_manager_join())
         });

@@ -1,25 +1,53 @@
 //! Prints the experiment tables (E1–E9) recorded in `EXPERIMENTS.md`.
 //!
-//! Usage: `cargo run -p srl-bench --release --bin report [--json] [--backend vm|tree]`
+//! Usage: `cargo run -p srl-bench --release --bin report [--json]
+//! [--backend vm|tree] [--threads N]`
 //!
-//! Runs on the default backend (the bytecode VM) unless `--backend` pins
-//! one. The semantic rows are backend-invariant: both engines produce
-//! byte-identical `EvalStats`, so `--backend tree` must print exactly the
-//! same report (CI diffs both against `BENCH_1.json`).
+//! Runs on the default backend (the sequential bytecode VM) unless
+//! `--backend` pins one; `--threads N` runs the VM with an `N`-worker pool
+//! for proper-hom folds. The semantic rows are invariant along both axes:
+//! every engine configuration produces byte-identical `EvalStats`, so
+//! `--backend tree` and `--threads 4` must each print exactly the same
+//! report (CI diffs all three against `BENCH_1.json`).
 
 use srl_bench::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let json = args.iter().any(|a| a == "--json");
-    if let Some(i) = args.iter().position(|a| a == "--backend") {
-        match args.get(i + 1).map(String::as_str) {
-            Some("vm") => set_backend(srl_core::ExecBackend::Vm),
-            Some("tree") | Some("tree-walk") => set_backend(srl_core::ExecBackend::TreeWalk),
-            other => {
-                eprintln!("unknown --backend {other:?} (expected vm|tree)");
+    // Both flags are resolved before either takes effect, so the
+    // contradictory `--backend tree --threads N` is rejected (in either
+    // flag order) instead of one flag silently overriding the other.
+    let backend_word = args
+        .iter()
+        .position(|a| a == "--backend")
+        .map(|i| args.get(i + 1).map(String::as_str));
+    let threads = match args.iter().position(|a| a == "--threads") {
+        Some(i) => match args.get(i + 1).and_then(|w| w.parse::<usize>().ok()) {
+            Some(n) if n >= 1 => Some(n),
+            _ => {
+                eprintln!("--threads expects a worker count ≥ 1");
                 std::process::exit(2);
             }
+        },
+        None => None,
+    };
+    match (backend_word, threads) {
+        (None, None) => {}
+        (None | Some(Some("vm")), Some(n)) => {
+            set_backend(srl_core::ExecBackend::vm_with_threads(n))
+        }
+        (Some(Some("vm")), None) => set_backend(srl_core::ExecBackend::vm()),
+        (Some(Some("tree")) | Some(Some("tree-walk")), None) => {
+            set_backend(srl_core::ExecBackend::TreeWalk)
+        }
+        (Some(Some("tree")) | Some(Some("tree-walk")), Some(_)) => {
+            eprintln!("--threads requires the vm backend (the tree-walk has no worker pool)");
+            std::process::exit(2);
+        }
+        (Some(other), _) => {
+            eprintln!("unknown --backend {other:?} (expected vm|tree)");
+            std::process::exit(2);
         }
     }
     let mut all = Vec::new();
@@ -37,6 +65,10 @@ fn main() {
     } else {
         println!("{}", to_markdown(&all));
         let disagreements = all.iter().filter(|r| !r.agrees_with_baseline).count();
-        println!("\n{} rows, {} disagreement(s) with the native baselines.", all.len(), disagreements);
+        println!(
+            "\n{} rows, {} disagreement(s) with the native baselines.",
+            all.len(),
+            disagreements
+        );
     }
 }

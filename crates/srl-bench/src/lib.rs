@@ -18,8 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use srl_core::ast::Expr;
 use srl_core::error::EvalError;
@@ -32,21 +31,28 @@ use srl_core::value::Value;
 use srl_core::ExecBackend;
 
 /// The execution backend every experiment harness uses (the benchmark's
-/// **backend axis**). Follows [`ExecBackend::default`] (the bytecode VM)
-/// until `report --backend tree|vm` pins one explicitly. The semantic rows
-/// are backend-invariant — both engines produce byte-identical `EvalStats`
-/// — so `report --json` must diff clean against the pinned trajectory point
-/// under either setting (CI checks both).
-static BACKEND: AtomicU8 = AtomicU8::new(FOLLOW_DEFAULT);
+/// **backend axis**, extended with the **par axis** — the VM's worker-pool
+/// width). Follows [`ExecBackend::default`] (the sequential bytecode VM)
+/// until `report --backend tree|vm` / `report --threads N` pins one
+/// explicitly. The semantic rows are invariant along both axes — every
+/// engine configuration produces byte-identical `EvalStats` — so
+/// `report --json` must diff clean against the pinned trajectory point
+/// under any setting (CI checks the default, the tree-walk, and a
+/// multi-threaded pool).
+///
+/// Encoding: `usize::MAX` = follow the default, `0` = tree-walk,
+/// `t ≥ 1` = VM with a pool of `t`.
+static BACKEND: AtomicUsize = AtomicUsize::new(FOLLOW_DEFAULT);
 
-const FOLLOW_DEFAULT: u8 = u8::MAX;
+const FOLLOW_DEFAULT: usize = usize::MAX;
+const TREE_WALK: usize = 0;
 
 /// Selects the execution backend for subsequently-constructed harnesses.
 pub fn set_backend(backend: ExecBackend) {
     BACKEND.store(
         match backend {
-            ExecBackend::TreeWalk => 0,
-            ExecBackend::Vm => 1,
+            ExecBackend::TreeWalk => TREE_WALK,
+            ExecBackend::Vm { threads } => threads.clamp(1, FOLLOW_DEFAULT - 1),
         },
         Ordering::Relaxed,
     );
@@ -55,9 +61,9 @@ pub fn set_backend(backend: ExecBackend) {
 /// The currently selected harness backend.
 pub fn backend() -> ExecBackend {
     match BACKEND.load(Ordering::Relaxed) {
-        0 => ExecBackend::TreeWalk,
-        1 => ExecBackend::Vm,
-        _ => ExecBackend::default(),
+        FOLLOW_DEFAULT => ExecBackend::default(),
+        TREE_WALK => ExecBackend::TreeWalk,
+        threads => ExecBackend::Vm { threads },
     }
 }
 
@@ -283,11 +289,8 @@ pub fn experiment_e1(sizes: &[usize]) -> Vec<Row> {
     for &n in sizes {
         let graph = AlternatingGraph::random(n, 0.25, 7 + n as u64);
         let native = graph.apath_all();
-        let lfp_structure = fo_logic::Structure::from_alternating_graph(
-            graph.n,
-            &graph.edges,
-            &graph.universal,
-        );
+        let lfp_structure =
+            fo_logic::Structure::from_alternating_graph(graph.n, &graph.edges, &graph.universal);
         let lfp_agrees = fo_logic::formula::eval_sentence(
             &lfp_structure,
             &fo_logic::formula::library::agap_sentence(),
@@ -395,7 +398,8 @@ pub fn experiment_e4(sizes: &[usize]) -> Vec<Row> {
             let image = value.as_tuple().unwrap()[1].as_atom().unwrap().index;
             agrees &= image == product.apply(point) as u64;
         }
-        let mut row = Row::new("E4", "IMₛₙ: n permutations of degree n", n).with_stats(&total_stats);
+        let mut row =
+            Row::new("E4", "IMₛₙ: n permutations of degree n", n).with_stats(&total_stats);
         row.agrees_with_baseline = agrees;
         rows.push(row);
     }
@@ -497,7 +501,9 @@ pub fn experiment_e7(sizes: &[usize]) -> Vec<Row> {
     let mut harness = Harness::new(compile(&machine), EvalLimits::benchmark());
     let mut rows = Vec::new();
     for &n in sizes {
-        let input: Vec<u8> = (0..n).map(|i| if i % 3 == 0 { SYM_A } else { SYM_B }).collect();
+        let input: Vec<u8> = (0..n)
+            .map(|i| if i % 3 == 0 { SYM_A } else { SYM_B })
+            .collect();
         let native = machine.accepts(&input, 10_000);
         let (value, stats) = harness
             .run(names::ACCEPTS, &[position_domain(n), encode_input(&input)])
@@ -532,13 +538,7 @@ pub fn experiment_e8(sizes: &[usize]) -> Vec<Row> {
             2 * n,
             16,
         );
-        let independent = analyze_order_dependence(
-            &program,
-            &hom::even(var("S")),
-            &env,
-            2 * n,
-            8,
-        );
+        let independent = analyze_order_dependence(&program, &hom::even(var("S")), &env, 2 * n, 8);
         let (g, h) = cfi_pair(&BaseGraph::cycle(n.max(3)));
         let wl_blind = wl1_equivalent(&g.graph, &h.graph);
         let components_differ = g.connected_components() != h.connected_components();
@@ -587,7 +587,10 @@ pub fn experiment_e9(sizes: &[usize]) -> Vec<Row> {
             .iter()
             .map(|t| {
                 let tt = t.as_tuple().unwrap();
-                (tt[0].as_atom().unwrap().index, tt[1].as_atom().unwrap().index)
+                (
+                    tt[0].as_atom().unwrap().index,
+                    tt[1].as_atom().unwrap().index,
+                )
             })
             .collect();
         // A select/project query for good measure.
@@ -603,12 +606,15 @@ pub fn experiment_e9(sizes: &[usize]) -> Vec<Row> {
             .collect();
         // Closure under FO interpretations: squaring a path keeps reachability
         // answers consistent (checked via the interpretation library).
-        let path = fo_logic::Structure::from_digraph(n.max(2), &(1..n.max(2)).map(|i| (i - 1, i)).collect::<Vec<_>>());
+        let path = fo_logic::Structure::from_digraph(
+            n.max(2),
+            &(1..n.max(2)).map(|i| (i - 1, i)).collect::<Vec<_>>(),
+        );
         let squared = graph_square().apply(&path);
         let interp_ok = squared.relation_size("E") == n.max(2).saturating_sub(2);
 
-        let mut row = Row::new("E9", "company join/select/project; FO interpretation", n)
-            .with_stats(&stats);
+        let mut row =
+            Row::new("E9", "company join/select/project; FO interpretation", n).with_stats(&stats);
         row.agrees_with_baseline = srl_pairs == native && srl_dept == native_dept && interp_ok;
         rows.push(row);
     }

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! srl run <file.srl> [--call NAME] [--arg VALUE]... [--backend vm|tree]
-//!                    [--limits default|small|benchmark] [--json]
+//!                    [--threads N] [--limits default|small|benchmark] [--json]
 //! srl check <file.srl>
 //! srl print <file.srl>
 //! srl disasm <file.srl>
@@ -15,8 +15,11 @@
 //! `run` calls `--call NAME` (or a zero-parameter `main` definition) with
 //! `--arg` values written in value-literal syntax (`d3`, `42`, `{d0, d1}`,
 //! `[d1, d2]`, `<d1, d2>`); `--json` emits the result and the `EvalStats`
-//! in a stable field order, which is byte-identical across backends — CI
-//! diffs the two. The REPL accepts definitions (`f(x) = …`), input bindings
+//! in a stable field order, which is byte-identical across backends *and*
+//! across `--threads` settings — CI diffs backend pairs and thread pairs.
+//! `--threads N` shards provably order-insensitive `set-reduce` folds
+//! across an `N`-worker pool (VM backend only; see `srl-core::parallel`).
+//! The REPL accepts definitions (`f(x) = …`), input bindings
 //! (`S := {d1, d2}`), and expressions over both.
 
 #![forbid(unsafe_code)]
@@ -60,7 +63,7 @@ srl — the set-reduce language of Immerman, Patnaik and Stemple (PODS 1991)
 
 USAGE:
   srl run <file.srl> [--call NAME] [--arg VALUE]... [--backend vm|tree]
-                     [--limits default|small|benchmark] [--json]
+                     [--threads N] [--limits default|small|benchmark] [--json]
   srl check <file.srl>            parse, validate, and classify a program
   srl print <file.srl>            parse and re-print in canonical form
   srl disasm <file.srl>           show the VM bytecode of every definition
@@ -69,7 +72,9 @@ USAGE:
 `run` calls the definition named by --call (default: a zero-parameter
 `main`), passing each --arg parsed as a value literal: d3, 42, true,
 [d1, d2] (tuple), {d0, d1} (set), <d1, d2> (list). With --json the result
-and EvalStats print as JSON (byte-identical across backends).
+and EvalStats print as JSON (byte-identical across backends and across
+--threads settings). --threads N shards proper-hom set-reduce folds over
+an N-worker pool (vm backend only).
 ";
 
 /// Parsed common options of the file-taking subcommands.
@@ -88,7 +93,14 @@ struct Options {
 /// the flag).
 fn allowed_flags(command: &str) -> &'static [&'static str] {
     match command {
-        "run" => &["--call", "--arg", "--backend", "--limits", "--json"],
+        "run" => &[
+            "--call",
+            "--arg",
+            "--backend",
+            "--threads",
+            "--limits",
+            "--json",
+        ],
         _ => &[],
     }
 }
@@ -99,6 +111,7 @@ fn parse_options(rest: &[String], command: &str) -> Result<Options, String> {
     let mut call = None;
     let mut args = Vec::new();
     let mut backend = ExecBackend::default();
+    let mut threads: Option<usize> = None;
     let mut limits = EvalLimits::default();
     let mut json = false;
     let mut it = rest.iter();
@@ -117,10 +130,20 @@ fn parse_options(rest: &[String], command: &str) -> Result<Options, String> {
             "--arg" => args.push(it.next().ok_or("--arg needs a value literal")?.to_string()),
             "--backend" => {
                 backend = match it.next().map(String::as_str) {
-                    Some("vm") => ExecBackend::Vm,
+                    Some("vm") => ExecBackend::vm(),
                     Some("tree") | Some("tree-walk") => ExecBackend::TreeWalk,
                     other => return Err(format!("unknown --backend {other:?} (expected vm|tree)")),
                 }
+            }
+            "--threads" => {
+                let word = it.next().ok_or("--threads needs a worker count")?;
+                let n: usize = word
+                    .parse()
+                    .map_err(|_| format!("--threads expects a number, got `{word}`"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                threads = Some(n);
             }
             "--limits" => {
                 limits = match it.next().map(String::as_str) {
@@ -139,6 +162,15 @@ fn parse_options(rest: &[String], command: &str) -> Result<Options, String> {
             other => return Err(format!("unexpected argument `{other}` to `srl {command}`")),
         }
     }
+    let backend = match (threads, backend) {
+        (None, backend) => backend,
+        (Some(n), ExecBackend::Vm { .. }) => ExecBackend::vm_with_threads(n),
+        (Some(_), ExecBackend::TreeWalk) => {
+            return Err(
+                "--threads requires the vm backend (the tree-walk has no worker pool)".to_string(),
+            )
+        }
+    };
     Ok(Options {
         file: file.ok_or_else(|| format!("`srl {command}` needs a .srl file"))?,
         call,
@@ -150,8 +182,7 @@ fn parse_options(rest: &[String], command: &str) -> Result<Options, String> {
 }
 
 fn load_source(path: &str) -> Result<Source, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     Ok(Source::new(path, text))
 }
 
@@ -387,16 +418,50 @@ mod tests {
     }
 
     #[test]
+    fn threads_flag_selects_the_worker_pool() {
+        let rest: Vec<String> = ["prog.srl", "--threads", "4"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let opts = parse_options(&rest, "run").unwrap();
+        assert_eq!(opts.backend, ExecBackend::vm_with_threads(4));
+        // Order-independent with an explicit vm backend.
+        let rest: Vec<String> = ["prog.srl", "--threads", "2", "--backend", "vm"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let opts = parse_options(&rest, "run").unwrap();
+        assert_eq!(opts.backend, ExecBackend::vm_with_threads(2));
+    }
+
+    #[test]
+    fn threads_flag_rejects_bad_values_and_the_tree_walk() {
+        for bad in [
+            vec!["prog.srl", "--threads", "0"],
+            vec!["prog.srl", "--threads", "many"],
+            vec!["prog.srl", "--threads"],
+            vec!["prog.srl", "--threads", "2", "--backend", "tree"],
+        ] {
+            let rest: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(parse_options(&rest, "run").is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
     fn run_only_flags_are_rejected_by_other_commands() {
         for command in ["check", "print", "disasm"] {
-            let rest: Vec<String> =
-                ["file.srl", "--json"].iter().map(|s| s.to_string()).collect();
+            let rest: Vec<String> = ["file.srl", "--json"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
             let err = parse_options(&rest, command).unwrap_err();
             assert!(err.contains("--json"), "{command}: {err}");
         }
         // The file argument itself still parses everywhere.
         assert_eq!(
-            parse_options(&["file.srl".to_string()], "check").unwrap().file,
+            parse_options(&["file.srl".to_string()], "check")
+                .unwrap()
+                .file,
             "file.srl"
         );
     }

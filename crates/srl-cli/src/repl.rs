@@ -10,7 +10,7 @@
 //! * anything else — parsed as an expression and evaluated, with free
 //!   variables resolved against the bound inputs.
 //!
-//! Colon commands: `:help`, `:defs`, `:env`, `:backend vm|tree`,
+//! Colon commands: `:help`, `:defs`, `:env`, `:backend vm [threads]|tree`,
 //! `:load FILE`, `:disasm`, `:quit`. Reads stdin to exhaustion, so it is
 //! scriptable: `echo 'choose({d3, d5})' | srl repl`.
 
@@ -27,8 +27,46 @@ const REPL_HELP: &str = "\
 definitions   f(x) = insert(x, emptyset)
 inputs        S := {d1, d2}
 expressions   f(choose(S))
-commands      :help :defs :env :backend vm|tree :load FILE :disasm :quit
+commands      :help :defs :env :backend vm [threads]|tree :load FILE :disasm :quit
 ";
+
+/// Parses a backend word (plus an optional thread count for the VM) the way
+/// `:backend` and `--backend` accept it; the error names the offending word
+/// and lists every valid option, so a typo round-trips into something
+/// actionable instead of a bare usage line.
+fn parse_backend(word: Option<&str>, threads: Option<&str>) -> Result<ExecBackend, String> {
+    let backend = match word {
+        Some("vm") => ExecBackend::vm(),
+        Some("tree") | Some("tree-walk") => ExecBackend::TreeWalk,
+        Some(other) => {
+            return Err(format!(
+                "unknown backend `{other}` (valid backends: vm, tree, tree-walk)"
+            ))
+        }
+        None => {
+            return Err("missing backend name (valid backends: vm, tree, tree-walk)".to_string())
+        }
+    };
+    match (threads, backend) {
+        (None, backend) => Ok(backend),
+        (Some(word), ExecBackend::Vm { .. }) => match word.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(ExecBackend::vm_with_threads(n)),
+            _ => Err(format!("thread count must be a number ≥ 1, got `{word}`")),
+        },
+        (Some(_), ExecBackend::TreeWalk) => {
+            Err("the tree-walk backend has no worker pool (threads apply to vm only)".to_string())
+        }
+    }
+}
+
+/// Short display form of a backend for the `:backend` confirmation line.
+fn backend_name(backend: ExecBackend) -> String {
+    match backend {
+        ExecBackend::TreeWalk => "tree-walk".to_string(),
+        ExecBackend::Vm { threads } if threads <= 1 => "vm".to_string(),
+        ExecBackend::Vm { threads } => format!("vm ({threads} threads)"),
+    }
+}
 
 struct Session {
     pipeline: Pipeline,
@@ -83,17 +121,27 @@ impl Session {
     }
 }
 
-/// `srl repl [--backend vm|tree]`.
+/// `srl repl [--backend vm|tree] [--threads N]`.
 pub fn repl(rest: &[String]) -> ExitCode {
-    let mut backend = ExecBackend::default();
+    // Flags are collected first and combined once, order-independently, so
+    // `--backend tree --threads 4` is rejected like `srl run` rejects it
+    // instead of one flag silently overriding the other.
+    let mut backend_word: Option<&str> = None;
+    let mut threads_word: Option<&str> = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--backend" => match it.next().map(String::as_str) {
-                Some("vm") => backend = ExecBackend::Vm,
-                Some("tree") | Some("tree-walk") => backend = ExecBackend::TreeWalk,
-                other => {
-                    eprintln!("unknown --backend {other:?} (expected vm|tree)");
+            "--backend" => match it.next() {
+                Some(word) => backend_word = Some(word.as_str()),
+                None => {
+                    eprintln!("error: missing backend name (valid backends: vm, tree, tree-walk)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--threads" => match it.next() {
+                Some(word) => threads_word = Some(word.as_str()),
+                None => {
+                    eprintln!("error: --threads needs a worker count");
                     return ExitCode::from(2);
                 }
             },
@@ -103,6 +151,13 @@ pub fn repl(rest: &[String]) -> ExitCode {
             }
         }
     }
+    let backend = match parse_backend(backend_word.or(Some("vm")), threads_word) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
 
     let interactive = std::io::stdin().is_terminal();
     if interactive {
@@ -142,7 +197,9 @@ fn handle_line(session: &mut Session, line: &str) -> bool {
             srl_syntax::parse_expr(name),
             Ok(srl_core::Expr::Var(v)) if v == name
         ) {
-            eprintln!("error: `{name}` cannot be used as an input name (it is not a plain variable)");
+            eprintln!(
+                "error: `{name}` cannot be used as an input name (it is not a plain variable)"
+            );
             return true;
         }
         match srl_syntax::parse_value(literal) {
@@ -195,8 +252,7 @@ fn handle_command(session: &mut Session, command: &str) -> bool {
                 println!("(no definitions)");
             } else {
                 for def in &session.program.defs {
-                    let params: Vec<&str> =
-                        def.params.iter().map(|p| p.name.as_str()).collect();
+                    let params: Vec<&str> = def.params.iter().map(|p| p.name.as_str()).collect();
                     println!("{}({})", def.name, params.join(", "));
                 }
             }
@@ -210,18 +266,13 @@ fn handle_command(session: &mut Session, command: &str) -> bool {
                 }
             }
         }
-        Some("backend") => match words.next() {
-            Some("vm") => {
-                session.pipeline = session.pipeline.clone().with_backend(ExecBackend::Vm);
+        Some("backend") => match parse_backend(words.next(), words.next()) {
+            Ok(backend) => {
+                session.pipeline = session.pipeline.clone().with_backend(backend);
                 session.artifact = None;
-                println!("backend: vm");
+                println!("backend: {}", backend_name(backend));
             }
-            Some("tree") | Some("tree-walk") => {
-                session.pipeline = session.pipeline.clone().with_backend(ExecBackend::TreeWalk);
-                session.artifact = None;
-                println!("backend: tree-walk");
-            }
-            _ => eprintln!("usage: :backend vm|tree"),
+            Err(e) => eprintln!("error: {e} — usage: :backend vm [threads]|tree"),
         },
         Some("load") => match words.next() {
             Some(path) => match std::fs::read_to_string(path) {
@@ -240,7 +291,10 @@ fn handle_command(session: &mut Session, command: &str) -> bool {
             None => eprintln!("usage: :load FILE"),
         },
         Some("disasm") => {
-            print!("{}", srl_syntax::disasm_program(session.artifact().compiled()));
+            print!(
+                "{}",
+                srl_syntax::disasm_program(session.artifact().compiled())
+            );
         }
         _ => eprintln!("unknown command `:{command}` (:help lists commands)"),
     }
@@ -252,7 +306,8 @@ fn handle_command(session: &mut Session, command: &str) -> bool {
 fn looks_like_definition(line: &str) -> bool {
     let bytes = line.as_bytes();
     let mut i = 0;
-    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'-')
+    while i < bytes.len()
+        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'-')
     {
         i += 1;
     }
@@ -301,10 +356,16 @@ mod tests {
     #[test]
     fn session_defines_binds_and_evaluates() {
         let mut session = Session::new(ExecBackend::default());
-        assert!(handle_line(&mut session, "singleton(x) = insert(x, emptyset)"));
+        assert!(handle_line(
+            &mut session,
+            "singleton(x) = insert(x, emptyset)"
+        ));
         assert!(handle_line(&mut session, "S := {d1, d2}"));
         assert_eq!(session.program.defs.len(), 1);
-        assert_eq!(session.env.get("S"), Some(&Value::set([Value::atom(1), Value::atom(2)])));
+        assert_eq!(
+            session.env.get("S"),
+            Some(&Value::set([Value::atom(1), Value::atom(2)]))
+        );
         // Expressions evaluate against the environment.
         let env = session.env.clone();
         let expr = srl_syntax::parse_expr("singleton(choose(S))").unwrap();
@@ -343,6 +404,38 @@ mod tests {
             session.program.lookup("f").unwrap().body,
             srl_core::dsl::tuple([srl_core::dsl::var("x"), srl_core::dsl::var("x")])
         );
+    }
+
+    #[test]
+    fn backend_words_parse_with_optional_threads() {
+        assert_eq!(parse_backend(Some("vm"), None), Ok(ExecBackend::vm()));
+        assert_eq!(parse_backend(Some("tree"), None), Ok(ExecBackend::TreeWalk));
+        assert_eq!(
+            parse_backend(Some("vm"), Some("4")),
+            Ok(ExecBackend::vm_with_threads(4))
+        );
+        // Unknown names round-trip into an error that names the word and
+        // lists the valid options (the :backend bugfix).
+        let err = parse_backend(Some("turbo"), None).unwrap_err();
+        assert!(err.contains("`turbo`"), "{err}");
+        assert!(err.contains("vm, tree, tree-walk"), "{err}");
+        let err = parse_backend(None, None).unwrap_err();
+        assert!(err.contains("valid backends"), "{err}");
+        assert!(parse_backend(Some("vm"), Some("0")).is_err());
+        assert!(parse_backend(Some("tree"), Some("4")).is_err());
+    }
+
+    #[test]
+    fn backend_command_reports_unknown_names() {
+        let mut session = Session::new(ExecBackend::default());
+        // A bad name must not change the session backend…
+        assert!(handle_line(&mut session, ":backend turbo"));
+        assert_eq!(session.pipeline.backend(), ExecBackend::default());
+        // …while valid names (with an optional thread count) do.
+        assert!(handle_line(&mut session, ":backend tree"));
+        assert_eq!(session.pipeline.backend(), ExecBackend::TreeWalk);
+        assert!(handle_line(&mut session, ":backend vm 4"));
+        assert_eq!(session.pipeline.backend(), ExecBackend::vm_with_threads(4));
     }
 
     #[test]

@@ -25,7 +25,6 @@
 //! [`Value`]s, whose collection payloads are `Arc`-shared — cloning an
 //! `Expr::Const` is O(1).
 
-
 use crate::bignat::BigNat;
 use crate::value::Value;
 
@@ -434,8 +433,14 @@ mod tests {
 
     #[test]
     fn called_functions_collects_and_dedups() {
-        let e = call("union", [call("project", [var("R")]), call("union", [var("S")])]);
-        assert_eq!(e.called_functions(), vec!["project".to_string(), "union".to_string()]);
+        let e = call(
+            "union",
+            [call("project", [var("R")]), call("union", [var("S")])],
+        );
+        assert_eq!(
+            e.called_functions(),
+            vec!["project".to_string(), "union".to_string()]
+        );
     }
 
     #[test]

@@ -16,7 +16,6 @@
 use std::cmp::Ordering;
 use std::fmt;
 
-
 /// An arbitrary-precision natural number.
 ///
 /// Invariant: `limbs` is little-endian (least significant limb first) and has
@@ -150,9 +149,9 @@ impl BigNat {
         };
         let mut out = Vec::with_capacity(a.len() + 1);
         let mut carry = 0u64;
-        for i in 0..a.len() {
+        for (i, &ai) in a.iter().enumerate() {
             let bi = b.get(i).copied().unwrap_or(0);
-            let (s1, c1) = a[i].overflowing_add(bi);
+            let (s1, c1) = ai.overflowing_add(bi);
             let (s2, c2) = s1.overflowing_add(carry);
             out.push(s2);
             carry = u64::from(c1) + u64::from(c2);
@@ -242,7 +241,7 @@ impl BigNat {
     /// Left shift by `k` bits (multiplication by 2ᵏ).
     pub fn shl(&self, k: usize) -> Self {
         if self.is_zero() || k == 0 {
-            return if k == 0 { self.clone() } else { self.clone() };
+            return self.clone();
         }
         let limb_shift = k / 64;
         let bit_shift = k % 64;
@@ -583,10 +582,7 @@ mod tests {
     fn decimal_rendering() {
         assert_eq!(BigNat::zero().to_decimal_string(), "0");
         assert_eq!(n(12345).to_decimal_string(), "12345");
-        assert_eq!(
-            n(u64::MAX).to_decimal_string(),
-            u64::MAX.to_string(),
-        );
+        assert_eq!(n(u64::MAX).to_decimal_string(), u64::MAX.to_string(),);
         // 2^128 = 340282366920938463463374607431768211456
         assert_eq!(
             BigNat::pow2(128).to_decimal_string(),

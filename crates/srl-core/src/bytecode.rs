@@ -394,8 +394,80 @@ pub struct ReduceInsn {
     pub depth: u32,
     /// True for `list-reduce` (whose dialect guard was pre-charged).
     pub is_list: bool,
+    /// The algebraic class of the fold's combiner, decided at compile time
+    /// (see [`FoldClass`]). [`FoldClass::ProperHom`] folds may be sharded
+    /// across the worker pool (`crate::parallel`); everything else must run
+    /// sequentially.
+    pub class: FoldClass,
+    /// Static estimate of the work one fold iteration performs (weighted
+    /// instruction count of the lambda blocks; nested reduces and calls
+    /// weigh heavily). The parallel executor multiplies it by the input
+    /// cardinality to decide whether sharding pays for the thread handoff.
+    pub unit_cost: u32,
     /// The fold strategy.
     pub kind: ReduceKind,
+}
+
+/// The compile-time algebraic classification of a fold — `srl-analysis`'s
+/// Section 7 proper-hom machinery (`order::combiner_is_proper`) carried down
+/// to the lowered IR, where it gates *execution strategy* instead of an
+/// order-independence verdict.
+///
+/// A `set-reduce` whose combiner is a **proper homomorphism** — a
+/// commutative, associative accumulator step (boolean or/and, set union by
+/// insertion, including the conditional-insert shapes where the inserted
+/// material never reads the accumulator) — computes the same value for any
+/// traversal split, so contiguous shards of the input can be folded
+/// independently and merged in shard order. The recognized fused shapes map
+/// as follows:
+///
+/// * [`ReduceKind::Member`], [`ReduceKind::Union`] — proper homs whose data
+///   path is already a single closed-form operation (binary search / bulk
+///   merge); splittable in principle, nothing left to parallelize.
+/// * [`ReduceKind::InsertApp`], [`ReduceKind::Filter`],
+///   [`ReduceKind::BoolAcc`], [`ReduceKind::Monotone`] — proper homs with
+///   real per-element lambda work: these are the shapes the worker pool
+///   shards (the monotone spine is `y ∪ g(x)` with `g` independent of the
+///   accumulator, hence commutative-associative).
+/// * [`ReduceKind::Scan`] (keep-last-match) and [`ReduceKind::Generic`]
+///   (unproven combiner) — order-sensitive or unknown: sequential, always.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FoldClass {
+    /// Combiner provably order-insensitive (commutative-associative):
+    /// eligible for sharded execution.
+    ProperHom,
+    /// Order-sensitive or not provably a proper hom: sequential execution
+    /// only.
+    Ordered,
+}
+
+impl FoldClass {
+    /// Classifies a fused fold strategy (see the variant mapping above).
+    /// List folds are always [`FoldClass::Ordered`]: lists keep duplicates
+    /// and stored order, so even an or-fold observes the traversal.
+    pub fn of(kind: &ReduceKind, is_list: bool) -> FoldClass {
+        if is_list {
+            return FoldClass::Ordered;
+        }
+        match kind {
+            ReduceKind::Member
+            | ReduceKind::Union
+            | ReduceKind::InsertApp { .. }
+            | ReduceKind::Filter { .. }
+            | ReduceKind::BoolAcc { .. }
+            | ReduceKind::Monotone { .. } => FoldClass::ProperHom,
+            ReduceKind::Scan { .. } | ReduceKind::Generic { .. } => FoldClass::Ordered,
+        }
+    }
+
+    /// Short lowercase label (`proper-hom` / `ordered`) for the
+    /// disassembler and diagnostics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FoldClass::ProperHom => "proper-hom",
+            FoldClass::Ordered => "ordered",
+        }
+    }
 }
 
 /// How a reduce executes: generic two-block dispatch, or one of the fused
@@ -639,8 +711,15 @@ enum AccShape {
     InsertXY,
     OrXY,
     AndXY,
-    Filter { keep_on_true: bool, cond_index: usize, value_index: usize },
-    Scan { cond_index: usize, value_index: usize },
+    Filter {
+        keep_on_true: bool,
+        cond_index: usize,
+        value_index: usize,
+    },
+    Scan {
+        cond_index: usize,
+        value_index: usize,
+    },
     Monotone,
     Other,
 }
@@ -776,7 +855,16 @@ impl<'a> Codegen<'a> {
             LExpr::Tuple(items) => {
                 let start = fs.alloc_n(items.len());
                 for (i, item) in items.iter().enumerate() {
-                    self.gen(fs, code, floor, *item, d + 1, start + i as Reg, false, false);
+                    self.gen(
+                        fs,
+                        code,
+                        floor,
+                        *item,
+                        d + 1,
+                        start + i as Reg,
+                        false,
+                        false,
+                    );
                 }
                 code.push(Insn::MakeTuple {
                     dst,
@@ -835,7 +923,9 @@ impl<'a> Codegen<'a> {
                 base,
                 extra,
             } => {
-                self.gen_reduce(fs, code, floor, *set, app, acc, *base, *extra, d, dst, false);
+                self.gen_reduce(
+                    fs, code, floor, *set, app, acc, *base, *extra, d, dst, false,
+                );
             }
             LExpr::ListReduce {
                 list,
@@ -849,7 +939,9 @@ impl<'a> Codegen<'a> {
                     name: "list-reduce",
                     depth: d,
                 });
-                self.gen_reduce(fs, code, floor, *list, app, acc, *base, *extra, d, dst, true);
+                self.gen_reduce(
+                    fs, code, floor, *list, app, acc, *base, *extra, d, dst, true,
+                );
             }
             LExpr::Call { def, args } => {
                 let callee = &self.program.defs()[*def as usize];
@@ -976,6 +1068,7 @@ impl<'a> Codegen<'a> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn gen_nat_binop(
         &mut self,
         fs: &mut FrameState,
@@ -1003,6 +1096,7 @@ impl<'a> Codegen<'a> {
         fs.free(2);
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn gen_cmp(
         &mut self,
         fs: &mut FrameState,
@@ -1118,6 +1212,8 @@ impl<'a> Codegen<'a> {
         } else {
             self.fuse_set_fold(fs, app, acc, x_slot)
         };
+        let class = FoldClass::of(&kind, is_list);
+        let unit_cost = self.unit_cost(&kind);
         code.push(Insn::Reduce(Box::new(ReduceInsn {
             dst,
             set: rset,
@@ -1126,13 +1222,56 @@ impl<'a> Codegen<'a> {
             x_slot,
             depth: d,
             is_list,
+            class,
+            unit_cost,
             kind,
         })));
         fs.free(3);
     }
 
+    /// Static per-iteration work estimate of a fold: the weighted
+    /// instruction count of the lambda blocks it runs per element. A nested
+    /// reduce or a call hides an unknown amount of work behind one
+    /// instruction, so both weigh far more than a plain instruction —
+    /// enough that e.g. a `select` whose predicate quantifies over a second
+    /// relation shards even at modest cardinalities.
+    fn unit_cost(&self, kind: &ReduceKind) -> u32 {
+        const BASE: u32 = 4; // the fused accumulator arithmetic per element
+        match kind {
+            ReduceKind::Member | ReduceKind::Union => 0,
+            ReduceKind::InsertApp { app }
+            | ReduceKind::Filter { app, .. }
+            | ReduceKind::BoolAcc { app, .. }
+            | ReduceKind::Scan { app, .. } => BASE.saturating_add(self.block_cost(*app)),
+            ReduceKind::Monotone { app, acc } | ReduceKind::Generic { app, acc } => BASE
+                .saturating_add(self.block_cost(*app))
+                .saturating_add(self.block_cost(*acc)),
+        }
+    }
+
+    /// Weighted instruction count of one block (no recursion into callee or
+    /// nested-fold blocks; their weight constants stand in for it).
+    fn block_cost(&self, id: BlockId) -> u32 {
+        self.chunk
+            .block(id)
+            .code()
+            .iter()
+            .map(|insn| match insn {
+                Insn::Reduce(_) => 256u32,
+                Insn::Call { .. } => 64,
+                _ => 1,
+            })
+            .fold(0u32, u32::saturating_add)
+    }
+
     /// Matches the fold lambdas against the fused shapes (module docs).
-    fn fuse_set_fold(&mut self, fs: &mut FrameState, app: &LLambda, acc: &LLambda, x: u16) -> ReduceKind {
+    fn fuse_set_fold(
+        &mut self,
+        fs: &mut FrameState,
+        app: &LLambda,
+        acc: &LLambda,
+        x: u16,
+    ) -> ReduceKind {
         let y = x + 1;
         let app_shape = self.app_shape(app.body, x, y);
         let acc_shape = self.acc_shape(acc.body, x, y);
@@ -1295,9 +1434,7 @@ impl<'a> Codegen<'a> {
             LExpr::Local(s) => *s == y as u32,
             LExpr::Insert(e, s) => self.is_monotone(*s, y) && !reads_slot(self.nodes, *e, y),
             LExpr::If(c, t, e) => {
-                !reads_slot(self.nodes, *c, y)
-                    && self.is_monotone(*t, y)
-                    && self.is_monotone(*e, y)
+                !reads_slot(self.nodes, *c, y) && self.is_monotone(*t, y) && self.is_monotone(*e, y)
             }
             LExpr::Let { value, body } => {
                 !reads_slot(self.nodes, *value, y) && self.is_monotone(*body, y)
@@ -1329,7 +1466,9 @@ fn reads_slot(nodes: &[LExpr], id: LId, slot: u16) -> bool {
         | LExpr::NatConst(_)
         | LExpr::CallUnknown(_) => false,
         LExpr::If(a, b, c) => {
-            reads_slot(nodes, *a, slot) || reads_slot(nodes, *b, slot) || reads_slot(nodes, *c, slot)
+            reads_slot(nodes, *a, slot)
+                || reads_slot(nodes, *b, slot)
+                || reads_slot(nodes, *c, slot)
         }
         LExpr::Tuple(items) => items.iter().any(|i| reads_slot(nodes, *i, slot)),
         LExpr::Sel(_, e)

@@ -9,7 +9,6 @@
 
 use std::fmt;
 
-
 /// Which optional operators are permitted, on top of the always-available
 /// core (booleans, if-then-else, constants, tuples, selectors, equality on
 /// equality types, `≤` on ordered types, `emptyset`, `insert`, `set-reduce`,

@@ -73,9 +73,7 @@ pub fn insert(element: Expr, set: Expr) -> Expr {
 
 /// A set literal `{e1, …, en}`, built from repeated inserts.
 pub fn set_lit(items: impl IntoIterator<Item = Expr>) -> Expr {
-    items
-        .into_iter()
-        .fold(empty_set(), |acc, e| insert(e, acc))
+    items.into_iter().fold(empty_set(), |acc, e| insert(e, acc))
 }
 
 /// `set-reduce(set, app, acc, base, extra)`.

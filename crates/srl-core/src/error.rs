@@ -190,19 +190,28 @@ impl fmt::Display for EvalError {
                 found,
             } => write!(f, "{operator}: expected {expected}, found {found}"),
             EvalError::SelectorOutOfRange { index, arity } => {
-                write!(f, "selector .{index} out of range for a tuple of arity {arity}")
+                write!(
+                    f,
+                    "selector .{index} out of range for a tuple of arity {arity}"
+                )
             }
             EvalError::StepLimitExceeded { limit } => {
                 write!(f, "evaluation exceeded the step budget of {limit} steps")
             }
             EvalError::SizeLimitExceeded { limit } => {
-                write!(f, "a constructed value exceeded the size budget of {limit} leaves")
+                write!(
+                    f,
+                    "a constructed value exceeded the size budget of {limit} leaves"
+                )
             }
             EvalError::DepthLimitExceeded { limit } => {
                 write!(f, "expression nesting exceeded the depth budget of {limit}")
             }
             EvalError::NatWidthExceeded { limit_bits } => {
-                write!(f, "a natural number exceeded the width budget of {limit_bits} bits")
+                write!(
+                    f,
+                    "a natural number exceeded the width budget of {limit_bits} bits"
+                )
             }
             EvalError::ChooseFromEmptySet => write!(f, "choose/rest applied to the empty set"),
             EvalError::CompiledProgramMismatch { expected, found } => write!(
@@ -211,7 +220,10 @@ impl fmt::Display for EvalError {
                  (program fingerprint {expected:#018x}, compiled fingerprint {found:#018x})"
             ),
             EvalError::DialectViolation { operator, dialect } => {
-                write!(f, "operator `{operator}` is not allowed in dialect {dialect}")
+                write!(
+                    f,
+                    "operator `{operator}` is not allowed in dialect {dialect}"
+                )
             }
         }
     }

@@ -77,19 +77,56 @@ pub(crate) const ACCUMULATOR_WEIGHT_CAP: usize = 4_096;
 /// [`EvalCore::bump_batch`]'s ordering note); which limits are exceeded is
 /// still identical, as are all values and statistics whenever evaluation
 /// succeeds.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ExecBackend {
     /// The recursive tree-walk over the lowered arena (this module) — the
     /// reference engine, still selectable everywhere.
     TreeWalk,
     /// The register bytecode VM ([`crate::vm`]) with superinstruction
     /// fusion ([`crate::bytecode`]); chunks are generated lazily, once per
-    /// compiled program / lowered expression. The **default** backend: it
-    /// produces byte-identical results and statistics to the tree-walk
-    /// (CI-gated both ways) and runs the benchmark suite 2.1–19.9× faster
-    /// (`BENCH_3.json`).
-    #[default]
-    Vm,
+    /// compiled program / lowered expression. The **default** backend (with
+    /// `threads: 1`): it produces byte-identical results and statistics to
+    /// the tree-walk (CI-gated both ways) and runs the benchmark suite
+    /// 2.1–19.9× faster (`BENCH_3.json`).
+    Vm {
+        /// Worker-pool width for provably-splittable `set-reduce` folds
+        /// (see [`crate::parallel`]). `0` and `1` both mean sequential
+        /// execution; `n > 1` lets the VM shard proper-hom folds across up
+        /// to `n` scoped threads. The thread count never changes results or
+        /// [`EvalStats`] — the stats-determinism contract holds across the
+        /// whole axis, exactly as it does across backends.
+        threads: usize,
+    },
+}
+
+impl Default for ExecBackend {
+    fn default() -> Self {
+        ExecBackend::vm()
+    }
+}
+
+impl ExecBackend {
+    /// The bytecode VM, sequential (`threads: 1`) — the default backend.
+    pub fn vm() -> Self {
+        ExecBackend::Vm { threads: 1 }
+    }
+
+    /// The bytecode VM with a worker pool of `threads` (normalized to at
+    /// least 1; `vm_with_threads(1)` is exactly [`ExecBackend::vm`]).
+    pub fn vm_with_threads(threads: usize) -> Self {
+        ExecBackend::Vm {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The effective worker-pool width: 1 for the tree-walk and the
+    /// sequential VM, the configured count otherwise.
+    pub fn threads(&self) -> usize {
+        match self {
+            ExecBackend::TreeWalk => 1,
+            ExecBackend::Vm { threads } => (*threads).max(1),
+        }
+    }
 }
 
 /// A resource-bounded evaluator for a single [`Program`].
@@ -126,6 +163,10 @@ pub(crate) struct EvalCore {
     /// Scratch used by the VM's fused monotone folds: spine inserts report
     /// the weights of novel elements here (see `bytecode::ReduceKind`).
     pub(crate) spine_delta: usize,
+    /// Diagnostic (not part of [`EvalStats`]): how many folds actually ran
+    /// sharded across the worker pool. Lets tests and tools verify the
+    /// parallel path engaged without perturbing the byte-identical stats.
+    pub(crate) parallel_folds: u64,
 }
 
 impl Evaluator {
@@ -168,6 +209,7 @@ impl Evaluator {
                 locals: Vec::new(),
                 frame_base: 0,
                 spine_delta: 0,
+                parallel_folds: 0,
             },
             backend: ExecBackend::default(),
         }
@@ -197,10 +239,21 @@ impl Evaluator {
         &self.core.stats
     }
 
+    /// Diagnostic counter: how many `set-reduce` folds were actually
+    /// executed sharded across the worker pool (always 0 under
+    /// `threads ≤ 1`, under the tree-walk backend, and for folds below the
+    /// [`crate::parallel`] work threshold). Deliberately **not** part of
+    /// [`EvalStats`]: the statistics are byte-identical across thread
+    /// counts, while this counter reports the execution strategy.
+    pub fn parallel_folds(&self) -> u64 {
+        self.core.parallel_folds
+    }
+
     /// Resets the statistics and allocation counters (the budget stays).
     pub fn reset_stats(&mut self) {
         self.core.stats = EvalStats::default();
         self.core.allocated_leaves = 0;
+        self.core.parallel_folds = 0;
     }
 
     /// Evaluates an expression whose free variables are bound by `env`.
@@ -255,10 +308,11 @@ impl Evaluator {
                 .in_root_frame(env.iter().map(|(_, v)| v.clone()), |core| {
                     core.eval_in(compiled, lowered.nodes(), lowered.root_node(), 0)
                 }),
-            ExecBackend::Vm => {
+            ExecBackend::Vm { .. } => {
                 let ctx = crate::vm::VmCtx {
                     program: compiled,
                     pchunk: compiled.code(),
+                    threads: self.backend.threads(),
                 };
                 let chunk = lowered.code(compiled);
                 self.core
@@ -296,10 +350,11 @@ impl Evaluator {
                     core.eval_in(compiled, nodes, &nodes[body.index()], 0)
                 })
             }
-            ExecBackend::Vm => {
+            ExecBackend::Vm { .. } => {
                 let ctx = crate::vm::VmCtx {
                     program: compiled,
                     pchunk: compiled.code(),
+                    threads: self.backend.threads(),
                 };
                 self.core.in_root_frame(args.iter().cloned(), |core| {
                     crate::vm::run_def(core, &ctx, def_id)
@@ -467,8 +522,6 @@ impl EvalCore {
         }
     }
 
-
-
     /// Borrows a frame slot (peephole paths that never need ownership).
     #[inline]
     fn local_ref(&self, slot: u32) -> Result<&Value, EvalError> {
@@ -505,8 +558,12 @@ impl EvalCore {
             LExpr::If(c, t, e) => {
                 let cond = self.eval_in(compiled, nodes, &nodes[c.index()], depth + 1)?;
                 match cond {
-                    Value::Bool(true) => self.eval_in(compiled, nodes, &nodes[t.index()], depth + 1),
-                    Value::Bool(false) => self.eval_in(compiled, nodes, &nodes[e.index()], depth + 1),
+                    Value::Bool(true) => {
+                        self.eval_in(compiled, nodes, &nodes[t.index()], depth + 1)
+                    }
+                    Value::Bool(false) => {
+                        self.eval_in(compiled, nodes, &nodes[e.index()], depth + 1)
+                    }
                     other => Err(EvalError::Shape {
                         operator: "if",
                         expected: "a boolean condition",
@@ -583,11 +640,18 @@ impl EvalCore {
                 let mut accumulator = base_v;
                 for elem in items.iter() {
                     self.stats.reduce_iterations += 1;
-                    let applied = self.apply(compiled, nodes, *app, elem.clone(), extra_v.clone(), depth + 1)?;
-                    accumulator = self.apply(compiled, nodes, *acc, applied, accumulator, depth + 1)?;
+                    let applied = self.apply(
+                        compiled,
+                        nodes,
+                        *app,
+                        elem.clone(),
+                        extra_v.clone(),
+                        depth + 1,
+                    )?;
+                    accumulator =
+                        self.apply(compiled, nodes, *acc, applied, accumulator, depth + 1)?;
                     let w = weight_capped(&accumulator, ACCUMULATOR_WEIGHT_CAP);
-                    self.stats.max_accumulator_weight =
-                        self.stats.max_accumulator_weight.max(w);
+                    self.stats.max_accumulator_weight = self.stats.max_accumulator_weight.max(w);
                 }
                 Ok(accumulator)
             }
@@ -598,7 +662,11 @@ impl EvalCore {
                 base,
                 extra,
             } => {
-                require_dialect(&compiled.dialect, compiled.dialect.allow_lists, "list-reduce")?;
+                require_dialect(
+                    &compiled.dialect,
+                    compiled.dialect.allow_lists,
+                    "list-reduce",
+                )?;
                 let list_v = self.eval_in(compiled, nodes, &nodes[list.index()], depth + 1)?;
                 let base_v = self.eval_in(compiled, nodes, &nodes[base.index()], depth + 1)?;
                 let extra_v = self.eval_in(compiled, nodes, &nodes[extra.index()], depth + 1)?;
@@ -617,11 +685,18 @@ impl EvalCore {
                 let mut accumulator = base_v;
                 for elem in items.iter() {
                     self.stats.reduce_iterations += 1;
-                    let applied = self.apply(compiled, nodes, *app, elem.clone(), extra_v.clone(), depth + 1)?;
-                    accumulator = self.apply(compiled, nodes, *acc, applied, accumulator, depth + 1)?;
+                    let applied = self.apply(
+                        compiled,
+                        nodes,
+                        *app,
+                        elem.clone(),
+                        extra_v.clone(),
+                        depth + 1,
+                    )?;
+                    accumulator =
+                        self.apply(compiled, nodes, *acc, applied, accumulator, depth + 1)?;
                     let w = weight_capped(&accumulator, ACCUMULATOR_WEIGHT_CAP);
-                    self.stats.max_accumulator_weight =
-                        self.stats.max_accumulator_weight.max(w);
+                    self.stats.max_accumulator_weight = self.stats.max_accumulator_weight.max(w);
                 }
                 Ok(accumulator)
             }
@@ -653,7 +728,12 @@ impl EvalCore {
                 let new_base = self.locals.len();
                 self.locals.append(&mut arg_values);
                 self.frame_base = new_base;
-                let result = self.eval_in(compiled, compiled.nodes(), &compiled.nodes()[callee.body.index()], depth + 1);
+                let result = self.eval_in(
+                    compiled,
+                    compiled.nodes(),
+                    &compiled.nodes()[callee.body.index()],
+                    depth + 1,
+                );
                 self.locals.truncate(new_base);
                 self.frame_base = saved_base;
                 result
@@ -673,7 +753,11 @@ impl EvalCore {
                 Ok(Value::Atom(crate::value::Atom::new(next_fresh_index(&v))))
             }
             LExpr::NatConst(n) => {
-                require_dialect(&compiled.dialect, compiled.dialect.allow_nat, "nat constant")?;
+                require_dialect(
+                    &compiled.dialect,
+                    compiled.dialect.allow_nat,
+                    "nat constant",
+                )?;
                 Ok(Value::Nat(n.clone()))
             }
             LExpr::Succ(e) => {
@@ -683,14 +767,22 @@ impl EvalCore {
                 Ok(Value::Nat(n.succ()))
             }
             LExpr::NatAdd(a, b) => {
-                require_dialect(&compiled.dialect, compiled.dialect.allow_nat_add, "nat addition")?;
+                require_dialect(
+                    &compiled.dialect,
+                    compiled.dialect.allow_nat_add,
+                    "nat addition",
+                )?;
                 let na = self.expect_nat(compiled, nodes, a, depth, "+")?;
                 let nb = self.expect_nat(compiled, nodes, b, depth, "+")?;
                 self.check_nat_width(na.bit_len().max(nb.bit_len()) + 1)?;
                 Ok(Value::Nat(na.add(&nb)))
             }
             LExpr::NatMul(a, b) => {
-                require_dialect(&compiled.dialect, compiled.dialect.allow_nat_mul, "nat multiplication")?;
+                require_dialect(
+                    &compiled.dialect,
+                    compiled.dialect.allow_nat_mul,
+                    "nat multiplication",
+                )?;
                 let na = self.expect_nat(compiled, nodes, a, depth, "*")?;
                 let nb = self.expect_nat(compiled, nodes, b, depth, "*")?;
                 self.check_nat_width(na.bit_len() + nb.bit_len())?;
@@ -792,7 +884,11 @@ impl EvalCore {
 }
 
 /// Rejects `operator` when the dialect does not allow it.
-pub(crate) fn require_dialect(dialect: &Dialect, allowed: bool, operator: &str) -> Result<(), EvalError> {
+pub(crate) fn require_dialect(
+    dialect: &Dialect,
+    allowed: bool,
+    operator: &str,
+) -> Result<(), EvalError> {
     if allowed {
         Ok(())
     } else {
@@ -1023,7 +1119,10 @@ mod tests {
         assert_eq!(eval_closed(&sel(t.clone(), 1)), Value::atom(10));
         assert_eq!(eval_closed(&sel(t.clone(), 3)), Value::atom(30));
         let err = eval_full(&sel(t, 4), &Env::new()).unwrap_err();
-        assert!(matches!(err, EvalError::SelectorOutOfRange { index: 4, arity: 3 }));
+        assert!(matches!(
+            err,
+            EvalError::SelectorOutOfRange { index: 4, arity: 3 }
+        ));
     }
 
     #[test]
@@ -1140,7 +1239,11 @@ mod tests {
     fn let_and_var_scoping() {
         let expr = let_in("a", atom(1), let_in("a", atom(2), var("a")));
         assert_eq!(eval_closed(&expr), Value::atom(2));
-        let expr = let_in("a", atom(1), tuple([var("a"), let_in("a", atom(2), var("a")), var("a")]));
+        let expr = let_in(
+            "a",
+            atom(1),
+            tuple([var("a"), let_in("a", atom(2), var("a")), var("a")]),
+        );
         assert_eq!(
             eval_closed(&expr),
             Value::tuple([Value::atom(1), Value::atom(2), Value::atom(1)])
@@ -1157,8 +1260,11 @@ mod tests {
 
     #[test]
     fn calls_bind_only_parameters() {
-        let program = Program::new(Dialect::full())
-            .define("pair_with_self", ["x"], tuple([var("x"), var("x")]));
+        let program = Program::new(Dialect::full()).define(
+            "pair_with_self",
+            ["x"],
+            tuple([var("x"), var("x")]),
+        );
         let mut ev = Evaluator::new(&program, EvalLimits::default());
         let v = ev.call("pair_with_self", &[Value::atom(3)]).unwrap();
         assert_eq!(v, Value::tuple([Value::atom(3), Value::atom(3)]));
@@ -1174,13 +1280,10 @@ mod tests {
         // while later arguments are still being evaluated — a `let` (or a
         // reduce lambda) inside the second argument would otherwise resolve
         // its slot to the first argument's value.
-        let program = Program::new(Dialect::full())
-            .define("pair", ["a", "b"], tuple([var("b"), var("a")]));
+        let program =
+            Program::new(Dialect::full()).define("pair", ["a", "b"], tuple([var("b"), var("a")]));
         let mut ev = Evaluator::new(&program, EvalLimits::default());
-        let expr = call(
-            "pair",
-            [atom(1), let_in("y", atom(2), var("y"))],
-        );
+        let expr = call("pair", [atom(1), let_in("y", atom(2), var("y"))]);
         let v = ev.eval(&expr, &Env::new()).unwrap();
         assert_eq!(v, Value::tuple([Value::atom(2), Value::atom(1)]));
         // Same shape with a reduce lambda in the second argument.
@@ -1233,9 +1336,7 @@ mod tests {
         let v = ev.eval(&succ_expr, &env).unwrap();
         assert_eq!(v.len(), Some(3));
         // new of a set with no atoms starts at 0.
-        let v = ev
-            .eval(&new_value(empty_set()), &Env::new())
-            .unwrap();
+        let v = ev.eval(&new_value(empty_set()), &Env::new()).unwrap();
         assert_eq!(v, Value::atom(0));
     }
 
@@ -1370,10 +1471,7 @@ mod tests {
     #[test]
     fn nat_width_limit_enforced() {
         let program = Program::new(Dialect::full());
-        let mut ev = Evaluator::new(
-            &program,
-            EvalLimits::default().with_max_nat_bits(8),
-        );
+        let mut ev = Evaluator::new(&program, EvalLimits::default().with_max_nat_bits(8));
         let big = nat_mul(nat(1 << 7), nat(1 << 7));
         assert!(matches!(
             ev.eval(&big, &Env::new()).unwrap_err(),

@@ -76,6 +76,7 @@ pub mod eval;
 pub mod intern;
 pub mod limits;
 pub mod lower;
+pub mod parallel;
 pub mod pipeline;
 pub mod program;
 pub mod setrepr;
@@ -86,16 +87,18 @@ pub(crate) mod vm;
 
 pub use ast::{Expr, Lambda};
 pub use bignat::BigNat;
-pub use bytecode::Chunk;
+pub use bytecode::{Chunk, FoldClass};
 pub use dialect::Dialect;
 pub use error::{CheckError, EvalError, SrlError};
 pub use eval::{eval_expr, eval_expr_with_stats, run_program, Evaluator, ExecBackend};
 pub use intern::{Symbol, SymbolTable};
-pub use lower::{program_fingerprint, CompiledDef, CompiledProgram, LExpr, LLambda, LoweredExpr};
 pub use limits::{EvalLimits, EvalStats};
+pub use lower::{program_fingerprint, CompiledDef, CompiledProgram, LExpr, LLambda, LoweredExpr};
 pub use pipeline::{Pipeline, Source, TypePolicy};
 pub use program::{Env, FunDef, Param, Program};
-pub use typecheck::{check_and_compile, check_expr, check_program, CheckedProgram, FunSig, TypeChecker};
-pub use types::Type;
 pub use setrepr::SetRepr;
+pub use typecheck::{
+    check_and_compile, check_expr, check_program, CheckedProgram, FunSig, TypeChecker,
+};
+pub use types::Type;
 pub use value::{domain_set, leq_relation, Atom, Value, ValueSet};

@@ -8,7 +8,6 @@
 //! logspace bound shows up as a bounded `max_accumulator_weight` while the
 //! input grows.
 
-
 /// Resource budget for one evaluation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EvalLimits {

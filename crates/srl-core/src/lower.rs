@@ -327,13 +327,9 @@ impl CompiledProgram {
             .iter()
             .map(|def| {
                 let name = symbols.intern(&def.name);
-                let params: Vec<Symbol> = def
-                    .params
-                    .iter()
-                    .map(|p| symbols.intern(&p.name))
-                    .collect();
-                let mut scope: Vec<&str> =
-                    def.params.iter().map(|p| p.name.as_str()).collect();
+                let params: Vec<Symbol> =
+                    def.params.iter().map(|p| symbols.intern(&p.name)).collect();
+                let mut scope: Vec<&str> = def.params.iter().map(|p| p.name.as_str()).collect();
                 let body = lower(&def.body, &mut scope, &def_index, &mut nodes);
                 CompiledDef { name, params, body }
             })
@@ -598,8 +594,14 @@ mod tests {
         let p = Program::srl();
         let c = compile(&p);
         let scope = ["S", "T"];
-        assert_eq!(c.lower_expr(&var("S"), &scope).root_node(), &LExpr::Local(0));
-        assert_eq!(c.lower_expr(&var("T"), &scope).root_node(), &LExpr::Local(1));
+        assert_eq!(
+            c.lower_expr(&var("S"), &scope).root_node(),
+            &LExpr::Local(0)
+        );
+        assert_eq!(
+            c.lower_expr(&var("T"), &scope).root_node(),
+            &LExpr::Local(1)
+        );
         assert_eq!(
             c.lower_expr(&var("U"), &scope).root_node(),
             &LExpr::UnboundVar("U".to_string())
@@ -685,9 +687,11 @@ mod tests {
 
     #[test]
     fn whole_program_lives_in_one_arena() {
-        let p = Program::srl()
-            .define("id", ["x"], var("x"))
-            .define("twice", ["x"], tuple([call("id", [var("x")]), var("x")]));
+        let p = Program::srl().define("id", ["x"], var("x")).define(
+            "twice",
+            ["x"],
+            tuple([call("id", [var("x")]), var("x")]),
+        );
         let c = compile(&p);
         // 1 node for `id`, 4 for `twice` (var, call, var, tuple).
         assert_eq!(c.nodes().len(), 5);

@@ -1,0 +1,502 @@
+//! Sharded execution of proper-hom `set-reduce` folds across a scoped
+//! worker pool.
+//!
+//! The paper's expressiveness results hinge on folds whose combiners are
+//! **proper homomorphisms** (Section 7): commutative-associative accumulator
+//! steps for which the traversal order is provably unobservable. That same
+//! algebraic condition is exactly what makes a fold *splittable*: for a
+//! proper hom, folding contiguous shards of the input independently and
+//! merging the partial accumulators in shard order computes the same value
+//! as the sequential left fold. The compile-time side of this analysis lives
+//! in [`FoldClass`](crate::bytecode::FoldClass) — the lowered-IR descendant
+//! of `srl-analysis`'s `combiner_is_proper` — which codegen records on every
+//! fused `Reduce` instruction; this module is the runtime side.
+//!
+//! ## Execution model
+//!
+//! A work-stealing-free, scoped-thread pool: when [`try_run`] accepts a
+//! fold, the input `SetRepr`'s live slice is partitioned into `k =
+//! min(threads, n)` contiguous windows whose sizes differ by at most one.
+//! Shards `1..k` are spawned as [`std::thread::scope`] workers (so they may
+//! borrow the chunk, the compiled program and the element slice — no `Arc`
+//! restructuring, no `unsafe`); shard `0` runs on the calling thread while
+//! the workers are in flight; joins happen in shard order. Each worker gets
+//! its own [`EvalCore`]: a clone of the current frame (O(frame) `Arc`
+//! bumps), zeroed statistics, and the *remaining* step/allocation budget at
+//! fold entry. Workers execute the **same per-element helpers** as the
+//! sequential loops (`vm::boolacc_element` and friends), so one element
+//! charges one identical stat sequence on either path. Nested folds inside
+//! a sharded lambda run sequentially (`VmCtx::sequential`) — shard workers
+//! never spawn again, so the pool width bounds total thread count.
+//!
+//! ## The stats-determinism contract
+//!
+//! `EvalStats` are **byte-identical across thread counts** on every
+//! successful evaluation — the thread axis extends the backend axis's
+//! contract. This falls out of three properties:
+//!
+//! 1. every additive counter (`steps`, `reduce_iterations`, `inserts`,
+//!    `new_values`, allocation totals) is a sum of identical per-element
+//!    charges, and sums are partition-invariant — the merge absorbs worker
+//!    statistics **in shard order**, re-basing the allocation high-water on
+//!    the cumulative total so `max_value_weight` matches the sequential
+//!    running count;
+//! 2. the high-water marks (`max_depth`, nested folds'
+//!    `max_accumulator_weight`) are maxima of per-element observations,
+//!    also partition-invariant;
+//! 3. the sharded fold's *own* accumulator-weight trajectory is monotone
+//!    (set accumulators only grow; bool accumulators flip once), so its
+//!    maximum is reconstructed exactly from the shard results: the merge
+//!    walks the shard accumulators in order, adds the weights of the
+//!    globally-novel elements (recomputed against the merged prefix, since
+//!    in-shard novelty is relative) with the same saturating cap the
+//!    sequential loop applies, and records the final weight.
+//!
+//! Limit errors stay faithful too: a worker runs against the budget that
+//! remained at fold entry (so a shard that alone exhausts it fails with the
+//! right error), and the ordered merge re-checks the cumulative totals
+//! shard by shard (so a crossing that only the *sum* of shards produces is
+//! still reported, with the step error taking precedence over the size
+//! error within one shard's batch — the same precedence
+//! [`EvalCore::bump_batch`] documents). On error paths the error kind
+//! matches sequential execution while partial counters may differ, exactly
+//! as on the backend axis.
+//!
+//! ## What is sharded
+//!
+//! Only folds whose [`FoldClass`](crate::bytecode::FoldClass) is
+//! `ProperHom` *and* whose fused kind has real per-element lambda work:
+//! `InsertApp`, `Filter`, `BoolAcc`, `Monotone`. `Member` and `Union` are
+//! proper homs too, but their data path is already one binary search / one
+//! bulk merge — there is nothing left to fan out. Set-building folds are
+//! sharded only when the base is a set (any other base is an error or
+//! degenerate case the sequential path reproduces exactly). The handoff is
+//! gated by [`PAR_WORK_THRESHOLD`]: input cardinality times the fold's
+//! static [`unit_cost`](crate::bytecode::ReduceInsn::unit_cost) must make
+//! the spawn worth it. Declining never changes results or statistics —
+//! gating is pure strategy.
+
+use std::ops::Range;
+use std::sync::Arc;
+use std::thread;
+
+use crate::bytecode::{Chunk, FoldClass, ReduceInsn, ReduceKind};
+use crate::error::EvalError;
+use crate::eval::{weight_capped, EvalCore, ACCUMULATOR_WEIGHT_CAP};
+use crate::limits::{EvalLimits, EvalStats};
+use crate::setrepr::SetRepr;
+use crate::value::Value;
+use crate::vm::{
+    boolacc_element, cap_add, capped, filter_element, insertapp_element, monotone_element, VmCtx,
+};
+
+/// Minimum estimated fold work (input cardinality × static per-element
+/// cost, see [`crate::bytecode::ReduceInsn::unit_cost`]) before a fold is
+/// handed to the worker pool. Below it, the scoped-thread spawn and merge
+/// overhead would outweigh the per-shard work; above it, the shards
+/// amortize the handoff. Gating is pure execution strategy — results and
+/// statistics are identical either way.
+pub const PAR_WORK_THRESHOLD: u64 = 4096;
+
+/// What one shard hands back to the merge.
+struct ShardRun {
+    /// The worker's statistics (zero-based; absorbed in shard order).
+    stats: EvalStats,
+    /// The worker's total allocated leaves (zero-based; summed into the
+    /// caller's running allocation count).
+    allocated: usize,
+    /// The shard's data outcome, or the error its earliest element raised.
+    outcome: Result<ShardData, EvalError>,
+}
+
+/// The kind-specific payload of a completed shard.
+enum ShardData {
+    /// `BoolAcc`: index (within the shard) of the first accumulator flip —
+    /// the first `or`-hit / `and`-miss — if any.
+    Flip(Option<usize>),
+    /// Set-building kinds: the shard-local accumulator, folded from the
+    /// empty set over the shard's elements in order.
+    Set(SetRepr),
+}
+
+/// Attempts sharded execution of a fused set fold. Returns `None` when the
+/// fold should run sequentially (wrong class or kind, too little work, a
+/// non-set base for a set-building kind, or a sequential context); the
+/// caller falls through to the sequential arms with all operands untouched.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn try_run(
+    core: &mut EvalCore,
+    ctx: &VmCtx<'_>,
+    chunk: &Chunk,
+    r: &ReduceInsn,
+    d: usize,
+    items: &Arc<SetRepr>,
+    base_v: &Value,
+    extra_v: &Value,
+) -> Option<Result<Value, EvalError>> {
+    let n = items.len();
+    if ctx.threads <= 1 || r.is_list || r.class != FoldClass::ProperHom || n < 2 {
+        return None;
+    }
+    if (n as u64).saturating_mul(r.unit_cost as u64) < PAR_WORK_THRESHOLD {
+        return None;
+    }
+    let base_is_set = matches!(base_v, Value::Set(_));
+    match &r.kind {
+        // Already closed-form single-pass operations: nothing to fan out.
+        ReduceKind::Member | ReduceKind::Union => None,
+        ReduceKind::BoolAcc { .. } => {
+            Some(run_sharded(core, ctx, chunk, r, d, items, base_v, extra_v))
+        }
+        ReduceKind::InsertApp { .. } | ReduceKind::Filter { .. } | ReduceKind::Monotone { .. }
+            if base_is_set =>
+        {
+            Some(run_sharded(core, ctx, chunk, r, d, items, base_v, extra_v))
+        }
+        _ => None,
+    }
+}
+
+/// Contiguous shard windows over `n` elements: `k` ranges whose lengths
+/// differ by at most one (the first `n % k` get the extra element).
+fn shard_bounds(n: usize, k: usize) -> Vec<Range<usize>> {
+    let base = n / k;
+    let extra = n % k;
+    let mut bounds = Vec::with_capacity(k);
+    let mut start = 0;
+    for i in 0..k {
+        let len = base + usize::from(i < extra);
+        bounds.push(start..start + len);
+        start += len;
+    }
+    bounds
+}
+
+/// The accepted path: spawn the shard workers, run shard 0 locally, then
+/// merge in shard order.
+#[allow(clippy::too_many_arguments)]
+fn run_sharded(
+    core: &mut EvalCore,
+    ctx: &VmCtx<'_>,
+    chunk: &Chunk,
+    r: &ReduceInsn,
+    d: usize,
+    items: &Arc<SetRepr>,
+    base_v: &Value,
+    extra_v: &Value,
+) -> Result<Value, EvalError> {
+    let n = items.len();
+    let k = ctx.threads.min(n);
+    let bounds = shard_bounds(n, k);
+    let elements = items.as_slice();
+    // Each worker frame is a clone of the caller's current frame: the lambda
+    // blocks may read any enclosing lexical slot (always via `Copy` — takes
+    // never reach below the fold's floor), and cloning is O(frame) Arc
+    // bumps. Registers at and above the lambda parameters are written before
+    // they are read, so the clone's stale temporaries are never observed.
+    let frame: Vec<Value> = core.locals[core.frame_base..].to_vec();
+    // Workers check against the budget that remains at fold entry; the
+    // ordered merge below re-checks the cumulative totals.
+    let worker_limits = EvalLimits {
+        max_steps: core.limits.max_steps.saturating_sub(core.stats.steps),
+        max_value_weight: core
+            .limits
+            .max_value_weight
+            .saturating_sub(core.allocated_leaves),
+        max_depth: core.limits.max_depth,
+        max_nat_bits: core.limits.max_nat_bits,
+    };
+    let worker = |range: Range<usize>| -> ShardRun {
+        let mut wcore = EvalCore {
+            limits: worker_limits,
+            stats: EvalStats::default(),
+            allocated_leaves: 0,
+            locals: frame.clone(),
+            frame_base: 0,
+            spine_delta: 0,
+            parallel_folds: 0,
+        };
+        let wctx = ctx.sequential();
+        let outcome = run_shard(&mut wcore, &wctx, chunk, r, d, &elements[range], extra_v);
+        ShardRun {
+            stats: wcore.stats,
+            allocated: wcore.allocated_leaves,
+            outcome,
+        }
+    };
+    let runs: Vec<ShardRun> = thread::scope(|scope| {
+        let handles: Vec<_> = bounds[1..]
+            .iter()
+            .map(|range| {
+                let range = range.clone();
+                scope.spawn(|| worker(range))
+            })
+            .collect();
+        let mut runs = Vec::with_capacity(k);
+        runs.push(worker(bounds[0].clone()));
+        for handle in handles {
+            runs.push(handle.join().expect("shard worker panicked"));
+        }
+        runs
+    });
+    core.parallel_folds += 1;
+    // Post-fold frame hygiene, as in the sequential loops: the lambda
+    // parameter slots must not pin the last element's payload.
+    core.clear_lambda_slots(r.x_slot);
+    merge(core, r, &bounds, runs, base_v)
+}
+
+/// Folds one contiguous shard on a worker core, charging exactly what the
+/// sequential loop charges for the same elements.
+fn run_shard(
+    core: &mut EvalCore,
+    ctx: &VmCtx<'_>,
+    chunk: &Chunk,
+    r: &ReduceInsn,
+    d: usize,
+    shard: &[Value],
+    extra_v: &Value,
+) -> Result<ShardData, EvalError> {
+    let x = r.x_slot;
+    // Lambda bodies run two levels below the reduce node, exactly as in
+    // `run_reduce`: apply() at d+1, the body at d+2.
+    let lb = d + 2;
+    match &r.kind {
+        ReduceKind::BoolAcc { app, is_or } => {
+            let mut first_flip = None;
+            for (i, elem) in shard.iter().enumerate() {
+                let hit = boolacc_element(core, ctx, chunk, *app, x, elem.clone(), extra_v, lb, d)?;
+                let flips = if *is_or { hit } else { !hit };
+                if flips && first_flip.is_none() {
+                    first_flip = Some(i);
+                }
+            }
+            Ok(ShardData::Flip(first_flip))
+        }
+        ReduceKind::InsertApp { app } => {
+            let mut acc = Value::empty_set();
+            for elem in shard {
+                let applied =
+                    insertapp_element(core, ctx, chunk, *app, x, elem.clone(), extra_v, lb, d)?;
+                let (grown, _, _) = core.insert_value(applied, acc)?;
+                acc = grown;
+            }
+            Ok(ShardData::Set(into_set(acc)))
+        }
+        ReduceKind::Filter {
+            app,
+            keep_on_true,
+            cond_index,
+            value_index,
+        } => {
+            let mut acc = Value::empty_set();
+            for elem in shard {
+                let kept = filter_element(
+                    core,
+                    ctx,
+                    chunk,
+                    *app,
+                    *keep_on_true,
+                    *cond_index,
+                    *value_index,
+                    x,
+                    elem.clone(),
+                    extra_v,
+                    lb,
+                    d,
+                )?;
+                if let Some(v) = kept {
+                    let (grown, _, _) = core.insert_value(v, acc)?;
+                    acc = grown;
+                }
+            }
+            Ok(ShardData::Set(into_set(acc)))
+        }
+        ReduceKind::Monotone { app, acc } => {
+            let mut accumulator = Value::empty_set();
+            for elem in shard {
+                // The in-shard spine delta measures novelty against the
+                // shard-local accumulator; the merge recomputes global
+                // novelty, so it is discarded here.
+                let (grown, _delta) = monotone_element(
+                    core,
+                    ctx,
+                    chunk,
+                    *app,
+                    *acc,
+                    x,
+                    elem.clone(),
+                    extra_v,
+                    lb,
+                    accumulator,
+                )?;
+                accumulator = grown;
+            }
+            Ok(ShardData::Set(into_set(accumulator)))
+        }
+        other => unreachable!("try_run only accepts shardable kinds, got {other:?}"),
+    }
+}
+
+/// Unwraps a set accumulator. Shard accumulators start from the empty set
+/// and only ever grow by inserts (or pass through a monotone spine), so
+/// they stay sets by construction.
+fn into_set(v: Value) -> SetRepr {
+    match v {
+        Value::Set(s) => Arc::try_unwrap(s).unwrap_or_else(|shared| (*shared).clone()),
+        other => unreachable!("shard accumulator left the set domain: {other}"),
+    }
+}
+
+/// Absorbs the shard runs into the caller's core in shard order, re-checking
+/// the cumulative budgets, then reconstructs the fold's value and its
+/// accumulator-weight observation.
+fn merge(
+    core: &mut EvalCore,
+    r: &ReduceInsn,
+    bounds: &[Range<usize>],
+    runs: Vec<ShardRun>,
+    base_v: &Value,
+) -> Result<Value, EvalError> {
+    let mut datas: Vec<ShardData> = Vec::with_capacity(runs.len());
+    for run in runs {
+        // Additive counters first, with the sequential loop's limit checks
+        // re-applied against the cumulative totals (batch semantics: the
+        // step error wins over the size error within one shard, mirroring
+        // `bump_batch`'s documented precedence).
+        core.stats.steps += run.stats.steps;
+        if core.stats.steps > core.limits.max_steps {
+            return Err(EvalError::StepLimitExceeded {
+                limit: core.limits.max_steps,
+            });
+        }
+        core.stats.max_depth = core.stats.max_depth.max(run.stats.max_depth);
+        core.allocated_leaves = core.allocated_leaves.saturating_add(run.allocated);
+        core.stats.max_value_weight = core.stats.max_value_weight.max(core.allocated_leaves);
+        if core.allocated_leaves > core.limits.max_value_weight {
+            return Err(EvalError::SizeLimitExceeded {
+                limit: core.limits.max_value_weight,
+            });
+        }
+        core.stats.reduce_iterations += run.stats.reduce_iterations;
+        core.stats.inserts += run.stats.inserts;
+        core.stats.new_values += run.stats.new_values;
+        // Nested folds' accumulator observations are per-element maxima:
+        // partition-invariant, absorbed directly.
+        core.stats.max_accumulator_weight = core
+            .stats
+            .max_accumulator_weight
+            .max(run.stats.max_accumulator_weight);
+        // The earliest shard's error is the fold's error (its partial
+        // charges were just absorbed; later shards ran but — like the
+        // elements sequential execution never reached — leave no trace).
+        datas.push(run.outcome?);
+    }
+
+    let w0 = weight_capped(base_v, ACCUMULATOR_WEIGHT_CAP);
+    match &r.kind {
+        ReduceKind::BoolAcc { is_or, .. } => {
+            // The sequential trajectory notes w0 until the first flip and 1
+            // from it on; its maximum is 1 only when the very first element
+            // flips (weights are ≥ 1, so w0 dominates otherwise).
+            let mut first_flip = None;
+            for (data, range) in datas.iter().zip(bounds) {
+                if let ShardData::Flip(Some(i)) = data {
+                    first_flip = Some(range.start + i);
+                    break;
+                }
+            }
+            core.note_accumulator_weight(if first_flip == Some(0) { 1 } else { w0 });
+            Ok(match (first_flip.is_some(), is_or) {
+                (true, true) => Value::Bool(true),
+                (true, false) => Value::Bool(false),
+                (false, _) => base_v.clone(),
+            })
+        }
+        _ => {
+            // Set-building kinds: base ∪ shard₀ ∪ shard₁ ∪ … with the
+            // leftmost copy kept on ties — shard order is element order, so
+            // this is exactly the sequential first-wins rule. The weights of
+            // globally-novel elements grow the running accumulator weight
+            // under the same saturating cap the sequential loop applies
+            // per element (saturation depends only on the running total).
+            let base_set = match base_v {
+                Value::Set(s) => s,
+                other => unreachable!("set-building fold sharded over non-set base {other}"),
+            };
+            let mut merged: Option<SetRepr> = None;
+            let mut acc_w = w0;
+            for data in &datas {
+                let shard_set = match data {
+                    ShardData::Set(s) => s,
+                    ShardData::Flip(_) => unreachable!("set fold produced a flip payload"),
+                };
+                let so_far = merged.as_ref().unwrap_or(base_set);
+                acc_w = cap_add(acc_w, novel_weight(so_far, shard_set));
+                merged = Some(so_far.merge_union(shard_set));
+            }
+            core.note_accumulator_weight(capped(acc_w));
+            let merged = merged.expect("at least two shards were run");
+            Ok(Value::Set(Arc::new(merged)))
+        }
+    }
+}
+
+/// Total weight of the elements of `incoming` that are **not** members of
+/// `acc` — the weights the sequential loop's novel inserts would have
+/// charged to the running accumulator weight. Two-pointer sweep over the
+/// sorted representations, O(n+m).
+fn novel_weight(acc: &SetRepr, incoming: &SetRepr) -> usize {
+    let a = acc.as_slice();
+    let mut i = 0;
+    let mut sum = 0usize;
+    for v in incoming.as_slice() {
+        while i < a.len() && a[i] < *v {
+            i += 1;
+        }
+        let duplicate = i < a.len() && a[i] == *v;
+        if !duplicate {
+            sum = sum.saturating_add(v.weight());
+        }
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_bounds_partition_contiguously() {
+        for (n, k) in [(10, 4), (4, 4), (5, 2), (7, 3), (100, 7), (2, 2)] {
+            let bounds = shard_bounds(n, k);
+            assert_eq!(bounds.len(), k);
+            assert_eq!(bounds[0].start, 0);
+            assert_eq!(bounds[k - 1].end, n);
+            for w in bounds.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "contiguous at {n}/{k}");
+            }
+            let (min, max) = bounds
+                .iter()
+                .map(|r| r.len())
+                .fold((usize::MAX, 0), |(lo, hi), l| (lo.min(l), hi.max(l)));
+            assert!(max - min <= 1, "balanced at {n}/{k}: {bounds:?}");
+        }
+    }
+
+    #[test]
+    fn novel_weight_counts_only_new_elements() {
+        let acc: SetRepr = [Value::atom(1), Value::atom(3)].into_iter().collect();
+        let incoming: SetRepr = [
+            Value::atom(1),
+            Value::atom(2),
+            Value::tuple([Value::atom(4), Value::atom(5)]),
+        ]
+        .into_iter()
+        .collect();
+        // atom(2) weighs 1; the pair weighs 3 (tuple node + two atoms).
+        assert_eq!(novel_weight(&acc, &incoming), 1 + 3);
+        assert_eq!(novel_weight(&incoming, &incoming), 0);
+        assert_eq!(novel_weight(&SetRepr::new(), &acc), 2);
+    }
+}

@@ -30,6 +30,7 @@
 
 use std::sync::Arc;
 
+use crate::ast::Expr;
 use crate::dialect::Dialect;
 use crate::error::{CheckError, EvalError};
 use crate::eval::{Evaluator, ExecBackend};
@@ -38,7 +39,6 @@ use crate::lower::{CompiledProgram, LoweredExpr};
 use crate::program::{Env, Program};
 use crate::typecheck::{check_program, CheckedProgram};
 use crate::value::Value;
-use crate::ast::Expr;
 
 /// A named piece of source text — the entry stage of the pipeline. Parsing
 /// it into a [`Program`] is the `srl-syntax` crate's job; the name travels
@@ -128,6 +128,19 @@ impl Pipeline {
     /// Sets the execution backend configured into produced evaluators.
     pub fn with_backend(mut self, backend: ExecBackend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Sets the worker-pool width for provably-splittable `set-reduce`
+    /// folds (see [`crate::parallel`]): produced evaluators run the VM
+    /// backend with `n` threads (`n ≤ 1` means sequential). Selecting a
+    /// pool implies the VM backend — the tree-walk has no sharded
+    /// execution path — so this overrides a previously chosen
+    /// [`ExecBackend::TreeWalk`]. The thread count is pure execution
+    /// strategy: results and `EvalStats` are byte-identical across the
+    /// whole axis.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.backend = ExecBackend::vm_with_threads(n);
         self
     }
 
@@ -387,7 +400,9 @@ mod tests {
             sel(var("t"), 1),
         );
         let checked = Pipeline::new().check(program).unwrap();
-        let sigs = checked.signatures().expect("fully typed program is checked");
+        let sigs = checked
+            .signatures()
+            .expect("fully typed program is checked");
         assert_eq!(sigs.signatures["first"].ret, Type::Atom);
     }
 
@@ -405,7 +420,7 @@ mod tests {
         let set = Value::set((0..16).map(Value::atom));
         let args = [set, Value::atom(11)];
         let mut results = Vec::new();
-        for backend in [ExecBackend::TreeWalk, ExecBackend::Vm] {
+        for backend in [ExecBackend::TreeWalk, ExecBackend::vm()] {
             let artifact = Pipeline::new()
                 .with_backend(backend)
                 .prepare(program.clone())

@@ -14,9 +14,9 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use crate::ast::Expr;
-use crate::lower::CompiledProgram;
 use crate::dialect::Dialect;
 use crate::error::CheckError;
+use crate::lower::CompiledProgram;
 use crate::types::Type;
 use crate::value::Value;
 
@@ -309,7 +309,10 @@ mod tests {
     #[test]
     fn recursion_rejected() {
         let p = Program::srl().define("f", ["x"], call("f", [var("x")]));
-        assert_eq!(p.validate(), Err(CheckError::RecursiveDefinition("f".into())));
+        assert_eq!(
+            p.validate(),
+            Err(CheckError::RecursiveDefinition("f".into()))
+        );
     }
 
     #[test]
@@ -326,7 +329,10 @@ mod tests {
     #[test]
     fn unknown_call_rejected() {
         let p = Program::srl().define("f", ["x"], call("nope", [var("x")]));
-        assert_eq!(p.validate(), Err(CheckError::UnknownFunction("nope".into())));
+        assert_eq!(
+            p.validate(),
+            Err(CheckError::UnknownFunction("nope".into()))
+        );
     }
 
     #[test]
@@ -368,9 +374,10 @@ mod tests {
     #[test]
     fn extend_with_skips_existing_names() {
         let base = Program::srl().define("f", ["x"], var("x"));
-        let other = Program::srl()
-            .define("f", ["x"], sel(var("x"), 1))
-            .define("g", ["x"], var("x"));
+        let other =
+            Program::srl()
+                .define("f", ["x"], sel(var("x"), 1))
+                .define("g", ["x"], var("x"));
         let merged = base.extend_with(&other);
         assert_eq!(merged.def_names(), vec!["f", "g"]);
         // The original `f` is kept, not overwritten.
@@ -395,9 +402,11 @@ mod tests {
 
     #[test]
     fn node_count_sums_defs() {
-        let p = Program::srl()
-            .define("f", ["x"], var("x"))
-            .define("g", ["x"], tuple([var("x"), var("x")]));
+        let p = Program::srl().define("f", ["x"], var("x")).define(
+            "g",
+            ["x"],
+            tuple([var("x"), var("x")]),
+        );
         assert_eq!(p.node_count(), 1 + 3);
     }
 }

@@ -516,10 +516,7 @@ mod tests {
         s.pop_first();
         assert!(s.insert(Value::atom(3)));
         let got: Vec<_> = s.iter().cloned().collect();
-        assert_eq!(
-            got,
-            [3u64, 5, 9, 13, 17].map(Value::atom).to_vec()
-        );
+        assert_eq!(got, [3u64, 5, 9, 13, 17].map(Value::atom).to_vec());
         // Re-inserting the popped minimum is a fresh element again.
         assert!(s.insert(Value::atom(1)));
         assert_eq!(s.first(), Some(&Value::atom(1)));
@@ -606,11 +603,7 @@ mod tests {
         let d = a.merge_sorted_difference(&b);
         let got: Vec<_> = d.iter().cloned().collect();
         assert_eq!(got, [1u64, 3, 5, 13].map(Value::atom).to_vec());
-        let expected: SetRepr = a
-            .iter()
-            .filter(|v| !b.contains(v))
-            .cloned()
-            .collect();
+        let expected: SetRepr = a.iter().filter(|v| !b.contains(v)).cloned().collect();
         assert_eq!(d, expected);
         assert_eq!(a.merge_sorted_difference(&SetRepr::new()), a);
         assert!(SetRepr::new().merge_sorted_difference(&b).is_empty());

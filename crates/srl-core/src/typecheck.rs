@@ -115,8 +115,13 @@ impl<'p> TypeChecker<'p> {
                 let param_types: Vec<Type> = env.iter().map(|(_, t)| t.clone()).collect();
                 let ret = self.infer(&def.body, &mut env)?;
                 let ret = self.resolve(&ret);
-                self.signatures
-                    .insert(def.name.clone(), FunSig { params: param_types, ret });
+                self.signatures.insert(
+                    def.name.clone(),
+                    FunSig {
+                        params: param_types,
+                        ret,
+                    },
+                );
             }
         }
         let mut env: Vec<(String, Type)> = inputs.to_vec();
@@ -202,7 +207,10 @@ impl<'p> TypeChecker<'p> {
             Expr::NatConst(_) | Expr::Succ(_) if !d.allow_nat => Err(violation("nat")),
             Expr::NatAdd(..) if !d.allow_nat_add => Err(violation("nat addition")),
             Expr::NatMul(..) if !d.allow_nat_mul => Err(violation("nat multiplication")),
-            Expr::EmptyList | Expr::Cons(..) | Expr::Head(_) | Expr::Tail(_)
+            Expr::EmptyList
+            | Expr::Cons(..)
+            | Expr::Head(_)
+            | Expr::Tail(_)
             | Expr::ListReduce { .. }
                 if !d.allow_lists =>
             {
@@ -243,11 +251,7 @@ impl<'p> TypeChecker<'p> {
         result
     }
 
-    fn infer(
-        &mut self,
-        expr: &Expr,
-        env: &mut Vec<(String, Type)>,
-    ) -> Result<Type, CheckError> {
+    fn infer(&mut self, expr: &Expr, env: &mut Vec<(String, Type)>) -> Result<Type, CheckError> {
         self.check_operator_allowed(expr)?;
         match expr {
             Expr::Bool(_) => Ok(Type::Bool),
@@ -353,7 +357,10 @@ impl<'p> TypeChecker<'p> {
                 self.unify(&acc_ty, &base_ty, "set-reduce accumulator")?;
                 let result = self.resolve(&base_ty);
                 self.check_type_allowed(&result, "set-reduce result")?;
-                if self.dialect().bounded_accumulator && result.is_ground() && result.set_height() > 0 {
+                if self.dialect().bounded_accumulator
+                    && result.is_ground()
+                    && result.set_height() > 0
+                {
                     return Err(CheckError::TypeMismatch {
                         expected: Type::tuple_of([Type::Atom]),
                         found: result,
@@ -372,7 +379,11 @@ impl<'p> TypeChecker<'p> {
             } => {
                 let list_ty = self.infer(list, env)?;
                 let elem_ty = self.fresh();
-                self.unify(&list_ty, &Type::list_of(elem_ty.clone()), "list-reduce list")?;
+                self.unify(
+                    &list_ty,
+                    &Type::list_of(elem_ty.clone()),
+                    "list-reduce list",
+                )?;
                 let base_ty = self.infer(base, env)?;
                 let extra_ty = self.infer(extra, env)?;
                 let app_ty = self.infer_lambda(app, elem_ty, extra_ty, env)?;
@@ -511,7 +522,10 @@ mod tests {
     use crate::dsl::*;
 
     fn inputs(items: &[(&str, Type)]) -> Vec<(String, Type)> {
-        items.iter().map(|(n, t)| (n.to_string(), t.clone())).collect()
+        items
+            .iter()
+            .map(|(n, t)| (n.to_string(), t.clone()))
+            .collect()
     }
 
     #[test]
@@ -612,8 +626,7 @@ mod tests {
             bool_(true),
             var("target"),
         );
-        let ins =
-            inputs(&[("S", Type::set_of(Type::Atom)), ("target", Type::Atom)]);
+        let ins = inputs(&[("S", Type::set_of(Type::Atom)), ("target", Type::Atom)]);
         assert_eq!(check_expr(&p, &all_eq, &ins), Ok(Type::Bool));
     }
 
@@ -753,11 +766,7 @@ mod tests {
 
     #[test]
     fn call_arity_and_argument_types_checked() {
-        let p = Program::srl().define_typed(
-            "needs_atom",
-            [("x", Type::Atom)],
-            tuple([var("x")]),
-        );
+        let p = Program::srl().define_typed("needs_atom", [("x", Type::Atom)], tuple([var("x")]));
         let err = check_expr(&p, &call("needs_atom", [bool_(true)]), &[]).unwrap_err();
         assert!(matches!(err, CheckError::TypeMismatch { .. }));
         let err = check_expr(&p, &call("needs_atom", [atom(1), atom(2)]), &[]).unwrap_err();

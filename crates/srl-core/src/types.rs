@@ -13,7 +13,6 @@
 
 use std::fmt;
 
-
 use crate::value::Value;
 
 /// A type of the set-reduce language.
@@ -54,7 +53,7 @@ impl Type {
     /// The relation type `set of [Atom; arity]` used to encode input
     /// relations of a vocabulary (Section 3).
     pub fn relation(arity: usize) -> Type {
-        Type::set_of(Type::tuple_of(std::iter::repeat(Type::Atom).take(arity)))
+        Type::set_of(Type::tuple_of(std::iter::repeat_n(Type::Atom, arity)))
     }
 
     /// Definition 2.2: `set-height(base) = 0`,

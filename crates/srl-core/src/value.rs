@@ -30,7 +30,6 @@ use std::cmp::Ordering;
 use std::fmt;
 use std::sync::Arc;
 
-
 use crate::bignat::BigNat;
 use crate::setrepr::SetRepr;
 
@@ -117,6 +116,12 @@ pub type ValueSet = SetRepr;
 /// fixed lexicographic convention (booleans < atoms < naturals < tuples <
 /// sets < lists); within a well-typed program only values of the same type
 /// are ever compared, so that convention is unobservable.
+// The manual `PartialEq` below is the derived structural equality plus an
+// `Arc::ptr_eq` fast path (pointer equality implies value equality for a
+// total structural order), and every component's `Hash` matches its `Eq`
+// (atoms hash by rank only, sets by their live window) — so `k1 == k2`
+// still implies `hash(k1) == hash(k2)` and the derive is sound.
+#[allow(clippy::derived_hash_with_manual_eq)]
 #[derive(Clone, Eq, Hash)]
 pub enum Value {
     /// A boolean constant.
@@ -428,7 +433,12 @@ mod tests {
 
     #[test]
     fn set_collapses_duplicates_and_sorts() {
-        let s = Value::set([Value::atom(3), Value::atom(1), Value::atom(3), Value::atom(2)]);
+        let s = Value::set([
+            Value::atom(3),
+            Value::atom(1),
+            Value::atom(3),
+            Value::atom(2),
+        ]);
         let set = s.as_set().unwrap();
         let items: Vec<_> = set.iter().cloned().collect();
         assert_eq!(items, vec![Value::atom(1), Value::atom(2), Value::atom(3)]);
@@ -446,7 +456,10 @@ mod tests {
     fn value_ordering_is_total_on_same_shape() {
         assert!(Value::atom(1) < Value::atom(2));
         assert!(Value::nat(3) < Value::nat(10));
-        assert!(Value::tuple([Value::atom(1), Value::atom(5)]) < Value::tuple([Value::atom(2), Value::atom(0)]));
+        assert!(
+            Value::tuple([Value::atom(1), Value::atom(5)])
+                < Value::tuple([Value::atom(2), Value::atom(0)])
+        );
         assert!(Value::set([Value::atom(1)]) < Value::set([Value::atom(2)]));
     }
 
@@ -455,7 +468,10 @@ mod tests {
         assert_eq!(Value::bool(true).set_height(), 0);
         assert_eq!(Value::atom(0).set_height(), 0);
         assert_eq!(Value::nat(7).set_height(), 0);
-        assert_eq!(Value::tuple([Value::atom(0), Value::atom(1)]).set_height(), 0);
+        assert_eq!(
+            Value::tuple([Value::atom(0), Value::atom(1)]).set_height(),
+            0
+        );
         assert_eq!(Value::empty_set().set_height(), 1);
         assert_eq!(Value::set([Value::atom(0)]).set_height(), 1);
         let set_of_sets = Value::set([Value::set([Value::atom(0)]), Value::empty_set()]);

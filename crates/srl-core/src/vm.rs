@@ -32,18 +32,38 @@ use crate::lower::CompiledProgram;
 use crate::value::{Atom, Value};
 
 /// Everything a running chunk resolves through: the compiled program (for
-/// dialect flags and definition names in diagnostics) and the program chunk
-/// (for callee blocks).
+/// dialect flags and definition names in diagnostics), the program chunk
+/// (for callee blocks), and the worker-pool width for splittable folds.
 pub(crate) struct VmCtx<'a> {
     pub(crate) program: &'a CompiledProgram,
     pub(crate) pchunk: &'a Chunk,
+    /// Worker-pool width for proper-hom folds (see `crate::parallel`);
+    /// `1` means sequential. Shard workers always run with `threads: 1` —
+    /// nested folds inside a sharded lambda never spawn again.
+    pub(crate) threads: usize,
+}
+
+impl<'a> VmCtx<'a> {
+    /// The same resolution context with the worker pool disabled — what
+    /// shard workers run under.
+    pub(crate) fn sequential(&self) -> VmCtx<'a> {
+        VmCtx {
+            program: self.program,
+            pchunk: self.pchunk,
+            threads: 1,
+        }
+    }
 }
 
 const PAD: Value = Value::Bool(false);
 
 /// Runs an expression chunk's main block in the current root frame (the
 /// environment inputs are already in slots `0..n`); returns the result.
-pub(crate) fn run_expr(core: &mut EvalCore, ctx: &VmCtx<'_>, chunk: &Chunk) -> Result<Value, EvalError> {
+pub(crate) fn run_expr(
+    core: &mut EvalCore,
+    ctx: &VmCtx<'_>,
+    chunk: &Chunk,
+) -> Result<Value, EvalError> {
     core.spine_delta = 0;
     pad_frame(core, chunk.main_frame());
     run_block(core, ctx, chunk, chunk.main(), 0)?;
@@ -70,7 +90,7 @@ fn pad_frame(core: &mut EvalCore, frame_size: u16) {
 /// Caps a running accumulator weight exactly like
 /// [`weight_capped`]: exact while `≤ cap`, pinned to `cap + 1` beyond.
 #[inline]
-fn capped(w: usize) -> usize {
+pub(crate) fn capped(w: usize) -> usize {
     if w > ACCUMULATOR_WEIGHT_CAP {
         ACCUMULATOR_WEIGHT_CAP + 1
     } else {
@@ -78,10 +98,11 @@ fn capped(w: usize) -> usize {
     }
 }
 
-/// Grows a running accumulator weight by a novel element's weight,
+/// Grows a running accumulator weight by a novel element's weight (or a
+/// batch of novel weights: saturation only depends on the running total),
 /// saturating at the cap sentinel.
 #[inline]
-fn cap_add(acc_w: usize, w: usize) -> usize {
+pub(crate) fn cap_add(acc_w: usize, w: usize) -> usize {
     if acc_w > ACCUMULATOR_WEIGHT_CAP {
         acc_w
     } else {
@@ -363,8 +384,14 @@ pub(crate) fn run_block(
                 }
                 core.frame_base = new_base;
                 pad_frame(core, entry.frame_size);
-                let result = run_block(core, ctx, ctx.pchunk, entry.block, base + *depth as usize + 1)
-                    .map(|()| core.take_reg(ctx.pchunk.block(entry.block).result()));
+                let result = run_block(
+                    core,
+                    ctx,
+                    ctx.pchunk,
+                    entry.block,
+                    base + *depth as usize + 1,
+                )
+                .map(|()| core.take_reg(ctx.pchunk.block(entry.block).result()));
                 core.locals.truncate(new_base);
                 core.frame_base = saved_base;
                 core.set_reg(*dst, result?);
@@ -408,7 +435,7 @@ fn take_nats(
 /// Runs one app-lambda application: element and extra into the parameter
 /// slots, the block, and the applied value out of the result register.
 #[allow(clippy::too_many_arguments)]
-fn apply_app(
+pub(crate) fn apply_app(
     core: &mut EvalCore,
     ctx: &VmCtx<'_>,
     chunk: &Chunk,
@@ -422,6 +449,150 @@ fn apply_app(
     core.set_reg(x + 1, extra.clone());
     run_block(core, ctx, chunk, app, lambda_base)?;
     Ok(core.take_reg(chunk.block(app).result()))
+}
+
+// ---------------------------------------------------------------------------
+// Per-element fold bodies, shared verbatim by the sequential loops below and
+// the shard workers in `crate::parallel`. One implementation per fused kind
+// is what makes the thread axis a pure execution-strategy change: a shard
+// worker charges exactly the step/depth/insert/allocation sequence the
+// sequential loop charges for the same element, so summing worker statistics
+// in shard order reproduces the sequential totals byte-for-byte.
+// ---------------------------------------------------------------------------
+
+/// One `BoolAcc` iteration: the app block, the fused `if`-accumulator
+/// charges, and the boolean shape check. Returns whether the predicate hit.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn boolacc_element(
+    core: &mut EvalCore,
+    ctx: &VmCtx<'_>,
+    chunk: &Chunk,
+    app: BlockId,
+    x: u16,
+    elem: Value,
+    extra: &Value,
+    lambda_base: usize,
+    d: usize,
+) -> Result<bool, EvalError> {
+    core.stats.reduce_iterations += 1;
+    let applied = apply_app(core, ctx, chunk, app, x, elem, extra, lambda_base)?;
+    // if at d+2, condition slot read at d+3 …
+    core.bump_batch(2, d + 3)?;
+    let hit = match &applied {
+        Value::Bool(b) => *b,
+        other => {
+            return Err(EvalError::Shape {
+                operator: "if",
+                expected: "a boolean condition",
+                found: other.to_string(),
+            })
+        }
+    };
+    // … then the taken branch (boolean literal or accumulator read), one
+    // step either way.
+    core.bump_batch(1, d + 3)?;
+    Ok(hit)
+}
+
+/// One `InsertApp` iteration up to (not including) the accumulator insert:
+/// the app block plus the fused insert-body charges. The caller feeds the
+/// returned value to [`EvalCore::insert_value`] on its accumulator.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn insertapp_element(
+    core: &mut EvalCore,
+    ctx: &VmCtx<'_>,
+    chunk: &Chunk,
+    app: BlockId,
+    x: u16,
+    elem: Value,
+    extra: &Value,
+    lambda_base: usize,
+    d: usize,
+) -> Result<Value, EvalError> {
+    core.stats.reduce_iterations += 1;
+    let applied = apply_app(core, ctx, chunk, app, x, elem, extra, lambda_base)?;
+    // insert at d+2, two slot reads at d+3.
+    core.bump_batch(3, d + 3)?;
+    Ok(applied)
+}
+
+/// One `Filter` iteration up to the accumulator insert: app block, flag
+/// charges and shape checks, and — when the element is kept — the selected
+/// value (the caller inserts it). `None` means the element was dropped.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn filter_element(
+    core: &mut EvalCore,
+    ctx: &VmCtx<'_>,
+    chunk: &Chunk,
+    app: BlockId,
+    keep_on_true: bool,
+    cond_index: usize,
+    value_index: usize,
+    x: u16,
+    elem: Value,
+    extra: &Value,
+    lambda_base: usize,
+    d: usize,
+) -> Result<Option<Value>, EvalError> {
+    core.stats.reduce_iterations += 1;
+    let applied = apply_app(core, ctx, chunk, app, x, elem, extra, lambda_base)?;
+    // if at d+2, flag selector at d+3, its slot read at d+4.
+    core.bump_batch(3, d + 4)?;
+    let flag = match sel_component_ref(&applied, cond_index)? {
+        Value::Bool(b) => *b,
+        other => {
+            return Err(EvalError::Shape {
+                operator: "if",
+                expected: "a boolean condition",
+                found: other.to_string(),
+            })
+        }
+    };
+    if flag == keep_on_true {
+        // insert at d+3, value selector at d+4, its slot read at d+5 …
+        core.bump_batch(3, d + 5)?;
+        let v = sel_component_ref(&applied, value_index)?.clone();
+        // … then the accumulator slot read at d+4.
+        core.bump_batch(1, d + 4)?;
+        Ok(Some(v))
+    } else {
+        // The untaken branch reads the accumulator slot at d+3.
+        core.bump_batch(1, d + 3)?;
+        Ok(None)
+    }
+}
+
+/// One `Monotone` iteration: the app block, then the acc block applied to
+/// `(applied, accumulator)`. Returns the grown accumulator and the weight
+/// sum of the iteration's novel spine inserts (novelty relative to *this*
+/// core's accumulator — shard workers recompute global novelty at merge).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn monotone_element(
+    core: &mut EvalCore,
+    ctx: &VmCtx<'_>,
+    chunk: &Chunk,
+    app: BlockId,
+    acc: BlockId,
+    x: u16,
+    elem: Value,
+    extra: &Value,
+    lambda_base: usize,
+    accumulator: Value,
+) -> Result<(Value, usize), EvalError> {
+    core.stats.reduce_iterations += 1;
+    let applied = apply_app(core, ctx, chunk, app, x, elem, extra, lambda_base)?;
+    core.set_reg(x, applied);
+    core.set_reg(x + 1, accumulator);
+    // The spine inserts report their novel weights through spine_delta;
+    // save/restore keeps nested monotone folds in the app block from
+    // clobbering this fold's window.
+    let saved = core.spine_delta;
+    core.spine_delta = 0;
+    let run = run_block(core, ctx, chunk, acc, lambda_base);
+    let delta = core.spine_delta;
+    core.spine_delta = saved;
+    run?;
+    Ok((core.take_reg(chunk.block(acc).result()), delta))
 }
 
 fn run_reduce(
@@ -477,10 +648,31 @@ fn run_reduce(
     };
     let n = items.len();
 
+    // Proper-hom folds with enough per-element work shard across the worker
+    // pool; `try_run` declines (returning `None`) whenever sequential
+    // execution is the right strategy, and the sequential arms below remain
+    // the single source of truth for what one iteration charges (the shard
+    // workers run the same per-element helpers).
+    if let Some(result) =
+        crate::parallel::try_run(core, ctx, chunk, r, d, &items, &base_v, &extra_v)
+    {
+        core.set_reg(r.dst, result?);
+        return Ok(());
+    }
+
     let result = match &r.kind {
-        ReduceKind::Generic { app, acc } => {
-            generic_fold(core, ctx, chunk, *app, *acc, x, items.as_slice(), base_v, &extra_v, lb)?
-        }
+        ReduceKind::Generic { app, acc } => generic_fold(
+            core,
+            ctx,
+            chunk,
+            *app,
+            *acc,
+            x,
+            items.as_slice(),
+            base_v,
+            &extra_v,
+            lb,
+        )?,
         ReduceKind::Member => {
             // Per element: app `x = y` is 3 steps (Eq at d+2, two slot reads
             // at d+3), acc `or` is 3 steps (if at d+2, cond at d+3, taken
@@ -566,10 +758,8 @@ fn run_reduce(
             let mut acc = base_v;
             let mut acc_w = weight_capped(&acc, ACCUMULATOR_WEIGHT_CAP);
             for elem in items.as_slice() {
-                core.stats.reduce_iterations += 1;
-                let applied = apply_app(core, ctx, chunk, *app, x, elem.clone(), &extra_v, lb)?;
-                // insert at d+2, two slot reads at d+3.
-                core.bump_batch(3, d + 3)?;
+                let applied =
+                    insertapp_element(core, ctx, chunk, *app, x, elem.clone(), &extra_v, lb, d)?;
                 let (grown, novel, w) = core.insert_value(applied, acc)?;
                 acc = grown;
                 if novel {
@@ -589,35 +779,26 @@ fn run_reduce(
             let mut acc = base_v;
             let mut acc_w = weight_capped(&acc, ACCUMULATOR_WEIGHT_CAP);
             for elem in items.as_slice() {
-                core.stats.reduce_iterations += 1;
-                let applied = apply_app(core, ctx, chunk, *app, x, elem.clone(), &extra_v, lb)?;
-                // if at d+2, flag selector at d+3, its slot read at d+4.
-                core.bump_batch(3, d + 4)?;
-                let flag = match sel_component_ref(&applied, *cond_index)? {
-                    Value::Bool(b) => *b,
-                    other => {
-                        return Err(EvalError::Shape {
-                            operator: "if",
-                            expected: "a boolean condition",
-                            found: other.to_string(),
-                        })
-                    }
-                };
-                if flag == *keep_on_true {
-                    // insert at d+3, value selector at d+4, its slot read at
-                    // d+5 …
-                    core.bump_batch(3, d + 5)?;
-                    let v = sel_component_ref(&applied, *value_index)?.clone();
-                    // … then the accumulator slot read at d+4.
-                    core.bump_batch(1, d + 4)?;
+                let kept = filter_element(
+                    core,
+                    ctx,
+                    chunk,
+                    *app,
+                    *keep_on_true,
+                    *cond_index,
+                    *value_index,
+                    x,
+                    elem.clone(),
+                    &extra_v,
+                    lb,
+                    d,
+                )?;
+                if let Some(v) = kept {
                     let (grown, novel, w) = core.insert_value(v, acc)?;
                     acc = grown;
                     if novel {
                         acc_w = cap_add(acc_w, w);
                     }
-                } else {
-                    // The untaken branch reads the accumulator slot at d+3.
-                    core.bump_batch(1, d + 3)?;
                 }
                 core.note_accumulator_weight(capped(acc_w));
             }
@@ -664,23 +845,8 @@ fn run_reduce(
             let mut acc = base_v;
             let mut w_now = w0;
             for elem in items.as_slice() {
-                core.stats.reduce_iterations += 1;
-                let applied = apply_app(core, ctx, chunk, *app, x, elem.clone(), &extra_v, lb)?;
-                // if at d+2, condition slot read at d+3 …
-                core.bump_batch(2, d + 3)?;
-                let hit = match &applied {
-                    Value::Bool(b) => *b,
-                    other => {
-                        return Err(EvalError::Shape {
-                            operator: "if",
-                            expected: "a boolean condition",
-                            found: other.to_string(),
-                        })
-                    }
-                };
-                // … then the taken branch (boolean literal or accumulator
-                // read), one step either way.
-                core.bump_batch(1, d + 3)?;
+                let hit =
+                    boolacc_element(core, ctx, chunk, *app, x, elem.clone(), &extra_v, lb, d)?;
                 if *is_or {
                     if hit {
                         acc = Value::Bool(true);
@@ -698,22 +864,20 @@ fn run_reduce(
         ReduceKind::Monotone { app, acc } => {
             let mut accumulator = base_v;
             let mut acc_w = weight_capped(&accumulator, ACCUMULATOR_WEIGHT_CAP);
-            let acc_result = chunk.block(*acc).result();
             for elem in items.as_slice() {
-                core.stats.reduce_iterations += 1;
-                let applied = apply_app(core, ctx, chunk, *app, x, elem.clone(), &extra_v, lb)?;
-                core.set_reg(x, applied);
-                core.set_reg(x + 1, accumulator);
-                // The spine inserts report their novel weights through
-                // spine_delta; save/restore keeps nested monotone folds in
-                // the app block from clobbering this fold's window.
-                let saved = core.spine_delta;
-                core.spine_delta = 0;
-                let run = run_block(core, ctx, chunk, *acc, lb);
-                let delta = core.spine_delta;
-                core.spine_delta = saved;
-                run?;
-                accumulator = core.take_reg(acc_result);
+                let (grown, delta) = monotone_element(
+                    core,
+                    ctx,
+                    chunk,
+                    *app,
+                    *acc,
+                    x,
+                    elem.clone(),
+                    &extra_v,
+                    lb,
+                    accumulator,
+                )?;
+                accumulator = grown;
                 acc_w = cap_add(acc_w, delta);
                 core.note_accumulator_weight(capped(acc_w));
             }

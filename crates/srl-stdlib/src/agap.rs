@@ -301,11 +301,7 @@ mod tests {
 
     #[test]
     fn universal_vertex_requires_all_successors() {
-        let g = AlternatingGraph::new(
-            4,
-            [(0, 1), (0, 2), (1, 3)],
-            [true, false, false, false],
-        );
+        let g = AlternatingGraph::new(4, [(0, 1), (0, 2), (1, 3)], [true, false, false, false]);
         assert!(!run_agap(&g));
         let g2 = AlternatingGraph::new(
             4,

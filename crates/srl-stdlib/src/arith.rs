@@ -238,10 +238,7 @@ pub fn arithmetic_program() -> Program {
                 sel(var("X"), 1),
                 var("X"),
                 if_(
-                    eq(
-                        call(names::ADD, [var("D"), var("x"), var("x")]),
-                        var("a"),
-                    ),
+                    eq(call(names::ADD, [var("D"), var("x"), var("x")]), var("a")),
                     tuple([bool_(true), var("x"), bool_(false)]),
                     if_(
                         eq(
@@ -297,7 +294,10 @@ pub fn arithmetic_program() -> Program {
         ["D", "i", "a"],
         call(
             names::PARITY,
-            [var("D"), sel(call(names::REM, [var("D"), var("i"), var("a")]), 2)],
+            [
+                var("D"),
+                sel(call(names::REM, [var("D"), var("i"), var("a")]), 2),
+            ],
         ),
     )
 }
@@ -379,7 +379,15 @@ mod tests {
     #[test]
     fn addition_matches_native() {
         let n = 12;
-        for (a, b) in [(0u64, 0u64), (3, 4), (4, 3), (0, 7), (7, 0), (5, 5), (11, 0)] {
+        for (a, b) in [
+            (0u64, 0u64),
+            (3, 4),
+            (4, 3),
+            (0, 7),
+            (7, 0),
+            (5, 5),
+            (11, 0),
+        ] {
             expect_atom(ADD, n, &[a, b], (a + b).min(n - 1));
         }
         // Saturation.
@@ -457,6 +465,9 @@ mod tests {
         }
         assert_eq!(widths[0], widths[1]);
         assert_eq!(widths[1], widths[2]);
-        assert!(widths[0] <= 8, "accumulators are small tuples, got {widths:?}");
+        assert!(
+            widths[0] <= 8,
+            "accumulators are small tuples, got {widths:?}"
+        );
     }
 }

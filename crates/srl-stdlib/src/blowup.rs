@@ -42,10 +42,7 @@ pub fn powerset_program() -> Program {
         ["p", "T"],
         insert(
             sel(var("p"), 1),
-            insert(
-                insert(sel(var("p"), 2), sel(var("p"), 1)),
-                var("T"),
-            ),
+            insert(insert(sel(var("p"), 2), sel(var("p"), 1)), var("T")),
         ),
     );
 
@@ -56,7 +53,11 @@ pub fn powerset_program() -> Program {
         set_reduce(
             var("T"),
             lam("y", "e", tuple([var("y"), var("e")])),
-            lam("pair", "acc", call(names::FINSERT, [var("pair"), var("acc")])),
+            lam(
+                "pair",
+                "acc",
+                call(names::FINSERT, [var("pair"), var("acc")]),
+            ),
             empty_set(),
             var("x"),
         ),
@@ -133,24 +134,14 @@ mod tests {
     fn powerset_of_small_sets() {
         let program = powerset_program();
         // powerset({1, 2}) = {{}, {1}, {2}, {1, 2}} (the paper's example).
-        let (v, _) = run_program(&program, POWERSET, &[atoms([1, 2])], EvalLimits::default())
-            .unwrap();
-        let expected = Value::set([
-            Value::empty_set(),
-            atoms([1]),
-            atoms([2]),
-            atoms([1, 2]),
-        ]);
+        let (v, _) =
+            run_program(&program, POWERSET, &[atoms([1, 2])], EvalLimits::default()).unwrap();
+        let expected = Value::set([Value::empty_set(), atoms([1]), atoms([2]), atoms([1, 2])]);
         assert_eq!(v, expected);
         // Size 2^n for a few n.
         for n in 0..6u64 {
-            let (v, _) = run_program(
-                &program,
-                POWERSET,
-                &[atoms(0..n)],
-                EvalLimits::default(),
-            )
-            .unwrap();
+            let (v, _) =
+                run_program(&program, POWERSET, &[atoms(0..n)], EvalLimits::default()).unwrap();
             assert_eq!(v.len(), Some(1 << n), "n = {n}");
         }
     }
@@ -158,8 +149,13 @@ mod tests {
     #[test]
     fn powerset_value_has_set_height_two() {
         let program = powerset_program();
-        let (v, _) = run_program(&program, POWERSET, &[atoms([1, 2, 3])], EvalLimits::default())
-            .unwrap();
+        let (v, _) = run_program(
+            &program,
+            POWERSET,
+            &[atoms([1, 2, 3])],
+            EvalLimits::default(),
+        )
+        .unwrap();
         assert_eq!(v.set_height(), 2);
     }
 
@@ -178,12 +174,7 @@ mod tests {
         // With a small budget the exponential blow-up is caught by the
         // evaluator rather than exhausting memory.
         let program = powerset_program();
-        let result = run_program(
-            &program,
-            POWERSET,
-            &[atoms(0..18)],
-            EvalLimits::small(),
-        );
+        let result = run_program(&program, POWERSET, &[atoms(0..18)], EvalLimits::small());
         assert!(matches!(
             result,
             Err(EvalError::SizeLimitExceeded { .. }) | Err(EvalError::StepLimitExceeded { .. })
@@ -195,8 +186,7 @@ mod tests {
         let program = lrl_doubling_program();
         for n in 0..7u64 {
             let input = Value::list((0..n).map(Value::atom));
-            let (v, _) =
-                run_program(&program, DOUBLING, &[input], EvalLimits::default()).unwrap();
+            let (v, _) = run_program(&program, DOUBLING, &[input], EvalLimits::default()).unwrap();
             let list = v.as_list().unwrap();
             assert_eq!(list.len(), 1 << n, "n = {n}");
             assert!(list.iter().all(|x| *x == Value::atom(1)));

@@ -22,7 +22,11 @@ use srl_core::dsl::*;
 pub fn member(element: Expr, set: Expr) -> Expr {
     set_reduce(
         set,
-        lam("__m_elem", "__m_target", eq(var("__m_elem"), var("__m_target"))),
+        lam(
+            "__m_elem",
+            "__m_target",
+            eq(var("__m_elem"), var("__m_target")),
+        ),
         lam("__m_hit", "__m_acc", or(var("__m_hit"), var("__m_acc"))),
         bool_(false),
         element,
@@ -34,7 +38,11 @@ pub fn union(a: Expr, b: Expr) -> Expr {
     set_reduce(
         a,
         Lambda::identity(),
-        lam("__u_elem", "__u_acc", insert(var("__u_elem"), var("__u_acc"))),
+        lam(
+            "__u_elem",
+            "__u_acc",
+            insert(var("__u_elem"), var("__u_acc")),
+        ),
         b,
         empty_set(),
     )
@@ -114,7 +122,11 @@ pub fn forall(set: Expr, predicate: Lambda, extra: Expr) -> Expr {
 pub fn subset(a: Expr, b: Expr) -> Expr {
     forall(
         a,
-        lam("__s_elem", "__s_other", member(var("__s_elem"), var("__s_other"))),
+        lam(
+            "__s_elem",
+            "__s_other",
+            member(var("__s_elem"), var("__s_other")),
+        ),
         b,
     )
 }
@@ -158,7 +170,11 @@ pub fn map_set(set: Expr, f: Lambda, extra: Expr) -> Expr {
     set_reduce(
         set,
         f,
-        lam("__map_out", "__map_acc", insert(var("__map_out"), var("__map_acc"))),
+        lam(
+            "__map_out",
+            "__map_acc",
+            insert(var("__map_out"), var("__map_acc")),
+        ),
         empty_set(),
         extra,
     )
@@ -189,7 +205,11 @@ pub fn cartesian(a: Expr, b: Expr) -> Expr {
             ),
         ),
         // …and union the slices together.
-        lam("__c_slice", "__c_acc", union(var("__c_slice"), var("__c_acc"))),
+        lam(
+            "__c_slice",
+            "__c_acc",
+            union(var("__c_slice"), var("__c_acc")),
+        ),
         empty_set(),
         b,
     )
@@ -235,7 +255,11 @@ pub fn big_union(set_of_sets: Expr) -> Expr {
     set_reduce(
         set_of_sets,
         Lambda::identity(),
-        lam("__bu_set", "__bu_acc", union(var("__bu_set"), var("__bu_acc"))),
+        lam(
+            "__bu_set",
+            "__bu_acc",
+            union(var("__bu_set"), var("__bu_acc")),
+        ),
         empty_set(),
         empty_set(),
     )
@@ -243,11 +267,7 @@ pub fn big_union(set_of_sets: Expr) -> Expr {
 
 /// `is_empty(S)`: true iff S has no elements (no equality on sets needed).
 pub fn is_empty(set: Expr) -> Expr {
-    forall(
-        set,
-        lam("__e_elem", "__e_extra", bool_(false)),
-        empty_set(),
-    )
+    forall(set, lam("__e_elem", "__e_extra", bool_(false)), empty_set())
 }
 
 /// `singleton(x)`: the set `{x}`.
@@ -320,24 +340,14 @@ mod tests {
 
     #[test]
     fn quantifier_builders() {
-        let env = Env::new().bind("S", atoms([2, 4, 6])).bind("t", Value::atom(4));
-        let all_even_spaced = forall(
-            var("S"),
-            lam("x", "e", leq(atom(1), var("x"))),
-            empty_set(),
-        );
+        let env = Env::new()
+            .bind("S", atoms([2, 4, 6]))
+            .bind("t", Value::atom(4));
+        let all_even_spaced = forall(var("S"), lam("x", "e", leq(atom(1), var("x"))), empty_set());
         assert_eq!(eval(&all_even_spaced, &env), Value::bool(true));
-        let some_is_t = forsome(
-            var("S"),
-            lam("x", "t", eq(var("x"), var("t"))),
-            var("t"),
-        );
+        let some_is_t = forsome(var("S"), lam("x", "t", eq(var("x"), var("t"))), var("t"));
         assert_eq!(eval(&some_is_t, &env), Value::bool(true));
-        let all_are_t = forall(
-            var("S"),
-            lam("x", "t", eq(var("x"), var("t"))),
-            var("t"),
-        );
+        let all_are_t = forall(var("S"), lam("x", "t", eq(var("x"), var("t"))), var("t"));
         assert_eq!(eval(&all_are_t, &env), Value::bool(false));
         // Vacuous truth / falsity on the empty set.
         assert_eq!(

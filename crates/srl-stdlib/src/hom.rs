@@ -34,7 +34,11 @@ pub fn hom(f: Lambda, op: Lambda, z: Expr, s: Expr, extra: Expr) -> Expr {
 pub fn count(s: Expr) -> Expr {
     hom(
         lam("__c_x", "__c_e", nat(1)),
-        lam("__c_one", "__c_acc", nat_add(var("__c_one"), var("__c_acc"))),
+        lam(
+            "__c_one",
+            "__c_acc",
+            nat_add(var("__c_one"), var("__c_acc")),
+        ),
         nat(0),
         s,
         empty_set(),
@@ -189,7 +193,11 @@ mod tests {
             let env_renamed = Env::new()
                 .bind("S", renaming.apply(&s))
                 .bind("P", renaming.apply(&purple));
-            assert_eq!(eval_full(&q, &env_renamed), Value::bool(true), "seed {seed}");
+            assert_eq!(
+                eval_full(&q, &env_renamed),
+                Value::bool(true),
+                "seed {seed}"
+            );
         }
     }
 

@@ -199,11 +199,7 @@ mod tests {
                     EvalLimits::benchmark(),
                 )
                 .unwrap();
-                assert_eq!(
-                    value,
-                    Value::bool(product.apply(i) == j),
-                    "({i}, {j})"
-                );
+                assert_eq!(value, Value::bool(product.apply(i) == j), "({i}, {j})");
             }
         }
     }

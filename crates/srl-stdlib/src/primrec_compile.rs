@@ -72,10 +72,7 @@ impl Compiler {
         let params = Self::params(arity);
         let (hint, body) = match term {
             PrTerm::Zero(_) => ("zero".to_string(), empty_set()),
-            PrTerm::Succ => (
-                "succ".to_string(),
-                insert(new_value(var("x0")), var("x0")),
-            ),
+            PrTerm::Succ => ("succ".to_string(), insert(new_value(var("x0")), var("x0"))),
             PrTerm::Proj(_, i) => ("proj".to_string(), var(format!("x{i}"))),
             PrTerm::Compose(f, gs) => {
                 let inner_names: Vec<String> = gs
@@ -143,7 +140,8 @@ pub fn eval_compiled(
     limits: srl_core::limits::EvalLimits,
 ) -> Result<u64, srl_core::error::EvalError> {
     let encoded: Vec<Value> = args.iter().map(|&a| encode_nat(a)).collect();
-    let (value, _) = srl_core::eval::run_program(&compiled.program, &compiled.entry, &encoded, limits)?;
+    let (value, _) =
+        srl_core::eval::run_program(&compiled.program, &compiled.entry, &encoded, limits)?;
     Ok(decode_nat(&value).unwrap_or(0))
 }
 

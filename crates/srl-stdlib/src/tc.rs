@@ -70,7 +70,11 @@ pub fn transitive_closure(domain: Expr, edges: Expr) -> Expr {
     set_reduce(
         domain.clone(),
         lam("__tc_v", "__tc_unused", var("__tc_v")),
-        lam("__tc_pivot", "__tc_edges", add_pivot(var("__tc_pivot"), var("__tc_edges"))),
+        lam(
+            "__tc_pivot",
+            "__tc_edges",
+            add_pivot(var("__tc_pivot"), var("__tc_edges")),
+        ),
         union(edges, reflexive(domain)),
         empty_set(),
     )
@@ -112,12 +116,7 @@ pub fn reachable(domain: Expr, edges: Expr, source: Expr, target: Expr) -> Expr 
 }
 
 /// The SRFO+DTC reachability query: `[s, t] ∈ DTC(D, EDGES)`.
-pub fn deterministically_reachable(
-    domain: Expr,
-    edges: Expr,
-    source: Expr,
-    target: Expr,
-) -> Expr {
+pub fn deterministically_reachable(domain: Expr, edges: Expr, source: Expr, target: Expr) -> Expr {
     member(
         tuple([source, target]),
         deterministic_transitive_closure(domain, edges),

@@ -29,8 +29,8 @@ use srl_core::value::Value;
 
 use machines::tm::{Configuration, Move, Symbol, TuringMachine, BLANK};
 
-use crate::arith::names as arith;
 use crate::arith::arithmetic_program;
+use crate::arith::names as arith;
 
 /// Names of the definitions produced by [`compile`].
 pub mod names {
@@ -334,7 +334,10 @@ mod tests {
         assert_eq!(config.state, native.final_config.state);
         assert_eq!(config.input_head, native.final_config.input_head);
         assert_eq!(config.work_head, native.final_config.work_head);
-        assert_eq!(&config.work[..input.len()], &native.final_config.work[..input.len()]);
+        assert_eq!(
+            &config.work[..input.len()],
+            &native.final_config.work[..input.len()]
+        );
     }
 
     #[test]
@@ -352,7 +355,9 @@ mod tests {
         // set (zero steps): reuse init_work + the same layout by stepping
         // manually from the decoded initial configuration.
         let domain = position_domain(input.len());
-        let work0 = evaluator.call(INIT_WORK, &[domain.clone()]).unwrap();
+        let work0 = evaluator
+            .call(INIT_WORK, std::slice::from_ref(&domain))
+            .unwrap();
         let mut config = Value::tuple([
             work0,
             Value::atom(0),
@@ -363,8 +368,14 @@ mod tests {
         for (i, expected) in trace.iter().enumerate() {
             let decoded = decode_configuration(&config, &input).unwrap();
             assert_eq!(decoded.state, expected.state, "state at step {i}");
-            assert_eq!(decoded.input_head, expected.input_head, "input head at step {i}");
-            assert_eq!(decoded.work_head, expected.work_head, "work head at step {i}");
+            assert_eq!(
+                decoded.input_head, expected.input_head,
+                "input head at step {i}"
+            );
+            assert_eq!(
+                decoded.work_head, expected.work_head,
+                "work head at step {i}"
+            );
             config = evaluator
                 .call(STEP, &[domain.clone(), tape.clone(), config.clone()])
                 .unwrap();

@@ -57,12 +57,7 @@ pub fn print_lowered_expr(program: &CompiledProgram, lowered: &LoweredExpr) -> S
     out
 }
 
-fn write_lambda(
-    program: &CompiledProgram,
-    nodes: &[LExpr],
-    lambda: &LLambda,
-    out: &mut String,
-) {
+fn write_lambda(program: &CompiledProgram, nodes: &[LExpr], lambda: &LLambda, out: &mut String) {
     out.push_str("lambda(@x, @y) ");
     write_in(program, nodes, lambda.body, out);
 }
@@ -177,14 +172,7 @@ fn write_in(program: &CompiledProgram, nodes: &[LExpr], id: LId, out: &mut Strin
     }
 }
 
-fn binary(
-    program: &CompiledProgram,
-    nodes: &[LExpr],
-    out: &mut String,
-    a: LId,
-    op: &str,
-    b: LId,
-) {
+fn binary(program: &CompiledProgram, nodes: &[LExpr], out: &mut String, a: LId, op: &str, b: LId) {
     out.push('(');
     write_in(program, nodes, a, out);
     out.push_str(op);

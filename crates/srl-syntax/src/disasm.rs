@@ -11,7 +11,11 @@
 //!
 //! Registers print as `r<n>`; frame slots and temporaries share one
 //! register space (slots below each frame's lexical height, temporaries
-//! above). Jump targets are instruction indices within the block.
+//! above). Jump targets are instruction indices within the block. Every
+//! reduce line also names its [`FoldClass`](srl_core::bytecode::FoldClass)
+//! (`class=proper-hom` — shard-splittable across the worker pool — or
+//! `class=ordered`) and its static per-element cost estimate, so the
+//! parallel executor's compile-time decisions are auditable here.
 
 use srl_core::bytecode::{Block, Chunk, Insn, Operand, ReduceKind};
 use srl_core::lower::{CompiledProgram, LoweredExpr};
@@ -84,7 +88,10 @@ fn render_insn(chunk: &Chunk, insn: &Insn) -> String {
     match insn {
         Insn::LoadBool { dst, value, depth } => format!("r{dst} <- {value}  @{depth}"),
         Insn::LoadConst { dst, index, depth } => {
-            format!("r{dst} <- const {}  @{depth}", chunk.consts()[*index as usize])
+            format!(
+                "r{dst} <- const {}  @{depth}",
+                chunk.consts()[*index as usize]
+            )
         }
         Insn::LoadEmptySet { dst, depth } => format!("r{dst} <- emptyset  @{depth}"),
         Insn::LoadEmptyList { dst, depth } => format!("r{dst} <- emptylist  @{depth}"),
@@ -97,7 +104,10 @@ fn render_insn(chunk: &Chunk, insn: &Insn) -> String {
             format!("fail unbound ?{}  @{depth}", chunk.names()[*name as usize])
         }
         Insn::FailUnknownCall { name, depth } => {
-            format!("fail unknown-call ?{}  @{depth}", chunk.names()[*name as usize])
+            format!(
+                "fail unknown-call ?{}  @{depth}",
+                chunk.names()[*name as usize]
+            )
         }
         Insn::FailArity { def, nargs, depth } => {
             format!("fail arity def#{def} with {nargs} arg(s)  @{depth}")
@@ -199,9 +209,11 @@ fn render_insn(chunk: &Chunk, insn: &Insn) -> String {
                 }
             };
             format!(
-                "r{} <- {}reduce[{kind}] set=r{} base=r{} extra=r{} x=r{}  @{}",
+                "r{} <- {}reduce[{kind}] class={} cost={} set=r{} base=r{} extra=r{} x=r{}  @{}",
                 r.dst,
                 if r.is_list { "list-" } else { "" },
+                r.class.label(),
+                r.unit_cost,
                 r.set,
                 r.base,
                 r.extra,

@@ -122,7 +122,9 @@ member(S, t) =
         let source = Source::new("member.srl", MEMBER);
         let artifact = Pipeline::new().compile_source(&source).unwrap();
         let set = Value::set([Value::atom(1), Value::atom(4), Value::atom(9)]);
-        let (v, _) = artifact.call("member", &[set.clone(), Value::atom(4)]).unwrap();
+        let (v, _) = artifact
+            .call("member", &[set.clone(), Value::atom(4)])
+            .unwrap();
         assert_eq!(v, Value::bool(true));
         let (v, _) = artifact.call("member", &[set, Value::atom(5)]).unwrap();
         assert_eq!(v, Value::bool(false));
@@ -145,7 +147,7 @@ member(S, t) =
         let source = Source::new("member.srl", MEMBER);
         let set = Value::set((0..24).map(Value::atom));
         let args = [set, Value::atom(17)];
-        for backend in [ExecBackend::TreeWalk, ExecBackend::Vm] {
+        for backend in [ExecBackend::TreeWalk, ExecBackend::vm()] {
             let pipeline = Pipeline::new().with_backend(backend);
             let from_text = pipeline.compile_source(&source).unwrap();
             let from_dsl = pipeline.prepare(program.clone()).unwrap();

@@ -204,10 +204,7 @@ mod tests {
     #[test]
     fn d_alone_and_d_mixed_stay_identifiers() {
         assert_eq!(kinds("d"), vec![TokenKind::Ident("d"), TokenKind::Eof]);
-        assert_eq!(
-            kinds("d2x"),
-            vec![TokenKind::Ident("d2x"), TokenKind::Eof]
-        );
+        assert_eq!(kinds("d2x"), vec![TokenKind::Ident("d2x"), TokenKind::Eof]);
     }
 
     #[test]

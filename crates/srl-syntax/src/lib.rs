@@ -80,8 +80,8 @@ pub use compiled::{
 pub use disasm::{disasm_chunk, disasm_lowered, disasm_program};
 pub use frontend::{FrontendError, TextFrontend};
 pub use parser::{
-    parse_expr, parse_lambda, parse_program, parse_program_in, parse_value, Diagnostic,
-    ParseError, ParseErrorKind,
+    parse_expr, parse_lambda, parse_program, parse_program_in, parse_value, Diagnostic, ParseError,
+    ParseErrorKind,
 };
 pub use printer::{print_expr, print_lambda, print_program};
 pub use span::Span;

@@ -123,10 +123,16 @@ impl fmt::Display for ParseError {
                 "`{operator}` expects {expected} argument(s) but was given {found}"
             ),
             ParseErrorKind::SelectorIndex => {
-                write!(f, "selector index must be a positive integer (selectors are 1-based)")
+                write!(
+                    f,
+                    "selector index must be a positive integer (selectors are 1-based)"
+                )
             }
             ParseErrorKind::ReservedWord { word } => {
-                write!(f, "`{word}` is a reserved word and cannot be used as a name")
+                write!(
+                    f,
+                    "`{word}` is a reserved word and cannot be used as a name"
+                )
             }
             ParseErrorKind::LambdaPosition => write!(
                 f,
@@ -276,7 +282,11 @@ impl<'s> Parser<'s> {
         })
     }
 
-    fn expect(&mut self, kind: TokenKind<'static>, expected: &str) -> Result<Token<'s>, ParseError> {
+    fn expect(
+        &mut self,
+        kind: TokenKind<'static>,
+        expected: &str,
+    ) -> Result<Token<'s>, ParseError> {
         if self.peek().kind == kind {
             Ok(self.bump())
         } else {
@@ -748,8 +758,7 @@ impl<'s> Parser<'s> {
 
 fn bignat_from_decimal(digits: &str) -> BigNat {
     digits.bytes().fold(BigNat::zero(), |acc, b| {
-        acc.mul_u64(10)
-            .add(&BigNat::from_u64(u64::from(b - b'0')))
+        acc.mul_u64(10).add(&BigNat::from_u64(u64::from(b - b'0')))
     })
 }
 
@@ -762,7 +771,11 @@ mod tests {
         let text = crate::printer::print_expr(e);
         let parsed = parse_expr(&text).unwrap_or_else(|err| panic!("{text}: {err}"));
         assert_eq!(&parsed, e, "round trip of `{text}`");
-        assert_eq!(crate::printer::print_expr(&parsed), text, "re-print fixpoint");
+        assert_eq!(
+            crate::printer::print_expr(&parsed),
+            text,
+            "re-print fixpoint"
+        );
     }
 
     #[test]
@@ -786,10 +799,7 @@ mod tests {
             parse_expr("let x = d1 in x").unwrap(),
             let_in("x", atom(1), var("x"))
         );
-        assert_eq!(
-            parse_expr("[a, b]").unwrap(),
-            tuple([var("a"), var("b")])
-        );
+        assert_eq!(parse_expr("[a, b]").unwrap(), tuple([var("a"), var("b")]));
         assert_eq!(parse_expr("t.2").unwrap(), sel(var("t"), 2));
         assert_eq!(parse_expr("(x = d1)").unwrap(), eq(var("x"), atom(1)));
         assert_eq!(parse_expr("(x <= y)").unwrap(), leq(var("x"), var("y")));
@@ -867,16 +877,16 @@ mod tests {
             parse_expr("<d1, d1>").unwrap(),
             const_v(Value::list([Value::atom(1), Value::atom(1)]))
         );
-        assert_eq!(parse_value("alice#5").unwrap(), Value::Atom(Atom::named(5, "alice")));
+        assert_eq!(
+            parse_value("alice#5").unwrap(),
+            Value::Atom(Atom::named(5, "alice"))
+        );
         assert_eq!(parse_value("{}").unwrap(), Value::empty_set());
     }
 
     #[test]
     fn programs_parse_into_ordered_definitions() {
-        let p = parse_program(
-            "first(t) =\n  t.1\n\nuses(t) =\n  first([t, t])\n\n",
-        )
-        .unwrap();
+        let p = parse_program("first(t) =\n  t.1\n\nuses(t) =\n  first([t, t])\n\n").unwrap();
         assert_eq!(p.def_names(), vec!["first", "uses"]);
         assert_eq!(p.lookup("first").unwrap().body, sel(var("t"), 1));
         assert!(p.validate().is_ok());
@@ -933,7 +943,10 @@ mod tests {
     fn lambda_outside_reduce_is_rejected() {
         let err = parse_expr("lambda(x, y) x").unwrap_err();
         assert_eq!(err.kind, ParseErrorKind::LambdaPosition);
-        assert_eq!(parse_lambda("lambda(x, y) x").unwrap(), lam("x", "y", var("x")));
+        assert_eq!(
+            parse_lambda("lambda(x, y) x").unwrap(),
+            lam("x", "y", var("x"))
+        );
     }
 
     #[test]

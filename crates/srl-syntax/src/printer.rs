@@ -154,7 +154,10 @@ fn write_expr(expr: &Expr, out: &mut String) {
 fn sel_operand_needs_parens(e: &Expr) -> bool {
     matches!(
         e,
-        Expr::If(..) | Expr::Let { .. } | Expr::NatConst(_) | Expr::Const(srl_core::value::Value::Nat(_))
+        Expr::If(..)
+            | Expr::Let { .. }
+            | Expr::NatConst(_)
+            | Expr::Const(srl_core::value::Value::Nat(_))
     )
 }
 
@@ -233,7 +236,10 @@ mod tests {
     fn extensions_print() {
         assert_eq!(print_expr(&new_value(var("S"))), "new(S)");
         assert_eq!(print_expr(&nat_add(nat(1), nat(2))), "(1 + 2)");
-        assert_eq!(print_expr(&cons(atom(1), empty_list())), "cons(d1, emptylist)");
+        assert_eq!(
+            print_expr(&cons(atom(1), empty_list())),
+            "cons(d1, emptylist)"
+        );
         assert_eq!(print_expr(&head(var("L"))), "head(L)");
     }
 
@@ -251,10 +257,7 @@ mod tests {
         // Self-delimiting operands stay bare.
         assert_eq!(print_expr(&sel(sel(var("t"), 1), 2)), "t.1.2");
         assert_eq!(print_expr(&sel(eq(var("a"), var("b")), 1)), "(a = b).1");
-        assert_eq!(
-            print_expr(&sel(call("f", [var("x")]), 1)),
-            "f(x).1"
-        );
+        assert_eq!(print_expr(&sel(call("f", [var("x")]), 1)), "f(x).1");
     }
 
     #[test]

@@ -40,10 +40,8 @@ impl AlternatingGraph {
         edges: impl IntoIterator<Item = (usize, usize)>,
         universal: impl IntoIterator<Item = bool>,
     ) -> Self {
-        let mut es: Vec<(usize, usize)> = edges
-            .into_iter()
-            .filter(|&(u, v)| u < n && v < n)
-            .collect();
+        let mut es: Vec<(usize, usize)> =
+            edges.into_iter().filter(|&(u, v)| u < n && v < n).collect();
         es.sort_unstable();
         es.dedup();
         let mut labels: Vec<bool> = universal.into_iter().collect();
@@ -177,6 +175,7 @@ impl AlternatingGraph {
     }
 
     /// The full APATH relation as a matrix: `apath[x][y]`.
+    #[allow(clippy::needless_range_loop)]
     pub fn apath_all(&self) -> Vec<Vec<bool>> {
         // APATH(x, y) is defined per target y; collect column-wise.
         let mut m = vec![vec![false; self.n]; self.n];
@@ -272,6 +271,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn apath_is_reflexive() {
         let g = AlternatingGraph::random(8, 0.2, 1);
         let m = g.apath_all();
@@ -293,11 +293,7 @@ mod tests {
     #[test]
     fn universal_vertex_needs_all_successors() {
         // 0 is universal with edges to 1 and 2; only 1 reaches 3.
-        let g = AlternatingGraph::new(
-            4,
-            [(0, 1), (0, 2), (1, 3)],
-            [true, false, false, false],
-        );
+        let g = AlternatingGraph::new(4, [(0, 1), (0, 2), (1, 3)], [true, false, false, false]);
         assert!(!g.apath_to(3)[0], "universal vertex 0 must not reach 3");
         // Make 2 reach 3 as well: now 0 does too.
         let g2 = AlternatingGraph::new(

@@ -32,7 +32,6 @@
 
 use std::collections::BTreeMap;
 
-
 use crate::wl::ColoredGraph;
 
 /// An undirected base graph for the CFI construction.
@@ -70,7 +69,20 @@ impl BaseGraph {
 
     /// The 3-regular prism graph (two triangles joined by a matching).
     pub fn prism() -> Self {
-        BaseGraph::new(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3), (1, 4), (2, 5)])
+        BaseGraph::new(
+            6,
+            [
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (0, 3),
+                (1, 4),
+                (2, 5),
+            ],
+        )
     }
 
     /// Incident edge indices of vertex `v`.

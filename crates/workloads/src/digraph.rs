@@ -23,10 +23,8 @@ impl Digraph {
     /// Creates a graph from an edge list, deduplicating and dropping
     /// out-of-range edges.
     pub fn new(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
-        let mut es: Vec<(usize, usize)> = edges
-            .into_iter()
-            .filter(|&(u, v)| u < n && v < n)
-            .collect();
+        let mut es: Vec<(usize, usize)> =
+            edges.into_iter().filter(|&(u, v)| u < n && v < n).collect();
         es.sort_unstable();
         es.dedup();
         Digraph { n, edges: es }
@@ -34,7 +32,10 @@ impl Digraph {
 
     /// The empty graph on `n` vertices.
     pub fn empty(n: usize) -> Self {
-        Digraph { n, edges: Vec::new() }
+        Digraph {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// A simple directed path `0 → 1 → … → n-1`.
@@ -118,6 +119,7 @@ impl Digraph {
     /// The full reflexive-transitive closure as a boolean matrix
     /// (`closure[u][v]` iff there is a path from u to v), by Warshall's
     /// algorithm. This is the native meaning of the paper's `TC(φ)`.
+    #[allow(clippy::needless_range_loop)]
     pub fn transitive_closure(&self) -> Vec<Vec<bool>> {
         let mut c = vec![vec![false; self.n]; self.n];
         for u in 0..self.n {
@@ -256,6 +258,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn transitive_closure_matches_bfs() {
         let g = Digraph::random(12, 0.2, 42);
         let tc = g.transitive_closure();
@@ -287,6 +290,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn dtc_handles_cycles() {
         let g = Digraph::cycle(5);
         let dtc = g.deterministic_transitive_closure();

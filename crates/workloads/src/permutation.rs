@@ -102,7 +102,9 @@ impl IteratedProductInstance {
     pub fn random(n: usize, count: usize, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         IteratedProductInstance {
-            permutations: (0..count).map(|_| Permutation::random(n, &mut rng)).collect(),
+            permutations: (0..count)
+                .map(|_| Permutation::random(n, &mut rng))
+                .collect(),
         }
     }
 

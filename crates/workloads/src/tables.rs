@@ -79,13 +79,11 @@ impl CompanyDatabase {
 
     /// The employee relation as an SRL set of `[id, dept, band]` triples.
     pub fn employees_value(&self) -> Value {
-        Value::set(self.employees.iter().map(|r| {
-            Value::tuple([
-                Value::atom(r.id),
-                Value::atom(r.dept),
-                Value::atom(r.band),
-            ])
-        }))
+        Value::set(
+            self.employees.iter().map(|r| {
+                Value::tuple([Value::atom(r.id), Value::atom(r.dept), Value::atom(r.band)])
+            }),
+        )
     }
 
     /// The department relation as an SRL set of `[id, manager]` pairs.
@@ -207,7 +205,11 @@ mod tests {
     #[test]
     fn staffing_check() {
         let db = CompanyDatabase {
-            employees: vec![Employee { id: 0, dept: 2, band: 4 }],
+            employees: vec![Employee {
+                id: 0,
+                dept: 2,
+                band: 4,
+            }],
             departments: vec![
                 Department { id: 2, manager: 0 },
                 Department { id: 3, manager: 0 },
@@ -217,8 +219,16 @@ mod tests {
         assert!(!db.every_department_staffed());
         let db2 = CompanyDatabase {
             employees: vec![
-                Employee { id: 0, dept: 2, band: 4 },
-                Employee { id: 1, dept: 3, band: 4 },
+                Employee {
+                    id: 0,
+                    dept: 2,
+                    band: 4,
+                },
+                Employee {
+                    id: 1,
+                    dept: 3,
+                    band: 4,
+                },
             ],
             ..db
         };
@@ -229,7 +239,7 @@ mod tests {
     fn empty_database() {
         let db = CompanyDatabase::generate(0, 1, 1, 0);
         assert_eq!(db.employees.len(), 0);
-        assert!(db.every_department_staffed() == false);
+        assert!(!db.every_department_staffed());
         assert_eq!(db.top_band_headcount(), 0);
         assert_eq!(db.employee_manager_join().len(), 0);
     }

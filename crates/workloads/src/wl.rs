@@ -18,7 +18,6 @@
 
 use std::collections::BTreeMap;
 
-
 /// An undirected graph on vertices `0 .. n` with optional initial vertex
 /// colours.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -133,7 +132,9 @@ impl ColorDictionary {
 
 /// Runs 1-WL on a single graph until the colouring stabilises.
 pub fn refine_1wl(graph: &ColoredGraph) -> Refinement {
-    refine_1wl_joint(std::slice::from_ref(graph)).pop().expect("one input, one output")
+    refine_1wl_joint(std::slice::from_ref(graph))
+        .pop()
+        .expect("one input, one output")
 }
 
 /// Runs 1-WL on several graphs *jointly* (shared colour dictionary), so the
@@ -158,9 +159,10 @@ pub fn refine_1wl_joint(graphs: &[ColoredGraph]) -> Vec<Refinement> {
             next.push(new_colors);
         }
         rounds += 1;
-        let stable = graphs.iter().enumerate().all(|(i, _)| {
-            partition_of(&next[i]) == partition_of(&colorings[i])
-        });
+        let stable = graphs
+            .iter()
+            .enumerate()
+            .all(|(i, _)| partition_of(&next[i]) == partition_of(&colorings[i]));
         colorings = next;
         if stable || rounds > graphs.iter().map(|g| g.n).max().unwrap_or(0) + 1 {
             break;
@@ -184,12 +186,7 @@ pub fn refine_2wl_joint(graphs: &[ColoredGraph]) -> Vec<Refinement> {
             let mut next = 0u64;
             for u in 0..g.n {
                 for v in 0..g.n {
-                    let key = (
-                        u == v,
-                        g.has_edge(u, v),
-                        g.colors[u],
-                        g.colors[v],
-                    );
+                    let key = (u == v, g.has_edge(u, v), g.colors[u], g.colors[v]);
                     let id = *dict.entry(key).or_insert_with(|| {
                         let id = next;
                         next += 1;
@@ -244,9 +241,10 @@ pub fn refine_2wl_joint(graphs: &[ColoredGraph]) -> Vec<Refinement> {
             next.push(new_colors);
         }
         rounds += 1;
-        let stable = graphs.iter().enumerate().all(|(i, _)| {
-            partition_of(&next[i]) == partition_of(&colorings[i])
-        });
+        let stable = graphs
+            .iter()
+            .enumerate()
+            .all(|(i, _)| partition_of(&next[i]) == partition_of(&colorings[i]));
         colorings = next;
         if stable || rounds > graphs.iter().map(|g| g.n * g.n).max().unwrap_or(0) + 1 {
             break;
@@ -486,9 +484,21 @@ mod tests {
         let petersen = ColoredGraph::from_edges(
             10,
             [
-                (0, 1), (1, 2), (2, 3), (3, 4), (4, 0),
-                (5, 7), (7, 9), (9, 6), (6, 8), (8, 5),
-                (0, 5), (1, 6), (2, 7), (3, 8), (4, 9),
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 0),
+                (5, 7),
+                (7, 9),
+                (9, 6),
+                (6, 8),
+                (8, 5),
+                (0, 5),
+                (1, 6),
+                (2, 7),
+                (3, 8),
+                (4, 9),
             ],
         );
         // A relabelled copy (swap 0 ↔ 9, 1 ↔ 8).

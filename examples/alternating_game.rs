@@ -25,21 +25,27 @@ fn main() {
         EvalLimits::benchmark(),
     )
     .unwrap();
-    println!("SRL AGAP      = {value}  ({} reduce iterations)", stats.reduce_iterations);
+    println!(
+        "SRL AGAP      = {value}  ({} reduce iterations)",
+        stats.reduce_iterations
+    );
     println!("native solver = {}", game.agap());
     let structure = Structure::from_alternating_graph(game.n, &game.edges, &game.universal);
-    println!("FO + LFP      = {}", eval_sentence(&structure, &agap_sentence()));
+    println!(
+        "FO + LFP      = {}",
+        eval_sentence(&structure, &agap_sentence())
+    );
 
     print_header("A universal vertex that cannot force the target");
-    let blocked = AlternatingGraph::new(
-        4,
-        [(0, 1), (0, 2), (1, 3)],
-        [true, false, false, false],
-    );
+    let blocked = AlternatingGraph::new(4, [(0, 1), (0, 2), (1, 3)], [true, false, false, false]);
     let (value, _) = run_program(
         &program,
         names::AGAP,
-        &[blocked.nodes_value(), blocked.edges_value(), blocked.ands_value()],
+        &[
+            blocked.nodes_value(),
+            blocked.edges_value(),
+            blocked.ands_value(),
+        ],
         EvalLimits::benchmark(),
     )
     .unwrap();

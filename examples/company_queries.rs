@@ -13,7 +13,11 @@ use workloads::tables::CompanyDatabase;
 fn main() {
     let db = CompanyDatabase::generate(12, 3, 3, 42);
     print_header("The company database");
-    println!("{} employees, {} departments", db.employees.len(), db.departments.len());
+    println!(
+        "{} employees, {} departments",
+        db.employees.len(),
+        db.departments.len()
+    );
 
     let env = Env::new()
         .bind("EMP", db.employees_value())

@@ -26,9 +26,9 @@ fn main() {
         16,
     );
     match verdict {
-        OrderVerdict::ProvedDependent { witness_seed } => println!(
-            "proved order-DEPENDENT (witness renaming seed {witness_seed})"
-        ),
+        OrderVerdict::ProvedDependent { witness_seed } => {
+            println!("proved order-DEPENDENT (witness renaming seed {witness_seed})")
+        }
         other => println!("unexpected verdict {other:?}"),
     }
 

@@ -5,8 +5,8 @@
 //! Run with `cargo run -p srl-examples --bin primitive_recursion`.
 
 use machines::primrec::library;
-use srl_core::{EvalLimits, Value};
 use srl_core::eval::run_program;
+use srl_core::{EvalLimits, Value};
 use srl_examples::print_header;
 use srl_stdlib::blowup::{lrl_doubling_program, names as blow};
 use srl_stdlib::primrec_compile::{compile, eval_compiled};

@@ -29,7 +29,10 @@ fn main() {
         .prepare(program)
         .expect("the empty SRL program is trivially valid");
     let env = Env::new()
-        .bind("S", Value::set([Value::atom(1), Value::atom(4), Value::atom(9)]))
+        .bind(
+            "S",
+            Value::set([Value::atom(1), Value::atom(4), Value::atom(9)]),
+        )
         .bind("target", Value::atom(4));
     let (answer, stats) = artifact.eval(&query, &env).unwrap();
     println!("member(4, {{1, 4, 9}}) = {answer}");
@@ -42,8 +45,14 @@ fn main() {
 
     print_header("Derived set algebra (Fact 2.4)");
     let env = Env::new()
-        .bind("A", Value::set([Value::atom(1), Value::atom(2), Value::atom(3)]))
-        .bind("B", Value::set([Value::atom(2), Value::atom(3), Value::atom(5)]));
+        .bind(
+            "A",
+            Value::set([Value::atom(1), Value::atom(2), Value::atom(3)]),
+        )
+        .bind(
+            "B",
+            Value::set([Value::atom(2), Value::atom(3), Value::atom(5)]),
+        );
     for (name, expr) in [
         ("A ∪ B", union(var("A"), var("B"))),
         ("A ∩ B", intersection(var("A"), var("B"))),

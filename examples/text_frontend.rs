@@ -17,7 +17,7 @@ fn main() {
     println!("{}", source.text.trim_end());
 
     print_header("Source → Program → Checked → Compiled, on both backends");
-    for backend in [ExecBackend::Vm, ExecBackend::TreeWalk] {
+    for backend in [ExecBackend::vm(), ExecBackend::TreeWalk] {
         let artifact = Pipeline::new()
             .with_backend(backend)
             .compile_source(&source)
@@ -32,10 +32,7 @@ fn main() {
     let (v, _) = artifact
         .call(
             "member",
-            &[
-                Value::set([Value::atom(2), Value::atom(7)]),
-                Value::atom(3),
-            ],
+            &[Value::set([Value::atom(2), Value::atom(7)]), Value::atom(3)],
         )
         .unwrap();
     println!("member({{d2, d7}}, d3) = {v}");

@@ -118,7 +118,10 @@ fn proposition_6_2_simulation_matches_machine_on_both_library_machines() {
             let (value, _) = run_program(
                 &program,
                 tm_names::ACCEPTS,
-                &[tm_sim::position_domain(input.len()), tm_sim::encode_input(&input)],
+                &[
+                    tm_sim::position_domain(input.len()),
+                    tm_sim::encode_input(&input),
+                ],
                 EvalLimits::benchmark(),
             )
             .unwrap();
@@ -133,7 +136,10 @@ fn section_6_classifier_places_the_paper_programs_in_their_fragments() {
         classify_program(&arithmetic_program(), 1).fragment,
         Fragment::Basrl
     );
-    assert_eq!(classify_program(&apath_program(), 1).fragment, Fragment::Srl);
+    assert_eq!(
+        classify_program(&apath_program(), 1).fragment,
+        Fragment::Srl
+    );
     assert_eq!(
         classify_program(&srl_stdlib::blowup::powerset_program(), 1).fragment,
         Fragment::UnrestrictedSrl
@@ -186,10 +192,7 @@ fn proposition_3_3_closure_under_fo_interpretations() {
         let source = Structure::from_digraph(graph.n, &graph.edges);
         let reduced = reachability_to_agap().apply(&source);
         // Rebuild an AlternatingGraph from the reduced structure.
-        let edges: Vec<(usize, usize)> = reduced
-            .tuples("E")
-            .map(|t| (t[0], t[1]))
-            .collect();
+        let edges: Vec<(usize, usize)> = reduced.tuples("E").map(|t| (t[0], t[1])).collect();
         let universal: Vec<bool> = (0..reduced.universe)
             .map(|v| reduced.holds("A", &[v]))
             .collect();

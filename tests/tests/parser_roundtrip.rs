@@ -33,10 +33,26 @@ fn experiment_programs() -> Vec<(&'static str, Program)> {
         ("E2 powerset", srl_stdlib::blowup::powerset_program()),
         ("E3 arithmetic", srl_stdlib::arith::arithmetic_program()),
         ("E4 permutations", srl_stdlib::perm::perm_program()),
-        ("E6 primrec add", srl_stdlib::primrec_compile::compile(&library::add()).unwrap().program),
-        ("E6 primrec mul", srl_stdlib::primrec_compile::compile(&library::mul()).unwrap().program),
-        ("E6 lrl doubling", srl_stdlib::blowup::lrl_doubling_program()),
-        ("E7 tm simulation", srl_stdlib::tm_sim::compile(&even_parity())),
+        (
+            "E6 primrec add",
+            srl_stdlib::primrec_compile::compile(&library::add())
+                .unwrap()
+                .program,
+        ),
+        (
+            "E6 primrec mul",
+            srl_stdlib::primrec_compile::compile(&library::mul())
+                .unwrap()
+                .program,
+        ),
+        (
+            "E6 lrl doubling",
+            srl_stdlib::blowup::lrl_doubling_program(),
+        ),
+        (
+            "E7 tm simulation",
+            srl_stdlib::tm_sim::compile(&even_parity()),
+        ),
     ]
 }
 
@@ -46,11 +62,17 @@ fn experiment_queries() -> Vec<(&'static str, Expr)> {
     vec![
         ("E5 tc", srl_bench::queries::tc_query()),
         ("E5 dtc", srl_bench::queries::dtc_query()),
-        ("E8 purple-first", srl_stdlib::hom::purple_first(var("S"), var("P"))),
+        (
+            "E8 purple-first",
+            srl_stdlib::hom::purple_first(var("S"), var("P")),
+        ),
         ("E8 even", srl_stdlib::hom::even(var("S"))),
         ("E8 count", srl_stdlib::hom::count(var("S"))),
         ("E9 join", srl_bench::queries::company_join()),
-        ("E9 select-project", srl_bench::queries::employees_in_department(3)),
+        (
+            "E9 select-project",
+            srl_bench::queries::employees_in_department(3),
+        ),
     ]
 }
 
@@ -76,7 +98,11 @@ fn every_experiment_query_roundtrips() {
         let parsed =
             parse_expr(&text).unwrap_or_else(|e| panic!("{name}: {e}\n--- text ---\n{text}"));
         assert_eq!(parsed, expr, "{name}: parse(print(e)) must equal e");
-        assert_eq!(print_expr(&parsed), text, "{name}: print must be a fixpoint");
+        assert_eq!(
+            print_expr(&parsed),
+            text,
+            "{name}: print must be a fixpoint"
+        );
     }
 }
 
@@ -90,7 +116,11 @@ fn derived_operator_library_roundtrips() {
         derived::difference(var("A"), var("B")),
         derived::member(var("x"), var("S")),
         derived::project(var("R"), 1),
-        derived::select(var("R"), lam("t", "e", srl_core::dsl::eq(sel(var("t"), 1), var("e"))), var("k")),
+        derived::select(
+            var("R"),
+            lam("t", "e", srl_core::dsl::eq(sel(var("t"), 1), var("e"))),
+            var("k"),
+        ),
     ];
     for expr in exprs {
         let text = print_expr(&expr);
@@ -107,7 +137,7 @@ fn text_programs_match_dsl_stats_on_both_backends() {
     let program = srl_stdlib::blowup::powerset_program();
     let text = print_program(&program);
     let input = Value::set((0..6).map(Value::atom));
-    for backend in [ExecBackend::TreeWalk, ExecBackend::Vm] {
+    for backend in [ExecBackend::TreeWalk, ExecBackend::vm()] {
         let pipeline = Pipeline::new()
             .with_limits(EvalLimits::default())
             .with_backend(backend);
@@ -116,10 +146,16 @@ fn text_programs_match_dsl_stats_on_both_backends() {
             .prepare(parse_program_in(&text, program.dialect).unwrap())
             .unwrap();
         let (dsl_value, dsl_stats) = from_dsl
-            .call(srl_stdlib::blowup::names::POWERSET, &[input.clone()])
+            .call(
+                srl_stdlib::blowup::names::POWERSET,
+                std::slice::from_ref(&input),
+            )
             .unwrap();
         let (text_value, text_stats) = from_text
-            .call(srl_stdlib::blowup::names::POWERSET, &[input.clone()])
+            .call(
+                srl_stdlib::blowup::names::POWERSET,
+                std::slice::from_ref(&input),
+            )
             .unwrap();
         assert_eq!(dsl_value, text_value, "{backend:?}");
         assert_eq!(
@@ -137,10 +173,16 @@ fn text_programs_match_dsl_stats_on_both_backends() {
 fn golden_bad_token_diagnostic() {
     let src = "f(x) =\n  insert(x, $)\n";
     let err = srl_syntax::parse_program(src).unwrap_err();
-    assert!(matches!(err.kind, ParseErrorKind::UnexpectedChar { found: '$' }));
+    assert!(matches!(
+        err.kind,
+        ParseErrorKind::UnexpectedChar { found: '$' }
+    ));
     assert_eq!(err.span, Span::new(19, 20));
     let rendered = err.to_diagnostic("bad.srl", src).to_string();
-    assert!(rendered.contains("error: unexpected character `$`"), "{rendered}");
+    assert!(
+        rendered.contains("error: unexpected character `$`"),
+        "{rendered}"
+    );
     assert!(rendered.contains("bad.srl:2:13"), "{rendered}");
     assert!(rendered.contains("2 |   insert(x, $)"), "{rendered}");
     // The caret sits under the `$` (column 13 → 12 spaces into the line).
@@ -154,11 +196,17 @@ fn golden_bad_token_diagnostic() {
 fn golden_unbalanced_paren_diagnostic() {
     let src = "f(x) =\n  insert(x, emptyset\n";
     let err = srl_syntax::parse_program(src).unwrap_err();
-    assert_eq!(err.kind, ParseErrorKind::UnclosedDelimiter { delimiter: "(" });
+    assert_eq!(
+        err.kind,
+        ParseErrorKind::UnclosedDelimiter { delimiter: "(" }
+    );
     // The span points at the `(` that was never closed, not at end of input.
     assert_eq!(err.span, Span::new(15, 16));
     let rendered = err.to_diagnostic("open.srl", src).to_string();
-    assert!(rendered.contains("error: this `(` is never closed"), "{rendered}");
+    assert!(
+        rendered.contains("error: this `(` is never closed"),
+        "{rendered}"
+    );
     assert!(rendered.contains("open.srl:2:9"), "{rendered}");
     assert!(rendered.contains('^'), "{rendered}");
 }
@@ -215,7 +263,10 @@ fn example_srl_files_are_in_sync_with_the_printer() {
         }
         let actual = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("{path}: {e} (run with SRL_REGEN=1 to generate)"));
-        assert_eq!(actual, expected, "{file} is stale; regenerate with SRL_REGEN=1");
+        assert_eq!(
+            actual, expected,
+            "{file} is stale; regenerate with SRL_REGEN=1"
+        );
     }
 }
 
@@ -228,8 +279,8 @@ fn example_srl_files_parse_and_run() {
             continue;
         }
         let text = std::fs::read_to_string(&path).unwrap();
-        let program = srl_syntax::parse_program(&text)
-            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let program =
+            srl_syntax::parse_program(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         Pipeline::new()
             .prepare(program)
             .unwrap_or_else(|e| panic!("{}: {e}", path.display()));

@@ -212,10 +212,7 @@ fn stats_are_identical_across_representation_states() {
         // Drain one element through rest() and put it back with insert():
         // same contents, but the backing window has advanced.
         let (windowed, _) = eval_expr_with_stats(
-            &insert(
-                choose(var("S")),
-                rest(var("S")),
-            ),
+            &insert(choose(var("S")), rest(var("S"))),
             &Env::new().bind("S", literal.clone()),
             EvalLimits::default(),
         )
@@ -227,7 +224,10 @@ fn stats_are_identical_across_representation_states() {
             ("inserted", Value::Set(Arc::new(inserted))),
             ("windowed", windowed),
         ] {
-            assert_eq!(input, literal, "case {case}: {state} state differs as a value");
+            assert_eq!(
+                input, literal,
+                "case {case}: {state} state differs as a value"
+            );
             let env = Env::new().bind("S", input);
             let (value, stats) = eval_expr_with_stats(&rebuild, &env, EvalLimits::default())
                 .expect("rebuild evaluates");
@@ -264,10 +264,7 @@ fn mispaired_compiled_program_is_rejected_with_fingerprints() {
     let expected = program_fingerprint(&other);
     let found = compiled.fingerprint();
     assert_ne!(expected, found);
-    assert_eq!(
-        err,
-        EvalError::CompiledProgramMismatch { expected, found }
-    );
+    assert_eq!(err, EvalError::CompiledProgramMismatch { expected, found });
     assert_eq!(
         err.to_string(),
         format!(
@@ -279,7 +276,5 @@ fn mispaired_compiled_program_is_rejected_with_fingerprints() {
     // A structurally identical rebuild of the program fingerprints equal —
     // the check keys on structure, not identity.
     let rebuilt = Program::srl().define("f", ["x"], var("x"));
-    assert!(
-        Evaluator::with_compiled(&rebuilt, compiled, EvalLimits::default()).is_ok()
-    );
+    assert!(Evaluator::with_compiled(&rebuilt, compiled, EvalLimits::default()).is_ok());
 }

@@ -126,15 +126,27 @@ fn e3_basrl_arith_stats_match_pre_refactor_golden_values() {
     let b = n / 4;
     let mut total = EvalStats::default();
     for (name, args, expected) in [
-        (names::ADD, vec![a, b], Some(Value::atom((a + b).min(n - 1)))),
-        (names::MULT, vec![3, b], Some(Value::atom((3 * b).min(n - 1)))),
+        (
+            names::ADD,
+            vec![a, b],
+            Some(Value::atom((a + b).min(n - 1))),
+        ),
+        (
+            names::MULT,
+            vec![3, b],
+            Some(Value::atom((3 * b).min(n - 1))),
+        ),
         (names::BIT, vec![1, a], Some(Value::bool((a >> 1) & 1 == 1))),
     ] {
         let mut call_args = vec![d.clone()];
         call_args.extend(args.iter().map(|&x| Value::atom(x)));
         let (value, stats) = run_program(&program, name, &call_args, EvalLimits::benchmark())
             .expect("arith evaluates");
-        assert_eq!(Some(value), expected, "{name} agrees with native arithmetic");
+        assert_eq!(
+            Some(value),
+            expected,
+            "{name} agrees with native arithmetic"
+        );
         total.absorb(&stats);
     }
     assert_eq!(
@@ -160,11 +172,9 @@ fn shared_sets_preserve_choose_rest_traversal_order() {
     // copy-on-write, not mutate the caller's copy.
     let keep = s.clone();
     let env = Env::new().bind("S", s);
-    let (rest_v, _) =
-        eval_expr_with_stats(&rest(var("S")), &env, EvalLimits::default()).unwrap();
+    let (rest_v, _) = eval_expr_with_stats(&rest(var("S")), &env, EvalLimits::default()).unwrap();
     assert_eq!(rest_v, Value::set([Value::atom(3), Value::atom(5)]));
     assert_eq!(keep.len(), Some(3), "the shared input is untouched");
-    let (min_v, _) =
-        eval_expr_with_stats(&choose(var("S")), &env, EvalLimits::default()).unwrap();
+    let (min_v, _) = eval_expr_with_stats(&choose(var("S")), &env, EvalLimits::default()).unwrap();
     assert_eq!(min_v, Value::atom(1));
 }

@@ -20,11 +20,15 @@ use srl_integration_tests::atom_set;
 
 /// Runs `f` under both backends over one shared compiled program and
 /// returns the two `(result, stats)` outcomes.
+#[allow(clippy::type_complexity)]
 fn both<R>(
     program: &Program,
     limits: EvalLimits,
     mut f: impl FnMut(&mut Evaluator) -> Result<R, EvalError>,
-) -> (Result<(R, EvalStats), EvalError>, Result<(R, EvalStats), EvalError>) {
+) -> (
+    Result<(R, EvalStats), EvalError>,
+    Result<(R, EvalStats), EvalError>,
+) {
     let compiled = Arc::new(program.compile());
     let mut run = |backend: ExecBackend| {
         let mut ev = Evaluator::with_compiled(program, Arc::clone(&compiled), limits)
@@ -33,7 +37,7 @@ fn both<R>(
         let value = f(&mut ev)?;
         Ok((value, *ev.stats()))
     };
-    (run(ExecBackend::TreeWalk), run(ExecBackend::Vm))
+    (run(ExecBackend::TreeWalk), run(ExecBackend::vm()))
 }
 
 /// Asserts both backends succeed with the same value and byte-identical
@@ -45,7 +49,8 @@ fn assert_identical<R: PartialEq + std::fmt::Debug>(
     f: impl FnMut(&mut Evaluator) -> Result<R, EvalError>,
 ) -> R {
     let (tree, vm) = both(program, limits, f);
-    let (tree_value, tree_stats) = tree.unwrap_or_else(|e| panic!("{label}: tree-walk failed: {e}"));
+    let (tree_value, tree_stats) =
+        tree.unwrap_or_else(|e| panic!("{label}: tree-walk failed: {e}"));
     let (vm_value, vm_stats) = vm.unwrap_or_else(|e| panic!("{label}: VM failed: {e}"));
     assert_eq!(tree_value, vm_value, "{label}: values differ");
     assert_eq!(tree_stats, vm_stats, "{label}: EvalStats differ");
@@ -109,7 +114,7 @@ fn e2_powerset_agrees() {
     for n in [0u64, 1, 3, 6, 8] {
         let input = atom_set(0..n);
         let v = assert_identical(&program, EvalLimits::default(), "E2 powerset", |ev| {
-            ev.call(names::POWERSET, &[input.clone()])
+            ev.call(names::POWERSET, std::slice::from_ref(&input))
         });
         assert_eq!(v.len(), Some(1 << n));
     }
@@ -164,7 +169,10 @@ fn e5_tc_dtc_agree_lowered_and_direct() {
         let env = Env::new()
             .bind("D", g.vertices_value())
             .bind("E", g.edges_value());
-        for (label, expr) in [("E5 TC", queries::tc_query()), ("E5 DTC", queries::dtc_query())] {
+        for (label, expr) in [
+            ("E5 TC", queries::tc_query()),
+            ("E5 DTC", queries::dtc_query()),
+        ] {
             // The lower-once / evaluate-many path both times.
             assert_identical(&program, EvalLimits::benchmark(), label, |ev| {
                 let lowered = ev.lower(&expr, &env);
@@ -190,7 +198,7 @@ fn e6_primrec_and_lrl_doubling_agree() {
     let doubling = lrl_doubling_program();
     let input = Value::list((0..5u64).map(Value::atom));
     assert_identical(&doubling, EvalLimits::default(), "E6 LRL doubling", |ev| {
-        ev.call(blow_names::DOUBLING, &[input.clone()])
+        ev.call(blow_names::DOUBLING, std::slice::from_ref(&input))
     });
 }
 
@@ -201,7 +209,9 @@ fn e7_tm_simulation_agrees() {
 
     let program = compile(&even_parity());
     for n in [4usize, 9, 16] {
-        let input: Vec<u8> = (0..n).map(|i| if i % 3 == 0 { SYM_A } else { SYM_B }).collect();
+        let input: Vec<u8> = (0..n)
+            .map(|i| if i % 3 == 0 { SYM_A } else { SYM_B })
+            .collect();
         let args = [position_domain(n), encode_input(&input)];
         assert_identical(&program, EvalLimits::benchmark(), "E7 accepts", |ev| {
             ev.call(names::ACCEPTS, &args)
@@ -625,12 +635,9 @@ fn error_kinds_agree() {
 
     // Arity mismatch through the compiled call path.
     let program = Program::srl().define("pair", ["a", "b"], tuple([var("a"), var("b")]));
-    assert_same_error(
-        &program,
-        EvalLimits::default(),
-        "arity mismatch",
-        |ev| ev.eval(&call("pair", [atom(1)]), &Env::new()),
-    );
+    assert_same_error(&program, EvalLimits::default(), "arity mismatch", |ev| {
+        ev.eval(&call("pair", [atom(1)]), &Env::new())
+    });
 }
 
 #[test]

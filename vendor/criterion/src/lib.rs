@@ -124,7 +124,10 @@ impl BenchmarkGroup<'_> {
         }
         samples.sort_unstable();
         if let (Some(min), Some(&median)) = (samples.first(), samples.get(samples.len() / 2)) {
-            let mean = samples.iter().sum::<Duration>().div_f64(samples.len() as f64);
+            let mean = samples
+                .iter()
+                .sum::<Duration>()
+                .div_f64(samples.len() as f64);
             println!(
                 "{full_name:<48} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples × {} iters)",
                 min, median, mean, samples.len(), batch
@@ -175,7 +178,8 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        self.benchmark_group(name.to_string()).bench_function(name, f);
+        self.benchmark_group(name.to_string())
+            .bench_function(name, f);
         self
     }
 }
