@@ -28,8 +28,8 @@
 use std::process::ExitCode;
 
 use srl_core::pipeline::{Pipeline, Source};
-use srl_core::{EvalLimits, EvalStats, ExecBackend, Value};
-use srl_syntax::frontend::TextFrontend;
+use srl_core::{EvalError, EvalLimits, EvalStats, ExecBackend, Value};
+use srl_syntax::frontend::{FrontendError, TextFrontend};
 
 mod repl;
 
@@ -63,7 +63,8 @@ srl — the set-reduce language of Immerman, Patnaik and Stemple (PODS 1991)
 
 USAGE:
   srl run <file.srl> [--call NAME] [--arg VALUE]... [--backend vm|tree]
-                     [--threads N] [--limits default|small|benchmark] [--json]
+                     [--threads N] [--limits default|small|benchmark]
+                     [--timeout-ms N] [--json]
   srl check <file.srl>            parse, validate, and classify a program
   srl print <file.srl>            parse and re-print in canonical form
   srl disasm <file.srl>           show the VM bytecode of every definition
@@ -74,8 +75,58 @@ USAGE:
 [d1, d2] (tuple), {d0, d1} (set), <d1, d2> (list). With --json the result
 and EvalStats print as JSON (byte-identical across backends and across
 --threads settings). --threads N shards proper-hom set-reduce folds over
-an N-worker pool (vm backend only).
+an N-worker pool (vm backend only). --timeout-ms N arms a wall-clock
+deadline; an overrunning query aborts with exit code 7 and, with --json,
+a structured error object carrying the partial stats.
+
+EXIT CODES:
+  0  success                       5  runtime evaluation error
+  2  usage or I/O error            6  resource limit exceeded
+  3  parse error                   7  timeout or cancellation
+  4  check (validation) error      8  internal error
 ";
+
+// The documented exit-code contract (see EXIT CODES in `USAGE`): scripts
+// and the serving layer branch on these, so the mapping is pinned by
+// `tests/cli_smoke.rs` and must not drift.
+const EXIT_PARSE: u8 = 3;
+const EXIT_CHECK: u8 = 4;
+const EXIT_RUNTIME: u8 = 5;
+const EXIT_LIMIT: u8 = 6;
+const EXIT_TIMEOUT: u8 = 7;
+const EXIT_INTERNAL: u8 = 8;
+
+/// Exit code for an evaluation error, per the documented contract.
+fn eval_exit_code(e: &EvalError) -> u8 {
+    match e {
+        EvalError::Cancelled | EvalError::DeadlineExceeded { .. } => EXIT_TIMEOUT,
+        EvalError::Internal { .. } => EXIT_INTERNAL,
+        e if e.is_limit() => EXIT_LIMIT,
+        _ => EXIT_RUNTIME,
+    }
+}
+
+/// Exit code and stable kind string for a frontend (parse/check) error.
+fn frontend_exit(e: &FrontendError) -> (u8, &'static str) {
+    match e {
+        FrontendError::Parse(_) => (EXIT_PARSE, "parse"),
+        FrontendError::Check(_) => (EXIT_CHECK, "check"),
+    }
+}
+
+/// A `--json` error object with stable field order
+/// (`kind`, `message`, `exit`, then optionally the partial `stats`).
+fn error_json(kind: &str, message: &str, exit: u8, partial: Option<&EvalStats>) -> String {
+    let stats = match partial {
+        Some(stats) => format!(",\n  \"stats\": {}", stats_json(stats)),
+        None => String::new(),
+    };
+    format!(
+        "{{\n  \"error\": {{ \"kind\": \"{}\", \"message\": \"{}\", \"exit\": {exit} }}{stats}\n}}",
+        escape_json(kind),
+        escape_json(message)
+    )
+}
 
 /// Parsed common options of the file-taking subcommands.
 #[derive(Debug)]
@@ -86,6 +137,17 @@ struct Options {
     backend: ExecBackend,
     limits: EvalLimits,
     json: bool,
+}
+
+/// Parses a `--timeout-ms` operand (a positive millisecond count).
+fn parse_timeout_ms(word: &str) -> Result<u64, String> {
+    let ms: u64 = word
+        .parse()
+        .map_err(|_| format!("--timeout-ms expects a millisecond count, got `{word}`"))?;
+    if ms == 0 {
+        return Err("--timeout-ms must be at least 1".to_string());
+    }
+    Ok(ms)
 }
 
 /// Flags each subcommand accepts; anything else is a usage error (so e.g.
@@ -99,6 +161,7 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
             "--backend",
             "--threads",
             "--limits",
+            "--timeout-ms",
             "--json",
         ],
         _ => &[],
@@ -113,6 +176,7 @@ fn parse_options(rest: &[String], command: &str) -> Result<Options, String> {
     let mut backend = ExecBackend::default();
     let mut threads: Option<usize> = None;
     let mut limits = EvalLimits::default();
+    let mut timeout_ms: Option<u64> = None;
     let mut json = false;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -157,6 +221,10 @@ fn parse_options(rest: &[String], command: &str) -> Result<Options, String> {
                     }
                 }
             }
+            "--timeout-ms" => {
+                let word = it.next().ok_or("--timeout-ms needs a millisecond count")?;
+                timeout_ms = Some(parse_timeout_ms(word)?);
+            }
             "--json" => json = true,
             other if !other.starts_with('-') && file.is_none() => file = Some(other.to_string()),
             other => return Err(format!("unexpected argument `{other}` to `srl {command}`")),
@@ -171,6 +239,9 @@ fn parse_options(rest: &[String], command: &str) -> Result<Options, String> {
             )
         }
     };
+    if let Some(ms) = timeout_ms {
+        limits = limits.with_deadline_ms(ms);
+    }
     Ok(Options {
         file: file.ok_or_else(|| format!("`srl {command}` needs a .srl file"))?,
         call,
@@ -206,8 +277,12 @@ fn run(rest: &[String]) -> ExitCode {
     let artifact = match pipeline.compile_source(&source) {
         Ok(a) => a,
         Err(e) => {
+            let (exit, kind) = frontend_exit(&e);
+            if opts.json {
+                println!("{}", error_json(kind, &e.to_string(), exit, None));
+            }
             eprintln!("{}", e.render(&source));
-            return ExitCode::FAILURE;
+            return ExitCode::from(exit);
         }
     };
     let entry = match &opts.call {
@@ -237,12 +312,16 @@ fn run(rest: &[String]) -> ExitCode {
                     i + 1,
                     e.to_diagnostic("<arg>", literal)
                 );
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_PARSE);
             }
         }
     }
-    match artifact.call(&entry, &values) {
-        Ok((value, stats)) => {
+    // Run through an explicit evaluator (not `Compiled::call`) so the
+    // partial statistics of a failed run stay observable for --json.
+    let mut evaluator = artifact.evaluator();
+    match evaluator.call(&entry, &values) {
+        Ok(value) => {
+            let stats = *evaluator.stats();
             if opts.json {
                 println!("{}", result_json(&value, &stats));
             } else {
@@ -252,8 +331,15 @@ fn run(rest: &[String]) -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
+            let exit = eval_exit_code(&e);
+            if opts.json {
+                println!(
+                    "{}",
+                    error_json(e.kind(), &e.to_string(), exit, evaluator.last_error_stats())
+                );
+            }
             eprintln!("evaluation error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(exit)
         }
     }
 }
@@ -282,7 +368,7 @@ fn check(rest: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("{}", e.render(&source));
-            ExitCode::FAILURE
+            ExitCode::from(frontend_exit(&e).0)
         }
     }
 }
@@ -303,7 +389,7 @@ fn print_cmd(rest: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("{}", e.to_diagnostic(&source.name, &source.text));
-            ExitCode::FAILURE
+            ExitCode::from(EXIT_PARSE)
         }
     }
 }
@@ -324,7 +410,7 @@ fn disasm(rest: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("{}", e.render(&source));
-            ExitCode::FAILURE
+            ExitCode::from(frontend_exit(&e).0)
         }
     }
 }
@@ -479,5 +565,88 @@ mod tests {
     #[test]
     fn json_escaping() {
         assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn timeout_flag_arms_a_deadline() {
+        let rest: Vec<String> = ["prog.srl", "--timeout-ms", "250"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let opts = parse_options(&rest, "run").unwrap();
+        assert_eq!(
+            opts.limits.deadline,
+            Some(std::time::Duration::from_millis(250))
+        );
+        // Composes with --limits regardless of flag order.
+        let rest: Vec<String> = ["prog.srl", "--timeout-ms", "250", "--limits", "small"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let opts = parse_options(&rest, "run").unwrap();
+        assert_eq!(
+            opts.limits,
+            EvalLimits::small().with_deadline_ms(250),
+            "--timeout-ms must survive a later --limits"
+        );
+    }
+
+    #[test]
+    fn timeout_flag_rejects_bad_values() {
+        for bad in [
+            vec!["prog.srl", "--timeout-ms", "0"],
+            vec!["prog.srl", "--timeout-ms", "soon"],
+            vec!["prog.srl", "--timeout-ms"],
+        ] {
+            let rest: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(parse_options(&rest, "run").is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn exit_codes_follow_the_documented_contract() {
+        assert_eq!(eval_exit_code(&EvalError::Cancelled), EXIT_TIMEOUT);
+        assert_eq!(
+            eval_exit_code(&EvalError::DeadlineExceeded { limit_ms: 10 }),
+            EXIT_TIMEOUT
+        );
+        assert_eq!(
+            eval_exit_code(&EvalError::Internal {
+                detail: "boom".into()
+            }),
+            EXIT_INTERNAL
+        );
+        assert_eq!(
+            eval_exit_code(&EvalError::StepLimitExceeded { limit: 1 }),
+            EXIT_LIMIT
+        );
+        assert_eq!(
+            eval_exit_code(&EvalError::SizeLimitExceeded { limit: 1 }),
+            EXIT_LIMIT
+        );
+        assert_eq!(
+            eval_exit_code(&EvalError::UnboundVariable("x".into())),
+            EXIT_RUNTIME
+        );
+    }
+
+    #[test]
+    fn error_json_has_stable_field_order_and_optional_stats() {
+        let json = error_json("deadline_exceeded", "too slow", EXIT_TIMEOUT, None);
+        let kind = json.find("\"kind\"").unwrap();
+        let message = json.find("\"message\"").unwrap();
+        let exit = json.find("\"exit\"").unwrap();
+        assert!(kind < message && message < exit, "{json}");
+        assert!(!json.contains("\"stats\""));
+        assert!(json.contains("\"exit\": 7"));
+
+        let stats = EvalStats {
+            steps: 9,
+            ..EvalStats::default()
+        };
+        let json = error_json("cancelled", "stop", EXIT_TIMEOUT, Some(&stats));
+        assert!(json.contains("\"stats\""));
+        assert!(json.contains("\"steps\": 9"));
+        assert!(json.find("\"error\"").unwrap() < json.find("\"stats\"").unwrap());
     }
 }

@@ -11,8 +11,8 @@
 //!   variables resolved against the bound inputs.
 //!
 //! Colon commands: `:help`, `:defs`, `:env`, `:backend vm [threads]|tree`,
-//! `:load FILE`, `:disasm`, `:quit`. Reads stdin to exhaustion, so it is
-//! scriptable: `echo 'choose({d3, d5})' | srl repl`.
+//! `:timeout MS|off`, `:load FILE`, `:disasm`, `:quit`. Reads stdin to
+//! exhaustion, so it is scriptable: `echo 'choose({d3, d5})' | srl repl`.
 
 use std::io::{BufRead, IsTerminal, Write};
 use std::process::ExitCode;
@@ -27,7 +27,8 @@ const REPL_HELP: &str = "\
 definitions   f(x) = insert(x, emptyset)
 inputs        S := {d1, d2}
 expressions   f(choose(S))
-commands      :help :defs :env :backend vm [threads]|tree :load FILE :disasm :quit
+commands      :help :defs :env :backend vm [threads]|tree :timeout MS|off
+              :load FILE :disasm :quit
 ";
 
 /// Parses a backend word (plus an optional thread count for the VM) the way
@@ -59,6 +60,21 @@ fn parse_backend(word: Option<&str>, threads: Option<&str>) -> Result<ExecBacken
     }
 }
 
+/// Parses a `:timeout` / `--timeout-ms` operand: a positive millisecond
+/// count arms a wall-clock deadline, `off` or `0` disarms it.
+fn parse_timeout(word: Option<&str>) -> Result<Option<u64>, String> {
+    match word {
+        Some("off") | Some("0") => Ok(None),
+        Some(word) => match word.parse::<u64>() {
+            Ok(ms) => Ok(Some(ms)),
+            Err(_) => Err(format!(
+                "timeout must be a millisecond count or `off`, got `{word}`"
+            )),
+        },
+        None => Err("missing timeout (a millisecond count, or `off`)".to_string()),
+    }
+}
+
 /// Short display form of a backend for the `:backend` confirmation line.
 fn backend_name(backend: ExecBackend) -> String {
     match backend {
@@ -85,6 +101,17 @@ impl Session {
             artifact: None,
             env: Env::new(),
         }
+    }
+
+    /// Arms (or, with `None`, disarms) the per-query wall-clock deadline.
+    /// The cached artifact captured the old limits, so it must be rebuilt.
+    fn set_timeout(&mut self, ms: Option<u64>) {
+        let limits = match ms {
+            Some(ms) => self.pipeline.limits().with_deadline_ms(ms),
+            None => self.pipeline.limits().with_deadline(None),
+        };
+        self.pipeline = self.pipeline.clone().with_limits(limits);
+        self.artifact = None;
     }
 
     /// The compiled artifact for the current program, built on demand and
@@ -121,13 +148,14 @@ impl Session {
     }
 }
 
-/// `srl repl [--backend vm|tree] [--threads N]`.
+/// `srl repl [--backend vm|tree] [--threads N] [--timeout-ms N]`.
 pub fn repl(rest: &[String]) -> ExitCode {
     // Flags are collected first and combined once, order-independently, so
     // `--backend tree --threads 4` is rejected like `srl run` rejects it
     // instead of one flag silently overriding the other.
     let mut backend_word: Option<&str> = None;
     let mut threads_word: Option<&str> = None;
+    let mut timeout_word: Option<&str> = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -145,6 +173,13 @@ pub fn repl(rest: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--timeout-ms" => match it.next() {
+                Some(word) => timeout_word = Some(word.as_str()),
+                None => {
+                    eprintln!("error: --timeout-ms needs a millisecond count");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 eprintln!("unexpected argument `{other}` to `srl repl`");
                 return ExitCode::from(2);
@@ -158,12 +193,25 @@ pub fn repl(rest: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let timeout = match timeout_word {
+        Some(word) => match parse_timeout(Some(word)) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
 
     let interactive = std::io::stdin().is_terminal();
     if interactive {
         println!("srl repl — :help for commands, :quit to leave");
     }
     let mut session = Session::new(backend);
+    if timeout.is_some() {
+        session.set_timeout(timeout);
+    }
     let stdin = std::io::stdin();
     let mut lines = stdin.lock().lines();
     loop {
@@ -273,6 +321,17 @@ fn handle_command(session: &mut Session, command: &str) -> bool {
                 println!("backend: {}", backend_name(backend));
             }
             Err(e) => eprintln!("error: {e} — usage: :backend vm [threads]|tree"),
+        },
+        Some("timeout") => match parse_timeout(words.next()) {
+            Ok(Some(ms)) => {
+                session.set_timeout(Some(ms));
+                println!("timeout: {ms} ms");
+            }
+            Ok(None) => {
+                session.set_timeout(None);
+                println!("timeout: off");
+            }
+            Err(e) => eprintln!("error: {e} — usage: :timeout MS|off"),
         },
         Some("load") => match words.next() {
             Some(path) => match std::fs::read_to_string(path) {
@@ -436,6 +495,53 @@ mod tests {
         assert_eq!(session.pipeline.backend(), ExecBackend::TreeWalk);
         assert!(handle_line(&mut session, ":backend vm 4"));
         assert_eq!(session.pipeline.backend(), ExecBackend::vm_with_threads(4));
+    }
+
+    #[test]
+    fn timeout_words_parse() {
+        assert_eq!(parse_timeout(Some("250")), Ok(Some(250)));
+        assert_eq!(parse_timeout(Some("off")), Ok(None));
+        assert_eq!(parse_timeout(Some("0")), Ok(None));
+        let err = parse_timeout(Some("soon")).unwrap_err();
+        assert!(err.contains("`soon`"), "{err}");
+        assert!(parse_timeout(None).is_err());
+    }
+
+    #[test]
+    fn timeout_command_arms_and_disarms_the_deadline() {
+        let mut session = Session::new(ExecBackend::default());
+        assert_eq!(session.pipeline.limits().deadline, None);
+        assert!(handle_line(&mut session, ":timeout 250"));
+        assert_eq!(
+            session.pipeline.limits().deadline,
+            Some(std::time::Duration::from_millis(250))
+        );
+        // A bad operand must not change the armed deadline…
+        assert!(handle_line(&mut session, ":timeout soon"));
+        assert_eq!(
+            session.pipeline.limits().deadline,
+            Some(std::time::Duration::from_millis(250))
+        );
+        // …and `off` disarms it.
+        assert!(handle_line(&mut session, ":timeout off"));
+        assert_eq!(session.pipeline.limits().deadline, None);
+    }
+
+    #[test]
+    fn timeout_change_invalidates_the_cached_artifact() {
+        let mut session = Session::new(ExecBackend::default());
+        assert!(handle_line(&mut session, "f(x) = x"));
+        assert!(session.artifact.is_some(), "merge_defs caches an artifact");
+        assert!(handle_line(&mut session, ":timeout 250"));
+        assert!(
+            session.artifact.is_none(),
+            ":timeout must drop the artifact compiled under the old limits"
+        );
+        // The rebuilt artifact evaluates under the new deadline.
+        assert_eq!(
+            session.artifact().limits().deadline,
+            Some(std::time::Duration::from_millis(250))
+        );
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! End-to-end smoke tests for the `srl` binary: the exit-code contract, the
+//! `--json` error object, `--timeout-ms`, and the `SRL_FAULTS` environment
+//! hook all exercised through real process spawns.
+//!
+//! The exit codes asserted here are the documented contract from `srl`'s
+//! usage text (0 ok, 2 usage/IO, 3 parse, 4 check, 5 runtime, 6 limit,
+//! 7 timeout/cancellation, 8 internal) — scripts and the serving layer
+//! branch on them, so a failure here means a breaking interface change.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+use std::time::{Duration, Instant};
+
+const SRL: &str = env!("CARGO_BIN_EXE_srl");
+
+/// `examples/srl/<name>` resolved relative to the workspace root.
+fn example(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/srl")
+        .join(name)
+}
+
+/// Writes `text` to a fresh temp file and returns its path.
+fn temp_program(stem: &str, text: &str) -> PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("srl_cli_smoke_{stem}_{}.srl", std::process::id()));
+    std::fs::write(&path, text).expect("temp dir is writable");
+    path
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(SRL).args(args).output().expect("srl spawns")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("srl exits (not signalled)")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// A `powerset(S)` call on `n` atoms: exponential work that a small budget
+/// or a short deadline must interrupt.
+fn powerset_main(n: usize) -> String {
+    let atoms: Vec<String> = (1..=n).map(|i| format!("d{i}")).collect();
+    let program = std::fs::read_to_string(example("powerset.srl")).expect("example exists");
+    format!(
+        "{program}\nmain() =\n  powerset({{{}}})\n",
+        atoms.join(", ")
+    )
+}
+
+#[test]
+fn happy_path_is_exit_zero_and_thread_count_invisible() {
+    let file = example("membership.srl");
+    let file = file.to_str().unwrap();
+    let one = run(&["run", file, "--json", "--threads", "1"]);
+    assert_eq!(exit_code(&one), 0, "{one:?}");
+    assert!(stdout(&one).contains("\"result\""), "{one:?}");
+    // The acceptance bar for the worker pool: --json output byte-identical
+    // across thread counts.
+    let four = run(&["run", file, "--json", "--threads", "4"]);
+    assert_eq!(exit_code(&four), 0);
+    assert_eq!(
+        stdout(&one),
+        stdout(&four),
+        "stats must not depend on --threads"
+    );
+}
+
+#[test]
+fn usage_errors_are_exit_two() {
+    assert_eq!(exit_code(&run(&["run"])), 2, "missing file");
+    let file = example("membership.srl");
+    assert_eq!(
+        exit_code(&run(&["run", file.to_str().unwrap(), "--wat"])),
+        2,
+        "unknown flag"
+    );
+    assert_eq!(
+        exit_code(&run(&["run", "/no/such/file.srl"])),
+        2,
+        "unreadable file"
+    );
+}
+
+#[test]
+fn parse_errors_are_exit_three() {
+    let file = temp_program("parse", "main() = insert(\n");
+    let out = run(&["run", file.to_str().unwrap(), "--json"]);
+    assert_eq!(exit_code(&out), 3, "{out:?}");
+    assert!(stdout(&out).contains("\"kind\": \"parse\""), "{out:?}");
+    // `check` reports the same class of failure with the same code.
+    assert_eq!(exit_code(&run(&["check", file.to_str().unwrap()])), 3);
+    let _ = std::fs::remove_file(file);
+}
+
+#[test]
+fn check_errors_are_exit_four() {
+    // Recursion is rejected by the pipeline's check stage, not the parser.
+    let file = temp_program("check", "g(x) = g(x)\n");
+    let out = run(&["run", file.to_str().unwrap(), "--json"]);
+    assert_eq!(exit_code(&out), 4, "{out:?}");
+    assert!(stdout(&out).contains("\"kind\": \"check\""), "{out:?}");
+    assert_eq!(exit_code(&run(&["check", file.to_str().unwrap()])), 4);
+    let _ = std::fs::remove_file(file);
+}
+
+#[test]
+fn limit_errors_are_exit_six_with_partial_stats() {
+    let file = temp_program("limit", &powerset_main(16));
+    let out = run(&["run", file.to_str().unwrap(), "--limits", "small", "--json"]);
+    assert_eq!(exit_code(&out), 6, "{out:?}");
+    let json = stdout(&out);
+    assert!(json.contains("\"error\""), "{json}");
+    assert!(json.contains("limit_exceeded"), "{json}");
+    assert!(json.contains("\"exit\": 6"), "{json}");
+    // The partial stats of the interrupted run ride along.
+    assert!(json.contains("\"stats\""), "{json}");
+    let _ = std::fs::remove_file(file);
+}
+
+#[test]
+fn timeouts_are_exit_seven_and_prompt() {
+    // Under the benchmark budget this powerset would run for minutes; the
+    // 50 ms deadline must kill it within ~2× of itself plus process
+    // overhead (generous bound: two seconds).
+    let file = temp_program("timeout", &powerset_main(26));
+    let started = Instant::now();
+    let out = run(&[
+        "run",
+        file.to_str().unwrap(),
+        "--limits",
+        "benchmark",
+        "--timeout-ms",
+        "50",
+        "--json",
+    ]);
+    let elapsed = started.elapsed();
+    assert_eq!(exit_code(&out), 7, "{out:?}");
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "took {elapsed:?} to honour a 50 ms deadline"
+    );
+    let json = stdout(&out);
+    assert!(json.contains("\"kind\": \"deadline_exceeded\""), "{json}");
+    assert!(json.contains("\"exit\": 7"), "{json}");
+    assert!(json.contains("\"stats\""), "partial stats expected: {json}");
+    let _ = std::fs::remove_file(file);
+}
+
+/// A projection fold over `n` pairs — a proper-hom `insert-app` fold whose
+/// work estimate clears `PAR_WORK_THRESHOLD`, so `--threads 4` shards it.
+fn projection_main(n: usize) -> String {
+    let pairs: Vec<String> = (1..=n).map(|i| format!("[d{i}, d{}]", i + n)).collect();
+    format!(
+        "proj(S) =\n  set-reduce(S, lambda(x, t) x.2, lambda(y, acc) insert(y, acc), emptyset, emptyset)\n\n\
+         main() =\n  proj({{{}}})\n",
+        pairs.join(", ")
+    )
+}
+
+#[test]
+fn injected_worker_panics_are_exit_eight() {
+    // `SRL_FAULTS=worker_panic@1` panics shard 1 of the first parallel fold;
+    // the worker pool must convert that into a structured internal error —
+    // a clean exit 8, not an abort or a hung process.
+    let file = temp_program("fault", &projection_main(1200));
+    let file_str = file.to_str().unwrap();
+    let out = Command::new(SRL)
+        .args(["run", file_str, "--threads", "4", "--json"])
+        .env("SRL_FAULTS", "worker_panic@1")
+        .output()
+        .expect("srl spawns");
+    assert_eq!(exit_code(&out), 8, "{out:?}");
+    let json = stdout(&out);
+    assert!(json.contains("\"kind\": \"internal\""), "{json}");
+    assert!(json.contains("worker panicked"), "{json}");
+    assert!(json.contains("\"exit\": 8"), "{json}");
+    // The identical invocation with no fault armed succeeds: the registry
+    // is opt-in per process, and the workload itself is healthy.
+    let clean = run(&["run", file_str, "--threads", "4", "--json"]);
+    assert_eq!(exit_code(&clean), 0, "{clean:?}");
+    let _ = std::fs::remove_file(file);
+}

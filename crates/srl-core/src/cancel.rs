@@ -1,0 +1,126 @@
+//! Cooperative cancellation for in-flight evaluations.
+//!
+//! Every [`Evaluator`](crate::eval::Evaluator) carries a [`CancelToken`] — a
+//! shared tri-state flag (`Running` / `Cancelled` / `DeadlineExpired`) that
+//! the evaluation loops poll amortized at the step-accounting sites (every
+//! [`POLL_STRIDE`](crate::eval) steps), so the hot loop stays free of atomic
+//! traffic and syscalls. Cancellation is *cooperative*: setting the flag does
+//! not interrupt anything; the next poll observes it and unwinds with a
+//! structured [`EvalError::Cancelled`](crate::error::EvalError::Cancelled) or
+//! [`EvalError::DeadlineExceeded`](crate::error::EvalError::DeadlineExceeded).
+//!
+//! The same token is cloned into every shard worker of a parallel fold, which
+//! gives best-effort sibling cancellation for free: the first shard to hit a
+//! deadline (or to panic — see `parallel`) flips the flag and the remaining
+//! shards stop at their next poll.
+//!
+//! Tokens are *per-evaluation*: the evaluator resets its token to `Running`
+//! when a new root evaluation starts, so a consumed cancellation never
+//! poisons the next query on the same (reusable) evaluator.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+const RUNNING: u8 = 0;
+const CANCELLED: u8 = 1;
+const DEADLINE: u8 = 2;
+
+/// Why an evaluation is being asked to stop (or isn't).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CancelState {
+    /// No stop requested.
+    Running,
+    /// [`CancelToken::cancel`] was called.
+    Cancelled,
+    /// The wall-clock deadline armed via
+    /// [`EvalLimits::deadline`](crate::limits::EvalLimits::deadline) expired.
+    DeadlineExpired,
+}
+
+/// A shared, cloneable stop flag for one evaluation.
+///
+/// Obtain one from [`Evaluator::cancel_token`](crate::eval::Evaluator::cancel_token)
+/// and call [`cancel`](CancelToken::cancel) from any thread to abort the
+/// in-flight query at its next cancellation point.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    state: Arc<AtomicU8>,
+}
+
+impl CancelToken {
+    /// A fresh token in the `Running` state.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cooperative cancellation. Idempotent; loses to an already
+    /// recorded deadline expiry (the earlier, more specific verdict wins).
+    pub fn cancel(&self) {
+        let _ =
+            self.state
+                .compare_exchange(RUNNING, CANCELLED, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    /// Records that the wall-clock deadline expired. Loses to an already
+    /// recorded user cancellation.
+    pub(crate) fn mark_deadline(&self) {
+        let _ =
+            self.state
+                .compare_exchange(RUNNING, DEADLINE, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    /// The current state.
+    pub fn state(&self) -> CancelState {
+        match self.state.load(Ordering::Relaxed) {
+            CANCELLED => CancelState::Cancelled,
+            DEADLINE => CancelState::DeadlineExpired,
+            _ => CancelState::Running,
+        }
+    }
+
+    /// Whether a stop has been requested (either kind).
+    pub fn is_stopped(&self) -> bool {
+        self.state.load(Ordering::Relaxed) != RUNNING
+    }
+
+    /// Rearms the token for the next evaluation.
+    pub(crate) fn reset(&self) {
+        self.state.store(RUNNING, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_is_sticky_and_resettable() {
+        let t = CancelToken::new();
+        assert_eq!(t.state(), CancelState::Running);
+        assert!(!t.is_stopped());
+        t.cancel();
+        assert_eq!(t.state(), CancelState::Cancelled);
+        assert!(t.is_stopped());
+        // A later deadline does not overwrite the explicit cancel.
+        t.mark_deadline();
+        assert_eq!(t.state(), CancelState::Cancelled);
+        t.reset();
+        assert_eq!(t.state(), CancelState::Running);
+    }
+
+    #[test]
+    fn deadline_wins_when_first() {
+        let t = CancelToken::new();
+        t.mark_deadline();
+        t.cancel();
+        assert_eq!(t.state(), CancelState::DeadlineExpired);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        b.cancel();
+        assert!(a.is_stopped());
+    }
+}

@@ -177,6 +177,59 @@ pub enum EvalError {
         /// The dialect's name.
         dialect: String,
     },
+    /// The evaluation was cancelled via its
+    /// [`CancelToken`](crate::cancel::CancelToken).
+    Cancelled,
+    /// The wall-clock deadline configured in
+    /// [`EvalLimits::deadline`](crate::limits::EvalLimits::deadline) expired.
+    DeadlineExceeded {
+        /// The configured deadline, in milliseconds.
+        limit_ms: u64,
+    },
+    /// The engine itself misbehaved — e.g. a parallel shard worker panicked.
+    /// The panic is caught at the shard boundary and converted into this
+    /// structured error so the process and the evaluator both survive.
+    Internal {
+        /// Human-readable description of what went wrong.
+        detail: String,
+    },
+}
+
+impl EvalError {
+    /// A short, stable, machine-readable name for the error kind, used by the
+    /// CLI's `--json` error objects. These strings are part of the CLI
+    /// contract; do not rename.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EvalError::UnboundVariable(_) => "unbound_variable",
+            EvalError::UnknownFunction(_) => "unknown_function",
+            EvalError::Shape { .. } => "shape",
+            EvalError::SelectorOutOfRange { .. } => "selector_out_of_range",
+            EvalError::StepLimitExceeded { .. } => "step_limit_exceeded",
+            EvalError::SizeLimitExceeded { .. } => "size_limit_exceeded",
+            EvalError::DepthLimitExceeded { .. } => "depth_limit_exceeded",
+            EvalError::NatWidthExceeded { .. } => "nat_width_exceeded",
+            EvalError::ChooseFromEmptySet => "choose_from_empty_set",
+            EvalError::CompiledProgramMismatch { .. } => "compiled_program_mismatch",
+            EvalError::DialectViolation { .. } => "dialect_violation",
+            EvalError::Cancelled => "cancelled",
+            EvalError::DeadlineExceeded { .. } => "deadline_exceeded",
+            EvalError::Internal { .. } => "internal",
+        }
+    }
+
+    /// Whether this error is one of the deterministic budget limits
+    /// ([`EvalLimits`](crate::limits::EvalLimits) excluding the wall-clock
+    /// deadline).
+    pub fn is_limit(&self) -> bool {
+        matches!(
+            self,
+            EvalError::StepLimitExceeded { .. }
+                | EvalError::SizeLimitExceeded { .. }
+                | EvalError::DepthLimitExceeded { .. }
+                | EvalError::NatWidthExceeded { .. }
+        )
+    }
 }
 
 impl fmt::Display for EvalError {
@@ -224,6 +277,16 @@ impl fmt::Display for EvalError {
                     f,
                     "operator `{operator}` is not allowed in dialect {dialect}"
                 )
+            }
+            EvalError::Cancelled => write!(f, "evaluation was cancelled"),
+            EvalError::DeadlineExceeded { limit_ms } => {
+                write!(
+                    f,
+                    "evaluation exceeded the wall-clock deadline of {limit_ms} ms"
+                )
+            }
+            EvalError::Internal { detail } => {
+                write!(f, "internal evaluator error: {detail}")
             }
         }
     }
@@ -288,6 +351,35 @@ mod tests {
         assert!(e.to_string().contains("100"));
         let e = EvalError::SelectorOutOfRange { index: 3, arity: 2 };
         assert!(e.to_string().contains(".3"));
+        let e = EvalError::DeadlineExceeded { limit_ms: 250 };
+        assert!(e.to_string().contains("250 ms"));
+        let e = EvalError::Internal {
+            detail: "shard 1 panicked".into(),
+        };
+        assert!(e.to_string().contains("shard 1 panicked"));
+        assert!(EvalError::Cancelled.to_string().contains("cancelled"));
+    }
+
+    #[test]
+    fn kinds_are_stable_and_limits_are_classified() {
+        assert_eq!(EvalError::Cancelled.kind(), "cancelled");
+        assert_eq!(
+            EvalError::DeadlineExceeded { limit_ms: 1 }.kind(),
+            "deadline_exceeded"
+        );
+        assert_eq!(
+            EvalError::Internal { detail: "x".into() }.kind(),
+            "internal"
+        );
+        assert_eq!(
+            EvalError::StepLimitExceeded { limit: 1 }.kind(),
+            "step_limit_exceeded"
+        );
+        assert!(EvalError::StepLimitExceeded { limit: 1 }.is_limit());
+        assert!(EvalError::SizeLimitExceeded { limit: 1 }.is_limit());
+        assert!(!EvalError::DeadlineExceeded { limit_ms: 1 }.is_limit());
+        assert!(!EvalError::Cancelled.is_limit());
+        assert!(!EvalError::ChooseFromEmptySet.is_limit());
     }
 
     #[test]

@@ -49,8 +49,10 @@
 //! (Example 3.12, the LRL blow-up) from exhausting memory.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use crate::ast::Expr;
+use crate::cancel::{CancelState, CancelToken};
 use crate::dialect::Dialect;
 use crate::error::EvalError;
 use crate::limits::{EvalLimits, EvalStats};
@@ -167,7 +169,28 @@ pub(crate) struct EvalCore {
     /// sharded across the worker pool. Lets tests and tools verify the
     /// parallel path engaged without perturbing the byte-identical stats.
     pub(crate) parallel_folds: u64,
+    /// The shared stop flag polled at the amortized cancellation points.
+    /// Reset to `Running` when a root evaluation starts; cloned into every
+    /// parallel shard worker so a stop reaches all siblings.
+    pub(crate) cancel: CancelToken,
+    /// The armed wall-clock deadline of the in-flight root evaluation
+    /// ([`EvalLimits::deadline`] resolved to an instant at entry).
+    pub(crate) deadline_at: Option<Instant>,
+    /// Step count at which the next cancellation/deadline poll fires — the
+    /// hot loop pays one integer compare per step; the atomic load and the
+    /// clock read happen once per [`POLL_STRIDE`] steps.
+    pub(crate) next_poll: u64,
+    /// Snapshot of the statistics at the moment the last evaluation failed
+    /// (cancelled, deadline, limit, or any other error). The public stats
+    /// roll back on failure so the evaluator stays reusable; this keeps the
+    /// partial counters observable for logging and `--json` output.
+    pub(crate) last_error_stats: Option<EvalStats>,
 }
+
+/// How many steps pass between cancellation/deadline polls. Small enough
+/// that a deadline overshoots by microseconds on ordinary programs, large
+/// enough that the per-step cost is one predictable branch.
+pub(crate) const POLL_STRIDE: u64 = 4_096;
 
 impl Evaluator {
     /// Creates an evaluator over `program` with the given budget, lowering
@@ -210,6 +233,10 @@ impl Evaluator {
                 frame_base: 0,
                 spine_delta: 0,
                 parallel_folds: 0,
+                cancel: CancelToken::new(),
+                deadline_at: None,
+                next_poll: POLL_STRIDE,
+                last_error_stats: None,
             },
             backend: ExecBackend::default(),
         }
@@ -254,6 +281,25 @@ impl Evaluator {
         self.core.stats = EvalStats::default();
         self.core.allocated_leaves = 0;
         self.core.parallel_folds = 0;
+        self.core.last_error_stats = None;
+    }
+
+    /// A clone of this evaluator's [`CancelToken`]. Call
+    /// [`CancelToken::cancel`] from any thread to abort the in-flight
+    /// query at its next cancellation point; the evaluation returns
+    /// [`EvalError::Cancelled`] and the evaluator stays reusable (each new
+    /// root evaluation rearms the token).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.core.cancel.clone()
+    }
+
+    /// The statistics at the moment the most recent evaluation failed, if
+    /// any. On failure the cumulative [`Evaluator::stats`] roll back to
+    /// their pre-call values (so the evaluator answers the next query as if
+    /// the failed one never ran); the partial counters of the failed run
+    /// stay observable here until the next reset or failure.
+    pub fn last_error_stats(&self) -> Option<&EvalStats> {
+        self.core.last_error_stats.as_ref()
     }
 
     /// Evaluates an expression whose free variables are bound by `env`.
@@ -371,6 +417,13 @@ impl EvalCore {
     /// evaluation) matters twice over: a long-lived evaluator must not pin
     /// the inputs' payloads, and stale references would force needless
     /// copy-on-write later.
+    ///
+    /// It is also the hardening boundary: entry rearms the [`CancelToken`]
+    /// and resolves [`EvalLimits::deadline`] to a concrete instant; on
+    /// failure the statistics and allocation counters roll back to their
+    /// entry values (the partial counters are preserved in
+    /// `last_error_stats`), so an evaluator that was cancelled, timed out,
+    /// or hit a budget answers its next query exactly like a fresh one.
     fn in_root_frame(
         &mut self,
         inputs: impl Iterator<Item = Value>,
@@ -378,10 +431,21 @@ impl EvalCore {
     ) -> Result<Value, EvalError> {
         self.locals.clear();
         self.frame_base = 0;
+        self.cancel.reset();
+        self.deadline_at = self.limits.deadline.map(|d| Instant::now() + d);
+        self.next_poll = self.stats.steps.saturating_add(POLL_STRIDE);
+        let entry_stats = self.stats;
+        let entry_leaves = self.allocated_leaves;
         self.locals.reserve(128);
         self.locals.extend(inputs);
         let result = body(self);
         self.locals.clear();
+        self.deadline_at = None;
+        if result.is_err() {
+            self.last_error_stats = Some(self.stats);
+            self.stats = entry_stats;
+            self.allocated_leaves = entry_leaves;
+        }
         result
     }
 
@@ -399,6 +463,9 @@ impl EvalCore {
             });
         }
         self.stats.max_depth = self.stats.max_depth.max(depth);
+        if self.stats.steps >= self.next_poll {
+            self.poll_cancellation()?;
+        }
         Ok(())
     }
 
@@ -425,6 +492,58 @@ impl EvalCore {
             });
         }
         self.stats.max_depth = self.stats.max_depth.max(max_depth);
+        if self.stats.steps >= self.next_poll {
+            self.poll_cancellation()?;
+        }
+        Ok(())
+    }
+
+    /// The amortized cancellation point: consulted every [`POLL_STRIDE`]
+    /// steps by [`EvalCore::bump_step`] / [`EvalCore::bump_batch`]. Checks
+    /// the shared token first (one relaxed load), then — only when a
+    /// deadline is armed — the wall clock. A worker that observes its own
+    /// deadline expiry flips the shared token so sibling shards stop too.
+    #[cold]
+    fn poll_cancellation(&mut self) -> Result<(), EvalError> {
+        self.next_poll = self.stats.steps.saturating_add(POLL_STRIDE);
+        match self.cancel.state() {
+            CancelState::Cancelled => Err(EvalError::Cancelled),
+            CancelState::DeadlineExpired => Err(self.deadline_error()),
+            CancelState::Running => {
+                if let Some(at) = self.deadline_at {
+                    if Instant::now() >= at {
+                        self.cancel.mark_deadline();
+                        return Err(self.deadline_error());
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The `DeadlineExceeded` error carrying the configured budget.
+    pub(crate) fn deadline_error(&self) -> EvalError {
+        let limit_ms = self
+            .limits
+            .deadline
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        EvalError::DeadlineExceeded { limit_ms }
+    }
+
+    /// Counts one per-element fold iteration. Also the hook where the
+    /// [`crate::faultpoint::DEADLINE_MID_FOLD`] fault point deterministically
+    /// simulates a deadline expiry on the k-th iteration (one relaxed load
+    /// per element when no fault is armed).
+    #[inline]
+    pub(crate) fn note_iteration(&mut self) -> Result<(), EvalError> {
+        self.stats.reduce_iterations += 1;
+        if crate::faultpoint::armed(crate::faultpoint::DEADLINE_MID_FOLD)
+            .is_some_and(|k| self.stats.reduce_iterations >= k)
+        {
+            self.cancel.mark_deadline();
+            return Err(self.deadline_error());
+        }
         Ok(())
     }
 
@@ -639,7 +758,7 @@ impl EvalCore {
                 // `elem.clone()` / `extra_v.clone()` are O(1) Arc bumps.
                 let mut accumulator = base_v;
                 for elem in items.iter() {
-                    self.stats.reduce_iterations += 1;
+                    self.note_iteration()?;
                     let applied = self.apply(
                         compiled,
                         nodes,
@@ -684,7 +803,7 @@ impl EvalCore {
                 // exactly like the set case but without sorting.
                 let mut accumulator = base_v;
                 for elem in items.iter() {
-                    self.stats.reduce_iterations += 1;
+                    self.note_iteration()?;
                     let applied = self.apply(
                         compiled,
                         nodes,

@@ -1,0 +1,156 @@
+//! Named fault-injection points for hardening tests.
+//!
+//! The recovery paths this workspace promises — a panicking shard worker
+//! becomes [`EvalError::Internal`](crate::error::EvalError::Internal) without
+//! killing the process, a deadline firing mid-fold reports partial stats —
+//! are worthless unless they can be *driven* deterministically. This module
+//! is a process-global registry of named fault points that the execution
+//! engine consults at a handful of interesting places:
+//!
+//! | name | argument | effect at the site |
+//! |------|----------|--------------------|
+//! | [`WORKER_PANIC`] | shard index `k` | shard `k` of the next parallel fold panics on entry |
+//! | [`MERGE_DELAY`] | milliseconds | the shard merge sleeps before combining results |
+//! | [`DEADLINE_MID_FOLD`] | iteration count `k` | the `k`-th per-element fold iteration behaves as if the wall-clock deadline expired |
+//!
+//! The registry is always compiled (no cfg feature — feature unification
+//! across the workspace would make "is it on?" ambiguous), but costs a single
+//! relaxed atomic-bool load when nothing is armed, and nothing at all on the
+//! per-step hot path (only fold-element and shard boundaries consult it).
+//! Tests arm points programmatically with [`arm`] and must [`disarm_all`]
+//! when done; because the registry is process-global, concurrent tests that
+//! use it must serialize (see `tests/tests/fault_injection.rs`). For ad-hoc
+//! experiments the `SRL_FAULTS` environment variable seeds the registry once
+//! at first use, e.g. `SRL_FAULTS=worker_panic@1,merge_delay@50`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+
+/// Panics shard *k* (the argument) on entry to its fold worker.
+pub const WORKER_PANIC: &str = "worker_panic";
+/// Sleeps the given number of milliseconds before the shard merge.
+pub const MERGE_DELAY: &str = "merge_delay";
+/// Forces the deadline to fire on the *k*-th per-element fold iteration.
+pub const DEADLINE_MID_FOLD: &str = "deadline_fires_mid_fold";
+
+static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<HashMap<String, u64>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, u64>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let mut map = HashMap::new();
+        if let Ok(spec) = std::env::var("SRL_FAULTS") {
+            parse_spec_into(&spec, &mut map);
+        }
+        if !map.is_empty() {
+            ANY_ARMED.store(true, Ordering::Relaxed);
+        }
+        Mutex::new(map)
+    })
+}
+
+fn parse_spec_into(spec: &str, map: &mut HashMap<String, u64>) {
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (name, arg) = match part.split_once('@') {
+            Some((name, arg)) => (name, arg.parse().unwrap_or(0)),
+            None => (part, 0),
+        };
+        map.insert(name.to_string(), arg);
+    }
+}
+
+fn lock(
+    map: &'static Mutex<HashMap<String, u64>>,
+) -> std::sync::MutexGuard<'static, HashMap<String, u64>> {
+    // A panicking fault point (that is the whole point of `worker_panic`)
+    // must not poison the registry for the rest of the process.
+    map.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Arms the fault point `name` with `arg`. Process-global; pair with
+/// [`disarm_all`].
+pub fn arm(name: &str, arg: u64) {
+    let map = registry();
+    lock(map).insert(name.to_string(), arg);
+    ANY_ARMED.store(true, Ordering::Relaxed);
+}
+
+/// Disarms every fault point and restores the zero-cost fast path.
+pub fn disarm_all() {
+    let map = registry();
+    lock(map).clear();
+    ANY_ARMED.store(false, Ordering::Relaxed);
+}
+
+/// The argument of fault point `name`, if armed. Two relaxed-order loads
+/// when the registry is empty.
+#[inline]
+pub fn armed(name: &str) -> Option<u64> {
+    // `ANY_ARMED` starts false, and the `SRL_FAULTS` seeding lives inside
+    // `registry()` — so the fast path must force the registry once or an
+    // env-armed process would never notice (`Once` is a single atomic load
+    // after completion).
+    static ENV_SEEDED: Once = Once::new();
+    ENV_SEEDED.call_once(|| {
+        let _ = registry();
+    });
+    if !ANY_ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    armed_slow(name)
+}
+
+#[cold]
+fn armed_slow(name: &str) -> Option<u64> {
+    lock(registry()).get(name).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global, so this module's tests all run under
+    // one lock (mirroring the convention in tests/tests/fault_injection.rs).
+    fn serialized() -> std::sync::MutexGuard<'static, ()> {
+        static GUARD: Mutex<()> = Mutex::new(());
+        GUARD.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disarmed_is_none() {
+        let _g = serialized();
+        disarm_all();
+        assert_eq!(armed(WORKER_PANIC), None);
+        assert_eq!(armed("no_such_point"), None);
+    }
+
+    #[test]
+    fn arm_and_disarm_round_trip() {
+        let _g = serialized();
+        arm(WORKER_PANIC, 2);
+        arm(MERGE_DELAY, 50);
+        assert_eq!(armed(WORKER_PANIC), Some(2));
+        assert_eq!(armed(MERGE_DELAY), Some(50));
+        assert_eq!(armed(DEADLINE_MID_FOLD), None);
+        disarm_all();
+        assert_eq!(armed(WORKER_PANIC), None);
+        assert_eq!(armed(MERGE_DELAY), None);
+    }
+
+    #[test]
+    fn spec_parsing() {
+        let _g = serialized();
+        let mut map = HashMap::new();
+        parse_spec_into("worker_panic@1, merge_delay@50,bare,,junk@x", &mut map);
+        assert_eq!(map.get("worker_panic"), Some(&1));
+        assert_eq!(map.get("merge_delay"), Some(&50));
+        assert_eq!(map.get("bare"), Some(&0));
+        assert_eq!(map.get("junk"), Some(&0));
+        assert_eq!(map.len(), 4);
+    }
+}

@@ -69,10 +69,12 @@
 pub mod ast;
 pub mod bignat;
 pub mod bytecode;
+pub mod cancel;
 pub mod dialect;
 pub mod dsl;
 pub mod error;
 pub mod eval;
+pub mod faultpoint;
 pub mod intern;
 pub mod limits;
 pub mod lower;
@@ -88,6 +90,7 @@ pub(crate) mod vm;
 pub use ast::{Expr, Lambda};
 pub use bignat::BigNat;
 pub use bytecode::{Chunk, FoldClass};
+pub use cancel::{CancelState, CancelToken};
 pub use dialect::Dialect;
 pub use error::{CheckError, EvalError, SrlError};
 pub use eval::{eval_expr, eval_expr_with_stats, run_program, Evaluator, ExecBackend};

@@ -21,6 +21,12 @@ pub struct EvalLimits {
     pub max_depth: usize,
     /// Maximum bit-length of any natural number constructed.
     pub max_nat_bits: usize,
+    /// Optional wall-clock deadline for one root evaluation. Armed when the
+    /// evaluation starts and polled amortized at the step-accounting sites
+    /// (so, unlike the deterministic budgets above, where it fires depends on
+    /// the machine); exceeding it aborts with `DeadlineExceeded`. `None`
+    /// (the default everywhere) means no deadline.
+    pub deadline: Option<std::time::Duration>,
 }
 
 impl EvalLimits {
@@ -31,6 +37,7 @@ impl EvalLimits {
             max_value_weight: 2_000_000,
             max_depth: 4_096,
             max_nat_bits: 1 << 20,
+            deadline: None,
         }
     }
 
@@ -42,6 +49,7 @@ impl EvalLimits {
             max_value_weight: 20_000,
             max_depth: 512,
             max_nat_bits: 1 << 14,
+            deadline: None,
         }
     }
 
@@ -52,6 +60,7 @@ impl EvalLimits {
             max_value_weight: usize::MAX,
             max_depth: 16_384,
             max_nat_bits: usize::MAX,
+            deadline: None,
         }
     }
 
@@ -77,6 +86,17 @@ impl EvalLimits {
     pub fn with_max_nat_bits(mut self, bits: usize) -> Self {
         self.max_nat_bits = bits;
         self
+    }
+
+    /// Returns a copy with a wall-clock deadline (`None` disarms it).
+    pub fn with_deadline(mut self, deadline: Option<std::time::Duration>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Returns a copy with a wall-clock deadline of `ms` milliseconds.
+    pub fn with_deadline_ms(self, ms: u64) -> Self {
+        self.with_deadline(Some(std::time::Duration::from_millis(ms)))
     }
 }
 
@@ -144,11 +164,15 @@ mod tests {
             .with_max_steps(10)
             .with_max_value_weight(20)
             .with_max_depth(30)
-            .with_max_nat_bits(40);
+            .with_max_nat_bits(40)
+            .with_deadline_ms(50);
         assert_eq!(l.max_steps, 10);
         assert_eq!(l.max_value_weight, 20);
         assert_eq!(l.max_depth, 30);
         assert_eq!(l.max_nat_bits, 40);
+        assert_eq!(l.deadline, Some(std::time::Duration::from_millis(50)));
+        assert_eq!(l.with_deadline(None).deadline, None);
+        assert_eq!(EvalLimits::default().deadline, None);
     }
 
     #[test]

@@ -62,6 +62,20 @@
 //! matches sequential execution while partial counters may differ, exactly
 //! as on the backend axis.
 //!
+//! ## Panic isolation
+//!
+//! Each worker body runs inside `catch_unwind` (the per-element helpers are
+//! the only code that executes there, so the unwind boundary is one
+//! closure). A panicking shard is converted into
+//! [`EvalError::Internal`] instead of poisoning the join, and the worker
+//! flips the fold's shared [`CancelToken`](crate::cancel::CancelToken) so
+//! sibling shards stop at their next poll (best-effort — they may also run
+//! to completion). The merge reports the `Internal` error in preference to
+//! the `Cancelled` errors it induced in siblings, so the root cause is
+//! never masked by its own fallout. The process, the pool and the
+//! evaluator all survive: the caller's stats roll back at the root frame
+//! and the next query runs clean.
+//!
 //! ## What is sharded
 //!
 //! Only folds whose [`FoldClass`](crate::bytecode::FoldClass) is
@@ -77,12 +91,14 @@
 //! gating is pure strategy.
 
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread;
 
 use crate::bytecode::{Chunk, FoldClass, ReduceInsn, ReduceKind};
 use crate::error::EvalError;
-use crate::eval::{weight_capped, EvalCore, ACCUMULATOR_WEIGHT_CAP};
+use crate::eval::{weight_capped, EvalCore, ACCUMULATOR_WEIGHT_CAP, POLL_STRIDE};
+use crate::faultpoint;
 use crate::limits::{EvalLimits, EvalStats};
 use crate::setrepr::SetRepr;
 use crate::value::Value;
@@ -205,37 +221,74 @@ fn run_sharded(
             .saturating_sub(core.allocated_leaves),
         max_depth: core.limits.max_depth,
         max_nat_bits: core.limits.max_nat_bits,
+        deadline: core.limits.deadline,
     };
-    let worker = |range: Range<usize>| -> ShardRun {
-        let mut wcore = EvalCore {
-            limits: worker_limits,
-            stats: EvalStats::default(),
-            allocated_leaves: 0,
-            locals: frame.clone(),
-            frame_base: 0,
-            spine_delta: 0,
-            parallel_folds: 0,
-        };
-        let wctx = ctx.sequential();
-        let outcome = run_shard(&mut wcore, &wctx, chunk, r, d, &elements[range], extra_v);
-        ShardRun {
-            stats: wcore.stats,
-            allocated: wcore.allocated_leaves,
-            outcome,
-        }
+    // Workers share the fold's stop flag and armed deadline: a cancel (or a
+    // panic, below) in any shard reaches every sibling at its next poll.
+    let cancel = core.cancel.clone();
+    let deadline_at = core.deadline_at;
+    let worker = |shard: usize, range: Range<usize>| -> ShardRun {
+        // The unwind boundary: everything a shard executes — including the
+        // injected `worker_panic` fault — is caught here, converted into a
+        // structured `Internal` error, and the shared token is flipped so
+        // sibling shards stop early (best-effort). The join below can then
+        // never see a poisoned handle.
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            if faultpoint::armed(faultpoint::WORKER_PANIC) == Some(shard as u64) {
+                panic!("fault injection: worker_panic@shard_{shard}");
+            }
+            let mut wcore = EvalCore {
+                limits: worker_limits,
+                stats: EvalStats::default(),
+                allocated_leaves: 0,
+                locals: frame.clone(),
+                frame_base: 0,
+                spine_delta: 0,
+                parallel_folds: 0,
+                cancel: cancel.clone(),
+                deadline_at,
+                next_poll: POLL_STRIDE,
+                last_error_stats: None,
+            };
+            let wctx = ctx.sequential();
+            let outcome = run_shard(&mut wcore, &wctx, chunk, r, d, &elements[range], extra_v);
+            ShardRun {
+                stats: wcore.stats,
+                allocated: wcore.allocated_leaves,
+                outcome,
+            }
+        }));
+        caught.unwrap_or_else(|payload| {
+            cancel.cancel();
+            ShardRun {
+                stats: EvalStats::default(),
+                allocated: 0,
+                outcome: Err(EvalError::Internal {
+                    detail: format!(
+                        "shard {shard} worker panicked: {}",
+                        panic_detail(payload.as_ref())
+                    ),
+                }),
+            }
+        })
     };
     let runs: Vec<ShardRun> = thread::scope(|scope| {
         let handles: Vec<_> = bounds[1..]
             .iter()
-            .map(|range| {
+            .enumerate()
+            .map(|(i, range)| {
                 let range = range.clone();
-                scope.spawn(|| worker(range))
+                scope.spawn(move || worker(i + 1, range))
             })
             .collect();
         let mut runs = Vec::with_capacity(k);
-        runs.push(worker(bounds[0].clone()));
+        runs.push(worker(0, bounds[0].clone()));
         for handle in handles {
-            runs.push(handle.join().expect("shard worker panicked"));
+            runs.push(
+                handle
+                    .join()
+                    .expect("unreachable: worker bodies are unwind-caught"),
+            );
         }
         runs
     });
@@ -358,6 +411,18 @@ fn merge(
     runs: Vec<ShardRun>,
     base_v: &Value,
 ) -> Result<Value, EvalError> {
+    if let Some(ms) = faultpoint::armed(faultpoint::MERGE_DELAY) {
+        thread::sleep(std::time::Duration::from_millis(ms));
+    }
+    // A worker panic outranks every sibling error: the panicking shard
+    // cancelled the others through the shared token, so an earlier shard
+    // may well report `Cancelled` — the fallout must not mask the cause.
+    if let Some(detail) = runs.iter().find_map(|run| match &run.outcome {
+        Err(EvalError::Internal { detail }) => Some(detail.clone()),
+        _ => None,
+    }) {
+        return Err(EvalError::Internal { detail });
+    }
     let mut datas: Vec<ShardData> = Vec::with_capacity(runs.len());
     for run in runs {
         // Additive counters first, with the sequential loop's limit checks
@@ -439,6 +504,18 @@ fn merge(
             let merged = merged.expect("at least two shards were run");
             Ok(Value::Set(Arc::new(merged)))
         }
+    }
+}
+
+/// Renders a panic payload for the `Internal` error detail (panics carry a
+/// `&str` or `String` in practice; anything else gets a placeholder).
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
     }
 }
 

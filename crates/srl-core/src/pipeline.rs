@@ -125,6 +125,17 @@ impl Pipeline {
         self
     }
 
+    /// Arms a wall-clock deadline of `ms` milliseconds on every evaluation
+    /// run by produced evaluators (shorthand for
+    /// [`EvalLimits::with_deadline_ms`] on the configured budget). A query
+    /// that overruns it fails with
+    /// [`EvalError::DeadlineExceeded`](crate::error::EvalError::DeadlineExceeded)
+    /// and leaves the evaluator reusable.
+    pub fn deadline_ms(mut self, ms: u64) -> Self {
+        self.limits = self.limits.with_deadline_ms(ms);
+        self
+    }
+
     /// Sets the execution backend configured into produced evaluators.
     pub fn with_backend(mut self, backend: ExecBackend) -> Self {
         self.backend = backend;

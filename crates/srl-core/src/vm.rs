@@ -474,7 +474,7 @@ pub(crate) fn boolacc_element(
     lambda_base: usize,
     d: usize,
 ) -> Result<bool, EvalError> {
-    core.stats.reduce_iterations += 1;
+    core.note_iteration()?;
     let applied = apply_app(core, ctx, chunk, app, x, elem, extra, lambda_base)?;
     // if at d+2, condition slot read at d+3 …
     core.bump_batch(2, d + 3)?;
@@ -509,7 +509,7 @@ pub(crate) fn insertapp_element(
     lambda_base: usize,
     d: usize,
 ) -> Result<Value, EvalError> {
-    core.stats.reduce_iterations += 1;
+    core.note_iteration()?;
     let applied = apply_app(core, ctx, chunk, app, x, elem, extra, lambda_base)?;
     // insert at d+2, two slot reads at d+3.
     core.bump_batch(3, d + 3)?;
@@ -534,7 +534,7 @@ pub(crate) fn filter_element(
     lambda_base: usize,
     d: usize,
 ) -> Result<Option<Value>, EvalError> {
-    core.stats.reduce_iterations += 1;
+    core.note_iteration()?;
     let applied = apply_app(core, ctx, chunk, app, x, elem, extra, lambda_base)?;
     // if at d+2, flag selector at d+3, its slot read at d+4.
     core.bump_batch(3, d + 4)?;
@@ -579,7 +579,7 @@ pub(crate) fn monotone_element(
     lambda_base: usize,
     accumulator: Value,
 ) -> Result<(Value, usize), EvalError> {
-    core.stats.reduce_iterations += 1;
+    core.note_iteration()?;
     let applied = apply_app(core, ctx, chunk, app, x, elem, extra, lambda_base)?;
     core.set_reg(x, applied);
     core.set_reg(x + 1, accumulator);
@@ -739,7 +739,7 @@ fn run_reduce(
                     other => {
                         // First iteration, replayed: the identity app, then
                         // the insert body's steps, then its shape error.
-                        core.stats.reduce_iterations += 1;
+                        core.note_iteration()?;
                         core.bump_batch(4, d + 3)?;
                         return Err(EvalError::Shape {
                             operator: "insert",
@@ -812,7 +812,7 @@ fn run_reduce(
         } => {
             let mut acc = base_v;
             for elem in items.as_slice() {
-                core.stats.reduce_iterations += 1;
+                core.note_iteration()?;
                 let applied = apply_app(core, ctx, chunk, *app, x, elem.clone(), &extra_v, lb)?;
                 core.bump_batch(3, d + 4)?;
                 let flag = match sel_component_ref(&applied, *cond_index)? {
@@ -907,7 +907,7 @@ fn generic_fold(
     let acc_result = chunk.block(acc).result();
     let mut accumulator = base_v;
     for elem in items {
-        core.stats.reduce_iterations += 1;
+        core.note_iteration()?;
         let applied = apply_app(core, ctx, chunk, app, x, elem.clone(), extra_v, lambda_base)?;
         core.set_reg(x, applied);
         core.set_reg(x + 1, accumulator);

@@ -1,0 +1,303 @@
+//! srl-fuzz — the fuzzing front door for the text pipeline.
+//!
+//! Throws three families of deterministic pseudo-random inputs at the full
+//! `Source → parse → check → lower → run` path and asserts the robustness
+//! contract end to end:
+//!
+//! * **no panic** — every input, however hostile, produces `Ok` or a
+//!   structured error (`ParseError` / `CheckError` / `EvalError`), never an
+//!   unwind out of the library;
+//! * **parse ∘ print is a fixpoint** — any program the parser accepts
+//!   re-parses from its canonical printing to the same canonical printing;
+//! * **bounded execution** — accepted programs run their zero-parameter
+//!   definitions under tight budgets plus a wall-clock deadline, so even an
+//!   accidentally expensive generated program cannot wedge the harness.
+//!
+//! The input families:
+//!
+//! 1. **corpus mutation** — byte-level edits (flips, splices, deletions,
+//!    duplications) of the embedded example programs;
+//! 2. **token soup** — syntactically plausible token sequences with no
+//!    grammatical intent;
+//! 3. **nesting bombs** — expressions nested to around the parser's
+//!    recursion cap, probing the depth guard from both sides.
+//!
+//! Deterministic by construction: iteration `i` of a run with seed `s` uses
+//! an RNG seeded with `s + i`, so `SRL_FUZZ_SEED=... SRL_FUZZ_ITERS=...`
+//! reproduces a failure exactly. Knobs:
+//!
+//! * `SRL_FUZZ_ITERS` — iterations (default 1000; CI smoke uses a few
+//!   hundred, local soaks use 10k+);
+//! * `SRL_FUZZ_SEED`  — base seed (default 0).
+//!
+//! Exit code 0 on a clean run, 1 with the offending input on stderr when
+//! any iteration panics or breaks the fixpoint.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::process::ExitCode;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use srl_core::pipeline::{Pipeline, Source};
+use srl_core::EvalLimits;
+use srl_syntax::frontend::TextFrontend;
+use srl_syntax::{parse_expr, parse_program, print_expr, print_program};
+
+/// Embedded seed corpus: the example programs ride in the binary so the
+/// fuzzer needs no filesystem layout to be useful.
+const CORPUS: &[&str] = &[
+    include_str!("../../../examples/srl/membership.srl"),
+    include_str!("../../../examples/srl/powerset.srl"),
+    include_str!("../../../examples/srl/arith.srl"),
+    include_str!("../../../examples/srl/apath.srl"),
+    // Small handwritten seeds covering forms the examples underuse.
+    "f(x) = let y = insert(x, emptyset) in [y, choose(y)]\n",
+    "g(S) = set-reduce(S, lambda(x, t) (x = t), lambda(a, b) if a then true else b, false, choose(S))\n",
+    "h(L) = list-reduce(L, lambda(x, t) x, lambda(a, b) cons(a, b), emptylist, emptyset)\n",
+    "k(n) = (n + 1) * 2\n",
+];
+
+/// Vocabulary for the token-soup generator: every keyword, operator and
+/// delimiter of the surface syntax plus a few identifiers and literals.
+const VOCAB: &[&str] = &[
+    "set-reduce",
+    "list-reduce",
+    "lambda",
+    "if",
+    "then",
+    "else",
+    "let",
+    "in",
+    "insert",
+    "choose",
+    "rest",
+    "cons",
+    "head",
+    "tail",
+    "new",
+    "emptyset",
+    "emptylist",
+    "true",
+    "false",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    "<",
+    ">",
+    ",",
+    "=",
+    "<=",
+    "+",
+    "*",
+    ".",
+    ".1",
+    ".2",
+    "x",
+    "y",
+    "S",
+    "acc",
+    "f",
+    "main",
+    "d0",
+    "d1",
+    "d42",
+    "0",
+    "1",
+    "9999999999999999999999",
+    "//",
+    "\u{3bb}", // a non-ASCII byte sequence the lexer must reject cleanly
+];
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One mutated-corpus input: a random example with a handful of byte edits.
+fn mutate_corpus(rng: &mut StdRng) -> String {
+    let mut bytes = CORPUS[rng.gen_range(0..CORPUS.len())].as_bytes().to_vec();
+    let edits = rng.gen_range(1..12usize);
+    for _ in 0..edits {
+        if bytes.is_empty() {
+            break;
+        }
+        let at = rng.gen_range(0..bytes.len());
+        match rng.gen_range(0..5u32) {
+            // Flip a byte (possibly producing invalid UTF-8 — the lossy
+            // conversion below folds that into the "weird input" bucket).
+            0 => bytes[at] = bytes[at].wrapping_add(rng.gen_range(1..255u8)),
+            // Delete a span.
+            1 => {
+                let end = (at + rng.gen_range(1..8usize)).min(bytes.len());
+                bytes.drain(at..end);
+            }
+            // Insert a random vocabulary word.
+            2 => {
+                let word = VOCAB[rng.gen_range(0..VOCAB.len())];
+                bytes.splice(at..at, word.bytes());
+            }
+            // Duplicate a span onto a random position.
+            3 => {
+                let end = (at + rng.gen_range(1..16usize)).min(bytes.len());
+                let span: Vec<u8> = bytes[at..end].to_vec();
+                let dest = rng.gen_range(0..bytes.len());
+                bytes.splice(dest..dest, span);
+            }
+            // Truncate.
+            _ => bytes.truncate(at),
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// One token-soup input: plausible tokens, no grammar.
+fn token_soup(rng: &mut StdRng) -> String {
+    let words = rng.gen_range(1..120usize);
+    let mut out = String::new();
+    // Sometimes shape it like a definition so it gets past the prelude.
+    if rng.gen_bool(0.5) {
+        out.push_str("main() = ");
+    }
+    for _ in 0..words {
+        out.push_str(VOCAB[rng.gen_range(0..VOCAB.len())]);
+        if rng.gen_bool(0.7) {
+            out.push(' ');
+        }
+    }
+    out
+}
+
+/// One nesting bomb: open-delimiters stacked to around the parser's depth
+/// cap, sometimes balanced, sometimes left hanging.
+fn nesting_bomb(rng: &mut StdRng) -> String {
+    let open = ["(", "{", "[", "<", "insert(", "if ("];
+    let close = [")", "}", "]", ">", ", emptyset)", ") then x else x"];
+    let pick = rng.gen_range(0..open.len());
+    let depth = rng.gen_range(1..400usize);
+    let mut out = String::from("main() = ");
+    for _ in 0..depth {
+        out.push_str(open[pick]);
+    }
+    out.push('x');
+    if rng.gen_bool(0.7) {
+        for _ in 0..depth {
+            out.push_str(close[pick]);
+        }
+    }
+    out
+}
+
+/// What one iteration observed (for the closing tally).
+#[derive(Default)]
+struct Tally {
+    parsed: u64,
+    rejected: u64,
+    ran: u64,
+    eval_errors: u64,
+}
+
+/// Exercises one input through the whole pipeline. Everything here returns
+/// structured errors by contract; any panic unwinds to the caller's
+/// `catch_unwind` and fails the run.
+fn exercise(input: &str, tally: &mut Tally) {
+    // Expression path: parse and, on accept, check the printer fixpoint.
+    if let Ok(expr) = parse_expr(input) {
+        let printed = print_expr(&expr);
+        let reparsed = parse_expr(&printed).unwrap_or_else(|e| {
+            panic!("printed expression no longer parses: {e:?}\nprinted: {printed}")
+        });
+        assert_eq!(
+            printed,
+            print_expr(&reparsed),
+            "parse ∘ print is not a fixpoint for expressions"
+        );
+    }
+
+    // Program path.
+    let program = match parse_program(input) {
+        Ok(program) => program,
+        Err(_) => {
+            tally.rejected += 1;
+            return;
+        }
+    };
+    tally.parsed += 1;
+    let printed = print_program(&program);
+    let reparsed = parse_program(&printed)
+        .unwrap_or_else(|e| panic!("printed program no longer parses: {e:?}\nprinted: {printed}"));
+    assert_eq!(
+        printed,
+        print_program(&reparsed),
+        "parse ∘ print is not a fixpoint for programs"
+    );
+
+    // Accepted programs must also check + lower + run without panicking.
+    // Tight budgets and a deadline keep even an exponential accident quick.
+    let limits = EvalLimits::small()
+        .with_max_steps(200_000)
+        .with_deadline_ms(50);
+    let pipeline = Pipeline::new().with_limits(limits);
+    let source = Source::new("<fuzz>", input.to_string());
+    let artifact = match pipeline.compile_source(&source) {
+        Ok(artifact) => artifact,
+        Err(_) => return, // structured check error: fine
+    };
+    let callable: Vec<String> = artifact
+        .program()
+        .defs
+        .iter()
+        .filter(|def| def.params.is_empty())
+        .map(|def| def.name.clone())
+        .collect();
+    for name in callable {
+        match artifact.call(&name, &[]) {
+            Ok(_) => tally.ran += 1,
+            Err(_) => tally.eval_errors += 1, // structured: fine
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let iters = env_u64("SRL_FUZZ_ITERS", 1000);
+    let seed = env_u64("SRL_FUZZ_SEED", 0);
+
+    // The harness prints its own report on failure; the default per-panic
+    // backtrace noise would bury it.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut tally = Tally::default();
+    for i in 0..iters {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i));
+        let input = match rng.gen_range(0..3u32) {
+            0 => mutate_corpus(&mut rng),
+            1 => token_soup(&mut rng),
+            _ => nesting_bomb(&mut rng),
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| exercise(&input, &mut tally)));
+        if let Err(payload) = outcome {
+            let detail = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("non-string panic payload");
+            eprintln!("srl-fuzz: iteration {i} (seed {seed}) PANICKED: {detail}");
+            eprintln!("--- offending input ({} bytes) ---", input.len());
+            eprintln!("{input}");
+            eprintln!(
+                "--- reproduce with SRL_FUZZ_SEED={seed} SRL_FUZZ_ITERS={} ---",
+                i + 1
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "srl-fuzz: {iters} iterations clean (seed {seed}): {} parsed, {} rejected, {} ran, {} structured eval errors",
+        tally.parsed, tally.rejected, tally.ran, tally.eval_errors
+    );
+    ExitCode::SUCCESS
+}

@@ -87,6 +87,14 @@ pub enum ParseErrorKind {
     /// `lambda` appeared somewhere other than the `app`/`acc` argument of a
     /// reduce (lambdas are not first-class in SRL).
     LambdaPosition,
+    /// Expressions or value literals nested deeper than
+    /// [`MAX_PARSE_DEPTH`] — the recursive-descent parser bounds its own
+    /// Rust stack before a hostile `((((…))))` can overflow it. The span
+    /// points at the token where the limit was crossed.
+    NestingTooDeep {
+        /// The configured limit.
+        limit: usize,
+    },
 }
 
 /// A lexing or parsing error with its source location.
@@ -137,6 +145,10 @@ impl fmt::Display for ParseError {
             ParseErrorKind::LambdaPosition => write!(
                 f,
                 "`lambda` is only valid as the app/acc argument of set-reduce or list-reduce"
+            ),
+            ParseErrorKind::NestingTooDeep { limit } => write!(
+                f,
+                "expression nesting exceeds the parser's depth limit of {limit}"
             ),
         }
     }
@@ -234,9 +246,21 @@ pub fn parse_value(source: &str) -> Result<Value, ParseError> {
     Ok(value)
 }
 
+/// Hard cap on parse-time nesting of expressions and value literals. Each
+/// nesting level costs a handful of recursive-descent Rust frames (several
+/// KiB in debug builds — a 2 MiB test-thread stack dies between 200 and 300
+/// levels), so the cap keeps hostile input (`((((…))))`) from overflowing
+/// the stack long before `EvalLimits::max_depth` could ever see the
+/// program. Still generous relative to real programs: the deepest program
+/// in the repository nests below 40.
+pub const MAX_PARSE_DEPTH: usize = 128;
+
 struct Parser<'s> {
     tokens: Vec<Token<'s>>,
     pos: usize,
+    /// Current expression/value nesting depth, bounded by
+    /// [`MAX_PARSE_DEPTH`].
+    depth: usize,
 }
 
 impl<'s> Parser<'s> {
@@ -244,7 +268,25 @@ impl<'s> Parser<'s> {
         Ok(Parser {
             tokens: lex(source)?,
             pos: 0,
+            depth: 0,
         })
+    }
+
+    /// Enters one nesting level of `expr`/`value` recursion; fails with a
+    /// caret-spanned [`ParseErrorKind::NestingTooDeep`] at the current
+    /// token once [`MAX_PARSE_DEPTH`] is crossed. Callers must pair it
+    /// with a `depth -= 1` on every path (see `expr` and `value`).
+    fn enter_nesting(&mut self) -> Result<(), ParseError> {
+        if self.depth >= MAX_PARSE_DEPTH {
+            return Err(ParseError {
+                kind: ParseErrorKind::NestingTooDeep {
+                    limit: MAX_PARSE_DEPTH,
+                },
+                span: self.peek().span,
+            });
+        }
+        self.depth += 1;
+        Ok(())
     }
 
     fn peek(&self) -> Token<'s> {
@@ -386,6 +428,13 @@ impl<'s> Parser<'s> {
     // ------------------------------------------------------------------
 
     fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.enter_nesting()?;
+        let result = self.expr_at_depth();
+        self.depth -= 1;
+        result
+    }
+
+    fn expr_at_depth(&mut self) -> Result<Expr, ParseError> {
         let mut expr = self.primary()?;
         // Postfix selectors: `e.1.2`.
         while self.peek().kind == TokenKind::Dot {
@@ -690,6 +739,13 @@ impl<'s> Parser<'s> {
     // ------------------------------------------------------------------
 
     fn value(&mut self) -> Result<Value, ParseError> {
+        self.enter_nesting()?;
+        let result = self.value_at_depth();
+        self.depth -= 1;
+        result
+    }
+
+    fn value_at_depth(&mut self) -> Result<Value, ParseError> {
         let tok = self.peek();
         match tok.kind {
             TokenKind::Ident("true") => {
@@ -972,5 +1028,60 @@ mod tests {
             Expr::NatConst(n) => assert_eq!(n.to_string(), big),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn nesting_below_the_cap_still_parses() {
+        let depth = MAX_PARSE_DEPTH - 1;
+        let text = format!("{}x{}", "(".repeat(depth), ")".repeat(depth));
+        assert_eq!(parse_expr(&text).unwrap(), var("x"));
+    }
+
+    /// Golden test for the recursion guard: the 513th `(` (byte offset 512)
+    /// crosses [`MAX_PARSE_DEPTH`], and the caret lands exactly on it.
+    #[test]
+    fn hostile_nesting_reports_a_spanned_error_instead_of_overflowing() {
+        let depth = MAX_PARSE_DEPTH + 88;
+        let text = format!("{}x{}", "(".repeat(depth), ")".repeat(depth));
+        let err = parse_expr(&text).unwrap_err();
+        assert_eq!(
+            err.kind,
+            ParseErrorKind::NestingTooDeep {
+                limit: MAX_PARSE_DEPTH
+            }
+        );
+        assert_eq!(err.span, Span::new(MAX_PARSE_DEPTH, MAX_PARSE_DEPTH + 1));
+        let diag = err.to_diagnostic("hostile.srl", &text);
+        assert_eq!((diag.line, diag.col), (1, MAX_PARSE_DEPTH + 1));
+        assert!(
+            diag.message
+                .contains(&format!("depth limit of {MAX_PARSE_DEPTH}")),
+            "{}",
+            diag.message
+        );
+        assert!(diag.excerpt.contains('^'), "{}", diag.excerpt);
+    }
+
+    #[test]
+    fn hostile_value_nesting_is_capped_too() {
+        let depth = MAX_PARSE_DEPTH + 40;
+        let text = "{".repeat(depth);
+        let err = parse_value(&text).unwrap_err();
+        assert_eq!(
+            err.kind,
+            ParseErrorKind::NestingTooDeep {
+                limit: MAX_PARSE_DEPTH
+            }
+        );
+        assert_eq!(err.span, Span::new(MAX_PARSE_DEPTH, MAX_PARSE_DEPTH + 1));
+        // Nested tuples inside expressions ride the same guard.
+        let text = format!("{}x{}", "[".repeat(depth), "]".repeat(depth));
+        let err = parse_expr(&text).unwrap_err();
+        assert_eq!(
+            err.kind,
+            ParseErrorKind::NestingTooDeep {
+                limit: MAX_PARSE_DEPTH
+            }
+        );
     }
 }
