@@ -10,13 +10,23 @@
 //!   syntactic proper-hom recognition, randomised algebraic testing of
 //!   combiners, and whole-query permutation testing that produces concrete
 //!   order-dependence witnesses.
+//!
+//! Plus one analysis over the *compiled* artifact:
+//!
+//! * [`interproc`] — the report layer for the compiler's interprocedural
+//!   fold classification (`srl_core::analysis`): per-definition spine
+//!   summaries and one verdict row per reduce instruction, with the reason
+//!   (fused shape, call-threaded spine, or named obstacle) rendered for
+//!   `srl analyze` and the REPL.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod interproc;
 pub mod order;
 pub mod syntactic;
 
+pub use interproc::{analyze_compiled, analyze_expression, FoldRow, InterprocReport, SpineRow};
 pub use order::{
     analyze_order_dependence, combiner_seems_commutative_associative, permutation_test,
     provably_order_independent, OrderVerdict,

@@ -53,20 +53,31 @@ pub enum OrderVerdict {
 
 /// Syntactic shapes of accumulators known to be commutative and associative
 /// (and therefore order-insensitive): boolean OR / AND / XOR folds, set
-/// union by insertion, natural-number sums, max/min by comparison.
+/// union by insertion, natural-number sums and products, max/min by
+/// comparison.
 fn combiner_is_proper(acc: &Lambda) -> bool {
     let x = acc.x.as_str();
     let y = acc.y.as_str();
-    matches!(
-        classify_combiner(&acc.body, x, y),
-        Some(CombinerKind::Or)
-            | Some(CombinerKind::And)
-            | Some(CombinerKind::Xor)
-            | Some(CombinerKind::Insert)
-            | Some(CombinerKind::NatAdd)
-            | Some(CombinerKind::Max)
-            | Some(CombinerKind::Min)
-    )
+    match classify_combiner(&acc.body, x, y) {
+        Some(
+            CombinerKind::Or
+            | CombinerKind::And
+            | CombinerKind::Xor
+            | CombinerKind::Insert
+            | CombinerKind::NatAdd
+            | CombinerKind::NatMul
+            | CombinerKind::Max
+            | CombinerKind::Min,
+        ) => true,
+        // `insert(y, x)` is a recognized shape but NOT proper: the fold
+        // step becomes `acc' = h(x) ∪ {acc}` — it nests the accumulator
+        // inside the new element's set, so the result's nesting structure
+        // encodes the traversal order. With elements a, b and base ∅:
+        // a-then-b yields `b ∪ {a ∪ {∅}}`, b-then-a yields `a ∪ {b ∪ {∅}}`.
+        // The permutation test refutes it with a concrete witness (see the
+        // unit tests); classifying it proper would be unsound.
+        Some(CombinerKind::InsertSwapped) | None => false,
+    }
 }
 
 #[derive(Debug, PartialEq, Eq)]
@@ -75,7 +86,12 @@ enum CombinerKind {
     And,
     Xor,
     Insert,
+    /// `insert(y, x)` — the operand-swapped insert: recognized so the
+    /// analyzer can name it, but order-*dependent* (see
+    /// [`combiner_is_proper`]).
+    InsertSwapped,
     NatAdd,
+    NatMul,
     Max,
     Min,
 }
@@ -115,8 +131,12 @@ fn classify_combiner(body: &Expr, x: &str, y: &str) -> Option<CombinerKind> {
             }
         }
         Expr::Insert(e, s) if is_var(e, x) && is_var(s, y) => Some(CombinerKind::Insert),
+        Expr::Insert(e, s) if is_var(e, y) && is_var(s, x) => Some(CombinerKind::InsertSwapped),
         Expr::NatAdd(a, b) if (is_var(a, x) && is_var(b, y)) || (is_var(a, y) && is_var(b, x)) => {
             Some(CombinerKind::NatAdd)
+        }
+        Expr::NatMul(a, b) if (is_var(a, x) && is_var(b, y)) || (is_var(a, y) && is_var(b, x)) => {
+            Some(CombinerKind::NatMul)
         }
         _ => None,
     }
@@ -291,6 +311,57 @@ mod tests {
             "b",
             cons(var("a"), var("b"))
         )));
+    }
+
+    #[test]
+    fn nat_mul_is_proper_in_both_operand_orders() {
+        assert!(combiner_is_proper(&lam(
+            "a",
+            "b",
+            nat_mul(var("a"), var("b"))
+        )));
+        assert!(combiner_is_proper(&lam(
+            "a",
+            "b",
+            nat_mul(var("b"), var("a"))
+        )));
+        // The randomised checker reaches the same verdict.
+        assert!(combiner_seems_commutative_associative(
+            &lam("a", "b", nat_mul(var("a"), var("b"))),
+            64,
+            4
+        ));
+    }
+
+    #[test]
+    fn swapped_insert_is_recognised_but_rejected() {
+        // The shape is named by the classifier...
+        assert_eq!(
+            classify_combiner(&insert(var("b"), var("a")), "a", "b"),
+            Some(CombinerKind::InsertSwapped)
+        );
+        // ...but it is not proper: `insert(acc, x)` nests the accumulator
+        // inside each element, so the result encodes traversal order.
+        assert!(!combiner_is_proper(&lam(
+            "a",
+            "b",
+            insert(var("b"), var("a"))
+        )));
+        // The permutation test backs the rejection with a concrete witness:
+        // folding set-valued elements with the swapped insert produces a
+        // nesting that changes under a domain renaming.
+        let p = Program::srl();
+        let expr = set_reduce(
+            var("S"),
+            lam("x", "T", var("x")),
+            lam("a", "b", insert(var("b"), var("a"))),
+            empty_set(),
+            empty_set(),
+        );
+        assert!(!provably_order_independent(&p, &expr));
+        let env = Env::new().bind("S", Value::set([atoms([1]), atoms([2, 3])]));
+        let verdict = analyze_order_dependence(&p, &expr, &env, 12, 16);
+        assert!(matches!(verdict, OrderVerdict::ProvedDependent { .. }));
     }
 
     #[test]

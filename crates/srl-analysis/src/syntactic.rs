@@ -15,6 +15,7 @@
 //! [`analyze_expr`] / [`analyze_program`] compute the measures;
 //! [`classify`] maps them onto the paper's fragments and complexity classes.
 
+use std::collections::HashMap;
 use std::fmt;
 
 use srl_core::ast::Expr;
@@ -95,7 +96,7 @@ pub struct Classification {
 /// `program`).
 pub fn analyze_expr(program: &Program, expr: &Expr) -> Measures {
     let mut m = Measures {
-        depth: expanded_depth(program, expr, 0),
+        depth: expanded_depth(program, expr),
         width: max_tuple_width(program, expr),
         construction_set_height: construction_height(program, expr),
         uses_new: false,
@@ -105,7 +106,7 @@ pub fn analyze_expr(program: &Program, expr: &Expr) -> Measures {
         set_valued_accumulator: false,
         nodes: expr.node_count(),
     };
-    scan_flags(program, expr, &mut m, false);
+    scan_flags(program, expr, &mut m, false, &mut Vec::new());
     m
 }
 
@@ -158,7 +159,8 @@ pub fn classify(measures: &Measures, input_set_height: usize) -> Classification 
     } else {
         Fragment::Srl
     };
-    let time_exponent = measures.width * measures.depth;
+    // Saturating: a recursive (invalid) program reports `usize::MAX` depth.
+    let time_exponent = measures.width.saturating_mul(measures.depth);
     let explanation = match fragment {
         Fragment::Basrl => format!(
             "accumulators never build sets and set-height ≤ 1: BASRL, so the query is in LOGSPACE (Theorem 4.13); Proposition 6.1 additionally bounds time by O(n^{time_exponent}·T_ins)"
@@ -189,33 +191,53 @@ fn resolve<'p>(program: &'p Program, name: &str) -> Option<&'p Expr> {
     program.lookup(name).map(|d| &d.body)
 }
 
-/// Reduce-depth with `Call`s expanded (bounded by the program being
-/// non-recursive, which `Program::validate` guarantees).
-fn expanded_depth(program: &Program, expr: &Expr, fuel: usize) -> usize {
-    if fuel > 64 {
-        return 0;
-    }
-    let child_max = expr
-        .children()
-        .iter()
-        .map(|c| expanded_depth(program, c, fuel))
-        .chain(
-            expr.lambdas()
-                .iter()
-                .map(|l| expanded_depth(program, &l.body, fuel)),
-        )
-        .max()
-        .unwrap_or(0);
-    match expr {
-        Expr::SetReduce { .. } | Expr::ListReduce { .. } => 1 + child_max,
-        Expr::Call(name, _) => {
-            let callee = resolve(program, name)
-                .map(|b| expanded_depth(program, b, fuel + 1))
-                .unwrap_or(0);
-            child_max.max(callee)
+/// Reduce-depth with `Call`s expanded. Non-recursion (`Program::validate`)
+/// makes the expansion finite, so the result is **exact for any chain
+/// length** — the old implementation burned one unit of fuel per call edge
+/// and silently returned 0 past 64, under-reporting the depth of deep call
+/// chains. Per-definition depths are context-independent, so a memo keeps
+/// the walk linear even on diamond-shaped call graphs. A call cycle (only
+/// constructible through the non-validating `Program::define`) makes the
+/// expansion unbounded: the depth **saturates** to `usize::MAX` instead of
+/// zeroing out, and every arithmetic step above it is saturating.
+fn expanded_depth(program: &Program, expr: &Expr) -> usize {
+    fn walk(
+        program: &Program,
+        expr: &Expr,
+        path: &mut Vec<String>,
+        memo: &mut HashMap<String, usize>,
+    ) -> usize {
+        let mut child_max = 0usize;
+        for c in expr.children() {
+            child_max = child_max.max(walk(program, c, path, memo));
         }
-        _ => child_max,
+        for l in expr.lambdas() {
+            child_max = child_max.max(walk(program, &l.body, path, memo));
+        }
+        match expr {
+            Expr::SetReduce { .. } | Expr::ListReduce { .. } => child_max.saturating_add(1),
+            Expr::Call(name, _) => {
+                let callee = if let Some(&d) = memo.get(name) {
+                    d
+                } else if path.iter().any(|n| n == name) {
+                    // On a cycle every def involved has unbounded
+                    // expansion; the callers below memoize that verdict.
+                    usize::MAX
+                } else if let Some(body) = resolve(program, name) {
+                    path.push(name.clone());
+                    let d = walk(program, body, path, memo);
+                    path.pop();
+                    memo.insert(name.clone(), d);
+                    d
+                } else {
+                    0
+                };
+                child_max.max(callee)
+            }
+            _ => child_max,
+        }
     }
+    walk(program, expr, &mut Vec::new(), &mut HashMap::new())
 }
 
 fn max_tuple_width(program: &Program, expr: &Expr) -> usize {
@@ -298,7 +320,13 @@ fn construction_height(program: &Program, expr: &Expr) -> usize {
     height(program, expr, &mut Vec::new())
 }
 
-fn scan_flags(program: &Program, expr: &Expr, m: &mut Measures, inside_acc: bool) {
+fn scan_flags(
+    program: &Program,
+    expr: &Expr,
+    m: &mut Measures,
+    inside_acc: bool,
+    seen: &mut Vec<(String, bool)>,
+) {
     match expr {
         Expr::New(_) => m.uses_new = true,
         Expr::EmptyList
@@ -314,20 +342,27 @@ fn scan_flags(program: &Program, expr: &Expr, m: &mut Measures, inside_acc: bool
             }
         }
         Expr::Call(name, _) => {
-            if let Some(body) = resolve(program, name) {
-                // Treat the callee as inlined at this position.
-                scan_flags(program, body, m, inside_acc);
+            // Treat the callee as inlined at this position. The flags are
+            // monotone, so each definition needs scanning at most once per
+            // accumulator context — which also terminates the walk on
+            // recursive (non-validated) programs.
+            let key = (name.clone(), inside_acc);
+            if !seen.contains(&key) {
+                seen.push(key);
+                if let Some(body) = resolve(program, name) {
+                    scan_flags(program, body, m, inside_acc, seen);
+                }
             }
         }
         _ => {}
     }
     for c in expr.children() {
-        scan_flags(program, c, m, inside_acc);
+        scan_flags(program, c, m, inside_acc, seen);
     }
     match expr {
         Expr::SetReduce { app, acc, .. } | Expr::ListReduce { app, acc, .. } => {
-            scan_flags(program, &app.body, m, inside_acc);
-            scan_flags(program, &acc.body, m, true);
+            scan_flags(program, &app.body, m, inside_acc, seen);
+            scan_flags(program, &acc.body, m, true, seen);
             if result_builds_set(program, &acc.body, &mut Vec::new()) {
                 m.set_valued_accumulator = true;
             }
@@ -423,6 +458,64 @@ mod tests {
         );
         let m = analyze_expr(&p, &call("collect", [var("T")]));
         assert_eq!(m.depth, 1);
+    }
+
+    #[test]
+    fn deep_call_chains_report_exact_depth() {
+        // Regression for the fuel cutoff: a 70-deep chain of defs, each
+        // wrapping one more reduce around a call of the previous one, used
+        // to zero out past 64 call expansions and under-report the depth.
+        let mut p = Program::srl().define(
+            "f0",
+            ["S"],
+            set_reduce(
+                var("S"),
+                Lambda::identity(),
+                lam("x", "a", insert(var("x"), var("a"))),
+                empty_set(),
+                empty_set(),
+            ),
+        );
+        for i in 1..=69usize {
+            p = p.define(
+                format!("f{i}"),
+                ["S"],
+                set_reduce(
+                    var("S"),
+                    Lambda::identity(),
+                    lam("x", "a", call(format!("f{}", i - 1), [var("a")])),
+                    empty_set(),
+                    empty_set(),
+                ),
+            );
+        }
+        let m = analyze_expr(&p, &call("f69", [var("T")]));
+        assert_eq!(m.depth, 70);
+        let c = classify(&m, 1);
+        assert_eq!(c.time_exponent, 70);
+    }
+
+    #[test]
+    fn recursive_programs_saturate_instead_of_zeroing() {
+        // `Program::define` does not validate, so a recursive program is
+        // constructible; its expansion is unbounded and the depth (and the
+        // Proposition 6.1 exponent) must saturate, not silently drop to 0
+        // or overflow.
+        let p = Program::srl().define(
+            "spin",
+            ["S"],
+            set_reduce(
+                var("S"),
+                Lambda::identity(),
+                lam("x", "a", call("spin", [var("a")])),
+                empty_set(),
+                empty_set(),
+            ),
+        );
+        let m = analyze_expr(&p, &call("spin", [var("T")]));
+        assert_eq!(m.depth, usize::MAX);
+        let c = classify(&m, 1);
+        assert_eq!(c.time_exponent, usize::MAX);
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! ```text
 //! srl run <file.srl> [--call NAME] [--arg VALUE]... [--backend vm|tree]
 //!                    [--threads N] [--limits default|small|benchmark] [--json]
-//! srl check <file.srl>
+//! srl check <file.srl> [--json]
+//! srl analyze <file.srl> [--json]
 //! srl print <file.srl>
 //! srl disasm <file.srl>
 //! srl repl
@@ -43,6 +44,7 @@ fn main() -> ExitCode {
     match command {
         "run" => run(rest),
         "check" => check(rest),
+        "analyze" => analyze(rest),
         "print" => print_cmd(rest),
         "disasm" => disasm(rest),
         "repl" => repl::repl(rest),
@@ -65,10 +67,18 @@ USAGE:
   srl run <file.srl> [--call NAME] [--arg VALUE]... [--backend vm|tree]
                      [--threads N] [--limits default|small|benchmark]
                      [--timeout-ms N] [--json]
-  srl check <file.srl>            parse, validate, and classify a program
+  srl check <file.srl> [--json]   parse, validate, and classify a program
+  srl analyze <file.srl> [--json] per-fold classification report: spine
+                                  summaries, fold class, and the reason
   srl print <file.srl>            parse and re-print in canonical form
   srl disasm <file.srl>           show the VM bytecode of every definition
   srl repl                        interactive session
+
+`analyze` compiles the program and reports, for every set/list fold, the
+strategy the VM will use (member, union, filter, generic, ...), whether
+its combiner was proved a proper homomorphism (order-independent, so
+`run --threads N` may shard it), and why — including interprocedural
+proofs that thread the accumulator through a callee's spine parameter.
 
 `run` calls the definition named by --call (default: a zero-parameter
 `main`), passing each --arg parsed as a value literal: d3, 42, true,
@@ -164,6 +174,7 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
             "--timeout-ms",
             "--json",
         ],
+        "check" | "analyze" => &["--json"],
         _ => &[],
     }
 }
@@ -356,21 +367,167 @@ fn check(rest: &[String]) -> ExitCode {
     match Pipeline::new().check_source(&source) {
         Ok(checked) => {
             let program = checked.program();
-            println!(
-                "ok: {} definition(s): {}",
-                program.defs.len(),
-                program.def_names().join(", ")
-            );
             let verdict = srl_analysis::classify_program(program, 1);
-            println!("fragment: {}", verdict.fragment);
-            println!("  {}", verdict.explanation);
+            if opts.json {
+                let names: Vec<String> = program
+                    .def_names()
+                    .iter()
+                    .map(|n| format!("\"{}\"", escape_json(n)))
+                    .collect();
+                println!(
+                    "{{\n  \"ok\": true,\n  \"definitions\": [{}],\n  \"fragment\": \"{}\",\n  \"explanation\": \"{}\"\n}}",
+                    names.join(", "),
+                    escape_json(&verdict.fragment.to_string()),
+                    escape_json(&verdict.explanation),
+                );
+            } else {
+                println!(
+                    "ok: {} definition(s): {}",
+                    program.defs.len(),
+                    program.def_names().join(", ")
+                );
+                println!("fragment: {}", verdict.fragment);
+                println!("  {}", verdict.explanation);
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
+            let (exit, kind) = frontend_exit(&e);
+            if opts.json {
+                println!("{}", error_json(kind, &e.to_string(), exit, None));
+            }
             eprintln!("{}", e.render(&source));
-            ExitCode::from(frontend_exit(&e).0)
+            ExitCode::from(exit)
         }
     }
+}
+
+fn analyze(rest: &[String]) -> ExitCode {
+    let opts = match parse_options(rest, "analyze") {
+        Ok(o) => o,
+        Err(e) => return usage_error(&e),
+    };
+    let source = match load_source(&opts.file) {
+        Ok(s) => s,
+        Err(e) => return usage_error(&e),
+    };
+    match Pipeline::new().compile_source(&source) {
+        Ok(artifact) => {
+            let verdict = srl_analysis::classify_program(artifact.program(), 1);
+            let report = srl_analysis::analyze_compiled(artifact.compiled());
+            if opts.json {
+                println!("{}", analyze_json(&verdict, &report));
+            } else {
+                print!("{}", analyze_table(&verdict, &report));
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            let (exit, kind) = frontend_exit(&e);
+            if opts.json {
+                println!("{}", error_json(kind, &e.to_string(), exit, None));
+            }
+            eprintln!("{}", e.render(&source));
+            ExitCode::from(exit)
+        }
+    }
+}
+
+/// The `srl analyze` report as text: the Section 6 fragment, one line per
+/// definition with its spine-summary parameter, and one entry per reduce
+/// instruction with the class the executor acts on and the reason.
+fn analyze_table(
+    verdict: &srl_analysis::Classification,
+    report: &srl_analysis::InterprocReport,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "fragment: {}\n  {}\n",
+        verdict.fragment, verdict.explanation
+    ));
+    out.push_str("spine summaries:\n");
+    for s in &report.spines {
+        match &s.spine_param {
+            Some(p) => out.push_str(&format!("  {}: spine parameter `{p}`\n", s.def)),
+            None => out.push_str(&format!("  {}: no spine parameter\n", s.def)),
+        }
+    }
+    if report.folds.is_empty() {
+        out.push_str("folds: none\n");
+        return out;
+    }
+    out.push_str("folds:\n");
+    for f in &report.folds {
+        let place = match &f.def {
+            Some(d) => format!("{d} b{}", f.block),
+            None => format!("b{}", f.block),
+        };
+        out.push_str(&format!(
+            "  [{place}] {}{} class={} cost={} order-independent={}\n      {}\n",
+            if f.is_list { "list-" } else { "" },
+            f.kind,
+            f.class.label(),
+            f.unit_cost,
+            if f.order_independent() { "yes" } else { "no" },
+            f.reason,
+        ));
+    }
+    out
+}
+
+/// The `srl analyze` report as JSON with a stable field order, so CI can
+/// golden-diff it across commits.
+fn analyze_json(
+    verdict: &srl_analysis::Classification,
+    report: &srl_analysis::InterprocReport,
+) -> String {
+    let defs: Vec<String> = report
+        .spines
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{ \"def\": \"{}\", \"spine_param\": {} }}",
+                escape_json(&s.def),
+                match &s.spine_param {
+                    Some(p) => format!("\"{}\"", escape_json(p)),
+                    None => "null".to_string(),
+                },
+            )
+        })
+        .collect();
+    let folds: Vec<String> = report
+        .folds
+        .iter()
+        .map(|f| {
+            format!(
+                "    {{ \"def\": {}, \"block\": {}, \"kind\": \"{}{}\", \"class\": \"{}\", \"order_independent\": {}, \"unit_cost\": {}, \"reason\": \"{}\" }}",
+                match &f.def {
+                    Some(d) => format!("\"{}\"", escape_json(d)),
+                    None => "null".to_string(),
+                },
+                f.block,
+                if f.is_list { "list-" } else { "" },
+                f.kind,
+                f.class.label(),
+                f.order_independent(),
+                f.unit_cost,
+                escape_json(&f.reason),
+            )
+        })
+        .collect();
+    let wrap = |items: Vec<String>| {
+        if items.is_empty() {
+            "[]".to_string()
+        } else {
+            format!("[\n{}\n  ]", items.join(",\n"))
+        }
+    };
+    format!(
+        "{{\n  \"fragment\": \"{}\",\n  \"definitions\": {},\n  \"folds\": {}\n}}",
+        escape_json(&verdict.fragment.to_string()),
+        wrap(defs),
+        wrap(folds),
+    )
 }
 
 fn print_cmd(rest: &[String]) -> ExitCode {
@@ -535,13 +692,21 @@ mod tests {
 
     #[test]
     fn run_only_flags_are_rejected_by_other_commands() {
-        for command in ["check", "print", "disasm"] {
+        for command in ["print", "disasm"] {
             let rest: Vec<String> = ["file.srl", "--json"]
                 .iter()
                 .map(|s| s.to_string())
                 .collect();
             let err = parse_options(&rest, command).unwrap_err();
             assert!(err.contains("--json"), "{command}: {err}");
+        }
+        for command in ["check", "analyze", "print", "disasm"] {
+            let rest: Vec<String> = ["file.srl", "--call", "main"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            let err = parse_options(&rest, command).unwrap_err();
+            assert!(err.contains("--call"), "{command}: {err}");
         }
         // The file argument itself still parses everywhere.
         assert_eq!(
@@ -550,6 +715,18 @@ mod tests {
                 .file,
             "file.srl"
         );
+    }
+
+    #[test]
+    fn check_and_analyze_take_json() {
+        for command in ["check", "analyze"] {
+            let rest: Vec<String> = ["file.srl", "--json"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            let opts = parse_options(&rest, command).unwrap();
+            assert!(opts.json, "{command}");
+        }
     }
 
     #[test]

@@ -11,8 +11,9 @@
 //!   variables resolved against the bound inputs.
 //!
 //! Colon commands: `:help`, `:defs`, `:env`, `:backend vm [threads]|tree`,
-//! `:timeout MS|off`, `:load FILE`, `:disasm`, `:quit`. Reads stdin to
-//! exhaustion, so it is scriptable: `echo 'choose({d3, d5})' | srl repl`.
+//! `:timeout MS|off`, `:load FILE`, `:disasm`, `:classify`, `:quit`. Reads
+//! stdin to exhaustion, so it is scriptable:
+//! `echo 'choose({d3, d5})' | srl repl`.
 
 use std::io::{BufRead, IsTerminal, Write};
 use std::process::ExitCode;
@@ -28,7 +29,7 @@ definitions   f(x) = insert(x, emptyset)
 inputs        S := {d1, d2}
 expressions   f(choose(S))
 commands      :help :defs :env :backend vm [threads]|tree :timeout MS|off
-              :load FILE :disasm :quit
+              :load FILE :disasm :classify :quit
 ";
 
 /// Parses a backend word (plus an optional thread count for the VM) the way
@@ -355,6 +356,32 @@ fn handle_command(session: &mut Session, command: &str) -> bool {
                 srl_syntax::disasm_program(session.artifact().compiled())
             );
         }
+        Some("classify") => {
+            let report = srl_analysis::analyze_compiled(session.artifact().compiled());
+            if report.spines.is_empty() {
+                println!("(no definitions)");
+            }
+            for s in &report.spines {
+                match &s.spine_param {
+                    Some(p) => println!("{}: spine parameter `{p}`", s.def),
+                    None => println!("{}: no spine parameter", s.def),
+                }
+            }
+            for f in &report.folds {
+                let place = match &f.def {
+                    Some(d) => format!("{d} b{}", f.block),
+                    None => format!("b{}", f.block),
+                };
+                println!(
+                    "[{place}] {}{} class={} cost={} — {}",
+                    if f.is_list { "list-" } else { "" },
+                    f.kind,
+                    f.class.label(),
+                    f.unit_cost,
+                    f.reason,
+                );
+            }
+        }
         _ => eprintln!("unknown command `:{command}` (:help lists commands)"),
     }
     true
@@ -542,6 +569,25 @@ mod tests {
             session.artifact().limits().deadline,
             Some(std::time::Duration::from_millis(250))
         );
+    }
+
+    #[test]
+    fn classify_command_reports_the_session_program() {
+        let mut session = Session::new(ExecBackend::default());
+        assert!(handle_line(&mut session, "grow(x, T) = insert(x, T)"));
+        assert!(handle_line(
+            &mut session,
+            "collect(S) = set-reduce(S, lambda(x, e) x, lambda(x, acc) grow(x, acc), emptyset, emptyset)"
+        ));
+        // The command runs against the cached artifact without error…
+        assert!(handle_line(&mut session, ":classify"));
+        // …and the report it prints shows the call-threaded spine proof.
+        let report = srl_analysis::analyze_compiled(session.artifact().compiled());
+        assert_eq!(report.spines.len(), 2);
+        assert_eq!(report.spines[0].spine_param.as_deref(), Some("T"));
+        let fold = &report.folds[0];
+        assert!(fold.order_independent());
+        assert!(fold.reason.contains("`grow`"), "{}", fold.reason);
     }
 
     #[test]

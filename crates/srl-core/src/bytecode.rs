@@ -68,6 +68,7 @@
 //!   allocation accounting in closed form, so the statistics stay
 //!   byte-identical while the data path runs at memory speed.
 
+use crate::analysis::{self, DefSummaries, SpineBlock};
 use crate::bignat::BigNat;
 use crate::lower::{CompiledProgram, LExpr, LId, LLambda, LoweredExpr};
 use crate::value::Value;
@@ -399,6 +400,11 @@ pub struct ReduceInsn {
     /// across the worker pool (`crate::parallel`); everything else must run
     /// sequentially.
     pub class: FoldClass,
+    /// Where the classification came from: a fused shape, the
+    /// interprocedural spine summary, a named obstacle, or list semantics.
+    /// Pure provenance — the disassembler, `srl analyze`, and the REPL
+    /// report it; execution reads only `class` and `kind`.
+    pub origin: FoldOrigin,
     /// Static estimate of the work one fold iteration performs (weighted
     /// instruction count of the lambda blocks; nested reduces and calls
     /// weigh heavily). The parallel executor multiplies it by the input
@@ -429,8 +435,13 @@ pub struct ReduceInsn {
 ///   real per-element lambda work: these are the shapes the worker pool
 ///   shards (the monotone spine is `y ∪ g(x)` with `g` independent of the
 ///   accumulator, hence commutative-associative).
-/// * [`ReduceKind::Scan`] (keep-last-match) and [`ReduceKind::Generic`]
-///   (unproven combiner) — order-sensitive or unknown: sequential, always.
+/// * [`ReduceKind::Scan`] (keep-last-match) — order-sensitive: sequential,
+///   always.
+/// * [`ReduceKind::Generic`] — sequential by shape, *unless* the
+///   interprocedural spine summary ([`crate::analysis`]) proved the
+///   combiner threads its accumulator through a callee's spine parameter
+///   ([`FoldOrigin::SummarySpine`]), in which case it is a proper hom with
+///   per-element lambda work and shards like the fused hom kinds.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FoldClass {
     /// Combiner provably order-insensitive (commutative-associative):
@@ -460,6 +471,19 @@ impl FoldClass {
         }
     }
 
+    /// Classifies a fold given its provenance: [`FoldClass::of`] plus the
+    /// summary-aware path — a `Generic` *set* fold whose accumulator was
+    /// proved a call-threaded monotone spine ([`FoldOrigin::SummarySpine`])
+    /// is a proper hom even though its shape did not fuse.
+    pub fn with_origin(kind: &ReduceKind, is_list: bool, origin: &FoldOrigin) -> FoldClass {
+        match (FoldClass::of(kind, is_list), origin) {
+            (FoldClass::Ordered, FoldOrigin::SummarySpine { .. }) if !is_list => {
+                FoldClass::ProperHom
+            }
+            (class, _) => class,
+        }
+    }
+
     /// Short lowercase label (`proper-hom` / `ordered`) for the
     /// disassembler and diagnostics.
     pub fn label(&self) -> &'static str {
@@ -468,6 +492,30 @@ impl FoldClass {
             FoldClass::Ordered => "ordered",
         }
     }
+}
+
+/// Where a reduce's [`FoldClass`] verdict came from — recorded on every
+/// [`ReduceInsn`] so the disassembler, `srl analyze`, and the REPL can
+/// report the *reason* alongside the class, not just the verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FoldOrigin {
+    /// The combiner matched one of the fused shapes; the [`ReduceKind`]
+    /// itself names the algebra (or, for `Scan`, the order dependence).
+    Shape,
+    /// A `Generic` set fold whose accumulator is threaded through the spine
+    /// parameter of definition `via`: proved a proper hom by the
+    /// interprocedural summary ([`crate::analysis::DefSummaries`]).
+    SummarySpine {
+        /// Definition index (into [`CompiledProgram::defs`]) whose spine
+        /// summary carried the proof across the call boundary.
+        via: u32,
+    },
+    /// The fold stayed `Ordered` because the spine proof failed; the
+    /// [`SpineBlock`] names the first obstacle found.
+    Unproven(SpineBlock),
+    /// A `list-reduce`: ordered by list semantics (duplicates and stored
+    /// order are observable), no proof attempted.
+    List,
 }
 
 /// How a reduce executes: generic two-block dispatch, or one of the fused
@@ -538,6 +586,24 @@ pub enum ReduceKind {
         /// Block of the `acc` lambda body (spine inserts marked).
         acc: BlockId,
     },
+}
+
+impl ReduceKind {
+    /// Short lowercase label naming the fold strategy (`generic`, `member`,
+    /// `union`, `insert-app`, `filter`, `bool-acc`, `scan`, `monotone`) for
+    /// diagnostics and the `srl analyze` report.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReduceKind::Generic { .. } => "generic",
+            ReduceKind::Member => "member",
+            ReduceKind::Union => "union",
+            ReduceKind::InsertApp { .. } => "insert-app",
+            ReduceKind::Filter { .. } => "filter",
+            ReduceKind::BoolAcc { .. } => "bool-acc",
+            ReduceKind::Scan { .. } => "scan",
+            ReduceKind::Monotone { .. } => "monotone",
+        }
+    }
 }
 
 /// A straight-line instruction sequence with a result register.
@@ -631,6 +697,7 @@ pub(crate) fn codegen_program(program: &CompiledProgram) -> Chunk {
     let mut cg = Codegen {
         program,
         nodes: program.nodes(),
+        summaries: DefSummaries::compute(program),
         chunk: Chunk::default(),
     };
     for def in program.defs() {
@@ -647,6 +714,7 @@ pub(crate) fn codegen_expr(program: &CompiledProgram, lowered: &LoweredExpr) -> 
     let mut cg = Codegen {
         program,
         nodes: lowered.nodes(),
+        summaries: DefSummaries::compute(program),
         chunk: Chunk::default(),
     };
     let (main, main_frame) = cg.gen_frame(lowered.root(), lowered.scope_names().len() as u16);
@@ -696,6 +764,7 @@ impl FrameState {
 struct Codegen<'a> {
     program: &'a CompiledProgram,
     nodes: &'a [LExpr],
+    summaries: DefSummaries,
     chunk: Chunk,
 }
 
@@ -721,7 +790,10 @@ enum AccShape {
         value_index: usize,
     },
     Monotone,
-    Other,
+    CallSpine {
+        via: u32,
+    },
+    Other(SpineBlock),
 }
 
 impl<'a> Codegen<'a> {
@@ -1202,17 +1274,20 @@ impl<'a> Codegen<'a> {
         let rextra = fs.alloc();
         self.gen(fs, code, floor, extra, d + 1, rextra, false, false);
         let x_slot = fs.height;
-        let kind = if is_list {
+        let (kind, origin) = if is_list {
             // List folds are rare (LRL experiments only); generic execution
             // keeps duplicates/stored-order semantics in one code path.
-            ReduceKind::Generic {
-                app: self.gen_lambda_block(fs, app, false),
-                acc: self.gen_lambda_block(fs, acc, false),
-            }
+            (
+                ReduceKind::Generic {
+                    app: self.gen_lambda_block(fs, app, false),
+                    acc: self.gen_lambda_block(fs, acc, false),
+                },
+                FoldOrigin::List,
+            )
         } else {
             self.fuse_set_fold(fs, app, acc, x_slot)
         };
-        let class = FoldClass::of(&kind, is_list);
+        let class = FoldClass::with_origin(&kind, is_list, &origin);
         let unit_cost = self.unit_cost(&kind);
         code.push(Insn::Reduce(Box::new(ReduceInsn {
             dst,
@@ -1223,6 +1298,7 @@ impl<'a> Codegen<'a> {
             depth: d,
             is_list,
             class,
+            origin,
             unit_cost,
             kind,
         })));
@@ -1264,18 +1340,19 @@ impl<'a> Codegen<'a> {
             .fold(0u32, u32::saturating_add)
     }
 
-    /// Matches the fold lambdas against the fused shapes (module docs).
+    /// Matches the fold lambdas against the fused shapes (module docs) and
+    /// records where the classification came from.
     fn fuse_set_fold(
         &mut self,
         fs: &mut FrameState,
         app: &LLambda,
         acc: &LLambda,
         x: u16,
-    ) -> ReduceKind {
+    ) -> (ReduceKind, FoldOrigin) {
         let y = x + 1;
         let app_shape = self.app_shape(app.body, x, y);
         let acc_shape = self.acc_shape(acc.body, x, y);
-        match (app_shape, acc_shape) {
+        let kind = match (app_shape, acc_shape) {
             (AppShape::EqXY, AccShape::OrXY) => ReduceKind::Member,
             (AppShape::Identity, AccShape::InsertXY) => ReduceKind::Union,
             (_, AccShape::InsertXY) => ReduceKind::InsertApp {
@@ -1317,11 +1394,28 @@ impl<'a> Codegen<'a> {
                 app: self.gen_lambda_block(fs, app, false),
                 acc: self.gen_lambda_block(fs, acc, true),
             },
-            _ => ReduceKind::Generic {
-                app: self.gen_lambda_block(fs, app, false),
-                acc: self.gen_lambda_block(fs, acc, false),
-            },
-        }
+            // A call-threaded spine stays `Generic`, not `Monotone`: the
+            // spine inserts live in callee blocks (compiled once per
+            // definition, shared by every caller), so they cannot carry the
+            // Monotone kind's spine marking and the per-iteration weight
+            // walk must stay. The summary upgrades the *class* instead,
+            // which is what gates sharding.
+            (_, AccShape::CallSpine { via }) => {
+                let kind = ReduceKind::Generic {
+                    app: self.gen_lambda_block(fs, app, false),
+                    acc: self.gen_lambda_block(fs, acc, false),
+                };
+                return (kind, FoldOrigin::SummarySpine { via });
+            }
+            (_, AccShape::Other(block)) => {
+                let kind = ReduceKind::Generic {
+                    app: self.gen_lambda_block(fs, app, false),
+                    acc: self.gen_lambda_block(fs, acc, false),
+                };
+                return (kind, FoldOrigin::Unproven(block));
+            }
+        };
+        (kind, FoldOrigin::Shape)
     }
 
     fn is_local(&self, id: LId, slot: u16) -> bool {
@@ -1391,19 +1485,23 @@ impl<'a> Codegen<'a> {
                         }
                     }
                 }
-                if self.is_monotone(body, y) {
-                    AccShape::Monotone
-                } else {
-                    AccShape::Other
-                }
+                self.spine_shape(body, y)
             }
-            _ => {
-                if self.is_monotone(body, y) {
-                    AccShape::Monotone
-                } else {
-                    AccShape::Other
-                }
-            }
+            _ => self.spine_shape(body, y),
+        }
+    }
+
+    /// The spine verdict for an unfused accumulator body: a purely local
+    /// spine keeps the fused [`ReduceKind::Monotone`] path (inserts marked,
+    /// weight tracked by novel-insert deltas — the proof codegen already
+    /// trusted intraprocedurally), a call-threaded spine records the callee
+    /// whose summary carries the proof, and anything else records the first
+    /// obstacle for diagnostics.
+    fn spine_shape(&self, body: LId, y: u16) -> AccShape {
+        match analysis::spine_verdict(self.program, &self.summaries, self.nodes, body, y) {
+            Ok(None) => AccShape::Monotone,
+            Ok(Some(via)) => AccShape::CallSpine { via },
+            Err(block) => AccShape::Other(block),
         }
     }
 
@@ -1422,26 +1520,6 @@ impl<'a> Codegen<'a> {
             _ => None,
         }
     }
-
-    /// True when the accumulator body only ever grows the accumulator
-    /// parameter by inserts (through `if`s and `let`s whose other
-    /// subexpressions never read it): the accumulator weight is then the
-    /// base weight plus the novel inserted weights, with no per-iteration
-    /// walk. Calls and reduces are excluded from the spine (their blocks are
-    /// compiled once and cannot carry the spine marking).
-    fn is_monotone(&self, id: LId, y: u16) -> bool {
-        match self.node(id) {
-            LExpr::Local(s) => *s == y as u32,
-            LExpr::Insert(e, s) => self.is_monotone(*s, y) && !reads_slot(self.nodes, *e, y),
-            LExpr::If(c, t, e) => {
-                !reads_slot(self.nodes, *c, y) && self.is_monotone(*t, y) && self.is_monotone(*e, y)
-            }
-            LExpr::Let { value, body } => {
-                !reads_slot(self.nodes, *value, y) && self.is_monotone(*body, y)
-            }
-            _ => false,
-        }
-    }
 }
 
 enum PendingOperand<'a> {
@@ -1453,8 +1531,9 @@ enum PendingOperand<'a> {
 
 /// Whether the subtree at `id` reads frame slot `slot`. Slot indices are
 /// absolute within the frame, so nested binders (which only add higher
-/// slots) need no scope bookkeeping.
-fn reads_slot(nodes: &[LExpr], id: LId, slot: u16) -> bool {
+/// slots) need no scope bookkeeping. Shared with [`crate::analysis`], whose
+/// spine walk uses the same absolute-slot discipline.
+pub(crate) fn reads_slot(nodes: &[LExpr], id: LId, slot: u16) -> bool {
     let node = &nodes[id.index()];
     match node {
         LExpr::Local(s) => *s == slot as u32,
@@ -1611,10 +1690,17 @@ mod tests {
     }
 
     fn main_kind(chunk: &Chunk) -> &ReduceKind {
-        let block = chunk.block(chunk.main());
-        match block.code().last() {
-            Some(Insn::Reduce(r)) => &r.kind,
-            other => panic!("main does not end in a reduce: {other:?}"),
+        &main_reduce(chunk).kind
+    }
+
+    fn main_reduce(chunk: &Chunk) -> &ReduceInsn {
+        block_reduce(chunk, chunk.main())
+    }
+
+    fn block_reduce(chunk: &Chunk, block: BlockId) -> &ReduceInsn {
+        match chunk.block(block).code().last() {
+            Some(Insn::Reduce(r)) => r,
+            other => panic!("block does not end in a reduce: {other:?}"),
         }
     }
 
@@ -1749,6 +1835,121 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn call_threaded_spine_fold_classifies_proper_hom() {
+        // The powerset (Example 3.12): sift's inner fold threads its
+        // accumulator through finsert — a call-threaded spine the
+        // interprocedural summary proves, upgrading the Generic fold's
+        // class. The outer fold passes its accumulator into sift's folded
+        // set, which sift inspects: no proof, and the origin says why.
+        let p = Program::srl()
+            .define(
+                "finsert",
+                ["p", "T"],
+                insert(
+                    sel(var("p"), 1),
+                    insert(insert(sel(var("p"), 2), sel(var("p"), 1)), var("T")),
+                ),
+            )
+            .define(
+                "sift",
+                ["x", "T"],
+                set_reduce(
+                    var("T"),
+                    lam("y", "e", tuple([var("y"), var("e")])),
+                    lam("pair", "acc", call("finsert", [var("pair"), var("acc")])),
+                    empty_set(),
+                    var("x"),
+                ),
+            )
+            .define(
+                "powerset",
+                ["S"],
+                set_reduce(
+                    var("S"),
+                    lam("x", "y", var("x")),
+                    lam("x", "T", call("sift", [var("x"), var("T")])),
+                    insert(empty_set(), empty_set()),
+                    empty_set(),
+                ),
+            );
+        let c = p.compile();
+        let chunk = codegen_program(&c);
+        let finsert = c.def_id("finsert").unwrap();
+        let sift = c.def_id("sift").unwrap();
+
+        let inner = block_reduce(&chunk, chunk.defs()[sift as usize].block);
+        assert!(matches!(inner.kind, ReduceKind::Generic { .. }));
+        assert_eq!(inner.class, FoldClass::ProperHom);
+        assert_eq!(inner.origin, FoldOrigin::SummarySpine { via: finsert });
+
+        let pow = c.def_id("powerset").unwrap();
+        let outer = block_reduce(&chunk, chunk.defs()[pow as usize].block);
+        assert!(matches!(outer.kind, ReduceKind::Generic { .. }));
+        assert_eq!(outer.class, FoldClass::Ordered);
+        assert_eq!(
+            outer.origin,
+            FoldOrigin::Unproven(SpineBlock::CalleeNoSpine(sift))
+        );
+    }
+
+    #[test]
+    fn fold_origins_name_the_obstacle() {
+        // A fused shape records Shape.
+        let e = set_reduce(
+            var("A"),
+            Lambda::identity(),
+            lam("x", "acc", insert(var("x"), var("acc"))),
+            var("B"),
+            empty_set(),
+        );
+        let (_, chunk) = expr_chunk(&e, &["A", "B"]);
+        assert_eq!(main_reduce(&chunk).origin, FoldOrigin::Shape);
+
+        // A combiner that consumes its accumulator (cons) is Inspected.
+        let e = set_reduce(
+            var("S"),
+            Lambda::identity(),
+            lam("x", "acc", cons(var("x"), var("acc"))),
+            empty_list(),
+            empty_set(),
+        );
+        let (_, chunk) = expr_chunk(&e, &["S"]);
+        let r = main_reduce(&chunk);
+        assert_eq!(r.class, FoldClass::Ordered);
+        assert_eq!(r.origin, FoldOrigin::Unproven(SpineBlock::Inspected));
+
+        // A combiner that drops its accumulator is NotThreaded.
+        let e = set_reduce(
+            var("S"),
+            Lambda::identity(),
+            lam("x", "acc", insert(var("x"), var("S"))),
+            empty_set(),
+            empty_set(),
+        );
+        let (_, chunk) = expr_chunk(&e, &["S"]);
+        assert_eq!(
+            main_reduce(&chunk).origin,
+            FoldOrigin::Unproven(SpineBlock::NotThreaded)
+        );
+
+        // List folds record List and stay ordered.
+        let e = list_reduce(
+            var("L"),
+            Lambda::identity(),
+            lam("x", "acc", cons(var("x"), var("acc"))),
+            empty_list(),
+            empty_set(),
+        );
+        let p = Program::new(crate::dialect::Dialect::unrestricted());
+        let c = p.compile();
+        let lowered = c.lower_expr(&e, &["L"]);
+        let chunk = codegen_expr(&c, &lowered);
+        let r = main_reduce(&chunk);
+        assert_eq!(r.class, FoldClass::Ordered);
+        assert_eq!(r.origin, FoldOrigin::List);
     }
 
     #[test]

@@ -66,6 +66,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod ast;
 pub mod bignat;
 pub mod bytecode;
@@ -87,9 +88,10 @@ pub mod types;
 pub mod value;
 pub(crate) mod vm;
 
+pub use analysis::{spine_verdict, DefSummaries, SpineBlock};
 pub use ast::{Expr, Lambda};
 pub use bignat::BigNat;
-pub use bytecode::{Chunk, FoldClass};
+pub use bytecode::{Chunk, FoldClass, FoldOrigin};
 pub use cancel::{CancelState, CancelToken};
 pub use dialect::Dialect;
 pub use error::{CheckError, EvalError, SrlError};

@@ -103,7 +103,8 @@ use crate::limits::{EvalLimits, EvalStats};
 use crate::setrepr::SetRepr;
 use crate::value::Value;
 use crate::vm::{
-    boolacc_element, cap_add, capped, filter_element, insertapp_element, monotone_element, VmCtx,
+    boolacc_element, cap_add, capped, filter_element, generic_element, insertapp_element,
+    monotone_element, VmCtx,
 };
 
 /// Minimum estimated fold work (input cardinality × static per-element
@@ -164,7 +165,14 @@ pub(crate) fn try_run(
         ReduceKind::BoolAcc { .. } => {
             Some(run_sharded(core, ctx, chunk, r, d, items, base_v, extra_v))
         }
-        ReduceKind::InsertApp { .. } | ReduceKind::Filter { .. } | ReduceKind::Monotone { .. }
+        // `Generic` reaches here only as `ProperHom` (the class gate above),
+        // i.e. when the interprocedural summary proved a call-threaded
+        // monotone spine — it then shards exactly like `Monotone`, with the
+        // merge reconstructing the weight trajectory.
+        ReduceKind::InsertApp { .. }
+        | ReduceKind::Filter { .. }
+        | ReduceKind::Monotone { .. }
+        | ReduceKind::Generic { .. }
             if base_is_set =>
         {
             Some(run_sharded(core, ctx, chunk, r, d, items, base_v, extra_v))
@@ -384,6 +392,29 @@ fn run_shard(
                     accumulator,
                 )?;
                 accumulator = grown;
+            }
+            Ok(ShardData::Set(into_set(accumulator)))
+        }
+        ReduceKind::Generic { app, acc } => {
+            // Only summary-proved spine folds arrive here (see `try_run`):
+            // the combiner never inspects its accumulator, so the shard can
+            // fold from the empty set, and the sequential loop's
+            // per-iteration weight walk (monotone for a spine) collapses to
+            // the final weight the merge reconstructs from novel weights.
+            let mut accumulator = Value::empty_set();
+            for elem in shard {
+                accumulator = generic_element(
+                    core,
+                    ctx,
+                    chunk,
+                    *app,
+                    *acc,
+                    x,
+                    elem.clone(),
+                    extra_v,
+                    lb,
+                    accumulator,
+                )?;
             }
             Ok(ShardData::Set(into_set(accumulator)))
         }

@@ -595,6 +595,33 @@ pub(crate) fn monotone_element(
     Ok((core.take_reg(chunk.block(acc).result()), delta))
 }
 
+/// One `Generic` iteration: the app block, then the acc block applied to
+/// `(applied, accumulator)`. Returns the new accumulator. The caller owns
+/// the per-iteration accumulator-weight walk: the sequential loop notes
+/// `weight_capped` after every element, while shard workers (which only see
+/// summary-proved spine folds, whose weight trajectory is monotone) skip it
+/// and let the merge reconstruct the same maximum from novel weights.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn generic_element(
+    core: &mut EvalCore,
+    ctx: &VmCtx<'_>,
+    chunk: &Chunk,
+    app: BlockId,
+    acc: BlockId,
+    x: u16,
+    elem: Value,
+    extra: &Value,
+    lambda_base: usize,
+    accumulator: Value,
+) -> Result<Value, EvalError> {
+    core.note_iteration()?;
+    let applied = apply_app(core, ctx, chunk, app, x, elem, extra, lambda_base)?;
+    core.set_reg(x, applied);
+    core.set_reg(x + 1, accumulator);
+    run_block(core, ctx, chunk, acc, lambda_base)?;
+    Ok(core.take_reg(chunk.block(acc).result()))
+}
+
 fn run_reduce(
     core: &mut EvalCore,
     ctx: &VmCtx<'_>,
@@ -904,15 +931,20 @@ fn generic_fold(
     extra_v: &Value,
     lambda_base: usize,
 ) -> Result<Value, EvalError> {
-    let acc_result = chunk.block(acc).result();
     let mut accumulator = base_v;
     for elem in items {
-        core.note_iteration()?;
-        let applied = apply_app(core, ctx, chunk, app, x, elem.clone(), extra_v, lambda_base)?;
-        core.set_reg(x, applied);
-        core.set_reg(x + 1, accumulator);
-        run_block(core, ctx, chunk, acc, lambda_base)?;
-        accumulator = core.take_reg(acc_result);
+        accumulator = generic_element(
+            core,
+            ctx,
+            chunk,
+            app,
+            acc,
+            x,
+            elem.clone(),
+            extra_v,
+            lambda_base,
+            accumulator,
+        )?;
         let w = weight_capped(&accumulator, ACCUMULATOR_WEIGHT_CAP);
         core.note_accumulator_weight(w);
     }

@@ -17,8 +17,9 @@
 //! `class=ordered`) and its static per-element cost estimate, so the
 //! parallel executor's compile-time decisions are auditable here.
 
-use srl_core::bytecode::{Block, Chunk, Insn, Operand, ReduceKind};
+use srl_core::bytecode::{Block, Chunk, FoldOrigin, Insn, Operand, ReduceKind};
 use srl_core::lower::{CompiledProgram, LoweredExpr};
+use srl_core::SpineBlock;
 
 /// Disassembles a whole program's chunk: every definition with its entry
 /// block, frame size, and all blocks it references. Forces bytecode
@@ -208,8 +209,26 @@ fn render_insn(chunk: &Chunk, insn: &Insn) -> String {
                     format!("monotone app=b{app} acc=b{acc}")
                 }
             };
+            // The origin says where `class` came from; fused shapes carry
+            // no annotation (the kind already names the algebra). Def
+            // indices stay numeric here — the chunk alone cannot resolve
+            // names; `srl analyze` renders the same provenance with names.
+            let origin = match &r.origin {
+                FoldOrigin::Shape => String::new(),
+                FoldOrigin::SummarySpine { via } => format!(" origin=spine(def#{via})"),
+                FoldOrigin::Unproven(SpineBlock::NotThreaded) => {
+                    " origin=blocked(not-threaded)".to_string()
+                }
+                FoldOrigin::Unproven(SpineBlock::Inspected) => {
+                    " origin=blocked(acc-inspected)".to_string()
+                }
+                FoldOrigin::Unproven(SpineBlock::CalleeNoSpine(d)) => {
+                    format!(" origin=blocked(no-spine def#{d})")
+                }
+                FoldOrigin::List => " origin=list".to_string(),
+            };
             format!(
-                "r{} <- {}reduce[{kind}] class={} cost={} set=r{} base=r{} extra=r{} x=r{}  @{}",
+                "r{} <- {}reduce[{kind}] class={}{origin} cost={} set=r{} base=r{} extra=r{} x=r{}  @{}",
                 r.dst,
                 if r.is_list { "list-" } else { "" },
                 r.class.label(),
@@ -258,6 +277,50 @@ mod tests {
         assert!(text.contains("def fst#0/1 = block 0"), "{text}");
         assert!(text.contains("sel.1 slot r0"), "{text}");
         assert!(text.contains("call def#0"), "{text}");
+    }
+
+    #[test]
+    fn reduce_lines_carry_their_origin() {
+        let p = Program::srl();
+        let c = p.compile();
+        // Keep-left never threads the accumulator: ordered, with the
+        // obstacle on the reduce line.
+        let keep_left = set_reduce(
+            var("S"),
+            Lambda::identity(),
+            lam("x", "y", var("x")),
+            empty_set(),
+            empty_set(),
+        );
+        let lowered = c.lower_expr(&keep_left, &["S"]);
+        let text = disasm_lowered(&c, &lowered);
+        assert!(
+            text.contains("class=ordered origin=blocked(not-threaded)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn call_threaded_spines_disassemble_with_their_summary() {
+        let p = Program::srl()
+            .define("grow", ["x", "T"], insert(var("x"), var("T")))
+            .define(
+                "collect",
+                ["S"],
+                set_reduce(
+                    var("S"),
+                    Lambda::identity(),
+                    lam("x", "acc", call("grow", [var("x"), var("acc")])),
+                    empty_set(),
+                    empty_set(),
+                ),
+            );
+        let c = p.compile();
+        let text = disasm_program(&c);
+        assert!(
+            text.contains("class=proper-hom origin=spine(def#0)"),
+            "{text}"
+        );
     }
 
     #[test]

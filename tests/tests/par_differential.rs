@@ -125,10 +125,49 @@ fn e2_powerset_agrees() {
     let program = powerset_program();
     for n in [0u64, 1, 3, 8] {
         let input = atom_set(0..n);
-        let (v, _) = assert_identical(&program, EvalLimits::default(), "E2 powerset", |ev| {
+        let (v, par_folds) =
+            assert_identical(&program, EvalLimits::default(), "E2 powerset", |ev| {
+                ev.call(names::POWERSET, std::slice::from_ref(&input))
+            });
+        assert_eq!(v.len(), Some(1 << n));
+        if n == 8 {
+            // The headline assertion of the interprocedural summary: sift's
+            // call-threaded fold (through finsert's spine) is proved a
+            // proper hom and actually reaches the pool once the inner sets
+            // clear the work threshold.
+            assert!(
+                par_folds > 0,
+                "E2 n=8 must engage the pool (call-threaded spine proved), got 0 sharded folds"
+            );
+        }
+    }
+}
+
+#[test]
+fn e2_powerset_is_identical_across_pool_widths() {
+    use srl_stdlib::blowup::{names, powerset_program};
+
+    // Byte-identity must hold at every pool width, not just the suite's
+    // default pair: 2 and 4 threads partition the inner sift folds
+    // differently, so each width exercises a different merge shape.
+    let program = powerset_program();
+    let input = atom_set(0..8u64);
+    let mut outcomes = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let (seq, par, par_folds) = both(&program, EvalLimits::default(), threads.max(2), |ev| {
             ev.call(names::POWERSET, std::slice::from_ref(&input))
         });
-        assert_eq!(v.len(), Some(1 << n));
+        let which = if threads == 1 { seq } else { par };
+        let (value, stats) = which.unwrap_or_else(|e| panic!("E2 threads={threads} failed: {e}"));
+        if threads > 1 {
+            assert!(par_folds > 0, "E2 threads={threads} must shard");
+        }
+        outcomes.push((value, stats));
+    }
+    let (v1, s1) = &outcomes[0];
+    for (i, (v, s)) in outcomes.iter().enumerate().skip(1) {
+        assert_eq!(v1, v, "E2 value differs at width index {i}");
+        assert_eq!(s1, s, "E2 EvalStats differ at width index {i}");
     }
 }
 
