@@ -41,7 +41,7 @@ fn deep_copy(v: &Value) -> Value {
     match v {
         Value::Bool(_) | Value::Atom(_) | Value::Nat(_) => v.clone(),
         Value::Tuple(items) => Value::tuple(items.iter().map(deep_copy)),
-        Value::Set(items) => Value::set(items.iter().map(deep_copy)),
+        Value::Set(items) => Value::set(items.iter().map(|e| deep_copy(&e))),
         Value::List(items) => Value::list(items.iter().map(deep_copy)),
     }
 }
@@ -106,7 +106,7 @@ fn bench(c: &mut Criterion) {
                 let items = input.as_set().unwrap();
                 let mut acc = SetRepr::new();
                 for elem in items {
-                    acc.insert(deep_copy(elem));
+                    acc.insert(deep_copy(&elem));
                 }
                 acc.len()
             })
@@ -132,7 +132,7 @@ fn bench(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("rest_chain_rebuild", n), &n, |b, _| {
             b.iter(|| {
-                let mut s: BTreeSet<Value> = flat.as_set().unwrap().iter().cloned().collect();
+                let mut s: BTreeSet<Value> = flat.as_set().unwrap().iter().collect();
                 let mut steps = 0u64;
                 while let Some(min) = s.iter().next().cloned() {
                     // The seed's rest(): copy the whole set, then remove.
@@ -143,6 +143,43 @@ fn bench(c: &mut Criterion) {
                 }
                 steps
             })
+        });
+        // Skewed bulk union on the *generic* (Value-level) tier: tuple
+        // elements keep the operands off the columnar tiers, so this pins
+        // the galloping fast path of `merge_union_sorted` itself. The long
+        // side has n*n elements, the short side 8 spread across its range —
+        // above the skew threshold the merge locates the long runs by
+        // exponential probe and copies them wholesale, so the balanced
+        // variant (two halves of the same elements) is the linear-merge
+        // contrast.
+        let pair = |i: u64| Value::tuple([Value::atom(i), Value::atom(i + 1)]);
+        let long: SetRepr = {
+            let mut s = SetRepr::new();
+            for i in 0..n * n {
+                s.insert(pair(2 * i));
+            }
+            s
+        };
+        let short: SetRepr = {
+            let mut s = SetRepr::new();
+            for k in 0..8u64 {
+                s.insert(pair(2 * (k * (n * n / 8).max(1)) + 1));
+            }
+            s
+        };
+        let half = |r: std::ops::Range<u64>| {
+            let mut s = SetRepr::new();
+            for i in r {
+                s.insert(pair(2 * i));
+            }
+            s
+        };
+        let (left, right) = (half(0..n * n / 2), half(n * n / 2..n * n));
+        group.bench_with_input(BenchmarkId::new("skewed_merge_union", n), &n, |b, _| {
+            b.iter(|| long.merge_union(&short).len())
+        });
+        group.bench_with_input(BenchmarkId::new("balanced_merge_union", n), &n, |b, _| {
+            b.iter(|| left.merge_union(&right).len())
         });
     }
     group.finish();

@@ -137,8 +137,10 @@ impl Harness {
 /// different query than the one checked against the native baselines).
 pub mod queries {
     use srl_core::ast::Expr;
-    use srl_core::dsl::{atom, empty_set, eq, lam, sel, tuple, var};
-    use srl_stdlib::derived::{join, project, select};
+    use srl_core::dsl::{
+        atom, choose, empty_set, eq, if_, insert, lam, sel, set_reduce, tuple, var,
+    };
+    use srl_stdlib::derived::{intersection, join, member, project, select, union};
     use srl_stdlib::tc;
 
     /// E5: transitive closure of edge set `E` over domain `D`.
@@ -160,6 +162,61 @@ pub mod queries {
             lam("e", "d", eq(sel(var("e"), 2), sel(var("d"), 1))),
             lam("e", "d", tuple([sel(var("e"), 1), sel(var("d"), 2)])),
         )
+    }
+
+    /// E5 (atom-set core): the set of vertices reachable from `choose(D)`
+    /// along `E`, by one frontier-expansion round per element of the driver
+    /// set `K` (a diameter bound). Unlike [`tc_query`], whose accumulator is
+    /// the pair *relation*, the accumulator here is the vertex *set* — the
+    /// workload the columnar atom tier targets: per edge one membership
+    /// probe against the reach set, then one bulk union per round.
+    pub fn reach_query() -> Expr {
+        // One round, the current reach set threaded through `extra`:
+        // {e.2 | e ∈ E, e.1 ∈ R}.
+        let step = set_reduce(
+            var("E"),
+            lam(
+                "__re_e",
+                "__re_r",
+                tuple([
+                    sel(var("__re_e"), 2),
+                    member(sel(var("__re_e"), 1), var("__re_r")),
+                ]),
+            ),
+            lam(
+                "__re_p",
+                "__re_acc",
+                if_(
+                    sel(var("__re_p"), 2),
+                    insert(sel(var("__re_p"), 1), var("__re_acc")),
+                    var("__re_acc"),
+                ),
+            ),
+            empty_set(),
+            var("__rr_acc"),
+        );
+        set_reduce(
+            var("K"),
+            lam("__rr_k", "__rr_unused", var("__rr_k")),
+            lam("__rr_round", "__rr_acc", union(var("__rr_acc"), step)),
+            insert(choose(var("D")), empty_set()),
+            empty_set(),
+        )
+    }
+
+    /// E9 (dense-id core): intersection of an employee-id set with a dense
+    /// id universe — per element one membership probe against the dense set
+    /// and one insert into a `set(atom)` accumulator, the shape the columnar
+    /// bitset tier answers in O(1) words.
+    pub fn id_intersection() -> Expr {
+        intersection(var("IDS"), var("UNIV"))
+    }
+
+    /// Dense-universe probe: bulk union of two interleaved atom sets that
+    /// together tile `0..2n` — one fused `SetMerge` per evaluation, columnar
+    /// word-parallel against the generic element merge.
+    pub fn dense_union() -> Expr {
+        union(var("A"), var("B"))
     }
 
     /// E9: ids of the employees in department `dept` (select + project).

@@ -463,10 +463,12 @@ fn analyze_table(
             None => format!("b{}", f.block),
         };
         out.push_str(&format!(
-            "  [{place}] {}{} class={} cost={} order-independent={}\n      {}\n",
+            "  [{place}] {}{} class={} tier={}/{} cost={} order-independent={}\n      {}\n",
             if f.is_list { "list-" } else { "" },
             f.kind,
             f.class.label(),
+            f.tier,
+            f.acc_tier,
             f.unit_cost,
             if f.order_independent() { "yes" } else { "no" },
             f.reason,
@@ -500,7 +502,7 @@ fn analyze_json(
         .iter()
         .map(|f| {
             format!(
-                "    {{ \"def\": {}, \"block\": {}, \"kind\": \"{}{}\", \"class\": \"{}\", \"order_independent\": {}, \"unit_cost\": {}, \"reason\": \"{}\" }}",
+                "    {{ \"def\": {}, \"block\": {}, \"kind\": \"{}{}\", \"class\": \"{}\", \"tier\": \"{}\", \"acc_tier\": \"{}\", \"order_independent\": {}, \"unit_cost\": {}, \"reason\": \"{}\" }}",
                 match &f.def {
                     Some(d) => format!("\"{}\"", escape_json(d)),
                     None => "null".to_string(),
@@ -509,6 +511,8 @@ fn analyze_json(
                 if f.is_list { "list-" } else { "" },
                 f.kind,
                 f.class.label(),
+                f.tier,
+                f.acc_tier,
                 f.order_independent(),
                 f.unit_cost,
                 escape_json(&f.reason),

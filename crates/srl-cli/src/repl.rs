@@ -11,9 +11,15 @@
 //!   variables resolved against the bound inputs.
 //!
 //! Colon commands: `:help`, `:defs`, `:env`, `:backend vm [threads]|tree`,
-//! `:timeout MS|off`, `:load FILE`, `:disasm`, `:classify`, `:quit`. Reads
-//! stdin to exhaustion, so it is scriptable:
-//! `echo 'choose({d3, d5})' | srl repl`.
+//! `:timeout MS|off`, `:load FILE`, `:disasm`, `:classify`,
+//! `:complete [PARTIAL]`, `:quit`. Reads stdin to exhaustion, so it is
+//! scriptable: `echo 'choose({d3, d5})' | srl repl`.
+//!
+//! `:complete` is the completion engine a line editor would call on Tab,
+//! exposed as a command because the loop reads plain stdin: a partial line
+//! starting with `:` completes the command vocabulary, anything else
+//! completes its trailing identifier against the session's definition and
+//! input-binding names.
 
 use std::io::{BufRead, IsTerminal, Write};
 use std::process::ExitCode;
@@ -29,8 +35,58 @@ definitions   f(x) = insert(x, emptyset)
 inputs        S := {d1, d2}
 expressions   f(choose(S))
 commands      :help :defs :env :backend vm [threads]|tree :timeout MS|off
-              :load FILE :disasm :classify :quit
+              :load FILE :disasm :classify :complete [PARTIAL] :quit
 ";
+
+/// The colon-command vocabulary, for completion (alphabetical; aliases like
+/// `:q` resolve in `handle_command` but only canonical names complete).
+const COMMANDS: &[&str] = &[
+    "backend", "classify", "complete", "defs", "disasm", "env", "help", "load", "quit", "timeout",
+];
+
+/// Completion candidates for a partial input line — the pure engine behind
+/// `:complete` (and behind Tab, should the loop ever grow a line editor).
+///
+/// * a line starting with `:` completes the colon-command vocabulary (only
+///   the command word itself: arguments like file paths are not completed);
+/// * any other line completes its **trailing identifier** against the
+///   session's definition names and input-binding names.
+///
+/// Each candidate is the whole line with the partial word completed, so a
+/// caller can substitute it for the input directly. An empty partial word
+/// offers every name, which doubles as a vocabulary listing.
+fn completions(session: &Session, line: &str) -> Vec<String> {
+    if let Some(partial) = line.strip_prefix(':') {
+        if partial.contains(char::is_whitespace) {
+            return Vec::new();
+        }
+        return COMMANDS
+            .iter()
+            .filter(|c| c.starts_with(partial))
+            .map(|c| format!(":{c}"))
+            .collect();
+    }
+    // The trailing identifier: the longest ident-shaped suffix (the same
+    // alphabet `looks_like_definition` accepts for definition heads).
+    let start = line
+        .char_indices()
+        .rev()
+        .find(|(_, c)| !(c.is_alphanumeric() || *c == '_' || *c == '-'))
+        .map(|(i, c)| i + c.len_utf8())
+        .unwrap_or(0);
+    let (head, partial) = line.split_at(start);
+    let mut names: Vec<&str> = session
+        .program
+        .defs
+        .iter()
+        .map(|d| d.name.as_str())
+        .chain(session.env.iter().map(|(name, _)| name))
+        .filter(|name| name.starts_with(partial))
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+    names.into_iter().map(|n| format!("{head}{n}")).collect()
+}
 
 /// Parses a backend word (plus an optional thread count for the VM) the way
 /// `:backend` and `--backend` accept it; the error names the offending word
@@ -356,6 +412,21 @@ fn handle_command(session: &mut Session, command: &str) -> bool {
                 srl_syntax::disasm_program(session.artifact().compiled())
             );
         }
+        Some("complete") => {
+            // The raw remainder, not the whitespace-split words: the partial
+            // line being completed may itself contain spaces.
+            let partial = command
+                .strip_prefix("complete")
+                .map(str::trim_start)
+                .unwrap_or("");
+            let candidates = completions(session, partial);
+            if candidates.is_empty() {
+                println!("(no completions)");
+            }
+            for candidate in candidates {
+                println!("{candidate}");
+            }
+        }
         Some("classify") => {
             let report = srl_analysis::analyze_compiled(session.artifact().compiled());
             if report.spines.is_empty() {
@@ -588,6 +659,56 @@ mod tests {
         let fold = &report.folds[0];
         assert!(fold.order_independent());
         assert!(fold.reason.contains("`grow`"), "{}", fold.reason);
+    }
+
+    #[test]
+    fn colon_commands_complete_from_the_vocabulary() {
+        let session = Session::new(ExecBackend::default());
+        assert_eq!(completions(&session, ":d"), vec![":defs", ":disasm"]);
+        assert_eq!(completions(&session, ":qu"), vec![":quit"]);
+        assert_eq!(completions(&session, ":zz"), Vec::<String>::new());
+        // A bare `:` lists the whole vocabulary…
+        assert_eq!(completions(&session, ":").len(), COMMANDS.len());
+        // …and arguments are not completed (only the command word is).
+        assert_eq!(completions(&session, ":load exam"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn identifiers_complete_against_defs_and_bindings() {
+        let mut session = Session::new(ExecBackend::default());
+        assert!(handle_line(
+            &mut session,
+            "singleton(x) = insert(x, emptyset)"
+        ));
+        assert!(handle_line(&mut session, "sift(x, T) = insert(x, T)"));
+        assert!(handle_line(&mut session, "Stuff := {d1, d2}"));
+        // The trailing identifier completes; the head of the line survives.
+        assert_eq!(
+            completions(&session, "insert(si"),
+            vec!["insert(sift", "insert(singleton"]
+        );
+        assert_eq!(completions(&session, "choose(St"), vec!["choose(Stuff"]);
+        // An empty partial word offers everything, sorted and deduplicated.
+        assert_eq!(
+            completions(&session, ""),
+            vec!["Stuff", "sift", "singleton"]
+        );
+        assert_eq!(
+            completions(&session, "union("),
+            vec!["union(Stuff", "union(sift", "union(singleton"]
+        );
+        // No candidate → empty, and the command prints its placeholder.
+        assert_eq!(completions(&session, "zebra"), Vec::<String>::new());
+        assert!(handle_line(&mut session, ":complete si"));
+        assert!(handle_line(&mut session, ":complete"));
+    }
+
+    #[test]
+    fn rebinding_an_input_does_not_duplicate_its_completion() {
+        let mut session = Session::new(ExecBackend::default());
+        assert!(handle_line(&mut session, "S := {d1}"));
+        assert!(handle_line(&mut session, "S := {d2}"));
+        assert_eq!(completions(&session, "S"), vec!["S"]);
     }
 
     #[test]

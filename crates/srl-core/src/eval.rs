@@ -169,6 +169,11 @@ pub(crate) struct EvalCore {
     /// sharded across the worker pool. Lets tests and tools verify the
     /// parallel path engaged without perturbing the byte-identical stats.
     pub(crate) parallel_folds: u64,
+    /// Diagnostic (not part of [`EvalStats`]): how many folds traversed or
+    /// produced a columnar (atoms/bits tier) set. Lets the differential
+    /// suites prove the small-atom tier actually engaged on a workload
+    /// without perturbing the byte-identical stats.
+    pub(crate) tier_engagements: u64,
     /// The shared stop flag polled at the amortized cancellation points.
     /// Reset to `Running` when a root evaluation starts; cloned into every
     /// parallel shard worker so a stop reaches all siblings.
@@ -233,6 +238,7 @@ impl Evaluator {
                 frame_base: 0,
                 spine_delta: 0,
                 parallel_folds: 0,
+                tier_engagements: 0,
                 cancel: CancelToken::new(),
                 deadline_at: None,
                 next_poll: POLL_STRIDE,
@@ -276,11 +282,22 @@ impl Evaluator {
         self.core.parallel_folds
     }
 
+    /// Diagnostic counter: how many `set-reduce` folds traversed a columnar
+    /// input or produced a columnar accumulator (the sorted-`u32` atoms tier
+    /// or the dense bitset tier, see [`crate::setrepr`]). Like
+    /// [`Evaluator::parallel_folds`], deliberately **not** part of
+    /// [`EvalStats`]: the statistics are byte-identical whether or not the
+    /// tier engages, while this counter reports the storage strategy.
+    pub fn tier_engagements(&self) -> u64 {
+        self.core.tier_engagements
+    }
+
     /// Resets the statistics and allocation counters (the budget stays).
     pub fn reset_stats(&mut self) {
         self.core.stats = EvalStats::default();
         self.core.allocated_leaves = 0;
         self.core.parallel_folds = 0;
+        self.core.tier_engagements = 0;
         self.core.last_error_stats = None;
     }
 
@@ -772,6 +789,11 @@ impl EvalCore {
                     let w = weight_capped(&accumulator, ACCUMULATOR_WEIGHT_CAP);
                     self.stats.max_accumulator_weight = self.stats.max_accumulator_weight.max(w);
                 }
+                // Diagnostic parity with the VM: a fold that traversed or
+                // produced a columnar set counts as one tier engagement.
+                if items.is_columnar() || matches!(&accumulator, Value::Set(s) if s.is_columnar()) {
+                    self.tier_engagements += 1;
+                }
                 Ok(accumulator)
             }
             LExpr::ListReduce {
@@ -1103,7 +1125,7 @@ pub(crate) fn tail_value(v: Value) -> Result<Value, EvalError> {
 /// general evaluation path, the Local-slot peephole and the VM.
 pub(crate) fn choose_min(v: &Value) -> Result<Value, EvalError> {
     match v {
-        Value::Set(items) => items.first().cloned().ok_or(EvalError::ChooseFromEmptySet),
+        Value::Set(items) => items.first().ok_or(EvalError::ChooseFromEmptySet),
         other => Err(EvalError::Shape {
             operator: "choose",
             expected: "a set",
@@ -1133,8 +1155,15 @@ pub(crate) fn next_fresh_index(v: &Value) -> u64 {
                 }
             }
             Value::Set(items) => {
-                for i in items.iter() {
-                    max_atom(i, cur);
+                // Columnar tiers know their maximum id without a walk.
+                if let Some(max) = items.columnar_max_id() {
+                    if let Some(m) = max {
+                        *cur = Some(cur.map_or(m, |c| c.max(m)));
+                    }
+                } else {
+                    for i in items.value_slice().expect("non-columnar set") {
+                        max_atom(i, cur);
+                    }
                 }
             }
         }
@@ -1156,7 +1185,23 @@ pub(crate) fn weight_capped(v: &Value, cap: usize) -> usize {
             Value::Bool(_) | Value::Atom(_) | Value::Nat(_) => true,
             Value::Tuple(items) => items.iter().all(|i| go(i, budget)),
             Value::List(items) => items.iter().all(|i| go(i, budget)),
-            Value::Set(items) => items.iter().all(|i| go(i, budget)),
+            Value::Set(items) => match items.atom_count_hint() {
+                // Columnar: n atoms of weight 1 — charge them in one step.
+                Some(n) => {
+                    if n <= *budget {
+                        *budget -= n;
+                        true
+                    } else {
+                        *budget = 0;
+                        false
+                    }
+                }
+                None => items
+                    .value_slice()
+                    .expect("non-columnar set")
+                    .iter()
+                    .all(|i| go(i, budget)),
+            },
         }
     }
     let mut budget = cap;

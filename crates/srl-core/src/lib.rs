@@ -83,6 +83,7 @@ pub mod parallel;
 pub mod pipeline;
 pub mod program;
 pub mod setrepr;
+pub mod tier;
 pub mod typecheck;
 pub mod types;
 pub mod value;

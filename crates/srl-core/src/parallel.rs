@@ -15,11 +15,14 @@
 //! ## Execution model
 //!
 //! A work-stealing-free, scoped-thread pool: when [`try_run`] accepts a
-//! fold, the input `SetRepr`'s live slice is partitioned into `k =
-//! min(threads, n)` contiguous windows whose sizes differ by at most one.
-//! Shards `1..k` are spawned as [`std::thread::scope`] workers (so they may
-//! borrow the chunk, the compiled program and the element slice — no `Arc`
-//! restructuring, no `unsafe`); shard `0` runs on the calling thread while
+//! fold, the input `SetRepr`'s element sequence is partitioned into `k =
+//! min(threads, n)` contiguous windows whose sizes differ by at most one;
+//! each worker walks its window through [`SetRepr::iter_range`], so a
+//! columnar (atoms/bits tier) input is decoded shard-locally and never
+//! materialized whole. Shards `1..k` are spawned as [`std::thread::scope`]
+//! workers (so they may borrow the chunk, the compiled program and the
+//! input set — no `Arc` restructuring, no `unsafe`); shard `0` runs on the
+//! calling thread while
 //! the workers are in flight; joins happen in shard order. Each worker gets
 //! its own [`EvalCore`]: a clone of the current frame (O(frame) `Arc`
 //! bumps), zeroed statistics, and the *remaining* step/allocation budget at
@@ -95,7 +98,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread;
 
-use crate::bytecode::{Chunk, FoldClass, ReduceInsn, ReduceKind};
+use crate::bytecode::{Chunk, FoldClass, ReduceInsn, ReduceKind, SetTier};
 use crate::error::EvalError;
 use crate::eval::{weight_capped, EvalCore, ACCUMULATOR_WEIGHT_CAP, POLL_STRIDE};
 use crate::faultpoint;
@@ -122,6 +125,9 @@ struct ShardRun {
     /// The worker's total allocated leaves (zero-based; summed into the
     /// caller's running allocation count).
     allocated: usize,
+    /// The worker's columnar-tier engagement count (diagnostic, see
+    /// [`EvalCore::tier_engagements`]; summed in shard order).
+    tier_engagements: u64,
     /// The shard's data outcome, or the error its earliest element raised.
     outcome: Result<ShardData, EvalError>,
 }
@@ -212,7 +218,6 @@ fn run_sharded(
     let n = items.len();
     let k = ctx.threads.min(n);
     let bounds = shard_bounds(n, k);
-    let elements = items.as_slice();
     // Each worker frame is a clone of the caller's current frame: the lambda
     // blocks may read any enclosing lexical slot (always via `Copy` — takes
     // never reach below the fold's floor), and cloning is O(frame) Arc
@@ -235,6 +240,11 @@ fn run_sharded(
     // panic, below) in any shard reaches every sibling at its next poll.
     let cancel = core.cancel.clone();
     let deadline_at = core.deadline_at;
+    // The columnar-tier toggle is thread-local; scoped workers start from
+    // its default, so the caller's setting is captured here and re-applied
+    // in every shard (a differential run with the tier disabled must stay
+    // disabled inside the pool).
+    let tier_on = crate::setrepr::atom_tier_enabled();
     let worker = |shard: usize, range: Range<usize>| -> ShardRun {
         // The unwind boundary: everything a shard executes — including the
         // injected `worker_panic` fault — is caught here, converted into a
@@ -245,6 +255,7 @@ fn run_sharded(
             if faultpoint::armed(faultpoint::WORKER_PANIC) == Some(shard as u64) {
                 panic!("fault injection: worker_panic@shard_{shard}");
             }
+            crate::setrepr::set_atom_tier_enabled(tier_on);
             let mut wcore = EvalCore {
                 limits: worker_limits,
                 stats: EvalStats::default(),
@@ -253,16 +264,26 @@ fn run_sharded(
                 frame_base: 0,
                 spine_delta: 0,
                 parallel_folds: 0,
+                tier_engagements: 0,
                 cancel: cancel.clone(),
                 deadline_at,
                 next_poll: POLL_STRIDE,
                 last_error_stats: None,
             };
             let wctx = ctx.sequential();
-            let outcome = run_shard(&mut wcore, &wctx, chunk, r, d, &elements[range], extra_v);
+            let outcome = run_shard(
+                &mut wcore,
+                &wctx,
+                chunk,
+                r,
+                d,
+                items.iter_range(range),
+                extra_v,
+            );
             ShardRun {
                 stats: wcore.stats,
                 allocated: wcore.allocated_leaves,
+                tier_engagements: wcore.tier_engagements,
                 outcome,
             }
         }));
@@ -271,6 +292,7 @@ fn run_sharded(
             ShardRun {
                 stats: EvalStats::default(),
                 allocated: 0,
+                tier_engagements: 0,
                 outcome: Err(EvalError::Internal {
                     detail: format!(
                         "shard {shard} worker panicked: {}",
@@ -307,6 +329,18 @@ fn run_sharded(
     merge(core, r, &bounds, runs, base_v)
 }
 
+/// The empty accumulator a shard starts from: the columnar atoms tier when
+/// codegen proved the fold result is a `set(atom)`, the generic tier
+/// otherwise. Stats-neutral (both empty sets weigh zero), mirroring
+/// `run_reduce`'s static pre-promotion of the sequential base.
+fn shard_seed(r: &ReduceInsn) -> Value {
+    if r.acc_tier == SetTier::Atom {
+        Value::Set(Arc::new(SetRepr::new_atoms()))
+    } else {
+        Value::empty_set()
+    }
+}
+
 /// Folds one contiguous shard on a worker core, charging exactly what the
 /// sequential loop charges for the same elements.
 fn run_shard(
@@ -315,7 +349,7 @@ fn run_shard(
     chunk: &Chunk,
     r: &ReduceInsn,
     d: usize,
-    shard: &[Value],
+    shard: impl Iterator<Item = Value>,
     extra_v: &Value,
 ) -> Result<ShardData, EvalError> {
     let x = r.x_slot;
@@ -325,8 +359,8 @@ fn run_shard(
     match &r.kind {
         ReduceKind::BoolAcc { app, is_or } => {
             let mut first_flip = None;
-            for (i, elem) in shard.iter().enumerate() {
-                let hit = boolacc_element(core, ctx, chunk, *app, x, elem.clone(), extra_v, lb, d)?;
+            for (i, elem) in shard.enumerate() {
+                let hit = boolacc_element(core, ctx, chunk, *app, x, elem, extra_v, lb, d)?;
                 let flips = if *is_or { hit } else { !hit };
                 if flips && first_flip.is_none() {
                     first_flip = Some(i);
@@ -335,10 +369,9 @@ fn run_shard(
             Ok(ShardData::Flip(first_flip))
         }
         ReduceKind::InsertApp { app } => {
-            let mut acc = Value::empty_set();
+            let mut acc = shard_seed(r);
             for elem in shard {
-                let applied =
-                    insertapp_element(core, ctx, chunk, *app, x, elem.clone(), extra_v, lb, d)?;
+                let applied = insertapp_element(core, ctx, chunk, *app, x, elem, extra_v, lb, d)?;
                 let (grown, _, _) = core.insert_value(applied, acc)?;
                 acc = grown;
             }
@@ -350,7 +383,7 @@ fn run_shard(
             cond_index,
             value_index,
         } => {
-            let mut acc = Value::empty_set();
+            let mut acc = shard_seed(r);
             for elem in shard {
                 let kept = filter_element(
                     core,
@@ -361,7 +394,7 @@ fn run_shard(
                     *cond_index,
                     *value_index,
                     x,
-                    elem.clone(),
+                    elem,
                     extra_v,
                     lb,
                     d,
@@ -374,7 +407,7 @@ fn run_shard(
             Ok(ShardData::Set(into_set(acc)))
         }
         ReduceKind::Monotone { app, acc } => {
-            let mut accumulator = Value::empty_set();
+            let mut accumulator = shard_seed(r);
             for elem in shard {
                 // The in-shard spine delta measures novelty against the
                 // shard-local accumulator; the merge recomputes global
@@ -386,7 +419,7 @@ fn run_shard(
                     *app,
                     *acc,
                     x,
-                    elem.clone(),
+                    elem,
                     extra_v,
                     lb,
                     accumulator,
@@ -401,7 +434,7 @@ fn run_shard(
             // fold from the empty set, and the sequential loop's
             // per-iteration weight walk (monotone for a spine) collapses to
             // the final weight the merge reconstructs from novel weights.
-            let mut accumulator = Value::empty_set();
+            let mut accumulator = shard_seed(r);
             for elem in shard {
                 accumulator = generic_element(
                     core,
@@ -410,7 +443,7 @@ fn run_shard(
                     *app,
                     *acc,
                     x,
-                    elem.clone(),
+                    elem,
                     extra_v,
                     lb,
                     accumulator,
@@ -477,6 +510,7 @@ fn merge(
         core.stats.reduce_iterations += run.stats.reduce_iterations;
         core.stats.inserts += run.stats.inserts;
         core.stats.new_values += run.stats.new_values;
+        core.tier_engagements += run.tier_engagements;
         // Nested folds' accumulator observations are per-element maxima:
         // partition-invariant, absorbed directly.
         core.stats.max_accumulator_weight = core
@@ -552,21 +586,16 @@ fn panic_detail(payload: &(dyn std::any::Any + Send)) -> &str {
 
 /// Total weight of the elements of `incoming` that are **not** members of
 /// `acc` — the weights the sequential loop's novel inserts would have
-/// charged to the running accumulator weight. Two-pointer sweep over the
-/// sorted representations, O(n+m).
+/// charged to the running accumulator weight. Delegates to the tier-aware
+/// [`SetRepr::for_each_novelty`] sweep (two-pointer on generic storage,
+/// word-parallel when both sides sit in the columnar tiers).
 fn novel_weight(acc: &SetRepr, incoming: &SetRepr) -> usize {
-    let a = acc.as_slice();
-    let mut i = 0;
     let mut sum = 0usize;
-    for v in incoming.as_slice() {
-        while i < a.len() && a[i] < *v {
-            i += 1;
+    acc.for_each_novelty(incoming, |w, novel| {
+        if novel {
+            sum = sum.saturating_add(w);
         }
-        let duplicate = i < a.len() && a[i] == *v;
-        if !duplicate {
-            sum = sum.saturating_add(v.weight());
-        }
-    }
+    });
     sum
 }
 

@@ -1,60 +1,81 @@
-//! `SetRepr` — the backing store of [`Value::Set`]: inline for small sets,
-//! a sorted vector with a slice window once it grows.
+//! `SetRepr` — the backing store of [`Value::Set`]: inline for small sets, a
+//! sorted vector with a slice window once it grows, and a **columnar tier**
+//! below both when every element is a plain interned atom.
 //!
 //! The paper's cost model is driven by the set primitives (`choose`, `rest`,
 //! `insert`, `set-reduce`), so the representation behind `Value::Set` is the
 //! system's universal data structure. The original backing store was a
 //! `BTreeSet<Value>`; profiling after the zero-copy refactor showed its node
-//! churn (pointer-chasing iteration, per-node allocation on insert/clone)
-//! dominating reduce-heavy workloads, and it was replaced by a sorted
-//! `Vec<Value>`. This revision adds a second tier below the vector:
+//! churn dominating reduce-heavy workloads, and it was replaced by a sorted
+//! `Vec<Value>`. This revision adds a type-specialised tier below the
+//! vector, giving a four-point tier lattice:
 //!
-//! * **Inline small sets.** Most accumulator sets in BASRL runs hold at most
-//!   [`INLINE_CAP`] elements (bounded accumulators are the whole point of
-//!   Theorem 4.13), so those live in a fixed inline array — no heap
-//!   allocation for the element storage at all. The set spills to the
-//!   vector representation on the first insert past the cap and stays
-//!   spilled (re-smallification happens naturally on [`Clone`], which
-//!   compacts).
-//! * **Sorted vector with a slice window** for everything larger: iteration
-//!   — what `set-reduce` does for every element — walks contiguous memory;
-//!   membership and `insert` are a binary search (plus a tail shift on
-//!   insertion; reduces that rebuild a set meet the common case of inserting
-//!   at the end, which is a pure push); `choose` is the first element of the
-//!   live window, O(1); `rest` is a slice window: popping the minimum just
-//!   advances the window start, O(1) on a uniquely-owned set, so a full
-//!   `rest`-chain drain is O(n) instead of O(n log n).
+//! * **Inline small sets** (`inline`). Most accumulator sets in BASRL runs
+//!   hold at most [`INLINE_CAP`] elements (bounded accumulators are the whole
+//!   point of Theorem 4.13), so those live in a fixed inline array — no heap
+//!   allocation for the element storage at all.
+//! * **Sorted vector with a slice window** (`spilled`) for larger sets of
+//!   arbitrary values: iteration walks contiguous memory; membership and
+//!   `insert` are a binary search; `choose` is the first element of the live
+//!   window, O(1); `rest` advances the window start, amortized O(1).
+//! * **Columnar atom ids** (`atoms`): when every element is an *unnamed*
+//!   atom with index ≤ `u32::MAX`, the set stores a sorted `Vec<u32>` of
+//!   interned ids instead of `Vec<Value>` — 4 bytes per element instead of
+//!   a full `Value`, id-space comparisons instead of `Ord` dispatch, and
+//!   `memcpy`-speed bulk merges. The same drain window as `spilled` applies.
+//! * **Dense bitset** (`bits`): an atoms set that is large
+//!   (≥ [`BITS_MIN_LEN`]) and dense (max id < [`BITS_MAX_SPREAD`] × len)
+//!   is stored as a bit vector — O(1)-word membership, word-parallel
+//!   union/difference. This is the membership-heavy-fold mode for dense
+//!   atom universes (alphabet-indexed unions).
+//!
+//! Selection is **adaptive at construction**: `FromIterator`, the merge ops
+//! and clone re-tier through [`SetRepr::from_sorted_vec`], which promotes to
+//! the columnar tier whenever every element qualifies; `insert` past the
+//! inline cap promotes instead of spilling when it can. The bytecode
+//! compiler additionally selects the tier **statically** (see
+//! `srl-core/src/tier.rs`): folds whose element shape the type policy proves
+//! to be `set(atom)` pre-promote their accumulators via
+//! [`SetRepr::new_atoms`]. A thread-local toggle
+//! ([`set_atom_tier_enabled`]) disables the columnar tier entirely so the
+//! differential suites can pit the tiers against each other honestly.
+//!
+//! ## Widening is observationally free
+//!
+//! The columnar tiers are *lossless*: they only ever hold unnamed atoms
+//! (named atoms — equal to unnamed ones but displayed differently — are
+//! rejected by [`plain_id`] and force the generic tier), so reconstructing
+//! `Value::atom(id)` round-trips display, equality, order and hash exactly.
+//! Inserting a value that does not fit the columnar invariant **widens** the
+//! store back to the generic representation; since the element sequence is
+//! unchanged, every observable — iteration order, `choose`/`rest`,
+//! first-wins deduplication, and with them every `EvalStats` counter — is
+//! identical across tiers. `tests/tests/set_tier_differential.rs` pins this
+//! byte-for-byte across backends and thread counts.
 //!
 //! The bulk operations [`SetRepr::merge_union`] and
-//! [`SetRepr::merge_sorted_difference`] are O(n+m) two-pointer merges over
-//! the sorted representations. They exist for callers that would otherwise
-//! drive `insert` element-by-element through the evaluator — the bytecode
-//! VM's fused `union` fold (`crate::vm`) sits on `merge_union`, and native
-//! harness code building differences of relations can use
-//! `merge_sorted_difference` instead of re-deriving it per element.
+//! [`SetRepr::merge_sorted_difference`] are two-pointer merges over the
+//! sorted representations, with a **galloping** (exponentially probing) fast
+//! path when one operand is much smaller than the other, id-space merges
+//! when both operands are columnar, and word-parallel bit ops when both are
+//! dense.
 //!
 //! ## Invariants
 //!
-//! The live elements (`as_slice`) are strictly sorted ascending in the total
-//! [`Value`] order and duplicate-free — in the inline representation these
-//! are `slots[..len]`, in the spilled representation `items[start..]`. Dead
-//! slots (inline slots past `len`, spilled slots before `start`) hold
-//! placeholder booleans and are never observed: equality, ordering, hashing,
-//! iteration and length all go through the live window. [`Clone`] compacts —
-//! it copies only the live elements (back into the inline form when they
-//! fit) — so an `Arc::make_mut` on a shared, partially-drained set re-bases
-//! it for free.
-//!
-//! Everything observable — the element order, what `choose`/`rest` return,
-//! first-wins deduplication (two values can compare equal while differing in
-//! display, e.g. named vs. unnamed atoms) and therefore every `EvalStats`
-//! counter — matches the original `BTreeSet` representation exactly;
-//! `tests/tests/set_backend_differential.rs` pits the two against each other
-//! operation-by-operation, across the spill boundary.
+//! The live elements are strictly sorted ascending in the total [`Value`]
+//! order and duplicate-free — inline: `slots[..len]`; spilled:
+//! `items[start..]`; atoms: `ids[start..]`; bits: the set bits of `words`,
+//! with `len` their popcount and `min` the lowest set bit. Dead slots hold
+//! placeholders and are never observed: equality, ordering, hashing,
+//! iteration and length all go through the live window. [`Clone`] compacts
+//! and re-tiers — it copies only the live elements, back into the smallest
+//! fitting tier.
 
+use std::cell::Cell;
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::ops::Range;
 
 use crate::value::Value;
 
@@ -62,11 +83,49 @@ use crate::value::Value;
 /// allocation for the element storage.
 pub const INLINE_CAP: usize = 4;
 
+/// Minimum cardinality before the dense bitset mode is considered.
+pub const BITS_MIN_LEN: usize = 64;
+
+/// Maximum spread (max id / cardinality) the bitset mode tolerates: a set
+/// with `len` elements is stored dense only while its largest id stays
+/// below `BITS_MAX_SPREAD * len`, i.e. at least 1-in-16 occupancy.
+pub const BITS_MAX_SPREAD: usize = 16;
+
+/// Galloping threshold for the bulk merges: the exponential probe engages
+/// when `min(n, m) * GALLOP_SKEW < max(n, m)` (and the larger side is big
+/// enough for the probe to pay for itself).
+const GALLOP_SKEW: usize = 8;
+
+/// Larger-side floor below which galloping is never worth the bookkeeping.
+const GALLOP_MIN_LONG: usize = 64;
+
 /// Placeholder stored in dead slots; never observed.
 const PAD: Value = Value::Bool(false);
 
+thread_local! {
+    /// Per-thread columnar-tier switch, default **on**. Thread-local (not
+    /// process-global) so differential tests toggling it off cannot race
+    /// concurrently running tests on other threads; the parallel fold pool
+    /// propagates the calling thread's value into its workers.
+    static ATOM_TIER_ENABLED: Cell<bool> = const { Cell::new(true) };
+}
+
+/// True if newly built all-atom sets may use the columnar tier on this
+/// thread.
+pub fn atom_tier_enabled() -> bool {
+    ATOM_TIER_ENABLED.with(Cell::get)
+}
+
+/// Enables/disables the columnar tier for sets built on this thread from
+/// now on (existing sets are untouched — they widen lazily on clone or
+/// merge). Returns the previous value so callers can restore it.
+pub fn set_atom_tier_enabled(on: bool) -> bool {
+    ATOM_TIER_ENABLED.with(|c| c.replace(on))
+}
+
 /// A finite set of [`Value`]s: inline array when small, sorted vector with a
-/// slice window once spilled.
+/// slice window once spilled, sorted `u32` ids or a dense bitset when every
+/// element is a plain atom.
 ///
 /// Iteration order *is* the value order — exactly the order `set-reduce`
 /// scans. See the module docs for the representation invariants.
@@ -79,6 +138,448 @@ enum Store {
     Small { len: u8, slots: [Value; INLINE_CAP] },
     /// `items[start..]` live (`rest` advances `start` instead of shifting).
     Spilled { items: Vec<Value>, start: usize },
+    /// Columnar: `ids[start..]` live, sorted, duplicate-free — every element
+    /// is the unnamed atom of that index. Same drain window as `Spilled`.
+    Atoms { ids: Vec<u32>, start: usize },
+    /// Dense columnar: the set bits of `words` are the atom ids; `len` is
+    /// their popcount, `min` the lowest set bit (0 when empty).
+    Bits { words: Vec<u64>, len: u32, min: u32 },
+}
+
+/// The atom id of `v` if it can live in a columnar store: an **unnamed**
+/// atom with index ≤ `u32::MAX`. Named atoms are excluded — they compare
+/// equal to unnamed ones but display differently, and the columnar store
+/// could not reproduce the name.
+fn plain_id(v: &Value) -> Option<u32> {
+    match v {
+        Value::Atom(a) if a.name.is_none() => u32::try_from(a.index).ok(),
+        _ => None,
+    }
+}
+
+/// The atom index of `v` regardless of name (for membership tests against
+/// columnar stores, where equality ignores names).
+fn atom_index_of(v: &Value) -> Option<u64> {
+    v.as_atom().map(|a| a.index)
+}
+
+fn sorted_ids_of(items: &[Value]) -> Option<Vec<u32>> {
+    let mut ids = Vec::with_capacity(items.len());
+    for v in items {
+        ids.push(plain_id(v)?);
+    }
+    Some(ids)
+}
+
+/// Generic-tier store for an already-sorted, deduplicated vector.
+fn store_from_sorted_values(items: Vec<Value>) -> Store {
+    if items.len() <= INLINE_CAP {
+        let mut slots = [PAD; INLINE_CAP];
+        let len = items.len() as u8;
+        for (slot, v) in slots.iter_mut().zip(items) {
+            *slot = v;
+        }
+        Store::Small { len, slots }
+    } else {
+        Store::Spilled { items, start: 0 }
+    }
+}
+
+fn bit_test(words: &[u64], id: u32) -> bool {
+    let w = id as usize / 64;
+    w < words.len() && (words[w] >> (id % 64)) & 1 == 1
+}
+
+/// Walks the set bits of a word slice in ascending order.
+struct BitCursor<'a> {
+    words: &'a [u64],
+    wi: usize,
+    cur: u64,
+}
+
+impl<'a> BitCursor<'a> {
+    fn new(words: &'a [u64]) -> Self {
+        BitCursor {
+            words,
+            wi: 0,
+            cur: words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// A cursor positioned past the first `skip` set bits (word-popcount
+    /// skip, then per-bit within the landing word).
+    fn skipped(words: &'a [u64], mut skip: usize) -> Self {
+        let mut wi = 0;
+        let mut cur = words.first().copied().unwrap_or(0);
+        loop {
+            let here = cur.count_ones() as usize;
+            if here > skip {
+                break;
+            }
+            skip -= here;
+            wi += 1;
+            if wi >= words.len() {
+                cur = 0;
+                wi = words.len().saturating_sub(1);
+                break;
+            }
+            cur = words[wi];
+        }
+        for _ in 0..skip {
+            cur &= cur - 1;
+        }
+        BitCursor { words, wi, cur }
+    }
+
+    fn next(&mut self) -> Option<u32> {
+        loop {
+            if self.cur != 0 {
+                let b = self.cur.trailing_zeros();
+                self.cur &= self.cur - 1;
+                return Some((self.wi as u32) * 64 + b);
+            }
+            self.wi += 1;
+            if self.wi >= self.words.len() {
+                return None;
+            }
+            self.cur = self.words[self.wi];
+        }
+    }
+}
+
+/// The lowest set bit at or above `from`, if any.
+fn next_set_bit(words: &[u64], from: u32) -> Option<u32> {
+    let mut wi = from as usize / 64;
+    if wi >= words.len() {
+        return None;
+    }
+    let mut cur = words[wi] & (u64::MAX << (from % 64));
+    loop {
+        if cur != 0 {
+            return Some((wi as u32) * 64 + cur.trailing_zeros());
+        }
+        wi += 1;
+        if wi >= words.len() {
+            return None;
+        }
+        cur = words[wi];
+    }
+}
+
+/// A borrowed element of a set: either a columnar atom id or a full value.
+/// The comparison glue lets the cursor merges and lexicographic walks mix
+/// tiers without materialising `Value`s.
+enum ElemRef<'a> {
+    Id(u32),
+    Val(&'a Value),
+}
+
+impl ElemRef<'_> {
+    fn weight(&self) -> usize {
+        match self {
+            ElemRef::Id(_) => 1,
+            ElemRef::Val(v) => v.weight(),
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        match self {
+            ElemRef::Id(i) => Value::atom(*i as u64),
+            ElemRef::Val(v) => (*v).clone(),
+        }
+    }
+}
+
+/// How the unnamed atom `id` compares to `v` in the total value order
+/// (booleans < atoms < everything else; atoms by index).
+fn id_cmp_value(id: u32, v: &Value) -> Ordering {
+    match v {
+        Value::Bool(_) => Ordering::Greater,
+        Value::Atom(a) => (id as u64).cmp(&a.index),
+        _ => Ordering::Less,
+    }
+}
+
+fn cmp_elem(a: &ElemRef<'_>, b: &ElemRef<'_>) -> Ordering {
+    match (a, b) {
+        (ElemRef::Id(x), ElemRef::Id(y)) => x.cmp(y),
+        (ElemRef::Id(x), ElemRef::Val(v)) => id_cmp_value(*x, v),
+        (ElemRef::Val(v), ElemRef::Id(y)) => id_cmp_value(*y, v).reverse(),
+        (ElemRef::Val(x), ElemRef::Val(y)) => x.cmp(y),
+    }
+}
+
+/// Internal by-reference iterator over the live elements of any tier.
+enum ElemIter<'a> {
+    Vals(std::slice::Iter<'a, Value>),
+    Ids(std::slice::Iter<'a, u32>),
+    Bits(BitCursor<'a>),
+}
+
+impl<'a> Iterator for ElemIter<'a> {
+    type Item = ElemRef<'a>;
+
+    fn next(&mut self) -> Option<ElemRef<'a>> {
+        match self {
+            ElemIter::Vals(it) => it.next().map(ElemRef::Val),
+            ElemIter::Ids(it) => it.next().map(|&i| ElemRef::Id(i)),
+            ElemIter::Bits(c) => c.next().map(ElemRef::Id),
+        }
+    }
+}
+
+/// Iterator over a set's elements in ascending value order, yielding
+/// **owned** values. Columnar tiers materialise each atom on the fly (an
+/// unnamed `Value::Atom` is two words, no allocation); value tiers clone —
+/// an O(1) `Arc` bump for collection elements.
+pub struct SetIter<'a> {
+    inner: ElemIter<'a>,
+    remaining: usize,
+}
+
+impl Iterator for SetIter<'_> {
+    type Item = Value;
+
+    fn next(&mut self) -> Option<Value> {
+        if self.remaining == 0 {
+            return None;
+        }
+        match self.inner.next() {
+            Some(e) => {
+                self.remaining -= 1;
+                Some(e.to_value())
+            }
+            None => {
+                self.remaining = 0;
+                None
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for SetIter<'_> {}
+
+/// A columnar view of one merge operand: a borrowed id slice, a dense word
+/// slice, or (for an all-plain-atom inline set) a small id buffer lifted on
+/// the fly.
+enum ColView<'a> {
+    Ids(&'a [u32]),
+    Buf([u32; INLINE_CAP], usize),
+    Bits(&'a [u64]),
+}
+
+impl ColView<'_> {
+    fn id_slice(&self) -> Option<&[u32]> {
+        match self {
+            ColView::Ids(s) => Some(s),
+            ColView::Buf(buf, n) => Some(&buf[..*n]),
+            ColView::Bits(_) => None,
+        }
+    }
+
+    fn bits(&self) -> Option<&[u64]> {
+        match self {
+            ColView::Bits(w) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+fn skewed(n: usize, m: usize) -> bool {
+    n.max(m) >= GALLOP_MIN_LONG && n.min(m) * GALLOP_SKEW < n.max(m)
+}
+
+/// Index of the first element of `s` that is `>= bound`, found by an
+/// exponential probe followed by a binary search within the bracketed run.
+/// Precondition: `s[0] < bound` (so the result is ≥ 1 when `s` is
+/// non-empty). O(log run) instead of O(run).
+fn gallop_lt<T: Ord>(s: &[T], bound: &T) -> usize {
+    let mut hi = 1;
+    while hi < s.len() && s[hi] < *bound {
+        hi <<= 1;
+    }
+    let lo = hi >> 1;
+    let hi = hi.min(s.len());
+    lo + s[lo..hi].partition_point(|x| x < bound)
+}
+
+/// Sorted-dedup union of two sorted-dedup slices; on equal elements `a`'s
+/// copy wins. With `gallop`, runs from the side that is behind are located
+/// by exponential probe and copied wholesale.
+fn merge_union_sorted<T: Ord + Clone>(a: &[T], b: &[T], gallop: bool) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            Ordering::Less => {
+                let run = if gallop { gallop_lt(&a[i..], &b[j]) } else { 1 };
+                out.extend_from_slice(&a[i..i + run]);
+                i += run;
+            }
+            Ordering::Greater => {
+                let run = if gallop { gallop_lt(&b[j..], &a[i]) } else { 1 };
+                out.extend_from_slice(&b[j..j + run]);
+                j += run;
+            }
+            Ordering::Equal => {
+                out.push(a[i].clone());
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Sorted `a \ b` over sorted-dedup slices, with the same galloping runs.
+fn merge_difference_sorted<T: Ord + Clone>(a: &[T], b: &[T], gallop: bool) -> Vec<T> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            Ordering::Less => {
+                let run = if gallop { gallop_lt(&a[i..], &b[j]) } else { 1 };
+                out.extend_from_slice(&a[i..i + run]);
+                i += run;
+            }
+            Ordering::Greater => {
+                let run = if gallop { gallop_lt(&b[j..], &a[i]) } else { 1 };
+                j += run;
+            }
+            Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out
+}
+
+/// Union of two columnar views in id space.
+fn union_cols(a: &ColView<'_>, b: &ColView<'_>) -> SetRepr {
+    match (a.id_slice(), b.id_slice()) {
+        (Some(x), Some(y)) => {
+            SetRepr::from_sorted_ids(merge_union_sorted(x, y, skewed(x.len(), y.len())))
+        }
+        (None, None) => {
+            let (wa, wb) = (a.bits().unwrap(), b.bits().unwrap());
+            let (long, short) = if wa.len() >= wb.len() {
+                (wa, wb)
+            } else {
+                (wb, wa)
+            };
+            let mut words = long.to_vec();
+            for (w, s) in words.iter_mut().zip(short.iter()) {
+                *w |= s;
+            }
+            SetRepr::from_bits(words)
+        }
+        (Some(x), None) => bits_with_ids(b.bits().unwrap(), x),
+        (None, Some(y)) => bits_with_ids(a.bits().unwrap(), y),
+    }
+}
+
+/// Dense words ∪ an id slice (union is symmetric, so this covers both
+/// mixed orientations — ids carry no names to lose).
+fn bits_with_ids(words: &[u64], ids: &[u32]) -> SetRepr {
+    let mut out = words.to_vec();
+    if let Some(&max) = ids.last() {
+        let need = max as usize / 64 + 1;
+        if out.len() < need {
+            out.resize(need, 0);
+        }
+    }
+    for &id in ids {
+        out[id as usize / 64] |= 1u64 << (id % 64);
+    }
+    SetRepr::from_bits(out)
+}
+
+/// Difference `a \ b` of two columnar views in id space.
+fn diff_cols(a: &ColView<'_>, b: &ColView<'_>) -> SetRepr {
+    match (a.id_slice(), b.id_slice()) {
+        (Some(x), Some(y)) => {
+            SetRepr::from_sorted_ids(merge_difference_sorted(x, y, skewed(x.len(), y.len())))
+        }
+        (Some(x), None) => {
+            let wb = b.bits().unwrap();
+            SetRepr::from_sorted_ids(x.iter().copied().filter(|&id| !bit_test(wb, id)).collect())
+        }
+        (None, Some(y)) => {
+            let mut words = a.bits().unwrap().to_vec();
+            for &id in y {
+                let w = id as usize / 64;
+                if w < words.len() {
+                    words[w] &= !(1u64 << (id % 64));
+                }
+            }
+            SetRepr::from_bits(words)
+        }
+        (None, None) => {
+            let (wa, wb) = (a.bits().unwrap(), b.bits().unwrap());
+            let mut words = wa.to_vec();
+            for (w, s) in words.iter_mut().zip(wb.iter()) {
+                *w &= !s;
+            }
+            SetRepr::from_bits(words)
+        }
+    }
+}
+
+/// Cursor-merge union across mixed tiers, in the total value order.
+fn merge_union_elems(a: &SetRepr, b: &SetRepr) -> Vec<Value> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut x = a.elems().peekable();
+    let mut y = b.elems().peekable();
+    loop {
+        let ord = match (x.peek(), y.peek()) {
+            (Some(e), Some(f)) => cmp_elem(e, f),
+            (Some(_), None) => Ordering::Less,
+            (None, Some(_)) => Ordering::Greater,
+            (None, None) => break,
+        };
+        match ord {
+            Ordering::Less => out.push(x.next().unwrap().to_value()),
+            Ordering::Greater => out.push(y.next().unwrap().to_value()),
+            Ordering::Equal => {
+                out.push(x.next().unwrap().to_value());
+                y.next();
+            }
+        }
+    }
+    out
+}
+
+/// Cursor-merge difference `a \ b` across mixed tiers.
+fn merge_difference_elems(a: &SetRepr, b: &SetRepr) -> Vec<Value> {
+    let mut out = Vec::new();
+    let mut x = a.elems().peekable();
+    let mut y = b.elems().peekable();
+    loop {
+        let ord = match (x.peek(), y.peek()) {
+            (Some(e), Some(f)) => cmp_elem(e, f),
+            (Some(_), None) => Ordering::Less,
+            (None, _) => break,
+        };
+        match ord {
+            Ordering::Less => out.push(x.next().unwrap().to_value()),
+            Ordering::Greater => {
+                y.next();
+            }
+            Ordering::Equal => {
+                x.next();
+                y.next();
+            }
+        }
+    }
+    out
 }
 
 impl SetRepr {
@@ -92,32 +593,198 @@ impl SetRepr {
         }
     }
 
-    /// Builds the set from an already-sorted, deduplicated vector (private:
-    /// callers are the merge ops and `FromIterator`, which establish the
-    /// invariant themselves).
-    fn from_sorted_vec(items: Vec<Value>) -> Self {
-        if items.len() <= INLINE_CAP {
-            let mut slots = [PAD; INLINE_CAP];
-            let len = items.len() as u8;
-            for (slot, v) in slots.iter_mut().zip(items) {
-                *slot = v;
-            }
+    /// An empty set pre-promoted to the columnar atom tier — used by the VM
+    /// when the static tier analysis proves a fold accumulates `set(atom)`,
+    /// so the ascending rebuild pushes `u32`s from the first insert. Falls
+    /// back to the generic empty set when the tier is disabled; every
+    /// operation tolerates a columnar store at or below the inline cap.
+    pub fn new_atoms() -> Self {
+        if atom_tier_enabled() {
             SetRepr {
-                store: Store::Small { len, slots },
+                store: Store::Atoms {
+                    ids: Vec::new(),
+                    start: 0,
+                },
             }
         } else {
-            SetRepr {
-                store: Store::Spilled { items, start: 0 },
-            }
+            SetRepr::new()
         }
     }
 
-    /// The live elements, ascending. This is the whole observable state.
+    /// Builds the set from an already-sorted, deduplicated vector (private:
+    /// callers are the merge ops, `Clone` and `FromIterator`, which
+    /// establish the invariant themselves). This is the adaptive tier
+    /// selection point: all-plain-atom contents go columnar.
+    fn from_sorted_vec(items: Vec<Value>) -> Self {
+        if items.len() > INLINE_CAP && atom_tier_enabled() {
+            if let Some(ids) = sorted_ids_of(&items) {
+                return SetRepr::from_sorted_ids(ids);
+            }
+        }
+        SetRepr {
+            store: store_from_sorted_values(items),
+        }
+    }
+
+    /// Builds the set from sorted, deduplicated atom ids, picking between
+    /// inline (small), dense bitset (large and dense) and sorted-id
+    /// (everything else) — or materialising values when the tier is off.
+    fn from_sorted_ids(ids: Vec<u32>) -> Self {
+        if ids.len() <= INLINE_CAP || !atom_tier_enabled() {
+            return SetRepr {
+                store: store_from_sorted_values(
+                    ids.into_iter().map(|i| Value::atom(i as u64)).collect(),
+                ),
+            };
+        }
+        if ids.len() >= BITS_MIN_LEN {
+            let max = *ids.last().unwrap() as usize;
+            if max < BITS_MAX_SPREAD * ids.len() {
+                let mut words = vec![0u64; max / 64 + 1];
+                for &id in &ids {
+                    words[id as usize / 64] |= 1u64 << (id % 64);
+                }
+                return SetRepr {
+                    store: Store::Bits {
+                        words,
+                        len: ids.len() as u32,
+                        min: ids[0],
+                    },
+                };
+            }
+        }
+        SetRepr {
+            store: Store::Atoms { ids, start: 0 },
+        }
+    }
+
+    /// Builds the set from a bit vector of atom ids, keeping the dense form
+    /// only while it is still large and dense enough (the criteria mirror
+    /// [`SetRepr::from_sorted_ids`], so the two never ping-pong).
+    fn from_bits(mut words: Vec<u64>) -> Self {
+        while words.last() == Some(&0) {
+            words.pop();
+        }
+        let len: usize = words.iter().map(|w| w.count_ones() as usize).sum();
+        if len == 0 {
+            return SetRepr::new();
+        }
+        let max = {
+            let w = words.last().unwrap();
+            ((words.len() - 1) as u32) * 64 + (63 - w.leading_zeros())
+        };
+        if len > INLINE_CAP
+            && atom_tier_enabled()
+            && len >= BITS_MIN_LEN
+            && (max as usize) < BITS_MAX_SPREAD * len
+        {
+            let min = BitCursor::new(&words).next().unwrap();
+            return SetRepr {
+                store: Store::Bits {
+                    words,
+                    len: len as u32,
+                    min,
+                },
+            };
+        }
+        let mut ids = Vec::with_capacity(len);
+        let mut c = BitCursor::new(&words);
+        while let Some(id) = c.next() {
+            ids.push(id);
+        }
+        SetRepr::from_sorted_ids(ids)
+    }
+
+    /// The live elements by reference, when this is a value-backed tier.
+    /// Columnar tiers return `None` — callers inside the crate use this as
+    /// the zero-copy fast path and fall back to [`SetRepr::iter`] (columnar
+    /// elements are atoms of weight 1, covered by
+    /// [`SetRepr::atom_count_hint`]).
     #[inline]
-    pub fn as_slice(&self) -> &[Value] {
+    pub(crate) fn value_slice(&self) -> Option<&[Value]> {
         match &self.store {
-            Store::Small { len, slots } => &slots[..*len as usize],
-            Store::Spilled { items, start } => &items[*start..],
+            Store::Small { len, slots } => Some(&slots[..*len as usize]),
+            Store::Spilled { items, start } => Some(&items[*start..]),
+            _ => None,
+        }
+    }
+
+    /// The live id window, when this is the sorted-id tier.
+    fn live_ids(&self) -> Option<&[u32]> {
+        match &self.store {
+            Store::Atoms { ids, start } => Some(&ids[*start..]),
+            _ => None,
+        }
+    }
+
+    /// `Some(len)` when every element is a plain atom (columnar tiers) —
+    /// each then has weight 1 and set-height 0, so weight/height walks can
+    /// skip element iteration entirely.
+    #[inline]
+    pub(crate) fn atom_count_hint(&self) -> Option<usize> {
+        match &self.store {
+            Store::Atoms { .. } | Store::Bits { .. } => Some(self.len()),
+            _ => None,
+        }
+    }
+
+    /// For columnar tiers: `Some(max_id)` (`Some(None)` when empty). `None`
+    /// for value-backed tiers. Lets `new`-atom allocation scan sets without
+    /// walking elements.
+    pub(crate) fn columnar_max_id(&self) -> Option<Option<u64>> {
+        match &self.store {
+            Store::Atoms { ids, start } => Some(ids[*start..].last().map(|&i| i as u64)),
+            Store::Bits { words, len, .. } => {
+                if *len == 0 {
+                    return Some(None);
+                }
+                let w = words.last().unwrap();
+                Some(Some(
+                    ((words.len() - 1) as u64) * 64 + (63 - w.leading_zeros()) as u64,
+                ))
+            }
+            _ => None,
+        }
+    }
+
+    /// True if the elements live in a columnar (atom-id) tier.
+    #[inline]
+    pub fn is_columnar(&self) -> bool {
+        matches!(self.store, Store::Atoms { .. } | Store::Bits { .. })
+    }
+
+    /// The storage tier currently backing the set, for diagnostics.
+    pub fn tier_label(&self) -> &'static str {
+        match &self.store {
+            Store::Small { .. } => "inline",
+            Store::Spilled { .. } => "spilled",
+            Store::Atoms { .. } => "atoms",
+            Store::Bits { .. } => "bits",
+        }
+    }
+
+    fn elems(&self) -> ElemIter<'_> {
+        match &self.store {
+            Store::Small { len, slots } => ElemIter::Vals(slots[..*len as usize].iter()),
+            Store::Spilled { items, start } => ElemIter::Vals(items[*start..].iter()),
+            Store::Atoms { ids, start } => ElemIter::Ids(ids[*start..].iter()),
+            Store::Bits { words, .. } => ElemIter::Bits(BitCursor::new(words)),
+        }
+    }
+
+    fn col_view(&self) -> Option<ColView<'_>> {
+        match &self.store {
+            Store::Atoms { ids, start } => Some(ColView::Ids(&ids[*start..])),
+            Store::Bits { words, .. } => Some(ColView::Bits(words)),
+            Store::Small { len, slots } => {
+                let n = *len as usize;
+                let mut buf = [0u32; INLINE_CAP];
+                for (slot, v) in buf.iter_mut().zip(&slots[..n]) {
+                    *slot = plain_id(v)?;
+                }
+                Some(ColView::Buf(buf, n))
+            }
+            Store::Spilled { .. } => None,
         }
     }
 
@@ -127,6 +794,8 @@ impl SetRepr {
         match &self.store {
             Store::Small { len, .. } => *len as usize,
             Store::Spilled { items, start } => items.len() - start,
+            Store::Atoms { ids, start } => ids.len() - start,
+            Store::Bits { len, .. } => *len as usize,
         }
     }
 
@@ -136,64 +805,203 @@ impl SetRepr {
         self.len() == 0
     }
 
-    /// Iterates the elements in ascending value order.
+    /// Iterates the elements in ascending value order, yielding owned
+    /// values (columnar tiers materialise atoms on the fly).
     #[inline]
-    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
-        self.as_slice().iter()
+    pub fn iter(&self) -> SetIter<'_> {
+        SetIter {
+            remaining: self.len(),
+            inner: self.elems(),
+        }
+    }
+
+    /// Iterates the elements at positions `range` of the ascending order —
+    /// the parallel pool's shard view. Value and id tiers slice the live
+    /// window; the bitset tier skips by word popcount.
+    pub fn iter_range(&self, range: Range<usize>) -> SetIter<'_> {
+        debug_assert!(range.start <= range.end && range.end <= self.len());
+        let remaining = range.end - range.start;
+        let inner = match &self.store {
+            Store::Small { len, slots } => ElemIter::Vals(slots[..*len as usize][range].iter()),
+            Store::Spilled { items, start } => ElemIter::Vals(items[*start..][range].iter()),
+            Store::Atoms { ids, start } => ElemIter::Ids(ids[*start..][range].iter()),
+            Store::Bits { words, .. } => ElemIter::Bits(BitCursor::skipped(words, range.start)),
+        };
+        SetIter { inner, remaining }
     }
 
     /// The minimal element — the paper's `choose(S)` — if non-empty.
+    /// Returned owned: columnar tiers have no `Value` to borrow (an
+    /// unnamed atom is constructed in two words, no allocation).
     #[inline]
-    pub fn first(&self) -> Option<&Value> {
-        self.as_slice().first()
+    pub fn first(&self) -> Option<Value> {
+        match &self.store {
+            Store::Small { len, slots } => slots[..*len as usize].first().cloned(),
+            Store::Spilled { items, start } => items.get(*start).cloned(),
+            Store::Atoms { ids, start } => ids.get(*start).map(|&i| Value::atom(i as u64)),
+            Store::Bits { len, min, .. } => (*len > 0).then(|| Value::atom(*min as u64)),
+        }
     }
 
-    /// Membership test (binary search).
+    /// Membership test: binary search on the sorted tiers, one word probe
+    /// on the bitset tier. Columnar tests compare by atom index (names do
+    /// not participate in equality).
     pub fn contains(&self, value: &Value) -> bool {
-        self.as_slice().binary_search(value).is_ok()
+        match &self.store {
+            Store::Small { len, slots } => slots[..*len as usize].binary_search(value).is_ok(),
+            Store::Spilled { items, start } => items[*start..].binary_search(value).is_ok(),
+            Store::Atoms { ids, start } => match atom_index_of(value) {
+                Some(ix) => {
+                    u32::try_from(ix).is_ok_and(|id| ids[*start..].binary_search(&id).is_ok())
+                }
+                None => false,
+            },
+            Store::Bits { words, .. } => match atom_index_of(value) {
+                Some(ix) => u32::try_from(ix).is_ok_and(|id| bit_test(words, id)),
+                None => false,
+            },
+        }
     }
 
     /// Inserts `value`, keeping the set sorted and duplicate-free. Returns
-    /// `true` if the value was new. Like `BTreeSet::insert`, an equal element
-    /// that is already present is **kept** (first-wins: equal values may
-    /// still differ in display, e.g. named vs. unnamed atoms).
+    /// `true` if the value was new. Like `BTreeSet::insert`, an equal
+    /// element that is already present is **kept** (first-wins: equal
+    /// values may still differ in display, e.g. named vs. unnamed atoms —
+    /// which is also why columnar stores, which hold only unnamed atoms,
+    /// answer named duplicates with `false` without widening). An inline
+    /// set growing past the cap promotes to the columnar tier when every
+    /// element qualifies, and spills to the vector otherwise; a columnar
+    /// set receiving a value it cannot represent widens first.
     pub fn insert(&mut self, value: Value) -> bool {
-        let pos = match self.as_slice().binary_search(&value) {
-            Ok(_) => return false,
-            Err(pos) => pos,
-        };
         match &mut self.store {
             Store::Small { len, slots } => {
                 let n = *len as usize;
+                let pos = match slots[..n].binary_search(&value) {
+                    Ok(_) => return false,
+                    Err(pos) => pos,
+                };
                 if n < INLINE_CAP {
                     // Shift the tail one slot right; the rotated-in value is
                     // the PAD from slot n, immediately overwritten.
                     slots[pos..=n].rotate_right(1);
                     slots[pos] = value;
                     *len += 1;
-                } else {
-                    // Spill: move the inline elements into a vector.
-                    let mut items = Vec::with_capacity(2 * INLINE_CAP);
-                    items.extend(slots.iter_mut().map(|s| std::mem::replace(s, PAD)));
-                    items.insert(pos, value);
-                    self.store = Store::Spilled { items, start: 0 };
+                    return true;
                 }
+                if atom_tier_enabled() {
+                    if let (Some(mut ids), Some(id)) =
+                        (sorted_ids_of(&slots[..n]), plain_id(&value))
+                    {
+                        // Promote instead of spilling: the inline ids plus
+                        // the incoming one go columnar.
+                        ids.insert(pos, id);
+                        self.store = Store::Atoms { ids, start: 0 };
+                        return true;
+                    }
+                }
+                // Spill: move the inline elements into a vector.
+                let mut items = Vec::with_capacity(2 * INLINE_CAP);
+                items.extend(slots.iter_mut().map(|s| std::mem::replace(s, PAD)));
+                items.insert(pos, value);
+                self.store = Store::Spilled { items, start: 0 };
+                return true;
             }
             Store::Spilled { items, start } => {
                 // Shifts only the tail after the insertion point; the common
                 // ascending-rebuild case (pos == len) is a plain push.
+                let pos = match items[*start..].binary_search(&value) {
+                    Ok(_) => return false,
+                    Err(pos) => pos,
+                };
                 items.insert(*start + pos, value);
+                return true;
+            }
+            Store::Atoms { ids, start } => {
+                if let Some(id) = plain_id(&value) {
+                    match ids[*start..].binary_search(&id) {
+                        Ok(_) => return false,
+                        Err(pos) => {
+                            let at = *start + pos;
+                            ids.insert(at, id);
+                            return true;
+                        }
+                    }
+                }
+                if let Some(ix) = atom_index_of(&value) {
+                    if let Ok(id) = u32::try_from(ix) {
+                        if ids[*start..].binary_search(&id).is_ok() {
+                            // A named duplicate of a stored unnamed id:
+                            // first-wins keeps the stored copy.
+                            return false;
+                        }
+                    }
+                }
+                // Novel value the id store cannot represent: widen below.
+            }
+            Store::Bits { words, len, min } => {
+                if let Some(id) = plain_id(&value) {
+                    let w = id as usize / 64;
+                    if bit_test(words, id) {
+                        return false;
+                    }
+                    if w < words.len() || (id as usize) < BITS_MAX_SPREAD * (*len as usize + 1) {
+                        if w >= words.len() {
+                            words.resize(w + 1, 0);
+                        }
+                        words[w] |= 1u64 << (id % 64);
+                        *len += 1;
+                        if *len == 1 || id < *min {
+                            *min = id;
+                        }
+                        return true;
+                    }
+                    // Too sparse to stay dense: demote to sorted ids below.
+                } else if let Some(ix) = atom_index_of(&value) {
+                    if let Ok(id) = u32::try_from(ix) {
+                        if bit_test(words, id) {
+                            return false;
+                        }
+                    }
+                    // Novel named atom: widen below.
+                }
+                // Non-atom value or sparse growth: re-tier below.
             }
         }
-        true
+        // Re-tier path (rare): rebuild in a representation that can hold
+        // `value`, then insert into it. `demote_for` keeps the id tier when
+        // the incoming value is a plain atom (dense → sparse growth) and
+        // widens to the generic tier otherwise, so recursion terminates
+        // after one step.
+        self.demote_for(&value);
+        self.insert(value)
+    }
+
+    /// Re-tiers so that `incoming` can be inserted: a plain atom keeps the
+    /// columnar family (dense bitset relaxes to sorted ids), anything else
+    /// widens to the generic value store. The element sequence is
+    /// unchanged, so the switch is observationally free.
+    fn demote_for(&mut self, incoming: &Value) {
+        if plain_id(incoming).is_some() {
+            if let Store::Bits { words, len, .. } = &self.store {
+                let mut ids = Vec::with_capacity(*len as usize);
+                let mut c = BitCursor::new(words);
+                while let Some(id) = c.next() {
+                    ids.push(id);
+                }
+                self.store = Store::Atoms { ids, start: 0 };
+                return;
+            }
+        }
+        let items: Vec<Value> = self.iter().collect();
+        self.store = store_from_sorted_values(items);
     }
 
     /// Removes and returns the minimal element. Inline sets shift (at most
-    /// [`INLINE_CAP`] moves); spilled sets are amortized O(1): the window
-    /// start advances and the dead slot is overwritten with a placeholder.
-    /// Once the dead prefix outgrows the live window the backing vector is
-    /// compacted, so a uniquely-owned set driven as a worklist (`insert`
-    /// interleaved with `rest`) stays O(live size), not O(total operations).
+    /// [`INLINE_CAP`] moves); spilled and sorted-id sets are amortized
+    /// O(1): the window start advances, and once the dead prefix outgrows
+    /// the live window the backing vector is compacted, so a uniquely-owned
+    /// set driven as a worklist stays O(live size). The bitset tier clears
+    /// the minimum bit and scans forward for the next.
     pub fn pop_first(&mut self) -> Option<Value> {
         match &mut self.store {
             Store::Small { len, slots } => {
@@ -222,61 +1030,113 @@ impl SetRepr {
                 }
                 Some(value)
             }
+            Store::Atoms { ids, start } => {
+                let &id = ids.get(*start)?;
+                *start += 1;
+                if *start * 2 > ids.len() {
+                    ids.drain(..*start);
+                    *start = 0;
+                }
+                Some(Value::atom(id as u64))
+            }
+            Store::Bits { words, len, min } => {
+                if *len == 0 {
+                    return None;
+                }
+                let id = *min;
+                words[id as usize / 64] &= !(1u64 << (id % 64));
+                *len -= 1;
+                *min = if *len > 0 {
+                    next_set_bit(words, id + 1).expect("popcount says a bit remains")
+                } else {
+                    0
+                };
+                Some(Value::atom(id as u64))
+            }
         }
     }
 
-    /// `self ∪ other` as an O(n+m) two-pointer merge over the two sorted
-    /// representations. On equal elements **`self`'s copy is kept** — the
-    /// same first-wins rule as folding `other`'s elements into `self` with
+    /// `self ∪ other` as a bulk merge over the two sorted representations.
+    /// On equal elements **`self`'s copy is kept** — the same first-wins
+    /// rule as folding `other`'s elements into `self` with
     /// [`SetRepr::insert`], which this is the bulk form of (the VM's fused
     /// `union` fold and native relation-building callers use it instead of
-    /// per-element inserts through the evaluator).
+    /// per-element inserts through the evaluator). Columnar operands merge
+    /// in id space (word-parallel when both are dense); skewed operand
+    /// sizes engage the galloping probe.
     pub fn merge_union(&self, other: &SetRepr) -> SetRepr {
-        let a = self.as_slice();
-        let b = other.as_slice();
-        let mut out = Vec::with_capacity(a.len() + b.len());
-        let (mut i, mut j) = (0, 0);
-        while i < a.len() && j < b.len() {
-            match a[i].cmp(&b[j]) {
-                Ordering::Less => {
-                    out.push(a[i].clone());
-                    i += 1;
-                }
-                Ordering::Greater => {
-                    out.push(b[j].clone());
-                    j += 1;
-                }
-                Ordering::Equal => {
-                    out.push(a[i].clone());
-                    i += 1;
-                    j += 1;
-                }
-            }
+        if other.is_empty() {
+            return self.clone();
         }
-        out.extend_from_slice(&a[i..]);
-        out.extend_from_slice(&b[j..]);
-        SetRepr::from_sorted_vec(out)
+        if self.is_empty() {
+            return other.clone();
+        }
+        if self.is_columnar() || other.is_columnar() {
+            if let (Some(a), Some(b)) = (self.col_view(), other.col_view()) {
+                return union_cols(&a, &b);
+            }
+            return SetRepr::from_sorted_vec(merge_union_elems(self, other));
+        }
+        let (a, b) = (self.value_slice().unwrap(), other.value_slice().unwrap());
+        SetRepr::from_sorted_vec(merge_union_sorted(a, b, skewed(a.len(), b.len())))
     }
 
-    /// `self \ other` as an O(n+m) two-pointer sweep over the two sorted
-    /// representations — the bulk form of testing each element of `self`
-    /// for membership in `other` and keeping the misses.
+    /// `self \ other` as a bulk sweep over the two sorted representations —
+    /// the bulk form of testing each element of `self` for membership in
+    /// `other` and keeping the misses. Same tier dispatch as
+    /// [`SetRepr::merge_union`].
     pub fn merge_sorted_difference(&self, other: &SetRepr) -> SetRepr {
-        let a = self.as_slice();
-        let b = other.as_slice();
-        let mut out = Vec::new();
-        let mut j = 0;
-        for v in a {
-            while j < b.len() && b[j] < *v {
-                j += 1;
+        if self.is_empty() || other.is_empty() {
+            return self.clone();
+        }
+        if self.is_columnar() || other.is_columnar() {
+            if let (Some(a), Some(b)) = (self.col_view(), other.col_view()) {
+                return diff_cols(&a, &b);
             }
-            if j < b.len() && b[j] == *v {
-                j += 1;
-            } else {
-                out.push(v.clone());
+            return SetRepr::from_sorted_vec(merge_difference_elems(self, other));
+        }
+        let (a, b) = (self.value_slice().unwrap(), other.value_slice().unwrap());
+        SetRepr::from_sorted_vec(merge_difference_sorted(a, b, skewed(a.len(), b.len())))
+    }
+
+    /// Calls `f(weight, is_novel)` for every element of `incoming` in
+    /// ascending order, where `is_novel` says the element is **not** in
+    /// `self`. This is the stats skeleton of the fused union fold — the VM
+    /// and the parallel pool charge per-element costs through it without
+    /// materialising values. O(1)-word membership when `self` is dense and
+    /// `incoming` columnar; a linear cursor merge otherwise.
+    pub(crate) fn for_each_novelty(&self, incoming: &SetRepr, mut f: impl FnMut(usize, bool)) {
+        if let Store::Bits { words, .. } = &self.store {
+            if let Some(view) = incoming.col_view() {
+                if let Some(ids) = view.id_slice() {
+                    for &id in ids {
+                        f(1, !bit_test(words, id));
+                    }
+                } else {
+                    let mut c = BitCursor::new(view.bits().unwrap());
+                    while let Some(id) = c.next() {
+                        f(1, !bit_test(words, id));
+                    }
+                }
+                return;
             }
         }
-        SetRepr::from_sorted_vec(out)
+        let mut acc = self.elems().peekable();
+        for e in incoming.elems() {
+            loop {
+                match acc.peek() {
+                    Some(a) if cmp_elem(a, &e) == Ordering::Less => {
+                        acc.next();
+                    }
+                    _ => break,
+                }
+            }
+            let novel = match acc.peek() {
+                Some(a) => cmp_elem(a, &e) != Ordering::Equal,
+                None => true,
+            };
+            f(e.weight(), novel);
+        }
     }
 
     /// Number of backing slots currently held (live + dead). Exposed for
@@ -286,6 +1146,8 @@ impl SetRepr {
         match &self.store {
             Store::Small { .. } => INLINE_CAP,
             Store::Spilled { items, .. } => items.len(),
+            Store::Atoms { ids, .. } => ids.len(),
+            Store::Bits { words, .. } => words.len() * 64,
         }
     }
 
@@ -303,12 +1165,22 @@ impl Default for SetRepr {
     }
 }
 
-/// Cloning compacts: only the live elements are copied, back into the inline
-/// form when they fit, so a shared, partially-drained set re-bases on
-/// copy-on-write.
+/// Cloning compacts and re-tiers: only the live elements are copied, back
+/// into the smallest fitting tier, so a shared, partially-drained set
+/// re-bases on copy-on-write.
 impl Clone for SetRepr {
     fn clone(&self) -> Self {
-        SetRepr::from_sorted_vec(self.as_slice().to_vec())
+        match &self.store {
+            Store::Small { len, slots } => SetRepr {
+                store: Store::Small {
+                    len: *len,
+                    slots: slots.clone(),
+                },
+            },
+            Store::Spilled { items, start } => SetRepr::from_sorted_vec(items[*start..].to_vec()),
+            Store::Atoms { ids, start } => SetRepr::from_sorted_ids(ids[*start..].to_vec()),
+            Store::Bits { words, .. } => SetRepr::from_bits(words.clone()),
+        }
     }
 }
 
@@ -334,8 +1206,8 @@ impl Extend<Value> for SetRepr {
 }
 
 impl<'a> IntoIterator for &'a SetRepr {
-    type Item = &'a Value;
-    type IntoIter = std::slice::Iter<'a, Value>;
+    type Item = Value;
+    type IntoIter = SetIter<'a>;
 
     fn into_iter(self) -> Self::IntoIter {
         self.iter()
@@ -347,7 +1219,7 @@ impl IntoIterator for SetRepr {
     type IntoIter = std::vec::IntoIter<Value>;
 
     fn into_iter(self) -> Self::IntoIter {
-        // Unify the two stores into one owned vector of the live elements
+        // Unify the stores into one owned vector of the live elements
         // (dead slots are placeholders, not elements).
         match self.store {
             Store::Small { len, slots } => {
@@ -359,13 +1231,26 @@ impl IntoIterator for SetRepr {
                 items.drain(..start);
                 items.into_iter()
             }
+            Store::Atoms { ids, start } => ids[start..]
+                .iter()
+                .map(|&i| Value::atom(i as u64))
+                .collect::<Vec<_>>()
+                .into_iter(),
+            Store::Bits { words, len, .. } => {
+                let mut out = Vec::with_capacity(len as usize);
+                let mut c = BitCursor::new(&words);
+                while let Some(id) = c.next() {
+                    out.push(Value::atom(id as u64));
+                }
+                out.into_iter()
+            }
         }
     }
 }
 
 impl PartialEq for SetRepr {
     fn eq(&self, other: &Self) -> bool {
-        self.as_slice() == other.as_slice()
+        self.len() == other.len() && self.cmp(other) == Ordering::Equal
     }
 }
 impl Eq for SetRepr {}
@@ -378,19 +1263,51 @@ impl PartialOrd for SetRepr {
 
 /// Lexicographic on the ascending element sequence — the same order
 /// `BTreeSet<Value>` exposed, so the total [`Value`] order (and with it every
-/// `choose`/`rest`/`set-reduce` traversal) is unchanged.
+/// `choose`/`rest`/`set-reduce` traversal) is unchanged. Tier-blind: the
+/// fast paths (value slices, id slices) agree with the mixed-tier cursor
+/// walk by construction.
 impl Ord for SetRepr {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.as_slice().cmp(other.as_slice())
+        if let (Some(a), Some(b)) = (self.value_slice(), other.value_slice()) {
+            return a.cmp(b);
+        }
+        if let (Some(a), Some(b)) = (self.live_ids(), other.live_ids()) {
+            return a.cmp(b);
+        }
+        let mut x = self.elems();
+        let mut y = other.elems();
+        loop {
+            match (x.next(), y.next()) {
+                (Some(e), Some(f)) => match cmp_elem(&e, &f) {
+                    Ordering::Equal => continue,
+                    ord => return ord,
+                },
+                (Some(_), None) => return Ordering::Greater,
+                (None, Some(_)) => return Ordering::Less,
+                (None, None) => return Ordering::Equal,
+            }
+        }
     }
 }
 
 impl Hash for SetRepr {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        // Like the std collections: length, then elements in order.
+        // Like the std collections: length, then elements in order. The
+        // columnar path hashes reconstructed unnamed atoms — bit-identical
+        // to hashing the stored `Value::Atom`s of the generic tier, since
+        // atoms hash by index only.
         self.len().hash(state);
-        for v in self {
-            v.hash(state);
+        match self.value_slice() {
+            Some(items) => {
+                for v in items {
+                    v.hash(state);
+                }
+            }
+            None => {
+                for v in self.iter() {
+                    v.hash(state);
+                }
+            }
         }
     }
 }
@@ -408,6 +1325,21 @@ mod tests {
 
     fn atoms(ixs: impl IntoIterator<Item = u64>) -> SetRepr {
         ixs.into_iter().map(Value::atom).collect()
+    }
+
+    /// RAII guard: disables the columnar tier on this thread, restoring the
+    /// previous value on drop. Thread-local, so concurrent tests on other
+    /// threads are unaffected.
+    struct TierGuard(bool);
+    impl TierGuard {
+        fn off() -> Self {
+            TierGuard(set_atom_tier_enabled(false))
+        }
+    }
+    impl Drop for TierGuard {
+        fn drop(&mut self) {
+            set_atom_tier_enabled(self.0);
+        }
     }
 
     #[test]
@@ -432,7 +1364,7 @@ mod tests {
         assert!(s.insert(Value::atom(1)));
         assert!(s.insert(Value::atom(3)));
         assert!(!s.insert(Value::atom(3)));
-        let got: Vec<_> = s.iter().cloned().collect();
+        let got: Vec<_> = s.iter().collect();
         assert_eq!(got, vec![Value::atom(1), Value::atom(3), Value::atom(5)]);
         assert!(s.contains(&Value::atom(3)));
         assert!(!s.contains(&Value::atom(4)));
@@ -454,16 +1386,16 @@ mod tests {
             s.insert(Value::atom(i * 2));
         }
         assert!(s.is_inline(), "exactly at the cap is still inline");
-        // The spilling insert lands in the middle and keeps the order.
+        // The overflowing insert lands in the middle and keeps the order.
         s.insert(Value::atom(3));
-        assert!(!s.is_inline(), "past the cap spills to the vector");
-        let got: Vec<_> = s.iter().cloned().collect();
+        assert!(!s.is_inline(), "past the cap leaves the inline store");
+        let got: Vec<_> = s.iter().collect();
         assert_eq!(
             got,
             [0u64, 2, 3, 4, 6].map(Value::atom).to_vec(),
             "order preserved across the spill"
         );
-        // Once spilled, stays spilled in place — but a clone re-smallifies
+        // Once grown, stays grown in place — but a clone re-smallifies
         // when the live window fits inline again.
         s.pop_first();
         s.pop_first();
@@ -477,12 +1409,12 @@ mod tests {
     #[test]
     fn pop_first_drains_ascending_in_place() {
         for seed in [vec![4, 2, 9], vec![4, 2, 9, 11, 7, 5]] {
-            // Covers both the inline and the spilled store.
+            // Covers both the inline and the grown store.
             let mut s = atoms(seed.iter().copied());
             let mut expect: Vec<u64> = seed.clone();
             expect.sort_unstable();
             for e in expect {
-                assert_eq!(s.first(), Some(&Value::atom(e)));
+                assert_eq!(s.first(), Some(Value::atom(e)));
                 assert_eq!(s.pop_first(), Some(Value::atom(e)));
             }
             assert_eq!(s.pop_first(), None);
@@ -493,7 +1425,7 @@ mod tests {
     #[test]
     fn window_is_invisible_to_eq_ord_hash_and_clone() {
         use std::collections::hash_map::DefaultHasher;
-        // Large enough to be spilled, so the drained window exists.
+        // Large enough to leave the inline store, so a drained window exists.
         let mut drained = atoms([1, 2, 3, 4, 5, 6]);
         drained.pop_first();
         let fresh = atoms([2, 3, 4, 5, 6]);
@@ -515,11 +1447,11 @@ mod tests {
         let mut s = atoms([1, 5, 9, 13, 17]);
         s.pop_first();
         assert!(s.insert(Value::atom(3)));
-        let got: Vec<_> = s.iter().cloned().collect();
+        let got: Vec<_> = s.iter().collect();
         assert_eq!(got, [3u64, 5, 9, 13, 17].map(Value::atom).to_vec());
         // Re-inserting the popped minimum is a fresh element again.
         assert!(s.insert(Value::atom(1)));
-        assert_eq!(s.first(), Some(&Value::atom(1)));
+        assert_eq!(s.first(), Some(Value::atom(1)));
     }
 
     #[test]
@@ -549,9 +1481,9 @@ mod tests {
         assert!(atoms([1]) < atoms([1, 2]), "a strict prefix sorts first");
         assert!(atoms([0, 1]) < atoms([1]), "smaller minimum sorts first");
         assert_eq!(atoms([]).cmp(&atoms([])), Ordering::Equal);
-        // Inline and spilled stores compare by elements alone.
-        let spilled = atoms([1, 2, 3, 4, 5, 6]);
-        let mut drained = spilled.clone();
+        // Grown and inline stores compare by elements alone.
+        let grown = atoms([1, 2, 3, 4, 5, 6]);
+        let mut drained = grown.clone();
         for _ in 0..3 {
             drained.pop_first();
         }
@@ -575,7 +1507,7 @@ mod tests {
         let a = atoms([1, 3, 5, 7, 9, 11]);
         let b = atoms([2, 3, 4, 11, 12]);
         let u = a.merge_union(&b);
-        let got: Vec<_> = u.iter().cloned().collect();
+        let got: Vec<_> = u.iter().collect();
         assert_eq!(
             got,
             [1u64, 2, 3, 4, 5, 7, 9, 11, 12].map(Value::atom).to_vec()
@@ -588,7 +1520,7 @@ mod tests {
         // Matches the element-by-element fold exactly.
         let mut folded = a.clone();
         for v in b.iter() {
-            folded.insert(v.clone());
+            folded.insert(v);
         }
         assert_eq!(a.merge_union(&b), folded);
         // Identities.
@@ -601,9 +1533,9 @@ mod tests {
         let a = atoms([1, 2, 3, 5, 8, 13]);
         let b = atoms([2, 4, 8, 9]);
         let d = a.merge_sorted_difference(&b);
-        let got: Vec<_> = d.iter().cloned().collect();
+        let got: Vec<_> = d.iter().collect();
         assert_eq!(got, [1u64, 3, 5, 13].map(Value::atom).to_vec());
-        let expected: SetRepr = a.iter().filter(|v| !b.contains(v)).cloned().collect();
+        let expected: SetRepr = a.iter().filter(|v| !b.contains(v)).collect();
         assert_eq!(d, expected);
         assert_eq!(a.merge_sorted_difference(&SetRepr::new()), a);
         assert!(SetRepr::new().merge_sorted_difference(&b).is_empty());
@@ -623,5 +1555,339 @@ mod tests {
     #[test]
     fn debug_renders_as_a_set() {
         assert_eq!(format!("{:?}", atoms([2, 1])), "{d1, d2}");
+    }
+
+    // ---- columnar tier ----
+
+    #[test]
+    fn all_atom_growth_promotes_to_the_columnar_tier() {
+        let s = atoms(0..10);
+        assert_eq!(s.tier_label(), "atoms");
+        assert!(s.is_columnar());
+        assert_eq!(s.atom_count_hint(), Some(10));
+        // Small all-atom sets stay inline; the tier engages past the cap.
+        assert_eq!(atoms(0..3).tier_label(), "inline");
+        // Spill-by-insert promotes too.
+        let mut s = atoms(0..INLINE_CAP as u64);
+        assert!(s.is_inline());
+        s.insert(Value::atom(99));
+        assert_eq!(s.tier_label(), "atoms");
+    }
+
+    #[test]
+    fn non_atom_and_named_contents_stay_generic() {
+        let tuples: SetRepr = (0..8)
+            .map(|i| Value::tuple([Value::atom(i), Value::atom(i + 1)]))
+            .collect();
+        assert_eq!(tuples.tier_label(), "spilled");
+        let named: SetRepr = (0..8).map(|i| Value::named_atom(i, "n")).collect();
+        assert_eq!(named.tier_label(), "spilled");
+        // A huge index cannot be a u32 id.
+        let wide: SetRepr = (0..8).map(|i| Value::atom(i + (1 << 40))).collect();
+        assert_eq!(wide.tier_label(), "spilled");
+    }
+
+    #[test]
+    fn widening_on_foreign_insert_preserves_elements() {
+        let mut s = atoms(0..10);
+        assert_eq!(s.tier_label(), "atoms");
+        assert!(s.insert(Value::tuple([Value::atom(0)])));
+        assert_eq!(s.tier_label(), "spilled");
+        assert_eq!(s.len(), 11);
+        let mut expect: Vec<Value> = (0..10).map(Value::atom).collect();
+        expect.push(Value::tuple([Value::atom(0)]));
+        assert_eq!(s.iter().collect::<Vec<_>>(), expect);
+        // A *novel* named atom also widens (the id store cannot keep the
+        // name)…
+        let mut s = atoms(0..10);
+        assert!(s.insert(Value::named_atom(77, "new")));
+        assert_eq!(s.tier_label(), "spilled");
+        assert_eq!(format!("{}", s.iter().last().unwrap()), "new#77");
+        // …but a named *duplicate* is first-wins: the stored unnamed copy
+        // stays and the tier is kept.
+        let mut s = atoms(0..10);
+        assert!(!s.insert(Value::named_atom(3, "dup")));
+        assert_eq!(s.tier_label(), "atoms");
+        assert!(s.contains(&Value::named_atom(3, "dup")));
+    }
+
+    #[test]
+    fn dense_universes_use_the_bitset_tier() {
+        let s = atoms(0..100);
+        assert_eq!(s.tier_label(), "bits");
+        assert_eq!(s.len(), 100);
+        assert!(s.contains(&Value::atom(42)));
+        assert!(!s.contains(&Value::atom(100)));
+        assert_eq!(s.first(), Some(Value::atom(0)));
+        // Drains ascending like every other tier.
+        let mut d = s.clone();
+        for i in 0..100 {
+            assert_eq!(d.pop_first(), Some(Value::atom(i)));
+        }
+        assert_eq!(d.pop_first(), None);
+        // A sparse insert demotes to sorted ids without losing elements.
+        let mut s = atoms(0..100);
+        assert!(s.insert(Value::atom(1_000_000)));
+        assert_eq!(s.tier_label(), "atoms");
+        assert_eq!(s.len(), 101);
+        assert!(s.contains(&Value::atom(99)));
+        assert!(s.contains(&Value::atom(1_000_000)));
+        // In-range inserts keep the dense form.
+        let mut s = atoms((0..100).map(|i| i * 2));
+        assert_eq!(s.tier_label(), "bits");
+        assert!(s.insert(Value::atom(3)));
+        assert_eq!(s.tier_label(), "bits");
+        assert!(!s.insert(Value::atom(4)));
+    }
+
+    #[test]
+    fn toggle_off_keeps_every_set_generic() {
+        let _guard = TierGuard::off();
+        assert_eq!(atoms(0..10).tier_label(), "spilled");
+        assert_eq!(atoms(0..100).tier_label(), "spilled");
+        assert_eq!(SetRepr::new_atoms().tier_label(), "inline");
+        let mut s = atoms(0..INLINE_CAP as u64);
+        s.insert(Value::atom(99));
+        assert_eq!(s.tier_label(), "spilled");
+        // A columnar set built while the tier was on widens on clone.
+        let columnar = {
+            let _on = set_atom_tier_enabled(true);
+            let s = atoms(0..10);
+            set_atom_tier_enabled(false);
+            s
+        };
+        assert_eq!(columnar.tier_label(), "atoms");
+        assert_eq!(columnar.clone().tier_label(), "spilled");
+    }
+
+    #[test]
+    fn id_merges_match_generic_merges() {
+        let mk = |ids: &[u64]| -> Vec<Value> { ids.iter().map(|&i| Value::atom(i)).collect() };
+        let cases: Vec<(Vec<u64>, Vec<u64>)> = vec![
+            ((0..20).collect(), (10..30).collect()),
+            ((0..200).collect(), (150..160).collect()),
+            ((0..200).step_by(3).collect(), (0..200).step_by(7).collect()),
+            ((0..100).collect(), vec![5]),
+            (vec![1, 2, 3], (0..500).collect()),
+        ];
+        for (xa, xb) in cases {
+            let (ca, cb) = (atoms(xa.iter().copied()), atoms(xb.iter().copied()));
+            let (ga, gb) = {
+                let _guard = TierGuard::off();
+                let ga: SetRepr = mk(&xa).into_iter().collect();
+                let gb: SetRepr = mk(&xb).into_iter().collect();
+                (ga, gb)
+            };
+            let (u_c, u_g) = (ca.merge_union(&cb), {
+                let _guard = TierGuard::off();
+                ga.merge_union(&gb)
+            });
+            assert_eq!(u_c, u_g, "union {xa:?} ∪ {xb:?}");
+            assert_eq!(
+                u_c.iter().collect::<Vec<_>>(),
+                u_g.iter().collect::<Vec<_>>()
+            );
+            let (d_c, d_g) = (ca.merge_sorted_difference(&cb), {
+                let _guard = TierGuard::off();
+                ga.merge_sorted_difference(&gb)
+            });
+            assert_eq!(d_c, d_g, "difference {xa:?} \\ {xb:?}");
+            assert_eq!(
+                d_c.iter().collect::<Vec<_>>(),
+                d_g.iter().collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_tier_merges_agree_with_element_folds() {
+        // Columnar ∪ generic (tuples) exercises the cursor merge.
+        let col = atoms(0..10);
+        let gen: SetRepr = (0..6).map(|i| Value::tuple([Value::atom(i)])).collect();
+        let u = col.merge_union(&gen);
+        assert_eq!(u.len(), 16);
+        assert_eq!(u.tier_label(), "spilled", "tuples force the generic tier");
+        let mut folded = col.clone();
+        for v in gen.iter() {
+            folded.insert(v);
+        }
+        assert_eq!(u, folded);
+        // Named atoms in the generic operand: first-wins keeps columnar
+        // self's unnamed copies.
+        let named: SetRepr = (5..15).map(|i| Value::named_atom(i, "n")).collect();
+        let u = col.merge_union(&named);
+        assert_eq!(u.len(), 15);
+        assert_eq!(format!("{}", u.first().unwrap()), "d0");
+        let five = u.iter().nth(5).unwrap();
+        assert_eq!(format!("{five}"), "d5", "self's copy won the tie");
+        let ten = u.iter().nth(10).unwrap();
+        assert_eq!(format!("{ten}"), "n#10", "other's tail is kept verbatim");
+        // Difference across tiers.
+        let d = col.merge_sorted_difference(&named);
+        assert_eq!(
+            d.iter().collect::<Vec<_>>(),
+            (0..5).map(Value::atom).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn galloping_merge_matches_linear_on_values() {
+        // Skewed sizes over generic (tuple) elements drive the galloping
+        // path; compare against the per-element fold.
+        let big: SetRepr = (0..300)
+            .map(|i| Value::tuple([Value::atom(i), Value::atom(i)]))
+            .collect();
+        let small: SetRepr = [140u64, 141, 260]
+            .into_iter()
+            .map(|i| Value::tuple([Value::atom(i), Value::atom(i)]))
+            .collect();
+        let u = big.merge_union(&small);
+        assert_eq!(u.len(), 300);
+        let mut folded = big.clone();
+        for v in small.iter() {
+            folded.insert(v);
+        }
+        assert_eq!(u, folded);
+        let d = big.merge_sorted_difference(&small);
+        assert_eq!(d.len(), 297);
+        let expected: SetRepr = big.iter().filter(|v| !small.contains(v)).collect();
+        assert_eq!(d, expected);
+        // And the reverse skew.
+        let u2 = small.merge_union(&big);
+        assert_eq!(u2, u);
+        assert!(small.merge_sorted_difference(&big).is_empty());
+    }
+
+    #[test]
+    fn for_each_novelty_matches_reference_across_tiers() {
+        let reference = |acc: &SetRepr, inc: &SetRepr| -> Vec<(usize, bool)> {
+            inc.iter()
+                .map(|v| (v.weight(), !acc.contains(&v)))
+                .collect()
+        };
+        let combos: Vec<(SetRepr, SetRepr)> = vec![
+            (atoms(0..100), atoms(50..150)),          // bits × bits
+            (atoms(0..100), atoms([5, 500, 700])),    // bits × atoms-range
+            (atoms([1, 5, 9, 11, 30]), atoms(0..80)), // atoms × bits
+            (atoms(0..10), atoms(5..15)),             // atoms × atoms
+            (
+                atoms(0..100),
+                (0..6).map(|i| Value::tuple([Value::atom(i)])).collect(),
+            ), // bits × generic
+            (
+                (0..8).map(|i| Value::tuple([Value::atom(i)])).collect(),
+                (4..12).map(|i| Value::tuple([Value::atom(i)])).collect(),
+            ), // generic × generic
+            (SetRepr::new(), atoms(0..5)),
+            (atoms(0..5), SetRepr::new()),
+        ];
+        for (acc, inc) in combos {
+            let mut got = Vec::new();
+            acc.for_each_novelty(&inc, |w, novel| got.push((w, novel)));
+            assert_eq!(
+                got,
+                reference(&acc, &inc),
+                "acc tier {} inc tier {}",
+                acc.tier_label(),
+                inc.tier_label()
+            );
+        }
+    }
+
+    #[test]
+    fn iter_range_partitions_every_tier() {
+        let sets = [
+            atoms([3, 1, 4]),                                         // inline
+            atoms(0..10),                                             // atoms
+            atoms(0..100),                                            // bits
+            (0..8).map(|i| Value::tuple([Value::atom(i)])).collect(), // spilled
+        ];
+        for s in &sets {
+            let n = s.len();
+            let all: Vec<_> = s.iter().collect();
+            for split in [0, 1, n / 2, n] {
+                let lo: Vec<_> = s.iter_range(0..split).collect();
+                let hi: Vec<_> = s.iter_range(split..n).collect();
+                assert_eq!(lo.len(), split, "tier {}", s.tier_label());
+                let glued: Vec<_> = lo.into_iter().chain(hi).collect();
+                assert_eq!(glued, all, "tier {} split {split}", s.tier_label());
+            }
+            // Three-way split too.
+            if n >= 3 {
+                let thirds: Vec<_> = s
+                    .iter_range(0..n / 3)
+                    .chain(s.iter_range(n / 3..2 * n / 3))
+                    .chain(s.iter_range(2 * n / 3..n))
+                    .collect();
+                assert_eq!(thirds, all, "tier {}", s.tier_label());
+            }
+        }
+    }
+
+    #[test]
+    fn cross_tier_eq_ord_hash_agree() {
+        use std::collections::hash_map::DefaultHasher;
+        let hash = |s: &SetRepr| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        // The same element sequence in columnar and generic clothing.
+        let col = atoms(0..100);
+        assert_eq!(col.tier_label(), "bits");
+        let gen: SetRepr = {
+            let _guard = TierGuard::off();
+            (0..100).map(Value::atom).collect()
+        };
+        assert_eq!(gen.tier_label(), "spilled");
+        assert_eq!(col, gen);
+        assert_eq!(col.cmp(&gen), Ordering::Equal);
+        assert_eq!(hash(&col), hash(&gen));
+        // Sorted-id tier against both.
+        let mid = atoms(0..10);
+        let gen10: SetRepr = {
+            let _guard = TierGuard::off();
+            (0..10).map(Value::atom).collect()
+        };
+        assert_eq!(mid, gen10);
+        assert_eq!(hash(&mid), hash(&gen10));
+        // Order across tiers follows the element order.
+        assert!(atoms(0..10) < atoms(0..100), "prefix sorts first");
+        assert!(gen10 < col);
+        // Named atoms compare equal to unnamed ones across tiers.
+        let named: SetRepr = (0..10).map(|i| Value::named_atom(i, "x")).collect();
+        assert_eq!(named.tier_label(), "spilled");
+        assert_eq!(named, mid);
+        assert_eq!(hash(&named), hash(&mid));
+    }
+
+    #[test]
+    fn new_atoms_is_a_working_empty_set() {
+        let mut s = SetRepr::new_atoms();
+        assert_eq!(s.tier_label(), "atoms");
+        assert!(s.is_empty());
+        assert_eq!(s.first(), None);
+        assert_eq!(s.pop_first(), None);
+        assert!(s.insert(Value::atom(2)));
+        assert!(s.insert(Value::atom(1)));
+        assert!(!s.insert(Value::atom(2)));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.first(), Some(Value::atom(1)));
+        assert_eq!(s, atoms([1, 2]));
+        // Widening works from the empty columnar store too.
+        let mut s = SetRepr::new_atoms();
+        assert!(s.insert(Value::nat(7)));
+        assert_eq!(s.tier_label(), "inline");
+    }
+
+    #[test]
+    fn gallop_lt_finds_the_boundary() {
+        let s: Vec<u32> = (0..100).map(|i| i * 2).collect();
+        for bound in [1u32, 2, 3, 50, 51, 197, 198, 199, 500] {
+            let expect = s.partition_point(|x| *x < bound);
+            if expect > 0 {
+                assert_eq!(gallop_lt(&s, &bound), expect, "bound {bound}");
+            }
+        }
     }
 }

@@ -470,7 +470,7 @@ impl<'p> TypeChecker<'p> {
                 Type::Tuple(items.iter().map(|i| self.type_of_value(i)).collect())
             }
             Value::Set(items) => match items.iter().next() {
-                Some(first) => Type::set_of(self.type_of_value(first)),
+                Some(first) => Type::set_of(self.type_of_value(&first)),
                 None => Type::set_of(self.fresh()),
             },
             Value::List(items) => match items.first() {

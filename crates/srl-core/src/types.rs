@@ -163,7 +163,7 @@ impl Type {
             Value::Nat(_) => Type::Nat,
             Value::Tuple(items) => Type::Tuple(items.iter().map(Type::of_value).collect()),
             Value::Set(items) => match items.iter().next() {
-                Some(first) => Type::set_of(Type::of_value(first)),
+                Some(first) => Type::set_of(Type::of_value(&first)),
                 None => Type::set_of(Type::Var(0)),
             },
             Value::List(items) => match items.first() {

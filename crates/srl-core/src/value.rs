@@ -236,7 +236,9 @@ impl Value {
     }
 
     /// The paper's `choose(S)`: the minimal element of a non-empty set.
-    pub fn choose(&self) -> Option<&Value> {
+    /// Returned owned — the columnar set tiers materialise the atom on the
+    /// fly (two words, no allocation) instead of borrowing a stored value.
+    pub fn choose(&self) -> Option<Value> {
         self.as_set().and_then(ValueSet::first)
     }
 
@@ -264,7 +266,13 @@ impl Value {
             Value::Nat(n) => 1 + n.bit_len() / 64,
             Value::Tuple(items) => 1 + items.iter().map(Value::weight).sum::<usize>(),
             Value::List(items) => 1 + items.iter().map(Value::weight).sum::<usize>(),
-            Value::Set(items) => 1 + items.iter().map(Value::weight).sum::<usize>(),
+            Value::Set(items) => {
+                1 + match items.value_slice() {
+                    Some(vs) => vs.iter().map(Value::weight).sum::<usize>(),
+                    // Columnar tiers hold only atoms, each of weight 1.
+                    None => items.len(),
+                }
+            }
         }
     }
 
@@ -276,7 +284,13 @@ impl Value {
             Value::Bool(_) | Value::Atom(_) | Value::Nat(_) => 0,
             Value::Tuple(items) => items.iter().map(Value::set_height).max().unwrap_or(0),
             Value::List(items) => items.iter().map(Value::set_height).max().unwrap_or(0),
-            Value::Set(items) => 1 + items.iter().map(Value::set_height).max().unwrap_or(0),
+            Value::Set(items) => {
+                1 + match items.value_slice() {
+                    Some(vs) => vs.iter().map(Value::set_height).max().unwrap_or(0),
+                    // Columnar tiers hold only atoms, each of height 0.
+                    None => 0,
+                }
+            }
         }
     }
 }
@@ -440,14 +454,14 @@ mod tests {
             Value::atom(2),
         ]);
         let set = s.as_set().unwrap();
-        let items: Vec<_> = set.iter().cloned().collect();
+        let items: Vec<_> = set.iter().collect();
         assert_eq!(items, vec![Value::atom(1), Value::atom(2), Value::atom(3)]);
     }
 
     #[test]
     fn choose_returns_minimum() {
         let s = Value::set([Value::atom(5), Value::atom(2), Value::atom(9)]);
-        assert_eq!(s.choose(), Some(&Value::atom(2)));
+        assert_eq!(s.choose(), Some(Value::atom(2)));
         assert_eq!(Value::empty_set().choose(), None);
         assert_eq!(Value::bool(true).choose(), None);
     }
@@ -492,7 +506,7 @@ mod tests {
     fn domain_set_has_n_elements() {
         let d = domain_set(5);
         assert_eq!(d.len(), Some(5));
-        assert_eq!(d.choose(), Some(&Value::atom(0)));
+        assert_eq!(d.choose(), Some(Value::atom(0)));
     }
 
     #[test]

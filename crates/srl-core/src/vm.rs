@@ -22,7 +22,7 @@
 
 use std::sync::Arc;
 
-use crate::bytecode::{BlockId, Chunk, DialectOp, Insn, Operand, ReduceInsn, ReduceKind};
+use crate::bytecode::{BlockId, Chunk, DialectOp, Insn, Operand, ReduceInsn, ReduceKind, SetTier};
 use crate::error::EvalError;
 use crate::eval::{
     choose_min, head_value, next_fresh_index, require_dialect, rest_value, sel_component_ref,
@@ -636,7 +636,7 @@ fn run_reduce(
         core.bump_step(d)?;
     }
     let set_v = core.take_reg(r.set);
-    let base_v = core.take_reg(r.base);
+    let mut base_v = core.take_reg(r.base);
     let extra_v = core.take_reg(r.extra);
     let x = r.x_slot;
     // Lambda bodies run two levels below the reduce node: apply() at d+1,
@@ -658,7 +658,18 @@ fn run_reduce(
             ReduceKind::Generic { app, acc } => (*app, *acc),
             other => unreachable!("list folds compile to Generic, got {other:?}"),
         };
-        let result = generic_fold(core, ctx, chunk, app, acc, x, &items, base_v, &extra_v, lb)?;
+        let result = generic_fold(
+            core,
+            ctx,
+            chunk,
+            app,
+            acc,
+            x,
+            items.iter().cloned(),
+            base_v,
+            &extra_v,
+            lb,
+        )?;
         core.set_reg(r.dst, result);
         return Ok(());
     }
@@ -675,6 +686,20 @@ fn run_reduce(
     };
     let n = items.len();
 
+    // Static tier pre-promotion: when codegen proved the fold's result is a
+    // `set(atom)` and the base is the empty generic set, start the
+    // accumulator on the columnar atoms tier so inserts stay u32-columnar
+    // from the first element. Stats-neutral: both representations of the
+    // empty set weigh zero and charge nothing. A wrong (advisory) stamp only
+    // costs the fast path — the first non-atom insert demotes in place.
+    if r.acc_tier == SetTier::Atom {
+        if let Value::Set(b) = &base_v {
+            if b.is_empty() && !b.is_columnar() {
+                base_v = Value::Set(Arc::new(crate::setrepr::SetRepr::new_atoms()));
+            }
+        }
+    }
+
     // Proper-hom folds with enough per-element work shard across the worker
     // pool; `try_run` declines (returning `None`) whenever sequential
     // execution is the right strategy, and the sequential arms below remain
@@ -683,7 +708,11 @@ fn run_reduce(
     if let Some(result) =
         crate::parallel::try_run(core, ctx, chunk, r, d, &items, &base_v, &extra_v)
     {
-        core.set_reg(r.dst, result?);
+        let result = result?;
+        if items.is_columnar() || matches!(&result, Value::Set(s) if s.is_columnar()) {
+            core.tier_engagements += 1;
+        }
+        core.set_reg(r.dst, result);
         return Ok(());
     }
 
@@ -695,7 +724,7 @@ fn run_reduce(
             *app,
             *acc,
             x,
-            items.as_slice(),
+            items.iter(),
             base_v,
             &extra_v,
             lb,
@@ -711,21 +740,20 @@ fn run_reduce(
                 core.stats.reduce_iterations += n as u64;
                 core.bump_batch(6 * n as u64, d + 3)?;
                 let w0 = weight_capped(&base_v, ACCUMULATOR_WEIGHT_CAP);
-                match items.as_slice().binary_search(&extra_v) {
-                    Ok(0) => {
+                // Tier-aware membership: a binary search on the sorted
+                // tiers, one word probe on the dense bitset tier.
+                if items.contains(&extra_v) {
+                    if items.first().is_some_and(|m| m == extra_v) {
                         // Hit on the first element: the accumulator is a
                         // boolean after every iteration.
                         core.note_accumulator_weight(1);
-                        Value::Bool(true)
-                    }
-                    Ok(_) => {
+                    } else {
                         core.note_accumulator_weight(w0.max(1));
-                        Value::Bool(true)
                     }
-                    Err(_) => {
-                        core.note_accumulator_weight(w0);
-                        base_v
-                    }
+                    Value::Bool(true)
+                } else {
+                    core.note_accumulator_weight(w0);
+                    base_v
                 }
             }
         }
@@ -742,21 +770,19 @@ fn run_reduce(
                         core.stats.reduce_iterations += n as u64;
                         core.bump_batch(4 * n as u64, d + 3)?;
                         core.stats.inserts += n as u64;
-                        let b_slice = b.as_slice();
-                        let mut j = 0usize;
+                        // Per-element weight and novelty charges without
+                        // materialising values: columnar operands walk id
+                        // space (O(1)-word novelty when the accumulator is
+                        // dense), generic ones the same cursor merge as the
+                        // old two-pointer scan.
                         let mut charged = 0usize;
                         let mut acc_w = w0;
-                        for v in items.as_slice() {
-                            let w = v.weight();
+                        b.for_each_novelty(&items, |w, novel| {
                             charged = charged.saturating_add(w);
-                            while j < b_slice.len() && b_slice[j] < *v {
-                                j += 1;
-                            }
-                            let duplicate = j < b_slice.len() && b_slice[j] == *v;
-                            if !duplicate {
+                            if novel {
                                 acc_w = cap_add(acc_w, w);
                             }
-                        }
+                        });
                         core.charge_allocation(charged)?;
                         core.note_accumulator_weight(capped(acc_w));
                         // One bulk sorted merge; ties keep the accumulator's
@@ -784,9 +810,8 @@ fn run_reduce(
             // exactly like the tree-walk.
             let mut acc = base_v;
             let mut acc_w = weight_capped(&acc, ACCUMULATOR_WEIGHT_CAP);
-            for elem in items.as_slice() {
-                let applied =
-                    insertapp_element(core, ctx, chunk, *app, x, elem.clone(), &extra_v, lb, d)?;
+            for elem in items.iter() {
+                let applied = insertapp_element(core, ctx, chunk, *app, x, elem, &extra_v, lb, d)?;
                 let (grown, novel, w) = core.insert_value(applied, acc)?;
                 acc = grown;
                 if novel {
@@ -805,7 +830,7 @@ fn run_reduce(
         } => {
             let mut acc = base_v;
             let mut acc_w = weight_capped(&acc, ACCUMULATOR_WEIGHT_CAP);
-            for elem in items.as_slice() {
+            for elem in items.iter() {
                 let kept = filter_element(
                     core,
                     ctx,
@@ -815,7 +840,7 @@ fn run_reduce(
                     *cond_index,
                     *value_index,
                     x,
-                    elem.clone(),
+                    elem,
                     &extra_v,
                     lb,
                     d,
@@ -838,9 +863,9 @@ fn run_reduce(
             value_index,
         } => {
             let mut acc = base_v;
-            for elem in items.as_slice() {
+            for elem in items.iter() {
                 core.note_iteration()?;
-                let applied = apply_app(core, ctx, chunk, *app, x, elem.clone(), &extra_v, lb)?;
+                let applied = apply_app(core, ctx, chunk, *app, x, elem, &extra_v, lb)?;
                 core.bump_batch(3, d + 4)?;
                 let flag = match sel_component_ref(&applied, *cond_index)? {
                     Value::Bool(b) => *b,
@@ -871,9 +896,8 @@ fn run_reduce(
             let w0 = weight_capped(&base_v, ACCUMULATOR_WEIGHT_CAP);
             let mut acc = base_v;
             let mut w_now = w0;
-            for elem in items.as_slice() {
-                let hit =
-                    boolacc_element(core, ctx, chunk, *app, x, elem.clone(), &extra_v, lb, d)?;
+            for elem in items.iter() {
+                let hit = boolacc_element(core, ctx, chunk, *app, x, elem, &extra_v, lb, d)?;
                 if *is_or {
                     if hit {
                         acc = Value::Bool(true);
@@ -891,7 +915,7 @@ fn run_reduce(
         ReduceKind::Monotone { app, acc } => {
             let mut accumulator = base_v;
             let mut acc_w = weight_capped(&accumulator, ACCUMULATOR_WEIGHT_CAP);
-            for elem in items.as_slice() {
+            for elem in items.iter() {
                 let (grown, delta) = monotone_element(
                     core,
                     ctx,
@@ -899,7 +923,7 @@ fn run_reduce(
                     *app,
                     *acc,
                     x,
-                    elem.clone(),
+                    elem,
                     &extra_v,
                     lb,
                     accumulator,
@@ -912,6 +936,12 @@ fn run_reduce(
             accumulator
         }
     };
+    // Diagnostic: a fold engaged the columnar tier when it traversed a
+    // columnar set or produced one. Not part of `EvalStats` — values and
+    // stats are tier-invariant; only this counter observes the tier.
+    if items.is_columnar() || matches!(&result, Value::Set(s) if s.is_columnar()) {
+        core.tier_engagements += 1;
+    }
     core.set_reg(r.dst, result);
     Ok(())
 }
@@ -926,7 +956,7 @@ fn generic_fold(
     app: BlockId,
     acc: BlockId,
     x: u16,
-    items: &[Value],
+    items: impl Iterator<Item = Value>,
     base_v: Value,
     extra_v: &Value,
     lambda_base: usize,
@@ -940,7 +970,7 @@ fn generic_fold(
             app,
             acc,
             x,
-            elem.clone(),
+            elem,
             extra_v,
             lambda_base,
             accumulator,

@@ -14,8 +14,12 @@
 //! above). Jump targets are instruction indices within the block. Every
 //! reduce line also names its [`FoldClass`](srl_core::bytecode::FoldClass)
 //! (`class=proper-hom` — shard-splittable across the worker pool — or
-//! `class=ordered`) and its static per-element cost estimate, so the
-//! parallel executor's compile-time decisions are auditable here.
+//! `class=ordered`), the statically proved storage tier of the traversed
+//! set and of the fold's accumulator (`tier=<set>/<acc>`, where `atom`
+//! means shape inference proved `set(atom)` and the columnar fast path
+//! pre-engages; see `srl_core::bytecode::SetTier`), and its static
+//! per-element cost estimate, so the compile-time decisions of both the
+//! parallel executor and the columnar tier are auditable here.
 
 use srl_core::bytecode::{Block, Chunk, FoldOrigin, Insn, Operand, ReduceKind};
 use srl_core::lower::{CompiledProgram, LoweredExpr};
@@ -228,10 +232,12 @@ fn render_insn(chunk: &Chunk, insn: &Insn) -> String {
                 FoldOrigin::List => " origin=list".to_string(),
             };
             format!(
-                "r{} <- {}reduce[{kind}] class={}{origin} cost={} set=r{} base=r{} extra=r{} x=r{}  @{}",
+                "r{} <- {}reduce[{kind}] class={}{origin} tier={}/{} cost={} set=r{} base=r{} extra=r{} x=r{}  @{}",
                 r.dst,
                 if r.is_list { "list-" } else { "" },
                 r.class.label(),
+                r.tier.label(),
+                r.acc_tier.label(),
                 r.unit_cost,
                 r.set,
                 r.base,
@@ -321,6 +327,41 @@ mod tests {
             text.contains("class=proper-hom origin=spine(def#0)"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn typed_folds_disassemble_with_the_atom_tier() {
+        use srl_core::types::Type;
+        let p = Program::srl().define_typed(
+            "copy",
+            [("S", Type::set_of(Type::Atom))],
+            set_reduce(
+                var("S"),
+                Lambda::identity(),
+                lam("x", "acc", insert(var("x"), var("acc"))),
+                empty_set(),
+                empty_set(),
+            ),
+        );
+        let c = p.compile();
+        let text = disasm_program(&c);
+        assert!(text.contains("tier=atom/atom"), "{text}");
+
+        // Without the declaration, shape inference has nothing to stand on.
+        let p = Program::srl().define(
+            "copy",
+            ["S"],
+            set_reduce(
+                var("S"),
+                Lambda::identity(),
+                lam("x", "acc", insert(var("x"), var("acc"))),
+                empty_set(),
+                empty_set(),
+            ),
+        );
+        let c = p.compile();
+        let text = disasm_program(&c);
+        assert!(text.contains("tier=generic/generic"), "{text}");
     }
 
     #[test]

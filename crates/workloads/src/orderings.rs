@@ -101,7 +101,7 @@ impl DomainRenaming {
             }),
             Value::Tuple(items) => Value::tuple(items.iter().map(|i| self.apply(i))),
             Value::List(items) => Value::list(items.iter().map(|i| self.apply(i))),
-            Value::Set(items) => Value::set(items.iter().map(|i| self.apply(i))),
+            Value::Set(items) => Value::set(items.iter().map(|i| self.apply(&i))),
         }
     }
 
@@ -143,8 +143,8 @@ mod tests {
         let renamed = r.apply(&v);
         // {1, 3} becomes {8, 6}; the minimum element changes identity.
         assert_eq!(renamed, Value::set([Value::atom(6), Value::atom(8)]));
-        assert_eq!(v.choose(), Some(&Value::atom(1)));
-        assert_eq!(renamed.choose(), Some(&Value::atom(6)));
+        assert_eq!(v.choose(), Some(Value::atom(1)));
+        assert_eq!(renamed.choose(), Some(Value::atom(6)));
     }
 
     #[test]

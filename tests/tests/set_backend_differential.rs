@@ -63,7 +63,7 @@ impl Gen {
 }
 
 fn elements(repr: &SetRepr) -> Vec<Value> {
-    repr.iter().cloned().collect()
+    repr.iter().collect()
 }
 
 fn oracle_elements(oracle: &BTreeSet<Value>) -> Vec<Value> {
@@ -97,7 +97,7 @@ fn insert_and_membership_agree_with_btreeset() {
             oracle_elements(&oracle),
             "case {case}: iteration order differs"
         );
-        assert_eq!(repr.first(), oracle.iter().next(), "case {case}");
+        assert_eq!(repr.first(), oracle.iter().next().cloned(), "case {case}");
     }
 }
 
