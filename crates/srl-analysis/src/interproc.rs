@@ -50,12 +50,13 @@ pub struct FoldRow {
     /// it by input cardinality to decide whether sharding pays).
     pub unit_cost: u32,
     /// Storage-tier label of the traversed set (`"atom"` when shape
-    /// inference proved `set(atom)`, so the columnar tier pre-engages;
+    /// inference proved `set(atom)`, `"tuple(k)"` when it proved an
+    /// arity-k atom-tuple set — the columnar tier pre-engages either way;
     /// `"generic"` otherwise — see `srl_core::bytecode::SetTier`).
-    pub tier: &'static str,
+    pub tier: String,
     /// Storage-tier label of the fold's accumulator, same vocabulary as
     /// [`FoldRow::tier`]; `"generic"` for list folds.
-    pub acc_tier: &'static str,
+    pub acc_tier: String,
     /// Human-readable reason for the verdict, definition names resolved.
     pub reason: String,
 }

@@ -219,6 +219,81 @@ pub mod queries {
         union(var("A"), var("B"))
     }
 
+    /// E5 (rows-tier core): the reachability *relation* from `choose(D)`
+    /// along `E` — the pairs `(s, v)` with `v` reachable from the chosen
+    /// source — by one frontier-expansion round per element of the driver
+    /// set `K`. The pair twin of [`reach_query`]: the accumulator is a
+    /// fixed-arity atom-tuple relation, so per edge the round probes one
+    /// pair tuple against the columnar row store (per-column binary
+    /// search), and each round ends in one bulk row-store union.
+    pub fn pair_reach_query() -> Expr {
+        // One round, the accumulated relation threaded through `extra`:
+        // {(s, e.2) | e ∈ E, (s, e.1) ∈ R}.
+        let step = set_reduce(
+            var("E"),
+            lam(
+                "__pr_e",
+                "__pr_r",
+                tuple([
+                    sel(var("__pr_e"), 2),
+                    member(tuple([var("__pr_s"), sel(var("__pr_e"), 1)]), var("__pr_r")),
+                ]),
+            ),
+            lam(
+                "__pr_p",
+                "__pr_acc",
+                if_(
+                    sel(var("__pr_p"), 2),
+                    insert(
+                        tuple([var("__pr_s"), sel(var("__pr_p"), 1)]),
+                        var("__pr_acc"),
+                    ),
+                    var("__pr_acc"),
+                ),
+            ),
+            empty_set(),
+            var("__pc_acc"),
+        );
+        let rounds = set_reduce(
+            var("K"),
+            lam("__pc_k", "__pc_unused", var("__pc_k")),
+            lam("__pc_round", "__pc_acc", union(var("__pc_acc"), step)),
+            insert(tuple([var("__pr_s"), var("__pr_s")]), empty_set()),
+            empty_set(),
+        );
+        // Bind the source once by folding over the singleton {choose(D)}:
+        // the combiner parameter `__pr_s` scopes the source for the rounds
+        // (the same capture trick [`product_relation`] uses for `__xp_a`).
+        set_reduce(
+            insert(choose(var("D")), empty_set()),
+            lam("__pr_s0", "__pr_u", var("__pr_s0")),
+            lam("__pr_s", "__pr_out", rounds),
+            empty_set(),
+            empty_set(),
+        )
+    }
+
+    /// Product relation: `A × B` as pair tuples — every insert is an
+    /// arity-2 plain-atom tuple, so the accumulator lives on the
+    /// struct-of-arrays rows tier end to end (one galloping bulk union per
+    /// outer element).
+    pub fn product_relation() -> Expr {
+        let row = set_reduce(
+            var("B"),
+            lam("__xp_b", "__xp_u", tuple([var("__xp_a"), var("__xp_b")])),
+            lam("__xp_p", "__xp_acc", insert(var("__xp_p"), var("__xp_acc"))),
+            empty_set(),
+            empty_set(),
+        );
+        set_reduce(
+            var("A"),
+            lam("__xp_e", "__xp_u0", var("__xp_e")),
+            lam("__xp_a", "__xp_out", union(var("__xp_out"), row)),
+            empty_set(),
+            empty_set(),
+        )
+    }
+
     /// E9: ids of the employees in department `dept` (select + project).
     pub fn employees_in_department(dept: u64) -> Expr {
         project(

@@ -29,7 +29,7 @@
 use std::process::ExitCode;
 
 use srl_core::pipeline::{Pipeline, Source};
-use srl_core::{EvalError, EvalLimits, EvalStats, ExecBackend, Value};
+use srl_core::{EvalError, EvalLimits, EvalStats, ExecBackend, TierEngagements, Value};
 use srl_syntax::frontend::{FrontendError, TextFrontend};
 
 mod repl;
@@ -333,11 +333,13 @@ fn run(rest: &[String]) -> ExitCode {
     match evaluator.call(&entry, &values) {
         Ok(value) => {
             let stats = *evaluator.stats();
+            let tiers = evaluator.tier_engagement_breakdown();
             if opts.json {
-                println!("{}", result_json(&value, &stats));
+                println!("{}", result_json(&value, &stats, &tiers));
             } else {
                 println!("{value}");
                 eprintln!("{}", stats_table(&stats));
+                eprintln!("{}", tiers_table(&tiers));
             }
             ExitCode::SUCCESS
         }
@@ -576,13 +578,35 @@ fn disasm(rest: &[String]) -> ExitCode {
     }
 }
 
-/// The result and statistics as JSON, fields in a fixed order so the output
-/// is diffable across backends (the stats contract makes them identical).
-fn result_json(value: &Value, stats: &EvalStats) -> String {
+/// The result, statistics, and columnar-tier engagement diagnostics as
+/// JSON, fields in a fixed order so the output is diffable across backends
+/// and thread counts (the stats contract makes the stats identical; the
+/// engagement counts are deterministic per program, so they diff clean
+/// too).
+fn result_json(value: &Value, stats: &EvalStats, tiers: &TierEngagements) -> String {
     format!(
-        "{{\n  \"result\": \"{}\",\n  \"stats\": {}\n}}",
+        "{{\n  \"result\": \"{}\",\n  \"stats\": {},\n  \"tiers\": {}\n}}",
         escape_json(&value.to_string()),
-        stats_json(stats)
+        stats_json(stats),
+        tiers_json(tiers)
+    )
+}
+
+/// The per-tier engagement breakdown (see
+/// `Evaluator::tier_engagement_breakdown`): stats-adjacent diagnostics, not
+/// part of `EvalStats` — they report the storage strategy, which folds ran
+/// on which columnar tier.
+fn tiers_json(tiers: &TierEngagements) -> String {
+    format!(
+        "{{ \"atoms\": {}, \"bits\": {}, \"rows\": {} }}",
+        tiers.atoms, tiers.bits, tiers.rows
+    )
+}
+
+fn tiers_table(tiers: &TierEngagements) -> String {
+    format!(
+        "tier engagements: atoms {}  bits {}  rows {}",
+        tiers.atoms, tiers.bits, tiers.rows
     )
 }
 

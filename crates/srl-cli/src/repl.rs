@@ -331,13 +331,24 @@ fn handle_line(session: &mut Session, line: &str) -> bool {
     match srl_syntax::parse_expr(line) {
         Ok(expr) => {
             let env = session.env.clone();
-            match session.artifact().eval(&expr, &env) {
-                Ok((value, stats)) => {
+            // An explicit evaluator (not `Compiled::eval`) keeps the
+            // columnar-tier engagement diagnostics observable.
+            let mut evaluator = session.artifact().evaluator();
+            match evaluator.eval(&expr, &env) {
+                Ok(value) => {
+                    let stats = *evaluator.stats();
+                    let tiers = evaluator.tier_engagement_breakdown();
                     println!("{value}");
                     println!(
                         "  [steps {} | reduce iterations {} | inserts {}]",
                         stats.steps, stats.reduce_iterations, stats.inserts
                     );
+                    if tiers.total() > 0 {
+                        println!(
+                            "  [tiers: atoms {} | bits {} | rows {}]",
+                            tiers.atoms, tiers.bits, tiers.rows
+                        );
+                    }
                 }
                 Err(e) => eprintln!("evaluation error: {e}"),
             }

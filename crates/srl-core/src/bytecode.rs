@@ -432,7 +432,7 @@ pub struct ReduceInsn {
 }
 
 /// The statically-proved storage tier of a fused fold's set operand — the
-/// compile-time face of [`crate::setrepr`]'s columnar small-atom tier.
+/// compile-time face of [`crate::setrepr`]'s columnar tiers.
 /// Stamped on every [`ReduceInsn`] by codegen from the shape inference in
 /// [`crate::tier`]; reported by the disassembler and `srl analyze` next to
 /// the fold class.
@@ -441,27 +441,50 @@ pub enum SetTier {
     /// Proved `set(atom)`: the sorted-`u32`/bitset columnar representation
     /// applies to every value this operand can hold.
     Atom,
-    /// Shape unknown or not `set(atom)`: generic sorted-`Vec<Value>`
-    /// storage (which may still promote adaptively at run time).
+    /// Proved `set(tuple(atom, …, atom))` of this arity: the
+    /// struct-of-arrays row representation applies to every value this
+    /// operand can hold.
+    Tuple {
+        /// The tuple width `k` of the proved `set(tuple(atom^k))` shape.
+        arity: u8,
+    },
+    /// Shape unknown or neither `set(atom)` nor a fixed-arity atom-tuple
+    /// set: generic sorted-`Vec<Value>` storage (which may still promote
+    /// adaptively at run time).
     Generic,
 }
 
 impl SetTier {
     /// The tier a statically-inferred shape proves: [`SetTier::Atom`]
-    /// exactly for `set(atom)` (not for polymorphic or unknown shapes).
+    /// exactly for `set(atom)`, [`SetTier::Tuple`] exactly for
+    /// `set(tuple(atom, …, atom))` with arity in `1..=255` (not for
+    /// polymorphic or unknown shapes).
     pub(crate) fn of(ty: Option<&Type>) -> SetTier {
         match ty {
             Some(Type::Set(inner)) if **inner == Type::Atom => SetTier::Atom,
+            Some(Type::Set(inner)) => match &**inner {
+                Type::Tuple(ts)
+                    if !ts.is_empty()
+                        && ts.len() <= u8::MAX as usize
+                        && ts.iter().all(|t| *t == Type::Atom) =>
+                {
+                    SetTier::Tuple {
+                        arity: ts.len() as u8,
+                    }
+                }
+                _ => SetTier::Generic,
+            },
             _ => SetTier::Generic,
         }
     }
 
-    /// Short lowercase label (`atom` / `generic`) for the disassembler and
-    /// diagnostics.
-    pub fn label(&self) -> &'static str {
+    /// Short lowercase label (`atom` / `tuple(k)` / `generic`) for the
+    /// disassembler and diagnostics.
+    pub fn label(&self) -> String {
         match self {
-            SetTier::Atom => "atom",
-            SetTier::Generic => "generic",
+            SetTier::Atom => "atom".to_string(),
+            SetTier::Tuple { arity } => format!("tuple({arity})"),
+            SetTier::Generic => "generic".to_string(),
         }
     }
 }

@@ -58,12 +58,47 @@ use crate::error::EvalError;
 use crate::limits::{EvalLimits, EvalStats};
 use crate::lower::{CompiledProgram, LExpr, LId, LLambda, LoweredExpr};
 use crate::program::{Env, Program};
+use crate::setrepr::{ColumnarKind, SetRepr};
 use crate::value::Value;
 
 /// Cap used when measuring accumulator sizes: accumulators larger than this
 /// are recorded as "at least the cap", which is all the logspace experiments
 /// need to know, and keeps measurement from dominating evaluation time.
 pub(crate) const ACCUMULATOR_WEIGHT_CAP: usize = 4_096;
+
+/// Per-tier breakdown of the columnar engagement diagnostic: how many
+/// `set-reduce` folds traversed or produced a set on each columnar tier
+/// (see [`crate::setrepr`]). A fold counts **once**, under the traversed
+/// set's tier when that is columnar, else under the produced set's — so
+/// [`TierEngagements::total`] is exactly the engagement count the
+/// aggregate [`Evaluator::tier_engagements`] diagnostic has always
+/// reported. Deliberately **not** part of [`EvalStats`]: the statistics
+/// are byte-identical whether or not any tier engages, while this reports
+/// the storage strategy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TierEngagements {
+    /// Folds engaging the sorted-`u32` atoms tier.
+    pub atoms: u64,
+    /// Folds engaging the dense bitset tier.
+    pub bits: u64,
+    /// Folds engaging the struct-of-arrays atom-tuple rows tier.
+    pub rows: u64,
+}
+
+impl TierEngagements {
+    /// Engagements across all columnar tiers.
+    pub fn total(&self) -> u64 {
+        self.atoms + self.bits + self.rows
+    }
+}
+
+impl std::ops::AddAssign for TierEngagements {
+    fn add_assign(&mut self, rhs: Self) {
+        self.atoms += rhs.atoms;
+        self.bits += rhs.bits;
+        self.rows += rhs.rows;
+    }
+}
 
 /// Which execution engine an [`Evaluator`] runs.
 ///
@@ -170,10 +205,11 @@ pub(crate) struct EvalCore {
     /// parallel path engaged without perturbing the byte-identical stats.
     pub(crate) parallel_folds: u64,
     /// Diagnostic (not part of [`EvalStats`]): how many folds traversed or
-    /// produced a columnar (atoms/bits tier) set. Lets the differential
-    /// suites prove the small-atom tier actually engaged on a workload
-    /// without perturbing the byte-identical stats.
-    pub(crate) tier_engagements: u64,
+    /// produced a columnar (atoms/bits/rows tier) set, broken down by
+    /// tier. Lets the differential suites prove the columnar tiers
+    /// actually engaged on a workload without perturbing the
+    /// byte-identical stats.
+    pub(crate) tier_engagements: TierEngagements,
     /// The shared stop flag polled at the amortized cancellation points.
     /// Reset to `Running` when a root evaluation starts; cloned into every
     /// parallel shard worker so a stop reaches all siblings.
@@ -238,7 +274,7 @@ impl Evaluator {
                 frame_base: 0,
                 spine_delta: 0,
                 parallel_folds: 0,
-                tier_engagements: 0,
+                tier_engagements: TierEngagements::default(),
                 cancel: CancelToken::new(),
                 deadline_at: None,
                 next_poll: POLL_STRIDE,
@@ -283,12 +319,21 @@ impl Evaluator {
     }
 
     /// Diagnostic counter: how many `set-reduce` folds traversed a columnar
-    /// input or produced a columnar accumulator (the sorted-`u32` atoms tier
-    /// or the dense bitset tier, see [`crate::setrepr`]). Like
-    /// [`Evaluator::parallel_folds`], deliberately **not** part of
-    /// [`EvalStats`]: the statistics are byte-identical whether or not the
-    /// tier engages, while this counter reports the storage strategy.
+    /// input or produced a columnar accumulator (the sorted-`u32` atoms
+    /// tier, the dense bitset tier, or the struct-of-arrays rows tier, see
+    /// [`crate::setrepr`]). Like [`Evaluator::parallel_folds`],
+    /// deliberately **not** part of [`EvalStats`]: the statistics are
+    /// byte-identical whether or not the tier engages, while this counter
+    /// reports the storage strategy. The per-tier breakdown is
+    /// [`Evaluator::tier_engagement_breakdown`].
     pub fn tier_engagements(&self) -> u64 {
+        self.core.tier_engagements.total()
+    }
+
+    /// Per-tier breakdown of [`Evaluator::tier_engagements`]: which
+    /// columnar tier each engaged fold ran on (the traversed set's tier
+    /// when columnar, else the produced set's).
+    pub fn tier_engagement_breakdown(&self) -> TierEngagements {
         self.core.tier_engagements
     }
 
@@ -297,7 +342,7 @@ impl Evaluator {
         self.core.stats = EvalStats::default();
         self.core.allocated_leaves = 0;
         self.core.parallel_folds = 0;
-        self.core.tier_engagements = 0;
+        self.core.tier_engagements = TierEngagements::default();
         self.core.last_error_stats = None;
     }
 
@@ -428,6 +473,24 @@ impl Evaluator {
 }
 
 impl EvalCore {
+    /// Records one fold's tier engagement: a fold that traversed or
+    /// produced a columnar set counts once, under the traversed set's tier
+    /// when that is columnar, else under the produced set's. Shared by the
+    /// tree-walk and both VM reduce paths so the diagnostic (like the
+    /// stats) is backend-invariant.
+    pub(crate) fn record_tier_engagement(&mut self, items: &SetRepr, produced: &Value) {
+        let kind = items.columnar_kind().or_else(|| match produced {
+            Value::Set(s) => s.columnar_kind(),
+            _ => None,
+        });
+        match kind {
+            Some(ColumnarKind::Atoms) => self.tier_engagements.atoms += 1,
+            Some(ColumnarKind::Bits) => self.tier_engagements.bits += 1,
+            Some(ColumnarKind::Rows) => self.tier_engagements.rows += 1,
+            None => {}
+        }
+    }
+
     /// Installs a fresh root frame holding `inputs`, runs `body`, and drops
     /// the frame eagerly — shared by [`Evaluator::eval_lowered`] and
     /// [`Evaluator::call`]. Dropping before returning (not at the next
@@ -791,9 +854,7 @@ impl EvalCore {
                 }
                 // Diagnostic parity with the VM: a fold that traversed or
                 // produced a columnar set counts as one tier engagement.
-                if items.is_columnar() || matches!(&accumulator, Value::Set(s) if s.is_columnar()) {
-                    self.tier_engagements += 1;
-                }
+                self.record_tier_engagement(&items, &accumulator);
                 Ok(accumulator)
             }
             LExpr::ListReduce {
@@ -1185,8 +1246,9 @@ pub(crate) fn weight_capped(v: &Value, cap: usize) -> usize {
             Value::Bool(_) | Value::Atom(_) | Value::Nat(_) => true,
             Value::Tuple(items) => items.iter().all(|i| go(i, budget)),
             Value::List(items) => items.iter().all(|i| go(i, budget)),
-            Value::Set(items) => match items.atom_count_hint() {
-                // Columnar: n atoms of weight 1 — charge them in one step.
+            Value::Set(items) => match items.columnar_weight_sum() {
+                // Columnar: element weights are known without a walk (atoms
+                // weigh 1, arity-k rows 1 + k) — charge them in one step.
                 Some(n) => {
                     if n <= *budget {
                         *budget -= n;

@@ -96,7 +96,9 @@ pub use bytecode::{Chunk, FoldClass, FoldOrigin};
 pub use cancel::{CancelState, CancelToken};
 pub use dialect::Dialect;
 pub use error::{CheckError, EvalError, SrlError};
-pub use eval::{eval_expr, eval_expr_with_stats, run_program, Evaluator, ExecBackend};
+pub use eval::{
+    eval_expr, eval_expr_with_stats, run_program, Evaluator, ExecBackend, TierEngagements,
+};
 pub use intern::{Symbol, SymbolTable};
 pub use limits::{EvalLimits, EvalStats};
 pub use lower::{program_fingerprint, CompiledDef, CompiledProgram, LExpr, LLambda, LoweredExpr};

@@ -100,7 +100,7 @@ use std::thread;
 
 use crate::bytecode::{Chunk, FoldClass, ReduceInsn, ReduceKind, SetTier};
 use crate::error::EvalError;
-use crate::eval::{weight_capped, EvalCore, ACCUMULATOR_WEIGHT_CAP, POLL_STRIDE};
+use crate::eval::{weight_capped, EvalCore, TierEngagements, ACCUMULATOR_WEIGHT_CAP, POLL_STRIDE};
 use crate::faultpoint;
 use crate::limits::{EvalLimits, EvalStats};
 use crate::setrepr::SetRepr;
@@ -125,9 +125,9 @@ struct ShardRun {
     /// The worker's total allocated leaves (zero-based; summed into the
     /// caller's running allocation count).
     allocated: usize,
-    /// The worker's columnar-tier engagement count (diagnostic, see
+    /// The worker's per-tier columnar engagement counts (diagnostic, see
     /// [`EvalCore::tier_engagements`]; summed in shard order).
-    tier_engagements: u64,
+    tier_engagements: TierEngagements,
     /// The shard's data outcome, or the error its earliest element raised.
     outcome: Result<ShardData, EvalError>,
 }
@@ -264,7 +264,7 @@ fn run_sharded(
                 frame_base: 0,
                 spine_delta: 0,
                 parallel_folds: 0,
-                tier_engagements: 0,
+                tier_engagements: TierEngagements::default(),
                 cancel: cancel.clone(),
                 deadline_at,
                 next_poll: POLL_STRIDE,
@@ -292,7 +292,7 @@ fn run_sharded(
             ShardRun {
                 stats: EvalStats::default(),
                 allocated: 0,
-                tier_engagements: 0,
+                tier_engagements: TierEngagements::default(),
                 outcome: Err(EvalError::Internal {
                     detail: format!(
                         "shard {shard} worker panicked: {}",
@@ -330,14 +330,15 @@ fn run_sharded(
 }
 
 /// The empty accumulator a shard starts from: the columnar atoms tier when
-/// codegen proved the fold result is a `set(atom)`, the generic tier
-/// otherwise. Stats-neutral (both empty sets weigh zero), mirroring
+/// codegen proved the fold result is a `set(atom)`, the struct-of-arrays
+/// row tier when it proved a fixed-arity atom-tuple set, the generic tier
+/// otherwise. Stats-neutral (every empty set weighs zero), mirroring
 /// `run_reduce`'s static pre-promotion of the sequential base.
 fn shard_seed(r: &ReduceInsn) -> Value {
-    if r.acc_tier == SetTier::Atom {
-        Value::Set(Arc::new(SetRepr::new_atoms()))
-    } else {
-        Value::empty_set()
+    match r.acc_tier {
+        SetTier::Atom => Value::Set(Arc::new(SetRepr::new_atoms())),
+        SetTier::Tuple { arity } => Value::Set(Arc::new(SetRepr::new_rows(arity as usize))),
+        SetTier::Generic => Value::empty_set(),
     }
 }
 

@@ -269,8 +269,11 @@ impl Value {
             Value::Set(items) => {
                 1 + match items.value_slice() {
                     Some(vs) => vs.iter().map(Value::weight).sum::<usize>(),
-                    // Columnar tiers hold only atoms, each of weight 1.
-                    None => items.len(),
+                    // Columnar tiers know their element weights without a
+                    // walk: atoms weigh 1, arity-k rows weigh 1 + k.
+                    None => items
+                        .columnar_weight_sum()
+                        .expect("non-slice tiers are columnar"),
                 }
             }
         }
@@ -287,7 +290,8 @@ impl Value {
             Value::Set(items) => {
                 1 + match items.value_slice() {
                     Some(vs) => vs.iter().map(Value::set_height).max().unwrap_or(0),
-                    // Columnar tiers hold only atoms, each of height 0.
+                    // Columnar tiers hold only atoms and atom tuples, each
+                    // of height 0.
                     None => 0,
                 }
             }

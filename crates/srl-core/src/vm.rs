@@ -687,17 +687,29 @@ fn run_reduce(
     let n = items.len();
 
     // Static tier pre-promotion: when codegen proved the fold's result is a
-    // `set(atom)` and the base is the empty generic set, start the
-    // accumulator on the columnar atoms tier so inserts stay u32-columnar
-    // from the first element. Stats-neutral: both representations of the
-    // empty set weigh zero and charge nothing. A wrong (advisory) stamp only
-    // costs the fast path — the first non-atom insert demotes in place.
-    if r.acc_tier == SetTier::Atom {
-        if let Value::Set(b) = &base_v {
-            if b.is_empty() && !b.is_columnar() {
-                base_v = Value::Set(Arc::new(crate::setrepr::SetRepr::new_atoms()));
+    // `set(atom)` (or a fixed-arity atom-tuple set) and the base is the
+    // empty generic set, start the accumulator on the matching columnar
+    // tier so inserts stay u32-columnar from the first element.
+    // Stats-neutral: all representations of the empty set weigh zero and
+    // charge nothing. A wrong (advisory) stamp only costs the fast path —
+    // the first non-conforming insert demotes in place.
+    match r.acc_tier {
+        SetTier::Atom => {
+            if let Value::Set(b) = &base_v {
+                if b.is_empty() && !b.is_columnar() {
+                    base_v = Value::Set(Arc::new(crate::setrepr::SetRepr::new_atoms()));
+                }
             }
         }
+        SetTier::Tuple { arity } => {
+            if let Value::Set(b) = &base_v {
+                if b.is_empty() && !b.is_columnar() {
+                    base_v =
+                        Value::Set(Arc::new(crate::setrepr::SetRepr::new_rows(arity as usize)));
+                }
+            }
+        }
+        SetTier::Generic => {}
     }
 
     // Proper-hom folds with enough per-element work shard across the worker
@@ -709,9 +721,7 @@ fn run_reduce(
         crate::parallel::try_run(core, ctx, chunk, r, d, &items, &base_v, &extra_v)
     {
         let result = result?;
-        if items.is_columnar() || matches!(&result, Value::Set(s) if s.is_columnar()) {
-            core.tier_engagements += 1;
-        }
+        core.record_tier_engagement(&items, &result);
         core.set_reg(r.dst, result);
         return Ok(());
     }
@@ -939,9 +949,7 @@ fn run_reduce(
     // Diagnostic: a fold engaged the columnar tier when it traversed a
     // columnar set or produced one. Not part of `EvalStats` — values and
     // stats are tier-invariant; only this counter observes the tier.
-    if items.is_columnar() || matches!(&result, Value::Set(s) if s.is_columnar()) {
-        core.tier_engagements += 1;
-    }
+    core.record_tier_engagement(&items, &result);
     core.set_reg(r.dst, result);
     Ok(())
 }
