@@ -24,6 +24,7 @@
 
 pub mod interproc;
 pub mod order;
+pub mod report;
 pub mod syntactic;
 
 pub use interproc::{analyze_compiled, analyze_expression, FoldRow, InterprocReport, SpineRow};
@@ -31,6 +32,7 @@ pub use order::{
     analyze_order_dependence, combiner_seems_commutative_associative, permutation_test,
     provably_order_independent, OrderVerdict,
 };
+pub use report::{analyze_json, analyze_json_with, analyze_table};
 pub use syntactic::{
     analyze_expr, analyze_program, classify, classify_program, Classification, Fragment, Measures,
 };

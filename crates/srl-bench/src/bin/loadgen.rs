@@ -1,0 +1,483 @@
+//! Load generator for the `srl-serve` line protocol: an in-process server
+//! driven by an **open-loop arrival schedule** over a fixed connection
+//! pool, reporting request-latency percentiles, shed rate and the
+//! program-cache counters. The recorded numbers live in `BENCH_8.json`.
+//!
+//! Three scenarios run by default:
+//!
+//! - **warm** — a fixed experiment-flavored request mix (E2 powerset, E3
+//!   BASRL add, E1 membership/APATH, E9 projection, plus `analyze` and
+//!   `check` traffic) over a handful of program texts, so after the first
+//!   round every compile is a cache hit;
+//! - **cold** — the same mix, but every request's program text carries a
+//!   unique definition-name suffix, so every compile is a cache miss
+//!   (the compile-per-request worst case);
+//! - **overload** — the warm mix at a higher arrival rate against
+//!   `--max-inflight 2`, demonstrating structured shedding: shed requests
+//!   get the `overloaded` taxonomy immediately instead of queueing.
+//!
+//! Open loop means request *start times* are fixed by the schedule (index
+//! `i` departs at `i / rps` seconds), not by completions — a saturated
+//! server falls behind the schedule and the latency distribution shows
+//! it. Each sender thread owns one connection and the requests `i ≡ j
+//! (mod connections)`, so a slow response delays only its own lane's
+//! later departures (noted honestly: a fully open loop would need one
+//! connection per request).
+//!
+//! ```text
+//! loadgen [--json] [--requests N] [--rps R] [--connections C]
+//! ```
+//!
+//! `SRL_BENCH_SMOKE=1` shrinks the run to a CI-sized smoke (it must
+//! finish in seconds and is asserted only to complete with zero
+//! evaluation errors).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use srl_core::api::{self, Json};
+use srl_core::pipeline::PipelineConfig;
+use srl_serve::{ServeConfig, Server, ServerHandle};
+
+/// One request template of the mix: a label for the report and the
+/// prebuilt request line.
+#[derive(Clone)]
+struct MixEntry {
+    #[allow(dead_code, reason = "labels document the mix in source form")]
+    label: &'static str,
+    line: String,
+}
+
+/// `examples/srl/<name>` resolved relative to this crate.
+fn example(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/srl")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read example {}: {e}", path.display()))
+}
+
+/// The warm request mix: experiment-flavored traffic over a small set of
+/// program texts (every text repeats, so the compile cache converges to
+/// all-hits), against tenant `tenant`.
+fn build_mix(tenant: &str) -> Vec<MixEntry> {
+    let powerset = example("powerset.srl");
+    let arith = example("arith.srl");
+    let membership = example("membership.srl");
+    let apath = example("apath.srl");
+    let arith_domain = format!(
+        "{{{}}}",
+        (0..12)
+            .map(|i| format!("d{i}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let run = |label, program: &str, call: Option<&str>, args: &[&str]| {
+        let call = match call {
+            Some(name) => format!(", \"call\": \"{name}\""),
+            None => String::new(),
+        };
+        let args = if args.is_empty() {
+            String::new()
+        } else {
+            format!(
+                ", \"args\": [{}]",
+                args.iter()
+                    .map(|a| format!("\"{}\"", api::escape(a)))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        };
+        MixEntry {
+            label,
+            line: format!(
+                "{{\"v\": 1, \"kind\": \"run\", \"tenant\": \"{tenant}\", \"program\": \"{}\"{call}{args}}}",
+                api::escape(program)
+            ),
+        }
+    };
+    vec![
+        run(
+            "e2_powerset",
+            &powerset,
+            Some("powerset"),
+            &["{d1, d2, d3, d4, d5, d6, d7}"],
+        ),
+        run("e3_arith_add", &arith, Some("add"), &[&arith_domain, "d4", "d3"]),
+        run("e1_membership", &membership, None, &[]),
+        MixEntry {
+            label: "e9_projection",
+            line: format!(
+                "{{\"v\": 1, \"kind\": \"run\", \"tenant\": \"{tenant}\", \"expr\": \
+                 \"set-reduce(S, lambda(x, e) x.2, lambda(y, acc) insert(y, acc), emptyset, emptyset)\"}}"
+            ),
+        },
+        MixEntry {
+            label: "analyze_powerset",
+            line: format!(
+                "{{\"v\": 1, \"kind\": \"analyze\", \"tenant\": \"{tenant}\", \"program\": \"{}\"}}",
+                api::escape(&powerset)
+            ),
+        },
+        MixEntry {
+            label: "e1_check_apath",
+            line: format!(
+                "{{\"v\": 1, \"kind\": \"check\", \"tenant\": \"{tenant}\", \"program\": \"{}\"}}",
+                api::escape(&apath)
+            ),
+        },
+    ]
+}
+
+/// The cold variant of a mix line: appends a unique one-definition suffix
+/// to the program text (same work, unique fingerprint — every compile is a
+/// miss). Expression-only lines have no program to perturb and are kept.
+fn make_cold(line: &str, i: usize) -> String {
+    match line.find("\"program\": \"") {
+        Some(at) => {
+            let insert_at = at + "\"program\": \"".len();
+            let suffix = format!("cold_{i}(cx) = cx\\n");
+            format!("{}{}{}", &line[..insert_at], suffix, &line[insert_at..])
+        }
+        None => line.to_string(),
+    }
+}
+
+/// One measured request outcome.
+struct Sample {
+    latency: Duration,
+    shed: bool,
+    errored: bool,
+}
+
+struct ScenarioReport {
+    name: &'static str,
+    requests: usize,
+    rps: u64,
+    p50_us: u128,
+    p99_us: u128,
+    max_us: u128,
+    wall_ms: u128,
+    shed: usize,
+    errors: usize,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_evictions: u64,
+}
+
+/// Sends `line` and reads one response line.
+fn round_trip(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, line: &str) -> String {
+    // One write per request: body and newline in a single TCP segment.
+    writer
+        .write_all(format!("{line}\n").as_bytes())
+        .and_then(|()| writer.flush())
+        .expect("send request");
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("response line");
+    response
+}
+
+fn connect(handle: &ServerHandle) -> (BufReader<TcpStream>, TcpStream) {
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("read timeout");
+    stream.set_nodelay(true).expect("nodelay");
+    (BufReader::new(stream.try_clone().expect("clone")), stream)
+}
+
+/// The overload mix: one heavy query (powerset of 10 atoms, ~1k subsets)
+/// per tenant, so arrivals genuinely exceed the service rate and the
+/// admission gate has something to shed.
+fn build_heavy_mix(tenant: &str) -> Vec<MixEntry> {
+    let powerset = example("powerset.srl");
+    let atoms: Vec<String> = (1..=10).map(|i| format!("d{i}")).collect();
+    vec![MixEntry {
+        label: "e2_powerset_10",
+        line: format!(
+            "{{\"v\": 1, \"kind\": \"run\", \"tenant\": \"{tenant}\", \"program\": \"{}\", \
+             \"call\": \"powerset\", \"args\": [\"{{{}}}\"]}}",
+            api::escape(&powerset),
+            atoms.join(", ")
+        ),
+    }]
+}
+
+/// Runs one scenario: a fresh in-process server, `requests` requests from
+/// the per-tenant mixes at `rps` arrivals per second over `connections`
+/// sender threads.
+#[allow(clippy::too_many_arguments)]
+fn run_scenario(
+    name: &'static str,
+    requests: usize,
+    rps: u64,
+    connections: usize,
+    tenants: usize,
+    max_inflight: usize,
+    cold: bool,
+    heavy: bool,
+) -> ScenarioReport {
+    let handle = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        max_inflight,
+        session_threads: connections,
+        default_config: PipelineConfig::new(),
+        ..ServeConfig::default()
+    })
+    .expect("bind")
+    .spawn()
+    .expect("spawn");
+
+    let tenant_names: Vec<String> = (0..tenants).map(|t| format!("t{t}")).collect();
+    // Setup (untimed): bind the projection input in every tenant.
+    let pairs: Vec<String> = (0..300).map(|i| format!("[d{i}, d{}]", i + 300)).collect();
+    {
+        let (mut reader, mut writer) = connect(&handle);
+        for tenant in &tenant_names {
+            let bound = round_trip(
+                &mut reader,
+                &mut writer,
+                &format!(
+                    "{{\"v\": 1, \"kind\": \"bind\", \"tenant\": \"{tenant}\", \"name\": \"S\", \"value\": \"{{{}}}\"}}",
+                    pairs.join(", ")
+                ),
+            );
+            assert!(bound.contains("\"ok\": true"), "setup bind failed: {bound}");
+        }
+    }
+
+    // Build every request line up front, off the timed path. Request `i`
+    // goes to tenant `i % tenants`, drawing the mix entry `i % mix.len()`.
+    let mixes: Vec<Vec<MixEntry>> = tenant_names
+        .iter()
+        .map(|t| {
+            if heavy {
+                build_heavy_mix(t)
+            } else {
+                build_mix(t)
+            }
+        })
+        .collect();
+    let lines: Vec<String> = (0..requests)
+        .map(|i| {
+            let mix = &mixes[i % mixes.len()];
+            let line = &mix[i % mix.len()].line;
+            if cold {
+                make_cold(line, i)
+            } else {
+                line.clone()
+            }
+        })
+        .collect();
+
+    // Open-loop schedule: request `i` departs at `base + i / rps`, lane
+    // `i % connections` carries it.
+    let started = Instant::now();
+    let base = started + Duration::from_millis(20);
+    let samples: Vec<Sample> = std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for lane in 0..connections {
+            let lane_lines: Vec<(usize, &str)> = lines
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % connections == lane)
+                .map(|(i, line)| (i, line.as_str()))
+                .collect();
+            let handle = &handle;
+            workers.push(scope.spawn(move || {
+                let (mut reader, mut writer) = connect(handle);
+                let mut lane_samples = Vec::with_capacity(lane_lines.len());
+                for (i, line) in lane_lines {
+                    let departs = base + Duration::from_micros(i as u64 * 1_000_000 / rps);
+                    if let Some(wait) = departs.checked_duration_since(Instant::now()) {
+                        std::thread::sleep(wait);
+                    }
+                    let sent = Instant::now();
+                    let response = round_trip(&mut reader, &mut writer, line);
+                    let shed = response.contains("\"kind\": \"overloaded\"");
+                    lane_samples.push(Sample {
+                        latency: sent.elapsed(),
+                        shed,
+                        errored: !shed && response.contains("\"error\""),
+                    });
+                }
+                lane_samples
+            }));
+        }
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("sender lane"))
+            .collect()
+    });
+    let wall_ms = started.elapsed().as_millis();
+
+    // Final counters from the server's own accounting.
+    let (mut cache_hits, mut cache_misses, mut cache_evictions) = (0u64, 0u64, 0u64);
+    {
+        let (mut reader, mut writer) = connect(&handle);
+        for tenant in &tenant_names {
+            let stats = round_trip(
+                &mut reader,
+                &mut writer,
+                &format!("{{\"v\": 1, \"kind\": \"stats\", \"tenant\": \"{tenant}\"}}"),
+            );
+            let stats = Json::parse(stats.trim()).expect("stats is JSON");
+            let cache = stats.get("cache").expect("stats carries cache counters");
+            cache_hits += cache.get("hits").and_then(Json::as_u64).unwrap_or(0);
+            cache_misses += cache.get("misses").and_then(Json::as_u64).unwrap_or(0);
+            cache_evictions += cache.get("evictions").and_then(Json::as_u64).unwrap_or(0);
+        }
+    }
+    handle.shutdown();
+
+    let mut latencies: Vec<u128> = samples.iter().map(|s| s.latency.as_micros()).collect();
+    latencies.sort_unstable();
+    let percentile = |p: usize| latencies[(latencies.len() - 1) * p / 100];
+    ScenarioReport {
+        name,
+        requests,
+        rps,
+        p50_us: percentile(50),
+        p99_us: percentile(99),
+        max_us: *latencies.last().expect("at least one sample"),
+        wall_ms,
+        shed: samples.iter().filter(|s| s.shed).count(),
+        errors: samples.iter().filter(|s| s.errored).count(),
+        cache_hits,
+        cache_misses,
+        cache_evictions,
+    }
+}
+
+fn report_json(reports: &[ScenarioReport]) -> String {
+    let rows: Vec<String> = reports
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\n    \"scenario\": \"{}\",\n    \"requests\": {},\n    \"rps\": {},\n    \"p50_us\": {},\n    \"p99_us\": {},\n    \"max_us\": {},\n    \"wall_ms\": {},\n    \"shed\": {},\n    \"shed_rate\": {:.4},\n    \"errors\": {},\n    \"cache_hits\": {},\n    \"cache_misses\": {},\n    \"cache_evictions\": {}\n  }}",
+                r.name,
+                r.requests,
+                r.rps,
+                r.p50_us,
+                r.p99_us,
+                r.max_us,
+                r.wall_ms,
+                r.shed,
+                r.shed as f64 / r.requests as f64,
+                r.errors,
+                r.cache_hits,
+                r.cache_misses,
+                r.cache_evictions
+            )
+        })
+        .collect();
+    format!("[\n{}\n]", rows.join(",\n"))
+}
+
+fn main() {
+    let mut json = false;
+    let mut requests = 600usize;
+    let mut rps = 150u64;
+    let mut connections = 8usize;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--requests" => {
+                requests = it
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .expect("--requests N");
+            }
+            "--rps" => {
+                rps = it.next().and_then(|w| w.parse().ok()).expect("--rps R");
+            }
+            "--connections" => {
+                connections = it
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .expect("--connections C");
+            }
+            other => panic!("unexpected argument `{other}`"),
+        }
+    }
+    let smoke = std::env::var("SRL_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    if smoke {
+        requests = 60;
+        rps = 120;
+        connections = 4;
+    }
+
+    let tenants = 4;
+    let reports = vec![
+        run_scenario(
+            "warm",
+            requests,
+            rps,
+            connections,
+            tenants,
+            64,
+            false,
+            false,
+        ),
+        run_scenario("cold", requests, rps, connections, tenants, 64, true, false),
+        // Overload: a heavy query at double the arrival rate into two
+        // admission slots — the point is the shed rate and that shed
+        // responses return immediately, not the latency of survivors.
+        run_scenario(
+            "overload_max_inflight_2",
+            requests,
+            rps * 2,
+            connections,
+            tenants,
+            2,
+            false,
+            true,
+        ),
+    ];
+
+    for r in &reports {
+        assert_eq!(
+            r.errors, 0,
+            "{}: the mix must evaluate cleanly (sheds are counted separately)",
+            r.name
+        );
+    }
+    if json {
+        println!("{}", report_json(&reports));
+    } else {
+        println!(
+            "{:<24} {:>8} {:>6} {:>9} {:>9} {:>9} {:>8} {:>6} {:>7} {:>7} {:>6}",
+            "scenario",
+            "requests",
+            "rps",
+            "p50_us",
+            "p99_us",
+            "max_us",
+            "wall_ms",
+            "shed",
+            "hits",
+            "misses",
+            "evict"
+        );
+        for r in &reports {
+            println!(
+                "{:<24} {:>8} {:>6} {:>9} {:>9} {:>9} {:>8} {:>6} {:>7} {:>7} {:>6}",
+                r.name,
+                r.requests,
+                r.rps,
+                r.p50_us,
+                r.p99_us,
+                r.max_us,
+                r.wall_ms,
+                r.shed,
+                r.cache_hits,
+                r.cache_misses,
+                r.cache_evictions
+            );
+        }
+    }
+}

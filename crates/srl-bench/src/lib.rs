@@ -25,7 +25,7 @@ use srl_core::error::EvalError;
 use srl_core::eval::Evaluator;
 use srl_core::limits::{EvalLimits, EvalStats};
 use srl_core::lower::LoweredExpr;
-use srl_core::pipeline::{Compiled, Pipeline, TypePolicy};
+use srl_core::pipeline::{Compiled, PipelineConfig, TypePolicy};
 use srl_core::program::{Env, Program};
 use srl_core::value::Value;
 use srl_core::ExecBackend;
@@ -83,10 +83,11 @@ struct Harness {
 
 impl Harness {
     fn new(program: Program, limits: EvalLimits) -> Self {
-        let artifact = Pipeline::new()
+        let artifact = PipelineConfig::new()
             .with_limits(limits)
             .with_backend(backend())
             .with_type_policy(TypePolicy::Skip)
+            .pipeline()
             .prepare(program)
             .expect("experiment programs are structurally well-formed");
         let evaluator = artifact.evaluator();

@@ -10,14 +10,18 @@
 //! srl analyze <file.srl> [--json]
 //! srl print <file.srl>
 //! srl disasm <file.srl>
+//! srl serve [--addr HOST:PORT] [--max-inflight N] [--cache-cap N]
+//!           [--tenant-config FILE]
 //! srl repl
 //! ```
 //!
 //! `run` calls `--call NAME` (or a zero-parameter `main` definition) with
 //! `--arg` values written in value-literal syntax (`d3`, `42`, `{d0, d1}`,
-//! `[d1, d2]`, `<d1, d2>`); `--json` emits the result and the `EvalStats`
-//! in a stable field order, which is byte-identical across backends *and*
-//! across `--threads` settings — CI diffs backend pairs and thread pairs.
+//! `[d1, d2]`, `<d1, d2>`); `--json` emits the versioned (`"v": 1`) body
+//! defined by `srl_core::api` — the result and the `EvalStats` in a stable
+//! field order, byte-identical across backends *and* across `--threads`
+//! settings (CI diffs backend pairs and thread pairs), and the exact body
+//! the `srl serve` line protocol returns for the same query.
 //! `--threads N` shards provably order-insensitive `set-reduce` folds
 //! across an `N`-worker pool (VM backend only; see `srl-core::parallel`).
 //! The REPL accepts definitions (`f(x) = …`), input bindings
@@ -28,11 +32,13 @@
 
 use std::process::ExitCode;
 
-use srl_core::pipeline::{Pipeline, Source};
-use srl_core::{EvalError, EvalLimits, EvalStats, ExecBackend, TierEngagements, Value};
+use srl_core::api;
+use srl_core::pipeline::{PipelineConfig, Source};
+use srl_core::{EvalLimits, ExecBackend};
 use srl_syntax::frontend::{FrontendError, TextFrontend};
 
 mod repl;
+mod serve_cmd;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,6 +53,7 @@ fn main() -> ExitCode {
         "analyze" => analyze(rest),
         "print" => print_cmd(rest),
         "disasm" => disasm(rest),
+        "serve" => serve_cmd::serve(rest),
         "repl" => repl::repl(rest),
         "--help" | "-h" | "help" => {
             print!("{USAGE}");
@@ -72,6 +79,9 @@ USAGE:
                                   summaries, fold class, and the reason
   srl print <file.srl>            parse and re-print in canonical form
   srl disasm <file.srl>           show the VM bytecode of every definition
+  srl serve [--addr HOST:PORT] [--max-inflight N] [--cache-cap N]
+            [--tenant-config FILE] [--session-threads N]
+                                  long-lived line-protocol server
   srl repl                        interactive session
 
 `analyze` compiles the program and reports, for every set/list fold, the
@@ -83,11 +93,16 @@ proofs that thread the accumulator through a callee's spine parameter.
 `run` calls the definition named by --call (default: a zero-parameter
 `main`), passing each --arg parsed as a value literal: d3, 42, true,
 [d1, d2] (tuple), {d0, d1} (set), <d1, d2> (list). With --json the result
-and EvalStats print as JSON (byte-identical across backends and across
---threads settings). --threads N shards proper-hom set-reduce folds over
-an N-worker pool (vm backend only). --timeout-ms N arms a wall-clock
-deadline; an overrunning query aborts with exit code 7 and, with --json,
-a structured error object carrying the partial stats.
+and EvalStats print as the versioned v1 body (byte-identical across
+backends and across --threads settings). --threads N shards proper-hom
+set-reduce folds over an N-worker pool (vm backend only). --timeout-ms N
+arms a wall-clock deadline; an overrunning query aborts with exit code 7
+and, with --json, a structured error object carrying the partial stats.
+
+`serve` answers the same requests over TCP, one JSON request per line,
+with per-tenant pipelines, input bindings that persist across queries,
+a fingerprint-keyed compiled-program cache, and load shedding past
+--max-inflight (a structured `overloaded` error, wire code 9).
 
 EXIT CODES:
   0  success                       5  runtime evaluation error
@@ -96,46 +111,12 @@ EXIT CODES:
   4  check (validation) error      8  internal error
 ";
 
-// The documented exit-code contract (see EXIT CODES in `USAGE`): scripts
-// and the serving layer branch on these, so the mapping is pinned by
-// `tests/cli_smoke.rs` and must not drift.
-const EXIT_PARSE: u8 = 3;
-const EXIT_CHECK: u8 = 4;
-const EXIT_RUNTIME: u8 = 5;
-const EXIT_LIMIT: u8 = 6;
-const EXIT_TIMEOUT: u8 = 7;
-const EXIT_INTERNAL: u8 = 8;
-
-/// Exit code for an evaluation error, per the documented contract.
-fn eval_exit_code(e: &EvalError) -> u8 {
-    match e {
-        EvalError::Cancelled | EvalError::DeadlineExceeded { .. } => EXIT_TIMEOUT,
-        EvalError::Internal { .. } => EXIT_INTERNAL,
-        e if e.is_limit() => EXIT_LIMIT,
-        _ => EXIT_RUNTIME,
-    }
-}
-
 /// Exit code and stable kind string for a frontend (parse/check) error.
 fn frontend_exit(e: &FrontendError) -> (u8, &'static str) {
     match e {
-        FrontendError::Parse(_) => (EXIT_PARSE, "parse"),
-        FrontendError::Check(_) => (EXIT_CHECK, "check"),
+        FrontendError::Parse(_) => (api::EXIT_PARSE, "parse"),
+        FrontendError::Check(_) => (api::EXIT_CHECK, "check"),
     }
-}
-
-/// A `--json` error object with stable field order
-/// (`kind`, `message`, `exit`, then optionally the partial `stats`).
-fn error_json(kind: &str, message: &str, exit: u8, partial: Option<&EvalStats>) -> String {
-    let stats = match partial {
-        Some(stats) => format!(",\n  \"stats\": {}", stats_json(stats)),
-        None => String::new(),
-    };
-    format!(
-        "{{\n  \"error\": {{ \"kind\": \"{}\", \"message\": \"{}\", \"exit\": {exit} }}{stats}\n}}",
-        escape_json(kind),
-        escape_json(message)
-    )
 }
 
 /// Parsed common options of the file-taking subcommands.
@@ -144,8 +125,7 @@ struct Options {
     file: String,
     call: Option<String>,
     args: Vec<String>,
-    backend: ExecBackend,
-    limits: EvalLimits,
+    config: PipelineConfig,
     json: bool,
 }
 
@@ -257,8 +237,9 @@ fn parse_options(rest: &[String], command: &str) -> Result<Options, String> {
         file: file.ok_or_else(|| format!("`srl {command}` needs a .srl file"))?,
         call,
         args,
-        backend,
-        limits,
+        config: PipelineConfig::new()
+            .with_limits(limits)
+            .with_backend(backend),
         json,
     })
 }
@@ -282,15 +263,13 @@ fn run(rest: &[String]) -> ExitCode {
         Ok(s) => s,
         Err(e) => return usage_error(&e),
     };
-    let pipeline = Pipeline::new()
-        .with_limits(opts.limits)
-        .with_backend(opts.backend);
+    let pipeline = opts.config.pipeline();
     let artifact = match pipeline.compile_source(&source) {
         Ok(a) => a,
         Err(e) => {
             let (exit, kind) = frontend_exit(&e);
             if opts.json {
-                println!("{}", error_json(kind, &e.to_string(), exit, None));
+                println!("{}", api::error_json(kind, &e.to_string(), exit, None, &[]));
             }
             eprintln!("{}", e.render(&source));
             return ExitCode::from(exit);
@@ -323,7 +302,7 @@ fn run(rest: &[String]) -> ExitCode {
                     i + 1,
                     e.to_diagnostic("<arg>", literal)
                 );
-                return ExitCode::from(EXIT_PARSE);
+                return ExitCode::from(api::EXIT_PARSE);
             }
         }
     }
@@ -335,20 +314,29 @@ fn run(rest: &[String]) -> ExitCode {
             let stats = *evaluator.stats();
             let tiers = evaluator.tier_engagement_breakdown();
             if opts.json {
-                println!("{}", result_json(&value, &stats, &tiers));
+                println!("{}", api::run_json(&value, &stats, &tiers, &[]));
             } else {
                 println!("{value}");
                 eprintln!("{}", stats_table(&stats));
-                eprintln!("{}", tiers_table(&tiers));
+                eprintln!(
+                    "tier engagements: atoms {}  bits {}  rows {}",
+                    tiers.atoms, tiers.bits, tiers.rows
+                );
             }
             ExitCode::SUCCESS
         }
         Err(e) => {
-            let exit = eval_exit_code(&e);
+            let exit = api::exit_code(&e);
             if opts.json {
                 println!(
                     "{}",
-                    error_json(e.kind(), &e.to_string(), exit, evaluator.last_error_stats())
+                    api::error_json(
+                        e.kind(),
+                        &e.to_string(),
+                        exit,
+                        evaluator.last_error_stats(),
+                        &[]
+                    )
                 );
             }
             eprintln!("evaluation error: {e}");
@@ -366,21 +354,19 @@ fn check(rest: &[String]) -> ExitCode {
         Ok(s) => s,
         Err(e) => return usage_error(&e),
     };
-    match Pipeline::new().check_source(&source) {
+    match opts.config.pipeline().check_source(&source) {
         Ok(checked) => {
             let program = checked.program();
             let verdict = srl_analysis::classify_program(program, 1);
             if opts.json {
-                let names: Vec<String> = program
-                    .def_names()
-                    .iter()
-                    .map(|n| format!("\"{}\"", escape_json(n)))
-                    .collect();
                 println!(
-                    "{{\n  \"ok\": true,\n  \"definitions\": [{}],\n  \"fragment\": \"{}\",\n  \"explanation\": \"{}\"\n}}",
-                    names.join(", "),
-                    escape_json(&verdict.fragment.to_string()),
-                    escape_json(&verdict.explanation),
+                    "{}",
+                    api::check_json(
+                        &program.def_names(),
+                        &verdict.fragment.to_string(),
+                        &verdict.explanation,
+                        &[]
+                    )
                 );
             } else {
                 println!(
@@ -396,7 +382,7 @@ fn check(rest: &[String]) -> ExitCode {
         Err(e) => {
             let (exit, kind) = frontend_exit(&e);
             if opts.json {
-                println!("{}", error_json(kind, &e.to_string(), exit, None));
+                println!("{}", api::error_json(kind, &e.to_string(), exit, None, &[]));
             }
             eprintln!("{}", e.render(&source));
             ExitCode::from(exit)
@@ -413,127 +399,26 @@ fn analyze(rest: &[String]) -> ExitCode {
         Ok(s) => s,
         Err(e) => return usage_error(&e),
     };
-    match Pipeline::new().compile_source(&source) {
+    match opts.config.pipeline().compile_source(&source) {
         Ok(artifact) => {
             let verdict = srl_analysis::classify_program(artifact.program(), 1);
             let report = srl_analysis::analyze_compiled(artifact.compiled());
             if opts.json {
-                println!("{}", analyze_json(&verdict, &report));
+                println!("{}", srl_analysis::analyze_json(&verdict, &report));
             } else {
-                print!("{}", analyze_table(&verdict, &report));
+                print!("{}", srl_analysis::analyze_table(&verdict, &report));
             }
             ExitCode::SUCCESS
         }
         Err(e) => {
             let (exit, kind) = frontend_exit(&e);
             if opts.json {
-                println!("{}", error_json(kind, &e.to_string(), exit, None));
+                println!("{}", api::error_json(kind, &e.to_string(), exit, None, &[]));
             }
             eprintln!("{}", e.render(&source));
             ExitCode::from(exit)
         }
     }
-}
-
-/// The `srl analyze` report as text: the Section 6 fragment, one line per
-/// definition with its spine-summary parameter, and one entry per reduce
-/// instruction with the class the executor acts on and the reason.
-fn analyze_table(
-    verdict: &srl_analysis::Classification,
-    report: &srl_analysis::InterprocReport,
-) -> String {
-    let mut out = String::new();
-    out.push_str(&format!(
-        "fragment: {}\n  {}\n",
-        verdict.fragment, verdict.explanation
-    ));
-    out.push_str("spine summaries:\n");
-    for s in &report.spines {
-        match &s.spine_param {
-            Some(p) => out.push_str(&format!("  {}: spine parameter `{p}`\n", s.def)),
-            None => out.push_str(&format!("  {}: no spine parameter\n", s.def)),
-        }
-    }
-    if report.folds.is_empty() {
-        out.push_str("folds: none\n");
-        return out;
-    }
-    out.push_str("folds:\n");
-    for f in &report.folds {
-        let place = match &f.def {
-            Some(d) => format!("{d} b{}", f.block),
-            None => format!("b{}", f.block),
-        };
-        out.push_str(&format!(
-            "  [{place}] {}{} class={} tier={}/{} cost={} order-independent={}\n      {}\n",
-            if f.is_list { "list-" } else { "" },
-            f.kind,
-            f.class.label(),
-            f.tier,
-            f.acc_tier,
-            f.unit_cost,
-            if f.order_independent() { "yes" } else { "no" },
-            f.reason,
-        ));
-    }
-    out
-}
-
-/// The `srl analyze` report as JSON with a stable field order, so CI can
-/// golden-diff it across commits.
-fn analyze_json(
-    verdict: &srl_analysis::Classification,
-    report: &srl_analysis::InterprocReport,
-) -> String {
-    let defs: Vec<String> = report
-        .spines
-        .iter()
-        .map(|s| {
-            format!(
-                "    {{ \"def\": \"{}\", \"spine_param\": {} }}",
-                escape_json(&s.def),
-                match &s.spine_param {
-                    Some(p) => format!("\"{}\"", escape_json(p)),
-                    None => "null".to_string(),
-                },
-            )
-        })
-        .collect();
-    let folds: Vec<String> = report
-        .folds
-        .iter()
-        .map(|f| {
-            format!(
-                "    {{ \"def\": {}, \"block\": {}, \"kind\": \"{}{}\", \"class\": \"{}\", \"tier\": \"{}\", \"acc_tier\": \"{}\", \"order_independent\": {}, \"unit_cost\": {}, \"reason\": \"{}\" }}",
-                match &f.def {
-                    Some(d) => format!("\"{}\"", escape_json(d)),
-                    None => "null".to_string(),
-                },
-                f.block,
-                if f.is_list { "list-" } else { "" },
-                f.kind,
-                f.class.label(),
-                f.tier,
-                f.acc_tier,
-                f.order_independent(),
-                f.unit_cost,
-                escape_json(&f.reason),
-            )
-        })
-        .collect();
-    let wrap = |items: Vec<String>| {
-        if items.is_empty() {
-            "[]".to_string()
-        } else {
-            format!("[\n{}\n  ]", items.join(",\n"))
-        }
-    };
-    format!(
-        "{{\n  \"fragment\": \"{}\",\n  \"definitions\": {},\n  \"folds\": {}\n}}",
-        escape_json(&verdict.fragment.to_string()),
-        wrap(defs),
-        wrap(folds),
-    )
 }
 
 fn print_cmd(rest: &[String]) -> ExitCode {
@@ -552,7 +437,7 @@ fn print_cmd(rest: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("{}", e.to_diagnostic(&source.name, &source.text));
-            ExitCode::from(EXIT_PARSE)
+            ExitCode::from(api::EXIT_PARSE)
         }
     }
 }
@@ -566,7 +451,7 @@ fn disasm(rest: &[String]) -> ExitCode {
         Ok(s) => s,
         Err(e) => return usage_error(&e),
     };
-    match Pipeline::new().compile_source(&source) {
+    match opts.config.pipeline().compile_source(&source) {
         Ok(artifact) => {
             print!("{}", srl_syntax::disasm_program(artifact.compiled()));
             ExitCode::SUCCESS
@@ -578,52 +463,7 @@ fn disasm(rest: &[String]) -> ExitCode {
     }
 }
 
-/// The result, statistics, and columnar-tier engagement diagnostics as
-/// JSON, fields in a fixed order so the output is diffable across backends
-/// and thread counts (the stats contract makes the stats identical; the
-/// engagement counts are deterministic per program, so they diff clean
-/// too).
-fn result_json(value: &Value, stats: &EvalStats, tiers: &TierEngagements) -> String {
-    format!(
-        "{{\n  \"result\": \"{}\",\n  \"stats\": {},\n  \"tiers\": {}\n}}",
-        escape_json(&value.to_string()),
-        stats_json(stats),
-        tiers_json(tiers)
-    )
-}
-
-/// The per-tier engagement breakdown (see
-/// `Evaluator::tier_engagement_breakdown`): stats-adjacent diagnostics, not
-/// part of `EvalStats` — they report the storage strategy, which folds ran
-/// on which columnar tier.
-fn tiers_json(tiers: &TierEngagements) -> String {
-    format!(
-        "{{ \"atoms\": {}, \"bits\": {}, \"rows\": {} }}",
-        tiers.atoms, tiers.bits, tiers.rows
-    )
-}
-
-fn tiers_table(tiers: &TierEngagements) -> String {
-    format!(
-        "tier engagements: atoms {}  bits {}  rows {}",
-        tiers.atoms, tiers.bits, tiers.rows
-    )
-}
-
-fn stats_json(stats: &EvalStats) -> String {
-    format!(
-        "{{ \"steps\": {}, \"reduce_iterations\": {}, \"inserts\": {}, \"max_value_weight\": {}, \"max_accumulator_weight\": {}, \"max_depth\": {}, \"new_values\": {} }}",
-        stats.steps,
-        stats.reduce_iterations,
-        stats.inserts,
-        stats.max_value_weight,
-        stats.max_accumulator_weight,
-        stats.max_depth,
-        stats.new_values
-    )
-}
-
-fn stats_table(stats: &EvalStats) -> String {
+fn stats_table(stats: &srl_core::EvalStats) -> String {
     format!(
         "steps: {}  reduce iterations: {}  inserts: {}  max value weight: {}  max accumulator weight: {}  max depth: {}  new values: {}",
         stats.steps,
@@ -636,25 +476,10 @@ fn stats_table(stats: &EvalStats) -> String {
     )
 }
 
-fn escape_json(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use srl_core::{EvalStats, TierEngagements, Value};
 
     #[test]
     fn options_parse_flags_and_file() {
@@ -677,8 +502,8 @@ mod tests {
         assert_eq!(opts.file, "prog.srl");
         assert_eq!(opts.call.as_deref(), Some("powerset"));
         assert_eq!(opts.args, vec!["{d0, d1}".to_string()]);
-        assert_eq!(opts.backend, ExecBackend::TreeWalk);
-        assert_eq!(opts.limits, EvalLimits::benchmark());
+        assert_eq!(opts.config.backend, ExecBackend::TreeWalk);
+        assert_eq!(opts.config.limits, EvalLimits::benchmark());
         assert!(opts.json);
     }
 
@@ -695,14 +520,14 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         let opts = parse_options(&rest, "run").unwrap();
-        assert_eq!(opts.backend, ExecBackend::vm_with_threads(4));
+        assert_eq!(opts.config.backend, ExecBackend::vm_with_threads(4));
         // Order-independent with an explicit vm backend.
         let rest: Vec<String> = ["prog.srl", "--threads", "2", "--backend", "vm"]
             .iter()
             .map(|s| s.to_string())
             .collect();
         let opts = parse_options(&rest, "run").unwrap();
-        assert_eq!(opts.backend, ExecBackend::vm_with_threads(2));
+        assert_eq!(opts.config.backend, ExecBackend::vm_with_threads(2));
     }
 
     #[test]
@@ -758,18 +583,14 @@ mod tests {
     }
 
     #[test]
-    fn json_stats_have_stable_field_order() {
+    fn json_bodies_are_versioned_with_stable_field_order() {
         let stats = EvalStats::default();
-        let json = stats_json(&stats);
+        let json = api::run_json(&Value::atom(1), &stats, &TierEngagements::default(), &[]);
+        let v = json.find("\"v\": 1").unwrap();
         let steps = json.find("\"steps\"").unwrap();
         let iters = json.find("\"reduce_iterations\"").unwrap();
         let new_values = json.find("\"new_values\"").unwrap();
-        assert!(steps < iters && iters < new_values);
-    }
-
-    #[test]
-    fn json_escaping() {
-        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert!(v < steps && steps < iters && iters < new_values);
     }
 
     #[test]
@@ -780,7 +601,7 @@ mod tests {
             .collect();
         let opts = parse_options(&rest, "run").unwrap();
         assert_eq!(
-            opts.limits.deadline,
+            opts.config.limits.deadline,
             Some(std::time::Duration::from_millis(250))
         );
         // Composes with --limits regardless of flag order.
@@ -790,7 +611,7 @@ mod tests {
             .collect();
         let opts = parse_options(&rest, "run").unwrap();
         assert_eq!(
-            opts.limits,
+            opts.config.limits,
             EvalLimits::small().with_deadline_ms(250),
             "--timeout-ms must survive a later --limits"
         );
@@ -809,39 +630,19 @@ mod tests {
     }
 
     #[test]
-    fn exit_codes_follow_the_documented_contract() {
-        assert_eq!(eval_exit_code(&EvalError::Cancelled), EXIT_TIMEOUT);
-        assert_eq!(
-            eval_exit_code(&EvalError::DeadlineExceeded { limit_ms: 10 }),
-            EXIT_TIMEOUT
-        );
-        assert_eq!(
-            eval_exit_code(&EvalError::Internal {
-                detail: "boom".into()
-            }),
-            EXIT_INTERNAL
-        );
-        assert_eq!(
-            eval_exit_code(&EvalError::StepLimitExceeded { limit: 1 }),
-            EXIT_LIMIT
-        );
-        assert_eq!(
-            eval_exit_code(&EvalError::SizeLimitExceeded { limit: 1 }),
-            EXIT_LIMIT
-        );
-        assert_eq!(
-            eval_exit_code(&EvalError::UnboundVariable("x".into())),
-            EXIT_RUNTIME
-        );
-    }
-
-    #[test]
     fn error_json_has_stable_field_order_and_optional_stats() {
-        let json = error_json("deadline_exceeded", "too slow", EXIT_TIMEOUT, None);
+        let json = api::error_json(
+            "deadline_exceeded",
+            "too slow",
+            api::EXIT_TIMEOUT,
+            None,
+            &[],
+        );
+        let v = json.find("\"v\"").unwrap();
         let kind = json.find("\"kind\"").unwrap();
         let message = json.find("\"message\"").unwrap();
         let exit = json.find("\"exit\"").unwrap();
-        assert!(kind < message && message < exit, "{json}");
+        assert!(v < kind && kind < message && message < exit, "{json}");
         assert!(!json.contains("\"stats\""));
         assert!(json.contains("\"exit\": 7"));
 
@@ -849,7 +650,7 @@ mod tests {
             steps: 9,
             ..EvalStats::default()
         };
-        let json = error_json("cancelled", "stop", EXIT_TIMEOUT, Some(&stats));
+        let json = api::error_json("cancelled", "stop", api::EXIT_TIMEOUT, Some(&stats), &[]);
         assert!(json.contains("\"stats\""));
         assert!(json.contains("\"steps\": 9"));
         assert!(json.find("\"error\"").unwrap() < json.find("\"stats\"").unwrap());

@@ -25,9 +25,9 @@ use std::io::{BufRead, IsTerminal, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use srl_core::pipeline::{Compiled, Pipeline, Source};
+use srl_core::pipeline::{Compiled, PipelineConfig, Source};
 use srl_core::program::Program;
-use srl_core::{Dialect, Env, EvalLimits, ExecBackend};
+use srl_core::{Dialect, Env, ExecBackend};
 use srl_syntax::frontend::TextFrontend;
 
 const REPL_HELP: &str = "\
@@ -141,8 +141,11 @@ fn backend_name(backend: ExecBackend) -> String {
     }
 }
 
+/// The interactive session: the same tenant state `srl serve` keeps per
+/// tenant — a [`PipelineConfig`], a definition set, and an input-binding
+/// environment — driven from stdin instead of a socket.
 struct Session {
-    pipeline: Pipeline,
+    config: PipelineConfig,
     program: Program,
     artifact: Option<Compiled>,
     env: Env,
@@ -151,9 +154,7 @@ struct Session {
 impl Session {
     fn new(backend: ExecBackend) -> Self {
         Session {
-            pipeline: Pipeline::new()
-                .with_limits(EvalLimits::default())
-                .with_backend(backend),
+            config: PipelineConfig::new().with_backend(backend),
             program: Program::new(Dialect::full()),
             artifact: None,
             env: Env::new(),
@@ -163,11 +164,10 @@ impl Session {
     /// Arms (or, with `None`, disarms) the per-query wall-clock deadline.
     /// The cached artifact captured the old limits, so it must be rebuilt.
     fn set_timeout(&mut self, ms: Option<u64>) {
-        let limits = match ms {
-            Some(ms) => self.pipeline.limits().with_deadline_ms(ms),
-            None => self.pipeline.limits().with_deadline(None),
+        self.config.limits = match ms {
+            Some(ms) => self.config.limits.with_deadline_ms(ms),
+            None => self.config.limits.with_deadline(None),
         };
-        self.pipeline = self.pipeline.clone().with_limits(limits);
         self.artifact = None;
     }
 
@@ -176,7 +176,8 @@ impl Session {
     fn artifact(&mut self) -> &Compiled {
         if self.artifact.is_none() {
             self.artifact = Some(
-                self.pipeline
+                self.config
+                    .pipeline()
                     .prepare(self.program.clone())
                     .expect("session program was validated when it was built"),
             );
@@ -194,7 +195,7 @@ impl Session {
             added.push(def.name.clone());
             candidate.defs.push(Arc::clone(&def));
         }
-        match self.pipeline.prepare(candidate) {
+        match self.config.pipeline().prepare(candidate) {
             Ok(artifact) => {
                 self.program = artifact.program().clone();
                 self.artifact = Some(artifact);
@@ -384,7 +385,7 @@ fn handle_command(session: &mut Session, command: &str) -> bool {
         }
         Some("backend") => match parse_backend(words.next(), words.next()) {
             Ok(backend) => {
-                session.pipeline = session.pipeline.clone().with_backend(backend);
+                session.config.backend = backend;
                 session.artifact = None;
                 println!("backend: {}", backend_name(backend));
             }
@@ -405,7 +406,7 @@ fn handle_command(session: &mut Session, command: &str) -> bool {
             Some(path) => match std::fs::read_to_string(path) {
                 Ok(text) => {
                     let source = Source::new(path, text);
-                    match session.pipeline.check_source(&source) {
+                    match session.config.pipeline().check_source(&source) {
                         Ok(checked) => match session.merge_defs(checked.program().clone()) {
                             Ok(added) => println!("loaded {}: {}", path, added.join(", ")),
                             Err(e) => eprintln!("{e}"),
@@ -598,12 +599,12 @@ mod tests {
         let mut session = Session::new(ExecBackend::default());
         // A bad name must not change the session backend…
         assert!(handle_line(&mut session, ":backend turbo"));
-        assert_eq!(session.pipeline.backend(), ExecBackend::default());
+        assert_eq!(session.config.backend, ExecBackend::default());
         // …while valid names (with an optional thread count) do.
         assert!(handle_line(&mut session, ":backend tree"));
-        assert_eq!(session.pipeline.backend(), ExecBackend::TreeWalk);
+        assert_eq!(session.config.backend, ExecBackend::TreeWalk);
         assert!(handle_line(&mut session, ":backend vm 4"));
-        assert_eq!(session.pipeline.backend(), ExecBackend::vm_with_threads(4));
+        assert_eq!(session.config.backend, ExecBackend::vm_with_threads(4));
     }
 
     #[test]
@@ -619,21 +620,21 @@ mod tests {
     #[test]
     fn timeout_command_arms_and_disarms_the_deadline() {
         let mut session = Session::new(ExecBackend::default());
-        assert_eq!(session.pipeline.limits().deadline, None);
+        assert_eq!(session.config.limits.deadline, None);
         assert!(handle_line(&mut session, ":timeout 250"));
         assert_eq!(
-            session.pipeline.limits().deadline,
+            session.config.limits.deadline,
             Some(std::time::Duration::from_millis(250))
         );
         // A bad operand must not change the armed deadline…
         assert!(handle_line(&mut session, ":timeout soon"));
         assert_eq!(
-            session.pipeline.limits().deadline,
+            session.config.limits.deadline,
             Some(std::time::Duration::from_millis(250))
         );
         // …and `off` disarms it.
         assert!(handle_line(&mut session, ":timeout off"));
-        assert_eq!(session.pipeline.limits().deadline, None);
+        assert_eq!(session.config.limits.deadline, None);
     }
 
     #[test]

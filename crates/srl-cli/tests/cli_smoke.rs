@@ -7,9 +7,13 @@
 //! 7 timeout/cancellation, 8 internal) — scripts and the serving layer
 //! branch on them, so a failure here means a breaking interface change.
 
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::path::{Path, PathBuf};
-use std::process::{Command, Output};
+use std::process::{Child, Command, Output, Stdio};
 use std::time::{Duration, Instant};
+
+use srl_core::api;
 
 const SRL: &str = env!("CARGO_BIN_EXE_srl");
 
@@ -183,4 +187,174 @@ fn injected_worker_panics_are_exit_eight() {
     let clean = run(&["run", file_str, "--threads", "4", "--json"]);
     assert_eq!(exit_code(&clean), 0, "{clean:?}");
     let _ = std::fs::remove_file(file);
+}
+
+// ---------------------------------------------------------------------------
+// `srl serve`
+// ---------------------------------------------------------------------------
+
+/// A running `srl serve` child process, killed on drop. The bound port is
+/// read from the `listening on HOST:PORT` line the server prints on stdout.
+struct ServeProc {
+    child: Child,
+    addr: String,
+}
+
+impl ServeProc {
+    fn spawn(extra_args: &[&str], env: &[(&str, &str)]) -> ServeProc {
+        let mut cmd = Command::new(SRL);
+        cmd.args(["serve", "--addr", "127.0.0.1:0"])
+            .args(extra_args)
+            .stdout(Stdio::piped());
+        for (key, value) in env {
+            cmd.env(key, value);
+        }
+        let mut child = cmd.spawn().expect("srl serve spawns");
+        let stdout = child.stdout.take().expect("stdout is piped");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("the server announces its port");
+        let addr = line
+            .trim()
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected announcement {line:?}"))
+            .to_string();
+        ServeProc { child, addr }
+    }
+
+    fn connect(&self) -> ServeClient {
+        let stream = TcpStream::connect(&self.addr).expect("connect to srl serve");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .expect("read timeout");
+        stream.set_nodelay(true).expect("nodelay");
+        ServeClient {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: stream,
+        }
+    }
+}
+
+impl Drop for ServeProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServeClient {
+    fn send(&mut self, line: &str) {
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .and_then(|()| self.writer.flush())
+            .expect("send request");
+    }
+
+    fn receive(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("response line");
+        line.trim().to_string()
+    }
+
+    fn request(&mut self, line: &str) -> String {
+        self.send(line);
+        self.receive()
+    }
+}
+
+#[test]
+fn serve_round_trips_with_cli_parity() {
+    let server = ServeProc::spawn(&[], &[]);
+    let mut client = server.connect();
+
+    // Success parity: serving a program returns the byte-compacted form of
+    // exactly what `srl run --json` prints locally, plus the trailing
+    // `cache` object — the CLI body is a strict prefix of the served one.
+    let file = example("membership.srl");
+    let text = std::fs::read_to_string(&file).expect("example exists");
+    let local = run(&["run", file.to_str().unwrap(), "--json"]);
+    assert_eq!(exit_code(&local), 0, "{local:?}");
+    let local_body = api::compact(stdout(&local).trim());
+    let served = client.request(&format!(
+        "{{\"v\": 1, \"kind\": \"run\", \"program\": \"{}\"}}",
+        api::escape(&text)
+    ));
+    let prefix = local_body
+        .strip_suffix('}')
+        .expect("a JSON body ends with a brace");
+    assert!(
+        served.starts_with(prefix),
+        "served response diverged from the CLI body:\n cli: {local_body}\nsrv: {served}"
+    );
+    assert!(served.contains("\"cache\""), "{served}");
+
+    // Error parity: same text, same taxonomy, same code — the served error
+    // body is byte-identical to the compacted CLI one (exit 4 = check).
+    let bad = temp_program("serve_check", "g(x) = g(x)\n");
+    let local = run(&["run", bad.to_str().unwrap(), "--json"]);
+    assert_eq!(exit_code(&local), 4);
+    let served = client.request(
+        "{\"v\": 1, \"kind\": \"run\", \"program\": \"g(x) = g(x)\", \"call\": \"g\", \"args\": [\"d1\"]}",
+    );
+    assert_eq!(served, api::compact(stdout(&local).trim()));
+    let _ = std::fs::remove_file(bad);
+
+    // Bindings persist across queries on the connection's tenant.
+    let bound =
+        client.request("{\"v\": 1, \"kind\": \"bind\", \"name\": \"S\", \"value\": \"{d1, d2}\"}");
+    assert!(bound.contains("\"ok\": true"), "{bound}");
+    let over = client.request("{\"v\": 1, \"kind\": \"run\", \"expr\": \"insert(d3, S)\"}");
+    assert!(over.contains("\"result\": \"{d1, d2, d3}\""), "{over}");
+}
+
+#[test]
+fn serve_sheds_past_max_inflight() {
+    // One admission slot; the armed `merge_delay` holds tenant a's sharded
+    // query in the merge for a full second, so tenant b's concurrent query
+    // is deterministically shed with the `overloaded` taxonomy (exit 9).
+    let config = temp_program("serve_tenants", "{\"default\": {\"threads\": 4}}");
+    let server = ServeProc::spawn(
+        &[
+            "--max-inflight",
+            "1",
+            "--session-threads",
+            "2",
+            "--tenant-config",
+            config.to_str().unwrap(),
+        ],
+        &[("SRL_FAULTS", "merge_delay@1000")],
+    );
+    let mut a = server.connect();
+    let mut b = server.connect();
+    let pairs: Vec<String> = (0..1200)
+        .map(|i| format!("[d{i}, d{}]", i + 1200))
+        .collect();
+    for (client, tenant) in [(&mut a, "a"), (&mut b, "b")] {
+        let bound = client.request(&format!(
+            "{{\"v\": 1, \"kind\": \"bind\", \"tenant\": \"{tenant}\", \"name\": \"S\", \"value\": \"{{{}}}\"}}",
+            pairs.join(", ")
+        ));
+        assert!(bound.contains("\"ok\": true"), "{bound}");
+    }
+    let query = |tenant: &str| {
+        format!(
+            "{{\"v\": 1, \"kind\": \"run\", \"tenant\": \"{tenant}\", \"expr\": \
+             \"set-reduce(S, lambda(x, e) x.2, lambda(y, acc) insert(y, acc), emptyset, emptyset)\"}}"
+        )
+    };
+    a.send(&query("a"));
+    std::thread::sleep(Duration::from_millis(300));
+    let shed = b.request(&query("b"));
+    assert!(shed.contains("\"kind\": \"overloaded\""), "{shed}");
+    assert!(shed.contains("\"exit\": 9"), "{shed}");
+    // The held query is unaffected by the shed one.
+    let slow = a.receive();
+    assert!(slow.contains("\"result\""), "{slow}");
+    let _ = std::fs::remove_file(config);
 }

@@ -67,6 +67,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod api;
 pub mod ast;
 pub mod bignat;
 pub mod bytecode;
@@ -102,7 +103,7 @@ pub use eval::{
 pub use intern::{Symbol, SymbolTable};
 pub use limits::{EvalLimits, EvalStats};
 pub use lower::{program_fingerprint, CompiledDef, CompiledProgram, LExpr, LLambda, LoweredExpr};
-pub use pipeline::{Pipeline, Source, TypePolicy};
+pub use pipeline::{Pipeline, PipelineConfig, Source, TypePolicy};
 pub use program::{Env, FunDef, Param, Program};
 pub use setrepr::SetRepr;
 pub use typecheck::{

@@ -80,11 +80,120 @@ pub enum TypePolicy {
     Skip,
 }
 
+/// The complete cross-cutting configuration of a [`Pipeline`] as one
+/// plain, cloneable value — the unit of tenant configuration.
+///
+/// The pipeline's builder chain (`Pipeline::new().with_limits(…)
+/// .with_backend(…)…`) is fine for one-off construction, but every
+/// long-lived consumer (the CLI, the REPL session, the bench `Harness`, an
+/// `srl-serve` tenant) needs to hold, compare, clone and transport the
+/// *choices* independently of the pipeline built from them. This struct is
+/// those choices; [`PipelineConfig::pipeline`] builds the pipeline, and
+/// `srl_core::api::pipeline_config_from_json` deserializes one from the
+/// JSON object form used by per-tenant server configuration files.
+///
+/// `tiers` is the columnar-storage-tier switch. It is deliberately *not*
+/// consumed by [`PipelineConfig::pipeline`]: the toggle is thread-local
+/// state (see [`crate::setrepr::set_atom_tier_enabled`]), so the consumer
+/// that owns the evaluating thread applies it around each query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PipelineConfig {
+    /// Dialect override for every entering program; `None` keeps each
+    /// program's own dialect.
+    pub dialect: Option<Dialect>,
+    /// When the check stage runs the type checker.
+    pub type_policy: TypePolicy,
+    /// The evaluation budget (including the wall-clock deadline, the
+    /// admission-control knob of a serving deployment).
+    pub limits: EvalLimits,
+    /// The execution backend, including the worker-pool width.
+    pub backend: ExecBackend,
+    /// Whether the columnar set-storage tiers may engage (default true).
+    pub tiers: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            dialect: None,
+            type_policy: TypePolicy::default(),
+            limits: EvalLimits::default(),
+            backend: ExecBackend::default(),
+            tiers: true,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A fresh default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the dialect override.
+    pub fn with_dialect(mut self, dialect: Dialect) -> Self {
+        self.dialect = Some(dialect);
+        self
+    }
+
+    /// Sets the type-checking policy.
+    pub fn with_type_policy(mut self, policy: TypePolicy) -> Self {
+        self.type_policy = policy;
+        self
+    }
+
+    /// Sets the evaluation budget.
+    pub fn with_limits(mut self, limits: EvalLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Arms a wall-clock deadline of `ms` milliseconds on the budget.
+    pub fn deadline_ms(mut self, ms: u64) -> Self {
+        self.limits = self.limits.with_deadline_ms(ms);
+        self
+    }
+
+    /// Sets the execution backend.
+    pub fn with_backend(mut self, backend: ExecBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Selects an `n`-worker VM pool (like [`Pipeline::threads`], this
+    /// implies the VM backend).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.backend = ExecBackend::vm_with_threads(n);
+        self
+    }
+
+    /// Enables or disables the columnar storage tiers.
+    pub fn with_tiers(mut self, on: bool) -> Self {
+        self.tiers = on;
+        self
+    }
+
+    /// Builds the pipeline these choices describe. (`tiers` is thread-local
+    /// execution state, applied by the evaluating consumer — see the struct
+    /// docs.)
+    pub fn pipeline(&self) -> Pipeline {
+        let mut pipeline = Pipeline::new()
+            .with_limits(self.limits)
+            .with_backend(self.backend)
+            .with_type_policy(self.type_policy);
+        if let Some(dialect) = self.dialect {
+            pipeline = pipeline.with_dialect(dialect);
+        }
+        pipeline
+    }
+}
+
 /// The staged compile path with its cross-cutting configuration.
 ///
 /// Cheap to construct and `Clone`; a long-lived service would typically hold
 /// one per dialect/budget configuration (a "session") and push every
-/// incoming program through it.
+/// incoming program through it — [`PipelineConfig`] is that configuration
+/// as a first-class value.
 #[derive(Clone, Debug)]
 pub struct Pipeline {
     dialect: Option<Dialect>,
@@ -439,6 +548,34 @@ mod tests {
             results.push(artifact.call("member", &args).unwrap());
         }
         assert_eq!(results[0], results[1], "value and stats must match");
+    }
+
+    #[test]
+    fn pipeline_config_builds_an_equivalent_pipeline() {
+        let config = PipelineConfig::new()
+            .with_dialect(Dialect::basrl())
+            .with_type_policy(TypePolicy::Skip)
+            .with_limits(EvalLimits::small())
+            .deadline_ms(250)
+            .threads(3);
+        let pipeline = config.pipeline();
+        assert_eq!(pipeline.dialect(), Some(Dialect::basrl()));
+        assert_eq!(pipeline.type_policy(), TypePolicy::Skip);
+        assert_eq!(pipeline.limits(), EvalLimits::small().with_deadline_ms(250));
+        assert_eq!(pipeline.backend(), ExecBackend::vm_with_threads(3));
+        // The config itself stays comparable and cloneable.
+        assert_eq!(config, config.clone());
+        assert_ne!(config, PipelineConfig::default());
+    }
+
+    #[test]
+    fn default_config_matches_the_default_pipeline() {
+        let pipeline = PipelineConfig::default().pipeline();
+        let fresh = Pipeline::new();
+        assert_eq!(pipeline.dialect(), fresh.dialect());
+        assert_eq!(pipeline.limits(), fresh.limits());
+        assert_eq!(pipeline.backend(), fresh.backend());
+        assert_eq!(pipeline.type_policy(), fresh.type_policy());
     }
 
     #[test]

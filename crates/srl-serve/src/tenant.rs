@@ -1,0 +1,114 @@
+//! Per-tenant serving state.
+//!
+//! A tenant is the isolation unit of the server: its own
+//! [`PipelineConfig`] (dialect, type policy, limits — including the
+//! wall-clock deadline that doubles as admission control), its own
+//! input-binding environment (the `S := {…}` binding model of the REPL,
+//! promoted to the wire as `bind` requests that persist across queries and
+//! connections), its own [`ProgramCache`], and its own counters. Nothing a
+//! tenant binds, compiles or caches is visible to any other tenant.
+//!
+//! Each tenant lives behind one mutex (see `server.rs`), so a tenant is
+//! also the server's **shard**: queries of one tenant serialize, queries of
+//! different tenants run concurrently across the session threads, and each
+//! query may itself shard proper-hom folds over the evaluator's worker pool
+//! (`threads` in the tenant config, multiplexed over `srl-core::parallel`).
+
+use srl_core::pipeline::{Compiled, PipelineConfig};
+use srl_core::program::Program;
+use srl_core::{Dialect, Env, Evaluator};
+
+use crate::cache::ProgramCache;
+
+/// Per-tenant request counters, reported by `stats` requests.
+#[derive(Clone, Copy, Default)]
+pub struct TenantStats {
+    /// `run`/`check`/`analyze` requests admitted for this tenant.
+    pub queries: u64,
+    /// Requests answered with an error body (any kind except `overloaded`).
+    pub errors: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+}
+
+/// Everything the server keeps for one tenant.
+pub struct Tenant {
+    /// The tenant's name (the `tenant` request field).
+    pub name: String,
+    /// The pipeline configuration every query compiles and runs under.
+    pub config: PipelineConfig,
+    /// Input bindings, persisted across queries and connections.
+    pub env: Env,
+    /// The compiled-program cache.
+    pub cache: ProgramCache,
+    /// Request counters.
+    pub stats: TenantStats,
+    /// The artifact for the empty program, backing bare-`expr` queries.
+    empty: Compiled,
+    /// Pooled evaluator over `empty` (stats reset per query; the rollback
+    /// invariant keeps it byte-identical to fresh after failures).
+    empty_evaluator: Evaluator,
+}
+
+impl Tenant {
+    /// A fresh tenant under `config`, with an empty environment and a cache
+    /// bounded at `cache_cap`.
+    pub fn new(name: &str, config: PipelineConfig, cache_cap: usize) -> Self {
+        let empty = config
+            .pipeline()
+            .prepare(Program::new(Dialect::full()))
+            .expect("the empty program validates under every dialect");
+        let empty_evaluator = empty.evaluator();
+        Tenant {
+            name: name.to_string(),
+            config,
+            env: Env::new(),
+            cache: ProgramCache::new(cache_cap),
+            stats: TenantStats::default(),
+            empty,
+            empty_evaluator,
+        }
+    }
+
+    /// The pooled evaluator for bare-expression queries (no `program`
+    /// field), with statistics already reset for the next query.
+    pub fn expr_evaluator(&mut self) -> &mut Evaluator {
+        self.empty_evaluator.reset_stats();
+        &mut self.empty_evaluator
+    }
+
+    /// The empty-program artifact bare expressions evaluate over.
+    pub fn empty_artifact(&self) -> &Compiled {
+        &self.empty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srl_core::Value;
+
+    #[test]
+    fn tenants_keep_independent_environments_and_caches() {
+        let mut a = Tenant::new("a", PipelineConfig::default(), 8);
+        let b = Tenant::new("b", PipelineConfig::default(), 8);
+        a.env.insert("S", Value::set([Value::atom(1)]));
+        assert_eq!(a.env.len(), 1);
+        assert!(b.env.is_empty());
+        assert!(b.cache.is_empty());
+    }
+
+    #[test]
+    fn bare_expressions_evaluate_against_the_tenant_environment() {
+        let mut t = Tenant::new("t", PipelineConfig::default(), 8);
+        t.env
+            .insert("S", Value::set([Value::atom(1), Value::atom(2)]));
+        let expr = srl_syntax::parse_expr("insert(d9, S)").unwrap();
+        let env = t.env.clone();
+        let value = t.expr_evaluator().eval(&expr, &env).unwrap();
+        assert_eq!(
+            value,
+            Value::set([Value::atom(1), Value::atom(2), Value::atom(9)])
+        );
+    }
+}
